@@ -1,0 +1,104 @@
+// Ablation A3 — the hash-offset span.
+//
+// The paper draws the p-stable offset b* from [0, w * c^{t*}) — the whole
+// radius schedule — so the level-R grid anchor is uniform modulo w*R at
+// every level. A narrower span (the textbook [0, w) of Datar et al.) makes
+// R = 1 identical, but at large radii the floor-aligned window anchored near
+// 0 can never cross the sign boundary: objects whose projection falls on the
+// other side of 0 from the query stop accumulating collisions no matter how
+// far R grows, capping attainable collision counts below m (and hence
+// recall, for queries whose neighbors straddle the boundary).
+//
+// This binary measures that failure directly: the fraction of objects that
+// reach the full count m at a huge radius, under both spans.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/virtual_rehash.h"
+#include "src/lsh/pstable.h"
+#include "src/storage/bucket_table.h"
+
+namespace c2lsh {
+namespace {
+
+struct SpanResult {
+  double mean_fraction_full = 0.0;  // objects reaching count m at huge R
+  double min_fraction_full = 1.0;
+};
+
+SpanResult MeasureSpan(const bench::World& world, size_t m, double offset_span,
+                       uint64_t seed, long long big_radius) {
+  auto family = PStableFamily::Sample(m, world.data.dim(), 1.0, seed, offset_span);
+  bench::DieIf(family.status(), "family");
+  std::vector<BucketTable> tables;
+  tables.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const auto buckets = family->BucketColumn(world.data.vectors(), i);
+    std::vector<std::pair<BucketId, ObjectId>> pairs;
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      pairs.emplace_back(buckets[r], static_cast<ObjectId>(r));
+    }
+    tables.push_back(BucketTable::Build(std::move(pairs)));
+  }
+
+  SpanResult result;
+  std::vector<BucketId> qb;
+  for (size_t q = 0; q < world.queries.num_rows(); ++q) {
+    family->BucketAll(world.queries.row(q), &qb);
+    std::vector<uint32_t> counts(world.data.size(), 0);
+    for (size_t i = 0; i < m; ++i) {
+      const BucketRange range = QueryIntervalAtRadius(qb[i], big_radius);
+      tables[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) { ++counts[id]; });
+    }
+    size_t full = 0;
+    for (uint32_t c : counts) {
+      if (c == m) ++full;
+    }
+    const double frac = static_cast<double>(full) / static_cast<double>(counts.size());
+    result.mean_fraction_full += frac;
+    result.min_fraction_full = std::min(result.min_fraction_full, frac);
+  }
+  result.mean_fraction_full /= static_cast<double>(world.queries.num_rows());
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser(
+      "A3: offset span [0, w) vs the paper's [0, w*c^t*) — coverage at large radii");
+  parser.AddInt("m", 64, "hash functions to sample");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t m = static_cast<size_t>(parser.GetInt("m"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::World world = bench::MakeWorld(DatasetProfile::kColor, n, nq, 1, seed);
+  const long long schedule_cap = 1LL << 24;
+
+  bench::PrintHeader("A3",
+                     "fraction of objects reaching the full collision count m at R = 2^24");
+  TablePrinter table({"offset span", "mean full-coverage fraction", "worst query"});
+  const SpanResult narrow = MeasureSpan(world, m, 1.0, seed, schedule_cap);
+  const SpanResult wide =
+      MeasureSpan(world, m, static_cast<double>(schedule_cap), seed, schedule_cap);
+  table.AddRow({"[0, w)        (textbook)", TablePrinter::Fmt(narrow.mean_fraction_full, 4),
+                TablePrinter::Fmt(narrow.min_fraction_full, 4)});
+  table.AddRow({"[0, w*c^t*)   (paper)", TablePrinter::Fmt(wide.mean_fraction_full, 4),
+                TablePrinter::Fmt(wide.min_fraction_full, 4)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: with the textbook span, objects on the far side of the\n"
+      "projection's sign boundary never co-locate with the query — the full-\n"
+      "coverage fraction stalls near the probability that both share a sign\n"
+      "window in all m functions (~0 for m this large). The paper's schedule-\n"
+      "wide span reaches 1.0: every object eventually collides in every\n"
+      "table, which both the termination proof and the exhaustive-fallback\n"
+      "round rely on. (This repo's C2lshIndex uses the paper's span.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

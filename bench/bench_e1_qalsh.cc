@@ -1,0 +1,93 @@
+// Extension experiment E1 — QALSH (query-aware collision counting) vs C2LSH.
+//
+// The successor scheme the paper's framework spawned: query-centric windows
+// replace offset-quantized buckets, so (i) the same guarantee needs fewer
+// hash functions (larger p1 - p2 gap), and (ii) any real approximation ratio
+// c > 1 works. This binary compares both schemes at c = 2 and runs QALSH at
+// c = 1.5, a setting C2LSH cannot express.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/extensions/qalsh/qalsh.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("E1: QALSH extension vs C2LSH");
+  parser.AddInt("k", 10, "neighbors per query");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("E1", "query-aware collision counting (QALSH) vs C2LSH");
+  TablePrinter table({"dataset", "method", "c", "m", "l", "index size", "ratio",
+                      "recall", "pages/query", "cand/query"});
+
+  for (DatasetProfile profile : {DatasetProfile::kMnist, DatasetProfile::kColor}) {
+    bench::World world = bench::MakeWorld(profile, n, nq, k, seed);
+
+    // C2LSH at c = 2 (its minimum).
+    {
+      auto method = MakeC2lshMethod(world.data, bench::DefaultC2lsh(seed));
+      bench::DieIf(method.status(), "c2lsh");
+      auto derived = ComputeDerivedParams(bench::DefaultC2lsh(seed), world.data.size());
+      bench::DieIf(derived.status(), "c2lsh params");
+      auto r = RunWorkload(method->get(), world.data, world.queries, world.gt, k);
+      bench::DieIf(r.status(), "c2lsh workload");
+      table.AddRow({world.name, "C2LSH", "2", TablePrinter::FmtInt(derived->m),
+                    TablePrinter::FmtInt(derived->l),
+                    TablePrinter::FmtBytes(r->index_bytes),
+                    TablePrinter::Fmt(r->mean_ratio, 4),
+                    TablePrinter::Fmt(r->mean_recall, 3),
+                    TablePrinter::Fmt(r->mean_total_pages, 0),
+                    TablePrinter::Fmt(r->mean_candidates, 1)});
+    }
+
+    // QALSH at c = 2 and the non-integer c = 1.5.
+    for (double c : {2.0, 1.5}) {
+      QalshOptions qo;
+      qo.w = 2.0;
+      qo.c = c;
+      qo.delta = 0.1;
+      qo.seed = seed;
+      auto index = QalshIndex::Build(world.data, qo);
+      bench::DieIf(index.status(), "qalsh build");
+
+      double ratio = 0, recall = 0, pages = 0, cands = 0;
+      for (size_t q = 0; q < world.queries.num_rows(); ++q) {
+        QalshQueryStats stats;
+        auto r = index->Query(world.data, world.queries.row(q), k, &stats);
+        bench::DieIf(r.status(), "qalsh query");
+        ratio += OverallRatio(*r, world.gt[q], k);
+        recall += Recall(*r, world.gt[q], k);
+        pages += static_cast<double>(stats.total_pages());
+        cands += static_cast<double>(stats.candidates_verified);
+      }
+      const double nqd = static_cast<double>(world.queries.num_rows());
+      table.AddRow({world.name, "QALSH", TablePrinter::Fmt(c, 1),
+                    TablePrinter::FmtInt(index->derived().counting.m),
+                    TablePrinter::FmtInt(index->derived().counting.l),
+                    TablePrinter::FmtBytes(index->MemoryBytes()),
+                    TablePrinter::Fmt(ratio / nqd, 4),
+                    TablePrinter::Fmt(recall / nqd, 3),
+                    TablePrinter::Fmt(pages / nqd, 0),
+                    TablePrinter::Fmt(cands / nqd, 1)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: at c=2 QALSH needs fewer functions (m) than C2LSH for\n"
+      "the same (delta, beta) guarantee; c=1.5 — inexpressible in C2LSH —\n"
+      "buys better accuracy at a larger m.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -1,0 +1,97 @@
+// Extension experiment E2 — Manhattan (l1) search through the counting
+// framework.
+//
+// The collision-counting framework is LSH-family-generic: swapping Gaussian
+// projections for Cauchy ones turns the query-aware index into an l1 ANN
+// structure with the same Hoeffding parameterization. This binary measures
+// QALSH-l1 against the exact l1 scan and against the *wrong-metric* shortcut
+// practitioners sometimes take (an l2 index queried for l1 neighbors), which
+// quantifies why native metric support matters.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/eval/metrics.h"
+#include "src/extensions/qalsh/qalsh.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser =
+      bench::MakeStandardParser("E2: l1 (Manhattan) search via Cauchy projections");
+  parser.AddInt("k", 10, "neighbors per query");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, n, nq, seed);
+  bench::DieIf(pd.status(), "dataset");
+  auto gt_l1 = ComputeGroundTruth(pd->data, pd->queries, k, Metric::kManhattan);
+  bench::DieIf(gt_l1.status(), "l1 ground truth");
+
+  bench::PrintHeader("E2", "Manhattan-metric ANN (Color profile, k=" +
+                               std::to_string(k) + ")");
+  TablePrinter table({"method", "metric", "m", "recall@k (l1 truth)", "ratio",
+                      "cand/query"});
+
+  auto evaluate = [&](const char* label, const char* metric, QalshIndex* index,
+                      size_t m) {
+    double recall = 0, ratio = 0, cands = 0;
+    for (size_t q = 0; q < nq; ++q) {
+      QalshQueryStats stats;
+      auto r = index->Query(pd->data, pd->queries.row(q), k, &stats);
+      bench::DieIf(r.status(), "query");
+      // Score every method against the true l1 neighbors. For the l2 index
+      // the returned dists are l2, so recompute l1 for the ratio metric.
+      NeighborList rescored = *r;
+      for (Neighbor& nb : rescored) {
+        nb.dist = static_cast<float>(
+            L1(pd->queries.row(q), pd->data.object(nb.id), pd->data.dim()));
+      }
+      std::sort(rescored.begin(), rescored.end(), NeighborLess());
+      recall += Recall(rescored, (*gt_l1)[q], k);
+      ratio += OverallRatio(rescored, (*gt_l1)[q], k);
+      cands += static_cast<double>(stats.candidates_verified);
+    }
+    const double d = static_cast<double>(nq);
+    table.AddRow({label, metric, TablePrinter::FmtInt(m),
+                  TablePrinter::Fmt(recall / d, 3), TablePrinter::Fmt(ratio / d, 4),
+                  TablePrinter::Fmt(cands / d, 1)});
+  };
+
+  // Native l1: Cauchy projections, l1 verification.
+  QalshOptions l1opts;
+  l1opts.p = 1.0;
+  l1opts.w = 8.0;
+  l1opts.seed = seed;
+  auto l1_index = QalshIndex::Build(pd->data, l1opts);
+  bench::DieIf(l1_index.status(), "l1 build");
+  evaluate("QALSH-l1 (native)", "l1", &l1_index.value(), l1_index->derived().counting.m);
+
+  // Wrong-metric shortcut: an l2 index asked for l1 neighbors.
+  QalshOptions l2opts;
+  l2opts.p = 2.0;
+  l2opts.w = 2.0;
+  l2opts.seed = seed;
+  auto l2_index = QalshIndex::Build(pd->data, l2opts);
+  bench::DieIf(l2_index.status(), "l2 build");
+  evaluate("QALSH-l2 (wrong metric)", "l2", &l2_index.value(),
+           l2_index->derived().counting.m);
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: the native Cauchy/l1 index recalls the true Manhattan\n"
+      "neighbors; the l2 shortcut degrades because l2-close is only a proxy\n"
+      "for l1-close — the framework's family-independence is what makes the\n"
+      "native variant a drop-in.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

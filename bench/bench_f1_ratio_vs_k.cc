@@ -1,0 +1,49 @@
+// Figure F1 — overall ratio vs k, per dataset profile.
+//
+// Regenerates the paper's accuracy figure: for k in {1,2,5,10,20,50,100},
+// the mean overall (distance) ratio of C2LSH vs LSB-forest vs E2LSH, with
+// the exact scan as the ratio-1.0 floor. Expected shape: all methods stay
+// well below the c^2 = 4 guarantee; C2LSH matches or beats LSB-forest.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F1: overall ratio vs k");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F1", "overall ratio vs k (lower is better, 1.0 = exact)");
+  const std::vector<size_t> ks = bench::PaperKs();
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    bench::World world = bench::MakeWorld(profile, n, nq, ks.back(), seed);
+    auto methods = bench::BuildAllMethods(world, seed);
+    const auto rows = bench::RunKSweep(world, &methods, ks);
+
+    std::printf("\n[%s]  n=%zu  d=%zu  queries=%zu\n", world.name.c_str(),
+                world.data.size(), world.data.dim(), world.queries.num_rows());
+    std::vector<std::string> headers = {"method"};
+    for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+    TablePrinter table(headers);
+    for (size_t m = 0; m < rows.size(); m += ks.size()) {
+      std::vector<std::string> cells = {rows[m].method};
+      for (size_t j = 0; j < ks.size(); ++j) {
+        cells.push_back(TablePrinter::Fmt(rows[m + j].result.mean_ratio, 4));
+      }
+      table.AddRow(std::move(cells));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -1,0 +1,49 @@
+// Figure F2 — simulated I/O cost (4KB pages touched) vs k, per profile.
+//
+// The paper's efficiency figure under its disk-based cost model. Expected
+// shape: all approximate methods sit far below the linear scan's sequential
+// cost; I/O grows mildly with k (verification-dominated); C2LSH's I/O is
+// competitive with LSB-forest at better accuracy (cross-reference F1).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F2: I/O cost (pages) vs k");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F2", "mean pages touched per query vs k (lower is better)");
+  const std::vector<size_t> ks = bench::PaperKs();
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    bench::World world = bench::MakeWorld(profile, n, nq, ks.back(), seed);
+    auto methods = bench::BuildAllMethods(world, seed);
+    const auto rows = bench::RunKSweep(world, &methods, ks);
+
+    std::printf("\n[%s]  n=%zu  d=%zu\n", world.name.c_str(), world.data.size(),
+                world.data.dim());
+    std::vector<std::string> headers = {"method"};
+    for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+    TablePrinter table(headers);
+    for (size_t m = 0; m < rows.size(); m += ks.size()) {
+      std::vector<std::string> cells = {rows[m].method};
+      for (size_t j = 0; j < ks.size(); ++j) {
+        cells.push_back(TablePrinter::Fmt(rows[m + j].result.mean_total_pages, 0));
+      }
+      table.AddRow(std::move(cells));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

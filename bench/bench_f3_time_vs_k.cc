@@ -1,0 +1,48 @@
+// Figure F3 — wall-clock query time vs k, per profile.
+//
+// The in-memory companion to F2. Expected shape mirrors F2 minus the page
+// constants: C2LSH and LSB-forest in the same order of magnitude, linear
+// scan slowest on large/high-d profiles, all growing mildly with k.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F3: query time (ms) vs k");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F3", "mean query wall time (ms) vs k");
+  const std::vector<size_t> ks = bench::PaperKs();
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    bench::World world = bench::MakeWorld(profile, n, nq, ks.back(), seed);
+    auto methods = bench::BuildAllMethods(world, seed);
+    const auto rows = bench::RunKSweep(world, &methods, ks);
+
+    std::printf("\n[%s]  n=%zu  d=%zu\n", world.name.c_str(), world.data.size(),
+                world.data.dim());
+    std::vector<std::string> headers = {"method"};
+    for (size_t k : ks) headers.push_back("k=" + std::to_string(k));
+    TablePrinter table(headers);
+    for (size_t m = 0; m < rows.size(); m += ks.size()) {
+      std::vector<std::string> cells = {rows[m].method};
+      for (size_t j = 0; j < ks.size(); ++j) {
+        cells.push_back(TablePrinter::Fmt(rows[m + j].result.mean_query_millis, 3));
+      }
+      table.AddRow(std::move(cells));
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -1,0 +1,56 @@
+// Figure F5 — effect of the false-positive budget beta.
+//
+// beta*n bounds how many candidates C2LSH verifies before giving up on the
+// current radius (termination condition T2). A larger budget verifies more
+// candidates — better ratio/recall at higher I/O. The paper fixes
+// beta*n = 100; this sweep shows the knob's whole curve.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F5: effect of the beta*n budget");
+  parser.AddInt("k", 10, "neighbors per query");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F5", "C2LSH accuracy/cost vs false-positive budget beta*n");
+  bench::World world = bench::MakeWorld(DatasetProfile::kMnist, n, nq, k, seed);
+
+  TablePrinter table({"beta*n", "m", "l", "ratio", "recall", "pages/query",
+                      "cand/query", "ms/query"});
+  for (double budget : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    C2lshOptions o = bench::DefaultC2lsh(seed);
+    o.beta = budget / static_cast<double>(n);
+    auto method = MakeC2lshMethod(world.data, o);
+    bench::DieIf(method.status(), "c2lsh build");
+    auto r = RunWorkload(method->get(), world.data, world.queries, world.gt, k);
+    bench::DieIf(r.status(), "workload");
+    auto derived = ComputeDerivedParams(o, n);
+    bench::DieIf(derived.status(), "params");
+    table.AddRow({TablePrinter::Fmt(budget, 0), TablePrinter::FmtInt(derived->m),
+                  TablePrinter::FmtInt(derived->l), TablePrinter::Fmt(r->mean_ratio, 4),
+                  TablePrinter::Fmt(r->mean_recall, 3),
+                  TablePrinter::Fmt(r->mean_total_pages, 0),
+                  TablePrinter::Fmt(r->mean_candidates, 1),
+                  TablePrinter::Fmt(r->mean_query_millis, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: candidates verified grow ~linearly with the budget; the\n"
+      "ratio improves and saturates; note m also shifts because beta enters\n"
+      "the Hoeffding bound for m.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

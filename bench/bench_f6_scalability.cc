@@ -1,0 +1,55 @@
+// Figure F6 — scalability in n.
+//
+// C2LSH's candidate count per query is governed by k + beta*n with
+// beta = 100/n, i.e. ~constant in n, while the linear scan grows linearly.
+// This sweep over n shows the sublinear growth of C2LSH's per-query cost
+// (pages and candidates) against the scan.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F6: per-query cost vs dataset size n");
+  parser.AddInt("k", 10, "neighbors per query");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F6", "C2LSH cost growth vs n (Mnist profile, k=" +
+                               std::to_string(k) + ")");
+  TablePrinter table({"n", "method", "ratio", "recall", "pages/query", "cand/query",
+                      "ms/query"});
+  for (size_t n : {5000u, 10000u, 20000u, 40000u}) {
+    bench::World world = bench::MakeWorld(DatasetProfile::kMnist, n, nq, k, seed);
+    auto c2 = MakeC2lshMethod(world.data, bench::DefaultC2lsh(seed));
+    bench::DieIf(c2.status(), "c2lsh build");
+    auto scan = MakeLinearScanMethod(world.data);
+    bench::DieIf(scan.status(), "scan");
+    for (AnnMethod* method : {c2.value().get(), scan.value().get()}) {
+      auto r = RunWorkload(method, world.data, world.queries, world.gt, k);
+      bench::DieIf(r.status(), "workload");
+      table.AddRow({TablePrinter::FmtInt(n), method->name(),
+                    TablePrinter::Fmt(r->mean_ratio, 4),
+                    TablePrinter::Fmt(r->mean_recall, 3),
+                    TablePrinter::Fmt(r->mean_total_pages, 0),
+                    TablePrinter::Fmt(r->mean_candidates, 1),
+                    TablePrinter::Fmt(r->mean_query_millis, 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: the scan's candidates equal n (linear), while C2LSH's\n"
+      "candidates stay near k + 100 across the whole sweep — the sublinear\n"
+      "verification cost the dynamic counting framework buys.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

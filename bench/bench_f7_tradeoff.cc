@@ -1,0 +1,134 @@
+// Figure F7 — the accuracy/cost trade-off frontier (the "best parameters at
+// each recall level" methodology the paper's figures are built on).
+//
+// Each method exposes one quality knob at fixed index parameters:
+//   C2LSH       — the false-positive budget beta*n (candidates verified)
+//   E2LSH       — the number of tables L
+//   LSB-forest  — the candidate budget
+//   Multi-Probe — the number of probes T
+// This binary sweeps each knob, reports every (recall, pages, ms) point and
+// then, per recall level, the cheapest configuration of each method — the
+// rows of the paper's cost-at-fixed-recall comparison.
+
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+struct Point {
+  std::string method;
+  std::string config;
+  WorkloadResult result;
+};
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser("F7: accuracy/cost trade-off frontier");
+  parser.AddInt("k", 10, "neighbors per query");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::World world = bench::MakeWorld(DatasetProfile::kMnist, n, nq, k, seed);
+  std::vector<Point> points;
+
+  auto add = [&](const std::string& label, const std::string& config,
+                 Result<std::unique_ptr<AnnMethod>> method) {
+    bench::DieIf(method.status(), label.c_str());
+    auto r = RunWorkload(method->get(), world.data, world.queries, world.gt, k);
+    bench::DieIf(r.status(), "workload");
+    points.push_back(Point{label, config, std::move(r).value()});
+  };
+
+  for (double budget : {25.0, 100.0, 400.0, 1600.0}) {
+    C2lshOptions o = bench::DefaultC2lsh(seed);
+    o.beta = budget / static_cast<double>(n);
+    add("C2LSH", "beta*n=" + TablePrinter::Fmt(budget, 0),
+        MakeC2lshMethod(world.data, o));
+  }
+  {
+    // High-quality point: tighter delta (more functions) + larger budget.
+    C2lshOptions o = bench::DefaultC2lsh(seed);
+    o.delta = 0.03;
+    o.beta = 1600.0 / static_cast<double>(n);
+    add("C2LSH", "delta=0.03,beta*n=1600", MakeC2lshMethod(world.data, o));
+  }
+  for (size_t L : {8u, 16u, 32u, 64u}) {
+    E2lshOptions o = bench::DefaultE2lsh(seed);
+    o.L = L;
+    add("E2LSH", "L=" + std::to_string(L), MakeE2lshMethod(world.data, o));
+  }
+  for (size_t budget : {100u, 400u, 1600u}) {
+    LsbForestOptions o = bench::DefaultLsb(seed);
+    o.candidate_budget = budget;
+    add("LSB-forest", "budget=" + std::to_string(budget),
+        MakeLsbForestMethod(world.data, o));
+  }
+  for (size_t T : {4u, 16u, 64u, 256u}) {
+    MultiProbeOptions o = bench::DefaultMultiProbe(seed);
+    o.num_probes = T;
+    add("MultiProbe", "T=" + std::to_string(T), MakeMultiProbeMethod(world.data, o));
+  }
+  for (double c : {1.05, 1.2, 1.5}) {
+    SrsOptions o = bench::DefaultSrs(seed);
+    o.c = c;
+    add("SRS", "c=" + TablePrinter::Fmt(c, 2), MakeSrsMethod(world.data, o));
+  }
+
+  bench::PrintHeader("F7", "all sweep points (k=" + std::to_string(k) + ", Mnist profile)");
+  TablePrinter all({"method", "config", "recall", "ratio", "pages/query", "ms/query",
+                    "index size"});
+  for (const Point& p : points) {
+    all.AddRow({p.method, p.config, TablePrinter::Fmt(p.result.mean_recall, 3),
+                TablePrinter::Fmt(p.result.mean_ratio, 4),
+                TablePrinter::Fmt(p.result.mean_total_pages, 0),
+                TablePrinter::Fmt(p.result.mean_query_millis, 3),
+                TablePrinter::FmtBytes(p.result.index_bytes)});
+  }
+  std::printf("%s", all.ToString().c_str());
+
+  std::printf("\nCheapest configuration reaching each recall level:\n");
+  TablePrinter frontier({"recall >=", "method", "config", "recall", "pages/query",
+                         "ms/query"});
+  for (double level : {0.5, 0.7, 0.9}) {
+    // Per method, the min-pages config meeting the level.
+    for (const char* method : {"C2LSH", "E2LSH", "LSB-forest", "MultiProbe", "SRS"}) {
+      const Point* best = nullptr;
+      for (const Point& p : points) {
+        if (p.method != method || p.result.mean_recall < level) continue;
+        if (best == nullptr ||
+            p.result.mean_total_pages < best->result.mean_total_pages) {
+          best = &p;
+        }
+      }
+      if (best == nullptr) {
+        frontier.AddRow({TablePrinter::Fmt(level, 1), method, "(not reached)", "-", "-",
+                         "-"});
+      } else {
+        frontier.AddRow({TablePrinter::Fmt(level, 1), method, best->config,
+                         TablePrinter::Fmt(best->result.mean_recall, 3),
+                         TablePrinter::Fmt(best->result.mean_total_pages, 0),
+                         TablePrinter::Fmt(best->result.mean_query_millis, 3)});
+      }
+    }
+  }
+  std::printf("%s", frontier.ToString().c_str());
+  std::printf(
+      "\nShape check: raising C2LSH's budget (and tightening delta) walks it\n"
+      "up the recall axis with proportional page cost, while plain E2LSH\n"
+      "plateaus. Well-tuned Multi-Probe is competitive at this scale — but\n"
+      "its w must be hand-tuned to the data's distance scale, whereas C2LSH\n"
+      "exposes a single budget knob and keeps its per-query guarantee; that\n"
+      "robustness (not raw page counts) is the paper's framing.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -1,0 +1,60 @@
+// Experiment T1 — the parameter table.
+//
+// Reproduces the table every C2LSH evaluation leads with: the derived
+// parameters (p1, p2, z, alpha, m, l) per dataset profile and approximation
+// ratio, straight from the paper's Hoeffding-bound formulas, plus the
+// analytic guarantee checks (P1 failure bound <= delta; expected false
+// positives <= beta*n/2).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/params.h"
+#include "src/core/theory.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser(
+      "T1: derived C2LSH parameters per dataset profile and c");
+  parser.AddDouble("delta", 0.1, "error probability");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const double delta = parser.GetDouble("delta");
+
+  bench::PrintHeader("T1", "C2LSH derived parameters (w=1, beta=100/n, delta=" +
+                               TablePrinter::Fmt(delta, 2) + ")");
+
+  TablePrinter table({"dataset", "n", "c", "p1", "p2", "z", "alpha", "m", "l",
+                      "P1-bound", "E[FP]", "beta*n/2"});
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    for (double c : {2.0, 3.0}) {
+      C2lshOptions o;
+      o.w = 1.0;
+      o.c = c;
+      o.delta = delta;
+      auto d = ComputeDerivedParams(o, n);
+      bench::DieIf(d.status(), "derived params");
+      table.AddRow({DatasetProfileName(profile), TablePrinter::FmtInt(n),
+                    TablePrinter::Fmt(c, 0), TablePrinter::Fmt(d->model.p1, 4),
+                    TablePrinter::Fmt(d->model.p2, 4), TablePrinter::Fmt(d->z, 3),
+                    TablePrinter::Fmt(d->alpha, 4), TablePrinter::FmtInt(d->m),
+                    TablePrinter::FmtInt(d->l),
+                    TablePrinter::Fmt(P1FailureBound(*d), 4),
+                    TablePrinter::Fmt(ExpectedFalsePositives(*d, n), 2),
+                    TablePrinter::Fmt(d->beta * n / 2.0, 1)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: m is identical across profiles at fixed n (it depends on\n"
+      "n, w, c, delta, beta only); c=3 needs far fewer functions than c=2; the\n"
+      "P1 bound never exceeds delta and E[FP] never exceeds beta*n/2.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

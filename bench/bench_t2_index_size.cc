@@ -1,0 +1,56 @@
+// Experiment T2 — the index size / build time table.
+//
+// The paper's space story: C2LSH builds m single-function tables (one entry
+// per object per table), LSB-forest builds L z-order B-trees, and rigorous
+// E2LSH needs L tables *per radius*. This binary regenerates the comparison
+// for every dataset profile.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser =
+      bench::MakeStandardParser("T2: index size and build time per method and profile");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("T2", "index size and indexing time");
+  TablePrinter table(
+      {"dataset", "method", "index size", "bytes/object", "build (s)"});
+
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    bench::World world = bench::MakeWorld(profile, n, 2, 1, seed);
+
+    auto c2 = MakeC2lshMethod(world.data, bench::DefaultC2lsh(seed));
+    bench::DieIf(c2.status(), "c2lsh build");
+    auto e2 = MakeE2lshMethod(world.data, bench::DefaultE2lsh(seed));
+    bench::DieIf(e2.status(), "e2lsh build");
+    auto lsb = MakeLsbForestMethod(world.data, bench::DefaultLsb(seed));
+    bench::DieIf(lsb.status(), "lsb build");
+
+    for (const auto& method : {c2.value().get(), e2.value().get(), lsb.value().get()}) {
+      table.AddRow({world.name, method->name(),
+                    TablePrinter::FmtBytes(method->MemoryBytes()),
+                    TablePrinter::Fmt(static_cast<double>(method->MemoryBytes()) /
+                                          static_cast<double>(n),
+                                      1),
+                    TablePrinter::Fmt(method->build_seconds(), 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nShape check: per object, C2LSH stores m ids; E2LSH stores L*rounds\n"
+      "keys (the rigorous-LSH blowup C2LSH removes); LSB-forest sits between,\n"
+      "paying L z-order keys of u*v bits each.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

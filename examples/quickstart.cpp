@@ -1,0 +1,65 @@
+// Quickstart: the smallest complete C2LSH program.
+//
+//   1. Generate (or load) a dataset of float vectors.
+//   2. Build a C2lshIndex with the paper's default parameters.
+//   3. Run c-k-ANN queries and inspect results + per-query statistics.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/index.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+int main() {
+  using namespace c2lsh;
+
+  // 1. A synthetic clustered dataset (swap in ReadFvecs(...) for real data).
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, /*n=*/10000,
+                               /*num_queries=*/5, /*seed=*/42);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", pd.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = pd->data;
+  std::printf("dataset: %s, n=%zu, d=%zu\n", data.name().c_str(), data.size(),
+              data.dim());
+
+  // 2. Build the index. The only knobs most users touch:
+  //    c     - approximation ratio (integer >= 2)
+  //    delta - per-query error probability
+  //    beta  - false-positive budget (0 = the paper's 100/n)
+  C2lshOptions options;
+  options.c = 2.0;
+  options.delta = 0.1;
+  options.seed = 7;
+  auto index = C2lshIndex::Build(data, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("index built: %s\n", index->derived().ToString().c_str());
+  std::printf("index size: %.2f MiB\n",
+              static_cast<double>(index->MemoryBytes()) / (1 << 20));
+
+  // 3. Query. Results carry exact distances; stats show what the search did.
+  for (size_t q = 0; q < pd->queries.num_rows(); ++q) {
+    C2lshQueryStats stats;
+    auto result = index->Query(data, pd->queries.row(q), /*k=*/5, &stats);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nquery %zu: %zu neighbors in %llu rounds (final R=%lld, "
+                "%llu candidates verified, %llu pages)\n",
+                q, result->size(), static_cast<unsigned long long>(stats.rounds),
+                static_cast<long long>(stats.final_radius),
+                static_cast<unsigned long long>(stats.candidates_verified),
+                static_cast<unsigned long long>(stats.total_pages()));
+    for (const Neighbor& nb : *result) {
+      std::printf("  id=%u  dist=%.4f\n", nb.id, nb.dist);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Tuning advisor — interactive exploration of C2LSH's parameter space
+// without building a single index.
+//
+// Everything C2LSH promises is computable analytically from (n, w, c, delta,
+// beta): the derived (m, l), the index size, the expected candidates per
+// round, and the probability that an object at any given distance becomes a
+// candidate. This tool prints those predictions so users can pick parameters
+// *before* spending build time, the same way the paper's Section on
+// parameter settings reasons.
+//
+// Run: ./build/examples/tuning_advisor --n=1000000 --c=2 --delta=0.1
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/cost_model.h"
+#include "src/core/index.h"
+#include "src/core/params.h"
+#include "src/core/theory.h"
+#include "src/eval/table.h"
+#include "src/util/argparse.h"
+#include "src/vector/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace c2lsh;
+
+  ArgParser parser("tuning_advisor: analytic C2LSH parameter predictions");
+  parser.AddInt("n", 100000, "dataset cardinality");
+  parser.AddInt("dim", 128, "vector dimensionality (index-size estimate only)");
+  parser.AddDouble("w", 1.0, "base bucket width");
+  parser.AddDouble("c", 2.0, "approximation ratio (integer >= 2)");
+  parser.AddDouble("delta", 0.1, "error probability");
+  parser.AddDouble("beta_n", 100.0, "false-positive budget beta*n");
+  parser.AddBool("simulate", false,
+                 "also build a synthetic dataset at the given n, run the query-cost "
+                 "model against it, and validate the predictions with real queries");
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.HelpString().c_str());
+    return 0;
+  }
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t dim = static_cast<size_t>(parser.GetInt("dim"));
+
+  C2lshOptions options;
+  options.w = parser.GetDouble("w");
+  options.c = parser.GetDouble("c");
+  options.delta = parser.GetDouble("delta");
+  options.beta = parser.GetDouble("beta_n") / static_cast<double>(n);
+
+  auto derived = ComputeDerivedParams(options, n);
+  if (!derived.ok()) {
+    std::fprintf(stderr, "%s\n", derived.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Derived parameters for n=%zu:\n  %s\n\n", n,
+              derived->ToString().c_str());
+
+  // Index size estimate: m tables x n 4-byte ids (+ directory overhead),
+  // plus m projection vectors.
+  const double table_bytes =
+      static_cast<double>(derived->m) * static_cast<double>(n) * 4.0 * 1.25;
+  const double func_bytes = static_cast<double>(derived->m) * dim * 4.0;
+  std::printf("Estimated index size: %.1f MiB (tables) + %.2f MiB (hash functions)\n",
+              table_bytes / (1 << 20), func_bytes / (1 << 20));
+  std::printf("Guarantee checks: P1 failure bound %.4f (<= delta %.2f), "
+              "E[false positives] %.2f (<= beta*n/2 = %.1f)\n\n",
+              P1FailureBound(*derived), options.delta,
+              ExpectedFalsePositives(*derived, static_cast<double>(n)),
+              derived->beta * static_cast<double>(n) / 2.0);
+
+  // Candidate probability by distance, per round.
+  std::printf("Probability an object becomes a candidate, by distance (in units\n"
+              "of the round radius R):\n");
+  TablePrinter table({"dist/R", "P[candidate]", "interpretation"});
+  struct Row {
+    double ratio;
+    const char* note;
+  };
+  const Row rows[] = {
+      {0.25, "very close - should be caught"},
+      {0.5, ""},
+      {1.0, "guarantee boundary (>= 1-delta)"},
+      {1.5, "grey zone"},
+      {2.0, "c*R boundary (false positive)"},
+      {3.0, "far - should be ignored"},
+      {4.0, ""},
+  };
+  for (const Row& row : rows) {
+    table.AddRow({TablePrinter::Fmt(row.ratio, 2),
+                  TablePrinter::Fmt(ProbFrequent(*derived, row.ratio, 1.0), 5),
+                  row.note});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\nWhat-if sweep over c:\n");
+  TablePrinter sweep({"c", "m", "l", "est. index MiB", "P[cand] at cR"});
+  for (double c : {2.0, 3.0, 4.0}) {
+    C2lshOptions o = options;
+    o.c = c;
+    auto d = ComputeDerivedParams(o, n);
+    if (!d.ok()) continue;
+    sweep.AddRow({TablePrinter::Fmt(c, 0), TablePrinter::FmtInt(d->m),
+                  TablePrinter::FmtInt(d->l),
+                  TablePrinter::Fmt(static_cast<double>(d->m) * n * 5.0 / (1 << 20), 1),
+                  TablePrinter::Fmt(ProbFrequent(*d, c, 1.0), 5)});
+  }
+  std::printf("%s", sweep.ToString().c_str());
+
+  if (parser.GetBool("simulate")) {
+    // Ground the closed-form predictions in a concrete dataset: sample a
+    // distance profile, run the query-cost model, then measure for real.
+    const size_t sim_n = std::min<size_t>(n, 20000);  // laptop-scale cap
+    std::printf("\n--- simulation at n=%zu (Mnist profile) ---\n", sim_n);
+    auto pd = MakeProfileDataset(DatasetProfile::kMnist, sim_n, 16, 99);
+    if (!pd.ok()) {
+      std::fprintf(stderr, "%s\n", pd.status().ToString().c_str());
+      return 1;
+    }
+    auto sim_derived = ComputeDerivedParams(options, sim_n);
+    if (!sim_derived.ok()) {
+      std::fprintf(stderr, "%s\n", sim_derived.status().ToString().c_str());
+      return 1;
+    }
+    auto profile = SampleDistanceProfile(pd->data, 16, 128, 10, 101);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+      return 1;
+    }
+    auto pred = PredictQueryCost(*sim_derived, *profile, 10);
+    if (!pred.ok()) {
+      std::fprintf(stderr, "%s\n", pred.status().ToString().c_str());
+      return 1;
+    }
+
+    C2lshOptions sim_options = options;
+    sim_options.seed = 103;
+    auto index = C2lshIndex::Build(pd->data, sim_options);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    double radius = 0, cands = 0, incs = 0;
+    for (size_t q = 0; q < 16; ++q) {
+      C2lshQueryStats stats;
+      auto r = index->Query(pd->data, pd->queries.row(q), 10, &stats);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      radius += static_cast<double>(stats.final_radius);
+      cands += static_cast<double>(stats.candidates_verified);
+      incs += static_cast<double>(stats.collision_increments);
+    }
+    TablePrinter compare({"quantity", "predicted", "measured (mean of 16)"});
+    compare.AddRow({"terminating radius", TablePrinter::FmtInt(pred->terminating_radius),
+                    TablePrinter::Fmt(radius / 16.0, 1)});
+    compare.AddRow({"candidates verified", TablePrinter::Fmt(pred->expected_candidates, 1),
+                    TablePrinter::Fmt(cands / 16.0, 1)});
+    compare.AddRow({"counter increments", TablePrinter::Fmt(pred->expected_increments, 0),
+                    TablePrinter::Fmt(incs / 16.0, 0)});
+    std::printf("%s", compare.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "src/baselines/e2lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+E2lshOptions SuggestE2lshOptions(size_t n, const CollisionModel& model, size_t max_l) {
+  E2lshOptions o;
+  o.w = model.w;
+  o.c = model.c;
+  o.K = static_cast<size_t>(
+      std::max(1.0, std::ceil(std::log(static_cast<double>(n)) / std::log(1.0 / model.p2))));
+  // Theoretical table count 1/p1^K; clamp at max_l (the blowup the paper
+  // criticizes — at K chosen above this is typically in the hundreds).
+  const double l_theory = std::pow(1.0 / model.p1, static_cast<double>(o.K));
+  o.L = static_cast<size_t>(std::min(static_cast<double>(max_l), std::ceil(l_theory)));
+  o.L = std::max<size_t>(o.L, 1);
+  return o;
+}
+
+E2lshIndex::E2lshIndex(E2lshOptions options, std::vector<CompoundHash> hashes,
+                       std::vector<std::vector<KeyTable>> tables, size_t num_objects,
+                       size_t dim)
+    : options_(options),
+      hashes_(std::move(hashes)),
+      tables_(std::move(tables)),
+      num_objects_(num_objects),
+      dim_(dim),
+      page_model_(options.page_bytes),
+      seen_(num_objects, 0) {
+  radii_.reserve(options_.max_rounds);
+  long long r = 1;
+  const long long c = static_cast<long long>(std::llround(options_.c));
+  for (size_t i = 0; i < options_.max_rounds; ++i) {
+    radii_.push_back(r);
+    r *= c;
+  }
+}
+
+Result<E2lshIndex> E2lshIndex::Build(const Dataset& data, const E2lshOptions& options) {
+  if (options.K == 0 || options.L == 0) {
+    return Status::InvalidArgument("E2LSH: K and L must be positive");
+  }
+  if (options.max_rounds == 0) {
+    return Status::InvalidArgument("E2LSH: max_rounds must be positive");
+  }
+  const double c_rounded = std::round(options.c);
+  if (options.c < 2.0 || std::fabs(options.c - c_rounded) > 1e-9) {
+    return Status::InvalidArgument("E2LSH: c must be an integer >= 2 to share C2LSH's "
+                                   "radius schedule; got " + std::to_string(options.c));
+  }
+
+  std::vector<CompoundHash> hashes;
+  hashes.reserve(options.L);
+  for (size_t j = 0; j < options.L; ++j) {
+    C2LSH_ASSIGN_OR_RETURN(
+        CompoundHash g,
+        CompoundHash::Sample(options.K, data.dim(), options.w,
+                             SplitMix64(options.seed ^ (0x9d39247e33776d41ULL + j))));
+    hashes.push_back(std::move(g));
+  }
+
+  // Physical tables: one per (round, compound hash). Component buckets are
+  // computed once per object per hash; each round only re-floors them.
+  std::vector<long long> radii;
+  long long r = 1;
+  const long long c_int = static_cast<long long>(c_rounded);
+  for (size_t i = 0; i < options.max_rounds; ++i) {
+    radii.push_back(r);
+    r *= c_int;
+  }
+
+  std::vector<std::vector<KeyTable>> tables(options.max_rounds);
+  for (auto& per_round : tables) per_round.resize(options.L);
+
+  std::vector<BucketId> comps;
+  std::vector<BucketId> floored;
+  for (size_t j = 0; j < options.L; ++j) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      hashes[j].Components(data.object(static_cast<ObjectId>(i)), &comps);
+      for (size_t round = 0; round < radii.size(); ++round) {
+        floored = comps;
+        for (BucketId& b : floored) b = FloorDiv(b, radii[round]);
+        uint64_t key = hashes[j].KeyFromComponents(floored);
+        key = SplitMix64(key ^ static_cast<uint64_t>(radii[round]));
+        tables[round][j].emplace_back(key, static_cast<ObjectId>(i));
+      }
+    }
+  }
+  for (auto& per_round : tables) {
+    for (KeyTable& t : per_round) {
+      std::sort(t.begin(), t.end());
+    }
+  }
+
+  return E2lshIndex(options, std::move(hashes), std::move(tables), data.size(), data.dim());
+}
+
+Result<NeighborList> E2lshIndex::Query(const Dataset& data, const float* query, size_t k,
+                                       E2lshQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("E2LSH query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("E2LSH query: dataset dim mismatch");
+  }
+  E2lshQueryStats local;
+  E2lshQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = E2lshQueryStats();
+
+  if (seen_.size() < num_objects_) seen_.resize(num_objects_, 0);
+  for (ObjectId id : touched_) seen_[id] = 0;
+  touched_.clear();
+
+  const size_t budget = options_.verify_budget_per_table == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : options_.verify_budget_per_table * options_.L + k;
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+
+  NeighborList found;
+  std::vector<BucketId> comps;
+  std::vector<BucketId> floored;
+
+  for (size_t round = 0; round < radii_.size(); ++round) {
+    ++st->rounds;
+    const long long R = radii_[round];
+    st->final_radius = R;
+    for (size_t j = 0; j < options_.L; ++j) {
+      hashes_[j].Components(query, &comps);
+      floored = comps;
+      for (BucketId& b : floored) b = FloorDiv(b, R);
+      uint64_t key = hashes_[j].KeyFromComponents(floored);
+      key = SplitMix64(key ^ static_cast<uint64_t>(R));
+
+      const KeyTable& table = tables_[round][j];
+      auto lo = std::lower_bound(table.begin(), table.end(),
+                                 std::make_pair(key, ObjectId{0}));
+      ++st->buckets_probed;
+      ++st->index_pages;  // the hash/array probe
+      size_t bucket_entries = 0;
+      for (auto it = lo; it != table.end() && it->first == key; ++it) {
+        ++bucket_entries;
+        const ObjectId id = it->second;
+        if (seen_[id] != 0) continue;
+        seen_[id] = 1;
+        touched_.push_back(id);
+        if (found.size() >= budget) continue;
+        const double dist = L2(query, data.object(id), dim_);
+        found.push_back(Neighbor{id, static_cast<float>(dist)});
+        ++st->candidates_verified;
+        st->data_pages += vector_pages;
+      }
+      if (bucket_entries > 0) {
+        st->index_pages +=
+            page_model_.PagesForEntries(bucket_entries, sizeof(uint64_t) + sizeof(ObjectId));
+      }
+    }
+    // Stop when k verified candidates lie within c*R, the analog of C2LSH's
+    // T1 under the shared radius schedule.
+    const double cr = options_.c * static_cast<double>(R);
+    size_t within = 0;
+    for (const Neighbor& nb : found) {
+      if (nb.dist <= cr) ++within;
+      if (within >= k) break;
+    }
+    if (within >= k) break;
+    if (found.size() >= budget) break;
+  }
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+size_t E2lshIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& per_round : tables_) {
+    for (const KeyTable& t : per_round) {
+      bytes += t.size() * sizeof(KeyTable::value_type);
+    }
+  }
+  bytes += hashes_.size() * options_.K * (dim_ * sizeof(float) + 2 * sizeof(double));
+  return bytes;
+}
+
+}  // namespace c2lsh

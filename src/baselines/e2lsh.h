@@ -1,0 +1,98 @@
+// E2LSH baseline: the static concatenating search framework (Indyk-Motwani
+// 1998; Datar et al. 2004) that C2LSH's dynamic collision counting is
+// measured against.
+//
+// Indexing: sample L compound functions G_j = (h_1 .. h_K) and, for each
+// radius R in the schedule {1, c, c^2, ..., c^(max_rounds-1)}, build one
+// physical hash table per G_j keyed by G_j's component buckets widened to
+// level R. This is "rigorous LSH": one structure per radius, which is
+// exactly the index-size blowup C2LSH was designed to remove — the T2
+// experiment measures it.
+//
+// Query (c-k-ANN): walk the radius schedule; at radius R probe the L buckets
+// G_1(q) .. G_L(q), verify every previously-unseen collider, and stop when k
+// verified candidates lie within c*R (or the schedule or the verification
+// budget is exhausted).
+
+#ifndef C2LSH_BASELINES_E2LSH_H_
+#define C2LSH_BASELINES_E2LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lsh/collision_model.h"
+#include "src/lsh/compound.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of the E2LSH baseline.
+struct E2lshOptions {
+  size_t K = 8;            ///< functions per compound hash
+  size_t L = 32;           ///< number of compound hash tables
+  double w = 1.0;          ///< base bucket width (shared with C2LSH runs)
+  double c = 2.0;          ///< approximation ratio / radius growth factor
+  size_t max_rounds = 12;  ///< radii in the schedule: {1, c, ..., c^(max_rounds-1)}
+  uint64_t seed = 1;
+  size_t page_bytes = 4096;
+  /// Verification budget per query, as a multiple of L (the classic E2LSH
+  /// "3L" rule). 0 disables the cap.
+  size_t verify_budget_per_table = 3;
+};
+
+/// Suggests (K, L) from the collision model: K = ceil(log_{1/p2} n) drives
+/// the false-positive rate below 1/n per table; L = ceil(n^rho / p1^K-ish)
+/// is clamped to `max_l` because the theoretical value is the impractical
+/// number the paper criticizes.
+E2lshOptions SuggestE2lshOptions(size_t n, const CollisionModel& model, size_t max_l = 256);
+
+/// Per-query statistics (same currency as C2lshQueryStats).
+struct E2lshQueryStats {
+  uint64_t rounds = 0;
+  long long final_radius = 0;
+  uint64_t buckets_probed = 0;
+  uint64_t candidates_verified = 0;
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// The E2LSH index.
+class E2lshIndex {
+ public:
+  static Result<E2lshIndex> Build(const Dataset& data, const E2lshOptions& options);
+
+  /// c-k-ANN query; returns up to k verified neighbors ascending by exact
+  /// distance. Not thread-safe (per-query scratch is reused).
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             E2lshQueryStats* stats = nullptr) const;
+
+  const E2lshOptions& options() const { return options_; }
+  size_t MemoryBytes() const;
+
+ private:
+  /// One physical hash table: (key, object) pairs sorted by key.
+  using KeyTable = std::vector<std::pair<uint64_t, ObjectId>>;
+
+  E2lshIndex(E2lshOptions options, std::vector<CompoundHash> hashes,
+             std::vector<std::vector<KeyTable>> tables, size_t num_objects, size_t dim);
+
+  E2lshOptions options_;
+  std::vector<CompoundHash> hashes_;              // L compound functions
+  std::vector<std::vector<KeyTable>> tables_;     // [round][table] -> KeyTable
+  std::vector<long long> radii_;                  // radius of each round
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  PageModel page_model_;
+
+  mutable std::vector<uint8_t> seen_;       // per-query dedup
+  mutable std::vector<ObjectId> touched_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_E2LSH_H_

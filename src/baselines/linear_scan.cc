@@ -1,0 +1,41 @@
+#include "src/baselines/linear_scan.h"
+
+#include <algorithm>
+
+namespace c2lsh {
+
+Result<NeighborList> LinearScan::Search(const Dataset& data, const float* query, size_t k,
+                                        LinearScanStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("LinearScan: k must be positive");
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  k = std::min(k, n);
+
+  NeighborList heap;  // max-heap on distance, worst at front
+  heap.reserve(k + 1);
+  NeighborLess less;
+  auto cmp = [&less](const Neighbor& a, const Neighbor& b) { return less(a, b); };
+  for (size_t i = 0; i < n; ++i) {
+    const double dist =
+        ComputeDistance(metric_, query, data.object(static_cast<ObjectId>(i)), d);
+    const Neighbor cand{static_cast<ObjectId>(i), static_cast<float>(dist)};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (less(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+
+  if (stats != nullptr) {
+    stats->distance_computations = n;
+    // A scan reads the data file sequentially once.
+    stats->data_pages = page_model_.PagesForBytes(n * d * sizeof(float));
+  }
+  return heap;
+}
+
+}  // namespace c2lsh

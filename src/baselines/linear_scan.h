@@ -1,0 +1,40 @@
+// Exact brute-force k-NN — the accuracy reference point and the cost
+// ceiling every approximate method is compared against.
+
+#ifndef C2LSH_BASELINES_LINEAR_SCAN_H_
+#define C2LSH_BASELINES_LINEAR_SCAN_H_
+
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/distance.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Statistics of one linear-scan query (trivially n distance computations;
+/// kept for symmetry with the approximate indexes).
+struct LinearScanStats {
+  uint64_t distance_computations = 0;
+  uint64_t data_pages = 0;  ///< sequential scan of the data file
+};
+
+/// Stateless exact scanner.
+class LinearScan {
+ public:
+  explicit LinearScan(Metric metric = Metric::kEuclidean,
+                      size_t page_bytes = kDefaultPageBytes)
+      : metric_(metric), page_model_(page_bytes) {}
+
+  /// Exact top-k, ascending by distance.
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              LinearScanStats* stats = nullptr) const;
+
+ private:
+  Metric metric_;
+  PageModel page_model_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_LINEAR_SCAN_H_

@@ -1,0 +1,92 @@
+#include "src/baselines/lsb/bptree.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/baselines/lsb/zorder.h"
+
+namespace c2lsh {
+
+int ZOrderBPlusTree::CompareKeys(const uint64_t* a, const uint64_t* b) const {
+  return ZOrderEncoder::Compare(a, b, key_words_);
+}
+
+Result<ZOrderBPlusTree> ZOrderBPlusTree::Build(size_t key_words,
+                                               std::vector<BuildEntry> entries,
+                                               size_t page_bytes) {
+  if (key_words == 0) {
+    return Status::InvalidArgument("ZOrderBPlusTree: key_words must be positive");
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("ZOrderBPlusTree: cannot build an empty tree");
+  }
+  for (const BuildEntry& e : entries) {
+    if (e.key.size() != key_words) {
+      return Status::InvalidArgument("ZOrderBPlusTree: inconsistent key width");
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [key_words](const BuildEntry& a, const BuildEntry& b) {
+              const int c = ZOrderEncoder::Compare(a.key.data(), b.key.data(), key_words);
+              if (c != 0) return c < 0;
+              return a.id < b.id;
+            });
+
+  ZOrderBPlusTree t(key_words, page_bytes);
+  t.keys_.reserve(entries.size() * key_words);
+  t.ids_.reserve(entries.size());
+  for (const BuildEntry& e : entries) {
+    t.keys_.insert(t.keys_.end(), e.key.begin(), e.key.end());
+    t.ids_.push_back(e.id);
+  }
+
+  const size_t entry_bytes = key_words * sizeof(uint64_t) + sizeof(ObjectId);
+  PageModel model(page_bytes);
+  t.leaf_capacity_ = std::max<size_t>(1, model.EntriesPerPage(entry_bytes));
+  // Internal node: separator key + child pointer per slot.
+  t.fanout_ = std::max<size_t>(
+      2, model.EntriesPerPage(key_words * sizeof(uint64_t) + sizeof(uint64_t)));
+
+  size_t nodes = (t.ids_.size() + t.leaf_capacity_ - 1) / t.leaf_capacity_;
+  t.height_ = 1;
+  while (nodes > 1) {
+    nodes = (nodes + t.fanout_ - 1) / t.fanout_;
+    ++t.height_;
+  }
+  return t;
+}
+
+size_t ZOrderBPlusTree::LowerBound(const uint64_t* probe, IoCounter* io) const {
+  size_t lo = 0;
+  size_t hi = size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareKeys(key(mid), probe) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (io != nullptr) {
+    io->AddIndexPages(height_);  // root-to-leaf descent
+  }
+  return lo;
+}
+
+void ZOrderBPlusTree::ChargeStep(size_t from, size_t to, IoCounter* io) const {
+  if (io == nullptr) return;
+  if (from / leaf_capacity_ != to / leaf_capacity_) {
+    io->AddIndexPages(1);  // crossed into the sibling leaf page
+  }
+}
+
+size_t ZOrderBPlusTree::MemoryBytes() const {
+  size_t bytes = keys_.size() * sizeof(uint64_t) + ids_.size() * sizeof(ObjectId);
+  // Separator hierarchy: roughly one key + pointer per leaf page, decaying
+  // geometrically up the levels — bounded by 2x the level-0 separators.
+  const size_t leaf_pages = (size() + leaf_capacity_ - 1) / leaf_capacity_;
+  bytes += 2 * leaf_pages * (key_words_ * sizeof(uint64_t) + sizeof(uint64_t));
+  return bytes;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,80 @@
+// A bulk-loaded B+-tree over fixed-width z-order keys.
+//
+// The LSB-tree stores its (z-order key, object id) pairs in a B+-tree so a
+// query can locate its own key's leaf position and then expand to
+// lexicographic neighbors. A bulk-loaded external B+-tree is, physically, a
+// sorted leaf-level array plus a small separator hierarchy; this class keeps
+// the leaf level as flat sorted arrays and models the separator hierarchy
+// through its page-accurate geometry (fanout, leaf capacity, height), which
+// every descent and sideways cursor move charges to the simulated page
+// model.
+
+#ifndef C2LSH_BASELINES_LSB_BPTREE_H_
+#define C2LSH_BASELINES_LSB_BPTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Bulk-loaded B+-tree over keys of `key_words` 64-bit words each.
+class ZOrderBPlusTree {
+ public:
+  /// One (key, id) entry used during construction.
+  struct BuildEntry {
+    std::vector<uint64_t> key;
+    ObjectId id = 0;
+  };
+
+  /// Builds from entries (sorted internally; ties broken by id). All keys
+  /// must have exactly `key_words` words.
+  static Result<ZOrderBPlusTree> Build(size_t key_words, std::vector<BuildEntry> entries,
+                                       size_t page_bytes = kDefaultPageBytes);
+
+  size_t size() const { return ids_.size(); }
+  size_t key_words() const { return key_words_; }
+
+  /// Levels from root to leaves, inclusive (>= 1).
+  size_t height() const { return height_; }
+
+  /// Entries per leaf page under the page model.
+  size_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// Key of the entry at `pos` (pointer into the flat key array).
+  const uint64_t* key(size_t pos) const { return keys_.data() + pos * key_words_; }
+  ObjectId id(size_t pos) const { return ids_[pos]; }
+
+  /// Index of the first entry with key >= `probe`, in [0, size()]. Charges
+  /// one page per tree level (root-to-leaf descent) to `io` when non-null.
+  size_t LowerBound(const uint64_t* probe, IoCounter* io = nullptr) const;
+
+  /// Charges the page cost of a cursor step from entry `from` to adjacent
+  /// entry `to`: free within a leaf page, one page when crossing into the
+  /// sibling leaf.
+  void ChargeStep(size_t from, size_t to, IoCounter* io) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  ZOrderBPlusTree(size_t key_words, size_t page_bytes)
+      : key_words_(key_words), page_model_(page_bytes) {}
+
+  int CompareKeys(const uint64_t* a, const uint64_t* b) const;
+
+  size_t key_words_;
+  PageModel page_model_;
+  size_t leaf_capacity_ = 1;
+  size_t fanout_ = 2;
+  size_t height_ = 1;
+
+  std::vector<uint64_t> keys_;  // size() * key_words_ words, sorted
+  std::vector<ObjectId> ids_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_LSB_BPTREE_H_

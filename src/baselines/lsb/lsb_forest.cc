@@ -1,0 +1,139 @@
+#include "src/baselines/lsb/lsb_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+Result<LsbForest> LsbForest::Build(const Dataset& data, const LsbForestOptions& options) {
+  LsbForestOptions resolved = options;
+  if (resolved.L == 0) {
+    // The paper's forest size: sqrt(d * n / B) trees.
+    const double b_entries = static_cast<double>(resolved.tree.page_bytes) / sizeof(float);
+    resolved.L = static_cast<size_t>(std::max(
+        1.0, std::ceil(std::sqrt(static_cast<double>(data.dim()) *
+                                 static_cast<double>(data.size()) / b_entries))));
+  }
+  if (resolved.c < 2.0) {
+    return Status::InvalidArgument("LSB-forest: c must be >= 2, got " +
+                                   std::to_string(resolved.c));
+  }
+
+  std::vector<LsbTree> trees;
+  trees.reserve(resolved.L);
+  for (size_t j = 0; j < resolved.L; ++j) {
+    LsbTreeOptions tree_opts = resolved.tree;
+    tree_opts.seed = SplitMix64(resolved.seed ^ (0xa0761d6478bd642fULL + j));
+    C2LSH_ASSIGN_OR_RETURN(LsbTree tree, LsbTree::Build(data, tree_opts));
+    trees.push_back(std::move(tree));
+  }
+  return LsbForest(resolved, std::move(trees), data.size(), data.dim());
+}
+
+Result<NeighborList> LsbForest::Query(const Dataset& data, const float* query, size_t k,
+                                      LsbQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("LSB-forest query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("LSB-forest query: dataset dim mismatch");
+  }
+  LsbQueryStats local;
+  LsbQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = LsbQueryStats();
+
+  if (seen_.size() < num_objects_) seen_.resize(num_objects_, 0);
+  for (ObjectId id : touched_) seen_[id] = 0;
+  touched_.clear();
+
+  IoCounter io;
+  std::vector<LsbTree::Expansion> exps;
+  exps.reserve(trees_.size());
+  for (const LsbTree& tree : trees_) {
+    exps.push_back(tree.StartExpansion(query, &io));
+  }
+
+  size_t budget = options_.candidate_budget;
+  if (budget == 0) {
+    // E2 default: four leaf pages of candidates per tree.
+    size_t per_tree = 1;
+    if (!trees_.empty()) {
+      const size_t entry_bytes =
+          trees_[0].encoder().key_words() * sizeof(uint64_t) + sizeof(ObjectId);
+      per_tree = std::max<size_t>(1, 4 * page_model_.EntriesPerPage(entry_bytes));
+    }
+    budget = per_tree * trees_.size();
+  }
+
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+
+  NeighborList found;
+  found.reserve(std::min(budget, num_objects_) + 1);
+
+  while (true) {
+    // Synchronized expansion: every round advances each tree's frontier by
+    // one entry (the paper's expansion order, one probe per tree per round).
+    // The round's tightest guarantee radius — the cell size the best frontier
+    // entry provably shares with the query — drives the E1 rule.
+    std::vector<LsbTree::Expansion::Item> sweep;
+    sweep.reserve(trees_.size());
+    for (auto& exp : exps) {
+      if (!exp.HasNext()) continue;
+      sweep.push_back(exp.Next(&io));
+      ++st->expansions;
+    }
+    if (sweep.empty()) break;
+    double frontier_radius = sweep.front().guarantee_radius;
+    for (const auto& item : sweep) {
+      frontier_radius = std::min(frontier_radius, item.guarantee_radius);
+    }
+
+    for (const auto& item : sweep) {
+      if (seen_[item.id] != 0) continue;
+      seen_[item.id] = 1;
+      touched_.push_back(item.id);
+      const double dist = L2(query, data.object(item.id), dim_);
+      found.push_back(Neighbor{item.id, static_cast<float>(dist)});
+      ++st->candidates_verified;
+      io.AddDataPages(vector_pages);
+    }
+
+    // E2: candidate budget exhausted.
+    if (found.size() >= budget) {
+      st->terminated_by_budget = true;
+      break;
+    }
+    // E1: the k-th best distance found is already inside the frontier's
+    // certified cell — entries not yet expanded share at most a coarser cell
+    // with the query, so deeper expansion is unlikely to improve the answer
+    // beyond the approximation ratio.
+    if (found.size() >= k) {
+      std::nth_element(found.begin(), found.begin() + (k - 1), found.end(),
+                       NeighborLess());
+      const double kth = found[k - 1].dist;
+      // The /2 keeps the rule conservative: the found answers must sit well
+      // inside the frontier's certified cell before expansion stops.
+      if (kth <= frontier_radius / 2.0) {
+        st->terminated_by_quality = true;
+        break;
+      }
+    }
+  }
+
+  st->index_pages = io.index_pages();
+  st->data_pages = io.data_pages();
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+size_t LsbForest::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const LsbTree& tree : trees_) bytes += tree.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace c2lsh

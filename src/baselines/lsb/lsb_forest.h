@@ -1,0 +1,85 @@
+// LSB-forest (Tao et al., SIGMOD 2009) — the baseline the C2LSH paper
+// compares against. L independent LSB-trees; a query expands all trees
+// simultaneously, always advancing the tree whose next entry has the longest
+// LLCP against that tree's query key, verifying candidates as they surface.
+//
+// Termination follows the paper's two rules, adapted to this page model:
+//   E1 (quality):  the current k-th best distance is at most c * r(level),
+//       where r(level) = w * 2^(v - level) is the grid side length the next
+//       candidate is guaranteed to share with the query — expanding further
+//       cannot beat it by more than the approximation ratio;
+//   E2 (budget):   a fixed candidate budget (default 4B/entry * L, i.e. four
+//       leaf pages per tree) has been verified.
+
+#ifndef C2LSH_BASELINES_LSB_LSB_FOREST_H_
+#define C2LSH_BASELINES_LSB_LSB_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/baselines/lsb/lsb_tree.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of an LSB-forest.
+struct LsbForestOptions {
+  LsbTreeOptions tree;   ///< per-tree settings (u, v, w, page size)
+  size_t L = 0;          ///< number of trees; 0 = sqrt(d*n/B) per the paper
+  double c = 2.0;        ///< approximation ratio for the E1 rule
+  size_t candidate_budget = 0;  ///< E2 rule; 0 = 4 leaf pages per tree
+  uint64_t seed = 1;
+};
+
+/// Per-query statistics.
+struct LsbQueryStats {
+  uint64_t candidates_verified = 0;
+  uint64_t expansions = 0;
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+  bool terminated_by_quality = false;  ///< E1 fired
+  bool terminated_by_budget = false;   ///< E2 fired
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// The LSB-forest index.
+class LsbForest {
+ public:
+  static Result<LsbForest> Build(const Dataset& data, const LsbForestOptions& options);
+
+  /// c-k-ANN query; returns up to k verified neighbors ascending by exact
+  /// distance. Not thread-safe (per-query dedup scratch is reused).
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             LsbQueryStats* stats = nullptr) const;
+
+  const LsbForestOptions& options() const { return options_; }
+  size_t num_trees() const { return trees_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  LsbForest(LsbForestOptions options, std::vector<LsbTree> trees, size_t num_objects,
+            size_t dim)
+      : options_(options),
+        trees_(std::move(trees)),
+        num_objects_(num_objects),
+        dim_(dim),
+        page_model_(options.tree.page_bytes),
+        seen_(num_objects, 0) {}
+
+  LsbForestOptions options_;
+  std::vector<LsbTree> trees_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  PageModel page_model_;
+
+  mutable std::vector<uint8_t> seen_;
+  mutable std::vector<ObjectId> touched_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_LSB_LSB_FOREST_H_

@@ -1,0 +1,112 @@
+#include "src/baselines/lsb/lsb_tree.h"
+
+#include <cmath>
+
+namespace c2lsh {
+
+Result<LsbTree> LsbTree::Build(const Dataset& data, const LsbTreeOptions& options) {
+  C2LSH_ASSIGN_OR_RETURN(
+      PStableFamily family,
+      PStableFamily::Sample(options.u, data.dim(), options.w, options.seed));
+
+  // Hash every object once; fit the grid to the observed range if v = 0.
+  std::vector<std::vector<BucketId>> all_comps(data.size());
+  BucketId min_b = 0;
+  BucketId max_b = 0;
+  bool first = true;
+  for (size_t i = 0; i < data.size(); ++i) {
+    family.BucketAll(data.object(static_cast<ObjectId>(i)), &all_comps[i]);
+    for (BucketId b : all_comps[i]) {
+      if (first || b < min_b) min_b = b;
+      if (first || b > max_b) max_b = b;
+      first = false;
+    }
+  }
+
+  size_t v = options.v;
+  int64_t bias = ZOrderEncoder::kCenterBias;
+  if (v == 0) {
+    // Fit: leave one grid cell of slack on each side for queries hashing
+    // slightly outside the data's range.
+    const int64_t range = max_b - min_b + 3;
+    v = 1;
+    while ((static_cast<int64_t>(1) << v) < range && v < 32) ++v;
+    bias = -min_b + 1;
+  }
+  C2LSH_ASSIGN_OR_RETURN(ZOrderEncoder encoder,
+                         ZOrderEncoder::Create(options.u, v, bias));
+
+  std::vector<ZOrderBPlusTree::BuildEntry> entries;
+  entries.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ZOrderBPlusTree::BuildEntry e;
+    e.key.resize(encoder.key_words());
+    encoder.Encode(all_comps[i], e.key.data());
+    e.id = static_cast<ObjectId>(i);
+    entries.push_back(std::move(e));
+  }
+  C2LSH_ASSIGN_OR_RETURN(
+      ZOrderBPlusTree tree,
+      ZOrderBPlusTree::Build(encoder.key_words(), std::move(entries), options.page_bytes));
+  return LsbTree(options, std::move(family), encoder, std::move(tree));
+}
+
+LsbTree::Expansion LsbTree::StartExpansion(const float* query, IoCounter* io) const {
+  Expansion e;
+  e.tree_ = this;
+  std::vector<BucketId> comps;
+  family_.BucketAll(query, &comps);
+  e.query_key_.resize(encoder_.key_words());
+  encoder_.Encode(comps, e.query_key_.data());
+
+  const size_t pos = tree_.LowerBound(e.query_key_.data(), io);
+  e.left_ = pos;             // entries [0, pos) to the left; next left is pos-1
+  e.right_ = pos;            // next right candidate is pos
+  return e;
+}
+
+bool LsbTree::Expansion::HasNext() const {
+  return left_ > 0 || right_ < tree_->tree_.size();
+}
+
+LsbTree::Expansion::Item LsbTree::Expansion::Next(IoCounter* io) {
+  const ZOrderBPlusTree& bt = tree_->tree_;
+  const size_t words = bt.key_words();
+  const size_t key_bits = tree_->encoder_.key_bits();
+
+  size_t llcp_left = 0;
+  size_t llcp_right = 0;
+  const bool have_left = left_ > 0;
+  const bool have_right = right_ < bt.size();
+  if (have_left) {
+    llcp_left = ZOrderEncoder::Llcp(query_key_.data(), bt.key(left_ - 1), words, key_bits);
+  }
+  if (have_right) {
+    llcp_right = ZOrderEncoder::Llcp(query_key_.data(), bt.key(right_), words, key_bits);
+  }
+
+  Item item{};
+  if (have_left && (!have_right || llcp_left >= llcp_right)) {
+    item.id = bt.id(left_ - 1);
+    item.llcp_bits = llcp_left;
+    if (left_ >= 2) bt.ChargeStep(left_ - 1, left_ - 2, io);
+    --left_;
+  } else {
+    item.id = bt.id(right_);
+    item.llcp_bits = llcp_right;
+    if (right_ + 1 < bt.size()) bt.ChargeStep(right_, right_ + 1, io);
+    ++right_;
+  }
+  item.level = tree_->encoder_.LevelForLlcp(item.llcp_bits);
+  const double v = static_cast<double>(tree_->encoder_.bits_per_component());
+  item.guarantee_radius =
+      tree_->options_.w * std::pow(2.0, v - static_cast<double>(item.level));
+  return item;
+}
+
+size_t LsbTree::MemoryBytes() const {
+  return tree_.MemoryBytes() +
+         options_.u * (family_.dim() * sizeof(float) + 2 * sizeof(double));
+}
+
+}  // namespace c2lsh

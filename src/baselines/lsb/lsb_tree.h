@@ -1,0 +1,95 @@
+// One LSB-tree (Tao et al., SIGMOD 2009): u p-stable projections, z-order
+// interleaving of the quantized projections, and a B+-tree over the keys.
+// A query locates its own key and expands bidirectionally; candidates with
+// longer LLCP against the query key come out first, and the LLCP *level*
+// (number of fully-agreed bit planes) lower-bounds how coarse a grid cell
+// the candidate shares with the query.
+
+#ifndef C2LSH_BASELINES_LSB_LSB_TREE_H_
+#define C2LSH_BASELINES_LSB_LSB_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/baselines/lsb/bptree.h"
+#include "src/baselines/lsb/zorder.h"
+#include "src/lsh/pstable.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of one LSB-tree (shared by all trees of a forest).
+struct LsbTreeOptions {
+  size_t u = 8;        ///< projections per tree (compound hash width)
+  /// Bits per quantized projection. 0 (the default) fits v and the encoding
+  /// bias to the observed bucket range at build time, so every bit plane of
+  /// the z-order key is discriminative — the paper sizes its grid to the
+  /// data domain the same way.
+  size_t v = 0;
+  double w = 1.0;      ///< projection bucket width
+  uint64_t seed = 1;
+  size_t page_bytes = 4096;
+};
+
+/// One LSB-tree.
+class LsbTree {
+ public:
+  static Result<LsbTree> Build(const Dataset& data, const LsbTreeOptions& options);
+
+  /// A bidirectional cursor around the query key's position, yielding
+  /// entries in decreasing-LLCP order (the better side is advanced first).
+  class Expansion {
+   public:
+    /// True while either direction still has entries.
+    bool HasNext() const;
+
+    /// Returns the next-best entry (object id) and its LLCP level against
+    /// the query key; advances the cursor. Charges page I/O to `io`.
+    struct Item {
+      ObjectId id;
+      size_t llcp_bits;
+      size_t level;  ///< encoder.LevelForLlcp(llcp_bits)
+      /// Side length of the grid cell this entry provably shares with the
+      /// query in every projection: w * 2^(v - level). Smaller = closer
+      /// (probabilistically); the forest's quality-termination rule compares
+      /// found distances against the frontier's radius.
+      double guarantee_radius;
+    };
+    Item Next(IoCounter* io);
+
+   private:
+    friend class LsbTree;
+    const LsbTree* tree_ = nullptr;
+    std::vector<uint64_t> query_key_;
+    size_t left_ = 0;    // next candidate on the left (index + 1; 0 = done)
+    size_t right_ = 0;   // next candidate on the right (size() = done)
+  };
+
+  /// Starts an expansion for `query`. Charges the B+-tree descent to `io`.
+  Expansion StartExpansion(const float* query, IoCounter* io = nullptr) const;
+
+  const ZOrderEncoder& encoder() const { return encoder_; }
+  const LsbTreeOptions& options() const { return options_; }
+  size_t size() const { return tree_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  LsbTree(LsbTreeOptions options, PStableFamily family, ZOrderEncoder encoder,
+          ZOrderBPlusTree tree)
+      : options_(options),
+        family_(std::move(family)),
+        encoder_(encoder),
+        tree_(std::move(tree)) {}
+
+  LsbTreeOptions options_;
+  PStableFamily family_;
+  ZOrderEncoder encoder_;
+  ZOrderBPlusTree tree_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_LSB_LSB_TREE_H_

@@ -1,0 +1,67 @@
+#include "src/baselines/lsb/zorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string>
+
+namespace c2lsh {
+
+Result<ZOrderEncoder> ZOrderEncoder::Create(size_t num_components,
+                                            size_t bits_per_component, int64_t bias) {
+  if (num_components == 0) {
+    return Status::InvalidArgument("ZOrderEncoder: need at least one component");
+  }
+  if (bits_per_component == 0 || bits_per_component > 32) {
+    return Status::InvalidArgument("ZOrderEncoder: bits_per_component must be in [1, 32], got " +
+                                   std::to_string(bits_per_component));
+  }
+  if (bias == kCenterBias) {
+    bias = static_cast<int64_t>(1) << (bits_per_component - 1);
+  }
+  return ZOrderEncoder(num_components, bits_per_component, bias);
+}
+
+void ZOrderEncoder::Encode(const std::vector<BucketId>& components, uint64_t* out) const {
+  std::memset(out, 0, words_ * sizeof(uint64_t));
+  const int64_t offset = bias_;
+  const int64_t max_val = (static_cast<int64_t>(1) << v_) - 1;
+
+  size_t bit_pos = 0;  // position from the msb of the whole key
+  // Interleave msb-first: bit-plane v-1 of every component, then plane v-2...
+  for (size_t plane = v_; plane-- > 0;) {
+    for (size_t comp = 0; comp < u_; ++comp) {
+      int64_t val = components[comp] + offset;
+      val = std::clamp<int64_t>(val, 0, max_val);
+      const uint64_t bit = (static_cast<uint64_t>(val) >> plane) & 1ULL;
+      if (bit != 0) {
+        out[bit_pos / 64] |= (1ULL << (63 - (bit_pos % 64)));
+      }
+      ++bit_pos;
+    }
+  }
+}
+
+int ZOrderEncoder::Compare(const uint64_t* a, const uint64_t* b, size_t words) {
+  for (size_t i = 0; i < words; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t ZOrderEncoder::Llcp(const uint64_t* a, const uint64_t* b, size_t words,
+                           size_t key_bits) {
+  size_t bits = 0;
+  for (size_t i = 0; i < words; ++i) {
+    const uint64_t diff = a[i] ^ b[i];
+    if (diff == 0) {
+      bits += 64;
+      continue;
+    }
+    bits += static_cast<size_t>(std::countl_zero(diff));
+    break;
+  }
+  return std::min(bits, key_bits);
+}
+
+}  // namespace c2lsh

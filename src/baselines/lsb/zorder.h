@@ -1,0 +1,67 @@
+// Z-order (Morton) encoding of compound LSH values — the key trick of the
+// LSB-tree (Tao et al., SIGMOD 2009): interleave the bits of the u component
+// hash values so that a long common key prefix implies closeness in *every*
+// component simultaneously, then index the keys with a B+-tree.
+
+#ifndef C2LSH_BASELINES_LSB_ZORDER_H_
+#define C2LSH_BASELINES_LSB_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/bucket_table.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Encodes u signed bucket ids, each quantized to v bits, into a
+/// bit-interleaved key of u*v bits packed msb-first into 64-bit words.
+class ZOrderEncoder {
+ public:
+  /// `bits_per_component` (v) must be in [1, 32]; `num_components` (u) >= 1.
+  /// `bias` is added to every component before encoding so the working range
+  /// is non-negative; the default recentres around 2^(v-1). LSB-tree fits
+  /// (v, bias) to the observed bucket range at build time so every bit plane
+  /// is discriminative.
+  static Result<ZOrderEncoder> Create(size_t num_components, size_t bits_per_component,
+                                      int64_t bias = kCenterBias);
+
+  /// Sentinel for "recentre at 2^(v-1)".
+  static constexpr int64_t kCenterBias = INT64_MIN;
+
+  size_t num_components() const { return u_; }
+  size_t bits_per_component() const { return v_; }
+  size_t key_bits() const { return u_ * v_; }
+  size_t key_words() const { return words_; }
+
+  /// Encodes the component vector (size u). Signed ids are recentred by
+  /// +2^(v-1) and clamped into [0, 2^v - 1]; clamping only affects points in
+  /// the extreme tails of the projections. Writes `key_words()` words.
+  void Encode(const std::vector<BucketId>& components, uint64_t* out) const;
+
+  /// Lexicographic comparison of two keys (both `key_words()` long).
+  static int Compare(const uint64_t* a, const uint64_t* b, size_t words);
+
+  /// Length in bits of the longest common prefix of two keys.
+  static size_t Llcp(const uint64_t* a, const uint64_t* b, size_t words, size_t key_bits);
+
+  /// The LSB "level" of a common prefix: how many of the v bit-planes are
+  /// fully agreed on by both keys. Level q means the two points fall in the
+  /// same cell of the grid at side length w * 2^(v - q) in all u projections.
+  size_t LevelForLlcp(size_t llcp_bits) const { return llcp_bits / u_; }
+
+  int64_t bias() const { return bias_; }
+
+ private:
+  ZOrderEncoder(size_t u, size_t v, int64_t bias)
+      : u_(u), v_(v), words_((u * v + 63) / 64), bias_(bias) {}
+
+  size_t u_;
+  size_t v_;
+  size_t words_;
+  int64_t bias_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_LSB_ZORDER_H_

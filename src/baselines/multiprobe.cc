@@ -1,0 +1,250 @@
+#include "src/baselines/multiprobe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+namespace {
+
+/// One element of the sorted boundary-distance array: perturbing coordinate
+/// `coord` by `delta` costs `score`.
+struct ZEntry {
+  double score;
+  size_t coord;
+  int8_t delta;
+};
+
+/// A candidate perturbation set: indices into the sorted z array.
+struct HeapSet {
+  double score;
+  std::vector<uint32_t> members;  // sorted ascending; last is the max
+
+  bool operator>(const HeapSet& other) const { return score > other.score; }
+};
+
+}  // namespace
+
+std::vector<Perturbation> GeneratePerturbations(const std::vector<double>& x_minus,
+                                                const std::vector<double>& x_plus,
+                                                size_t count) {
+  const size_t K = x_minus.size();
+  std::vector<Perturbation> out;
+  if (K == 0 || count == 0 || x_plus.size() != K) return out;
+
+  // Sorted boundary distances (the z array of the paper).
+  std::vector<ZEntry> z;
+  z.reserve(2 * K);
+  for (size_t i = 0; i < K; ++i) {
+    z.push_back(ZEntry{x_minus[i] * x_minus[i], i, -1});
+    z.push_back(ZEntry{x_plus[i] * x_plus[i], i, +1});
+  }
+  std::sort(z.begin(), z.end(),
+            [](const ZEntry& a, const ZEntry& b) { return a.score < b.score; });
+
+  auto set_score = [&](const std::vector<uint32_t>& members) {
+    double s = 0.0;
+    for (uint32_t idx : members) s += z[idx].score;
+    return s;
+  };
+  auto is_valid = [&](const std::vector<uint32_t>& members) {
+    // A set may not perturb the same coordinate twice (the +1 and -1 entries
+    // of one coordinate are mutually exclusive).
+    std::vector<uint8_t> used(K, 0);
+    for (uint32_t idx : members) {
+      if (used[z[idx].coord] != 0) return false;
+      used[z[idx].coord] = 1;
+    }
+    return true;
+  };
+
+  // Min-heap over candidate sets, seeded with {z_0}; shift and expand
+  // generate every set in non-decreasing score order (Lv et al., Sec. 4.2).
+  std::priority_queue<HeapSet, std::vector<HeapSet>, std::greater<HeapSet>> heap;
+  heap.push(HeapSet{z[0].score, {0}});
+  size_t guard = 0;
+  const size_t guard_limit = 64 * (count + 1) + 4 * K;
+
+  while (!heap.empty() && out.size() < count && ++guard < guard_limit) {
+    HeapSet top = heap.top();
+    heap.pop();
+    const uint32_t last = top.members.back();
+
+    // Shift: replace the max element with its successor.
+    if (last + 1 < z.size()) {
+      HeapSet shifted = top;
+      shifted.members.back() = last + 1;
+      shifted.score = set_score(shifted.members);
+      heap.push(std::move(shifted));
+      // Expand: additionally include the successor.
+      HeapSet expanded = top;
+      expanded.members.push_back(last + 1);
+      expanded.score = set_score(expanded.members);
+      heap.push(std::move(expanded));
+    }
+
+    if (!is_valid(top.members)) continue;
+    Perturbation p;
+    p.score = top.score;
+    p.deltas.assign(K, 0);
+    for (uint32_t idx : top.members) {
+      p.deltas[z[idx].coord] = z[idx].delta;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+MultiProbeIndex::MultiProbeIndex(MultiProbeOptions options,
+                                 std::vector<PStableFamily> families,
+                                 std::vector<std::vector<uint64_t>> mixers,
+                                 std::vector<KeyTable> tables, size_t num_objects,
+                                 size_t dim)
+    : options_(options),
+      families_(std::move(families)),
+      mixers_(std::move(mixers)),
+      tables_(std::move(tables)),
+      num_objects_(num_objects),
+      dim_(dim),
+      page_model_(options.page_bytes),
+      seen_(num_objects, 0) {}
+
+uint64_t MultiProbeIndex::KeyOf(size_t table, const std::vector<BucketId>& comps) const {
+  uint64_t h = mixers_[table].back();  // per-table salt
+  for (size_t i = 0; i < comps.size(); ++i) {
+    h = SplitMix64(h ^ (static_cast<uint64_t>(comps[i]) * mixers_[table][i]));
+  }
+  return h;
+}
+
+Result<MultiProbeIndex> MultiProbeIndex::Build(const Dataset& data,
+                                               const MultiProbeOptions& options) {
+  if (options.K == 0 || options.L == 0) {
+    return Status::InvalidArgument("MultiProbe: K and L must be positive");
+  }
+  if (!(options.w > 0.0)) {
+    return Status::InvalidArgument("MultiProbe: w must be positive");
+  }
+
+  std::vector<PStableFamily> families;
+  std::vector<std::vector<uint64_t>> mixers;
+  families.reserve(options.L);
+  mixers.reserve(options.L);
+  Rng mix_rng(SplitMix64(options.seed ^ 0x8e9d3ab11f5c7d23ULL));
+  for (size_t j = 0; j < options.L; ++j) {
+    C2LSH_ASSIGN_OR_RETURN(
+        PStableFamily fam,
+        PStableFamily::Sample(options.K, data.dim(), options.w,
+                              SplitMix64(options.seed + 31 * j + 1)));
+    families.push_back(std::move(fam));
+    std::vector<uint64_t> mix(options.K + 1);
+    for (auto& v : mix) v = mix_rng.Next64() | 1ULL;
+    mixers.push_back(std::move(mix));
+  }
+
+  std::vector<KeyTable> tables(options.L);
+  MultiProbeIndex probe_helper(options, std::move(families), std::move(mixers), {},
+                               data.size(), data.dim());
+  std::vector<BucketId> comps;
+  for (size_t j = 0; j < options.L; ++j) {
+    KeyTable& table = tables[j];
+    table.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      probe_helper.families_[j].BucketAll(data.object(static_cast<ObjectId>(i)), &comps);
+      table.emplace_back(probe_helper.KeyOf(j, comps), static_cast<ObjectId>(i));
+    }
+    std::sort(table.begin(), table.end());
+  }
+  probe_helper.tables_ = std::move(tables);
+  return probe_helper;
+}
+
+Result<NeighborList> MultiProbeIndex::Query(const Dataset& data, const float* query,
+                                            size_t k,
+                                            MultiProbeQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("MultiProbe query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("MultiProbe query: dataset dim mismatch");
+  }
+  MultiProbeQueryStats local;
+  MultiProbeQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = MultiProbeQueryStats();
+
+  if (seen_.size() < num_objects_) seen_.resize(num_objects_, 0);
+  for (ObjectId id : touched_) seen_[id] = 0;
+  touched_.clear();
+
+  const double w = options_.w;
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+  NeighborList found;
+
+  auto probe_key = [&](size_t table, uint64_t key) {
+    const KeyTable& kt = tables_[table];
+    auto lo = std::lower_bound(kt.begin(), kt.end(), std::make_pair(key, ObjectId{0}));
+    ++st->buckets_probed;
+    ++st->index_pages;
+    size_t entries = 0;
+    for (auto it = lo; it != kt.end() && it->first == key; ++it) {
+      ++entries;
+      const ObjectId id = it->second;
+      if (seen_[id] != 0) continue;
+      seen_[id] = 1;
+      touched_.push_back(id);
+      const double dist = L2(query, data.object(id), dim_);
+      found.push_back(Neighbor{id, static_cast<float>(dist)});
+      ++st->candidates_verified;
+      st->data_pages += vector_pages;
+    }
+    if (entries > 0) {
+      st->index_pages +=
+          page_model_.PagesForEntries(entries, sizeof(uint64_t) + sizeof(ObjectId));
+    }
+  };
+
+  std::vector<BucketId> comps;
+  std::vector<BucketId> perturbed;
+  for (size_t j = 0; j < tables_.size(); ++j) {
+    const PStableFamily& fam = families_[j];
+    fam.BucketAll(query, &comps);
+    probe_key(j, KeyOf(j, comps));  // home bucket
+
+    if (options_.num_probes == 0) continue;
+    // Boundary distances of the query within each component bucket.
+    std::vector<double> x_minus(options_.K), x_plus(options_.K);
+    for (size_t i = 0; i < options_.K; ++i) {
+      const double f = fam.function(i).Project(query);
+      const double pos = f - std::floor(f / w) * w;  // in [0, w)
+      x_minus[i] = pos;
+      x_plus[i] = w - pos;
+    }
+    const auto probes = GeneratePerturbations(x_minus, x_plus, options_.num_probes);
+    for (const Perturbation& p : probes) {
+      perturbed = comps;
+      for (size_t i = 0; i < options_.K; ++i) {
+        perturbed[i] += p.deltas[i];
+      }
+      probe_key(j, KeyOf(j, perturbed));
+    }
+  }
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+size_t MultiProbeIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const KeyTable& t : tables_) {
+    bytes += t.size() * sizeof(KeyTable::value_type);
+  }
+  bytes += families_.size() * options_.K * (dim_ * sizeof(float) + 2 * sizeof(double));
+  return bytes;
+}
+
+}  // namespace c2lsh

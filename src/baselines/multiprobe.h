@@ -1,0 +1,104 @@
+// Multi-Probe LSH (Lv et al., VLDB 2007) — the static concatenating
+// framework's answer to E2LSH's table blowup: instead of more tables, each
+// query also probes the *perturbed* buckets most likely to hold neighbors.
+//
+// For a compound hash G = (h_1..h_K), the query's projection f_i(q) sits at
+// known distances x_i(-1) (to the lower bucket boundary) and x_i(+1) (to the
+// upper) in each component. A perturbation vector assigns {-1, 0, +1} per
+// component; its score sum_i x_i(delta_i)^2 estimates how unlikely the
+// perturbed bucket is. The classic heap-based generation (sorted boundary
+// distances + shift/expand operations) enumerates perturbation sets in
+// non-decreasing score order; each query probes the home bucket plus the
+// T best perturbations per table.
+//
+// C2LSH's related-work comparison point: multi-probe cuts table count but
+// keeps K fixed per radius — it has no radius schedule, so its quality is
+// tied to a tuned w, whereas collision counting adapts R per query.
+
+#ifndef C2LSH_BASELINES_MULTIPROBE_H_
+#define C2LSH_BASELINES_MULTIPROBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lsh/pstable.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of a Multi-Probe LSH index.
+struct MultiProbeOptions {
+  size_t K = 8;        ///< functions per compound hash
+  size_t L = 8;        ///< tables (deliberately small; probes substitute)
+  double w = 16.0;     ///< bucket width — tuned to the data's NN scale
+  size_t num_probes = 16;  ///< extra buckets probed per table (T)
+  uint64_t seed = 1;
+  size_t page_bytes = 4096;
+};
+
+/// Per-query statistics.
+struct MultiProbeQueryStats {
+  uint64_t buckets_probed = 0;
+  uint64_t candidates_verified = 0;
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// One entry of a probing sequence (exposed for tests).
+struct Perturbation {
+  double score = 0.0;
+  /// delta per component in {-1, 0, +1}.
+  std::vector<int8_t> deltas;
+};
+
+/// Generates the `count` best perturbation vectors (excluding the empty
+/// one) for boundary distances `x_minus[i]` (to the lower boundary) and
+/// `x_plus[i]` (to the upper), in non-decreasing score order. Exposed so the
+/// generation algorithm is testable in isolation.
+std::vector<Perturbation> GeneratePerturbations(const std::vector<double>& x_minus,
+                                                const std::vector<double>& x_plus,
+                                                size_t count);
+
+/// The Multi-Probe LSH index.
+class MultiProbeIndex {
+ public:
+  static Result<MultiProbeIndex> Build(const Dataset& data,
+                                       const MultiProbeOptions& options);
+
+  /// k-ANN query: home bucket + num_probes perturbed buckets per table,
+  /// all colliders verified, top-k returned. Not thread-safe.
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             MultiProbeQueryStats* stats = nullptr) const;
+
+  const MultiProbeOptions& options() const { return options_; }
+  size_t MemoryBytes() const;
+
+ private:
+  using KeyTable = std::vector<std::pair<uint64_t, ObjectId>>;
+
+  MultiProbeIndex(MultiProbeOptions options, std::vector<PStableFamily> families,
+                  std::vector<std::vector<uint64_t>> mixers, std::vector<KeyTable> tables,
+                  size_t num_objects, size_t dim);
+
+  uint64_t KeyOf(size_t table, const std::vector<BucketId>& comps) const;
+
+  MultiProbeOptions options_;
+  std::vector<PStableFamily> families_;        // one K-function family per table
+  std::vector<std::vector<uint64_t>> mixers_;  // per-table key-mixing constants
+  std::vector<KeyTable> tables_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  PageModel page_model_;
+
+  mutable std::vector<uint8_t> seen_;
+  mutable std::vector<ObjectId> touched_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_MULTIPROBE_H_

@@ -1,0 +1,124 @@
+#include "src/baselines/srs/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace c2lsh {
+
+Result<KdTree> KdTree::Build(std::vector<float> points, size_t n, size_t dim) {
+  if (n == 0 || dim == 0) {
+    return Status::InvalidArgument("KdTree: n and dim must be positive");
+  }
+  if (points.size() != n * dim) {
+    return Status::InvalidArgument("KdTree: buffer size mismatch");
+  }
+  KdTree tree(std::move(points), n, dim);
+  tree.order_.resize(n);
+  std::iota(tree.order_.begin(), tree.order_.end(), 0u);
+  tree.nodes_.reserve(2 * (n / kLeafSize + 2));
+  tree.root_ = tree.BuildNode(0, static_cast<uint32_t>(n));
+  return tree;
+}
+
+int32_t KdTree::BuildNode(uint32_t begin, uint32_t end) {
+  Node node;
+  node.box_min.assign(dim_, std::numeric_limits<float>::max());
+  node.box_max.assign(dim_, std::numeric_limits<float>::lowest());
+  for (uint32_t i = begin; i < end; ++i) {
+    const float* p = point(order_[i]);
+    for (size_t j = 0; j < dim_; ++j) {
+      node.box_min[j] = std::min(node.box_min[j], p[j]);
+      node.box_max[j] = std::max(node.box_max[j], p[j]);
+    }
+  }
+
+  if (end - begin <= kLeafSize) {
+    node.begin = begin;
+    node.count = end - begin;
+    nodes_.push_back(std::move(node));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // Split at the median of the widest coordinate.
+  size_t widest = 0;
+  float width = -1.0f;
+  for (size_t j = 0; j < dim_; ++j) {
+    const float w = node.box_max[j] - node.box_min[j];
+    if (w > width) {
+      width = w;
+      widest = j;
+    }
+  }
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                   [&](uint32_t a, uint32_t b) {
+                     return point(a)[widest] < point(b)[widest];
+                   });
+  node.split_dim = static_cast<uint16_t>(widest);
+  node.split_val = point(order_[mid])[widest];
+
+  const int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double KdTree::MinSquaredDist(const Node& node, const float* q) const {
+  double acc = 0.0;
+  for (size_t j = 0; j < dim_; ++j) {
+    double d = 0.0;
+    if (q[j] < node.box_min[j]) {
+      d = static_cast<double>(node.box_min[j]) - q[j];
+    } else if (q[j] > node.box_max[j]) {
+      d = static_cast<double>(q[j]) - node.box_max[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+KdTree::Stream KdTree::StartStream(const float* query) const {
+  Stream s(this, std::vector<float>(query, query + dim_));
+  if (root_ >= 0) {
+    s.PushNode(root_);
+  }
+  return s;
+}
+
+void KdTree::Stream::PushNode(int32_t node_idx) {
+  const Node& node = tree_->nodes_[node_idx];
+  heap_.push(Entry{tree_->MinSquaredDist(node, query_.data()), node_idx, 0});
+}
+
+KdTree::Stream::Item KdTree::Stream::Next() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (top.node < 0) {
+      return Item{static_cast<ObjectId>(top.point), top.key};
+    }
+    const Node& node = tree_->nodes_[top.node];
+    if (node.is_leaf()) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t id = tree_->order_[node.begin + i];
+        const float* p = tree_->point(id);
+        double d = 0.0;
+        for (size_t j = 0; j < tree_->dim_; ++j) {
+          const double diff = static_cast<double>(p[j]) - query_[j];
+          d += diff * diff;
+        }
+        heap_.push(Entry{d, -1, id});
+      }
+    } else {
+      PushNode(node.left);
+      PushNode(node.right);
+    }
+  }
+  return Item{0, std::numeric_limits<double>::infinity()};  // exhausted
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,105 @@
+// A kd-tree over low-dimensional points with *incremental* nearest-neighbor
+// search (Hjaltason & Samet's best-first algorithm): the iterator yields
+// points in strictly non-decreasing distance from the query, pausing between
+// results. SRS projects high-dimensional data into ~6 dimensions, where a
+// kd-tree is effective, and consumes exactly this ordered stream.
+
+#ifndef C2LSH_BASELINES_SRS_KDTREE_H_
+#define C2LSH_BASELINES_SRS_KDTREE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// kd-tree over n points of (low) dimension d, coordinates owned internally.
+class KdTree {
+ public:
+  /// Builds from row-major points (n x dim). Median-split on the widest
+  /// coordinate, leaves of <= kLeafSize points.
+  static Result<KdTree> Build(std::vector<float> points, size_t n, size_t dim);
+
+  size_t size() const { return n_; }
+  size_t dim() const { return dim_; }
+
+  /// Incremental NN stream for one query. Next() yields (id, squared
+  /// distance) pairs in non-decreasing distance order until exhausted.
+  class Stream {
+   public:
+    bool HasNext() const { return !heap_.empty(); }
+
+    struct Item {
+      ObjectId id;
+      double squared_dist;
+    };
+    /// Pops the next-nearest point; expands internal nodes lazily.
+    Item Next();
+
+    /// Lower bound on the squared distance of every not-yet-yielded point
+    /// (the frontier key — a node's min-distance or a pending point's exact
+    /// distance). This is what SRS's early-termination test consumes.
+    /// Requires HasNext().
+    double PeekSquaredDist() const { return heap_.top().key; }
+
+   private:
+    friend class KdTree;
+    struct Entry {
+      double key;       // squared distance (point) or min squared dist (node)
+      int32_t node;     // -1 for a concrete point
+      uint32_t point;   // valid when node == -1
+      bool operator>(const Entry& other) const { return key > other.key; }
+    };
+
+    Stream(const KdTree* tree, std::vector<float> query)
+        : tree_(tree), query_(std::move(query)) {}
+
+    void PushNode(int32_t node_idx);
+
+    const KdTree* tree_ = nullptr;
+    std::vector<float> query_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  };
+
+  /// Starts a stream for `query` (dim() floats, copied).
+  Stream StartStream(const float* query) const;
+
+ private:
+  static constexpr size_t kLeafSize = 16;
+
+  struct Node {
+    // Internal: split coordinate/value and children. Leaf: point range.
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;   // leaf: first index into order_
+    uint32_t count = 0;   // leaf: number of points
+    uint16_t split_dim = 0;
+    float split_val = 0;
+    // Bounding box of the subtree, for mindist computation.
+    std::vector<float> box_min;
+    std::vector<float> box_max;
+
+    bool is_leaf() const { return left < 0 && right < 0; }
+  };
+
+  KdTree(std::vector<float> points, size_t n, size_t dim)
+      : points_(std::move(points)), n_(n), dim_(dim) {}
+
+  const float* point(uint32_t id) const { return points_.data() + id * dim_; }
+  int32_t BuildNode(uint32_t begin, uint32_t end);
+  double MinSquaredDist(const Node& node, const float* q) const;
+
+  std::vector<float> points_;
+  size_t n_;
+  size_t dim_;
+  std::vector<uint32_t> order_;  // permutation of ids, leaf ranges contiguous
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_SRS_KDTREE_H_

@@ -1,0 +1,137 @@
+#include "src/baselines/srs/srs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+Result<SrsIndex> SrsIndex::Build(const Dataset& data, const SrsOptions& options) {
+  if (options.projected_dim == 0 || options.projected_dim > 32) {
+    return Status::InvalidArgument("SRS: projected_dim must be in [1, 32] (a kd-tree "
+                                   "degrades beyond low dimensions)");
+  }
+  if (!(options.c > 1.0)) {
+    return Status::InvalidArgument("SRS: c must exceed 1");
+  }
+  if (!(options.threshold > 0.0 && options.threshold < 1.0)) {
+    return Status::InvalidArgument("SRS: threshold must lie in (0, 1)");
+  }
+  if (!(options.budget_fraction > 0.0 && options.budget_fraction <= 1.0)) {
+    return Status::InvalidArgument("SRS: budget_fraction must lie in (0, 1]");
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::vector<float>> projections(options.projected_dim);
+  for (auto& a : projections) {
+    rng.GaussianVector(data.dim(), &a);
+  }
+
+  std::vector<float> projected(data.size() * options.projected_dim);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float* v = data.object(static_cast<ObjectId>(i));
+    for (size_t j = 0; j < options.projected_dim; ++j) {
+      projected[i * options.projected_dim + j] =
+          static_cast<float>(Dot(projections[j].data(), v, data.dim()));
+    }
+  }
+  C2LSH_ASSIGN_OR_RETURN(
+      KdTree tree, KdTree::Build(std::move(projected), data.size(), options.projected_dim));
+  return SrsIndex(options, std::move(projections), std::move(tree), data.size(),
+                  data.dim());
+}
+
+Result<NeighborList> SrsIndex::Query(const Dataset& data, const float* query, size_t k,
+                                     SrsQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("SRS query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("SRS query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument("SRS query: dataset smaller than the index");
+  }
+  SrsQueryStats local;
+  SrsQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = SrsQueryStats();
+
+  const size_t m_proj = options_.projected_dim;
+  std::vector<float> qproj(m_proj);
+  for (size_t j = 0; j < m_proj; ++j) {
+    qproj[j] = static_cast<float>(Dot(projections_[j].data(), query, dim_));
+  }
+
+  const size_t budget = std::max<size_t>(
+      options_.min_budget,
+      static_cast<size_t>(options_.budget_fraction * static_cast<double>(num_objects_)));
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+  const int dof = static_cast<int>(m_proj);
+
+  KdTree::Stream stream = tree_.StartStream(qproj.data());
+  st->index_pages += 2;  // root descent of the (tiny) projected index
+
+  // Max-heap over the best k exact distances found so far.
+  NeighborList heap;
+  NeighborLess less;
+  auto cmp = [&less](const Neighbor& a, const Neighbor& b) { return less(a, b); };
+
+  while (stream.HasNext()) {
+    // Early termination: if even the k-th best so far is hard to beat by a
+    // factor c given the projected frontier, stop.
+    if (heap.size() >= k) {
+      const double frontier_sq = stream.PeekSquaredDist();
+      const double target = static_cast<double>(heap.front().dist) / options_.c;
+      if (target > 0.0) {
+        const double ratio = frontier_sq / (target * target);
+        if (ChiSquaredCdf(ratio, dof) >= options_.threshold) {
+          st->terminated_early = true;
+          break;
+        }
+      }
+    }
+    if (st->candidates_verified >= budget) {
+      st->terminated_budget = true;
+      break;
+    }
+
+    const KdTree::Stream::Item item = stream.Next();
+    ++st->stream_steps;
+    if (!std::isfinite(item.squared_dist)) break;
+    // One projected-index page per handful of stream steps (the kd-tree
+    // stores points 16 to a leaf; charge conservatively per step batch).
+    if (st->stream_steps % 16 == 1) ++st->index_pages;
+
+    const double dist = L2(query, data.object(item.id), dim_);
+    ++st->candidates_verified;
+    st->data_pages += vector_pages;
+
+    const Neighbor cand{item.id, static_cast<float>(dist)};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (less(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+size_t SrsIndex::MemoryBytes() const {
+  // Projected points + kd-tree order array + node boxes, plus the m'
+  // projection vectors. The dominant term is m' * n floats — the paper's
+  // "tiny index".
+  size_t bytes = num_objects_ * options_.projected_dim * sizeof(float);
+  bytes += num_objects_ * sizeof(uint32_t);
+  bytes += (num_objects_ / 8) * (2 * options_.projected_dim * sizeof(float) + 32);
+  for (const auto& a : projections_) bytes += a.size() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,95 @@
+// SRS (Sun, Wang, Qin, Zhang, Lin — PVLDB 2014): c-ANN with a *tiny* index.
+//
+// Project every object into m' ~ 6 dimensions with Gaussian projections.
+// The squared projected distance of a pair at true distance d is
+// d^2 * X with X ~ chi-squared(m'), so projected order statistics carry
+// calibrated information about true distances. The index is just the m'-d
+// points in a kd-tree — O(m' * n) space, an order of magnitude below any
+// hash-table scheme.
+//
+// Query: stream the projected points in increasing projected distance
+// (incremental kd-tree NN), verify each in the original space, and stop
+// when either
+//   (a) early-termination: the frontier's projected distance r satisfies
+//       ChiSquaredCdf(r^2 / (d_best/c)^2, m') >= threshold  — i.e. any
+//       unseen object closer than d_best/c would almost surely have
+//       projected inside the frontier already; or
+//   (b) the candidate budget t (a fraction of n) is exhausted.
+//
+// This is the evaluation-set baseline whose index is small and whose cost
+// is verification-dominated — the opposite end of the design space from
+// E2LSH, with C2LSH in between.
+
+#ifndef C2LSH_BASELINES_SRS_SRS_H_
+#define C2LSH_BASELINES_SRS_SRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/baselines/srs/kdtree.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of an SRS index.
+struct SrsOptions {
+  size_t projected_dim = 6;   ///< m' — the paper's default regime (6..10)
+  double c = 2.0;             ///< approximation ratio for early termination
+  double threshold = 0.9;     ///< early-termination confidence p_tau
+  /// Candidate budget as a fraction of n (paper's t = O(n) with a small
+  /// constant); 0.01 scans at most 1% of the data.
+  double budget_fraction = 0.01;
+  size_t min_budget = 100;    ///< absolute floor on the candidate budget
+  uint64_t seed = 1;
+  size_t page_bytes = 4096;
+};
+
+/// Per-query statistics.
+struct SrsQueryStats {
+  uint64_t candidates_verified = 0;
+  uint64_t stream_steps = 0;
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+  bool terminated_early = false;   ///< the chi-squared test fired
+  bool terminated_budget = false;  ///< the candidate budget fired
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// The SRS index.
+class SrsIndex {
+ public:
+  static Result<SrsIndex> Build(const Dataset& data, const SrsOptions& options);
+
+  /// c-k-ANN query; up to k neighbors ascending by exact distance.
+  /// Not thread-safe.
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             SrsQueryStats* stats = nullptr) const;
+
+  const SrsOptions& options() const { return options_; }
+  size_t MemoryBytes() const;
+
+ private:
+  SrsIndex(SrsOptions options, std::vector<std::vector<float>> projections,
+           KdTree tree, size_t num_objects, size_t dim)
+      : options_(options),
+        projections_(std::move(projections)),
+        tree_(std::move(tree)),
+        num_objects_(num_objects),
+        dim_(dim),
+        page_model_(options.page_bytes) {}
+
+  SrsOptions options_;
+  std::vector<std::vector<float>> projections_;  // m' Gaussian vectors
+  KdTree tree_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  PageModel page_model_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_BASELINES_SRS_SRS_H_

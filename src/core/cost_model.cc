@@ -1,0 +1,121 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/theory.h"
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+Result<DistanceProfile> SampleDistanceProfile(const Dataset& data, size_t num_queries,
+                                              size_t sample_per_query, size_t max_k,
+                                              uint64_t seed) {
+  if (num_queries == 0 || sample_per_query == 0 || max_k == 0) {
+    return Status::InvalidArgument("SampleDistanceProfile: sample sizes must be positive");
+  }
+  if (data.size() < 2) {
+    return Status::InvalidArgument("SampleDistanceProfile: dataset too small");
+  }
+  Rng rng(seed);
+  DistanceProfile profile;
+  profile.n = data.size();
+  profile.distances.reserve(num_queries * sample_per_query);
+
+  max_k = std::min(max_k, data.size() - 1);
+  std::vector<std::vector<double>> knn(num_queries);
+
+  const size_t dim = data.dim();
+  std::vector<float> query(dim);
+  for (size_t q = 0; q < num_queries; ++q) {
+    // Probe point: a jittered data row (matches how workloads are drawn).
+    const ObjectId base = static_cast<ObjectId>(rng.Index(data.size()));
+    for (size_t j = 0; j < dim; ++j) {
+      query[j] = data.object(base)[j] + static_cast<float>(rng.Gaussian(0.0, 1e-3));
+    }
+    // Random-object distance sample.
+    for (size_t s = 0; s < sample_per_query; ++s) {
+      const ObjectId o = static_cast<ObjectId>(rng.Index(data.size()));
+      profile.distances.push_back(L2(query.data(), data.object(o), dim));
+    }
+    // Exact k-NN distances for this probe (full scan; the profile is built
+    // once per dataset, not per query).
+    std::vector<double> dists(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      dists[i] = L2(query.data(), data.object(static_cast<ObjectId>(i)), dim);
+    }
+    std::partial_sort(dists.begin(), dists.begin() + max_k + 1, dists.end());
+    knn[q].assign(dists.begin(), dists.begin() + max_k + 1);
+  }
+
+  // Median k-NN distance over probes, per k. knn[q][0] is the base row
+  // itself (distance ~0), so the k-th NN estimate is knn[q][k].
+  profile.kth_nn_distance.resize(max_k);
+  std::vector<double> column(num_queries);
+  for (size_t k = 1; k <= max_k; ++k) {
+    for (size_t q = 0; q < num_queries; ++q) column[q] = knn[q][k];
+    std::nth_element(column.begin(), column.begin() + num_queries / 2, column.end());
+    profile.kth_nn_distance[k - 1] = column[num_queries / 2];
+  }
+  return profile;
+}
+
+Result<CostPrediction> PredictQueryCost(const C2lshDerived& derived,
+                                        const DistanceProfile& profile, size_t k) {
+  if (k == 0) return Status::InvalidArgument("PredictQueryCost: k must be positive");
+  if (profile.distances.empty() || profile.kth_nn_distance.empty() || profile.n == 0) {
+    return Status::InvalidArgument("PredictQueryCost: empty distance profile");
+  }
+  const size_t k_idx = std::min(k, profile.kth_nn_distance.size()) - 1;
+  const double kth_nn = profile.kth_nn_distance[k_idx];
+  const double w = derived.model.w;
+  const double c = derived.model.c;
+  const long long c_int = static_cast<long long>(std::llround(c));
+  const double n_over_sample =
+      static_cast<double>(profile.n) / static_cast<double>(profile.distances.size());
+  const double t2_budget =
+      static_cast<double>(k) + derived.beta * static_cast<double>(profile.n);
+
+  CostPrediction pred;
+  long long R = 1;
+  for (int round = 0; round < 48; ++round) {
+    pred.expected_rounds = static_cast<double>(round + 1);
+    pred.terminating_radius = R;
+
+    // Expected frequent objects at this radius, from the distance sample.
+    double expected_candidates = 0.0;
+    double expected_increments = 0.0;
+    for (double d : profile.distances) {
+      const double p = PStableCollisionProbability(d, w * static_cast<double>(R));
+      expected_candidates += BinomialTailGE(static_cast<int>(derived.m),
+                                            static_cast<int>(derived.l), p);
+      expected_increments += static_cast<double>(derived.m) * p;
+    }
+    expected_candidates *= n_over_sample;
+    expected_increments *= n_over_sample;
+    pred.expected_candidates = expected_candidates;
+    pred.expected_increments = expected_increments;
+
+    // T1: the k-th NN is within c*R and is itself frequent w.h.p. The
+    // per-object frequency guarantee (P1) applies once kth_nn <= R; between
+    // R and c*R the probability is lower but usually still dominant — the
+    // model uses the exact binomial at the k-th NN distance.
+    const double p_kth = PStableCollisionProbability(kth_nn, w * static_cast<double>(R));
+    const double freq_kth = BinomialTailGE(static_cast<int>(derived.m),
+                                           static_cast<int>(derived.l), p_kth);
+    if (kth_nn <= c * static_cast<double>(R) && freq_kth >= 0.5) {
+      pred.terminated_by_t1 = true;
+      break;
+    }
+    // T2: the candidate budget is expected to be exhausted.
+    if (expected_candidates >= t2_budget) {
+      break;
+    }
+    R *= c_int;
+  }
+  return pred;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,61 @@
+// Analytic query-cost model for C2LSH — the paper's complexity analysis made
+// executable. Given the derived parameters and an empirical sample of the
+// dataset's query-to-object distance distribution, predict per-query
+// behaviour (terminating radius, candidates verified, counter work) without
+// running a single query. The predictions are validated against measured
+// C2lshQueryStats in tests/cost_model_test.cc and surfaced to users through
+// the tuning_advisor example.
+
+#ifndef C2LSH_CORE_COST_MODEL_H_
+#define C2LSH_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/params.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+
+/// An empirical sample of query-to-object distances: for each sampled query
+/// point, the distances to a sample of data objects, plus the exact k-NN
+/// distance estimates the T1 prediction needs.
+struct DistanceProfile {
+  /// Pooled sampled distances (query, object) pairs.
+  std::vector<double> distances;
+  /// Estimated k-th nearest-neighbor distance for a typical query, indexed
+  /// by k-1 (computed for k up to `max_k`).
+  std::vector<double> kth_nn_distance;
+  size_t n = 0;  ///< dataset cardinality the sample represents
+};
+
+/// Samples a profile: `num_queries` probe points (jittered data rows) each
+/// measured against `sample_per_query` random objects plus an exact scan for
+/// the k-NN distances (up to max_k). Deterministic given `seed`.
+Result<DistanceProfile> SampleDistanceProfile(const Dataset& data, size_t num_queries,
+                                              size_t sample_per_query, size_t max_k,
+                                              uint64_t seed);
+
+/// The model's per-query predictions.
+struct CostPrediction {
+  long long terminating_radius = 1;  ///< first R with >= k frequent objects
+                                     ///< within c*R (T1), or budget hit (T2)
+  double expected_rounds = 0.0;
+  /// Expected objects whose collision count reaches l by the terminating
+  /// round (the verification / random-I/O driver).
+  double expected_candidates = 0.0;
+  /// Expected counter increments summed over rounds (the CPU driver):
+  /// n * m * p(d; w*R_final) averaged over the distance sample.
+  double expected_increments = 0.0;
+  bool terminated_by_t1 = false;
+};
+
+/// Evaluates the model for a query load asking for k neighbors.
+Result<CostPrediction> PredictQueryCost(const C2lshDerived& derived,
+                                        const DistanceProfile& profile, size_t k);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_COST_MODEL_H_

@@ -1,0 +1,63 @@
+// CollisionCounter: per-query collision counts over all object ids with
+// O(1) reset between queries (epoch trick — no O(n) clear).
+
+#ifndef C2LSH_CORE_COUNTER_H_
+#define C2LSH_CORE_COUNTER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Counts, per object, how many of the m hash tables currently collide with
+/// the query. Counts are monotone within a query (intervals only grow) and
+/// reset lazily between queries.
+class CollisionCounter {
+ public:
+  explicit CollisionCounter(size_t n) : counts_(n, 0), epochs_(n, 0) {}
+
+  /// Grows capacity to cover ids < n (dynamic inserts).
+  void EnsureCapacity(size_t n) {
+    if (n > counts_.size()) {
+      counts_.resize(n, 0);
+      epochs_.resize(n, 0);
+    }
+  }
+
+  /// Starts a new query: all counts read as zero afterwards, O(1).
+  void NewQuery() {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: do the rare O(n) clear
+      std::fill(epochs_.begin(), epochs_.end(), 0);
+      std::fill(counts_.begin(), counts_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Adds one collision for `id`; returns the new count.
+  uint32_t Increment(ObjectId id) {
+    if (epochs_[id] != epoch_) {
+      epochs_[id] = epoch_;
+      counts_[id] = 0;
+    }
+    return ++counts_[id];
+  }
+
+  /// Current count for `id` in this query.
+  uint32_t Count(ObjectId id) const { return epochs_[id] == epoch_ ? counts_[id] : 0; }
+
+  size_t capacity() const { return counts_.size(); }
+
+ private:
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> epochs_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_COUNTER_H_

@@ -1,0 +1,385 @@
+#include "src/core/disk_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/core/virtual_rehash.h"
+#include "src/storage/blob.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0xC25D1234;
+
+Status WriteSuperblock(BufferPool* pool, PageId meta_root) {
+  C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->Fetch(1));
+  std::memcpy(page.mutable_data(), &meta_root, sizeof(meta_root));
+  return Status::OK();
+}
+
+Result<PageId> ReadSuperblock(BufferPool* pool) {
+  C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->Fetch(1));
+  PageId meta_root = 0;
+  std::memcpy(&meta_root, page.data(), sizeof(meta_root));
+  if (meta_root == 0) {
+    return Status::Corruption("DiskC2lshIndex: empty superblock");
+  }
+  return meta_root;
+}
+
+}  // namespace
+
+Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
+                                             const C2lshOptions& options,
+                                             const std::string& path,
+                                             size_t pool_pages, bool store_vectors) {
+  C2LSH_ASSIGN_OR_RETURN(C2lshDerived derived, ComputeDerivedParams(options, data.size()));
+  long long radius_cap = 1;
+  const long long c_int = static_cast<long long>(std::llround(options.c));
+  for (int i = 0; i < options.max_radius_exponent; ++i) radius_cap *= c_int;
+  C2LSH_ASSIGN_OR_RETURN(
+      PStableFamily family,
+      PStableFamily::Sample(derived.m, data.dim(), options.w, options.seed,
+                            static_cast<double>(radius_cap)));
+
+  DiskC2lshIndex index;
+  C2LSH_ASSIGN_OR_RETURN(PageFile file, PageFile::Create(path, options.page_bytes));
+  index.file_ = std::make_unique<PageFile>(std::move(file));
+  C2LSH_ASSIGN_OR_RETURN(BufferPool pool,
+                         BufferPool::Create(index.file_.get(), pool_pages));
+  index.pool_ = std::make_unique<BufferPool>(std::move(pool));
+
+  // Reserve the superblock (page 1).
+  {
+    PageId sb = 0;
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, index.pool_->NewPage(&sb));
+    (void)page;
+    if (sb != 1) {
+      return Status::Internal("DiskC2lshIndex: superblock landed on page " +
+                              std::to_string(sb));
+    }
+  }
+
+  // Data segment: the raw vectors, packed back to back across a contiguous
+  // run of pages, so the index file is self-contained and verification I/O
+  // is measured through the pool.
+  if (store_vectors) {
+    const size_t total_bytes = data.size() * data.dim() * sizeof(float);
+    const size_t page_bytes = index.pool_->page_bytes();
+    const auto* src = reinterpret_cast<const uint8_t*>(data.vectors().data().data());
+    size_t offset = 0;
+    while (offset < total_bytes || index.first_data_page_ == 0) {
+      PageId id = 0;
+      C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, index.pool_->NewPage(&id));
+      if (index.first_data_page_ == 0) {
+        index.first_data_page_ = id;
+      } else if (id != index.first_data_page_ + offset / page_bytes) {
+        return Status::Internal("DiskC2lshIndex: data pages not contiguous");
+      }
+      const size_t chunk = std::min(page_bytes, total_bytes - offset);
+      std::memcpy(page.mutable_data(), src + offset, chunk);
+      offset += chunk;
+      if (offset >= total_bytes) break;
+    }
+  }
+
+  // Tables.
+  std::vector<PageId> roots;
+  roots.reserve(derived.m);
+  for (size_t i = 0; i < derived.m; ++i) {
+    const std::vector<BucketId> buckets = family.BucketColumn(data.vectors(), i);
+    std::vector<std::pair<BucketId, ObjectId>> pairs;
+    pairs.reserve(buckets.size());
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      pairs.emplace_back(buckets[r], static_cast<ObjectId>(r));
+    }
+    C2LSH_ASSIGN_OR_RETURN(DiskBucketTable table,
+                           DiskBucketTable::Build(index.pool_.get(), std::move(pairs)));
+    roots.push_back(table.root());
+    index.tables_.push_back(std::move(table));
+  }
+
+  // Meta blob.
+  ByteBuffer meta;
+  meta.Put(kMetaMagic);
+  meta.Put(options.w);
+  meta.Put(options.c);
+  meta.Put(options.delta);
+  meta.Put(options.beta);
+  meta.Put(options.max_radius_exponent);
+  meta.Put(options.seed);
+  meta.Put(static_cast<uint64_t>(options.page_bytes));
+  meta.Put(derived.model.w);
+  meta.Put(derived.model.c);
+  meta.Put(derived.model.p1);
+  meta.Put(derived.model.p2);
+  meta.Put(derived.model.rho);
+  meta.Put(derived.beta);
+  meta.Put(derived.z);
+  meta.Put(derived.alpha);
+  meta.Put(static_cast<uint64_t>(derived.m));
+  meta.Put(static_cast<uint64_t>(derived.l));
+  meta.Put(static_cast<uint64_t>(data.size()));
+  meta.Put(static_cast<uint64_t>(data.dim()));
+  meta.Put(radius_cap);
+  meta.Put(static_cast<uint64_t>(index.first_data_page_));
+  for (size_t i = 0; i < derived.m; ++i) {
+    const PStableHash& h = family.function(i);
+    meta.PutArray(h.a().data(), h.a().size());
+    meta.Put(h.b());
+    meta.Put(h.w());
+  }
+  meta.PutArray(roots.data(), roots.size());
+  C2LSH_ASSIGN_OR_RETURN(PageId meta_root, WriteBlob(index.pool_.get(), meta.bytes()));
+  C2LSH_RETURN_IF_ERROR(WriteSuperblock(index.pool_.get(), meta_root));
+  C2LSH_RETURN_IF_ERROR(index.pool_->FlushAll());
+
+  index.options_ = options;
+  index.derived_ = derived;
+  index.num_objects_ = data.size();
+  index.dim_ = data.dim();
+  index.radius_cap_ = radius_cap;
+  index.family_ = std::make_unique<PStableFamily>(std::move(family));
+  index.counter_.EnsureCapacity(index.num_objects_);
+  index.verified_.assign(index.num_objects_, 0);
+  index.pool_->ResetStats();
+  return index;
+}
+
+Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool_pages) {
+  DiskC2lshIndex index;
+  C2LSH_ASSIGN_OR_RETURN(PageFile file, PageFile::Open(path));
+  index.file_ = std::make_unique<PageFile>(std::move(file));
+  C2LSH_ASSIGN_OR_RETURN(BufferPool pool,
+                         BufferPool::Create(index.file_.get(), pool_pages));
+  index.pool_ = std::make_unique<BufferPool>(std::move(pool));
+
+  C2LSH_ASSIGN_OR_RETURN(PageId meta_root, ReadSuperblock(index.pool_.get()));
+  C2LSH_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                         ReadBlob(index.pool_.get(), meta_root));
+  ByteReader r(&bytes);
+  uint32_t magic = 0;
+  uint64_t page_bytes = 0, m64 = 0, l64 = 0, n64 = 0, dim64 = 0;
+  bool ok = r.Get(&magic) && magic == kMetaMagic;
+  ok = ok && r.Get(&index.options_.w) && r.Get(&index.options_.c) &&
+       r.Get(&index.options_.delta) && r.Get(&index.options_.beta) &&
+       r.Get(&index.options_.max_radius_exponent) && r.Get(&index.options_.seed) &&
+       r.Get(&page_bytes);
+  uint64_t first_data_page = 0;
+  ok = ok && r.Get(&index.derived_.model.w) && r.Get(&index.derived_.model.c) &&
+       r.Get(&index.derived_.model.p1) && r.Get(&index.derived_.model.p2) &&
+       r.Get(&index.derived_.model.rho) && r.Get(&index.derived_.beta) &&
+       r.Get(&index.derived_.z) && r.Get(&index.derived_.alpha) && r.Get(&m64) &&
+       r.Get(&l64) && r.Get(&n64) && r.Get(&dim64) && r.Get(&index.radius_cap_) &&
+       r.Get(&first_data_page);
+  if (!ok) {
+    return Status::Corruption("DiskC2lshIndex: bad meta blob in '" + path + "'");
+  }
+  index.options_.page_bytes = static_cast<size_t>(page_bytes);
+  index.derived_.m = static_cast<size_t>(m64);
+  index.derived_.l = static_cast<size_t>(l64);
+  index.num_objects_ = static_cast<size_t>(n64);
+  index.dim_ = static_cast<size_t>(dim64);
+  index.first_data_page_ = static_cast<PageId>(first_data_page);
+
+  std::vector<PStableHash> funcs;
+  funcs.reserve(index.derived_.m);
+  for (size_t i = 0; i < index.derived_.m; ++i) {
+    std::vector<float> a(index.dim_);
+    double b = 0, w = 0;
+    if (!r.GetArray(a.data(), a.size()) || !r.Get(&b) || !r.Get(&w)) {
+      return Status::Corruption("DiskC2lshIndex: truncated hash functions");
+    }
+    C2LSH_ASSIGN_OR_RETURN(PStableHash h, PStableHash::FromParts(std::move(a), b, w));
+    funcs.push_back(std::move(h));
+  }
+  C2LSH_ASSIGN_OR_RETURN(PStableFamily family,
+                         PStableFamily::FromFunctions(std::move(funcs)));
+  index.family_ = std::make_unique<PStableFamily>(std::move(family));
+
+  std::vector<PageId> roots(index.derived_.m);
+  if (!r.GetArray(roots.data(), roots.size()) || !r.exhausted()) {
+    return Status::Corruption("DiskC2lshIndex: truncated table roots");
+  }
+  for (PageId root : roots) {
+    C2LSH_ASSIGN_OR_RETURN(DiskBucketTable table,
+                           DiskBucketTable::Load(index.pool_.get(), root));
+    index.tables_.push_back(std::move(table));
+  }
+  index.counter_.EnsureCapacity(index.num_objects_);
+  index.verified_.assign(index.num_objects_, 0);
+  index.pool_->ResetStats();
+  return index;
+}
+
+Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out) const {
+  const size_t page_bytes = pool_->page_bytes();
+  const size_t vec_bytes = dim_ * sizeof(float);
+  size_t byte_off = static_cast<size_t>(id) * vec_bytes;
+  auto* dst = reinterpret_cast<uint8_t*>(out);
+  size_t copied = 0;
+  while (copied < vec_bytes) {
+    const PageId page_id = first_data_page_ + (byte_off / page_bytes);
+    const size_t in_page = byte_off % page_bytes;
+    const size_t chunk = std::min(page_bytes - in_page, vec_bytes - copied);
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id));
+    std::memcpy(dst + copied, page.data() + in_page, chunk);
+    copied += chunk;
+    byte_off += chunk;
+  }
+  return Status::OK();
+}
+
+Result<NeighborList> DiskC2lshIndex::Query(const float* query, size_t k,
+                                           DiskQueryStats* stats) const {
+  if (first_data_page_ == 0) {
+    return Status::NotSupported(
+        "DiskC2LSH: this index was built without a data segment; pass the Dataset "
+        "to Query or rebuild with store_vectors = true");
+  }
+  return RunDiskQuery(nullptr, query, k, stats);
+}
+
+Result<NeighborList> DiskC2lshIndex::Query(const Dataset& data, const float* query,
+                                           size_t k, DiskQueryStats* stats) const {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("DiskC2LSH query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument("DiskC2LSH query: dataset smaller than the index");
+  }
+  return RunDiskQuery(&data, query, k, stats);
+}
+
+Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const float* query,
+                                                  size_t k, DiskQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("DiskC2LSH query: k must be positive");
+  DiskQueryStats local;
+  DiskQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = DiskQueryStats();
+  const BufferPoolStats pool_before = pool_->stats();
+
+  counter_.NewQuery();
+  counter_.EnsureCapacity(num_objects_);
+  if (verified_.size() < num_objects_) verified_.resize(num_objects_, 0);
+  for (ObjectId id : touched_) verified_[id] = 0;
+  touched_.clear();
+
+  const size_t m = tables_.size();
+  const uint32_t l = static_cast<uint32_t>(derived_.l);
+  const long long c_int = static_cast<long long>(std::llround(derived_.model.c));
+  const size_t t2_threshold = std::min<size_t>(
+      num_objects_,
+      k + static_cast<size_t>(
+              std::ceil(derived_.beta * static_cast<double>(num_objects_))));
+
+  std::vector<BucketId> qbuckets;
+  family_->BucketAll(query, &qbuckets);
+
+  std::vector<BucketRange> prev(m);
+  NeighborList found;
+  found.reserve(t2_threshold + m);
+  const PageModel data_model(options_.page_bytes);
+  const uint64_t vector_pages = data_model.PagesPerVector(dim_);
+  vector_buf_.resize(dim_);
+  uint64_t data_misses = 0;
+
+  auto interval = [&](BucketId qb, long long R) -> BucketRange {
+    if (R > radius_cap_) {
+      constexpr BucketId kLo = std::numeric_limits<BucketId>::min() / 4;
+      constexpr BucketId kHi = std::numeric_limits<BucketId>::max() / 4;
+      return BucketRange{kLo, kHi};
+    }
+    return QueryIntervalAtRadius(qb, R);
+  };
+
+  Status scan_status;
+  auto scan_range = [&](const DiskBucketTable& table, const BucketRange& range) {
+    if (range.empty() || !scan_status.ok()) return;
+    Result<size_t> visited =
+        table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+          ++st->base.collision_increments;
+          if (verified_[id] != 0) return;
+          if (counter_.Increment(id) == l) {
+            verified_[id] = 1;
+            touched_.push_back(id);
+            const float* vec = nullptr;
+            if (data != nullptr) {
+              vec = data->object(id);
+              st->base.data_pages += vector_pages;  // modelled (external data)
+            } else {
+              const uint64_t misses_before = pool_->stats().misses;
+              if (Status s = ReadStoredVector(id, vector_buf_.data()); !s.ok()) {
+                scan_status = s;
+                return;
+              }
+              data_misses += pool_->stats().misses - misses_before;
+              vec = vector_buf_.data();
+            }
+            const double dist = L2(query, vec, dim_);
+            found.push_back(Neighbor{id, static_cast<float>(dist)});
+            ++st->base.candidates_verified;
+          }
+        });
+    if (!visited.ok()) {
+      scan_status = visited.status();
+      return;
+    }
+    st->base.buckets_scanned += visited.value();
+  };
+
+  long long R = 1;
+  while (true) {
+    ++st->base.rounds;
+    st->base.final_radius = R;
+    bool all_covered = true;
+    for (size_t i = 0; i < m; ++i) {
+      const BucketRange next = interval(qbuckets[i], R);
+      const RangeDelta delta = ComputeRangeDelta(prev[i], next);
+      scan_range(tables_[i], delta.left);
+      scan_range(tables_[i], delta.right);
+      if (!scan_status.ok()) return scan_status;
+      prev[i] = next;
+      if (tables_[i].num_buckets() > 0 &&
+          tables_[i].EntriesInRange(next.lo, next.hi) < tables_[i].num_entries()) {
+        all_covered = false;
+      }
+    }
+
+    const double cr = derived_.model.c * static_cast<double>(R);
+    size_t within = 0;
+    for (const Neighbor& nb : found) {
+      if (nb.dist <= cr) ++within;
+      if (within >= k) break;
+    }
+    if (within >= k) {
+      st->base.terminated_by_t1 = true;
+      break;
+    }
+    if (found.size() >= t2_threshold) {
+      st->base.terminated_by_t2 = true;
+      break;
+    }
+    if (all_covered) break;
+    R *= c_int;
+  }
+
+  const BufferPoolStats pool_after = pool_->stats();
+  st->pool_hits = pool_after.hits - pool_before.hits;
+  st->pool_misses = pool_after.misses - pool_before.misses;
+  // Measured, not simulated: pool misses split into index probes and (when
+  // the data segment serves verification) vector reads.
+  st->base.index_pages = st->pool_misses - data_misses;
+  if (data == nullptr) {
+    st->base.data_pages = data_misses;
+  }
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+}  // namespace c2lsh

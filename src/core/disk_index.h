@@ -1,0 +1,122 @@
+// DiskC2lshIndex: the external-memory deployment the paper describes —
+// hash tables resident in a PageFile, queried through an LRU BufferPool
+// whose misses ARE the I/O cost (no simulation).
+//
+// File layout (one PageFile):
+//   page 0   PageFile header
+//   page 1   superblock: [meta blob root: u64]
+//   ...      per-table entry pages + directory blobs (DiskBucketTable)
+//   ...      meta blob: options, derived params, hash functions, table roots
+//
+// The query algorithm is identical to C2lshIndex (incremental virtual
+// rehashing, T1/T2 termination); candidate vectors live with the caller's
+// Dataset, and their fetch cost is charged via the analytic model as in the
+// in-memory index (the paper likewise separates index I/O from the one
+// random data access per candidate).
+
+#ifndef C2LSH_CORE_DISK_INDEX_H_
+#define C2LSH_CORE_DISK_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/counter.h"
+#include "src/core/index.h"
+#include "src/core/params.h"
+#include "src/lsh/pstable.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_bucket_table.h"
+#include "src/storage/page_file.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+
+namespace c2lsh {
+
+/// Query statistics with measured pool I/O.
+struct DiskQueryStats {
+  C2lshQueryStats base;   ///< rounds, candidates, etc. index_pages here is
+                          ///< the MEASURED pool-miss count.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+};
+
+/// The disk-resident C2LSH index.
+class DiskC2lshIndex {
+ public:
+  /// Builds the index over `data` into a fresh page file at `path`.
+  /// `pool_pages` is the buffer-pool capacity used for both build and
+  /// queries (the paper's experiments fix a small constant buffer).
+  /// When `store_vectors` is true (the default) the raw vectors are written
+  /// into a data segment of the same file, making the index fully
+  /// self-contained: queries need no external Dataset and every candidate
+  /// verification is a *measured* page access — the complete external-memory
+  /// deployment of the paper.
+  static Result<DiskC2lshIndex> Build(const Dataset& data, const C2lshOptions& options,
+                                      const std::string& path, size_t pool_pages = 256,
+                                      bool store_vectors = true);
+
+  /// Reopens an index built by Build.
+  static Result<DiskC2lshIndex> Open(const std::string& path, size_t pool_pages = 256);
+
+  /// c-k-ANN query against the stored data segment. Requires the index to
+  /// have been built with store_vectors = true. Not thread-safe.
+  Result<NeighborList> Query(const float* query, size_t k,
+                             DiskQueryStats* stats = nullptr) const;
+
+  /// c-k-ANN query verifying against the caller's dataset (works with or
+  /// without a stored data segment); identical answers to the in-memory
+  /// C2lshIndex built with the same options/seed. Not thread-safe.
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             DiskQueryStats* stats = nullptr) const;
+
+  bool has_stored_vectors() const { return first_data_page_ != 0; }
+
+  const C2lshOptions& options() const { return options_; }
+  const C2lshDerived& derived() const { return derived_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t dim() const { return dim_; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Pages in the file — the on-disk index size.
+  uint64_t FilePages() const { return file_->num_pages(); }
+
+  /// Cumulative pool statistics (reset by ResetPoolStats).
+  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
+  void ResetPoolStats() { pool_->ResetStats(); }
+
+ private:
+  DiskC2lshIndex() = default;
+
+  /// Shared query loop. `data` may be null when vectors are stored.
+  Result<NeighborList> RunDiskQuery(const Dataset* data, const float* query, size_t k,
+                                    DiskQueryStats* stats) const;
+
+  /// Reads object `id`'s vector from the data segment into `out`
+  /// (dim_ floats), charging the pool.
+  Status ReadStoredVector(ObjectId id, float* out) const;
+
+  C2lshOptions options_;
+  C2lshDerived derived_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  long long radius_cap_ = 1;
+  PageId first_data_page_ = 0;  ///< 0 = no data segment
+
+  // Order matters: tables_ hold raw pool pointers, pool_ holds a raw file
+  // pointer; destruction must run tables -> pool -> file.
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<PStableFamily> family_;
+  std::vector<DiskBucketTable> tables_;
+
+  // Per-query scratch.
+  mutable CollisionCounter counter_{0};
+  mutable std::vector<uint8_t> verified_;
+  mutable std::vector<ObjectId> touched_;
+  mutable std::vector<float> vector_buf_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_DISK_INDEX_H_

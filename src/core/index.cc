@@ -1,0 +1,488 @@
+#include "src/core/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+C2lshIndex::C2lshIndex(C2lshOptions options, C2lshDerived derived, PStableFamily family,
+                       std::vector<BucketTable> tables, size_t num_objects, size_t dim,
+                       long long radius_cap)
+    : options_(options),
+      derived_(derived),
+      family_(std::move(family)),
+      tables_(std::move(tables)),
+      num_objects_(num_objects),
+      dim_(dim),
+      radius_cap_(radius_cap),
+      page_model_(options.page_bytes) {}
+
+BucketRange C2lshIndex::IntervalForRadius(BucketId query_bucket, long long R) const {
+  if (R > radius_cap_) {
+    // Exhaustive fallback round: past the radius schedule the offsets no
+    // longer randomize the grid anchor, so probe everything. This round
+    // raises every object's count to m, which terminates the query.
+    constexpr BucketId kLo = std::numeric_limits<BucketId>::min() / 4;
+    constexpr BucketId kHi = std::numeric_limits<BucketId>::max() / 4;
+    return BucketRange{kLo, kHi};
+  }
+  return QueryIntervalAtRadius(query_bucket, R);
+}
+
+Result<C2lshIndex> C2lshIndex::Build(const Dataset& data, const C2lshOptions& options,
+                                     size_t num_threads) {
+  C2LSH_ASSIGN_OR_RETURN(C2lshDerived derived, ComputeDerivedParams(options, data.size()));
+  // Offsets span the whole radius schedule (see C2lshOptions::
+  // max_radius_exponent): b* ~ U[0, w * c^{t*}).
+  long long radius_cap = 1;
+  const long long c_int = static_cast<long long>(std::llround(options.c));
+  for (int i = 0; i < options.max_radius_exponent; ++i) radius_cap *= c_int;
+  C2LSH_ASSIGN_OR_RETURN(
+      PStableFamily family,
+      PStableFamily::Sample(derived.m, data.dim(), options.w, options.seed,
+                            static_cast<double>(radius_cap)));
+
+  std::vector<BucketTable> tables(derived.m);
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, derived.m);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (size_t i = t; i < derived.m; i += num_threads) {
+        const std::vector<BucketId> buckets = family.BucketColumn(data.vectors(), i);
+        std::vector<std::pair<BucketId, ObjectId>> pairs;
+        pairs.reserve(buckets.size());
+        for (size_t r = 0; r < buckets.size(); ++r) {
+          pairs.emplace_back(buckets[r], static_cast<ObjectId>(r));
+        }
+        tables[i] = BucketTable::Build(std::move(pairs));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  return C2lshIndex(options, derived, std::move(family), std::move(tables), data.size(),
+                    data.dim(), radius_cap);
+}
+
+Result<C2lshIndex> C2lshIndex::FromParts(const C2lshOptions& options,
+                                         const C2lshDerived& derived,
+                                         PStableFamily family,
+                                         std::vector<BucketTable> tables,
+                                         size_t num_objects, size_t dim,
+                                         long long radius_cap) {
+  if (tables.size() != family.size() || tables.size() != derived.m) {
+    return Status::InvalidArgument("C2lshIndex::FromParts: table/function count mismatch");
+  }
+  if (dim != family.dim()) {
+    return Status::InvalidArgument("C2lshIndex::FromParts: dim mismatch");
+  }
+  if (radius_cap < 1) {
+    return Status::InvalidArgument("C2lshIndex::FromParts: radius_cap must be >= 1");
+  }
+  return C2lshIndex(options, derived, std::move(family), std::move(tables), num_objects,
+                    dim, radius_cap);
+}
+
+Result<NeighborList> C2lshIndex::Query(const Dataset& data, const float* query, size_t k,
+                                       C2lshQueryStats* stats) const {
+  return RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_);
+}
+
+Result<NeighborList> C2lshIndex::FilteredQuery(
+    const Dataset& data, const float* query, size_t k,
+    const std::function<bool(ObjectId)>& filter, C2lshQueryStats* stats) const {
+  if (!filter) {
+    return Status::InvalidArgument("FilteredQuery: filter must be callable");
+  }
+  return RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_, &filter);
+}
+
+Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* query, size_t k,
+                                          long long max_radius, C2lshQueryStats* stats,
+                                          C2lshQueryScratch* scratch,
+                                          const std::function<bool(ObjectId)>* filter) const {
+  if (k == 0) return Status::InvalidArgument("C2LSH query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("C2LSH query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument(
+        "C2LSH query: dataset has fewer objects than the index — pass the dataset the "
+        "index was built on (plus any inserted rows)");
+  }
+  C2lshQueryStats local_stats;
+  C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
+  *st = C2lshQueryStats();
+
+  CollisionCounter& counter = scratch->counter;
+  std::vector<uint8_t>& verified = scratch->verified;
+  std::vector<ObjectId>& touched = scratch->touched;
+  counter.NewQuery();
+  counter.EnsureCapacity(num_objects_);
+  if (verified.size() < num_objects_) verified.resize(num_objects_, 0);
+  for (ObjectId id : touched) verified[id] = 0;
+  touched.clear();
+
+  const size_t m = tables_.size();
+  const uint32_t l = static_cast<uint32_t>(derived_.l);
+  const double c = derived_.model.c;
+  const long long c_int = static_cast<long long>(std::llround(c));
+  // T2 threshold: k + beta*n candidates, capped at the live object count so
+  // the loop always terminates (full coverage verifies everyone).
+  const size_t t2_threshold = std::min<size_t>(
+      num_objects_,
+      k + static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(num_objects_))));
+
+  std::vector<BucketId> qbuckets;
+  family_.BucketAll(query, &qbuckets);
+
+  std::vector<BucketRange> prev(m);  // default-constructed = empty
+  NeighborList found;
+  found.reserve(t2_threshold + m);
+
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+
+  // I/O model: the per-table bucket directories are memory-resident (they
+  // are tiny — the paper keeps them cached the same way), so a round charges
+  // only the entry pages it actually reads; the one-time descent into each
+  // table is charged below, once per query.
+  st->index_pages += tables_.size();
+
+  auto scan_range = [&](const BucketTable& table, const BucketRange& range) {
+    if (range.empty()) return;
+    const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
+    if (range_entries > 0) {
+      st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
+    }
+    const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      ++st->collision_increments;
+      if (verified[id] != 0) return;  // already a verified candidate
+      if (counter.Increment(id) == l) {
+        verified[id] = 1;
+        touched.push_back(id);
+        if (filter != nullptr && !(*filter)(id)) {
+          return;  // rejected at the verification gate: no distance computed
+        }
+        const double dist = L2(query, data.object(id), dim_);
+        found.push_back(Neighbor{id, static_cast<float>(dist)});
+        ++st->candidates_verified;
+        st->data_pages += vector_pages;
+      }
+    });
+    st->buckets_scanned += visited;
+  };
+
+  long long R = 1;
+  bool exhausted = false;
+  while (true) {
+    ++st->rounds;
+    st->final_radius = R;
+
+    bool all_covered = true;
+    for (size_t i = 0; i < m; ++i) {
+      const BucketRange next = IntervalForRadius(qbuckets[i], R);
+      const RangeDelta delta = ComputeRangeDelta(prev[i], next);
+      scan_range(tables_[i], delta.left);
+      scan_range(tables_[i], delta.right);
+      prev[i] = next;
+      // Coverage test: once the interval spans every bucket the table holds,
+      // further rounds cannot add collisions from this table.
+      if (tables_[i].num_buckets() > 0 &&
+          tables_[i].EntriesInRange(next.lo, next.hi) < tables_[i].num_entries()) {
+        all_covered = false;
+      }
+    }
+
+    // T1: enough verified candidates within distance c*R.
+    const double cr = c * static_cast<double>(R);
+    size_t within = 0;
+    for (const Neighbor& nb : found) {
+      if (nb.dist <= cr) ++within;
+      if (within >= k) break;
+    }
+    if (within >= k) {
+      st->terminated_by_t1 = true;
+      break;
+    }
+    // T2: the false-positive budget is exhausted.
+    if (found.size() >= t2_threshold) {
+      st->terminated_by_t2 = true;
+      break;
+    }
+    if (all_covered) {
+      exhausted = true;  // every object has been counted in every table
+      break;
+    }
+    if (max_radius > 0 && R >= max_radius) break;
+    R *= c_int;
+  }
+  (void)exhausted;
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* query,
+                                            double radius,
+                                            C2lshQueryStats* stats) const {
+  if (!(radius > 0.0)) {
+    return Status::InvalidArgument("RangeQuery: radius must be positive");
+  }
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("RangeQuery: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument("RangeQuery: dataset smaller than the index");
+  }
+  C2lshQueryStats local_stats;
+  C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
+  *st = C2lshQueryStats();
+
+  C2lshQueryScratch* scratch = &scratch_;
+  CollisionCounter& counter = scratch->counter;
+  std::vector<uint8_t>& verified = scratch->verified;
+  std::vector<ObjectId>& touched = scratch->touched;
+  counter.NewQuery();
+  counter.EnsureCapacity(num_objects_);
+  if (verified.size() < num_objects_) verified.resize(num_objects_, 0);
+  for (ObjectId id : touched) verified[id] = 0;
+  touched.clear();
+
+  const size_t m = tables_.size();
+  const uint32_t l = static_cast<uint32_t>(derived_.l);
+  const long long c_int = static_cast<long long>(std::llround(derived_.model.c));
+
+  std::vector<BucketId> qbuckets;
+  family_.BucketAll(query, &qbuckets);
+  std::vector<BucketRange> prev(m);
+  NeighborList found;
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+  st->index_pages += tables_.size();
+
+  auto scan_range = [&](const BucketTable& table, const BucketRange& range) {
+    if (range.empty()) return;
+    const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
+    if (range_entries > 0) {
+      st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
+    }
+    const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      ++st->collision_increments;
+      if (verified[id] != 0) return;
+      if (counter.Increment(id) == l) {
+        verified[id] = 1;
+        touched.push_back(id);
+        const double dist = L2(query, data.object(id), dim_);
+        ++st->candidates_verified;
+        st->data_pages += vector_pages;
+        if (dist <= radius) {
+          found.push_back(Neighbor{id, static_cast<float>(dist)});
+        }
+      }
+    });
+    st->buckets_scanned += visited;
+  };
+
+  // Run every round up to the first scheduled R >= radius: at that level an
+  // in-range object's collision probability is >= p1 per table, so P1's
+  // recall bound applies.
+  long long R = 1;
+  while (true) {
+    ++st->rounds;
+    st->final_radius = R;
+    for (size_t i = 0; i < m; ++i) {
+      const BucketRange next = IntervalForRadius(qbuckets[i], R);
+      const RangeDelta delta = ComputeRangeDelta(prev[i], next);
+      scan_range(tables_[i], delta.left);
+      scan_range(tables_[i], delta.right);
+      prev[i] = next;
+    }
+    if (static_cast<double>(R) >= radius || R > radius_cap_) break;
+    R *= c_int;
+  }
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  return found;
+}
+
+Result<std::vector<NeighborList>> C2lshIndex::BatchQuery(const Dataset& data,
+                                                         const FloatMatrix& queries,
+                                                         size_t k,
+                                                         size_t num_threads) const {
+  if (queries.dim() != dim_) {
+    return Status::InvalidArgument("BatchQuery: query dim mismatch");
+  }
+  const size_t nq = queries.num_rows();
+  std::vector<NeighborList> results(nq);
+  std::vector<Status> errors(nq);
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(nq, 1));
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Searcher searcher(this);
+      for (size_t q = t; q < nq; q += num_threads) {
+        Result<NeighborList> r = searcher.Query(data, queries.row(q), k);
+        if (r.ok()) {
+          results[q] = std::move(r).value();
+        } else {
+          errors[q] = r.status();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return results;
+}
+
+Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* query,
+                                           long long R, C2lshQueryStats* stats) const {
+  if (R <= 0) return Status::InvalidArgument("DecisionQuery: R must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("DecisionQuery: dataset dim mismatch");
+  }
+  C2lshQueryStats local_stats;
+  C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
+  *st = C2lshQueryStats();
+  st->rounds = 1;
+  st->final_radius = R;
+
+  CollisionCounter& counter = scratch_.counter;
+  counter.NewQuery();
+  counter.EnsureCapacity(num_objects_);
+
+  std::vector<BucketId> qbuckets;
+  family_.BucketAll(query, &qbuckets);
+
+  const uint32_t l = static_cast<uint32_t>(derived_.l);
+  const double cr = derived_.model.c * static_cast<double>(R);
+  const size_t fp_budget = 1 + static_cast<size_t>(std::ceil(
+                                   derived_.beta * static_cast<double>(num_objects_)));
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+
+  Neighbor best{0, std::numeric_limits<float>::infinity()};
+  bool have_hit = false;
+  size_t verified = 0;
+
+  for (size_t i = 0; i < tables_.size() && !have_hit && verified < fp_budget; ++i) {
+    const BucketRange range = IntervalForRadius(qbuckets[i], R);
+    ++st->index_pages;  // per-table descent
+    const size_t range_entries = tables_[i].EntriesInRange(range.lo, range.hi);
+    if (range_entries > 0) {
+      st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
+    }
+    tables_[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      ++st->collision_increments;
+      if (have_hit || verified >= fp_budget) return;
+      if (counter.Increment(id) == l) {
+        const double dist = L2(query, data.object(id), dim_);
+        ++verified;
+        ++st->candidates_verified;
+        st->data_pages += vector_pages;
+        if (dist <= cr) {
+          best = Neighbor{id, static_cast<float>(dist)};
+          have_hit = true;
+        }
+      }
+    });
+  }
+  st->buckets_scanned = st->collision_increments;
+  if (have_hit) return best;
+  return Status::NotFound("no object within distance c*R surfaced at radius " +
+                          std::to_string(R));
+}
+
+std::vector<uint32_t> C2lshIndex::CollisionCountsAtRadius(const float* query,
+                                                          long long R) const {
+  std::vector<uint32_t> counts(num_objects_, 0);
+  std::vector<BucketId> qbuckets;
+  family_.BucketAll(query, &qbuckets);
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    const BucketRange range = IntervalForRadius(qbuckets[i], R);
+    tables_[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      if (id < counts.size()) ++counts[id];
+    });
+  }
+  return counts;
+}
+
+Status C2lshIndex::Insert(ObjectId id, const float* v) {
+  std::vector<BucketId> buckets;
+  family_.BucketAll(v, &buckets);
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    tables_[i].Insert(buckets[i], id);
+  }
+  if (static_cast<size_t>(id) + 1 > num_objects_) {
+    num_objects_ = static_cast<size_t>(id) + 1;
+  }
+  return Status::OK();
+}
+
+Status C2lshIndex::Delete(ObjectId id) {
+  if (static_cast<size_t>(id) >= num_objects_) {
+    return Status::NotFound("Delete: object id " + std::to_string(id) +
+                            " was never registered with this index");
+  }
+  for (BucketTable& table : tables_) {
+    table.Delete(id);
+  }
+  return Status::OK();
+}
+
+void C2lshIndex::Compact() {
+  for (BucketTable& table : tables_) {
+    table.Compact();
+  }
+}
+
+C2lshIndex::IndexStats C2lshIndex::ComputeStats() const {
+  IndexStats s;
+  s.num_tables = tables_.size();
+  if (tables_.empty()) return s;
+  s.entries_per_table = tables_.front().num_entries();
+  s.min_buckets = std::numeric_limits<size_t>::max();
+  double bucket_sum = 0.0;
+  double mean_size_sum = 0.0;
+  for (const BucketTable& table : tables_) {
+    const size_t buckets = table.num_buckets();
+    bucket_sum += static_cast<double>(buckets);
+    s.min_buckets = std::min(s.min_buckets, buckets);
+    s.max_buckets = std::max(s.max_buckets, buckets);
+    if (buckets > 0) {
+      mean_size_sum +=
+          static_cast<double>(table.num_entries()) / static_cast<double>(buckets);
+    }
+    s.max_bucket_size = std::max(s.max_bucket_size, table.MaxBucketSize());
+    s.overlay_entries += table.OverlayEntries();
+  }
+  s.mean_buckets_per_table = bucket_sum / static_cast<double>(tables_.size());
+  s.mean_bucket_size = mean_size_sum / static_cast<double>(tables_.size());
+  return s;
+}
+
+size_t C2lshIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const BucketTable& table : tables_) {
+    bytes += table.MemoryBytes();
+  }
+  // Hash functions: the projection vector plus (b, w) per function.
+  bytes += tables_.size() * (dim_ * sizeof(float) + 2 * sizeof(double));
+  return bytes;
+}
+
+}  // namespace c2lsh

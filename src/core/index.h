@@ -1,0 +1,222 @@
+// C2lshIndex — the paper's primary contribution.
+//
+// Indexing: sample m i.i.d. p-stable functions and build one BucketTable per
+// function over the base buckets h_i(o).
+//
+// Query (c-k-ANN): run rounds at radii R = 1, c, c^2, ... Each round widens
+// every table's probe interval to the query's level-R bucket (virtual
+// rehashing; the widening is incremental because intervals nest) and
+// increments per-object collision counters. An object whose count reaches
+// the threshold l becomes a *candidate* and its exact distance is verified
+// immediately. The round ends with the paper's two termination tests:
+//   T1: >= k verified candidates lie within distance c*R  -> answer found;
+//   T2: >= k + beta*n candidates were verified in total    -> answer found.
+// Otherwise R <- c*R. Returns the k closest verified candidates.
+//
+// The index is decoupled from vector storage: it maps ids to buckets only,
+// and verification distances are computed against the Dataset passed to
+// Query. Dynamic inserts/deletes go through the tables' delta overlays.
+
+#ifndef C2LSH_CORE_INDEX_H_
+#define C2LSH_CORE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/counter.h"
+#include "src/core/params.h"
+#include "src/core/virtual_rehash.h"
+#include "src/lsh/pstable.h"
+#include "src/storage/bucket_table.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Per-query execution statistics, the raw material of every figure in the
+/// evaluation.
+struct C2lshQueryStats {
+  uint64_t rounds = 0;                 ///< virtual-rehashing rounds executed
+  long long final_radius = 0;          ///< R of the terminating round
+  uint64_t collision_increments = 0;   ///< counter updates performed
+  uint64_t candidates_verified = 0;    ///< exact distance computations
+  uint64_t buckets_scanned = 0;        ///< base buckets visited
+  uint64_t index_pages = 0;            ///< simulated index I/O (pages)
+  uint64_t data_pages = 0;             ///< simulated verification I/O (pages)
+  bool terminated_by_t1 = false;       ///< which condition fired
+  bool terminated_by_t2 = false;
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// Reusable per-query scratch space. One instance per thread; see
+/// C2lshIndex::Searcher for the thread-safe query API.
+struct C2lshQueryScratch {
+  CollisionCounter counter{0};
+  std::vector<uint8_t> verified;
+  std::vector<ObjectId> touched;
+  std::vector<BucketId> qbuckets;
+};
+
+/// The C2LSH index.
+class C2lshIndex {
+ public:
+  /// Builds the index over `data` (only ids and hashes are retained — keep
+  /// the dataset alive and pass it to Query for verification).
+  /// `num_threads = 0` builds tables in parallel with hardware concurrency.
+  static Result<C2lshIndex> Build(const Dataset& data, const C2lshOptions& options,
+                                  size_t num_threads = 0);
+
+  /// c-k-ANN query. Returns up to k neighbors sorted by ascending exact
+  /// distance. `stats` may be null. Not thread-safe: this convenience entry
+  /// point reuses one internal scratch; concurrent callers must each use
+  /// their own Searcher instead.
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             C2lshQueryStats* stats = nullptr) const;
+
+  /// A lightweight per-thread query handle. The index itself is immutable
+  /// during queries, so any number of Searchers may run concurrently — each
+  /// owns its scratch. The Searcher must not outlive the index.
+  class Searcher {
+   public:
+    explicit Searcher(const C2lshIndex* index) : index_(index) {}
+
+    /// Same contract as C2lshIndex::Query, safe to call concurrently with
+    /// other Searchers.
+    Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                               C2lshQueryStats* stats = nullptr) {
+      return index_->RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_);
+    }
+
+   private:
+    const C2lshIndex* index_;
+    C2lshQueryScratch scratch_;
+  };
+
+  /// Runs one query per row of `queries` across `num_threads` threads
+  /// (0 = hardware concurrency), each thread using its own Searcher.
+  /// Returns one NeighborList per query row, in order.
+  Result<std::vector<NeighborList>> BatchQuery(const Dataset& data,
+                                               const FloatMatrix& queries, size_t k,
+                                               size_t num_threads = 0) const;
+
+  /// Filtered c-k-ANN: like Query, but only objects for which
+  /// `filter(id)` returns true may be verified or returned (predicate
+  /// push-down — deleted-but-not-compacted rows, tenant isolation, time
+  /// windows). Filtered-out objects still participate in collision counting
+  /// (their hashes are in the tables) but are skipped at the verification
+  /// gate, so the filter adds no distance computations for rejected ids.
+  /// The k+beta*n candidate budget counts only accepted objects. Not
+  /// thread-safe.
+  Result<NeighborList> FilteredQuery(const Dataset& data, const float* query, size_t k,
+                                     const std::function<bool(ObjectId)>& filter,
+                                     C2lshQueryStats* stats = nullptr) const;
+
+  /// Approximate range query: returns every object within distance `radius`
+  /// of the query that becomes frequent by the round at R >= radius —
+  /// per-object recall >= 1 - delta by property P1 (an object at distance
+  /// <= radius collides >= l times once R >= radius w.h.p.). Results are
+  /// sorted ascending by exact distance; false positives are filtered by
+  /// verification, so precision is exact. Not thread-safe.
+  Result<NeighborList> RangeQuery(const Dataset& data, const float* query, double radius,
+                                  C2lshQueryStats* stats = nullptr) const;
+
+  /// The (R, c)-NN decision primitive (Definition 2.2 of the LSH
+  /// literature): a single round at fixed radius R. Returns a verified
+  /// object within distance c*R if the round surfaces one, NotFound
+  /// otherwise (which is a correct answer whenever no object lies within R).
+  Result<Neighbor> DecisionQuery(const Dataset& data, const float* query, long long R,
+                                 C2lshQueryStats* stats = nullptr) const;
+
+  /// Collision counts of every object against `query` at exactly radius R —
+  /// the quantity properties P1/P2 speak about. For property tests and the
+  /// threshold-ablation bench. Costs one pass over the query's intervals.
+  std::vector<uint32_t> CollisionCountsAtRadius(const float* query, long long R) const;
+
+  /// Dynamic insert: registers object `id` with vector `v` (d floats) in all
+  /// m tables' delta overlays. The caller's dataset must expose `id` by the
+  /// time Query runs.
+  Status Insert(ObjectId id, const float* v);
+
+  /// Dynamic delete: tombstones `id` in all tables.
+  Status Delete(ObjectId id);
+
+  /// Folds overlays and tombstones back into the flat tables.
+  void Compact();
+
+  /// Reassembles an index from its serialized parts (core/serialize.h).
+  /// The parts must be mutually consistent (m tables matching the family's
+  /// size); basic consistency is validated.
+  static Result<C2lshIndex> FromParts(const C2lshOptions& options,
+                                      const C2lshDerived& derived, PStableFamily family,
+                                      std::vector<BucketTable> tables, size_t num_objects,
+                                      size_t dim, long long radius_cap);
+
+  const C2lshOptions& options() const { return options_; }
+  const C2lshDerived& derived() const { return derived_; }
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_objects() const { return num_objects_; }
+  size_t dim() const { return dim_; }
+  long long radius_cap() const { return radius_cap_; }
+  const PStableFamily& family() const { return family_; }
+  const BucketTable& table(size_t i) const { return tables_[i]; }
+
+  /// Resident index bytes (tables + hash functions), for the T2 experiment.
+  size_t MemoryBytes() const;
+
+  /// Structural diagnostics over the m hash tables — bucket-occupancy
+  /// distribution and overlay pressure. Cheap (directory metadata only);
+  /// used by operators to sanity-check a build (a pathological w shows up
+  /// as a single giant bucket per table here long before query latency
+  /// reveals it).
+  struct IndexStats {
+    size_t num_tables = 0;
+    size_t entries_per_table = 0;       ///< live entries (same for all tables)
+    double mean_buckets_per_table = 0;  ///< distinct buckets, averaged
+    size_t min_buckets = 0;             ///< worst (most skewed) table
+    size_t max_buckets = 0;
+    double mean_bucket_size = 0;        ///< entries / buckets, averaged
+    size_t max_bucket_size = 0;         ///< largest single bucket anywhere
+    size_t overlay_entries = 0;         ///< dynamic inserts awaiting Compact
+  };
+  IndexStats ComputeStats() const;
+
+ private:
+  C2lshIndex(C2lshOptions options, C2lshDerived derived, PStableFamily family,
+             std::vector<BucketTable> tables, size_t num_objects, size_t dim,
+             long long radius_cap);
+
+  /// Shared round loop. `max_radius`: stop after the round at this radius
+  /// (0 = unbounded, run to termination). `scratch` holds the per-query
+  /// state; distinct scratches make concurrent queries safe. `filter`, when
+  /// non-null, gates verification (see FilteredQuery).
+  Result<NeighborList> RunQuery(const Dataset& data, const float* query, size_t k,
+                                long long max_radius, C2lshQueryStats* stats,
+                                C2lshQueryScratch* scratch,
+                                const std::function<bool(ObjectId)>* filter = nullptr) const;
+
+  /// The probe interval at radius R, falling back to a full-table range once
+  /// R exceeds the radius schedule cap (guarantees termination).
+  BucketRange IntervalForRadius(BucketId query_bucket, long long R) const;
+
+  C2lshOptions options_;
+  C2lshDerived derived_;
+  PStableFamily family_;
+  std::vector<BucketTable> tables_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  long long radius_cap_ = 1;  ///< c^max_radius_exponent
+  PageModel page_model_;
+
+  // Scratch behind the convenience Query()/DecisionQuery() entry points
+  // (those are documented non-concurrent; Searcher owns its own).
+  mutable C2lshQueryScratch scratch_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_INDEX_H_

@@ -1,0 +1,88 @@
+#include "src/core/params.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace c2lsh {
+
+std::string C2lshDerived::ToString() const {
+  std::ostringstream os;
+  os << "w=" << model.w << " c=" << model.c << " p1=" << model.p1 << " p2=" << model.p2
+     << " beta=" << beta << " z=" << z << " alpha=" << alpha << " m=" << m << " l=" << l;
+  return os.str();
+}
+
+Result<C2lshDerived> ComputeDerivedParams(const C2lshOptions& options, size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("C2LSH: dataset must be non-empty");
+  }
+  const double c_rounded = std::round(options.c);
+  if (options.c < 2.0 || std::fabs(options.c - c_rounded) > 1e-9) {
+    return Status::InvalidArgument(
+        "C2LSH: approximation ratio c must be an integer >= 2 (virtual rehashing "
+        "widens buckets by integer factors); got c=" +
+        std::to_string(options.c));
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("C2LSH: delta must lie in (0, 1), got " +
+                                   std::to_string(options.delta));
+  }
+  if (options.max_radius_exponent < 1 || options.max_radius_exponent > 40) {
+    return Status::InvalidArgument("C2LSH: max_radius_exponent must be in [1, 40]");
+  }
+  C2lshDerived d;
+  C2LSH_ASSIGN_OR_RETURN(d.model, MakeCollisionModel(options.w, c_rounded));
+
+  d.beta = (options.beta > 0.0) ? options.beta : 100.0 / static_cast<double>(n);
+  if (d.beta * static_cast<double>(n) < 1.0) {
+    return Status::InvalidArgument("C2LSH: the false-positive budget beta*n must be >= 1");
+  }
+  if (d.beta >= 1.0) {
+    // A budget of n false positives makes property P2 vacuous; clamp just
+    // below so z stays finite (tiny datasets with the 100/n default).
+    d.beta = 0.999;
+  }
+
+  C2LSH_ASSIGN_OR_RETURN(CountingParams counting,
+                         ComputeCountingParams(d.model.p1, d.model.p2, options.delta,
+                                               d.beta));
+  d.z = counting.z;
+  d.alpha = counting.alpha;
+  d.m = counting.m;
+  d.l = counting.l;
+  return d;
+}
+
+Result<CountingParams> ComputeCountingParams(double p1, double p2, double delta,
+                                             double beta) {
+  if (!(p1 > p2 && p2 > 0.0 && p1 < 1.0)) {
+    return Status::InvalidArgument("counting params: need 0 < p2 < p1 < 1");
+  }
+  if (!(delta > 0.0 && delta < 1.0) || !(beta > 0.0 && beta < 1.0)) {
+    return Status::InvalidArgument("counting params: delta and beta must lie in (0, 1)");
+  }
+  CountingParams p;
+  const double ln_inv_delta = std::log(1.0 / delta);
+  const double ln_2_beta = std::log(2.0 / beta);
+  p.z = std::sqrt(ln_2_beta / ln_inv_delta);
+  p.alpha = (p.z * p1 + p2) / (1.0 + p.z);
+
+  // By construction of alpha the two Hoeffding requirements coincide; take
+  // the max of both ceilings anyway so rounding can only strengthen the
+  // guarantee.
+  const double m1 = ln_inv_delta / (2.0 * (p1 - p.alpha) * (p1 - p.alpha));
+  const double m2 = ln_2_beta / (2.0 * (p.alpha - p2) * (p.alpha - p2));
+  p.m = static_cast<size_t>(std::ceil(std::max(m1, m2)));
+  if (p.m > 100000) {
+    return Status::InvalidArgument(
+        "counting params: derived m = " + std::to_string(p.m) +
+        " hash functions — the (p1, p2) gap is too small; rescale the data so "
+        "nearest-neighbor distances are a few data units, or widen the buckets");
+  }
+  p.l = static_cast<size_t>(std::ceil(p.alpha * static_cast<double>(p.m)));
+  if (p.l > p.m) p.l = p.m;
+  if (p.l == 0) p.l = 1;
+  return p;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,104 @@
+// C2LSH parameterization (Gan, Feng, Fang, Ng — SIGMOD 2012).
+//
+// From the user-facing knobs (bucket width w, integer approximation ratio c,
+// error probability delta, false-positive frequency beta) and the dataset
+// cardinality n, derive the scheme's internal parameters:
+//
+//   p1     = p(1; w)                     base collision prob. at distance R
+//   p2     = p(c; w)                     base collision prob. at distance cR
+//   z      = sqrt( ln(2/beta) / ln(1/delta) )
+//   alpha  = (z * p1 + p2) / (1 + z)     collision-threshold percentage
+//   m      = ceil( ln(1/delta) / (2 (p1 - alpha)^2) )
+//          [ = ceil( ln(2/beta) / (2 (alpha - p2)^2) ) by choice of alpha ]
+//   l      = ceil( alpha * m )           collision threshold
+//
+// With these, Hoeffding's inequality gives the two per-round properties the
+// paper's quality guarantee rests on:
+//   P1: an object within distance R collides >= l times w.p. >= 1 - delta;
+//   P2: at most beta*n objects beyond distance cR collide >= l times,
+//       w.p. >= 1/2.
+
+#ifndef C2LSH_CORE_PARAMS_H_
+#define C2LSH_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/lsh/collision_model.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// User-facing configuration of a C2lshIndex.
+struct C2lshOptions {
+  /// Base bucket width of the p-stable functions. The radius schedule
+  /// R in {1, c, c^2, ...} is expressed in data units, so w = 1 matches
+  /// datasets normalized to NN distances a few doublings above 1
+  /// (vector/synthetic.h does this normalization).
+  double w = 1.0;
+
+  /// Approximation ratio. Must be an integer >= 2: virtual rehashing
+  /// widens buckets by exact integer factors (h^R = floor(h / R)).
+  double c = 2.0;
+
+  /// Per-object error probability of property P1. The paper's experiments
+  /// run at delta = 0.1.
+  double delta = 0.1;
+
+  /// False-positive frequency: at most beta * n far objects pass the
+  /// collision threshold per round (property P2). 0 selects the paper's
+  /// default of 100 / n.
+  double beta = 0.0;
+
+  /// Highest round of the radius schedule: radii run over
+  /// {1, c, ..., c^max_radius_exponent}. The hash offsets are drawn from
+  /// [0, w * c^max_radius_exponent) so that virtual rehashing is an exact
+  /// LSH at every level (the paper's b* in [0, w * c^{t*}) construction);
+  /// past the last level the index falls back to one exhaustive round, so
+  /// queries always terminate. 24 doublings cover a 16-million-fold distance
+  /// range — far beyond any normalized dataset.
+  int max_radius_exponent = 24;
+
+  /// Seed for hash-function sampling; identical seeds give identical
+  /// indexes.
+  uint64_t seed = 1;
+
+  /// Page size of the simulated-I/O cost model.
+  size_t page_bytes = 4096;
+};
+
+/// Parameters derived from C2lshOptions and n (see file comment).
+struct C2lshDerived {
+  CollisionModel model;  ///< p1, p2, rho for (w, c)
+  double beta = 0.0;     ///< resolved false-positive frequency
+  double z = 0.0;
+  double alpha = 0.0;    ///< in (p2, p1)
+  size_t m = 0;          ///< number of base hash functions / hash tables
+  size_t l = 0;          ///< collision threshold (l = ceil(alpha * m))
+
+  /// One-line rendering for experiment tables.
+  std::string ToString() const;
+};
+
+/// Validates options and computes the derived parameters for a dataset of
+/// cardinality n. Fails with InvalidArgument when the options violate their
+/// documented domains (c non-integer or < 2, delta outside (0, 1), beta*n
+/// below 1, w <= 0).
+Result<C2lshDerived> ComputeDerivedParams(const C2lshOptions& options, size_t n);
+
+/// The family-independent core of the derivation: given any LSH family's
+/// (p1, p2) at the guarantee boundary, the error probability delta and the
+/// false-positive frequency beta, compute (z, alpha, m, l) from the Hoeffding
+/// bounds. Shared by C2LSH and the query-aware QALSH extension.
+struct CountingParams {
+  double z = 0.0;
+  double alpha = 0.0;
+  size_t m = 0;
+  size_t l = 0;
+};
+Result<CountingParams> ComputeCountingParams(double p1, double p2, double delta,
+                                             double beta);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_PARAMS_H_

@@ -1,0 +1,234 @@
+#include "src/core/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace c2lsh {
+
+namespace {
+
+constexpr uint64_t kMagic = 0xC25123AA2012F00DULL;  // "C2LSH index, SIGMOD'12"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Streaming CRC-64 (ECMA polynomial, bitwise — cold path, clarity over
+/// speed). Accumulated over every payload byte written/read.
+class Crc64 {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      crc_ ^= static_cast<uint64_t>(p[i]);
+      for (int bit = 0; bit < 8; ++bit) {
+        crc_ = (crc_ >> 1) ^ ((crc_ & 1) ? 0xC96C5795D7870F42ULL : 0);
+      }
+    }
+  }
+  uint64_t value() const { return crc_; }
+
+ private:
+  uint64_t crc_ = ~0ULL;
+};
+
+class Writer {
+ public:
+  Writer(std::FILE* f) : f_(f) {}
+
+  template <typename T>
+  bool Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    crc_.Update(&v, sizeof(v));
+    return std::fwrite(&v, sizeof(v), 1, f_) == 1;
+  }
+  template <typename T>
+  bool PutArray(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return true;
+    crc_.Update(data, count * sizeof(T));
+    return std::fwrite(data, sizeof(T), count, f_) == count;
+  }
+  bool Finish() {
+    const uint64_t crc = crc_.value();
+    return std::fwrite(&crc, sizeof(crc), 1, f_) == 1;
+  }
+
+ private:
+  std::FILE* f_;
+  Crc64 crc_;
+};
+
+class Reader {
+ public:
+  Reader(std::FILE* f) : f_(f) {}
+
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (std::fread(v, sizeof(T), 1, f_) != 1) return false;
+    crc_.Update(v, sizeof(T));
+    return true;
+  }
+  template <typename T>
+  bool GetArray(T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return true;
+    if (std::fread(data, sizeof(T), count, f_) != count) return false;
+    crc_.Update(data, count * sizeof(T));
+    return true;
+  }
+  bool VerifyChecksum() {
+    uint64_t stored = 0;
+    if (std::fread(&stored, sizeof(stored), 1, f_) != 1) return false;
+    return stored == crc_.value();
+  }
+
+ private:
+  std::FILE* f_;
+  Crc64 crc_;
+};
+
+}  // namespace
+
+Status SaveIndex(const std::string& path, C2lshIndex* index) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("SaveIndex: index is null");
+  }
+  // Fold overlays/tombstones so the flat representation is the whole truth.
+  index->Compact();
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("SaveIndex: cannot open '" + path + "' for writing");
+  }
+  Writer w(f.get());
+
+  const C2lshOptions& opt = index->options();
+  const C2lshDerived& d = index->derived();
+  bool ok = w.Put(kMagic) && w.Put(kVersion);
+  ok = ok && w.Put(opt.w) && w.Put(opt.c) && w.Put(opt.delta) && w.Put(opt.beta) &&
+       w.Put(opt.max_radius_exponent) && w.Put(opt.seed) &&
+       w.Put(static_cast<uint64_t>(opt.page_bytes));
+  ok = ok && w.Put(d.model.w) && w.Put(d.model.c) && w.Put(d.model.p1) &&
+       w.Put(d.model.p2) && w.Put(d.model.rho) && w.Put(d.beta) && w.Put(d.z) &&
+       w.Put(d.alpha) && w.Put(static_cast<uint64_t>(d.m)) &&
+       w.Put(static_cast<uint64_t>(d.l));
+  ok = ok && w.Put(static_cast<uint32_t>(index->num_tables())) &&
+       w.Put(static_cast<uint32_t>(index->dim())) &&
+       w.Put(static_cast<uint64_t>(index->num_objects())) && w.Put(index->radius_cap());
+
+  for (size_t i = 0; ok && i < index->num_tables(); ++i) {
+    const PStableHash& h = index->family().function(i);
+    ok = ok && w.PutArray(h.a().data(), h.a().size()) && w.Put(h.b()) && w.Put(h.w());
+  }
+  std::vector<int64_t> buckets;
+  std::vector<ObjectId> ids;
+  for (size_t i = 0; ok && i < index->num_tables(); ++i) {
+    buckets.clear();
+    ids.clear();
+    index->table(i).ForEachEntry([&](BucketId b, ObjectId id) {
+      buckets.push_back(b);
+      ids.push_back(id);
+    });
+    ok = ok && w.Put(static_cast<uint64_t>(buckets.size())) &&
+         w.PutArray(buckets.data(), buckets.size()) && w.PutArray(ids.data(), ids.size());
+  }
+  ok = ok && w.Finish();
+  if (!ok) {
+    return Status::IOError("SaveIndex: short write to '" + path + "'");
+  }
+  if (std::fflush(f.get()) != 0) {
+    return Status::IOError("SaveIndex: flush failed for '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<C2lshIndex> LoadIndex(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError("LoadIndex: cannot open '" + path + "'");
+  }
+  Reader r(f.get());
+
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Get(&magic) || magic != kMagic) {
+    return Status::Corruption("LoadIndex: '" + path + "' is not a C2LSH index file");
+  }
+  if (!r.Get(&version) || version != kVersion) {
+    return Status::Corruption("LoadIndex: unsupported version in '" + path + "'");
+  }
+
+  C2lshOptions opt;
+  C2lshDerived d;
+  uint64_t page_bytes = 0, m64 = 0, l64 = 0, num_objects = 0;
+  uint32_t m32 = 0, dim32 = 0;
+  long long radius_cap = 0;
+  bool ok = r.Get(&opt.w) && r.Get(&opt.c) && r.Get(&opt.delta) && r.Get(&opt.beta) &&
+            r.Get(&opt.max_radius_exponent) && r.Get(&opt.seed) && r.Get(&page_bytes);
+  ok = ok && r.Get(&d.model.w) && r.Get(&d.model.c) && r.Get(&d.model.p1) &&
+       r.Get(&d.model.p2) && r.Get(&d.model.rho) && r.Get(&d.beta) && r.Get(&d.z) &&
+       r.Get(&d.alpha) && r.Get(&m64) && r.Get(&l64);
+  ok = ok && r.Get(&m32) && r.Get(&dim32) && r.Get(&num_objects) && r.Get(&radius_cap);
+  if (!ok) {
+    return Status::Corruption("LoadIndex: truncated header in '" + path + "'");
+  }
+  opt.page_bytes = static_cast<size_t>(page_bytes);
+  d.m = static_cast<size_t>(m64);
+  d.l = static_cast<size_t>(l64);
+  if (m32 != d.m || m32 == 0 || dim32 == 0) {
+    return Status::Corruption("LoadIndex: inconsistent header in '" + path + "'");
+  }
+
+  std::vector<PStableHash> funcs;
+  funcs.reserve(m32);
+  for (uint32_t i = 0; i < m32; ++i) {
+    std::vector<float> a(dim32);
+    double b = 0, w = 0;
+    if (!r.GetArray(a.data(), a.size()) || !r.Get(&b) || !r.Get(&w)) {
+      return Status::Corruption("LoadIndex: truncated hash function in '" + path + "'");
+    }
+    C2LSH_ASSIGN_OR_RETURN(PStableHash h, PStableHash::FromParts(std::move(a), b, w));
+    funcs.push_back(std::move(h));
+  }
+  C2LSH_ASSIGN_OR_RETURN(PStableFamily family,
+                         PStableFamily::FromFunctions(std::move(funcs)));
+
+  std::vector<BucketTable> tables;
+  tables.reserve(m32);
+  for (uint32_t i = 0; i < m32; ++i) {
+    uint64_t count = 0;
+    if (!r.Get(&count) || count > (1ULL << 40)) {
+      return Status::Corruption("LoadIndex: bad table size in '" + path + "'");
+    }
+    std::vector<int64_t> buckets(count);
+    std::vector<ObjectId> ids(count);
+    if (!r.GetArray(buckets.data(), count) || !r.GetArray(ids.data(), count)) {
+      return Status::Corruption("LoadIndex: truncated table in '" + path + "'");
+    }
+    std::vector<std::pair<BucketId, ObjectId>> pairs;
+    pairs.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      pairs.emplace_back(buckets[j], ids[j]);
+    }
+    tables.push_back(BucketTable::Build(std::move(pairs)));
+  }
+
+  if (!r.VerifyChecksum()) {
+    return Status::Corruption("LoadIndex: checksum mismatch in '" + path +
+                              "' (truncated or corrupted file)");
+  }
+  return C2lshIndex::FromParts(opt, d, std::move(family), std::move(tables),
+                               static_cast<size_t>(num_objects), dim32, radius_cap);
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,37 @@
+// Binary serialization of a C2lshIndex.
+//
+// Building an index costs O(m * n * d) projection work; persisting it makes
+// the paper's "index once, query forever" deployment story real. The format
+// is a single file:
+//
+//   [magic u64][version u32][options][derived scalars]
+//   [m u32][dim u32][num_objects u64][radius_cap i64]
+//   per function: [a: dim f32][b f64][w f64]
+//   per table:    [num raw (bucket,id) pairs u64][pairs...]
+//   [crc64 of everything above]
+//
+// Tables are persisted compacted (overlays folded, tombstones dropped).
+// Loading validates the magic, version, and checksum and returns Corruption
+// on any mismatch — truncated or bit-flipped files never produce a silently
+// wrong index.
+
+#ifndef C2LSH_CORE_SERIALIZE_H_
+#define C2LSH_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "src/core/index.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Writes `index` to `path`. The index is logically const but its delta
+/// overlays are folded into the flat tables first (same result set).
+Status SaveIndex(const std::string& path, C2lshIndex* index);
+
+/// Reads an index previously written by SaveIndex.
+Result<C2lshIndex> LoadIndex(const std::string& path);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_SERIALIZE_H_

@@ -1,0 +1,52 @@
+#include "src/core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/util/math.h"
+
+namespace c2lsh {
+
+double LogBinomialCoeff(int m, int k) {
+  if (k < 0 || k > m) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(m + 1.0) - std::lgamma(k + 1.0) - std::lgamma(m - k + 1.0);
+}
+
+double BinomialTailGE(int m, int l, double p) {
+  if (l <= 0) return 1.0;
+  if (l > m) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  // Sum the smaller tail in log space with the log-sum-exp trick.
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(m - l + 1);
+  for (int k = l; k <= m; ++k) {
+    const double t = LogBinomialCoeff(m, k) + k * log_p + (m - k) * log_q;
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  if (!std::isfinite(max_term)) return 0.0;
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - max_term);
+  return std::min(1.0, std::exp(max_term) * sum);
+}
+
+double ProbFrequent(const C2lshDerived& d, double s, double R) {
+  const double p = PStableCollisionProbability(s, d.model.w * R);
+  return BinomialTailGE(static_cast<int>(d.m), static_cast<int>(d.l), p);
+}
+
+double P1FailureBound(const C2lshDerived& d) {
+  return HoeffdingLowerTailBound(d.model.p1 - d.alpha, static_cast<int>(d.m));
+}
+
+double ExpectedFalsePositives(const C2lshDerived& d, double n_far) {
+  return n_far * BinomialTailGE(static_cast<int>(d.m), static_cast<int>(d.l), d.model.p2);
+}
+
+}  // namespace c2lsh

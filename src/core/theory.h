@@ -1,0 +1,36 @@
+// Analytic predictions of C2LSH's behaviour, used by the T1 parameter table,
+// the property-based tests (measured frequencies must match these within
+// statistical tolerance) and the tuning-advisor example.
+
+#ifndef C2LSH_CORE_THEORY_H_
+#define C2LSH_CORE_THEORY_H_
+
+#include "src/core/params.h"
+
+namespace c2lsh {
+
+/// log of the binomial coefficient C(m, k), via lgamma.
+double LogBinomialCoeff(int m, int k);
+
+/// Exact upper tail of the binomial: P[Bin(m, p) >= l]. Computed by
+/// log-space summation; valid for 0 <= p <= 1, 0 <= l <= m.
+double BinomialTailGE(int m, int l, double p);
+
+/// Probability that an object at distance `s` from the query is *frequent*
+/// (collision count >= l) in the round at radius `R`: each of the m tables
+/// collides independently with probability p(s; w*R).
+double ProbFrequent(const C2lshDerived& d, double s, double R);
+
+/// Hoeffding bound on property P1's failure probability: an object within
+/// distance R misses the threshold with probability <= exp(-2 m (p1-alpha)^2)
+/// <= delta. Returned so tests can assert the <= delta relation numerically.
+double P1FailureBound(const C2lshDerived& d);
+
+/// Expected number of frequent far objects (distance > cR) among `n_far` of
+/// them, using the exact binomial tail at p2. Property P2 bounds this by
+/// beta * n / 2 via Hoeffding; the exact value is tighter.
+double ExpectedFalsePositives(const C2lshDerived& d, double n_far);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_CORE_THEORY_H_

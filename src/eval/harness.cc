@@ -1,0 +1,71 @@
+#include "src/eval/harness.h"
+
+#include "src/eval/metrics.h"
+#include "src/util/timer.h"
+
+namespace c2lsh {
+
+Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
+                                   const FloatMatrix& queries,
+                                   const std::vector<NeighborList>& ground_truth,
+                                   size_t k) {
+  if (method == nullptr) {
+    return Status::InvalidArgument("RunWorkload: method is null");
+  }
+  if (ground_truth.size() < queries.num_rows()) {
+    return Status::InvalidArgument("RunWorkload: ground truth covers " +
+                                   std::to_string(ground_truth.size()) + " of " +
+                                   std::to_string(queries.num_rows()) + " queries");
+  }
+  WorkloadResult agg;
+  agg.method_name = method->name();
+  agg.k = k;
+  agg.num_queries = queries.num_rows();
+  agg.index_bytes = method->MemoryBytes();
+  agg.build_seconds = method->build_seconds();
+
+  double recall_sum = 0.0;
+  double ratio_sum = 0.0;
+  double millis_sum = 0.0;
+  double index_pages_sum = 0.0;
+  double data_pages_sum = 0.0;
+  double candidates_sum = 0.0;
+
+  for (size_t i = 0; i < queries.num_rows(); ++i) {
+    SearchCost cost;
+    Timer timer;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result,
+                           method->Search(data, queries.row(i), k, &cost));
+    millis_sum += timer.ElapsedMillis();
+    recall_sum += Recall(result, ground_truth[i], k);
+    ratio_sum += OverallRatio(result, ground_truth[i], k);
+    index_pages_sum += static_cast<double>(cost.index_pages);
+    data_pages_sum += static_cast<double>(cost.data_pages);
+    candidates_sum += static_cast<double>(cost.candidates_verified);
+  }
+
+  const double nq = static_cast<double>(queries.num_rows());
+  agg.mean_recall = recall_sum / nq;
+  agg.mean_ratio = ratio_sum / nq;
+  agg.mean_query_millis = millis_sum / nq;
+  agg.mean_index_pages = index_pages_sum / nq;
+  agg.mean_data_pages = data_pages_sum / nq;
+  agg.mean_total_pages = agg.mean_index_pages + agg.mean_data_pages;
+  agg.mean_candidates = candidates_sum / nq;
+  return agg;
+}
+
+Result<std::vector<WorkloadResult>> RunWorkloadSweep(
+    AnnMethod* method, const Dataset& data, const FloatMatrix& queries,
+    const std::vector<NeighborList>& ground_truth, const std::vector<size_t>& ks) {
+  std::vector<WorkloadResult> out;
+  out.reserve(ks.size());
+  for (size_t k : ks) {
+    C2LSH_ASSIGN_OR_RETURN(WorkloadResult r,
+                           RunWorkload(method, data, queries, ground_truth, k));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,52 @@
+// The experiment harness: runs a method over a query workload, aggregates
+// accuracy and cost against exact ground truth, and reports the averages the
+// paper's tables and figures are made of.
+
+#ifndef C2LSH_EVAL_HARNESS_H_
+#define C2LSH_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/method.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/matrix.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Aggregates over a query workload.
+struct WorkloadResult {
+  std::string method_name;
+  size_t k = 0;
+  size_t num_queries = 0;
+
+  double mean_recall = 0.0;
+  double mean_ratio = 0.0;
+
+  double mean_query_millis = 0.0;
+  double mean_index_pages = 0.0;
+  double mean_data_pages = 0.0;
+  double mean_total_pages = 0.0;
+  double mean_candidates = 0.0;
+
+  size_t index_bytes = 0;
+  double build_seconds = 0.0;
+};
+
+/// Runs every query through `method` and aggregates. Ground truth must hold
+/// at least k neighbors per query.
+Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
+                                   const FloatMatrix& queries,
+                                   const std::vector<NeighborList>& ground_truth,
+                                   size_t k);
+
+/// Runs the workload for each k in `ks`.
+Result<std::vector<WorkloadResult>> RunWorkloadSweep(
+    AnnMethod* method, const Dataset& data, const FloatMatrix& queries,
+    const std::vector<NeighborList>& ground_truth, const std::vector<size_t>& ks);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EVAL_HARNESS_H_

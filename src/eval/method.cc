@@ -1,0 +1,231 @@
+#include "src/eval/method.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/util/timer.h"
+
+namespace c2lsh {
+
+namespace {
+
+class C2lshMethod : public AnnMethod {
+ public:
+  explicit C2lshMethod(C2lshIndex index) : index_(std::move(index)) {}
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "C2LSH(m=" << index_.derived().m << ",l=" << index_.derived().l
+       << ",c=" << index_.options().c << ")";
+    return os.str();
+  }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    C2lshQueryStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = stats.index_pages;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.candidates_verified;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  C2lshIndex index_;
+};
+
+class E2lshMethod : public AnnMethod {
+ public:
+  explicit E2lshMethod(E2lshIndex index) : index_(std::move(index)) {}
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "E2LSH(K=" << index_.options().K << ",L=" << index_.options().L << ")";
+    return os.str();
+  }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    E2lshQueryStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = stats.index_pages;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.candidates_verified;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  E2lshIndex index_;
+};
+
+class LsbForestMethod : public AnnMethod {
+ public:
+  explicit LsbForestMethod(LsbForest index) : index_(std::move(index)) {}
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "LSB-forest(L=" << index_.num_trees() << ",u=" << index_.options().tree.u << ")";
+    return os.str();
+  }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    LsbQueryStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = stats.index_pages;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.candidates_verified;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  LsbForest index_;
+};
+
+class MultiProbeMethod : public AnnMethod {
+ public:
+  explicit MultiProbeMethod(MultiProbeIndex index) : index_(std::move(index)) {}
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "MultiProbe(K=" << index_.options().K << ",L=" << index_.options().L
+       << ",T=" << index_.options().num_probes << ")";
+    return os.str();
+  }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    MultiProbeQueryStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = stats.index_pages;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.candidates_verified;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  MultiProbeIndex index_;
+};
+
+class SrsMethod : public AnnMethod {
+ public:
+  explicit SrsMethod(SrsIndex index) : index_(std::move(index)) {}
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "SRS(m'=" << index_.options().projected_dim << ",c=" << index_.options().c
+       << ",tau=" << index_.options().threshold << ")";
+    return os.str();
+  }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    SrsQueryStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = stats.index_pages;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.candidates_verified;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  SrsIndex index_;
+};
+
+class LinearScanMethod : public AnnMethod {
+ public:
+  LinearScanMethod() = default;
+
+  std::string name() const override { return "LinearScan"; }
+
+  Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                              SearchCost* cost) override {
+    LinearScanStats stats;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result, scan_.Search(data, query, k, &stats));
+    if (cost != nullptr) {
+      cost->index_pages = 0;
+      cost->data_pages = stats.data_pages;
+      cost->candidates_verified = stats.distance_computations;
+    }
+    return result;
+  }
+
+  size_t MemoryBytes() const override { return 0; }  // scan needs no index
+
+ private:
+  LinearScan scan_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AnnMethod>> MakeC2lshMethod(const Dataset& data,
+                                                   const C2lshOptions& options) {
+  Timer timer;
+  C2LSH_ASSIGN_OR_RETURN(C2lshIndex index, C2lshIndex::Build(data, options));
+  auto method = std::make_unique<C2lshMethod>(std::move(index));
+  method->set_build_seconds(timer.ElapsedSeconds());
+  return std::unique_ptr<AnnMethod>(std::move(method));
+}
+
+Result<std::unique_ptr<AnnMethod>> MakeE2lshMethod(const Dataset& data,
+                                                   const E2lshOptions& options) {
+  Timer timer;
+  C2LSH_ASSIGN_OR_RETURN(E2lshIndex index, E2lshIndex::Build(data, options));
+  auto method = std::make_unique<E2lshMethod>(std::move(index));
+  method->set_build_seconds(timer.ElapsedSeconds());
+  return std::unique_ptr<AnnMethod>(std::move(method));
+}
+
+Result<std::unique_ptr<AnnMethod>> MakeLsbForestMethod(const Dataset& data,
+                                                       const LsbForestOptions& options) {
+  Timer timer;
+  C2LSH_ASSIGN_OR_RETURN(LsbForest index, LsbForest::Build(data, options));
+  auto method = std::make_unique<LsbForestMethod>(std::move(index));
+  method->set_build_seconds(timer.ElapsedSeconds());
+  return std::unique_ptr<AnnMethod>(std::move(method));
+}
+
+Result<std::unique_ptr<AnnMethod>> MakeMultiProbeMethod(const Dataset& data,
+                                                        const MultiProbeOptions& options) {
+  Timer timer;
+  C2LSH_ASSIGN_OR_RETURN(MultiProbeIndex index, MultiProbeIndex::Build(data, options));
+  auto method = std::make_unique<MultiProbeMethod>(std::move(index));
+  method->set_build_seconds(timer.ElapsedSeconds());
+  return std::unique_ptr<AnnMethod>(std::move(method));
+}
+
+Result<std::unique_ptr<AnnMethod>> MakeSrsMethod(const Dataset& data,
+                                                 const SrsOptions& options) {
+  Timer timer;
+  C2LSH_ASSIGN_OR_RETURN(SrsIndex index, SrsIndex::Build(data, options));
+  auto method = std::make_unique<SrsMethod>(std::move(index));
+  method->set_build_seconds(timer.ElapsedSeconds());
+  return std::unique_ptr<AnnMethod>(std::move(method));
+}
+
+Result<std::unique_ptr<AnnMethod>> MakeLinearScanMethod(const Dataset& data) {
+  (void)data;
+  return std::unique_ptr<AnnMethod>(std::make_unique<LinearScanMethod>());
+}
+
+}  // namespace c2lsh

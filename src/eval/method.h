@@ -1,0 +1,68 @@
+// A uniform interface over every index in the library so the experiment
+// harness and bench binaries treat C2LSH and its baselines identically.
+
+#ifndef C2LSH_EVAL_METHOD_H_
+#define C2LSH_EVAL_METHOD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/e2lsh.h"
+#include "src/baselines/linear_scan.h"
+#include "src/baselines/lsb/lsb_forest.h"
+#include "src/baselines/multiprobe.h"
+#include "src/baselines/srs/srs.h"
+#include "src/core/index.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Per-query cost in the shared currency of the evaluation.
+struct SearchCost {
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+  uint64_t candidates_verified = 0;
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// Type-erased ANN method.
+class AnnMethod {
+ public:
+  virtual ~AnnMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// c-k-ANN search. `cost` may be null.
+  virtual Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
+                                      SearchCost* cost) = 0;
+
+  /// Resident index size in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// Wall seconds spent building the index.
+  double build_seconds() const { return build_seconds_; }
+  void set_build_seconds(double s) { build_seconds_ = s; }
+
+ private:
+  double build_seconds_ = 0.0;
+};
+
+/// Factories — each builds the index (timing the build) and wraps it.
+Result<std::unique_ptr<AnnMethod>> MakeC2lshMethod(const Dataset& data,
+                                                   const C2lshOptions& options);
+Result<std::unique_ptr<AnnMethod>> MakeE2lshMethod(const Dataset& data,
+                                                   const E2lshOptions& options);
+Result<std::unique_ptr<AnnMethod>> MakeLsbForestMethod(const Dataset& data,
+                                                       const LsbForestOptions& options);
+Result<std::unique_ptr<AnnMethod>> MakeMultiProbeMethod(const Dataset& data,
+                                                        const MultiProbeOptions& options);
+Result<std::unique_ptr<AnnMethod>> MakeSrsMethod(const Dataset& data,
+                                                 const SrsOptions& options);
+Result<std::unique_ptr<AnnMethod>> MakeLinearScanMethod(const Dataset& data);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EVAL_METHOD_H_

@@ -1,0 +1,60 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace c2lsh {
+
+double OverallRatio(const NeighborList& result, const NeighborList& ground_truth,
+                    size_t k) {
+  k = std::min(k, ground_truth.size());
+  if (k == 0) return 1.0;
+  double sum = 0.0;
+  double worst = 1.0;
+  size_t counted = 0;
+  const size_t have = std::min(result.size(), k);
+  for (size_t i = 0; i < have; ++i) {
+    const double exact = ground_truth[i].dist;
+    if (exact <= 0.0) continue;  // query coincides with a data point
+    const double ratio = result[i].dist / exact;
+    sum += ratio;
+    worst = std::max(worst, ratio);
+    ++counted;
+  }
+  // Positions the method failed to fill are charged the worst observed
+  // ratio — missing answers must not make the metric look better.
+  for (size_t i = have; i < k; ++i) {
+    if (ground_truth[i].dist <= 0.0) continue;
+    sum += worst;
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : sum / static_cast<double>(counted);
+}
+
+double Recall(const NeighborList& result, const NeighborList& ground_truth, size_t k) {
+  k = std::min(k, ground_truth.size());
+  if (k == 0) return 1.0;
+  std::unordered_set<ObjectId> truth;
+  truth.reserve(k * 2);
+  for (size_t i = 0; i < k; ++i) truth.insert(ground_truth[i].id);
+  size_t hits = 0;
+  const size_t have = std::min(result.size(), k);
+  for (size_t i = 0; i < have; ++i) {
+    if (truth.count(result[i].id) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanOverQueries(const std::vector<NeighborList>& results,
+                       const std::vector<NeighborList>& ground_truth, size_t k,
+                       double (*metric)(const NeighborList&, const NeighborList&, size_t)) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  const size_t n = std::min(results.size(), ground_truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    sum += metric(results[i], ground_truth[i], k);
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,32 @@
+// Accuracy metrics of the paper's evaluation: overall (distance) ratio and
+// recall against exact ground truth.
+
+#ifndef C2LSH_EVAL_METRICS_H_
+#define C2LSH_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Overall ratio for one query (the paper's primary accuracy metric):
+///   (1/k) * sum_i dist(o_i, q) / dist(o*_i, q)
+/// where o_i is the i-th returned object and o*_i the exact i-th NN. Always
+/// >= 1; 1 means exact. When the method returned fewer than k objects the
+/// missing positions are charged the worst observed ratio of that query
+/// (a conservative penalty). Ground-truth distances of zero are skipped.
+double OverallRatio(const NeighborList& result, const NeighborList& ground_truth, size_t k);
+
+/// Recall@k: |result ∩ exact top-k| / k.
+double Recall(const NeighborList& result, const NeighborList& ground_truth, size_t k);
+
+/// Averages a metric over queries.
+double MeanOverQueries(const std::vector<NeighborList>& results,
+                       const std::vector<NeighborList>& ground_truth, size_t k,
+                       double (*metric)(const NeighborList&, const NeighborList&, size_t));
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EVAL_METRICS_H_

@@ -1,0 +1,75 @@
+#include "src/eval/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace c2lsh {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::FmtInt(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::FmtBytes(size_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= (1ULL << 30)) {
+    os << static_cast<double>(bytes) / (1ULL << 30) << " GiB";
+  } else if (bytes >= (1ULL << 20)) {
+    os << static_cast<double>(bytes) / (1ULL << 20) << " MiB";
+  } else if (bytes >= (1ULL << 10)) {
+    os << static_cast<double>(bytes) / (1ULL << 10) << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+      if (i + 1 < cells.size()) os << "   ";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) rule[i] = std::string(widths[i], '-');
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ",";
+      os << cells[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,42 @@
+// Plain-text table printer shared by every bench binary, so all regenerated
+// tables and figure series have one consistent, paper-style rendering.
+
+#ifndef C2LSH_EVAL_TABLE_H_
+#define C2LSH_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace c2lsh {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtInt(long long v);
+  static std::string FmtBytes(size_t bytes);
+
+  /// Renders with a header rule, e.g.:
+  ///   dataset   k    ratio   io
+  ///   -------   --   -----   ----
+  ///   Audio     10   1.02    512
+  std::string ToString() const;
+
+  /// Renders as CSV (for plotting scripts).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EVAL_TABLE_H_

@@ -1,0 +1,244 @@
+#include "src/extensions/qalsh/qalsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+double QalshCollisionProbability(double s, double w, double p) {
+  if (s <= 0.0) return 1.0;
+  if (p == 1.0) {
+    // Cauchy 1-stable: projection difference ~ Cauchy(0, s).
+    return (2.0 / M_PI) * std::atan(w / (2.0 * s));
+  }
+  return 2.0 * NormalCdf(w / (2.0 * s)) - 1.0;
+}
+
+Result<QalshDerived> ComputeQalshParams(const QalshOptions& options, size_t n) {
+  if (n == 0) return Status::InvalidArgument("QALSH: dataset must be non-empty");
+  if (!(options.w > 0.0)) {
+    return Status::InvalidArgument("QALSH: w must be positive");
+  }
+  if (!(options.c > 1.0)) {
+    return Status::InvalidArgument("QALSH: c must exceed 1 (any real value), got " +
+                                   std::to_string(options.c));
+  }
+  if (options.p != 1.0 && options.p != 2.0) {
+    return Status::InvalidArgument("QALSH: p must be 1 (Manhattan) or 2 (Euclidean)");
+  }
+  if (options.max_rounds < 1) {
+    return Status::InvalidArgument("QALSH: max_rounds must be positive");
+  }
+  QalshDerived d;
+  d.p1 = QalshCollisionProbability(1.0, options.w, options.p);
+  d.p2 = QalshCollisionProbability(options.c, options.w, options.p);
+  d.beta = (options.beta > 0.0) ? options.beta : 100.0 / static_cast<double>(n);
+  if (d.beta * static_cast<double>(n) < 1.0) {
+    return Status::InvalidArgument("QALSH: the false-positive budget beta*n must be >= 1");
+  }
+  if (d.beta >= 1.0) d.beta = 0.999;
+  C2LSH_ASSIGN_OR_RETURN(d.counting,
+                         ComputeCountingParams(d.p1, d.p2, options.delta, d.beta));
+  return d;
+}
+
+QalshIndex::QalshIndex(QalshOptions options, QalshDerived derived,
+                       std::vector<std::vector<float>> projections,
+                       std::vector<ProjectionColumn> columns, size_t num_objects,
+                       size_t dim)
+    : options_(options),
+      derived_(derived),
+      projections_(std::move(projections)),
+      columns_(std::move(columns)),
+      num_objects_(num_objects),
+      dim_(dim),
+      page_model_(options.page_bytes),
+      counts_(num_objects, 0),
+      epochs_(num_objects, 0),
+      verified_(num_objects, 0) {}
+
+Result<QalshIndex> QalshIndex::Build(const Dataset& data, const QalshOptions& options) {
+  C2LSH_ASSIGN_OR_RETURN(QalshDerived derived, ComputeQalshParams(options, data.size()));
+  const size_t m = derived.counting.m;
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+
+  Rng rng(options.seed);
+  std::vector<std::vector<float>> projections(m);
+  std::vector<ProjectionColumn> columns(m);
+  for (size_t i = 0; i < m; ++i) {
+    if (options.p == 1.0) {
+      // Cauchy samples via the inverse CDF: tan(pi * (U - 1/2)).
+      projections[i].resize(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        projections[i][j] =
+            static_cast<float>(std::tan(M_PI * (rng.Uniform(0.0, 1.0) - 0.5)));
+      }
+    } else {
+      rng.GaussianVector(dim, &projections[i]);
+    }
+    ProjectionColumn& col = columns[i];
+    col.values.resize(n);
+    col.ids.resize(n);
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<float> raw(n);
+    for (size_t r = 0; r < n; ++r) {
+      raw[r] = static_cast<float>(
+          Dot(projections[i].data(), data.object(static_cast<ObjectId>(r)), dim));
+    }
+    std::sort(order.begin(), order.end(),
+              [&raw](size_t a, size_t b) { return raw[a] < raw[b]; });
+    for (size_t r = 0; r < n; ++r) {
+      col.values[r] = raw[order[r]];
+      col.ids[r] = static_cast<ObjectId>(order[r]);
+    }
+  }
+  return QalshIndex(options, derived, std::move(projections), std::move(columns), n, dim);
+}
+
+Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, size_t k,
+                                       QalshQueryStats* stats) const {
+  if (k == 0) return Status::InvalidArgument("QALSH query: k must be positive");
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("QALSH query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument("QALSH query: dataset smaller than the index");
+  }
+  QalshQueryStats local;
+  QalshQueryStats* st = (stats != nullptr) ? stats : &local;
+  *st = QalshQueryStats();
+
+  const size_t m = columns_.size();
+  const uint32_t l = static_cast<uint32_t>(derived_.counting.l);
+  const double c = options_.c;
+  const double w = options_.w;
+  const size_t t2_threshold = std::min<size_t>(
+      num_objects_,
+      k + static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(num_objects_))));
+
+  // Per-query lazy-reset scratch.
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(epochs_.begin(), epochs_.end(), 0);
+    std::fill(counts_.begin(), counts_.end(), 0);
+    epoch_ = 1;
+  }
+  for (ObjectId id : touched_) verified_[id] = 0;
+  touched_.clear();
+
+  // Query projections and initial cursors at the query's insertion point.
+  std::vector<double> qproj(m);
+  cursors_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    qproj[i] = Dot(projections_[i].data(), query, dim_);
+    const auto& vals = columns_[i].values;
+    const size_t pos = static_cast<size_t>(
+        std::lower_bound(vals.begin(), vals.end(), static_cast<float>(qproj[i])) -
+        vals.begin());
+    cursors_[i] = Cursor{pos, pos};
+    ++st->index_pages;  // per-column descent to the query's position
+  }
+
+  NeighborList found;
+  found.reserve(t2_threshold + m);
+  const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
+  const size_t entries_per_page = std::max<size_t>(
+      1, page_model_.EntriesPerPage(sizeof(float) + sizeof(ObjectId)));
+
+  auto count_one = [&](ObjectId id) {
+    ++st->collision_increments;
+    if (verified_[id] != 0) return;
+    if (epochs_[id] != epoch_) {
+      epochs_[id] = epoch_;
+      counts_[id] = 0;
+    }
+    if (++counts_[id] == l) {
+      verified_[id] = 1;
+      touched_.push_back(id);
+      const double dist = options_.p == 1.0 ? L1(query, data.object(id), dim_)
+                                            : L2(query, data.object(id), dim_);
+      found.push_back(Neighbor{id, static_cast<float>(dist)});
+      ++st->candidates_verified;
+      st->data_pages += vector_pages;
+    }
+  };
+
+  double R = 1.0;
+  int round = 0;
+  while (true) {
+    ++st->rounds;
+    st->final_radius = R;
+    const bool exhaustive = round >= options_.max_rounds;
+    const double half_window = exhaustive ? std::numeric_limits<double>::infinity()
+                                          : w * R / 2.0;
+
+    bool all_covered = true;
+    for (size_t i = 0; i < m; ++i) {
+      const auto& col = columns_[i];
+      Cursor& cur = cursors_[i];
+      const double lo = qproj[i] - half_window;
+      const double hi = qproj[i] + half_window;
+      size_t scanned = 0;
+      while (cur.left > 0 && static_cast<double>(col.values[cur.left - 1]) >= lo) {
+        --cur.left;
+        count_one(col.ids[cur.left]);
+        ++scanned;
+      }
+      while (cur.right < col.values.size() &&
+             static_cast<double>(col.values[cur.right]) <= hi) {
+        count_one(col.ids[cur.right]);
+        ++cur.right;
+        ++scanned;
+      }
+      if (scanned > 0) {
+        st->index_pages += (scanned + entries_per_page - 1) / entries_per_page;
+      }
+      if (cur.left > 0 || cur.right < col.values.size()) {
+        all_covered = false;
+      }
+    }
+
+    // T1: k verified candidates within c*R.
+    const double cr = c * R;
+    size_t within = 0;
+    for (const Neighbor& nb : found) {
+      if (nb.dist <= cr) ++within;
+      if (within >= k) break;
+    }
+    if (within >= k) {
+      st->terminated_by_t1 = true;
+      break;
+    }
+    // T2: false-positive budget exhausted.
+    if (found.size() >= t2_threshold) {
+      st->terminated_by_t2 = true;
+      break;
+    }
+    if (all_covered) break;
+    R *= c;
+    ++round;
+  }
+
+  std::sort(found.begin(), found.end(), NeighborLess());
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+size_t QalshIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const ProjectionColumn& col : columns_) {
+    bytes += col.values.size() * sizeof(float) + col.ids.size() * sizeof(ObjectId);
+  }
+  for (const auto& a : projections_) bytes += a.size() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace c2lsh

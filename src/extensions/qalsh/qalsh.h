@@ -1,0 +1,146 @@
+// QALSH — query-aware LSH (Huang et al., PVLDB 2015 / VLDBJ 2017), the
+// direct successor of C2LSH's dynamic collision counting framework,
+// implemented here as the paper's "future work" extension.
+//
+// Differences from C2LSH:
+//   * The hash is the raw projection h_a(o) = a.o — no quantization and no
+//     random offset. Buckets are *query-centric*: at radius R, object o
+//     collides with query q under function a iff
+//         |a.o - a.q| <= w * R / 2.
+//   * The collision probability at distance s is therefore
+//         p_qa(s; w) = P[|N(0, s^2)| <= w/2] = 2*Phi(w / (2s)) - 1,
+//     which is strictly larger than the offset-quantized probability at the
+//     same (s, w) — query-aware buckets waste no probability mass on grid
+//     misalignment.
+//   * Virtual rehashing widens the window around the query's own projection,
+//     so the radius schedule R in {1, c, c^2, ...} works for ANY real c > 1
+//     (C2LSH needs integer c for its aligned integer buckets). c = 1.5 or
+//     even 1.2 are valid here.
+//
+// The parameterization (z, alpha, m, l from Hoeffding bounds) and the
+// T1/T2 termination rules are shared with C2LSH (core/params.h).
+//
+// Storage: one sorted projection array per function (the in-memory
+// equivalent of the paper's B+-tree per projection); a query keeps a
+// [left, right) cursor pair per function and each round extends both ends to
+// the new window — incremental, like C2LSH's side-run scans.
+
+#ifndef C2LSH_EXTENSIONS_QALSH_QALSH_H_
+#define C2LSH_EXTENSIONS_QALSH_QALSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/params.h"
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Configuration of a QALSH index.
+struct QalshOptions {
+  /// The l_p metric served: 2.0 (Euclidean, Gaussian projections) or
+  /// 1.0 (Manhattan, Cauchy projections). Collision probabilities, parameter
+  /// derivation and candidate verification all follow the chosen p — the
+  /// multi-metric capability the collision-counting framework enables.
+  double p = 2.0;
+
+  /// Bucket width of the query-centric window (|proj diff| <= w*R/2).
+  double w = 1.0;
+  /// Approximation ratio — any real value > 1 (the headline flexibility of
+  /// the query-aware scheme).
+  double c = 2.0;
+  /// Per-query error probability of property P1.
+  double delta = 0.1;
+  /// False-positive frequency; 0 = the 100/n default shared with C2LSH.
+  double beta = 0.0;
+  /// Rounds in the radius schedule before the exhaustive fallback.
+  int max_rounds = 48;
+  uint64_t seed = 1;
+  size_t page_bytes = 4096;
+};
+
+/// Derived QALSH parameters.
+struct QalshDerived {
+  double p1 = 0.0;  ///< 2*Phi(w/2) - 1, collision prob. at distance R
+  double p2 = 0.0;  ///< 2*Phi(w/(2c)) - 1, collision prob. at distance cR
+  double beta = 0.0;
+  CountingParams counting;  ///< z, alpha, m, l
+};
+
+/// Query-aware collision probability for two points at l_p distance s under
+/// a window of total width w:
+///   p = 2:  2*Phi(w/(2s)) - 1                (projection diff ~ N(0, s^2))
+///   p = 1:  (2/pi) * arctan(w/(2s))          (projection diff ~ Cauchy(s))
+/// Both are 1 at s = 0 and strictly decreasing in s.
+double QalshCollisionProbability(double s, double w, double p = 2.0);
+
+/// Validates options and derives (p1, p2, z, alpha, m, l) for cardinality n.
+Result<QalshDerived> ComputeQalshParams(const QalshOptions& options, size_t n);
+
+/// Per-query statistics, same currency as C2lshQueryStats.
+struct QalshQueryStats {
+  uint64_t rounds = 0;
+  double final_radius = 0.0;
+  uint64_t collision_increments = 0;
+  uint64_t candidates_verified = 0;
+  uint64_t index_pages = 0;
+  uint64_t data_pages = 0;
+  bool terminated_by_t1 = false;
+  bool terminated_by_t2 = false;
+
+  uint64_t total_pages() const { return index_pages + data_pages; }
+};
+
+/// The QALSH index.
+class QalshIndex {
+ public:
+  static Result<QalshIndex> Build(const Dataset& data, const QalshOptions& options);
+
+  /// c-k-ANN query; up to k neighbors ascending by exact distance. Not
+  /// thread-safe (per-query scratch reused).
+  Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
+                             QalshQueryStats* stats = nullptr) const;
+
+  const QalshOptions& options() const { return options_; }
+  const QalshDerived& derived() const { return derived_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t MemoryBytes() const;
+
+ private:
+  /// One projection's sorted (value, id) column.
+  struct ProjectionColumn {
+    std::vector<float> values;  // sorted ascending
+    std::vector<ObjectId> ids;  // aligned with values
+  };
+
+  QalshIndex(QalshOptions options, QalshDerived derived,
+             std::vector<std::vector<float>> projections,
+             std::vector<ProjectionColumn> columns, size_t num_objects, size_t dim);
+
+  QalshOptions options_;
+  QalshDerived derived_;
+  std::vector<std::vector<float>> projections_;  // the m projection vectors a_i
+  std::vector<ProjectionColumn> columns_;
+  size_t num_objects_ = 0;
+  size_t dim_ = 0;
+  PageModel page_model_;
+
+  // Per-query scratch (documented non-concurrent).
+  struct Cursor {
+    size_t left;   // first index already counted
+    size_t right;  // one past the last index already counted
+  };
+  mutable std::vector<Cursor> cursors_;
+  mutable std::vector<uint32_t> counts_;
+  mutable std::vector<uint32_t> epochs_;
+  mutable uint32_t epoch_ = 0;
+  mutable std::vector<uint8_t> verified_;
+  mutable std::vector<ObjectId> touched_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EXTENSIONS_QALSH_QALSH_H_

@@ -1,0 +1,32 @@
+#include "src/lsh/collision_model.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/math.h"
+
+namespace c2lsh {
+
+Result<CollisionModel> MakeCollisionModel(double w, double c) {
+  if (!(w > 0.0)) {
+    return Status::InvalidArgument("CollisionModel: w must be positive, got " +
+                                   std::to_string(w));
+  }
+  if (!(c > 1.0)) {
+    return Status::InvalidArgument("CollisionModel: c must exceed 1, got " +
+                                   std::to_string(c));
+  }
+  CollisionModel m;
+  m.w = w;
+  m.c = c;
+  m.p1 = PStableCollisionProbability(1.0, w);
+  m.p2 = PStableCollisionProbability(c, w);
+  m.rho = std::log(1.0 / m.p1) / std::log(1.0 / m.p2);
+  return m;
+}
+
+double CollisionProbabilityAtRadius(const CollisionModel& model, double s, double R) {
+  return PStableCollisionProbability(s, model.w * R);
+}
+
+}  // namespace c2lsh

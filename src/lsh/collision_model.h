@@ -1,0 +1,33 @@
+// The analytic collision model of the p-stable family: p1, p2 and the LSH
+// quality exponent rho for a given (w, c). C2LSH's parameterization
+// (core/params.h) and the baselines' (K, L) selection are both derived from
+// these quantities.
+
+#ifndef C2LSH_LSH_COLLISION_MODEL_H_
+#define C2LSH_LSH_COLLISION_MODEL_H_
+
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Collision probabilities of one p-stable function at the guarantee
+/// boundary distances. Scale-free: p(R, wR) == p(1, w) for every radius R in
+/// the virtual-rehashing schedule, so one (p1, p2) pair covers all rounds.
+struct CollisionModel {
+  double w = 1.0;   ///< base bucket width
+  double c = 2.0;   ///< approximation ratio
+  double p1 = 0.0;  ///< collision prob. at distance R (i.e. p(1; w))
+  double p2 = 0.0;  ///< collision prob. at distance cR (i.e. p(c; w))
+  double rho = 0.0; ///< ln(1/p1) / ln(1/p2), the query exponent
+};
+
+/// Builds the model. Requires w > 0 and c > 1.
+Result<CollisionModel> MakeCollisionModel(double w, double c);
+
+/// Collision probability of one function for two points at distance `s`
+/// under virtual rehashing at radius `R` (bucket width w * R).
+double CollisionProbabilityAtRadius(const CollisionModel& model, double s, double R);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_LSH_COLLISION_MODEL_H_

@@ -1,0 +1,45 @@
+#include "src/lsh/compound.h"
+
+#include "src/util/math.h"
+
+namespace c2lsh {
+
+Result<CompoundHash> CompoundHash::Sample(size_t K, size_t dim, double w, uint64_t seed) {
+  C2LSH_ASSIGN_OR_RETURN(PStableFamily family, PStableFamily::Sample(K, dim, w, seed));
+  Rng rng(SplitMix64(seed ^ 0xc2f7a3d1e5b90a17ULL));
+  std::vector<uint64_t> mix(K);
+  for (size_t i = 0; i < K; ++i) {
+    mix[i] = rng.Next64() | 1ULL;  // odd multipliers are invertible mod 2^64
+  }
+  return CompoundHash(std::move(family), std::move(mix), rng.Next64());
+}
+
+void CompoundHash::Components(const float* v, std::vector<BucketId>* out) const {
+  family_.BucketAll(v, out);
+}
+
+uint64_t CompoundHash::KeyFromComponents(const std::vector<BucketId>& comps) const {
+  uint64_t h = tweak_;
+  for (size_t i = 0; i < comps.size(); ++i) {
+    h = SplitMix64(h ^ (static_cast<uint64_t>(comps[i]) * mix_[i]));
+  }
+  return h;
+}
+
+uint64_t CompoundHash::Key(const float* v) const {
+  std::vector<BucketId> comps;
+  Components(v, &comps);
+  return KeyFromComponents(comps);
+}
+
+uint64_t CompoundHash::KeyAtRadius(const float* v, long long R) const {
+  std::vector<BucketId> comps;
+  Components(v, &comps);
+  for (BucketId& b : comps) {
+    b = FloorDiv(b, R);
+  }
+  uint64_t h = KeyFromComponents(comps);
+  return SplitMix64(h ^ static_cast<uint64_t>(R));
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,55 @@
+// Compound (concatenated) hashing for the static-concatenation baselines:
+// G(o) = (h_1(o), ..., h_K(o)), reduced to a 64-bit table key. E2LSH builds
+// L such compound functions; LSB-forest z-orders the component values
+// instead (see baselines/lsb).
+
+#ifndef C2LSH_LSH_COMPOUND_H_
+#define C2LSH_LSH_COMPOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lsh/pstable.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// One compound hash G = (h_1 .. h_K) over the p-stable family.
+class CompoundHash {
+ public:
+  /// Samples K component functions. Deterministic given `seed`.
+  static Result<CompoundHash> Sample(size_t K, size_t dim, double w, uint64_t seed);
+
+  size_t K() const { return family_.size(); }
+  const PStableFamily& family() const { return family_; }
+
+  /// Component bucket ids of a vector, written into `out`.
+  void Components(const float* v, std::vector<BucketId>* out) const;
+
+  /// 64-bit key of the component vector. Two objects share a key iff their
+  /// component vectors are (with overwhelming probability over the random
+  /// mixing constants) identical; the mixing constants are part of the
+  /// sampled state so keys are stable across calls.
+  uint64_t Key(const float* v) const;
+
+  /// Key computed from precomputed component buckets (used by multi-probe
+  /// style perturbation and by tests).
+  uint64_t KeyFromComponents(const std::vector<BucketId>& comps) const;
+
+  /// Components at a widened radius R (virtual rehashing applied to a
+  /// compound function): component i becomes floor(h_i / R). Keys at
+  /// different radii are deliberately distinct (R is mixed in).
+  uint64_t KeyAtRadius(const float* v, long long R) const;
+
+ private:
+  CompoundHash(PStableFamily family, std::vector<uint64_t> mix, uint64_t tweak)
+      : family_(std::move(family)), mix_(std::move(mix)), tweak_(tweak) {}
+
+  PStableFamily family_;
+  std::vector<uint64_t> mix_;  // one odd multiplier per component
+  uint64_t tweak_;             // per-compound-function salt
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_LSH_COMPOUND_H_

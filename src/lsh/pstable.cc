@@ -1,0 +1,87 @@
+#include "src/lsh/pstable.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/math.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+PStableHash PStableHash::Sample(size_t dim, double w, Rng* rng, double offset_span) {
+  std::vector<float> a;
+  rng->GaussianVector(dim, &a);
+  const double b = rng->Uniform(0.0, w * offset_span);
+  return PStableHash(std::move(a), b, w);
+}
+
+Result<PStableHash> PStableHash::FromParts(std::vector<float> a, double b, double w) {
+  if (a.empty()) {
+    return Status::InvalidArgument("PStableHash::FromParts: empty projection vector");
+  }
+  if (!(w > 0.0)) {
+    return Status::InvalidArgument("PStableHash::FromParts: w must be positive");
+  }
+  return PStableHash(std::move(a), b, w);
+}
+
+double PStableHash::Project(const float* v) const {
+  return Dot(a_.data(), v, a_.size()) + b_;
+}
+
+BucketId PStableHash::Bucket(const float* v) const {
+  return static_cast<BucketId>(std::floor(Project(v) / w_));
+}
+
+Result<PStableFamily> PStableFamily::Sample(size_t m, size_t dim, double w, uint64_t seed,
+                                            double offset_span) {
+  if (m == 0) return Status::InvalidArgument("PStableFamily: m must be positive");
+  if (dim == 0) return Status::InvalidArgument("PStableFamily: dim must be positive");
+  if (!(w > 0.0)) {
+    return Status::InvalidArgument("PStableFamily: bucket width w must be positive, got " +
+                                   std::to_string(w));
+  }
+  if (!(offset_span >= 1.0)) {
+    return Status::InvalidArgument("PStableFamily: offset_span must be >= 1");
+  }
+  Rng rng(seed);
+  std::vector<PStableHash> funcs;
+  funcs.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    funcs.push_back(PStableHash::Sample(dim, w, &rng, offset_span));
+  }
+  return PStableFamily(std::move(funcs), dim, w);
+}
+
+Result<PStableFamily> PStableFamily::FromFunctions(std::vector<PStableHash> funcs) {
+  if (funcs.empty()) {
+    return Status::InvalidArgument("PStableFamily::FromFunctions: no functions");
+  }
+  const size_t dim = funcs.front().dim();
+  const double w = funcs.front().w();
+  for (const PStableHash& h : funcs) {
+    if (h.dim() != dim || h.w() != w) {
+      return Status::InvalidArgument(
+          "PStableFamily::FromFunctions: functions disagree on (dim, w)");
+    }
+  }
+  return PStableFamily(std::move(funcs), dim, w);
+}
+
+void PStableFamily::BucketAll(const float* v, std::vector<BucketId>* out) const {
+  out->resize(funcs_.size());
+  for (size_t i = 0; i < funcs_.size(); ++i) {
+    (*out)[i] = funcs_[i].Bucket(v);
+  }
+}
+
+std::vector<BucketId> PStableFamily::BucketColumn(const FloatMatrix& data, size_t i) const {
+  std::vector<BucketId> out(data.num_rows());
+  const PStableHash& h = funcs_[i];
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    out[r] = h.Bucket(data.row(r));
+  }
+  return out;
+}
+
+}  // namespace c2lsh

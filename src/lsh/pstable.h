@@ -1,0 +1,92 @@
+// The 2-stable (Gaussian) projection LSH family of Datar et al. (SoCG 2004):
+//
+//   h_{a,b}(o) = floor((a . o + b) / w),   a ~ N(0, I_d),  b ~ U[0, w)
+//
+// This is the base family C2LSH builds its m hash tables from, and the family
+// the E2LSH and LSB-forest baselines concatenate.
+
+#ifndef C2LSH_LSH_PSTABLE_H_
+#define C2LSH_LSH_PSTABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/bucket_table.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+
+/// One sampled hash function from the p-stable family.
+class PStableHash {
+ public:
+  /// Samples a function for `dim`-dimensional inputs with bucket width `w`.
+  /// The offset b is drawn uniformly from [0, w * offset_span). The classic
+  /// family uses offset_span = 1; C2LSH draws from the whole radius schedule
+  /// span [0, w * c^{t*}) so that the level-R grid anchor is exactly uniform
+  /// modulo w*R for every radius R = c^i <= c^{t*} (virtual rehashing stays a
+  /// bona fide LSH at every level).
+  static PStableHash Sample(size_t dim, double w, Rng* rng, double offset_span = 1.0);
+
+  /// Reconstructs a function from its raw parts (deserialization). Returns
+  /// InvalidArgument for an empty projection or non-positive width.
+  static Result<PStableHash> FromParts(std::vector<float> a, double b, double w);
+
+  /// The raw projection (a . o + b) — real-valued, used by query-aware
+  /// extensions and tests.
+  double Project(const float* v) const;
+
+  /// The quantized bucket id floor(Project(v) / w).
+  BucketId Bucket(const float* v) const;
+
+  size_t dim() const { return a_.size(); }
+  double w() const { return w_; }
+  double b() const { return b_; }
+  const std::vector<float>& a() const { return a_; }
+
+ private:
+  PStableHash(std::vector<float> a, double b, double w)
+      : a_(std::move(a)), b_(b), w_(w) {}
+
+  std::vector<float> a_;
+  double b_;
+  double w_;
+};
+
+/// A family of m i.i.d. p-stable functions sharing (dim, w).
+class PStableFamily {
+ public:
+  /// Samples `m` functions. Deterministic given `seed`. `offset_span` is
+  /// forwarded to PStableHash::Sample (see there).
+  static Result<PStableFamily> Sample(size_t m, size_t dim, double w, uint64_t seed,
+                                      double offset_span = 1.0);
+
+  /// Reassembles a family from reconstructed functions (deserialization).
+  /// All functions must share (dim, w).
+  static Result<PStableFamily> FromFunctions(std::vector<PStableHash> funcs);
+
+  size_t size() const { return funcs_.size(); }
+  size_t dim() const { return dim_; }
+  double w() const { return w_; }
+  const PStableHash& function(size_t i) const { return funcs_[i]; }
+
+  /// Buckets of one vector under every function, appended to `out`
+  /// (resized to size()).
+  void BucketAll(const float* v, std::vector<BucketId>* out) const;
+
+  /// Buckets of every row of `data` under function `i`.
+  std::vector<BucketId> BucketColumn(const FloatMatrix& data, size_t i) const;
+
+ private:
+  PStableFamily(std::vector<PStableHash> funcs, size_t dim, double w)
+      : funcs_(std::move(funcs)), dim_(dim), w_(w) {}
+
+  std::vector<PStableHash> funcs_;
+  size_t dim_ = 0;
+  double w_ = 0.0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_LSH_PSTABLE_H_

@@ -1,0 +1,122 @@
+#include "src/storage/bucket_table.h"
+
+#include <algorithm>
+
+namespace c2lsh {
+
+BucketTable BucketTable::Build(std::vector<std::pair<BucketId, ObjectId>> raw) {
+  std::sort(raw.begin(), raw.end());
+  BucketTable t;
+  t.entries_.reserve(raw.size());
+  for (size_t i = 0; i < raw.size();) {
+    const BucketId bucket = raw[i].first;
+    const size_t start = t.entries_.size();
+    size_t j = i;
+    while (j < raw.size() && raw[j].first == bucket) {
+      t.entries_.push_back(raw[j].second);
+      ++j;
+    }
+    t.directory_.push_back(DirEntry{bucket, static_cast<uint32_t>(start),
+                                    static_cast<uint32_t>(t.entries_.size() - start)});
+    i = j;
+  }
+  return t;
+}
+
+std::pair<size_t, size_t> BucketTable::EntryRange(BucketId lo, BucketId hi) const {
+  if (directory_.empty() || lo > hi) return {0, 0};
+  const auto first = std::lower_bound(
+      directory_.begin(), directory_.end(), lo,
+      [](const DirEntry& e, BucketId b) { return e.bucket < b; });
+  if (first == directory_.end() || first->bucket > hi) return {0, 0};
+  const auto last = std::upper_bound(
+      directory_.begin(), directory_.end(), hi,
+      [](BucketId b, const DirEntry& e) { return b < e.bucket; });
+  const DirEntry& tail = *(last - 1);
+  return {first->offset, static_cast<size_t>(tail.offset) + tail.count};
+}
+
+size_t BucketTable::EntriesInRange(BucketId lo, BucketId hi) const {
+  const auto [b, e] = EntryRange(lo, hi);
+  size_t count = e - b;
+  for (auto it = overlay_.lower_bound(lo); it != overlay_.end() && it->first <= hi; ++it) {
+    count += it->second.size();
+  }
+  return count;
+}
+
+size_t BucketTable::PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const {
+  const size_t entries = EntriesInRange(lo, hi);
+  // One page for the directory descent (the directory of one table is small
+  // and its hot path is cached/pinned; the paper charges the same way), plus
+  // the sequential entry pages.
+  size_t pages = 1;
+  if (entries > 0) {
+    pages += model.PagesForEntries(entries, sizeof(ObjectId));
+  }
+  return pages;
+}
+
+void BucketTable::Insert(BucketId bucket, ObjectId id) { overlay_[bucket].push_back(id); }
+
+void BucketTable::Delete(ObjectId id) {
+  const auto it = std::lower_bound(tombstones_.begin(), tombstones_.end(), id);
+  if (it == tombstones_.end() || *it != id) {
+    tombstones_.insert(it, id);
+  }
+}
+
+bool BucketTable::IsDeleted(ObjectId id) const {
+  return std::binary_search(tombstones_.begin(), tombstones_.end(), id);
+}
+
+void BucketTable::Compact() {
+  std::vector<std::pair<BucketId, ObjectId>> raw;
+  raw.reserve(num_entries());
+  for (const DirEntry& dir : directory_) {
+    for (uint32_t i = 0; i < dir.count; ++i) {
+      const ObjectId id = entries_[dir.offset + i];
+      if (!IsDeleted(id)) raw.emplace_back(dir.bucket, id);
+    }
+  }
+  for (const auto& [bucket, ids] : overlay_) {
+    for (ObjectId id : ids) {
+      if (!IsDeleted(id)) raw.emplace_back(bucket, id);
+    }
+  }
+  *this = Build(std::move(raw));
+}
+
+size_t BucketTable::MaxBucketSize() const {
+  size_t max_size = 0;
+  for (const DirEntry& dir : directory_) {
+    max_size = std::max(max_size, static_cast<size_t>(dir.count));
+  }
+  for (const auto& [bucket, ids] : overlay_) {
+    max_size = std::max(max_size, ids.size());
+  }
+  return max_size;
+}
+
+size_t BucketTable::OverlayEntries() const {
+  size_t n = 0;
+  for (const auto& [bucket, ids] : overlay_) n += ids.size();
+  return n;
+}
+
+size_t BucketTable::num_entries() const {
+  size_t n = entries_.size();
+  for (const auto& [bucket, ids] : overlay_) n += ids.size();
+  return n;
+}
+
+size_t BucketTable::MemoryBytes() const {
+  size_t bytes = directory_.size() * sizeof(DirEntry) + entries_.size() * sizeof(ObjectId) +
+                 tombstones_.size() * sizeof(ObjectId);
+  for (const auto& [bucket, ids] : overlay_) {
+    bytes += sizeof(bucket) + ids.size() * sizeof(ObjectId) + 3 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace c2lsh

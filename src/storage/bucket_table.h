@@ -1,0 +1,134 @@
+// BucketTable: the physical hash table behind one base LSH function.
+//
+// C2LSH builds one table per base function and, at radius R, probes the run
+// of R *consecutive* base buckets that form the query's level-R bucket
+// (virtual rehashing). The table is therefore laid out as a bucket directory
+// sorted by bucket id over a flat, bucket-contiguous entry array — an aligned
+// range of bucket ids maps to one contiguous slice of entries, which is both
+// cache-friendly in memory and sequential on the simulated disk.
+//
+// Dynamic inserts/deletes land in a small sorted overlay (std::map) that is
+// consulted alongside the flat run and can be folded in with Compact() —
+// the classic main-file + delta organization of disk-based indexes.
+
+#ifndef C2LSH_STORAGE_BUCKET_TABLE_H_
+#define C2LSH_STORAGE_BUCKET_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/storage/page_model.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Signed base bucket id (projections are real-valued, so ids are signed).
+using BucketId = int64_t;
+
+/// One LSH hash table: bucket id -> list of object ids.
+class BucketTable {
+ public:
+  BucketTable() = default;
+
+  /// Builds the table from (bucket, object) pairs. Consumes the input
+  /// (sorted in place). Duplicate pairs are kept as-is.
+  static BucketTable Build(std::vector<std::pair<BucketId, ObjectId>> entries);
+
+  /// Calls `fn(ObjectId)` for every object whose bucket id lies in
+  /// [lo, hi] (inclusive), including overlay inserts and excluding deleted
+  /// objects. Returns the number of objects visited.
+  template <typename Fn>
+  size_t ForEachInRange(BucketId lo, BucketId hi, Fn&& fn) const {
+    size_t visited = 0;
+    const auto [begin_idx, end_idx] = EntryRange(lo, hi);
+    for (size_t i = begin_idx; i < end_idx; ++i) {
+      const ObjectId id = entries_[i];
+      if (IsDeleted(id)) continue;
+      fn(id);
+      ++visited;
+    }
+    for (auto it = overlay_.lower_bound(lo); it != overlay_.end() && it->first <= hi; ++it) {
+      for (ObjectId id : it->second) {
+        if (IsDeleted(id)) continue;
+        fn(id);
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  /// Calls `fn(BucketId, ObjectId)` for every live entry (flat + overlay,
+  /// tombstones skipped), in no particular order. Used by serialization.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const DirEntry& dir : directory_) {
+      for (uint32_t i = 0; i < dir.count; ++i) {
+        const ObjectId id = entries_[dir.offset + i];
+        if (!IsDeleted(id)) fn(dir.bucket, id);
+      }
+    }
+    for (const auto& [bucket, ids] : overlay_) {
+      for (ObjectId id : ids) {
+        if (!IsDeleted(id)) fn(bucket, id);
+      }
+    }
+  }
+
+  /// Number of entries whose bucket id lies in [lo, hi] (deleted objects
+  /// still occupy their slots until Compact()). Used for I/O accounting.
+  size_t EntriesInRange(BucketId lo, BucketId hi) const;
+
+  /// Simulated pages touched when reading the range [lo, hi]: the directory
+  /// probe is charged one page per `dir_pages` levels... simplified to a
+  /// binary-search touch of ceil(log2(#buckets)) directory entries folded
+  /// into one page, plus ceil(entries / entries_per_page) sequential entry
+  /// pages (entries of a range are contiguous by construction).
+  size_t PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const;
+
+  /// Inserts a dynamic entry into the overlay.
+  void Insert(BucketId bucket, ObjectId id);
+
+  /// Marks an object deleted everywhere in this table (tombstone).
+  void Delete(ObjectId id);
+
+  /// Folds overlay inserts and drops tombstoned entries, restoring the flat
+  /// contiguous layout.
+  void Compact();
+
+  size_t num_buckets() const { return directory_.size(); }
+  size_t num_entries() const;
+
+  /// Size of the largest bucket (flat entries; overlay buckets counted
+  /// separately from flat ones with the same id — diagnostics only).
+  size_t MaxBucketSize() const;
+
+  /// Entries sitting in the dynamic overlay (not yet compacted).
+  size_t OverlayEntries() const;
+
+  /// Approximate resident bytes (flat arrays + overlay), used by the
+  /// index-size experiment.
+  size_t MemoryBytes() const;
+
+ private:
+  struct DirEntry {
+    BucketId bucket;
+    uint32_t offset;  // first entry index in entries_
+    uint32_t count;
+  };
+
+  /// Returns [begin, end) indexes into entries_ covering buckets in [lo, hi].
+  std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
+
+  bool IsDeleted(ObjectId id) const;
+
+  std::vector<DirEntry> directory_;  // sorted by bucket id
+  std::vector<ObjectId> entries_;    // bucket-contiguous
+  std::map<BucketId, std::vector<ObjectId>> overlay_;
+  std::vector<ObjectId> tombstones_;  // sorted
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_BUCKET_TABLE_H_

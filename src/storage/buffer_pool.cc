@@ -1,0 +1,121 @@
+#include "src/storage/buffer_pool.h"
+
+namespace c2lsh {
+
+const uint8_t* BufferPool::PageHandle::data() const {
+  return pool_->frames_[frame_].data.data();
+}
+
+uint8_t* BufferPool::PageHandle::mutable_data() {
+  pool_->MarkDirty(frame_);
+  return pool_->frames_[frame_].data.data();
+}
+
+void BufferPool::PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
+  frames_.resize(capacity);
+  for (Frame& f : frames_) {
+    f.data.resize(file_->page_bytes());
+  }
+}
+
+Result<BufferPool> BufferPool::Create(PageFile* file, size_t capacity_pages) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("BufferPool: file is null");
+  }
+  if (capacity_pages == 0) {
+    return Status::InvalidArgument("BufferPool: capacity must be >= 1 page");
+  }
+  return BufferPool(file, capacity_pages);
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  // Prefer an empty frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page == 0) return i;
+  }
+  // Evict the least-recently-used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const size_t frame = *it;
+    Frame& f = frames_[frame];
+    if (f.pins != 0) continue;
+    if (f.dirty) {
+      C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+      ++stats_.writebacks;
+      f.dirty = false;
+    }
+    page_to_frame_.erase(f.page);
+    lru_.erase(std::next(it).base());
+    f.in_lru = false;
+    f.page = 0;
+    ++stats_.evictions;
+    return frame;
+  }
+  return Status::Internal("BufferPool: all frames pinned — pool too small for the "
+                          "working set of one operation");
+}
+
+Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return PageHandle(this, it->second);
+  }
+  ++stats_.misses;
+  C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  C2LSH_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data()));
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  page_to_frame_[id] = frame;
+  return PageHandle(this, frame);
+}
+
+Result<BufferPool::PageHandle> BufferPool::NewPage(PageId* id_out) {
+  C2LSH_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
+  C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  std::fill(f.data.begin(), f.data.end(), 0);
+  f.page = id;
+  f.pins = 1;
+  f.dirty = true;
+  page_to_frame_[id] = frame;
+  if (id_out != nullptr) *id_out = id;
+  return PageHandle(this, frame);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  if (f.pins > 0) --f.pins;
+  if (f.pins == 0 && f.page != 0 && !f.in_lru) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page != 0 && f.dirty) {
+      C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
+      ++stats_.writebacks;
+      f.dirty = false;
+    }
+  }
+  return file_->Sync();
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,114 @@
+// BufferPool: an LRU page cache over a PageFile with pin/unpin semantics —
+// the component that turns logical page accesses into *measured* I/O. The
+// disk-resident index counts pool misses as its I/O cost, which experiment
+// D1 compares against the analytic PageModel predictions.
+
+#ifndef C2LSH_STORAGE_BUFFER_POOL_H_
+#define C2LSH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/page_file.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Cumulative pool statistics.
+struct BufferPoolStats {
+  uint64_t hits = 0;        ///< page found resident
+  uint64_t misses = 0;      ///< page read from the file
+  uint64_t evictions = 0;   ///< resident pages displaced
+  uint64_t writebacks = 0;  ///< dirty pages flushed on eviction/FlushAll
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// An LRU buffer pool. Not thread-safe (one pool per query thread, matching
+/// the single-threaded disk index).
+class BufferPool {
+ public:
+  /// `capacity_pages` frames are allocated eagerly. Must be >= 1.
+  static Result<BufferPool> Create(PageFile* file, size_t capacity_pages);
+
+  BufferPool(BufferPool&&) = default;
+  BufferPool& operator=(BufferPool&&) = default;
+
+  /// RAII pin: while alive, the page stays resident and its bytes stay
+  /// valid. Unpins on destruction.
+  class PageHandle {
+   public:
+    PageHandle() = default;
+    PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+    PageHandle& operator=(PageHandle&& other) noexcept {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      other.pool_ = nullptr;
+      return *this;
+    }
+    PageHandle(const PageHandle&) = delete;
+    PageHandle& operator=(const PageHandle&) = delete;
+    ~PageHandle() { Release(); }
+
+    const uint8_t* data() const;
+    /// Mutable access marks the frame dirty.
+    uint8_t* mutable_data();
+    bool valid() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageHandle(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+    void Release();
+
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  /// Pins page `id`, reading it from the file on a miss. Fails with
+  /// ResourceExhausted-like Internal error if every frame is pinned.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page in the file and pins it (zeroed, dirty).
+  Result<PageHandle> NewPage(PageId* id_out);
+
+  /// Writes all dirty frames back and syncs the file.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t capacity() const { return frames_.size(); }
+  size_t page_bytes() const { return file_->page_bytes(); }
+
+ private:
+  struct Frame {
+    PageId page = 0;  // 0 = empty
+    uint32_t pins = 0;
+    bool dirty = false;
+    std::vector<uint8_t> data;
+    std::list<size_t>::iterator lru_pos;  // valid iff unpinned & occupied
+    bool in_lru = false;
+  };
+
+  BufferPool(PageFile* file, size_t capacity);
+
+  /// Finds a frame for a new page: empty frame, else LRU-evict.
+  Result<size_t> GrabFrame();
+  void Unpin(size_t frame);
+  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+
+  PageFile* file_;  // not owned
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  std::list<size_t> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,129 @@
+#include "src/storage/disk_bucket_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace c2lsh {
+
+namespace {
+constexpr uint32_t kDirMagic = 0xD15CD1A7;
+}  // namespace
+
+Result<DiskBucketTable> DiskBucketTable::Build(
+    BufferPool* pool, std::vector<std::pair<BucketId, ObjectId>> entries) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("DiskBucketTable: pool is null");
+  }
+  std::sort(entries.begin(), entries.end());
+
+  // Directory over the sorted pairs.
+  std::vector<DirEntry> directory;
+  for (size_t i = 0; i < entries.size();) {
+    const BucketId bucket = entries[i].first;
+    size_t j = i;
+    while (j < entries.size() && entries[j].first == bucket) ++j;
+    directory.push_back(DirEntry{bucket, static_cast<uint32_t>(i),
+                                 static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+
+  // Entry pages: a contiguous run of page ids (NewPage allocates
+  // sequentially; assert the contiguity we rely on).
+  const size_t per_page = pool->page_bytes() / sizeof(ObjectId);
+  PageId first_entry_page = 0;
+  for (size_t off = 0; off < entries.size(); off += per_page) {
+    PageId id = 0;
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->NewPage(&id));
+    if (first_entry_page == 0) {
+      first_entry_page = id;
+    } else if (id != first_entry_page + off / per_page) {
+      return Status::Internal("DiskBucketTable: entry pages not contiguous");
+    }
+    auto* ids = reinterpret_cast<ObjectId*>(page.mutable_data());
+    const size_t count = std::min(per_page, entries.size() - off);
+    for (size_t i = 0; i < count; ++i) {
+      ids[i] = entries[off + i].second;
+    }
+  }
+  if (entries.empty()) {
+    // Still allocate a (never-read) anchor so first_entry_page is valid.
+    PageId id = 0;
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->NewPage(&id));
+    (void)page;
+    first_entry_page = id;
+  }
+
+  // Directory blob: [magic][num_entries][first_entry_page][dir size][dir...].
+  ByteBuffer buf;
+  buf.Put(kDirMagic);
+  buf.Put(static_cast<uint64_t>(entries.size()));
+  buf.Put(static_cast<uint64_t>(first_entry_page));
+  buf.Put(static_cast<uint64_t>(directory.size()));
+  buf.PutArray(directory.data(), directory.size());
+  C2LSH_ASSIGN_OR_RETURN(PageId root, WriteBlob(pool, buf.bytes()));
+
+  return DiskBucketTable(pool, root, first_entry_page, entries.size(),
+                         std::move(directory));
+}
+
+Result<DiskBucketTable> DiskBucketTable::Load(BufferPool* pool, PageId root) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("DiskBucketTable: pool is null");
+  }
+  C2LSH_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBlob(pool, root));
+  ByteReader r(&bytes);
+  uint32_t magic = 0;
+  uint64_t num_entries = 0, first_entry_page = 0, dir_size = 0;
+  if (!r.Get(&magic) || magic != kDirMagic || !r.Get(&num_entries) ||
+      !r.Get(&first_entry_page) || !r.Get(&dir_size)) {
+    return Status::Corruption("DiskBucketTable: bad directory blob");
+  }
+  std::vector<DirEntry> directory(dir_size);
+  if (!r.GetArray(directory.data(), directory.size()) || !r.exhausted()) {
+    return Status::Corruption("DiskBucketTable: truncated directory blob");
+  }
+  return DiskBucketTable(pool, root, first_entry_page,
+                         static_cast<size_t>(num_entries), std::move(directory));
+}
+
+std::pair<size_t, size_t> DiskBucketTable::EntryRange(BucketId lo, BucketId hi) const {
+  if (directory_.empty() || lo > hi) return {0, 0};
+  const auto first = std::lower_bound(
+      directory_.begin(), directory_.end(), lo,
+      [](const DirEntry& e, BucketId b) { return e.bucket < b; });
+  if (first == directory_.end() || first->bucket > hi) return {0, 0};
+  const auto last = std::upper_bound(
+      directory_.begin(), directory_.end(), hi,
+      [](BucketId b, const DirEntry& e) { return b < e.bucket; });
+  const DirEntry& tail = *(last - 1);
+  return {first->offset, static_cast<size_t>(tail.offset) + tail.count};
+}
+
+size_t DiskBucketTable::EntriesInRange(BucketId lo, BucketId hi) const {
+  const auto [b, e] = EntryRange(lo, hi);
+  return e - b;
+}
+
+Result<size_t> DiskBucketTable::ForEachInRange(
+    BucketId lo, BucketId hi, const std::function<void(ObjectId)>& fn) const {
+  const auto [begin_idx, end_idx] = EntryRange(lo, hi);
+  if (begin_idx >= end_idx) return size_t{0};
+  const size_t per_page = EntriesPerPage();
+  size_t visited = 0;
+  for (size_t page_idx = begin_idx / per_page; page_idx * per_page < end_idx;
+       ++page_idx) {
+    const PageId id = first_entry_page_ + page_idx;
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(id));
+    const auto* ids = reinterpret_cast<const ObjectId*>(page.data());
+    const size_t page_start = page_idx * per_page;
+    const size_t from = std::max(begin_idx, page_start) - page_start;
+    const size_t to = std::min(end_idx, page_start + per_page) - page_start;
+    for (size_t i = from; i < to; ++i) {
+      fn(ids[i]);
+      ++visited;
+    }
+  }
+  return visited;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,85 @@
+// DiskBucketTable: the external-memory counterpart of BucketTable.
+//
+// Layout inside a shared PageFile:
+//   * entry pages — the bucket-contiguous ObjectId array, split across a
+//     contiguous run of pages (ids packed page_bytes/4 per page);
+//   * a directory blob — the sorted (bucket, offset, count) triples,
+//     serialized via WriteBlob and cached in memory after open (per-table
+//     directories are tiny; both the paper and the in-memory mode treat them
+//     as resident).
+//
+// Range probes therefore cost exactly the entry pages they touch — the
+// quantity the BufferPool measures and experiment D1 compares against the
+// analytic model.
+
+#ifndef C2LSH_STORAGE_DISK_BUCKET_TABLE_H_
+#define C2LSH_STORAGE_DISK_BUCKET_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/storage/blob.h"
+#include "src/storage/bucket_table.h"
+#include "src/util/result.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// An immutable on-disk bucket table.
+class DiskBucketTable {
+ public:
+  /// Builds the table from (bucket, object) pairs (sorted internally),
+  /// writing entry pages and the directory blob through `pool`. Returns the
+  /// table with its in-memory directory populated.
+  static Result<DiskBucketTable> Build(BufferPool* pool,
+                                       std::vector<std::pair<BucketId, ObjectId>> entries);
+
+  /// Reopens a table from its root (the directory blob's first page).
+  static Result<DiskBucketTable> Load(BufferPool* pool, PageId root);
+
+  /// The directory blob's first page — persist this to find the table again.
+  PageId root() const { return root_; }
+
+  size_t num_entries() const { return num_entries_; }
+  size_t num_buckets() const { return directory_.size(); }
+
+  /// Calls `fn(ObjectId)` for every object with bucket in [lo, hi]; entry
+  /// pages are fetched through the pool (so misses are measured I/O).
+  /// Returns the number of objects visited, or an error if a page fetch
+  /// fails.
+  Result<size_t> ForEachInRange(BucketId lo, BucketId hi,
+                                const std::function<void(ObjectId)>& fn) const;
+
+  /// Entries in [lo, hi], answered from the resident directory (no I/O).
+  size_t EntriesInRange(BucketId lo, BucketId hi) const;
+
+ private:
+  struct DirEntry {
+    BucketId bucket;
+    uint32_t offset;
+    uint32_t count;
+  };
+
+  DiskBucketTable(BufferPool* pool, PageId root, PageId first_entry_page,
+                  size_t num_entries, std::vector<DirEntry> directory)
+      : pool_(pool),
+        root_(root),
+        first_entry_page_(first_entry_page),
+        num_entries_(num_entries),
+        directory_(std::move(directory)) {}
+
+  std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
+  size_t EntriesPerPage() const { return pool_->page_bytes() / sizeof(ObjectId); }
+
+  BufferPool* pool_;  // not owned
+  PageId root_ = 0;
+  PageId first_entry_page_ = 0;
+  size_t num_entries_ = 0;
+  std::vector<DirEntry> directory_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_DISK_BUCKET_TABLE_H_

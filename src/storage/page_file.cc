@@ -1,0 +1,110 @@
+#include "src/storage/page_file.h"
+
+#include <cstring>
+#include <vector>
+
+namespace c2lsh {
+
+namespace {
+constexpr uint64_t kPageFileMagic = 0xC25F11E0'0000A001ULL;
+constexpr size_t kHeaderBytes = sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t);
+}  // namespace
+
+Result<PageFile> PageFile::Create(const std::string& path, size_t page_bytes) {
+  if (page_bytes < kHeaderBytes || page_bytes > (1u << 26)) {
+    return Status::InvalidArgument("PageFile: unreasonable page size " +
+                                   std::to_string(page_bytes));
+  }
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb+"));
+  if (f == nullptr) {
+    return Status::IOError("PageFile: cannot create '" + path + "'");
+  }
+  PageFile pf(std::move(f), path, page_bytes, 0);
+  C2LSH_RETURN_IF_ERROR(pf.WriteHeader());
+  return pf;
+}
+
+Result<PageFile> PageFile::Open(const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb+"));
+  if (f == nullptr) {
+    return Status::IOError("PageFile: cannot open '" + path + "'");
+  }
+  uint64_t magic = 0;
+  uint32_t page_bytes = 0;
+  uint64_t num_pages = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::fread(&page_bytes, sizeof(page_bytes), 1, f.get()) != 1 ||
+      std::fread(&num_pages, sizeof(num_pages), 1, f.get()) != 1) {
+    return Status::Corruption("PageFile: truncated header in '" + path + "'");
+  }
+  if (magic != kPageFileMagic) {
+    return Status::Corruption("PageFile: '" + path + "' is not a page file");
+  }
+  if (page_bytes < kHeaderBytes || page_bytes > (1u << 26)) {
+    return Status::Corruption("PageFile: implausible page size in '" + path + "'");
+  }
+  return PageFile(std::move(f), path, page_bytes, num_pages);
+}
+
+Status PageFile::WriteHeader() {
+  if (std::fseek(file_.get(), 0, SEEK_SET) != 0) {
+    return Status::IOError("PageFile: seek failed on '" + path_ + "'");
+  }
+  std::vector<uint8_t> header(page_bytes_, 0);
+  size_t off = 0;
+  std::memcpy(header.data() + off, &kPageFileMagic, sizeof(kPageFileMagic));
+  off += sizeof(kPageFileMagic);
+  const uint32_t pb = static_cast<uint32_t>(page_bytes_);
+  std::memcpy(header.data() + off, &pb, sizeof(pb));
+  off += sizeof(pb);
+  std::memcpy(header.data() + off, &num_pages_, sizeof(num_pages_));
+  if (std::fwrite(header.data(), 1, page_bytes_, file_.get()) != page_bytes_) {
+    return Status::IOError("PageFile: header write failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<PageId> PageFile::AllocatePage() {
+  const PageId id = num_pages_ + 1;  // page 0 is the header
+  std::vector<uint8_t> zeros(page_bytes_, 0);
+  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_bytes_, file_.get()) != page_bytes_) {
+    return Status::IOError("PageFile: allocation failed on '" + path_ + "'");
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status PageFile::ReadPage(PageId id, void* buf) const {
+  if (id == 0 || id > num_pages_) {
+    return Status::OutOfRange("PageFile: page " + std::to_string(id) + " of " +
+                              std::to_string(num_pages_));
+  }
+  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
+      std::fread(buf, 1, page_bytes_, file_.get()) != page_bytes_) {
+    return Status::IOError("PageFile: read of page " + std::to_string(id) + " failed");
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const void* buf) {
+  if (id == 0 || id > num_pages_) {
+    return Status::OutOfRange("PageFile: page " + std::to_string(id) + " of " +
+                              std::to_string(num_pages_));
+  }
+  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
+      std::fwrite(buf, 1, page_bytes_, file_.get()) != page_bytes_) {
+    return Status::IOError("PageFile: write of page " + std::to_string(id) + " failed");
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  C2LSH_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_.get()) != 0) {
+    return Status::IOError("PageFile: flush failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace c2lsh

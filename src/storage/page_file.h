@@ -1,0 +1,85 @@
+// PageFile: a fixed-page-size file, the unit of persistence for the
+// disk-resident index mode. C2LSH is presented as an external-memory index;
+// this file plus the BufferPool on top of it make that mode real (the
+// in-memory mode keeps the analytic PageModel). Layout:
+//
+//   page 0:  header [magic u64][page_bytes u32][num_pages u64][reserved]
+//   page 1+: raw pages owned by higher layers
+//
+// All operations are Status-based; the file is always in a consistent state
+// after Sync() (header rewritten on every allocation batch).
+
+#ifndef C2LSH_STORAGE_PAGE_FILE_H_
+#define C2LSH_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/storage/page_model.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Identifier of a page within a PageFile. Page 0 is the header and is never
+/// handed out.
+using PageId = uint64_t;
+
+/// A fixed-page file. Move-only (owns the file handle).
+class PageFile {
+ public:
+  /// Creates a new file (truncating any existing one).
+  static Result<PageFile> Create(const std::string& path,
+                                 size_t page_bytes = kDefaultPageBytes);
+
+  /// Opens an existing file, validating the header.
+  static Result<PageFile> Open(const std::string& path);
+
+  PageFile(PageFile&&) = default;
+  PageFile& operator=(PageFile&&) = default;
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+
+  /// Number of allocated data pages (excluding the header page).
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Appends a zeroed page; returns its id (>= 1).
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `buf` (page_bytes() bytes).
+  Status ReadPage(PageId id, void* buf) const;
+
+  /// Writes `buf` (page_bytes() bytes) to page `id`.
+  Status WritePage(PageId id, const void* buf);
+
+  /// Flushes buffered writes and the header to the OS.
+  Status Sync();
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  PageFile(std::unique_ptr<std::FILE, FileCloser> f, std::string path, size_t page_bytes,
+           uint64_t num_pages)
+      : file_(std::move(f)),
+        path_(std::move(path)),
+        page_bytes_(page_bytes),
+        num_pages_(num_pages) {}
+
+  Status WriteHeader();
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  size_t page_bytes_ = kDefaultPageBytes;
+  uint64_t num_pages_ = 0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_PAGE_FILE_H_

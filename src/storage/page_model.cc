@@ -1,0 +1,7 @@
+// page_model.h is header-only; this translation unit exists so the library
+// target always has at least one object file and to host future out-of-line
+// additions without touching the build graph.
+
+#include "src/storage/page_model.h"
+
+namespace c2lsh {}  // namespace c2lsh

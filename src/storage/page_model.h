@@ -1,0 +1,78 @@
+// Logical page model.
+//
+// C2LSH (SIGMOD'12) is presented as a disk-based index and reports *I/O cost*
+// — the number of B-byte pages touched per query — as its primary efficiency
+// metric. This repository keeps everything in memory (repro band: laptop-
+// scale, in-memory) but preserves the metric by laying index structures out
+// in logical 4KB pages and counting page touches. The count is a pure
+// function of layout and access pattern, so it regenerates the paper's
+// figures without a disk.
+
+#ifndef C2LSH_STORAGE_PAGE_MODEL_H_
+#define C2LSH_STORAGE_PAGE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c2lsh {
+
+/// The page size used throughout (the paper's B = 4096 bytes).
+inline constexpr size_t kDefaultPageBytes = 4096;
+
+/// Translates byte/entry counts into page counts for a given page size.
+class PageModel {
+ public:
+  explicit PageModel(size_t page_bytes = kDefaultPageBytes) : page_bytes_(page_bytes) {}
+
+  size_t page_bytes() const { return page_bytes_; }
+
+  /// Pages needed to hold `bytes` bytes (>= 1 when bytes > 0).
+  size_t PagesForBytes(size_t bytes) const {
+    return (bytes + page_bytes_ - 1) / page_bytes_;
+  }
+
+  /// Pages needed for `count` fixed-size entries packed contiguously.
+  size_t PagesForEntries(size_t count, size_t entry_bytes) const {
+    return PagesForBytes(count * entry_bytes);
+  }
+
+  /// How many fixed-size entries fit in one page.
+  size_t EntriesPerPage(size_t entry_bytes) const {
+    return entry_bytes == 0 ? 0 : page_bytes_ / entry_bytes;
+  }
+
+  /// Pages to read one d-dimensional float vector (a candidate
+  /// verification = one random access of ceil(4d / B) pages).
+  size_t PagesPerVector(size_t dim) const { return PagesForBytes(dim * sizeof(float)); }
+
+ private:
+  size_t page_bytes_;
+};
+
+/// Mutable per-query I/O accumulator. Index structures charge their page
+/// touches here; the harness reads and resets it between queries.
+class IoCounter {
+ public:
+  /// Pages touched while walking index structures (bucket runs, B-tree paths).
+  void AddIndexPages(uint64_t n) { index_pages_ += n; }
+
+  /// Pages touched fetching object vectors for candidate verification.
+  void AddDataPages(uint64_t n) { data_pages_ += n; }
+
+  uint64_t index_pages() const { return index_pages_; }
+  uint64_t data_pages() const { return data_pages_; }
+  uint64_t total_pages() const { return index_pages_ + data_pages_; }
+
+  void Reset() {
+    index_pages_ = 0;
+    data_pages_ = 0;
+  }
+
+ private:
+  uint64_t index_pages_ = 0;
+  uint64_t data_pages_ = 0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_PAGE_MODEL_H_

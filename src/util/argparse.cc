@@ -1,0 +1,153 @@
+#include "src/util/argparse.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace c2lsh {
+
+namespace {
+
+bool ParseBoolLiteral(const std::string& s, bool* out) {
+  if (s == "true" || s == "1" || s == "yes" || s == "on") {
+    *out = true;
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "no" || s == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ArgParser::AddString(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kString, def, help};
+}
+
+void ArgParser::AddInt(const std::string& name, int64_t def, const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(def), help};
+}
+
+void ArgParser::AddDouble(const std::string& name, double def, const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  flags_[name] = Flag{Type::kDouble, os.str(), help};
+}
+
+void ArgParser::AddBool(const std::string& name, bool def, const std::string& help) {
+  flags_[name] = Flag{Type::kBool, def ? "true" : "false", help};
+}
+
+Status ArgParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Type::kString:
+      flag.value = value;
+      return Status::OK();
+    case Type::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + " expects an integer, got '" +
+                                       value + "'");
+      }
+      flag.value = std::to_string(v);
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name + " expects a number, got '" +
+                                       value + "'");
+      }
+      std::ostringstream os;
+      os << v;
+      flag.value = os.str();
+      return Status::OK();
+    }
+    case Type::kBool: {
+      bool v = false;
+      if (!ParseBoolLiteral(value, &v)) {
+        return Status::InvalidArgument("flag --" + name + " expects a boolean, got '" +
+                                       value + "'");
+      }
+      flag.value = v ? "true" : "false";
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status ArgParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("positional arguments are not supported: '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a boolean
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " is missing a value");
+        }
+        value = argv[++i];
+      }
+    }
+    C2LSH_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string ArgParser::HelpString() const {
+  std::ostringstream os;
+  os << doc_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+std::string ArgParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+int64_t ArgParser::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? 0 : std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? 0.0 : std::strtod(it->second.value.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.value == "true";
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,64 @@
+// Minimal --key=value command-line parsing for the bench and example
+// binaries. Not a general-purpose flags library: every binary declares the
+// flags it understands, unknown flags are an error, and `--help` prints the
+// declared set.
+
+#ifndef C2LSH_UTIL_ARGPARSE_H_
+#define C2LSH_UTIL_ARGPARSE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+/// Declarative flag set. Declare defaults, then Parse(argc, argv); getters
+/// return the parsed or default value.
+class ArgParser {
+ public:
+  /// `program_doc` is printed at the top of --help output.
+  explicit ArgParser(std::string program_doc) : doc_(std::move(program_doc)) {}
+
+  /// Declares a flag with a default value and help text. Must be called
+  /// before Parse. Redeclaring a flag overwrites its default.
+  void AddString(const std::string& name, const std::string& def, const std::string& help);
+  void AddInt(const std::string& name, int64_t def, const std::string& help);
+  void AddDouble(const std::string& name, double def, const std::string& help);
+  void AddBool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses `--name=value` and `--name value` forms. Returns InvalidArgument
+  /// on unknown flags or unparseable values. `--help` sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the help text (doc + one line per declared flag).
+  std::string HelpString() const;
+
+  /// Typed getters; the flag must have been declared.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical string form of current value
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string doc_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_ARGPARSE_H_

@@ -1,0 +1,130 @@
+#include "src/util/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c2lsh {
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kSqrt2Pi = 2.5066282746310002;
+}  // namespace
+
+double NormalPdf(double x) { return std::exp(-0.5 * x * x) / kSqrt2Pi; }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double PStableCollisionProbability(double s, double w) {
+  assert(w > 0.0);
+  assert(s >= 0.0);
+  if (s <= 0.0) return 1.0;
+  const double u = w / s;
+  // p(s; w) = 1 - 2*Phi(-u) - 2/(sqrt(2*pi)*u) * (1 - exp(-u^2/2)).
+  const double p =
+      1.0 - 2.0 * NormalCdf(-u) - (2.0 / (kSqrt2Pi * u)) * (1.0 - std::exp(-0.5 * u * u));
+  // Numerical floor: the expression is mathematically in (0, 1) but can
+  // round to a hair below 0 for enormous s.
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double PStableInverseDistance(double p, double w) {
+  assert(p > 0.0 && p < 1.0);
+  // p(s) is strictly decreasing in s. Bracket the root then bisect.
+  double lo = 1e-12;
+  double hi = 1.0;
+  while (PStableCollisionProbability(hi, w) > p) {
+    hi *= 2.0;
+    if (hi > 1e18) break;  // p was astronomically small; return the cap.
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (PStableCollisionProbability(mid, w) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if ((hi - lo) <= 1e-12 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Γ(a) * sum_{n>=0} x^n / (a(a+1)...(a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a,x) = 1 - P(a,x) (Lentz's algorithm).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+double ChiSquaredCdf(double x, int k) {
+  assert(k > 0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(static_cast<double>(k) / 2.0, x / 2.0);
+}
+
+double HoeffdingLowerTailBound(double t, int m) {
+  assert(m > 0);
+  if (t <= 0.0) return 1.0;
+  return std::exp(-2.0 * static_cast<double>(m) * t * t);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace c2lsh

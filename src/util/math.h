@@ -1,0 +1,75 @@
+// Numeric kernels shared across the library: the standard normal CDF, the
+// p-stable LSH collision probability p(s; w) from Datar et al. (SoCG 2004)
+// that C2LSH's parameterization is built on, and small statistics helpers
+// used by the evaluation harness.
+
+#ifndef C2LSH_UTIL_MATH_H_
+#define C2LSH_UTIL_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace c2lsh {
+
+/// Standard normal probability density function.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution function Phi(x), accurate to
+/// ~1e-15 via std::erfc.
+double NormalCdf(double x);
+
+/// Collision probability of the 2-stable (Gaussian) projection hash
+/// h(o) = floor((a.o + b)/w) for two points at Euclidean distance `s`:
+///
+///   p(s; w) = 1 - 2*Phi(-w/s) - (2 / (sqrt(2*pi) * (w/s))) * (1 - exp(-(w/s)^2 / 2))
+///
+/// Monotonically decreasing in s; p(0) = 1, p(inf) = 0. `s` must be >= 0 and
+/// `w` > 0. The s = 0 limit returns exactly 1.
+double PStableCollisionProbability(double s, double w);
+
+/// Inverse of PStableCollisionProbability in `s` for fixed `w`: returns the
+/// distance at which the collision probability equals `p` (0 < p < 1).
+/// Solved by bisection to ~1e-12 relative accuracy.
+double PStableInverseDistance(double p, double w);
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a, x) / Γ(a),
+/// for a > 0, x >= 0. Series expansion for x < a + 1, continued fraction
+/// otherwise; absolute accuracy ~1e-12. The chi-squared CDF below is its
+/// only in-repo consumer.
+double RegularizedGammaP(double a, double x);
+
+/// CDF of the chi-squared distribution with k degrees of freedom at x —
+/// the distribution of a squared Gaussian-projection distance ratio, which
+/// the SRS baseline's early-termination test is built on.
+double ChiSquaredCdf(double x, int k);
+
+/// Hoeffding bound: probability that the mean of `m` i.i.d. Bernoulli(p)
+/// variables deviates below p by at least `t` is <= exp(-2 m t^2). This
+/// returns that bound; used by core/params self-checks and tests.
+double HoeffdingLowerTailBound(double t, int m);
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for size < 2.
+double SampleStddev(const std::vector<double>& xs);
+
+/// The q-th percentile (0 <= q <= 100) by linear interpolation between
+/// closest ranks. Copies and sorts; returns 0 for an empty input.
+double Percentile(std::vector<double> xs, double q);
+
+/// Integer ceil(a / b) for positive b and non-negative a.
+inline long long CeilDiv(long long a, long long b) { return (a + b - 1) / b; }
+
+/// Floor division that is correct for negative numerators (C++'s `/`
+/// truncates toward zero; bucket ids are signed so virtual rehashing needs
+/// true floor semantics).
+inline long long FloorDiv(long long a, long long b) {
+  long long q = a / b;
+  long long r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_MATH_H_

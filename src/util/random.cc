@@ -1,0 +1,64 @@
+#include "src/util/random.h"
+
+#include <cassert>
+
+namespace c2lsh {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Mix the engine's current state hash with the stream id. We cannot read
+  // mt19937_64 state cheaply, so forks are derived from the stream id and a
+  // fixed tweak of the original seed captured at construction; this keeps
+  // Fork() const and deterministic.
+  uint64_t child = SplitMix64(base_seed_ ^ SplitMix64(stream_id + 0x517cc1b727220a95ULL));
+  Rng r(child);
+  return r;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+void Rng::GaussianVector(size_t n, std::vector<float>* out) {
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*out)[i] = static_cast<float>(Gaussian());
+  }
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<size_t> dist(i, n - 1);
+    std::swap(pool[i], pool[dist(engine_)]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace c2lsh

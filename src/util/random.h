@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every randomized component in the library (hash function sampling, synthetic
+// data generation, query selection) takes an explicit seed and derives its
+// randomness through Rng, so a whole experiment is reproducible from a single
+// 64-bit seed printed in its header line.
+
+#ifndef C2LSH_UTIL_RANDOM_H_
+#define C2LSH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace c2lsh {
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Used to derive
+/// independent child seeds from a master seed without correlation.
+uint64_t SplitMix64(uint64_t x);
+
+/// A seeded pseudo-random generator with the distribution helpers the library
+/// needs. Wraps std::mt19937_64; not thread-safe (create one per thread).
+class Rng {
+ public:
+  /// Constructs a generator from an explicit seed. Identical seeds produce
+  /// identical streams on every platform the library supports.
+  explicit Rng(uint64_t seed) : engine_(SplitMix64(seed)), base_seed_(seed) {}
+
+  /// Derives a child generator whose stream is independent of this one and of
+  /// every other child with a different `stream_id`. Deterministic.
+  Rng Fork(uint64_t stream_id) const;
+
+  /// Standard normal N(0, 1).
+  double Gaussian() { return normal_(engine_); }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, n) — convenience for index selection. Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fills `out` with i.i.d. standard normal values.
+  void GaussianVector(size_t n, std::vector<float>* out);
+
+  /// Returns `k` distinct indices drawn uniformly from [0, n). Requires
+  /// k <= n. O(n) time via partial Fisher-Yates.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Raw 64 random bits.
+  uint64_t Next64() { return engine_(); }
+
+  /// The underlying engine, for use with std:: distribution objects.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  Rng(uint64_t seed, bool /*raw_tag*/) : engine_(seed) {}
+
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  uint64_t base_seed_ = 0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_RANDOM_H_

@@ -1,0 +1,83 @@
+// Result<T>: a value-or-Status union, the library's replacement for throwing
+// constructors and factory functions. Modeled after absl::StatusOr.
+
+#ifndef C2LSH_UTIL_RESULT_H_
+#define C2LSH_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+/// Holds either a T or a non-OK Status explaining why the T is absent.
+///
+/// Usage:
+///   Result<C2lshIndex> r = C2lshIndex::Build(data, params);
+///   if (!r.ok()) { /* inspect r.status() */ }
+///   C2lshIndex index = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path reads naturally:
+  /// `return my_t;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error Status. It is a programming error to
+  /// construct a Result from an OK status; that case is reported as an
+  /// Internal error so the misuse is observable rather than silent.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when ok(); checked with assert in
+  /// debug builds (the library itself always checks ok() first).
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define C2LSH_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto C2LSH_CONCAT_(_c2lsh_result_, __LINE__) = (expr);        \
+  if (!C2LSH_CONCAT_(_c2lsh_result_, __LINE__).ok())            \
+    return C2LSH_CONCAT_(_c2lsh_result_, __LINE__).status();    \
+  lhs = std::move(C2LSH_CONCAT_(_c2lsh_result_, __LINE__)).value()
+
+#define C2LSH_CONCAT_INNER_(a, b) a##b
+#define C2LSH_CONCAT_(a, b) C2LSH_CONCAT_INNER_(a, b)
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_RESULT_H_

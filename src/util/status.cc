@@ -1,0 +1,45 @@
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+  }
+  return "Unknown";
+}
+
+Status::Status(const Status& other)
+    : rep_(other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_)) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace c2lsh

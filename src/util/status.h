@@ -1,0 +1,114 @@
+// Status: exception-free error propagation for the c2lsh library.
+//
+// The library never throws; every fallible operation returns a Status (or a
+// Result<T>, see result.h). This mirrors the convention used by RocksDB and
+// LevelDB: a Status is cheap to create and copy in the OK case, carries an
+// error code plus a human-readable message otherwise.
+
+#ifndef C2LSH_UTIL_STATUS_H_
+#define C2LSH_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace c2lsh {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< Caller passed a parameter outside its contract.
+  kNotFound = 2,         ///< A requested entity (file, id, key) is absent.
+  kIOError = 3,          ///< Filesystem / serialization failure.
+  kNotSupported = 4,     ///< Valid request, unimplemented configuration.
+  kInternal = 5,         ///< Invariant violation inside the library.
+  kCorruption = 6,       ///< Persisted data failed validation.
+  kOutOfRange = 7,       ///< Index or radius outside the valid domain.
+};
+
+/// Returns a stable human-readable name for a code ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK (no allocation, fits in a register) or an error code
+/// with a message. Copyable and movable; moving leaves the source OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// The error message, empty for OK.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define C2LSH_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::c2lsh::Status _c2lsh_status = (expr);          \
+    if (!_c2lsh_status.ok()) return _c2lsh_status;   \
+  } while (0)
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_STATUS_H_

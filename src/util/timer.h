@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the evaluation harness and benchmarks.
+
+#ifndef C2LSH_UTIL_TIMER_H_
+#define C2LSH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace c2lsh {
+
+/// Measures elapsed wall time with steady_clock. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_TIMER_H_

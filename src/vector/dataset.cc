@@ -1,0 +1,34 @@
+#include "src/vector/dataset.h"
+
+#include <cmath>
+
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+Result<Dataset> Dataset::Create(std::string name, FloatMatrix vectors) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("Dataset '" + name + "' must contain at least one vector");
+  }
+  return Dataset(std::move(name), std::move(vectors));
+}
+
+Dataset::Stats Dataset::ComputeStats() const {
+  Stats s;
+  s.n = size();
+  s.dim = dim();
+  double norm_sum = 0.0;
+  double max_abs = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    const float* v = vectors_.row(i);
+    norm_sum += std::sqrt(SquaredNorm(v, dim()));
+    for (size_t j = 0; j < dim(); ++j) {
+      max_abs = std::max(max_abs, static_cast<double>(std::fabs(v[j])));
+    }
+  }
+  s.mean_norm = norm_sum / static_cast<double>(size());
+  s.max_abs_coord = max_abs;
+  return s;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,52 @@
+// Dataset: a named, immutable collection of vectors plus the statistics the
+// experiment harness prints (mirroring the statistics table every LSH paper
+// leads its evaluation with).
+
+#ifndef C2LSH_VECTOR_DATASET_H_
+#define C2LSH_VECTOR_DATASET_H_
+
+#include <string>
+
+#include "src/util/result.h"
+#include "src/vector/matrix.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// An immutable vector collection with a display name. The matrix row index
+/// is the ObjectId used by every index in the library.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Wraps a matrix. `name` is used in experiment output.
+  static Result<Dataset> Create(std::string name, FloatMatrix vectors);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return vectors_.num_rows(); }
+  size_t dim() const { return vectors_.dim(); }
+  const FloatMatrix& vectors() const { return vectors_; }
+
+  /// Pointer to object `id`'s vector.
+  const float* object(ObjectId id) const { return vectors_.row(id); }
+
+  /// Summary statistics used by dataset tables and tests.
+  struct Stats {
+    size_t n = 0;
+    size_t dim = 0;
+    double mean_norm = 0.0;    ///< average L2 norm of the vectors
+    double max_abs_coord = 0;  ///< largest |coordinate| (for quantization checks)
+  };
+  Stats ComputeStats() const;
+
+ private:
+  Dataset(std::string name, FloatMatrix vectors)
+      : name_(std::move(name)), vectors_(std::move(vectors)) {}
+
+  std::string name_;
+  FloatMatrix vectors_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_DATASET_H_

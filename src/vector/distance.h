@@ -1,0 +1,47 @@
+// Distance kernels. C2LSH's p-stable family targets Euclidean distance; the
+// angular kernels support the normalized-dataset experiments and baselines.
+
+#ifndef C2LSH_VECTOR_DISTANCE_H_
+#define C2LSH_VECTOR_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace c2lsh {
+
+/// Distance metrics understood by the evaluation harness.
+enum class Metric {
+  kEuclidean,         ///< L2
+  kSquaredEuclidean,  ///< L2^2 (monotone in L2; cheaper for rankings)
+  kAngular,           ///< 1 - cos(a, b), in [0, 2]
+  kManhattan,         ///< L1 (served by the Cauchy-projection QALSH variant)
+};
+
+std::string_view MetricToString(Metric m);
+
+/// Squared Euclidean distance between two d-dimensional vectors.
+/// Accumulates in double for numerical robustness across large d.
+double SquaredL2(const float* a, const float* b, size_t d);
+
+/// Euclidean distance.
+double L2(const float* a, const float* b, size_t d);
+
+/// Manhattan (l1) distance.
+double L1(const float* a, const float* b, size_t d);
+
+/// Inner product a . b.
+double Dot(const float* a, const float* b, size_t d);
+
+/// Squared L2 norm of a vector.
+double SquaredNorm(const float* a, size_t d);
+
+/// Angular distance 1 - cos(a, b). Returns 1 when either vector is zero.
+double Angular(const float* a, const float* b, size_t d);
+
+/// Metric dispatch used by the harness (the index hot paths call the concrete
+/// kernels directly).
+double ComputeDistance(Metric metric, const float* a, const float* b, size_t d);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_DISTANCE_H_

@@ -1,0 +1,129 @@
+#include "src/vector/ground_truth.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "src/vector/io.h"
+
+namespace c2lsh {
+
+namespace {
+
+/// Exact top-k for one query by heap-based selection over all rows.
+NeighborList BruteForceTopK(const Dataset& data, const float* q, size_t k, Metric metric) {
+  const size_t n = data.size();
+  const size_t d = data.dim();
+  k = std::min(k, n);
+  // Max-heap of the current best k (worst at front).
+  NeighborList heap;
+  heap.reserve(k + 1);
+  NeighborLess less;
+  auto cmp = [&less](const Neighbor& a, const Neighbor& b) { return less(a, b); };
+  for (size_t i = 0; i < n; ++i) {
+    const double dist = ComputeDistance(metric, q, data.object(static_cast<ObjectId>(i)), d);
+    const Neighbor cand{static_cast<ObjectId>(i), static_cast<float>(dist)};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (less(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+}  // namespace
+
+Result<std::vector<NeighborList>> ComputeGroundTruth(const Dataset& data,
+                                                     const FloatMatrix& queries, size_t k,
+                                                     Metric metric, size_t num_threads) {
+  if (k == 0) {
+    return Status::InvalidArgument("ComputeGroundTruth: k must be positive");
+  }
+  if (queries.dim() != data.dim()) {
+    return Status::InvalidArgument("ComputeGroundTruth: query dim " +
+                                   std::to_string(queries.dim()) + " != data dim " +
+                                   std::to_string(data.dim()));
+  }
+  const size_t nq = queries.num_rows();
+  std::vector<NeighborList> out(nq);
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, nq);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (size_t i = t; i < nq; i += num_threads) {
+        out[i] = BruteForceTopK(data, queries.row(i), k, metric);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return out;
+}
+
+Status SaveGroundTruth(const std::string& path, const std::vector<NeighborList>& gt) {
+  // Encode each NeighborList as one ivecs row: [id0, bits(dist0), id1, ...].
+  std::vector<std::vector<int32_t>> rows;
+  rows.reserve(gt.size());
+  for (const NeighborList& list : gt) {
+    std::vector<int32_t> row;
+    row.reserve(list.size() * 2);
+    for (const Neighbor& nb : list) {
+      row.push_back(static_cast<int32_t>(nb.id));
+      int32_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(nb.dist));
+      std::memcpy(&bits, &nb.dist, sizeof(bits));
+      row.push_back(bits);
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteIvecs(path, rows);
+}
+
+Result<std::vector<NeighborList>> LoadGroundTruth(const std::string& path) {
+  C2LSH_ASSIGN_OR_RETURN(auto rows, ReadIvecs(path));
+  std::vector<NeighborList> gt;
+  gt.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() % 2 != 0) {
+      return Status::Corruption("ground-truth cache '" + path + "' has odd row length");
+    }
+    NeighborList list;
+    list.reserve(row.size() / 2);
+    for (size_t i = 0; i + 1 < row.size(); i += 2) {
+      Neighbor nb;
+      nb.id = static_cast<ObjectId>(row[i]);
+      std::memcpy(&nb.dist, &row[i + 1], sizeof(nb.dist));
+      list.push_back(nb);
+    }
+    gt.push_back(std::move(list));
+  }
+  return gt;
+}
+
+Result<std::vector<NeighborList>> LoadOrComputeGroundTruth(const std::string& path,
+                                                           const Dataset& data,
+                                                           const FloatMatrix& queries,
+                                                           size_t k, Metric metric) {
+  if (!path.empty()) {
+    Result<std::vector<NeighborList>> cached = LoadGroundTruth(path);
+    if (cached.ok() && cached->size() == queries.num_rows() &&
+        (cached->empty() || cached->front().size() >= std::min(k, data.size()))) {
+      return cached;
+    }
+  }
+  C2LSH_ASSIGN_OR_RETURN(auto gt, ComputeGroundTruth(data, queries, k, metric));
+  if (!path.empty()) {
+    C2LSH_RETURN_IF_ERROR(SaveGroundTruth(path, gt));
+  }
+  return gt;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,40 @@
+// Exact k-nearest-neighbor ground truth: computation (multi-threaded brute
+// force) and an .ivecs-compatible cache so repeated experiment runs skip the
+// O(n * q * d) scan.
+
+#ifndef C2LSH_VECTOR_GROUND_TRUTH_H_
+#define C2LSH_VECTOR_GROUND_TRUTH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/distance.h"
+#include "src/vector/matrix.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// Exact top-k neighbors (ascending distance) for every query row.
+/// `num_threads = 0` uses the hardware concurrency.
+Result<std::vector<NeighborList>> ComputeGroundTruth(const Dataset& data,
+                                                     const FloatMatrix& queries, size_t k,
+                                                     Metric metric = Metric::kEuclidean,
+                                                     size_t num_threads = 0);
+
+/// Saves ground truth as interleaved (id, distance-bits) .ivecs rows.
+Status SaveGroundTruth(const std::string& path, const std::vector<NeighborList>& gt);
+
+/// Loads ground truth saved by SaveGroundTruth.
+Result<std::vector<NeighborList>> LoadGroundTruth(const std::string& path);
+
+/// Loads the cache if present and consistent with (num_queries, k);
+/// otherwise computes and saves it. `path` may be empty to skip caching.
+Result<std::vector<NeighborList>> LoadOrComputeGroundTruth(
+    const std::string& path, const Dataset& data, const FloatMatrix& queries, size_t k,
+    Metric metric = Metric::kEuclidean);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_GROUND_TRUTH_H_

@@ -1,0 +1,181 @@
+#include "src/vector/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace c2lsh {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenFile(const std::string& path, const char* mode) {
+  return FilePtr(std::fopen(path.c_str(), mode));
+}
+
+}  // namespace
+
+Result<FloatMatrix> ReadFvecs(const std::string& path, size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::vector<float> data;
+  size_t dim = 0;
+  size_t rows = 0;
+  while (max_rows == 0 || rows < max_rows) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;  // clean EOF
+    if (d <= 0) {
+      return Status::Corruption("fvecs '" + path + "': non-positive dimension " +
+                                std::to_string(d) + " at row " + std::to_string(rows));
+    }
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+    } else if (static_cast<size_t>(d) != dim) {
+      return Status::Corruption("fvecs '" + path + "': row " + std::to_string(rows) +
+                                " has dim " + std::to_string(d) + ", expected " +
+                                std::to_string(dim));
+    }
+    const size_t old = data.size();
+    data.resize(old + dim);
+    if (std::fread(data.data() + old, sizeof(float), dim, f.get()) != dim) {
+      return Status::Corruption("fvecs '" + path + "': truncated row " +
+                                std::to_string(rows));
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    return Status::Corruption("fvecs '" + path + "': empty file");
+  }
+  return FloatMatrix::FromVector(rows, dim, std::move(data));
+}
+
+Status WriteFvecs(const std::string& path, const FloatMatrix& m) {
+  FilePtr f = OpenFile(path, "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const int32_t d = static_cast<int32_t>(m.dim());
+  for (size_t i = 0; i < m.num_rows(); ++i) {
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(m.row(i), sizeof(float), m.dim(), f.get()) != m.dim()) {
+      return Status::IOError("short write to '" + path + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path,
+                                                    size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::vector<std::vector<int32_t>> rows;
+  while (max_rows == 0 || rows.size() < max_rows) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;
+    if (d < 0) {
+      return Status::Corruption("ivecs '" + path + "': negative row length");
+    }
+    std::vector<int32_t> row(static_cast<size_t>(d));
+    if (d > 0 &&
+        std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) != row.size()) {
+      return Status::Corruption("ivecs '" + path + "': truncated row " +
+                                std::to_string(rows.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<FloatMatrix> ReadBvecs(const std::string& path, size_t max_rows) {
+  FilePtr f = OpenFile(path, "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::vector<float> data;
+  std::vector<uint8_t> row_buf;
+  size_t dim = 0;
+  size_t rows = 0;
+  while (max_rows == 0 || rows < max_rows) {
+    int32_t d = 0;
+    const size_t got = std::fread(&d, sizeof(d), 1, f.get());
+    if (got == 0) break;
+    if (d <= 0) {
+      return Status::Corruption("bvecs '" + path + "': non-positive dimension");
+    }
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+    } else if (static_cast<size_t>(d) != dim) {
+      return Status::Corruption("bvecs '" + path + "': inconsistent dimension at row " +
+                                std::to_string(rows));
+    }
+    row_buf.resize(dim);
+    if (std::fread(row_buf.data(), 1, dim, f.get()) != dim) {
+      return Status::Corruption("bvecs '" + path + "': truncated row " +
+                                std::to_string(rows));
+    }
+    for (uint8_t b : row_buf) data.push_back(static_cast<float>(b));
+    ++rows;
+  }
+  if (rows == 0) {
+    return Status::Corruption("bvecs '" + path + "': empty file");
+  }
+  return FloatMatrix::FromVector(rows, dim, std::move(data));
+}
+
+Status WriteBvecs(const std::string& path, const FloatMatrix& m) {
+  FilePtr f = OpenFile(path, "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const int32_t d = static_cast<int32_t>(m.dim());
+  std::vector<uint8_t> row_buf(m.dim());
+  for (size_t i = 0; i < m.num_rows(); ++i) {
+    const float* row = m.row(i);
+    for (size_t j = 0; j < m.dim(); ++j) {
+      const float v = row[j];
+      if (!(v >= -0.5f && v < 255.5f)) {
+        return Status::InvalidArgument("bvecs: coordinate " + std::to_string(v) +
+                                       " at row " + std::to_string(i) +
+                                       " is outside [0, 255]");
+      }
+      row_buf[j] = static_cast<uint8_t>(v + 0.5f);
+    }
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1 ||
+        std::fwrite(row_buf.data(), 1, row_buf.size(), f.get()) != row_buf.size()) {
+      return Status::IOError("short write to '" + path + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteIvecs(const std::string& path, const std::vector<std::vector<int32_t>>& rows) {
+  FilePtr f = OpenFile(path, "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  for (const auto& row : rows) {
+    const int32_t d = static_cast<int32_t>(row.size());
+    if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1) {
+      return Status::IOError("short write to '" + path + "'");
+    }
+    if (!row.empty() &&
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) != row.size()) {
+      return Status::IOError("short write to '" + path + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace c2lsh

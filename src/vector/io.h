@@ -1,0 +1,45 @@
+// Readers and writers for the standard ANN benchmark file formats:
+//   .fvecs — each vector is [int32 d][d x float32]
+//   .ivecs — each vector is [int32 d][d x int32]
+// These are the formats the public SIFT/GIST/Audio datasets ship in, so real
+// data can replace the synthetic profiles without code changes.
+
+#ifndef C2LSH_VECTOR_IO_H_
+#define C2LSH_VECTOR_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+
+/// Reads an .fvecs file into a matrix. `max_rows = 0` means read everything.
+/// Fails with Corruption if rows disagree on dimensionality or the file is
+/// truncated mid-record.
+Result<FloatMatrix> ReadFvecs(const std::string& path, size_t max_rows = 0);
+
+/// Writes a matrix in .fvecs format.
+Status WriteFvecs(const std::string& path, const FloatMatrix& m);
+
+/// Reads an .ivecs file (e.g. published ground-truth neighbor ids).
+Result<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path,
+                                                    size_t max_rows = 0);
+
+/// Writes integer id lists in .ivecs format. All rows may have distinct
+/// lengths (the format allows it), matching how ground-truth caches are used.
+Status WriteIvecs(const std::string& path, const std::vector<std::vector<int32_t>>& rows);
+
+/// Reads a .bvecs file ([int32 d][d x uint8] per vector — the SIFT1B billion-
+/// scale format), widening bytes to floats. `max_rows = 0` reads everything.
+Result<FloatMatrix> ReadBvecs(const std::string& path, size_t max_rows = 0);
+
+/// Writes a matrix in .bvecs format. Coordinates must lie in [0, 255] (after
+/// rounding); values outside that range fail with InvalidArgument rather
+/// than silently saturating.
+Status WriteBvecs(const std::string& path, const FloatMatrix& m);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_IO_H_

@@ -1,0 +1,54 @@
+#include "src/vector/matrix.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace c2lsh {
+
+Result<FloatMatrix> FloatMatrix::Create(size_t num_rows, size_t dim) {
+  if (num_rows == 0 || dim == 0) {
+    return Status::InvalidArgument("FloatMatrix dimensions must be positive, got " +
+                                   std::to_string(num_rows) + " x " + std::to_string(dim));
+  }
+  if (dim != 0 && num_rows > std::numeric_limits<size_t>::max() / dim / sizeof(float)) {
+    return Status::InvalidArgument("FloatMatrix size overflows");
+  }
+  return FloatMatrix(num_rows, dim, std::vector<float>(num_rows * dim, 0.0f));
+}
+
+Result<FloatMatrix> FloatMatrix::FromVector(size_t num_rows, size_t dim,
+                                            std::vector<float> data) {
+  if (num_rows == 0 || dim == 0) {
+    return Status::InvalidArgument("FloatMatrix dimensions must be positive");
+  }
+  if (data.size() != num_rows * dim) {
+    return Status::InvalidArgument(
+        "FloatMatrix::FromVector: buffer has " + std::to_string(data.size()) +
+        " floats, expected " + std::to_string(num_rows * dim));
+  }
+  return FloatMatrix(num_rows, dim, std::move(data));
+}
+
+Status FloatMatrix::AppendRow(const float* v, size_t len) {
+  if (len != dim_) {
+    return Status::InvalidArgument("AppendRow: row has " + std::to_string(len) +
+                                   " elements, matrix dim is " + std::to_string(dim_));
+  }
+  data_.insert(data_.end(), v, v + len);
+  ++num_rows_;
+  return Status::OK();
+}
+
+void FloatMatrix::NormalizeRows() {
+  for (size_t i = 0; i < num_rows_; ++i) {
+    float* r = mutable_row(i);
+    double norm_sq = 0.0;
+    for (size_t j = 0; j < dim_; ++j) norm_sq += static_cast<double>(r[j]) * r[j];
+    if (norm_sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (size_t j = 0; j < dim_; ++j) r[j] *= inv;
+  }
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,62 @@
+// FloatMatrix: dense row-major float storage for datasets and query sets.
+
+#ifndef C2LSH_VECTOR_MATRIX_H_
+#define C2LSH_VECTOR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// A dense n x d row-major float matrix. Rows are vectors (objects or
+/// queries). Copyable and movable; the copy is deep.
+class FloatMatrix {
+ public:
+  /// An empty 0 x 0 matrix.
+  FloatMatrix() = default;
+
+  /// Creates an n x d matrix of zeros. Returns InvalidArgument if either
+  /// dimension is zero or the total size would overflow size_t.
+  static Result<FloatMatrix> Create(size_t num_rows, size_t dim);
+
+  /// Wraps an existing buffer (copied). `data.size()` must equal
+  /// num_rows * dim.
+  static Result<FloatMatrix> FromVector(size_t num_rows, size_t dim,
+                                        std::vector<float> data);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t dim() const { return dim_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Pointer to the start of row i. No bounds check in release builds.
+  const float* row(size_t i) const { return data_.data() + i * dim_; }
+  float* mutable_row(size_t i) { return data_.data() + i * dim_; }
+
+  /// Element access with bounds known to the caller.
+  float at(size_t i, size_t j) const { return data_[i * dim_ + j]; }
+  void set(size_t i, size_t j, float v) { data_[i * dim_ + j] = v; }
+
+  const std::vector<float>& data() const { return data_; }
+
+  /// Appends a row (must have exactly dim() elements). Used by streaming
+  /// loaders and the dynamic-update tests.
+  Status AppendRow(const float* v, size_t len);
+
+  /// In-place L2 normalization of every row; rows with zero norm are left
+  /// unchanged. Used to derive angular-distance datasets.
+  void NormalizeRows();
+
+ private:
+  FloatMatrix(size_t num_rows, size_t dim, std::vector<float> data)
+      : num_rows_(num_rows), dim_(dim), data_(std::move(data)) {}
+
+  size_t num_rows_ = 0;
+  size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_MATRIX_H_

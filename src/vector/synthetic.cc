@@ -1,0 +1,191 @@
+#include "src/vector/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+
+Result<FloatMatrix> GenerateGaussianMixture(const MixtureConfig& config) {
+  if (config.num_clusters == 0) {
+    return Status::InvalidArgument("MixtureConfig.num_clusters must be positive");
+  }
+  if (config.cluster_stddev < 0.0 || config.center_spread < 0.0) {
+    return Status::InvalidArgument("mixture stddevs must be non-negative");
+  }
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix m, FloatMatrix::Create(config.n, config.dim));
+
+  Rng rng(config.seed);
+  // Component centers.
+  std::vector<std::vector<float>> centers(config.num_clusters);
+  for (auto& c : centers) {
+    c.resize(config.dim);
+    for (size_t j = 0; j < config.dim; ++j) {
+      c[j] = static_cast<float>(rng.Gaussian(0.0, config.center_spread));
+    }
+  }
+  // Balanced round-robin assignment keeps cluster populations equal, so no
+  // cluster is spuriously "easy" because it is tiny.
+  for (size_t i = 0; i < config.n; ++i) {
+    const std::vector<float>& c = centers[i % config.num_clusters];
+    float* row = m.mutable_row(i);
+    for (size_t j = 0; j < config.dim; ++j) {
+      row[j] = c[j] + static_cast<float>(rng.Gaussian(0.0, config.cluster_stddev));
+    }
+  }
+  return m;
+}
+
+Result<FloatMatrix> GenerateUniform(size_t n, size_t dim, uint64_t seed) {
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix m, FloatMatrix::Create(n, dim));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = m.mutable_row(i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = static_cast<float>(rng.Uniform(0.0, 1.0));
+    }
+  }
+  return m;
+}
+
+Result<FloatMatrix> GenerateQueriesNearData(const FloatMatrix& data, size_t num_queries,
+                                            double jitter_stddev, uint64_t seed) {
+  if (data.empty()) {
+    return Status::InvalidArgument("GenerateQueriesNearData: data is empty");
+  }
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix q, FloatMatrix::Create(num_queries, data.dim()));
+  Rng rng(seed);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const float* src = data.row(rng.Index(data.num_rows()));
+    float* dst = q.mutable_row(i);
+    for (size_t j = 0; j < data.dim(); ++j) {
+      dst[j] = src[j] + static_cast<float>(rng.Gaussian(0.0, jitter_stddev));
+    }
+  }
+  return q;
+}
+
+double EstimateNearestNeighborDistance(const FloatMatrix& data, size_t num_samples,
+                                       size_t scan_limit, uint64_t seed) {
+  if (data.num_rows() < 2) return 0.0;
+  Rng rng(seed);
+  num_samples = std::min(num_samples, data.num_rows());
+  const size_t scan = (scan_limit == 0) ? data.num_rows() : std::min(scan_limit, data.num_rows());
+  std::vector<double> nn_dists;
+  nn_dists.reserve(num_samples);
+  for (size_t s = 0; s < num_samples; ++s) {
+    const size_t probe = rng.Index(data.num_rows());
+    double best = std::numeric_limits<double>::infinity();
+    // Scan a deterministic stride covering `scan` rows so the estimate does
+    // not depend on data ordering.
+    const size_t stride = std::max<size_t>(1, data.num_rows() / scan);
+    for (size_t i = 0; i < data.num_rows(); i += stride) {
+      if (i == probe) continue;
+      best = std::min(best, SquaredL2(data.row(probe), data.row(i), data.dim()));
+    }
+    if (std::isfinite(best)) nn_dists.push_back(std::sqrt(best));
+  }
+  if (nn_dists.empty()) return 0.0;
+  std::nth_element(nn_dists.begin(), nn_dists.begin() + nn_dists.size() / 2, nn_dists.end());
+  return nn_dists[nn_dists.size() / 2];
+}
+
+double RescaleToTargetNN(FloatMatrix* data, double target_nn, uint64_t seed) {
+  const double current = EstimateNearestNeighborDistance(*data, /*num_samples=*/64,
+                                                         /*scan_limit=*/4096, seed);
+  if (current <= 0.0 || target_nn <= 0.0) return 1.0;
+  const double scale = target_nn / current;
+  for (size_t i = 0; i < data->num_rows(); ++i) {
+    float* row = data->mutable_row(i);
+    for (size_t j = 0; j < data->dim(); ++j) {
+      row[j] = static_cast<float>(row[j] * scale);
+    }
+  }
+  return scale;
+}
+
+std::string DatasetProfileName(DatasetProfile profile) {
+  switch (profile) {
+    case DatasetProfile::kAudio:
+      return "Audio";
+    case DatasetProfile::kMnist:
+      return "Mnist";
+    case DatasetProfile::kColor:
+      return "Color";
+    case DatasetProfile::kLabelMe:
+      return "LabelMe";
+  }
+  return "Unknown";
+}
+
+std::vector<DatasetProfile> AllDatasetProfiles() {
+  return {DatasetProfile::kAudio, DatasetProfile::kMnist, DatasetProfile::kColor,
+          DatasetProfile::kLabelMe};
+}
+
+namespace {
+
+/// Per-profile generator settings. Dimensionalities match the published
+/// datasets; cardinalities are the laptop-scale defaults (the real datasets'
+/// n is quoted in synthetic.h); hardness is controlled by cluster count and
+/// tightness — low-d Color is strongly clustered (easy), high-d LabelMe has
+/// diffuse clusters (hard).
+struct ProfileSpec {
+  size_t default_n;
+  size_t dim;
+  size_t num_clusters;
+  double center_spread;
+  double cluster_stddev;
+};
+
+ProfileSpec GetSpec(DatasetProfile profile) {
+  switch (profile) {
+    case DatasetProfile::kAudio:
+      return {20000, 192, 50, 1.0, 0.25};
+    case DatasetProfile::kMnist:
+      return {20000, 50, 10, 1.0, 0.20};
+    case DatasetProfile::kColor:
+      return {20000, 32, 30, 1.0, 0.15};
+    case DatasetProfile::kLabelMe:
+      return {20000, 512, 80, 1.0, 0.40};
+  }
+  return {20000, 32, 20, 1.0, 0.2};
+}
+
+}  // namespace
+
+Result<ProfileData> MakeProfileDataset(DatasetProfile profile, size_t n,
+                                       size_t num_queries, uint64_t seed) {
+  const ProfileSpec spec = GetSpec(profile);
+  MixtureConfig config;
+  config.n = (n == 0) ? spec.default_n : n;
+  config.dim = spec.dim;
+  config.num_clusters = spec.num_clusters;
+  config.center_spread = spec.center_spread;
+  config.cluster_stddev = spec.cluster_stddev;
+  config.seed = SplitMix64(seed ^ (static_cast<uint64_t>(profile) + 101));
+
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix data, GenerateGaussianMixture(config));
+
+  // Put the typical NN distance at ~8 data units: R = 1 starts well below it
+  // and c = 2 reaches it after ~3 virtual-rehashing rounds, mirroring how the
+  // paper's integer-converted coordinates relate to its radius schedule.
+  constexpr double kTargetNN = 8.0;
+  const double scale = RescaleToTargetNN(&data, kTargetNN, config.seed + 1);
+
+  // Queries jittered by ~half the NN distance keep the planted neighbor the
+  // true NN with high probability while leaving the search non-trivial.
+  const double jitter = kTargetNN * 0.5 / std::sqrt(static_cast<double>(config.dim));
+  C2LSH_ASSIGN_OR_RETURN(
+      FloatMatrix queries,
+      GenerateQueriesNearData(data, num_queries, jitter, config.seed + 2));
+
+  C2LSH_ASSIGN_OR_RETURN(Dataset ds,
+                         Dataset::Create(DatasetProfileName(profile), std::move(data)));
+  (void)scale;
+  return ProfileData{std::move(ds), std::move(queries)};
+}
+
+}  // namespace c2lsh

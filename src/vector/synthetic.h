@@ -1,0 +1,88 @@
+// Synthetic dataset generation.
+//
+// The C2LSH paper (SIGMOD'12) evaluates on four real datasets — Audio
+// (54,387 x 192), Mnist (60,000 x 50), Color (68,040 x 32) and LabelMe
+// (181,093 x 512). Those files are not redistributable and this environment
+// is offline, so each one is substituted by a clustered Gaussian-mixture
+// generator matched on dimensionality, (scaled) cardinality and a hardness
+// knob (cluster tightness), per the substitution table in DESIGN.md. Real
+// .fvecs files drop in through vector/io.h without further changes.
+
+#ifndef C2LSH_VECTOR_SYNTHETIC_H_
+#define C2LSH_VECTOR_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vector/dataset.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+
+/// Parameters of a clustered Gaussian-mixture generator.
+struct MixtureConfig {
+  size_t n = 10000;            ///< number of vectors
+  size_t dim = 32;             ///< dimensionality
+  size_t num_clusters = 20;    ///< mixture components
+  double center_spread = 1.0;  ///< stddev of component centers (per coord)
+  double cluster_stddev = 0.1; ///< stddev of points around their center
+  uint64_t seed = 1;           ///< determinism
+};
+
+/// Draws `config.n` points from a Gaussian mixture: cluster centers are
+/// N(0, center_spread^2 I), points are center + N(0, cluster_stddev^2 I),
+/// cluster sizes are balanced (round-robin assignment).
+Result<FloatMatrix> GenerateGaussianMixture(const MixtureConfig& config);
+
+/// Uniform noise in [0, 1]^dim — the hardest case for LSH (no structure).
+Result<FloatMatrix> GenerateUniform(size_t n, size_t dim, uint64_t seed);
+
+/// Draws `num_queries` query vectors by sampling data rows and adding
+/// isotropic Gaussian jitter of the given stddev. This matches how ANN
+/// benchmarks hold out queries from the data distribution, and guarantees
+/// every query has at least one close neighbor.
+Result<FloatMatrix> GenerateQueriesNearData(const FloatMatrix& data, size_t num_queries,
+                                            double jitter_stddev, uint64_t seed);
+
+/// Estimates the typical (median) nearest-neighbor distance by sampling
+/// `num_samples` probe points and scanning `scan_limit` candidates each
+/// (0 = scan all). Deterministic given `seed`.
+double EstimateNearestNeighborDistance(const FloatMatrix& data, size_t num_samples,
+                                       size_t scan_limit, uint64_t seed);
+
+/// Rescales every coordinate so the estimated NN distance becomes
+/// `target_nn`. C2LSH's radius schedule R in {1, c, c^2, ...} is expressed in
+/// data units, so datasets are normalized to put the NN distance a few
+/// doublings above R = 1 (the paper achieves the same effect by converting
+/// coordinates to integers). Returns the scale factor applied.
+double RescaleToTargetNN(FloatMatrix* data, double target_nn, uint64_t seed);
+
+/// The four dataset profiles of the paper's evaluation.
+enum class DatasetProfile {
+  kAudio,    ///< 192-d audio features; moderate clustering
+  kMnist,    ///< 50-d (PCA'd) digit images; strong clustering
+  kColor,    ///< 32-d color histograms; low-d, easy
+  kLabelMe,  ///< 512-d GIST descriptors; high-d, hard
+};
+
+std::string DatasetProfileName(DatasetProfile profile);
+
+/// All four profiles, in the order the paper tabulates them.
+std::vector<DatasetProfile> AllDatasetProfiles();
+
+/// Materializes a profile at `n` points (pass 0 for the laptop-scale default
+/// of that profile) plus `num_queries` held-out queries. Data is rescaled so
+/// the estimated NN distance is ~8 data units, i.e. ~3 virtual-rehashing
+/// rounds at c = 2 before the NN radius is reached.
+struct ProfileData {
+  Dataset data;
+  FloatMatrix queries;
+};
+Result<ProfileData> MakeProfileDataset(DatasetProfile profile, size_t n,
+                                       size_t num_queries, uint64_t seed);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_SYNTHETIC_H_

@@ -1,0 +1,142 @@
+#include "src/vector/transform.h"
+
+#include <cmath>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+
+Result<PcaTransform> PcaTransform::Fit(const FloatMatrix& data, const PcaOptions& options) {
+  const size_t n = data.num_rows();
+  const size_t d = data.dim();
+  if (n < 2) {
+    return Status::InvalidArgument("PCA: need at least 2 rows to estimate covariance");
+  }
+  size_t out_dim = options.out_dim == 0 ? d : options.out_dim;
+  if (out_dim > d) {
+    return Status::InvalidArgument("PCA: out_dim exceeds input dimension");
+  }
+
+  // Mean.
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  // Covariance (upper triangle computed, mirrored). O(n d^2) — fitting is a
+  // one-time preprocessing cost.
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (size_t j = 0; j < d; ++j) centered[j] = static_cast<double>(row[j]) - mean[j];
+    for (size_t a = 0; a < d; ++a) {
+      const double ca = centered[a];
+      for (size_t b = a; b < d; ++b) {
+        cov[a * d + b] += ca * centered[b];
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov[a * d + b] /= denom;
+      cov[b * d + a] = cov[a * d + b];
+    }
+  }
+  double total_variance = 0.0;
+  for (size_t j = 0; j < d; ++j) total_variance += cov[j * d + j];
+
+  // Power iteration with deflation for the leading out_dim eigenpairs.
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> components;
+  std::vector<double> eigenvalues;
+  std::vector<double> work(d);
+  std::vector<double> v(d);
+  for (size_t comp = 0; comp < out_dim; ++comp) {
+    for (double& x : v) x = rng.Gaussian();
+    double lambda = 0.0;
+    for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+      // work = Cov * v.
+      for (size_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        const double* row = cov.data() + a * d;
+        for (size_t b = 0; b < d; ++b) acc += row[b] * v[b];
+        work[a] = acc;
+      }
+      // Deflate against already-found components (numerical re-orthogonalization).
+      for (const auto& u : components) {
+        double dot = 0.0;
+        for (size_t j = 0; j < d; ++j) dot += work[j] * u[j];
+        for (size_t j = 0; j < d; ++j) work[j] -= dot * u[j];
+      }
+      double norm = 0.0;
+      for (double x : work) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm <= 0.0) break;  // covariance rank exhausted
+      double diff = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double next = work[j] / norm;
+        diff += (next - v[j]) * (next - v[j]);
+        v[j] = next;
+      }
+      lambda = norm;
+      if (diff < options.tolerance) break;
+    }
+    // Rayleigh quotient for the eigenvalue (norm after deflation tracks it,
+    // but the quotient is cleaner near convergence).
+    double quad = 0.0;
+    for (size_t a = 0; a < d; ++a) {
+      double acc = 0.0;
+      const double* row = cov.data() + a * d;
+      for (size_t b = 0; b < d; ++b) acc += row[b] * v[b];
+      quad += v[a] * acc;
+    }
+    lambda = quad;
+    if (lambda < 0.0) lambda = 0.0;
+    components.push_back(v);
+    eigenvalues.push_back(lambda);
+  }
+
+  std::vector<double> scales(components.size(), 1.0);
+  if (options.whiten) {
+    for (size_t i = 0; i < components.size(); ++i) {
+      scales[i] = eigenvalues[i] > 1e-12 ? 1.0 / std::sqrt(eigenvalues[i]) : 1.0;
+    }
+  }
+  return PcaTransform(d, std::move(mean), std::move(components), std::move(eigenvalues),
+                      std::move(scales), total_variance);
+}
+
+void PcaTransform::ApplyRow(const float* in, float* out) const {
+  for (size_t c = 0; c < components_.size(); ++c) {
+    const std::vector<double>& u = components_[c];
+    double acc = 0.0;
+    for (size_t j = 0; j < in_dim_; ++j) {
+      acc += (static_cast<double>(in[j]) - mean_[j]) * u[j];
+    }
+    out[c] = static_cast<float>(acc * scales_[c]);
+  }
+}
+
+Result<FloatMatrix> PcaTransform::Apply(const FloatMatrix& data) const {
+  if (data.dim() != in_dim_) {
+    return Status::InvalidArgument("PCA::Apply: dimension mismatch");
+  }
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix out, FloatMatrix::Create(data.num_rows(), out_dim()));
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    ApplyRow(data.row(i), out.mutable_row(i));
+  }
+  return out;
+}
+
+double PcaTransform::ExplainedVarianceRatio() const {
+  if (total_variance_ <= 0.0) return 0.0;
+  double kept = 0.0;
+  for (double ev : eigenvalues_) kept += ev;
+  return kept / total_variance_;
+}
+
+}  // namespace c2lsh

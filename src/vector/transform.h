@@ -1,0 +1,78 @@
+// Dataset preprocessing transforms: centering and PCA (with optional
+// whitening). ANN evaluations routinely PCA-reduce high-dimensional inputs
+// (the paper's Mnist profile *is* a PCA of raw pixels); this module makes
+// that pipeline reproducible in-repo. PCA is computed by power iteration
+// with deflation on the explicit covariance matrix — exact enough for the
+// leading components a reduction keeps, with deterministic seeding.
+
+#ifndef C2LSH_VECTOR_TRANSFORM_H_
+#define C2LSH_VECTOR_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+
+/// PCA fitting options.
+struct PcaOptions {
+  size_t out_dim = 0;        ///< components to keep; 0 = keep all (rotation)
+  bool whiten = false;       ///< scale each component to unit variance
+  size_t max_iterations = 300;  ///< power-iteration budget per component
+  double tolerance = 1e-9;   ///< convergence threshold on the eigenvector
+  uint64_t seed = 1;
+};
+
+/// A fitted PCA: y = D * W^T (x - mean), where W's columns are the leading
+/// eigenvectors of the data covariance and D is identity (or the whitening
+/// scaling 1/sqrt(lambda_i)).
+class PcaTransform {
+ public:
+  /// Fits on `data` (n x d). Requires n >= 2 and out_dim <= d.
+  static Result<PcaTransform> Fit(const FloatMatrix& data, const PcaOptions& options);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return components_.size(); }
+
+  /// Eigenvalues of the kept components, non-increasing.
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// The i-th component (unit-norm eigenvector of the covariance).
+  const std::vector<double>& component(size_t i) const { return components_[i]; }
+
+  /// Per-coordinate mean subtracted before projection.
+  const std::vector<double>& mean() const { return mean_; }
+
+  /// Transforms one vector (in_dim floats) into out (out_dim floats).
+  void ApplyRow(const float* in, float* out) const;
+
+  /// Transforms a whole matrix (rows of in_dim) to rows of out_dim.
+  Result<FloatMatrix> Apply(const FloatMatrix& data) const;
+
+  /// Fraction of total variance captured by the kept components.
+  double ExplainedVarianceRatio() const;
+
+ private:
+  PcaTransform(size_t in_dim, std::vector<double> mean,
+               std::vector<std::vector<double>> components, std::vector<double> eigenvalues,
+               std::vector<double> scales, double total_variance)
+      : in_dim_(in_dim),
+        mean_(std::move(mean)),
+        components_(std::move(components)),
+        eigenvalues_(std::move(eigenvalues)),
+        scales_(std::move(scales)),
+        total_variance_(total_variance) {}
+
+  size_t in_dim_;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> components_;  // row-per-component
+  std::vector<double> eigenvalues_;
+  std::vector<double> scales_;  // 1 or 1/sqrt(lambda)
+  double total_variance_ = 0.0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_TRANSFORM_H_

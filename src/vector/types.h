@@ -1,0 +1,39 @@
+// Small value types shared by every index implementation.
+
+#ifndef C2LSH_VECTOR_TYPES_H_
+#define C2LSH_VECTOR_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace c2lsh {
+
+/// Identifier of an object inside a Dataset: its row index.
+using ObjectId = uint32_t;
+
+/// A search hit: the object and its *exact* distance to the query (all
+/// indexes in this library verify candidates with true distances before
+/// returning them).
+struct Neighbor {
+  ObjectId id = 0;
+  float dist = 0.0f;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.dist == b.dist;
+  }
+};
+
+/// Orders by distance, breaking ties by id so result lists are deterministic.
+struct NeighborLess {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+};
+
+/// Top-k result list, sorted ascending by distance.
+using NeighborList = std::vector<Neighbor>;
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_TYPES_H_

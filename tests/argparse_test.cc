@@ -1,0 +1,136 @@
+#include "src/util/argparse.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+// Builds argv from literals; keeps storage alive for the call.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "prog");
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+ArgParser MakeParser() {
+  ArgParser p("test tool");
+  p.AddString("name", "default", "a string flag");
+  p.AddInt("count", 5, "an int flag");
+  p.AddDouble("ratio", 1.5, "a double flag");
+  p.AddBool("verbose", false, "a bool flag");
+  return p;
+}
+
+TEST(ArgParseTest, DefaultsWhenNoArgs) {
+  ArgParser p = MakeParser();
+  Argv args({});
+  ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(p.GetString("name"), "default");
+  EXPECT_EQ(p.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio"), 1.5);
+  EXPECT_FALSE(p.GetBool("verbose"));
+}
+
+TEST(ArgParseTest, EqualsForm) {
+  ArgParser p = MakeParser();
+  Argv args({"--name=x", "--count=42", "--ratio=2.25", "--verbose=true"});
+  ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(p.GetString("name"), "x");
+  EXPECT_EQ(p.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio"), 2.25);
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(ArgParseTest, SpaceForm) {
+  ArgParser p = MakeParser();
+  Argv args({"--count", "-3", "--name", "hello world"});
+  ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(p.GetInt("count"), -3);
+  EXPECT_EQ(p.GetString("name"), "hello world");
+}
+
+TEST(ArgParseTest, BareBooleanFlag) {
+  ArgParser p = MakeParser();
+  Argv args({"--verbose"});
+  ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(ArgParseTest, BoolLiteralVariants) {
+  for (const char* lit : {"1", "yes", "on"}) {
+    ArgParser p = MakeParser();
+    Argv args({std::string("--verbose=") + lit});
+    ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok()) << lit;
+    EXPECT_TRUE(p.GetBool("verbose")) << lit;
+  }
+  for (const char* lit : {"0", "no", "off", "false"}) {
+    ArgParser p = MakeParser();
+    Argv args({std::string("--verbose=") + lit});
+    ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok()) << lit;
+    EXPECT_FALSE(p.GetBool("verbose")) << lit;
+  }
+}
+
+TEST(ArgParseTest, UnknownFlagRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--bogus=1"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, BadIntRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--count=abc"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, BadIntTrailingGarbageRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--count=12x"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, BadDoubleRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--ratio=1.2.3"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, BadBoolRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--verbose=maybe"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, PositionalRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"stray"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, MissingValueRejected) {
+  ArgParser p = MakeParser();
+  Argv args({"--count"});
+  EXPECT_TRUE(p.Parse(args.argc(), args.argv()).IsInvalidArgument());
+}
+
+TEST(ArgParseTest, HelpRequested) {
+  ArgParser p = MakeParser();
+  Argv args({"--help"});
+  ASSERT_TRUE(p.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(p.help_requested());
+  const std::string help = p.HelpString();
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("an int flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,139 @@
+#include "src/baselines/lsb/bptree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/lsb/zorder.h"
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+ZOrderBPlusTree::BuildEntry Entry(uint64_t key, ObjectId id) {
+  ZOrderBPlusTree::BuildEntry e;
+  e.key = {key};
+  e.id = id;
+  return e;
+}
+
+TEST(BPlusTreeTest, BuildValidation) {
+  EXPECT_TRUE(ZOrderBPlusTree::Build(1, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(ZOrderBPlusTree::Build(0, {Entry(1, 0)}).status().IsInvalidArgument());
+  std::vector<ZOrderBPlusTree::BuildEntry> mixed = {Entry(1, 0)};
+  ZOrderBPlusTree::BuildEntry wide;
+  wide.key = {1, 2};
+  wide.id = 1;
+  mixed.push_back(wide);
+  EXPECT_TRUE(ZOrderBPlusTree::Build(1, mixed).status().IsInvalidArgument());
+}
+
+TEST(BPlusTreeTest, SortsOnBuild) {
+  auto t = ZOrderBPlusTree::Build(1, {Entry(30, 2), Entry(10, 0), Entry(20, 1)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 3u);
+  EXPECT_EQ(t->key(0)[0], 10u);
+  EXPECT_EQ(t->key(1)[0], 20u);
+  EXPECT_EQ(t->key(2)[0], 30u);
+  EXPECT_EQ(t->id(0), 0u);
+  EXPECT_EQ(t->id(2), 2u);
+}
+
+TEST(BPlusTreeTest, TiesSortById) {
+  auto t = ZOrderBPlusTree::Build(1, {Entry(5, 9), Entry(5, 1), Entry(5, 4)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->id(0), 1u);
+  EXPECT_EQ(t->id(1), 4u);
+  EXPECT_EQ(t->id(2), 9u);
+}
+
+TEST(BPlusTreeTest, LowerBoundMatchesStdLowerBound) {
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  std::vector<ZOrderBPlusTree::BuildEntry> entries;
+  for (ObjectId i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Next64() % 5000;
+    keys.push_back(k);
+    entries.push_back(Entry(k, i));
+  }
+  auto t = ZOrderBPlusTree::Build(1, entries);
+  ASSERT_TRUE(t.ok());
+  std::sort(keys.begin(), keys.end());
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t probe = rng.Next64() % 6000;
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    EXPECT_EQ(t->LowerBound(&probe), expected) << "probe=" << probe;
+  }
+  // Probe beyond the max lands at size().
+  const uint64_t huge = ~0ULL;
+  EXPECT_EQ(t->LowerBound(&huge), t->size());
+}
+
+TEST(BPlusTreeTest, HeightGeometry) {
+  // 1-word keys + 4-byte id = 12 bytes; with 4096-byte pages that's 341
+  // entries per leaf. Small trees are height 1.
+  auto small = ZOrderBPlusTree::Build(1, {Entry(1, 0), Entry(2, 1)});
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->height(), 1u);
+  EXPECT_GT(small->leaf_capacity(), 100u);
+
+  std::vector<ZOrderBPlusTree::BuildEntry> many;
+  for (ObjectId i = 0; i < 10000; ++i) many.push_back(Entry(i, i));
+  auto big = ZOrderBPlusTree::Build(1, many);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GE(big->height(), 2u);
+  EXPECT_LE(big->height(), 4u);
+}
+
+TEST(BPlusTreeTest, LowerBoundChargesDescent) {
+  std::vector<ZOrderBPlusTree::BuildEntry> many;
+  for (ObjectId i = 0; i < 5000; ++i) many.push_back(Entry(i, i));
+  auto t = ZOrderBPlusTree::Build(1, many);
+  ASSERT_TRUE(t.ok());
+  IoCounter io;
+  const uint64_t probe = 2500;
+  t->LowerBound(&probe, &io);
+  EXPECT_EQ(io.index_pages(), t->height());
+}
+
+TEST(BPlusTreeTest, ChargeStepOnlyAcrossPages) {
+  std::vector<ZOrderBPlusTree::BuildEntry> many;
+  for (ObjectId i = 0; i < 1000; ++i) many.push_back(Entry(i, i));
+  auto t = ZOrderBPlusTree::Build(1, many);
+  ASSERT_TRUE(t.ok());
+  const size_t cap = t->leaf_capacity();
+  IoCounter io;
+  t->ChargeStep(0, 1, &io);  // same page
+  EXPECT_EQ(io.index_pages(), 0u);
+  t->ChargeStep(cap - 1, cap, &io);  // crosses a page boundary
+  EXPECT_EQ(io.index_pages(), 1u);
+  t->ChargeStep(cap, cap - 1, &io);  // crossing back also costs
+  EXPECT_EQ(io.index_pages(), 2u);
+}
+
+TEST(BPlusTreeTest, MultiWordKeysOrdered) {
+  Rng rng(9);
+  std::vector<ZOrderBPlusTree::BuildEntry> entries;
+  for (ObjectId i = 0; i < 300; ++i) {
+    ZOrderBPlusTree::BuildEntry e;
+    e.key = {rng.Next64() % 8, rng.Next64()};
+    e.id = i;
+    entries.push_back(e);
+  }
+  auto t = ZOrderBPlusTree::Build(2, entries);
+  ASSERT_TRUE(t.ok());
+  for (size_t i = 1; i < t->size(); ++i) {
+    EXPECT_LE(ZOrderEncoder::Compare(t->key(i - 1), t->key(i), 2), 0);
+  }
+}
+
+TEST(BPlusTreeTest, MemoryBytesPositive) {
+  auto t = ZOrderBPlusTree::Build(1, {Entry(1, 0)});
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,164 @@
+#include "src/storage/bucket_table.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+BucketTable MakeTable(std::vector<std::pair<BucketId, ObjectId>> entries) {
+  return BucketTable::Build(std::move(entries));
+}
+
+std::vector<ObjectId> Collect(const BucketTable& t, BucketId lo, BucketId hi) {
+  std::vector<ObjectId> out;
+  t.ForEachInRange(lo, hi, [&](ObjectId id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BucketTableTest, EmptyTable) {
+  BucketTable t = MakeTable({});
+  EXPECT_EQ(t.num_buckets(), 0u);
+  EXPECT_EQ(t.num_entries(), 0u);
+  EXPECT_TRUE(Collect(t, -10, 10).empty());
+}
+
+TEST(BucketTableTest, SingleBucketLookup) {
+  BucketTable t = MakeTable({{5, 1}, {5, 2}, {7, 3}});
+  EXPECT_EQ(t.num_buckets(), 2u);
+  EXPECT_EQ(t.num_entries(), 3u);
+  EXPECT_EQ(Collect(t, 5, 5), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(Collect(t, 7, 7), (std::vector<ObjectId>{3}));
+  EXPECT_TRUE(Collect(t, 6, 6).empty());
+}
+
+TEST(BucketTableTest, RangeSpansBuckets) {
+  BucketTable t = MakeTable({{-3, 0}, {-1, 1}, {0, 2}, {2, 3}, {9, 4}});
+  EXPECT_EQ(Collect(t, -3, 2), (std::vector<ObjectId>{0, 1, 2, 3}));
+  EXPECT_EQ(Collect(t, -100, 100), (std::vector<ObjectId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(Collect(t, 3, 8), (std::vector<ObjectId>{}));
+  EXPECT_EQ(Collect(t, 0, 0), (std::vector<ObjectId>{2}));
+}
+
+TEST(BucketTableTest, NegativeBucketIds) {
+  BucketTable t = MakeTable({{-5, 10}, {-4, 11}, {-2, 12}});
+  EXPECT_EQ(Collect(t, -5, -4), (std::vector<ObjectId>{10, 11}));
+  EXPECT_EQ(Collect(t, -3, -1), (std::vector<ObjectId>{12}));
+}
+
+TEST(BucketTableTest, InvertedRangeIsEmpty) {
+  BucketTable t = MakeTable({{1, 1}});
+  EXPECT_TRUE(Collect(t, 5, 2).empty());
+  EXPECT_EQ(t.EntriesInRange(5, 2), 0u);
+}
+
+TEST(BucketTableTest, EntriesInRangeMatchesForEach) {
+  Rng rng(42);
+  std::vector<std::pair<BucketId, ObjectId>> entries;
+  for (ObjectId i = 0; i < 500; ++i) {
+    entries.emplace_back(rng.UniformInt(-50, 50), i);
+  }
+  BucketTable t = MakeTable(entries);
+  for (int trial = 0; trial < 100; ++trial) {
+    BucketId a = rng.UniformInt(-60, 60);
+    BucketId b = rng.UniformInt(-60, 60);
+    if (a > b) std::swap(a, b);
+    EXPECT_EQ(t.EntriesInRange(a, b), Collect(t, a, b).size());
+  }
+}
+
+TEST(BucketTableTest, ForEachMatchesBruteForce) {
+  Rng rng(7);
+  std::vector<std::pair<BucketId, ObjectId>> entries;
+  for (ObjectId i = 0; i < 300; ++i) {
+    entries.emplace_back(rng.UniformInt(-20, 20), i);
+  }
+  BucketTable t = MakeTable(entries);
+  for (int trial = 0; trial < 50; ++trial) {
+    BucketId a = rng.UniformInt(-25, 25);
+    BucketId b = a + rng.UniformInt(0, 15);
+    std::vector<ObjectId> expected;
+    for (const auto& [bucket, id] : entries) {
+      if (bucket >= a && bucket <= b) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(Collect(t, a, b), expected) << "range [" << a << "," << b << "]";
+  }
+}
+
+TEST(BucketTableTest, OverlayInsertVisible) {
+  BucketTable t = MakeTable({{1, 0}});
+  t.Insert(1, 5);
+  t.Insert(3, 6);
+  EXPECT_EQ(Collect(t, 1, 3), (std::vector<ObjectId>{0, 5, 6}));
+  EXPECT_EQ(t.num_entries(), 3u);
+  EXPECT_EQ(t.EntriesInRange(1, 3), 3u);
+}
+
+TEST(BucketTableTest, DeleteHidesEverywhere) {
+  BucketTable t = MakeTable({{1, 0}, {2, 1}});
+  t.Insert(3, 2);
+  t.Delete(0);
+  t.Delete(2);
+  EXPECT_EQ(Collect(t, 0, 5), (std::vector<ObjectId>{1}));
+}
+
+TEST(BucketTableTest, DeleteIsIdempotent) {
+  BucketTable t = MakeTable({{1, 0}, {1, 1}});
+  t.Delete(0);
+  t.Delete(0);
+  EXPECT_EQ(Collect(t, 1, 1), (std::vector<ObjectId>{1}));
+}
+
+TEST(BucketTableTest, CompactPreservesLiveEntries) {
+  BucketTable t = MakeTable({{1, 0}, {2, 1}, {2, 2}});
+  t.Insert(0, 3);
+  t.Insert(5, 4);
+  t.Delete(1);
+  const auto before = Collect(t, -10, 10);
+  t.Compact();
+  EXPECT_EQ(Collect(t, -10, 10), before);
+  EXPECT_EQ(t.num_entries(), 4u);  // 3 original + 2 inserted - 1 deleted
+  // After compaction the deleted id is physically gone.
+  EXPECT_EQ(Collect(t, 2, 2), (std::vector<ObjectId>{2}));
+}
+
+TEST(BucketTableTest, PagesForRangeScalesWithEntries) {
+  std::vector<std::pair<BucketId, ObjectId>> entries;
+  for (ObjectId i = 0; i < 5000; ++i) entries.emplace_back(0, i);
+  for (ObjectId i = 0; i < 3; ++i) entries.emplace_back(10, 5000 + i);
+  BucketTable t = MakeTable(entries);
+  PageModel model(4096);  // 1024 ObjectIds per page
+  const size_t big = t.PagesForRange(0, 0, model);
+  const size_t small = t.PagesForRange(10, 10, model);
+  EXPECT_EQ(big, 1 + (5000 + 1023) / 1024);
+  EXPECT_EQ(small, 1 + 1);
+  // Empty range: just the directory probe.
+  EXPECT_EQ(t.PagesForRange(100, 200, model), 1u);
+}
+
+TEST(BucketTableTest, MemoryBytesGrowsWithEntries) {
+  std::vector<std::pair<BucketId, ObjectId>> small_e, large_e;
+  for (ObjectId i = 0; i < 10; ++i) small_e.emplace_back(i, i);
+  for (ObjectId i = 0; i < 1000; ++i) large_e.emplace_back(i, i);
+  BucketTable small = MakeTable(small_e);
+  BucketTable large = MakeTable(large_e);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(BucketTableTest, DuplicateEntriesPreserved) {
+  BucketTable t = MakeTable({{1, 7}, {1, 7}});
+  EXPECT_EQ(t.num_entries(), 2u);
+  size_t count = 0;
+  t.ForEachInRange(1, 1, [&](ObjectId) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,273 @@
+// Property-based tests of C2LSH's probabilistic guarantees: the measured
+// collision-count statistics must match the paper's P1/P2 properties and the
+// analytic predictions in core/theory.h.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/core/theory.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+// A controlled world: points planted at known distances from a set of query
+// anchors, so P1/P2 can be checked at exact distances.
+struct PlantedWorld {
+  Dataset data;
+  FloatMatrix queries;  // the anchors
+  // Rows [0, n_close) of data are at distance exactly `close_dist` from
+  // query 0; the rest are at distance >= far_dist from every anchor.
+};
+
+PlantedWorld MakePlantedWorld(size_t dim, size_t n_close, double close_dist,
+                              size_t n_far, double far_min_dist, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> anchor;
+  rng.GaussianVector(dim, &anchor);
+
+  auto m = FloatMatrix::Create(n_close + n_far, dim);
+  EXPECT_TRUE(m.ok());
+  // Close points: anchor + close_dist * random unit direction.
+  for (size_t i = 0; i < n_close; ++i) {
+    std::vector<float> dir;
+    rng.GaussianVector(dim, &dir);
+    const double norm = std::sqrt(SquaredNorm(dir.data(), dim));
+    float* row = m->mutable_row(i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = anchor[j] + static_cast<float>(close_dist * dir[j] / norm);
+    }
+  }
+  // Far points: anchor + (far_min_dist * (1 + u)) * unit direction.
+  for (size_t i = 0; i < n_far; ++i) {
+    std::vector<float> dir;
+    rng.GaussianVector(dim, &dir);
+    const double norm = std::sqrt(SquaredNorm(dir.data(), dim));
+    const double dist = far_min_dist * (1.0 + rng.Uniform(0.0, 2.0));
+    float* row = m->mutable_row(n_close + i);
+    for (size_t j = 0; j < dim; ++j) {
+      row[j] = anchor[j] + static_cast<float>(dist * dir[j] / norm);
+    }
+  }
+  auto data = Dataset::Create("planted", std::move(m.value()));
+  EXPECT_TRUE(data.ok());
+  auto q = FloatMatrix::FromVector(1, dim, std::vector<float>(anchor));
+  EXPECT_TRUE(q.ok());
+  return PlantedWorld{std::move(data.value()), std::move(q.value())};
+}
+
+C2lshOptions Options(uint64_t seed) {
+  C2lshOptions o;
+  o.w = 1.0;
+  o.c = 2.0;
+  o.delta = 0.1;
+  o.seed = seed;
+  return o;
+}
+
+// P1: objects within distance R reach the collision threshold at radius R
+// with frequency >= 1 - delta.
+TEST(C2lshPropertyTest, P1FrequencyAtLeastOneMinusDelta) {
+  const size_t n_close = 400;
+  PlantedWorld world =
+      MakePlantedWorld(32, n_close, /*close_dist=*/1.0, /*n_far=*/400,
+                       /*far_min_dist=*/64.0, /*seed=*/101);
+  auto index = C2lshIndex::Build(world.data, Options(31));
+  ASSERT_TRUE(index.ok());
+  const size_t l = index->derived().l;
+
+  const auto counts = index->CollisionCountsAtRadius(world.queries.row(0), 1);
+  size_t frequent = 0;
+  for (size_t i = 0; i < n_close; ++i) {
+    if (counts[i] >= l) ++frequent;
+  }
+  const double freq = static_cast<double>(frequent) / n_close;
+  // Guarantee: >= 1 - delta = 0.9 per object. Allow binomial noise downward.
+  EXPECT_GT(freq, 0.85) << "P1 frequency " << freq;
+}
+
+// P2: the number of far objects (distance > cR) reaching the threshold stays
+// within the beta*n budget (in expectation over hash draws; we average over
+// several independently-seeded indexes).
+TEST(C2lshPropertyTest, P2FalsePositivesWithinBudget) {
+  const size_t n_far = 2000;
+  PlantedWorld world = MakePlantedWorld(32, /*n_close=*/10, 1.0, n_far,
+                                        /*far_min_dist=*/64.0, /*seed=*/202);
+  double total_fp = 0.0;
+  const int num_indexes = 5;
+  double beta = 0.0;
+  for (int t = 0; t < num_indexes; ++t) {
+    auto index = C2lshIndex::Build(world.data, Options(1000 + t));
+    ASSERT_TRUE(index.ok());
+    beta = index->derived().beta;
+    const size_t l = index->derived().l;
+    const auto counts = index->CollisionCountsAtRadius(world.queries.row(0), 1);
+    size_t fp = 0;
+    for (size_t i = 10; i < 10 + n_far; ++i) {
+      if (counts[i] >= l) ++fp;
+    }
+    total_fp += static_cast<double>(fp);
+  }
+  const double mean_fp = total_fp / num_indexes;
+  const double budget = beta * static_cast<double>(world.data.size());
+  EXPECT_LE(mean_fp, budget) << "mean FP " << mean_fp << " vs budget " << budget;
+}
+
+// Collision counts follow Binomial(m, p(dist; w*R)): mean check at several
+// distances.
+TEST(C2lshPropertyTest, CollisionCountMeanMatchesBinomial) {
+  const size_t per_ring = 300;
+  // Rings at distances 1, 2, 4 from the anchor.
+  Rng rng(303);
+  const size_t dim = 24;
+  std::vector<float> anchor;
+  rng.GaussianVector(dim, &anchor);
+  auto m = FloatMatrix::Create(3 * per_ring, dim);
+  ASSERT_TRUE(m.ok());
+  const double dists[3] = {1.0, 2.0, 4.0};
+  for (size_t ring = 0; ring < 3; ++ring) {
+    for (size_t i = 0; i < per_ring; ++i) {
+      std::vector<float> dir;
+      rng.GaussianVector(dim, &dir);
+      const double norm = std::sqrt(SquaredNorm(dir.data(), dim));
+      float* row = m->mutable_row(ring * per_ring + i);
+      for (size_t j = 0; j < dim; ++j) {
+        row[j] = anchor[j] + static_cast<float>(dists[ring] * dir[j] / norm);
+      }
+    }
+  }
+  auto data = Dataset::Create("rings", std::move(m.value()));
+  ASSERT_TRUE(data.ok());
+  auto index = C2lshIndex::Build(data.value(), Options(47));
+  ASSERT_TRUE(index.ok());
+  const double mm = static_cast<double>(index->derived().m);
+  const double w = index->options().w;
+
+  const long long R = 2;
+  const auto counts = index->CollisionCountsAtRadius(anchor.data(), R);
+  for (size_t ring = 0; ring < 3; ++ring) {
+    double sum = 0.0;
+    for (size_t i = 0; i < per_ring; ++i) {
+      sum += counts[ring * per_ring + i];
+    }
+    const double mean_count = sum / per_ring;
+    const double p = PStableCollisionProbability(dists[ring], w * static_cast<double>(R));
+    // Mean of Binomial(m, p) is m*p; the sampled mean over per_ring objects
+    // (sharing hash functions, so correlated) gets a generous 15% tolerance.
+    EXPECT_NEAR(mean_count, mm * p, 0.15 * mm * p + 2.0) << "ring dist " << dists[ring];
+  }
+}
+
+// Frequency of being "frequent" matches the exact binomial tail prediction.
+TEST(C2lshPropertyTest, FrequentFrequencyMatchesBinomialTail) {
+  const size_t per_ring = 500;
+  PlantedWorld world = MakePlantedWorld(24, per_ring, /*close_dist=*/2.0,
+                                        /*n_far=*/1, 1000.0, /*seed=*/404);
+  auto index = C2lshIndex::Build(world.data, Options(53));
+  ASSERT_TRUE(index.ok());
+
+  const long long R = 2;
+  const auto counts = index->CollisionCountsAtRadius(world.queries.row(0), R);
+  size_t frequent = 0;
+  for (size_t i = 0; i < per_ring; ++i) {
+    if (counts[i] >= index->derived().l) ++frequent;
+  }
+  const double measured = static_cast<double>(frequent) / per_ring;
+  const double predicted = ProbFrequent(index->derived(), 2.0, static_cast<double>(R));
+  EXPECT_NEAR(measured, predicted, 0.08) << "measured " << measured << " predicted "
+                                         << predicted;
+}
+
+// Monotonicity: collision counts never decrease as the radius grows
+// (interval nesting), for every object.
+TEST(C2lshPropertyTest, CountsMonotoneInRadius) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 55);
+  ASSERT_TRUE(pd.ok());
+  auto index = C2lshIndex::Build(pd->data, Options(59));
+  ASSERT_TRUE(index.ok());
+  std::vector<uint32_t> prev(pd->data.size(), 0);
+  for (long long R = 1; R <= 64; R *= 2) {
+    const auto counts = index->CollisionCountsAtRadius(pd->queries.row(0), R);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_GE(counts[i], prev[i]) << "object " << i << " R=" << R;
+    }
+    prev = counts;
+  }
+}
+
+// At enormous radius every object collides in every table.
+TEST(C2lshPropertyTest, FullCoverageAtHugeRadius) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 1, 66);
+  ASSERT_TRUE(pd.ok());
+  auto index = C2lshIndex::Build(pd->data, Options(61));
+  ASSERT_TRUE(index.ok());
+  const auto counts = index->CollisionCountsAtRadius(pd->queries.row(0), 1LL << 40);
+  for (uint32_t c : counts) {
+    EXPECT_EQ(c, index->derived().m);
+  }
+}
+
+// The (R, c)-NNS decision contract's negative branch: when every object is
+// far beyond c*R, the decision query returns nothing (NotFound) with high
+// probability — returning any object would be within its rights only if it
+// were inside c*R, which none are.
+TEST(C2lshPropertyTest, DecisionQueryReturnsNothingWhenAllFar) {
+  PlantedWorld world = MakePlantedWorld(24, /*n_close=*/1, /*close_dist=*/500.0,
+                                        /*n_far=*/800, /*far_min_dist=*/500.0,
+                                        /*seed=*/909);
+  auto index = C2lshIndex::Build(world.data, Options(83));
+  ASSERT_TRUE(index.ok());
+  // At R = 1 (c*R = 2) every object is ~500 away.
+  size_t spurious = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto r = index->DecisionQuery(world.data, world.queries.row(0), 1);
+    if (r.ok()) {
+      ++spurious;
+    } else {
+      EXPECT_TRUE(r.status().IsNotFound());
+    }
+  }
+  EXPECT_EQ(spurious, 0u);
+}
+
+// Recall improves (weakly) as delta tightens, at higher index cost.
+TEST(C2lshPropertyTest, TighterDeltaNeverCostsRecall) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 16, 77);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+
+  auto run = [&](double delta) {
+    C2lshOptions o = Options(71);
+    o.delta = delta;
+    auto index = C2lshIndex::Build(pd->data, o);
+    EXPECT_TRUE(index.ok());
+    double recall = 0.0;
+    for (size_t q = 0; q < pd->queries.num_rows(); ++q) {
+      auto r = index->Query(pd->data, pd->queries.row(q), 10);
+      EXPECT_TRUE(r.ok());
+      std::vector<ObjectId> truth;
+      for (size_t i = 0; i < 10; ++i) truth.push_back((*gt)[q][i].id);
+      for (const Neighbor& nb : *r) {
+        if (std::find(truth.begin(), truth.end(), nb.id) != truth.end()) {
+          recall += 1.0;
+        }
+      }
+    }
+    return recall / (10.0 * pd->queries.num_rows());
+  };
+
+  const double loose = run(0.3);
+  const double tight = run(0.05);
+  EXPECT_GE(tight, loose - 0.1);  // statistical slack
+}
+
+}  // namespace
+}  // namespace c2lsh

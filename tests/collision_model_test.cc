@@ -1,0 +1,79 @@
+#include "src/lsh/collision_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/math.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(CollisionModelTest, Validation) {
+  EXPECT_TRUE(MakeCollisionModel(0.0, 2.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeCollisionModel(-1.0, 2.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeCollisionModel(1.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeCollisionModel(1.0, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeCollisionModel(1.0, 2.0).ok());
+}
+
+TEST(CollisionModelTest, P1ExceedsP2) {
+  for (double w : {0.5, 1.0, 2.0, 8.0}) {
+    for (double c : {2.0, 3.0, 4.0}) {
+      auto m = MakeCollisionModel(w, c);
+      ASSERT_TRUE(m.ok());
+      EXPECT_GT(m->p1, m->p2) << "w=" << w << " c=" << c;
+      EXPECT_GT(m->p1, 0.0);
+      EXPECT_LT(m->p1, 1.0);
+      EXPECT_GT(m->p2, 0.0);
+    }
+  }
+}
+
+TEST(CollisionModelTest, RhoInUnitInterval) {
+  auto m = MakeCollisionModel(1.0, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->rho, 0.0);
+  EXPECT_LT(m->rho, 1.0);
+}
+
+TEST(CollisionModelTest, RhoDecreasesWithC) {
+  // A larger approximation ratio makes the problem easier: rho shrinks.
+  auto m2 = MakeCollisionModel(1.0, 2.0);
+  auto m3 = MakeCollisionModel(1.0, 3.0);
+  auto m4 = MakeCollisionModel(1.0, 4.0);
+  ASSERT_TRUE(m2.ok() && m3.ok() && m4.ok());
+  EXPECT_GT(m2->rho, m3->rho);
+  EXPECT_GT(m3->rho, m4->rho);
+}
+
+TEST(CollisionModelTest, MatchesRawProbabilities) {
+  auto m = MakeCollisionModel(2.5, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->p1, PStableCollisionProbability(1.0, 2.5));
+  EXPECT_DOUBLE_EQ(m->p2, PStableCollisionProbability(2.0, 2.5));
+}
+
+TEST(CollisionModelTest, RadiusScaling) {
+  auto m = MakeCollisionModel(1.0, 2.0);
+  ASSERT_TRUE(m.ok());
+  // The scale-free identity: probability at distance R under radius R equals
+  // p1, and at distance cR equals p2, for any R.
+  for (double R : {1.0, 2.0, 4.0, 64.0}) {
+    EXPECT_NEAR(CollisionProbabilityAtRadius(*m, R, R), m->p1, 1e-12);
+    EXPECT_NEAR(CollisionProbabilityAtRadius(*m, m->c * R, R), m->p2, 1e-12);
+  }
+}
+
+TEST(CollisionModelTest, ProbabilityAtRadiusMonotoneInR) {
+  auto m = MakeCollisionModel(1.0, 2.0);
+  ASSERT_TRUE(m.ok());
+  // Fixed distance, growing radius: collision probability grows.
+  double prev = 0.0;
+  for (double R : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double p = CollisionProbabilityAtRadius(*m, 5.0, R);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace c2lsh

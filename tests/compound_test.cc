@@ -1,0 +1,115 @@
+#include "src/lsh/compound.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/math.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(CompoundTest, SampleValidation) {
+  EXPECT_TRUE(CompoundHash::Sample(4, 8, 1.0, 1).ok());
+  EXPECT_TRUE(CompoundHash::Sample(0, 8, 1.0, 1).status().IsInvalidArgument());
+}
+
+TEST(CompoundTest, KeyDeterministic) {
+  auto g1 = CompoundHash::Sample(4, 8, 1.0, 5);
+  auto g2 = CompoundHash::Sample(4, 8, 1.0, 5);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  const float v[8] = {1, 2, 3, 4, -1, -2, -3, -4};
+  EXPECT_EQ(g1->Key(v), g2->Key(v));
+  EXPECT_EQ(g1->Key(v), g1->Key(v));
+}
+
+TEST(CompoundTest, DifferentSeedsDifferentKeys) {
+  auto g1 = CompoundHash::Sample(4, 8, 1.0, 5);
+  auto g2 = CompoundHash::Sample(4, 8, 1.0, 6);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  const float v[8] = {1, 2, 3, 4, -1, -2, -3, -4};
+  EXPECT_NE(g1->Key(v), g2->Key(v));
+}
+
+TEST(CompoundTest, KeyEqualsKeyFromComponents) {
+  auto g = CompoundHash::Sample(5, 8, 2.0, 9);
+  ASSERT_TRUE(g.ok());
+  const float v[8] = {0.5f, -1, 2, 3, 0, 1, -2, 4};
+  std::vector<BucketId> comps;
+  g->Components(v, &comps);
+  ASSERT_EQ(comps.size(), 5u);
+  EXPECT_EQ(g->Key(v), g->KeyFromComponents(comps));
+}
+
+TEST(CompoundTest, EqualComponentVectorsShareKey) {
+  auto g = CompoundHash::Sample(3, 4, 1.0, 2);
+  ASSERT_TRUE(g.ok());
+  const std::vector<BucketId> c1 = {1, -2, 3};
+  const std::vector<BucketId> c2 = {1, -2, 3};
+  const std::vector<BucketId> c3 = {1, -2, 4};
+  EXPECT_EQ(g->KeyFromComponents(c1), g->KeyFromComponents(c2));
+  EXPECT_NE(g->KeyFromComponents(c1), g->KeyFromComponents(c3));
+}
+
+TEST(CompoundTest, KeyAtRadiusWidensCollisions) {
+  // Two nearby points that disagree at radius 1 in some component agree once
+  // the radius is large enough: their floored component vectors converge
+  // (floor(b/R) merges buckets; sign-aligned values collapse to 0 or -1).
+  auto g = CompoundHash::Sample(4, 8, 1.0, 13);
+  ASSERT_TRUE(g.ok());
+  auto data = GenerateUniform(2, 8, 3);
+  ASSERT_TRUE(data.ok());
+  const float* a = data->row(0);
+  const float* b = data->row(1);
+  std::vector<BucketId> ca, cb;
+  g->Components(a, &ca);
+  g->Components(b, &cb);
+  const long long R = 1LL << 40;
+  bool floored_equal = true;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    floored_equal &= (FloorDiv(ca[i], R) == FloorDiv(cb[i], R));
+  }
+  EXPECT_EQ(floored_equal, g->KeyAtRadius(a, R) == g->KeyAtRadius(b, R));
+  // And a radius-1 key equals the key of the raw components (salted by R=1).
+  std::vector<BucketId> ca1 = ca;
+  for (BucketId& v : ca1) v = FloorDiv(v, 1);
+  EXPECT_EQ(ca1, ca);
+}
+
+TEST(CompoundTest, KeyAtRadiusDistinctAcrossRadii) {
+  auto g = CompoundHash::Sample(4, 8, 1.0, 17);
+  ASSERT_TRUE(g.ok());
+  auto data = GenerateUniform(1, 8, 5);
+  ASSERT_TRUE(data.ok());
+  // Same point, different radii -> different table keys (R is salted in).
+  EXPECT_NE(g->KeyAtRadius(data->row(0), 1), g->KeyAtRadius(data->row(0), 2));
+}
+
+TEST(CompoundTest, NearbyPointsShareKeyMoreOftenThanFarOnes) {
+  const size_t dim = 16;
+  auto data = GenerateGaussianMixture({.n = 200,
+                                       .dim = dim,
+                                       .num_clusters = 10,
+                                       .center_spread = 5.0,
+                                       .cluster_stddev = 0.05,
+                                       .seed = 7});
+  ASSERT_TRUE(data.ok());
+  int near_coll = 0;
+  int far_coll = 0;
+  int trials = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    auto g = CompoundHash::Sample(2, dim, 4.0, seed);
+    ASSERT_TRUE(g.ok());
+    // Rows i and i+10 share a cluster (round robin, 10 clusters); i and i+1
+    // do not.
+    if (g->Key(data->row(0)) == g->Key(data->row(10))) ++near_coll;
+    if (g->Key(data->row(0)) == g->Key(data->row(1))) ++far_coll;
+    ++trials;
+  }
+  EXPECT_GT(near_coll, far_coll);
+  EXPECT_GT(near_coll, trials / 4);  // tight cluster, wide buckets
+}
+
+}  // namespace
+}  // namespace c2lsh

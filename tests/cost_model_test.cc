@@ -1,0 +1,140 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+struct ModelWorld {
+  Dataset data;
+  FloatMatrix queries;
+};
+
+ModelWorld MakeModelWorld(size_t n, uint64_t seed) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, n, 24, seed);
+  EXPECT_TRUE(pd.ok());
+  return ModelWorld{std::move(pd->data), std::move(pd->queries)};
+}
+
+TEST(DistanceProfileTest, Validation) {
+  ModelWorld w = MakeModelWorld(500, 1);
+  EXPECT_TRUE(SampleDistanceProfile(w.data, 0, 10, 5, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SampleDistanceProfile(w.data, 10, 0, 5, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SampleDistanceProfile(w.data, 10, 10, 0, 1).status().IsInvalidArgument());
+}
+
+TEST(DistanceProfileTest, ShapeAndMonotoneKnn) {
+  ModelWorld w = MakeModelWorld(1000, 2);
+  auto profile = SampleDistanceProfile(w.data, 16, 64, 20, 7);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->distances.size(), 16u * 64u);
+  EXPECT_EQ(profile->n, 1000u);
+  ASSERT_EQ(profile->kth_nn_distance.size(), 20u);
+  for (size_t i = 1; i < 20; ++i) {
+    EXPECT_GE(profile->kth_nn_distance[i], profile->kth_nn_distance[i - 1]);
+  }
+  // The profiles normalize NN distance to ~8 data units.
+  EXPECT_GT(profile->kth_nn_distance[0], 1.0);
+  EXPECT_LT(profile->kth_nn_distance[0], 40.0);
+  for (double d : profile->distances) EXPECT_GE(d, 0.0);
+}
+
+TEST(DistanceProfileTest, Deterministic) {
+  ModelWorld w = MakeModelWorld(400, 3);
+  auto a = SampleDistanceProfile(w.data, 8, 32, 10, 5);
+  auto b = SampleDistanceProfile(w.data, 8, 32, 10, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->distances, b->distances);
+  EXPECT_EQ(a->kth_nn_distance, b->kth_nn_distance);
+}
+
+TEST(CostModelTest, PredictionValidation) {
+  ModelWorld w = MakeModelWorld(500, 4);
+  C2lshOptions o;
+  auto derived = ComputeDerivedParams(o, 500);
+  ASSERT_TRUE(derived.ok());
+  DistanceProfile empty;
+  EXPECT_TRUE(PredictQueryCost(*derived, empty, 5).status().IsInvalidArgument());
+  auto profile = SampleDistanceProfile(w.data, 8, 32, 10, 5);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(PredictQueryCost(*derived, *profile, 0).status().IsInvalidArgument());
+}
+
+TEST(CostModelTest, PredictsMeasuredBehaviourWithinFactor) {
+  // The headline test: the analytic model must land within a small factor of
+  // measured query stats — terminating radius within one round, candidates
+  // and increments within ~3x.
+  const size_t n = 6000;
+  ModelWorld w = MakeModelWorld(n, 6);
+  C2lshOptions options;
+  options.seed = 9;
+  auto derived = ComputeDerivedParams(options, n);
+  ASSERT_TRUE(derived.ok());
+  auto profile = SampleDistanceProfile(w.data, 16, 128, 10, 11);
+  ASSERT_TRUE(profile.ok());
+  const size_t k = 10;
+  auto pred = PredictQueryCost(*derived, *profile, k);
+  ASSERT_TRUE(pred.ok());
+
+  auto index = C2lshIndex::Build(w.data, options);
+  ASSERT_TRUE(index.ok());
+  double measured_radius = 0, measured_candidates = 0, measured_increments = 0;
+  const size_t nq = w.queries.num_rows();
+  for (size_t q = 0; q < nq; ++q) {
+    C2lshQueryStats stats;
+    auto r = index->Query(w.data, w.queries.row(q), k, &stats);
+    ASSERT_TRUE(r.ok());
+    measured_radius += static_cast<double>(stats.final_radius);
+    measured_candidates += static_cast<double>(stats.candidates_verified);
+    measured_increments += static_cast<double>(stats.collision_increments);
+  }
+  measured_radius /= static_cast<double>(nq);
+  measured_candidates /= static_cast<double>(nq);
+  measured_increments /= static_cast<double>(nq);
+
+  // Terminating radius: within a factor of the radius step (c = 2) of the
+  // measured geometric mean round.
+  EXPECT_GE(static_cast<double>(pred->terminating_radius), measured_radius / 4.0);
+  EXPECT_LE(static_cast<double>(pred->terminating_radius), measured_radius * 4.0);
+  // Candidates and increments: same order of magnitude.
+  EXPECT_GE(pred->expected_candidates, measured_candidates / 4.0);
+  EXPECT_LE(pred->expected_candidates, measured_candidates * 4.0);
+  EXPECT_GE(pred->expected_increments, measured_increments / 4.0);
+  EXPECT_LE(pred->expected_increments, measured_increments * 4.0);
+}
+
+TEST(CostModelTest, LargerKNeedsNoSmallerRadius) {
+  ModelWorld w = MakeModelWorld(3000, 8);
+  C2lshOptions options;
+  auto derived = ComputeDerivedParams(options, 3000);
+  ASSERT_TRUE(derived.ok());
+  auto profile = SampleDistanceProfile(w.data, 16, 64, 50, 13);
+  ASSERT_TRUE(profile.ok());
+  auto p1 = PredictQueryCost(*derived, *profile, 1);
+  auto p50 = PredictQueryCost(*derived, *profile, 50);
+  ASSERT_TRUE(p1.ok() && p50.ok());
+  EXPECT_LE(p1->terminating_radius, p50->terminating_radius);
+  EXPECT_LE(p1->expected_candidates, p50->expected_candidates * 1.01);
+}
+
+TEST(CostModelTest, CandidatesGrowWithRadius) {
+  // Internal consistency: evaluating the model at k with a farther k-th NN
+  // must not shrink expected work.
+  ModelWorld w = MakeModelWorld(2000, 10);
+  C2lshOptions options;
+  auto derived = ComputeDerivedParams(options, 2000);
+  ASSERT_TRUE(derived.ok());
+  auto profile = SampleDistanceProfile(w.data, 8, 64, 20, 17);
+  ASSERT_TRUE(profile.ok());
+  auto pred = PredictQueryCost(*derived, *profile, 10);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(pred->expected_candidates, 0.0);
+  EXPECT_GT(pred->expected_increments, pred->expected_candidates);
+  EXPECT_GE(pred->expected_rounds, 1.0);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,72 @@
+#include "src/core/counter.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(CounterTest, StartsAtZero) {
+  CollisionCounter c(10);
+  c.NewQuery();
+  for (ObjectId id = 0; id < 10; ++id) {
+    EXPECT_EQ(c.Count(id), 0u);
+  }
+}
+
+TEST(CounterTest, IncrementReturnsNewCount) {
+  CollisionCounter c(4);
+  c.NewQuery();
+  EXPECT_EQ(c.Increment(2), 1u);
+  EXPECT_EQ(c.Increment(2), 2u);
+  EXPECT_EQ(c.Increment(2), 3u);
+  EXPECT_EQ(c.Count(2), 3u);
+  EXPECT_EQ(c.Count(1), 0u);
+}
+
+TEST(CounterTest, NewQueryResetsLazily) {
+  CollisionCounter c(4);
+  c.NewQuery();
+  c.Increment(0);
+  c.Increment(1);
+  c.NewQuery();
+  EXPECT_EQ(c.Count(0), 0u);
+  EXPECT_EQ(c.Count(1), 0u);
+  EXPECT_EQ(c.Increment(0), 1u);  // starts over
+}
+
+TEST(CounterTest, ManyQueriesIndependent) {
+  CollisionCounter c(3);
+  for (int q = 0; q < 1000; ++q) {
+    c.NewQuery();
+    EXPECT_EQ(c.Count(1), 0u);
+    for (int i = 0; i <= q % 5; ++i) c.Increment(1);
+    EXPECT_EQ(c.Count(1), static_cast<uint32_t>(q % 5 + 1));
+  }
+}
+
+TEST(CounterTest, EnsureCapacityGrows) {
+  CollisionCounter c(2);
+  c.NewQuery();
+  c.Increment(0);
+  c.EnsureCapacity(10);
+  EXPECT_EQ(c.capacity(), 10u);
+  EXPECT_EQ(c.Count(0), 1u);  // existing counts preserved
+  EXPECT_EQ(c.Count(9), 0u);
+  EXPECT_EQ(c.Increment(9), 1u);
+}
+
+TEST(CounterTest, EnsureCapacityNeverShrinks) {
+  CollisionCounter c(10);
+  c.EnsureCapacity(3);
+  EXPECT_EQ(c.capacity(), 10u);
+}
+
+TEST(CounterTest, ZeroCapacityThenGrow) {
+  CollisionCounter c(0);
+  c.NewQuery();
+  c.EnsureCapacity(5);
+  EXPECT_EQ(c.Increment(4), 1u);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,61 @@
+#include "src/vector/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(DatasetTest, CreateValidation) {
+  FloatMatrix empty;
+  EXPECT_TRUE(Dataset::Create("x", std::move(empty)).status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  auto m = FloatMatrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(m.ok());
+  auto d = Dataset::Create("demo", std::move(m.value()));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name(), "demo");
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_EQ(d->dim(), 3u);
+  EXPECT_EQ(d->object(1)[0], 4.0f);
+  EXPECT_EQ(d->vectors().at(0, 2), 3.0f);
+}
+
+TEST(DatasetTest, ComputeStatsHandComputed) {
+  // Rows (3,4) and (0,0): norms 5 and 0 -> mean 2.5; max |coord| = 4.
+  auto m = FloatMatrix::FromVector(2, 2, {3, 4, 0, 0});
+  ASSERT_TRUE(m.ok());
+  auto d = Dataset::Create("stats", std::move(m.value()));
+  ASSERT_TRUE(d.ok());
+  const Dataset::Stats s = d->ComputeStats();
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_EQ(s.dim, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_norm, 2.5);
+  EXPECT_DOUBLE_EQ(s.max_abs_coord, 4.0);
+}
+
+TEST(DatasetTest, ComputeStatsNegativeCoords) {
+  auto m = FloatMatrix::FromVector(1, 3, {-7, 2, -1});
+  ASSERT_TRUE(m.ok());
+  auto d = Dataset::Create("neg", std::move(m.value()));
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->ComputeStats().max_abs_coord, 7.0);
+}
+
+TEST(DatasetTest, StatsOnProfileDataset) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 500, 1, 3);
+  ASSERT_TRUE(pd.ok());
+  const Dataset::Stats s = pd->data.ComputeStats();
+  EXPECT_EQ(s.n, 500u);
+  EXPECT_EQ(s.dim, 32u);
+  EXPECT_GT(s.mean_norm, 0.0);
+  EXPECT_GT(s.max_abs_coord, 0.0);
+}
+
+}  // namespace
+}  // namespace c2lsh

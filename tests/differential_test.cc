@@ -1,0 +1,227 @@
+// Randomized differential testing: across randomly drawn datasets,
+// parameters and seeds, every index must uphold the result-contract
+// invariants (sorted, unique, exact distances, valid ids), agree with the
+// exact scan when exhaustive, and stay within the statistical envelope of
+// its guarantee. Sweeps are deterministic per TEST_P instantiation.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/e2lsh.h"
+#include "src/baselines/linear_scan.h"
+#include "src/baselines/lsb/lsb_forest.h"
+#include "src/baselines/multiprobe.h"
+#include "src/baselines/srs/srs.h"
+#include "src/core/index.h"
+#include "src/extensions/qalsh/qalsh.h"
+#include "src/util/random.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+};
+
+void PrintTo(const FuzzCase& f, std::ostream* os) { *os << "seed=" << f.seed; }
+
+class DifferentialTest : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    // Random dataset shape.
+    const size_t n = 300 + rng.Index(1200);
+    const size_t dim = 4 + rng.Index(48);
+    const size_t clusters = 2 + rng.Index(20);
+    MixtureConfig cfg;
+    cfg.n = n;
+    cfg.dim = dim;
+    cfg.num_clusters = clusters;
+    cfg.center_spread = 0.5 + rng.Uniform(0.0, 2.0);
+    cfg.cluster_stddev = 0.05 + rng.Uniform(0.0, 0.4);
+    cfg.seed = rng.Next64();
+    auto m = GenerateGaussianMixture(cfg);
+    ASSERT_TRUE(m.ok());
+    RescaleToTargetNN(&m.value(), 4.0 + rng.Uniform(0.0, 12.0), rng.Next64());
+    auto q = GenerateQueriesNearData(m.value(), 6, 0.5, rng.Next64());
+    ASSERT_TRUE(q.ok());
+    auto data = Dataset::Create("fuzz", std::move(m.value()));
+    ASSERT_TRUE(data.ok());
+    data_ = std::make_unique<Dataset>(std::move(data.value()));
+    queries_ = std::make_unique<FloatMatrix>(std::move(q.value()));
+    k_ = 1 + rng.Index(15);
+    rng_seed_ = rng.Next64();
+  }
+
+  void CheckContract(const NeighborList& result, const float* query) {
+    std::set<ObjectId> ids;
+    for (size_t i = 0; i < result.size(); ++i) {
+      ASSERT_LT(result[i].id, data_->size());
+      ids.insert(result[i].id);
+      if (i > 0) EXPECT_LE(result[i - 1].dist, result[i].dist);
+      const double exact = L2(query, data_->object(result[i].id), data_->dim());
+      EXPECT_NEAR(result[i].dist, exact, 1e-3 * (1.0 + exact));
+    }
+    EXPECT_EQ(ids.size(), result.size());
+    EXPECT_LE(result.size(), k_);
+  }
+
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<FloatMatrix> queries_;
+  size_t k_ = 1;
+  uint64_t rng_seed_ = 0;
+};
+
+TEST_P(DifferentialTest, C2lshContract) {
+  C2lshOptions o;
+  o.seed = rng_seed_;
+  Rng rng(rng_seed_);
+  o.c = (rng.Index(2) == 0) ? 2.0 : 3.0;
+  o.delta = 0.05 + rng.Uniform(0.0, 0.3);
+  auto index = C2lshIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());  // queries are planted near data
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, C2lshExhaustiveEqualsScan) {
+  C2lshOptions o;
+  o.seed = rng_seed_ + 1;
+  auto index = C2lshIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  LinearScan scan;
+  // k = n forces exhaustion: answers must be identical to the exact scan.
+  auto approx = index->Query(*data_, queries_->row(0), data_->size());
+  auto exact = scan.Search(*data_, queries_->row(0), data_->size());
+  ASSERT_TRUE(approx.ok() && exact.ok());
+  ASSERT_EQ(approx->size(), exact->size());
+  for (size_t i = 0; i < exact->size(); ++i) {
+    EXPECT_EQ((*approx)[i].id, (*exact)[i].id) << "i=" << i;
+  }
+}
+
+TEST_P(DifferentialTest, E2lshContract) {
+  Rng rng(rng_seed_ + 2);
+  E2lshOptions o;
+  o.K = 2 + rng.Index(6);
+  o.L = 4 + rng.Index(28);
+  o.seed = rng.Next64();
+  auto index = E2lshIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, LsbForestContract) {
+  Rng rng(rng_seed_ + 3);
+  LsbForestOptions o;
+  o.tree.u = 3 + rng.Index(6);
+  o.tree.v = 0;
+  o.tree.w = 2.0 + rng.Uniform(0.0, 6.0);
+  o.L = 3 + rng.Index(10);
+  o.seed = rng.Next64();
+  auto index = LsbForest::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, QalshContract) {
+  Rng rng(rng_seed_ + 4);
+  QalshOptions o;
+  o.w = 1.0 + rng.Uniform(0.0, 3.0);
+  o.c = 1.5 + rng.Uniform(0.0, 2.0);
+  o.seed = rng.Next64();
+  auto index = QalshIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, MultiProbeContract) {
+  Rng rng(rng_seed_ + 7);
+  MultiProbeOptions o;
+  o.K = 3 + rng.Index(5);
+  o.L = 3 + rng.Index(8);
+  o.w = 4.0 + rng.Uniform(0.0, 20.0);
+  o.num_probes = rng.Index(32);
+  o.seed = rng.Next64();
+  auto index = MultiProbeIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, SrsContract) {
+  Rng rng(rng_seed_ + 8);
+  SrsOptions o;
+  o.projected_dim = 3 + rng.Index(6);
+  o.c = 1.1 + rng.Uniform(0.0, 1.5);
+  o.threshold = 0.5 + rng.Uniform(0.0, 0.49);
+  o.budget_fraction = 0.01 + rng.Uniform(0.0, 0.3);
+  o.seed = rng.Next64();
+  auto index = SrsIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+  }
+}
+
+TEST_P(DifferentialTest, DynamicChurnPreservesContract) {
+  C2lshOptions o;
+  o.seed = rng_seed_ + 5;
+  auto index = C2lshIndex::Build(*data_, o);
+  ASSERT_TRUE(index.ok());
+  Rng rng(rng_seed_ + 6);
+  // Random delete/re-insert churn over existing rows.
+  std::set<ObjectId> deleted;
+  for (int step = 0; step < 60; ++step) {
+    const ObjectId id = static_cast<ObjectId>(rng.Index(data_->size()));
+    if (deleted.count(id) != 0) {
+      ASSERT_TRUE(index->Insert(id, data_->object(id)).ok());
+      deleted.erase(id);
+    } else {
+      ASSERT_TRUE(index->Delete(id).ok());
+      deleted.insert(id);
+    }
+    if (step % 25 == 24) index->Compact();
+  }
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index->Query(*data_, queries_->row(q), k_);
+    ASSERT_TRUE(r.ok());
+    CheckContract(*r, queries_->row(q));
+    for (const Neighbor& nb : *r) {
+      EXPECT_EQ(deleted.count(nb.id), 0u) << "deleted id surfaced";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(FuzzCase{11}, FuzzCase{22}, FuzzCase{33},
+                                           FuzzCase{44}, FuzzCase{55}, FuzzCase{66},
+                                           FuzzCase{77}, FuzzCase{88}));
+
+}  // namespace
+}  // namespace c2lsh

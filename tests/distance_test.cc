@@ -1,0 +1,111 @@
+#include "src/vector/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(DistanceTest, SquaredL2Basics) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, 6, 3};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b, 3), 9.0 + 16.0 + 0.0);
+  EXPECT_DOUBLE_EQ(SquaredL2(a, a, 3), 0.0);
+}
+
+TEST(DistanceTest, L2IsSqrtOfSquared) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_DOUBLE_EQ(L2(a, b, 2), 5.0);
+}
+
+TEST(DistanceTest, UnrolledTailHandling) {
+  // Exercise d values around the unroll width of 4.
+  for (size_t d : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u}) {
+    std::vector<float> a(d), b(d);
+    double expected = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = static_cast<float>(i + 1);
+      b[i] = static_cast<float>(2 * i);
+      const double diff = static_cast<double>(a[i]) - b[i];
+      expected += diff * diff;
+    }
+    EXPECT_DOUBLE_EQ(SquaredL2(a.data(), b.data(), d), expected) << "d=" << d;
+  }
+}
+
+TEST(DistanceTest, DotAndNorm) {
+  const float a[] = {1, 2, 3};
+  const float b[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 32.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a, 3), 14.0);
+}
+
+TEST(DistanceTest, AngularIdenticalIsZero) {
+  const float a[] = {1, 2, 3};
+  EXPECT_NEAR(Angular(a, a, 3), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, AngularScaleInvariant) {
+  const float a[] = {1, 0, 2};
+  const float b[] = {2, 0, 4};  // b = 2a
+  EXPECT_NEAR(Angular(a, b, 3), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, AngularOrthogonal) {
+  const float a[] = {1, 0};
+  const float b[] = {0, 1};
+  EXPECT_NEAR(Angular(a, b, 2), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, AngularOpposite) {
+  const float a[] = {1, 0};
+  const float b[] = {-1, 0};
+  EXPECT_NEAR(Angular(a, b, 2), 2.0, 1e-12);
+}
+
+TEST(DistanceTest, AngularZeroVector) {
+  const float a[] = {0, 0};
+  const float b[] = {1, 1};
+  EXPECT_DOUBLE_EQ(Angular(a, b, 2), 1.0);
+}
+
+TEST(DistanceTest, DispatchMatchesKernels) {
+  Rng rng(77);
+  std::vector<float> a, b;
+  rng.GaussianVector(33, &a);
+  rng.GaussianVector(33, &b);
+  EXPECT_DOUBLE_EQ(ComputeDistance(Metric::kEuclidean, a.data(), b.data(), 33),
+                   L2(a.data(), b.data(), 33));
+  EXPECT_DOUBLE_EQ(ComputeDistance(Metric::kSquaredEuclidean, a.data(), b.data(), 33),
+                   SquaredL2(a.data(), b.data(), 33));
+  EXPECT_DOUBLE_EQ(ComputeDistance(Metric::kAngular, a.data(), b.data(), 33),
+                   Angular(a.data(), b.data(), 33));
+}
+
+TEST(DistanceTest, TriangleInequalityOnRandomVectors) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> a, b, c;
+    rng.GaussianVector(16, &a);
+    rng.GaussianVector(16, &b);
+    rng.GaussianVector(16, &c);
+    const double ab = L2(a.data(), b.data(), 16);
+    const double bc = L2(b.data(), c.data(), 16);
+    const double ac = L2(a.data(), c.data(), 16);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_EQ(MetricToString(Metric::kEuclidean), "euclidean");
+  EXPECT_EQ(MetricToString(Metric::kSquaredEuclidean), "squared_euclidean");
+  EXPECT_EQ(MetricToString(Metric::kAngular), "angular");
+}
+
+}  // namespace
+}  // namespace c2lsh

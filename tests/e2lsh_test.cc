@@ -1,0 +1,174 @@
+#include "src/baselines/e2lsh.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+E2lshOptions SmallOptions() {
+  E2lshOptions o;
+  o.K = 4;
+  o.L = 16;
+  o.w = 1.0;
+  o.c = 2.0;
+  o.max_rounds = 10;
+  o.seed = 5;
+  return o;
+}
+
+TEST(E2lshTest, Validation) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 1, 1);
+  ASSERT_TRUE(pd.ok());
+  E2lshOptions o = SmallOptions();
+  o.K = 0;
+  EXPECT_TRUE(E2lshIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.L = 0;
+  EXPECT_TRUE(E2lshIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.max_rounds = 0;
+  EXPECT_TRUE(E2lshIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.c = 1.5;
+  EXPECT_TRUE(E2lshIndex::Build(pd->data, o).status().IsInvalidArgument());
+}
+
+TEST(E2lshTest, SuggestedOptionsReasonable) {
+  auto model = MakeCollisionModel(1.0, 2.0);
+  ASSERT_TRUE(model.ok());
+  const E2lshOptions o = SuggestE2lshOptions(20000, *model, 256);
+  EXPECT_GE(o.K, 1u);
+  EXPECT_LT(o.K, 64u);
+  EXPECT_GE(o.L, 1u);
+  EXPECT_LE(o.L, 256u);
+}
+
+TEST(E2lshTest, FindsExactDuplicate) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2000, 1, 3);
+  ASSERT_TRUE(pd.ok());
+  auto index = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  // A data point queried against itself collides in every table at R = 1.
+  for (ObjectId target : {0u, 500u, 1999u}) {
+    auto r = index->Query(pd->data, pd->data.object(target), 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    EXPECT_EQ((*r)[0].id, target);
+    EXPECT_EQ((*r)[0].dist, 0.0f);
+  }
+}
+
+TEST(E2lshTest, ReasonableRecallOnClusteredData) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 4000, 16, 7);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+  auto index = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  double recall = 0.0;
+  for (size_t q = 0; q < 16; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) recall += truth.count(nb.id);
+  }
+  EXPECT_GT(recall / 160.0, 0.4);
+}
+
+TEST(E2lshTest, ResultsSortedUniqueAndExactDistances) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 1500, 8, 9);
+  ASSERT_TRUE(pd.ok());
+  auto index = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> ids;
+    for (size_t i = 0; i < r->size(); ++i) {
+      ids.insert((*r)[i].id);
+      if (i > 0) EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+      const double exact =
+          L2(pd->queries.row(q), pd->data.object((*r)[i].id), pd->data.dim());
+      EXPECT_NEAR((*r)[i].dist, exact, 1e-4);
+    }
+    EXPECT_EQ(ids.size(), r->size());
+  }
+}
+
+TEST(E2lshTest, StatsPopulated) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 11);
+  ASSERT_TRUE(pd.ok());
+  auto index = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  E2lshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 5, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.buckets_probed, 0u);
+  EXPECT_GT(stats.index_pages, 0u);
+  EXPECT_EQ(stats.buckets_probed, stats.rounds * 16);  // L probes per round
+}
+
+TEST(E2lshTest, VerificationBudgetRespected) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 4, 13);
+  ASSERT_TRUE(pd.ok());
+  E2lshOptions o = SmallOptions();
+  o.verify_budget_per_table = 2;  // budget = 2L + k
+  auto index = E2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    E2lshQueryStats stats;
+    auto r = index->Query(pd->data, pd->queries.row(q), 5, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(stats.candidates_verified, 2u * 16u + 5u);
+  }
+}
+
+TEST(E2lshTest, DeterministicAcrossRebuilds) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 800, 4, 15);
+  ASSERT_TRUE(pd.ok());
+  auto a = E2lshIndex::Build(pd->data, SmallOptions());
+  auto b = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    auto ra = a->Query(pd->data, pd->queries.row(q), 5);
+    auto rb = b->Query(pd->data, pd->queries.row(q), 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+    }
+  }
+}
+
+TEST(E2lshTest, MemoryGrowsWithLAndRounds) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 17);
+  ASSERT_TRUE(pd.ok());
+  E2lshOptions small = SmallOptions();
+  small.L = 8;
+  small.max_rounds = 4;
+  E2lshOptions big = SmallOptions();
+  big.L = 32;
+  big.max_rounds = 8;
+  auto a = E2lshIndex::Build(pd->data, small);
+  auto b = E2lshIndex::Build(pd->data, big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->MemoryBytes(), a->MemoryBytes() * 3);
+}
+
+TEST(E2lshTest, KZeroRejected) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 19);
+  ASSERT_TRUE(pd.ok());
+  auto index = E2lshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->Query(pd->data, pd->queries.row(0), 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace c2lsh

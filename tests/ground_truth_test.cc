@@ -1,0 +1,133 @@
+#include "src/vector/ground_truth.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+Dataset MakeSmallDataset() {
+  // 5 points on a line: 0, 1, 2, 3, 10.
+  auto m = FloatMatrix::FromVector(5, 1, {0, 1, 2, 3, 10});
+  auto d = Dataset::Create("line", std::move(m.value()));
+  return std::move(d.value());
+}
+
+TEST(GroundTruthTest, ExactOnHandComputedCase) {
+  Dataset data = MakeSmallDataset();
+  auto q = FloatMatrix::FromVector(1, 1, {1.4f});
+  ASSERT_TRUE(q.ok());
+  auto gt = ComputeGroundTruth(data, q.value(), 3);
+  ASSERT_TRUE(gt.ok());
+  ASSERT_EQ(gt->size(), 1u);
+  const NeighborList& list = (*gt)[0];
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].id, 1u);  // dist 0.4
+  EXPECT_EQ(list[1].id, 2u);  // dist 0.6
+  EXPECT_EQ(list[2].id, 0u);  // dist 1.4
+  EXPECT_NEAR(list[0].dist, 0.4f, 1e-5);
+  EXPECT_NEAR(list[2].dist, 1.4f, 1e-5);
+}
+
+TEST(GroundTruthTest, SortedAscending) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 500, 8, 3);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+  for (const NeighborList& list : *gt) {
+    ASSERT_EQ(list.size(), 10u);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].dist, list[i].dist);
+    }
+  }
+}
+
+TEST(GroundTruthTest, KCappedByN) {
+  Dataset data = MakeSmallDataset();
+  auto q = FloatMatrix::FromVector(1, 1, {0.0f});
+  auto gt = ComputeGroundTruth(data, q.value(), 100);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ((*gt)[0].size(), 5u);
+}
+
+TEST(GroundTruthTest, KZeroRejected) {
+  Dataset data = MakeSmallDataset();
+  auto q = FloatMatrix::FromVector(1, 1, {0.0f});
+  EXPECT_TRUE(ComputeGroundTruth(data, q.value(), 0).status().IsInvalidArgument());
+}
+
+TEST(GroundTruthTest, DimMismatchRejected) {
+  Dataset data = MakeSmallDataset();
+  auto q = FloatMatrix::FromVector(1, 2, {0.0f, 1.0f});
+  EXPECT_TRUE(ComputeGroundTruth(data, q.value(), 1).status().IsInvalidArgument());
+}
+
+TEST(GroundTruthTest, MultiThreadMatchesSingleThread) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 800, 16, 5);
+  ASSERT_TRUE(pd.ok());
+  auto gt1 = ComputeGroundTruth(pd->data, pd->queries, 5, Metric::kEuclidean, 1);
+  auto gt4 = ComputeGroundTruth(pd->data, pd->queries, 5, Metric::kEuclidean, 4);
+  ASSERT_TRUE(gt1.ok() && gt4.ok());
+  ASSERT_EQ(gt1->size(), gt4->size());
+  for (size_t i = 0; i < gt1->size(); ++i) {
+    ASSERT_EQ((*gt1)[i].size(), (*gt4)[i].size());
+    for (size_t j = 0; j < (*gt1)[i].size(); ++j) {
+      EXPECT_EQ((*gt1)[i][j].id, (*gt4)[i][j].id);
+      EXPECT_EQ((*gt1)[i][j].dist, (*gt4)[i][j].dist);
+    }
+  }
+}
+
+TEST(GroundTruthTest, SaveLoadRoundTrip) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 4, 7);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 5);
+  ASSERT_TRUE(gt.ok());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "c2lsh_gt_test.ivecs").string();
+  ASSERT_TRUE(SaveGroundTruth(path, *gt).ok());
+  auto back = LoadGroundTruth(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), gt->size());
+  for (size_t i = 0; i < gt->size(); ++i) {
+    for (size_t j = 0; j < (*gt)[i].size(); ++j) {
+      EXPECT_EQ((*back)[i][j].id, (*gt)[i][j].id);
+      EXPECT_EQ((*back)[i][j].dist, (*gt)[i][j].dist);  // bit-exact
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GroundTruthTest, LoadOrComputeUsesCache) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 3, 9);
+  ASSERT_TRUE(pd.ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "c2lsh_gt_cache_test.ivecs").string();
+  std::filesystem::remove(path);
+
+  auto first = LoadOrComputeGroundTruth(path, pd->data, pd->queries, 4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(std::filesystem::exists(path));
+  auto second = LoadOrComputeGroundTruth(path, pd->data, pd->queries, 4);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i][0].id, (*second)[i][0].id);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GroundTruthTest, EmptyPathSkipsCaching) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 100, 2, 10);
+  ASSERT_TRUE(pd.ok());
+  auto gt = LoadOrComputeGroundTruth("", pd->data, pd->queries, 2);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt->size(), 2u);
+}
+
+}  // namespace
+}  // namespace c2lsh

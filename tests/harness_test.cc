@@ -1,0 +1,143 @@
+#include "src/eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/metrics.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+struct HarnessWorld {
+  Dataset data;
+  FloatMatrix queries;
+  std::vector<NeighborList> gt;
+};
+
+HarnessWorld MakeHarnessWorld() {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 8, 3);
+  EXPECT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 20);
+  EXPECT_TRUE(gt.ok());
+  return HarnessWorld{std::move(pd->data), std::move(pd->queries), std::move(gt.value())};
+}
+
+TEST(HarnessTest, LinearScanIsExact) {
+  HarnessWorld w = MakeHarnessWorld();
+  auto method = MakeLinearScanMethod(w.data);
+  ASSERT_TRUE(method.ok());
+  auto r = RunWorkload(method->get(), w.data, w.queries, w.gt, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->mean_recall, 1.0);
+  EXPECT_DOUBLE_EQ(r->mean_ratio, 1.0);
+  EXPECT_EQ(r->num_queries, 8u);
+  EXPECT_EQ(r->k, 10u);
+  EXPECT_GT(r->mean_candidates, 0.0);
+  EXPECT_EQ(r->index_bytes, 0u);
+}
+
+TEST(HarnessTest, C2lshMethodRunsAndReportsCosts) {
+  HarnessWorld w = MakeHarnessWorld();
+  C2lshOptions o;
+  o.seed = 5;
+  auto method = MakeC2lshMethod(w.data, o);
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  auto r = RunWorkload(method->get(), w.data, w.queries, w.gt, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->mean_recall, 0.3);
+  EXPECT_GE(r->mean_ratio, 1.0);
+  EXPECT_GT(r->mean_index_pages, 0.0);
+  EXPECT_GT(r->mean_data_pages, 0.0);
+  EXPECT_NEAR(r->mean_total_pages, r->mean_index_pages + r->mean_data_pages, 1e-9);
+  EXPECT_GT(r->index_bytes, 0u);
+  EXPECT_GT(r->build_seconds, 0.0);
+  EXPECT_NE(r->method_name.find("C2LSH"), std::string::npos);
+}
+
+TEST(HarnessTest, E2lshAndLsbMethodsRun) {
+  HarnessWorld w = MakeHarnessWorld();
+  E2lshOptions eo;
+  eo.K = 4;
+  eo.L = 8;
+  eo.seed = 7;
+  auto e2 = MakeE2lshMethod(w.data, eo);
+  ASSERT_TRUE(e2.ok());
+  auto re = RunWorkload(e2->get(), w.data, w.queries, w.gt, 5);
+  ASSERT_TRUE(re.ok());
+  EXPECT_GE(re->mean_ratio, 1.0);
+
+  LsbForestOptions lo;
+  lo.tree.u = 4;
+  lo.tree.w = 4.0;
+  lo.L = 4;
+  lo.seed = 9;
+  auto lsb = MakeLsbForestMethod(w.data, lo);
+  ASSERT_TRUE(lsb.ok());
+  auto rl = RunWorkload(lsb->get(), w.data, w.queries, w.gt, 5);
+  ASSERT_TRUE(rl.ok());
+  EXPECT_GE(rl->mean_ratio, 1.0);
+  EXPECT_GT(rl->index_bytes, 0u);
+}
+
+TEST(HarnessTest, MultiProbeAndSrsMethodsRun) {
+  HarnessWorld w = MakeHarnessWorld();
+  MultiProbeOptions mo;
+  mo.K = 5;
+  mo.L = 6;
+  mo.w = 16.0;
+  mo.num_probes = 8;
+  mo.seed = 11;
+  auto mp = MakeMultiProbeMethod(w.data, mo);
+  ASSERT_TRUE(mp.ok());
+  auto rm = RunWorkload(mp->get(), w.data, w.queries, w.gt, 5);
+  ASSERT_TRUE(rm.ok());
+  EXPECT_GE(rm->mean_ratio, 1.0);
+  EXPECT_NE(rm->method_name.find("MultiProbe"), std::string::npos);
+
+  SrsOptions so;
+  so.c = 1.2;
+  so.threshold = 0.99;
+  so.budget_fraction = 0.1;
+  so.seed = 13;
+  auto srs = MakeSrsMethod(w.data, so);
+  ASSERT_TRUE(srs.ok());
+  auto rs = RunWorkload(srs->get(), w.data, w.queries, w.gt, 5);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GE(rs->mean_ratio, 1.0);
+  EXPECT_GT(rs->mean_candidates, 0.0);
+  EXPECT_GT(rs->index_bytes, 0u);
+}
+
+TEST(HarnessTest, NullMethodRejected) {
+  HarnessWorld w = MakeHarnessWorld();
+  EXPECT_TRUE(RunWorkload(nullptr, w.data, w.queries, w.gt, 5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HarnessTest, ShortGroundTruthRejected) {
+  HarnessWorld w = MakeHarnessWorld();
+  auto method = MakeLinearScanMethod(w.data);
+  ASSERT_TRUE(method.ok());
+  std::vector<NeighborList> short_gt(w.gt.begin(), w.gt.begin() + 2);
+  EXPECT_TRUE(RunWorkload(method->get(), w.data, w.queries, short_gt, 5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HarnessTest, SweepCoversAllK) {
+  HarnessWorld w = MakeHarnessWorld();
+  auto method = MakeLinearScanMethod(w.data);
+  ASSERT_TRUE(method.ok());
+  auto r = RunWorkloadSweep(method->get(), w.data, w.queries, w.gt, {1, 5, 20});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].k, 1u);
+  EXPECT_EQ((*r)[1].k, 5u);
+  EXPECT_EQ((*r)[2].k, 20u);
+  for (const auto& res : *r) EXPECT_DOUBLE_EQ(res.mean_recall, 1.0);
+}
+
+}  // namespace
+}  // namespace c2lsh

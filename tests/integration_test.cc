@@ -1,0 +1,179 @@
+// Cross-module integration tests: the full pipeline (profile dataset ->
+// ground truth -> every index -> harness -> metrics), plus the head-to-head
+// comparisons the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/eval/harness.h"
+#include "src/eval/method.h"
+#include "src/eval/metrics.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto pd = MakeProfileDataset(DatasetProfile::kMnist, 6000, 24, 1234);
+    ASSERT_TRUE(pd.ok());
+    data_ = new Dataset(std::move(pd->data));
+    queries_ = new FloatMatrix(std::move(pd->queries));
+    auto gt = ComputeGroundTruth(*data_, *queries_, 20);
+    ASSERT_TRUE(gt.ok());
+    gt_ = new std::vector<NeighborList>(std::move(gt.value()));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete queries_;
+    delete gt_;
+  }
+
+  static Dataset* data_;
+  static FloatMatrix* queries_;
+  static std::vector<NeighborList>* gt_;
+};
+
+Dataset* IntegrationTest::data_ = nullptr;
+FloatMatrix* IntegrationTest::queries_ = nullptr;
+std::vector<NeighborList>* IntegrationTest::gt_ = nullptr;
+
+TEST_F(IntegrationTest, AllMethodsBeatRandomAndReportSaneRatios) {
+  C2lshOptions co;
+  co.seed = 1;
+  auto c2 = MakeC2lshMethod(*data_, co);
+  ASSERT_TRUE(c2.ok());
+
+  E2lshOptions eo;
+  eo.K = 6;
+  eo.L = 32;
+  eo.seed = 2;
+  auto e2 = MakeE2lshMethod(*data_, eo);
+  ASSERT_TRUE(e2.ok());
+
+  LsbForestOptions lo;
+  lo.tree.u = 6;
+  lo.tree.w = 4.0;
+  lo.L = 8;
+  lo.seed = 3;
+  auto lsb = MakeLsbForestMethod(*data_, lo);
+  ASSERT_TRUE(lsb.ok());
+
+  for (AnnMethod* m : {c2->get(), e2->get(), lsb->get()}) {
+    auto r = RunWorkload(m, *data_, *queries_, *gt_, 10);
+    ASSERT_TRUE(r.ok()) << m->name();
+    EXPECT_GE(r->mean_ratio, 1.0) << m->name();
+    EXPECT_LT(r->mean_ratio, 3.0) << m->name();
+    EXPECT_GT(r->mean_recall, 0.2) << m->name();
+  }
+}
+
+TEST_F(IntegrationTest, C2lshSmallerIndexThanE2lshAtComparableRecall) {
+  // The headline claim: dynamic collision counting needs far less index
+  // than static concatenation at comparable quality.
+  C2lshOptions co;
+  co.seed = 4;
+  auto c2 = MakeC2lshMethod(*data_, co);
+  ASSERT_TRUE(c2.ok());
+
+  auto model = MakeCollisionModel(1.0, 2.0);
+  ASSERT_TRUE(model.ok());
+  E2lshOptions eo = SuggestE2lshOptions(data_->size(), *model, 64);
+  eo.seed = 5;
+  auto e2 = MakeE2lshMethod(*data_, eo);
+  ASSERT_TRUE(e2.ok());
+
+  auto rc = RunWorkload(c2->get(), *data_, *queries_, *gt_, 10);
+  auto re = RunWorkload(e2->get(), *data_, *queries_, *gt_, 10);
+  ASSERT_TRUE(rc.ok() && re.ok());
+  EXPECT_LT(rc->index_bytes, re->index_bytes);
+  EXPECT_GE(rc->mean_recall + 0.15, re->mean_recall);  // not worse in quality
+}
+
+TEST_F(IntegrationTest, C2lshBetterRatioThanLsbAtSimilarIo) {
+  C2lshOptions co;
+  co.seed = 6;
+  auto c2 = MakeC2lshMethod(*data_, co);
+  ASSERT_TRUE(c2.ok());
+  LsbForestOptions lo;
+  lo.tree.u = 6;
+  lo.tree.w = 4.0;
+  lo.L = 8;
+  lo.seed = 7;
+  auto lsb = MakeLsbForestMethod(*data_, lo);
+  ASSERT_TRUE(lsb.ok());
+
+  auto rc = RunWorkload(c2->get(), *data_, *queries_, *gt_, 10);
+  auto rl = RunWorkload(lsb->get(), *data_, *queries_, *gt_, 10);
+  ASSERT_TRUE(rc.ok() && rl.ok());
+  // The paper's shape: C2LSH achieves a better (or equal) ratio.
+  EXPECT_LE(rc->mean_ratio, rl->mean_ratio + 0.05);
+}
+
+TEST_F(IntegrationTest, RecallDegradesGracefullyWithK) {
+  C2lshOptions co;
+  co.seed = 8;
+  auto c2 = MakeC2lshMethod(*data_, co);
+  ASSERT_TRUE(c2.ok());
+  auto sweep = RunWorkloadSweep(c2->get(), *data_, *queries_, *gt_, {1, 10, 20});
+  ASSERT_TRUE(sweep.ok());
+  for (const auto& r : *sweep) {
+    EXPECT_GT(r.mean_recall, 0.3) << "k=" << r.k;
+  }
+}
+
+TEST_F(IntegrationTest, IoCostGrowsWithK) {
+  C2lshOptions co;
+  co.seed = 9;
+  auto c2 = MakeC2lshMethod(*data_, co);
+  ASSERT_TRUE(c2.ok());
+  auto sweep = RunWorkloadSweep(c2->get(), *data_, *queries_, *gt_, {1, 20});
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_LE((*sweep)[0].mean_total_pages, (*sweep)[1].mean_total_pages * 1.05);
+}
+
+TEST_F(IntegrationTest, EndToEndAngularViaNormalization) {
+  // Angular search via the Euclidean index on normalized vectors: for unit
+  // vectors, L2^2 = 2 * angular distance, so rankings agree. The sphere is
+  // scaled up so NN distances land a few radius doublings above R = 1 (the
+  // same normalization the synthetic profiles apply).
+  FloatMatrix normalized = data_->vectors();
+  normalized.NormalizeRows();
+  constexpr float kSphereScale = 24.0f;
+  for (size_t i = 0; i < normalized.num_rows(); ++i) {
+    for (size_t j = 0; j < normalized.dim(); ++j) {
+      normalized.set(i, j, normalized.at(i, j) * kSphereScale);
+    }
+  }
+  auto norm_data = Dataset::Create("normalized", std::move(normalized));
+  ASSERT_TRUE(norm_data.ok());
+  FloatMatrix norm_queries = *queries_;
+  norm_queries.NormalizeRows();
+  for (size_t i = 0; i < norm_queries.num_rows(); ++i) {
+    for (size_t j = 0; j < norm_queries.dim(); ++j) {
+      norm_queries.set(i, j, norm_queries.at(i, j) * kSphereScale);
+    }
+  }
+
+  auto gt = ComputeGroundTruth(norm_data.value(), norm_queries, 10, Metric::kAngular);
+  ASSERT_TRUE(gt.ok());
+
+  C2lshOptions co;
+  co.seed = 10;
+  co.w = 1.0;
+  auto index = C2lshIndex::Build(norm_data.value(), co);
+  ASSERT_TRUE(index.ok());
+  double recall = 0.0;
+  for (size_t q = 0; q < norm_queries.num_rows(); ++q) {
+    auto r = index->Query(norm_data.value(), norm_queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    recall += Recall(*r, (*gt)[q], 10);
+  }
+  recall /= static_cast<double>(norm_queries.num_rows());
+  EXPECT_GT(recall, 0.3);
+}
+
+}  // namespace
+}  // namespace c2lsh

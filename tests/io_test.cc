@@ -1,0 +1,169 @@
+#include "src/vector/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  auto m = FloatMatrix::FromVector(3, 2, {1.5f, -2.0f, 0.0f, 4.25f, 1e-3f, 9.0f});
+  ASSERT_TRUE(m.ok());
+  const std::string path = Path("a.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, m.value()).ok());
+
+  auto back = ReadFvecs(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->dim(), 2u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(back->at(i, j), m->at(i, j));
+    }
+  }
+}
+
+TEST_F(IoTest, FvecsMaxRows) {
+  Rng rng(1);
+  std::vector<float> data;
+  for (int i = 0; i < 10 * 4; ++i) data.push_back(static_cast<float>(rng.Gaussian()));
+  auto m = FloatMatrix::FromVector(10, 4, data);
+  ASSERT_TRUE(m.ok());
+  const std::string path = Path("b.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, m.value()).ok());
+
+  auto head = ReadFvecs(path, 3);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->num_rows(), 3u);
+  EXPECT_EQ(head->at(2, 1), m->at(2, 1));
+}
+
+TEST_F(IoTest, FvecsMissingFile) {
+  EXPECT_TRUE(ReadFvecs(Path("nope.fvecs")).status().IsIOError());
+}
+
+TEST_F(IoTest, FvecsEmptyFileIsCorruption) {
+  const std::string path = Path("empty.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fclose(f);
+  EXPECT_TRUE(ReadFvecs(path).status().IsCorruption());
+}
+
+TEST_F(IoTest, FvecsTruncatedRow) {
+  const std::string path = Path("trunc.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t d = 8;
+  std::fwrite(&d, sizeof(d), 1, f);
+  const float vals[3] = {1, 2, 3};  // claims 8, writes 3
+  std::fwrite(vals, sizeof(float), 3, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadFvecs(path).status().IsCorruption());
+}
+
+TEST_F(IoTest, FvecsInconsistentDim) {
+  const std::string path = Path("mixed.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  int32_t d = 2;
+  const float row2[2] = {1, 2};
+  std::fwrite(&d, sizeof(d), 1, f);
+  std::fwrite(row2, sizeof(float), 2, f);
+  d = 3;
+  const float row3[3] = {1, 2, 3};
+  std::fwrite(&d, sizeof(d), 1, f);
+  std::fwrite(row3, sizeof(float), 3, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadFvecs(path).status().IsCorruption());
+}
+
+TEST_F(IoTest, FvecsNonPositiveDim) {
+  const std::string path = Path("negdim.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t d = -1;
+  std::fwrite(&d, sizeof(d), 1, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadFvecs(path).status().IsCorruption());
+}
+
+TEST_F(IoTest, BvecsRoundTrip) {
+  auto m = FloatMatrix::FromVector(3, 4, {0, 1, 2, 3, 255, 254, 128, 0, 7, 7, 7, 7});
+  ASSERT_TRUE(m.ok());
+  const std::string path = Path("a.bvecs");
+  ASSERT_TRUE(WriteBvecs(path, m.value()).ok());
+  auto back = ReadBvecs(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->dim(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(back->at(i, j), m->at(i, j));
+    }
+  }
+}
+
+TEST_F(IoTest, BvecsRejectsOutOfRange) {
+  auto neg = FloatMatrix::FromVector(1, 2, {-3, 0});
+  auto big = FloatMatrix::FromVector(1, 2, {0, 300});
+  ASSERT_TRUE(neg.ok() && big.ok());
+  EXPECT_TRUE(WriteBvecs(Path("neg.bvecs"), neg.value()).IsInvalidArgument());
+  EXPECT_TRUE(WriteBvecs(Path("big.bvecs"), big.value()).IsInvalidArgument());
+}
+
+TEST_F(IoTest, BvecsMaxRowsAndErrors) {
+  auto m = FloatMatrix::FromVector(5, 2, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  ASSERT_TRUE(m.ok());
+  const std::string path = Path("b.bvecs");
+  ASSERT_TRUE(WriteBvecs(path, m.value()).ok());
+  auto head = ReadBvecs(path, 2);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->num_rows(), 2u);
+  EXPECT_TRUE(ReadBvecs(Path("missing.bvecs")).status().IsIOError());
+  // Truncated row.
+  std::FILE* f = std::fopen(Path("trunc.bvecs").c_str(), "wb");
+  const int32_t d = 10;
+  std::fwrite(&d, sizeof(d), 1, f);
+  const uint8_t bytes[3] = {1, 2, 3};
+  std::fwrite(bytes, 1, 3, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadBvecs(Path("trunc.bvecs")).status().IsCorruption());
+}
+
+TEST_F(IoTest, IvecsRoundTripVariableLengths) {
+  std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {}, {-5}, {7, 8}};
+  const std::string path = Path("c.ivecs");
+  ASSERT_TRUE(WriteIvecs(path, rows).ok());
+  auto back = ReadIvecs(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), rows);
+}
+
+TEST_F(IoTest, IvecsMaxRows) {
+  std::vector<std::vector<int32_t>> rows = {{1}, {2}, {3}, {4}};
+  const std::string path = Path("d.ivecs");
+  ASSERT_TRUE(WriteIvecs(path, rows).ok());
+  auto back = ReadIvecs(path, 2);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[1], std::vector<int32_t>{2});
+}
+
+}  // namespace
+}  // namespace c2lsh

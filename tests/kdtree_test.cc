@@ -1,0 +1,144 @@
+#include "src/baselines/srs/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+std::vector<float> RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> pts(n * dim);
+  for (auto& v : pts) v = static_cast<float>(rng.Gaussian(0, 10));
+  return pts;
+}
+
+TEST(KdTreeTest, BuildValidation) {
+  EXPECT_TRUE(KdTree::Build({}, 0, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KdTree::Build({1.0f}, 1, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KdTree::Build({1.0f, 2.0f}, 2, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KdTree::Build({1.0f, 2.0f, 3.0f}, 1, 3).ok());
+}
+
+TEST(KdTreeTest, StreamYieldsEveryPointExactlyOnce) {
+  const size_t n = 500;
+  const size_t dim = 4;
+  auto tree = KdTree::Build(RandomPoints(n, dim, 3), n, dim);
+  ASSERT_TRUE(tree.ok());
+  const float q[4] = {0, 0, 0, 0};
+  auto stream = tree->StartStream(q);
+  std::vector<int> seen(n, 0);
+  size_t count = 0;
+  while (stream.HasNext()) {
+    const auto item = stream.Next();
+    if (!std::isfinite(item.squared_dist)) break;
+    ++seen[item.id];
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(KdTreeTest, StreamOrderIsNonDecreasing) {
+  const size_t n = 800;
+  const size_t dim = 6;
+  auto tree = KdTree::Build(RandomPoints(n, dim, 7), n, dim);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(dim);
+    for (auto& v : q) v = static_cast<float>(rng.Gaussian(0, 10));
+    auto stream = tree->StartStream(q.data());
+    double prev = -1.0;
+    while (stream.HasNext()) {
+      const auto item = stream.Next();
+      if (!std::isfinite(item.squared_dist)) break;
+      EXPECT_GE(item.squared_dist, prev - 1e-9);
+      prev = item.squared_dist;
+    }
+  }
+}
+
+TEST(KdTreeTest, StreamMatchesBruteForceOrder) {
+  const size_t n = 300;
+  const size_t dim = 5;
+  const auto pts = RandomPoints(n, dim, 11);
+  auto tree = KdTree::Build(pts, n, dim);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(13);
+  std::vector<float> q(dim);
+  for (auto& v : q) v = static_cast<float>(rng.Gaussian(0, 10));
+
+  // Brute-force sorted distances.
+  std::vector<std::pair<double, ObjectId>> expected;
+  for (size_t i = 0; i < n; ++i) {
+    double d = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      const double diff = static_cast<double>(pts[i * dim + j]) - q[j];
+      d += diff * diff;
+    }
+    expected.emplace_back(d, static_cast<ObjectId>(i));
+  }
+  std::sort(expected.begin(), expected.end());
+
+  auto stream = tree->StartStream(q.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(stream.HasNext());
+    const auto item = stream.Next();
+    EXPECT_NEAR(item.squared_dist, expected[i].first, 1e-6)
+        << "position " << i;
+  }
+}
+
+TEST(KdTreeTest, PeekLowerBoundsNext) {
+  const size_t n = 400;
+  const size_t dim = 3;
+  auto tree = KdTree::Build(RandomPoints(n, dim, 17), n, dim);
+  ASSERT_TRUE(tree.ok());
+  const float q[3] = {1, 2, 3};
+  auto stream = tree->StartStream(q);
+  while (stream.HasNext()) {
+    const double bound = stream.PeekSquaredDist();
+    const auto item = stream.Next();
+    if (!std::isfinite(item.squared_dist)) break;
+    EXPECT_LE(bound, item.squared_dist + 1e-9);
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllYielded) {
+  std::vector<float> pts = {1, 1, 1, 1, 1, 1, 5, 5};  // 4 points in 2-d
+  auto tree = KdTree::Build(pts, 4, 2);
+  ASSERT_TRUE(tree.ok());
+  const float q[2] = {1, 1};
+  auto stream = tree->StartStream(q);
+  size_t zeros = 0;
+  size_t total = 0;
+  while (stream.HasNext()) {
+    const auto item = stream.Next();
+    if (!std::isfinite(item.squared_dist)) break;
+    ++total;
+    if (item.squared_dist == 0.0) ++zeros;
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(zeros, 3u);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  std::vector<float> pts = {2, 3};
+  auto tree = KdTree::Build(pts, 1, 2);
+  ASSERT_TRUE(tree.ok());
+  const float q[2] = {0, 0};
+  auto stream = tree->StartStream(q);
+  ASSERT_TRUE(stream.HasNext());
+  const auto item = stream.Next();
+  EXPECT_EQ(item.id, 0u);
+  EXPECT_NEAR(item.squared_dist, 13.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace c2lsh

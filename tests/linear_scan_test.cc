@@ -1,0 +1,100 @@
+#include "src/baselines/linear_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+Dataset LineDataset() {
+  auto m = FloatMatrix::FromVector(6, 1, {0, 1, 2, 3, 4, 100});
+  auto d = Dataset::Create("line", std::move(m.value()));
+  return std::move(d.value());
+}
+
+TEST(LinearScanTest, ExactTopK) {
+  Dataset data = LineDataset();
+  LinearScan scan;
+  const float q = 2.2f;
+  auto r = scan.Search(data, &q, 3);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].id, 2u);
+  EXPECT_EQ((*r)[1].id, 3u);
+  EXPECT_EQ((*r)[2].id, 1u);
+}
+
+TEST(LinearScanTest, KZeroRejected) {
+  Dataset data = LineDataset();
+  LinearScan scan;
+  const float q = 0.0f;
+  EXPECT_TRUE(scan.Search(data, &q, 0).status().IsInvalidArgument());
+}
+
+TEST(LinearScanTest, KCappedAtN) {
+  Dataset data = LineDataset();
+  LinearScan scan;
+  const float q = 0.0f;
+  auto r = scan.Search(data, &q, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(LinearScanTest, TieBrokenById) {
+  auto m = FloatMatrix::FromVector(3, 1, {1, -1, 1});  // ids 0 and 2 tie
+  auto data = Dataset::Create("ties", std::move(m.value()));
+  ASSERT_TRUE(data.ok());
+  LinearScan scan;
+  const float q = 0.0f;
+  auto r = scan.Search(data.value(), &q, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].id, 0u);
+  EXPECT_EQ((*r)[1].id, 1u);
+  EXPECT_EQ((*r)[2].id, 2u);
+}
+
+TEST(LinearScanTest, MatchesGroundTruthHelper) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 600, 8, 3);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 7);
+  ASSERT_TRUE(gt.ok());
+  LinearScan scan;
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = scan.Search(pd->data, pd->queries.row(q), 7);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), 7u);
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ((*r)[i].id, (*gt)[q][i].id);
+    }
+  }
+}
+
+TEST(LinearScanTest, StatsSequentialCost) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 5);
+  ASSERT_TRUE(pd.ok());
+  LinearScan scan;
+  LinearScanStats stats;
+  auto r = scan.Search(pd->data, pd->queries.row(0), 5, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.distance_computations, 1000u);
+  // 1000 rows x 32 dims x 4B = 128000 bytes = 32 pages (4KB).
+  EXPECT_EQ(stats.data_pages, 32u);
+}
+
+TEST(LinearScanTest, AngularMetric) {
+  auto m = FloatMatrix::FromVector(3, 2, {1, 0, 0, 1, -1, 0});
+  auto data = Dataset::Create("angular", std::move(m.value()));
+  ASSERT_TRUE(data.ok());
+  LinearScan scan(Metric::kAngular);
+  const float q[2] = {1, 0.01f};
+  auto r = scan.Search(data.value(), q, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].id, 0u);  // nearly parallel
+  EXPECT_EQ((*r)[1].id, 1u);  // orthogonal
+  EXPECT_EQ((*r)[2].id, 2u);  // opposite
+}
+
+}  // namespace
+}  // namespace c2lsh

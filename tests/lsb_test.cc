@@ -1,0 +1,202 @@
+#include "src/baselines/lsb/lsb_forest.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/lsb/lsb_tree.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+LsbForestOptions SmallForest() {
+  LsbForestOptions o;
+  o.tree.u = 6;
+  o.tree.v = 0;  // fit the grid to the data
+  o.tree.w = 4.0;
+  o.L = 8;
+  o.c = 2.0;
+  o.seed = 3;
+  return o;
+}
+
+TEST(LsbTreeTest, BuildAndExpand) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 500, 4, 1);
+  ASSERT_TRUE(pd.ok());
+  LsbTreeOptions o;
+  o.u = 4;
+  o.v = 12;
+  o.w = 4.0;
+  o.seed = 5;
+  auto tree = LsbTree::Build(pd->data, o);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 500u);
+
+  IoCounter io;
+  auto exp = tree->StartExpansion(pd->queries.row(0), &io);
+  EXPECT_GT(io.index_pages(), 0u);  // the descent was charged
+
+  // Exhausting the expansion yields every object exactly once.
+  std::set<ObjectId> seen;
+  size_t steps = 0;
+  while (exp.HasNext()) {
+    const auto item = exp.Next(&io);
+    EXPECT_LE(item.llcp_bits, tree->encoder().key_bits());
+    EXPECT_EQ(item.level, item.llcp_bits / 4);
+    seen.insert(item.id);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 500u);
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(LsbTreeTest, ExpansionYieldsNonIncreasingLlcpPerSide) {
+  // Globally the expansion takes the better side first, so the first item
+  // has the maximum LLCP over the whole tree.
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 800, 1, 7);
+  ASSERT_TRUE(pd.ok());
+  LsbTreeOptions o;
+  o.u = 4;
+  o.v = 12;
+  o.w = 4.0;
+  o.seed = 9;
+  auto tree = LsbTree::Build(pd->data, o);
+  ASSERT_TRUE(tree.ok());
+  auto exp = tree->StartExpansion(pd->queries.row(0), nullptr);
+  ASSERT_TRUE(exp.HasNext());
+  const auto first = exp.Next(nullptr);
+  size_t max_rest = 0;
+  while (exp.HasNext()) {
+    max_rest = std::max(max_rest, exp.Next(nullptr).llcp_bits);
+  }
+  EXPECT_GE(first.llcp_bits, max_rest);
+}
+
+TEST(LsbForestTest, Validation) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 11);
+  ASSERT_TRUE(pd.ok());
+  LsbForestOptions o = SmallForest();
+  o.c = 1.2;
+  EXPECT_TRUE(LsbForest::Build(pd->data, o).status().IsInvalidArgument());
+}
+
+TEST(LsbForestTest, DefaultLMatchesPaperFormula) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2000, 1, 13);
+  ASSERT_TRUE(pd.ok());
+  LsbForestOptions o = SmallForest();
+  o.L = 0;  // auto
+  auto forest = LsbForest::Build(pd->data, o);
+  ASSERT_TRUE(forest.ok());
+  // sqrt(d*n/B_entries) = sqrt(32 * 2000 / 1024) = sqrt(62.5) ~ 8.
+  EXPECT_GE(forest->num_trees(), 7u);
+  EXPECT_LE(forest->num_trees(), 9u);
+}
+
+TEST(LsbForestTest, FindsExactDuplicate) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 1, 17);
+  ASSERT_TRUE(pd.ok());
+  auto forest = LsbForest::Build(pd->data, SmallForest());
+  ASSERT_TRUE(forest.ok());
+  for (ObjectId target : {3u, 700u, 1400u}) {
+    auto r = forest->Query(pd->data, pd->data.object(target), 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    // A duplicate has maximal LLCP in every tree; it must surface first.
+    EXPECT_EQ((*r)[0].id, target);
+    EXPECT_EQ((*r)[0].dist, 0.0f);
+  }
+}
+
+TEST(LsbForestTest, ReasonableRecall) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 4000, 16, 19);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+  auto forest = LsbForest::Build(pd->data, SmallForest());
+  ASSERT_TRUE(forest.ok());
+  double hits = 0;
+  for (size_t q = 0; q < 16; ++q) {
+    auto r = forest->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+  }
+  EXPECT_GT(hits / 160.0, 0.4);
+}
+
+TEST(LsbForestTest, StatsAndTermination) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2000, 4, 23);
+  ASSERT_TRUE(pd.ok());
+  auto forest = LsbForest::Build(pd->data, SmallForest());
+  ASSERT_TRUE(forest.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    LsbQueryStats stats;
+    auto r = forest->Query(pd->data, pd->queries.row(q), 10, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(stats.candidates_verified, 0u);
+    EXPECT_GT(stats.expansions, 0u);
+    EXPECT_GT(stats.index_pages, 0u);
+    EXPECT_TRUE(stats.terminated_by_quality || stats.terminated_by_budget ||
+                stats.candidates_verified == 2000u);
+  }
+}
+
+TEST(LsbForestTest, BudgetCapsCandidates) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 4, 29);
+  ASSERT_TRUE(pd.ok());
+  LsbForestOptions o = SmallForest();
+  o.candidate_budget = 100;
+  auto forest = LsbForest::Build(pd->data, o);
+  ASSERT_TRUE(forest.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    LsbQueryStats stats;
+    auto r = forest->Query(pd->data, pd->queries.row(q), 10, &stats);
+    ASSERT_TRUE(r.ok());
+    // One sweep can overshoot by at most L candidates.
+    EXPECT_LE(stats.candidates_verified, 100u + forest->num_trees());
+  }
+}
+
+TEST(LsbForestTest, ResultsSortedUnique) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 1000, 8, 31);
+  ASSERT_TRUE(pd.ok());
+  auto forest = LsbForest::Build(pd->data, SmallForest());
+  ASSERT_TRUE(forest.ok());
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = forest->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> ids;
+    for (size_t i = 0; i < r->size(); ++i) {
+      ids.insert((*r)[i].id);
+      if (i > 0) EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+    }
+    EXPECT_EQ(ids.size(), r->size());
+  }
+}
+
+TEST(LsbForestTest, MoreTreesMoreMemory) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 37);
+  ASSERT_TRUE(pd.ok());
+  LsbForestOptions small = SmallForest();
+  small.L = 4;
+  LsbForestOptions big = SmallForest();
+  big.L = 16;
+  auto a = LsbForest::Build(pd->data, small);
+  auto b = LsbForest::Build(pd->data, big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b->MemoryBytes(), a->MemoryBytes() * 3);
+}
+
+TEST(LsbForestTest, KZeroRejected) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 41);
+  ASSERT_TRUE(pd.ok());
+  auto forest = LsbForest::Build(pd->data, SmallForest());
+  ASSERT_TRUE(forest.ok());
+  EXPECT_TRUE(forest->Query(pd->data, pd->queries.row(0), 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace c2lsh

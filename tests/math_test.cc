@@ -1,0 +1,134 @@
+#include "src/util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalTest, PdfSymmetricAndPeaked) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.5), NormalPdf(-1.5), 1e-15);
+  EXPECT_GT(NormalPdf(0.0), NormalPdf(0.5));
+}
+
+TEST(CollisionProbTest, Limits) {
+  EXPECT_DOUBLE_EQ(PStableCollisionProbability(0.0, 1.0), 1.0);
+  // Very close points: probability near 1.
+  EXPECT_GT(PStableCollisionProbability(1e-9, 1.0), 0.999);
+  // Very far points: probability near 0.
+  EXPECT_LT(PStableCollisionProbability(1e9, 1.0), 1e-6);
+}
+
+TEST(CollisionProbTest, MonotoneDecreasingInDistance) {
+  double prev = 1.0;
+  for (double s = 0.1; s < 50.0; s *= 1.5) {
+    const double p = PStableCollisionProbability(s, 4.0);
+    EXPECT_LT(p, prev) << "s=" << s;
+    prev = p;
+  }
+}
+
+TEST(CollisionProbTest, MonotoneIncreasingInWidth) {
+  double prev = 0.0;
+  for (double w = 0.5; w < 100.0; w *= 2.0) {
+    const double p = PStableCollisionProbability(2.0, w);
+    EXPECT_GT(p, prev) << "w=" << w;
+    prev = p;
+  }
+}
+
+TEST(CollisionProbTest, ScaleInvariance) {
+  // p depends only on the ratio w/s: p(s, w) == p(ks, kw).
+  for (double k : {2.0, 7.0, 0.25}) {
+    EXPECT_NEAR(PStableCollisionProbability(1.0, 3.0),
+                PStableCollisionProbability(k, 3.0 * k), 1e-12);
+  }
+}
+
+TEST(CollisionProbTest, KnownValueW1) {
+  // p(1; 1) for the Gaussian family: 2*Phi(1) - 1 - 2/sqrt(2*pi)*(1 - e^-0.5)
+  const double expected =
+      1.0 - 2.0 * NormalCdf(-1.0) - 2.0 / std::sqrt(2.0 * M_PI) * (1.0 - std::exp(-0.5));
+  EXPECT_NEAR(PStableCollisionProbability(1.0, 1.0), expected, 1e-12);
+}
+
+TEST(InverseDistanceTest, RoundTrips) {
+  for (double w : {1.0, 4.0, 10.0}) {
+    for (double s : {0.5, 1.0, 2.0, 8.0}) {
+      const double p = PStableCollisionProbability(s, w);
+      ASSERT_GT(p, 0.0);
+      ASSERT_LT(p, 1.0);
+      const double s_back = PStableInverseDistance(p, w);
+      EXPECT_NEAR(s_back, s, 1e-6 * s) << "w=" << w << " s=" << s;
+    }
+  }
+}
+
+TEST(HoeffdingTest, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(HoeffdingLowerTailBound(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(HoeffdingLowerTailBound(-1.0, 100), 1.0);
+  // Larger deviation or more samples -> smaller bound.
+  EXPECT_LT(HoeffdingLowerTailBound(0.2, 100), HoeffdingLowerTailBound(0.1, 100));
+  EXPECT_LT(HoeffdingLowerTailBound(0.1, 200), HoeffdingLowerTailBound(0.1, 100));
+  // Exact value: exp(-2 * 100 * 0.1^2) = exp(-2).
+  EXPECT_NEAR(HoeffdingLowerTailBound(0.1, 100), std::exp(-2.0), 1e-15);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(SampleStddev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138089935299395,
+              1e-12);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90), 7.0);
+}
+
+TEST(IntDivTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+  EXPECT_EQ(CeilDiv(5, 5), 1);
+  EXPECT_EQ(CeilDiv(6, 5), 2);
+}
+
+TEST(IntDivTest, FloorDivMatchesMathematicalFloor) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-8, 2), -4);
+  EXPECT_EQ(FloorDiv(-1, 4), -1);
+  EXPECT_EQ(FloorDiv(0, 4), 0);
+  EXPECT_EQ(FloorDiv(3, 4), 0);
+}
+
+TEST(IntDivTest, FloorDivNestedFloorIdentity) {
+  // floor(floor(x / a) / b) == floor(x / (a*b)) — the identity virtual
+  // rehashing rests on.
+  for (long long x = -100; x <= 100; ++x) {
+    for (long long a : {2LL, 3LL, 4LL}) {
+      for (long long b : {2LL, 3LL, 5LL}) {
+        EXPECT_EQ(FloorDiv(FloorDiv(x, a), b), FloorDiv(x, a * b))
+            << "x=" << x << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,95 @@
+#include "src/vector/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(MatrixTest, CreateZeroed) {
+  auto r = FloatMatrix::Create(3, 4);
+  ASSERT_TRUE(r.ok());
+  const FloatMatrix& m = r.value();
+  EXPECT_EQ(m.num_rows(), 3u);
+  EXPECT_EQ(m.dim(), 4u);
+  EXPECT_FALSE(m.empty());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.at(i, j), 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, CreateRejectsZeroDims) {
+  EXPECT_TRUE(FloatMatrix::Create(0, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(FloatMatrix::Create(4, 0).status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  FloatMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.num_rows(), 0u);
+}
+
+TEST(MatrixTest, FromVector) {
+  auto r = FloatMatrix::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0), 1.0f);
+  EXPECT_EQ(r->at(1, 2), 6.0f);
+  EXPECT_EQ(r->row(1)[0], 4.0f);
+}
+
+TEST(MatrixTest, FromVectorSizeMismatch) {
+  EXPECT_TRUE(FloatMatrix::FromVector(2, 3, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, SetAndGet) {
+  auto r = FloatMatrix::Create(2, 2);
+  ASSERT_TRUE(r.ok());
+  r->set(1, 1, 9.5f);
+  EXPECT_EQ(r->at(1, 1), 9.5f);
+  r->mutable_row(0)[1] = -2.0f;
+  EXPECT_EQ(r->at(0, 1), -2.0f);
+}
+
+TEST(MatrixTest, AppendRow) {
+  auto r = FloatMatrix::FromVector(1, 3, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  const float row[3] = {4, 5, 6};
+  ASSERT_TRUE(r->AppendRow(row, 3).ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->at(1, 1), 5.0f);
+}
+
+TEST(MatrixTest, AppendRowWrongLength) {
+  auto r = FloatMatrix::FromVector(1, 3, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  const float row[2] = {4, 5};
+  EXPECT_TRUE(r->AppendRow(row, 2).IsInvalidArgument());
+}
+
+TEST(MatrixTest, NormalizeRows) {
+  auto r = FloatMatrix::FromVector(3, 2, {3, 4, 0, 0, 1, 0});
+  ASSERT_TRUE(r.ok());
+  r->NormalizeRows();
+  EXPECT_NEAR(r->at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(r->at(0, 1), 0.8f, 1e-6);
+  // Zero row untouched.
+  EXPECT_EQ(r->at(1, 0), 0.0f);
+  EXPECT_EQ(r->at(1, 1), 0.0f);
+  // Already unit row stays unit.
+  EXPECT_NEAR(r->at(2, 0), 1.0f, 1e-6);
+}
+
+TEST(MatrixTest, DeepCopy) {
+  auto r = FloatMatrix::FromVector(1, 2, {1, 2});
+  ASSERT_TRUE(r.ok());
+  FloatMatrix copy = r.value();
+  copy.set(0, 0, 99.0f);
+  EXPECT_EQ(r->at(0, 0), 1.0f);
+  EXPECT_EQ(copy.at(0, 0), 99.0f);
+}
+
+}  // namespace
+}  // namespace c2lsh

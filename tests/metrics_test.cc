@@ -1,0 +1,85 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+NeighborList MakeList(std::initializer_list<std::pair<ObjectId, float>> items) {
+  NeighborList out;
+  for (const auto& [id, dist] : items) out.push_back(Neighbor{id, dist});
+  return out;
+}
+
+TEST(RatioTest, ExactResultIsOne) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}, {2, 3.0f}});
+  EXPECT_DOUBLE_EQ(OverallRatio(gt, gt, 3), 1.0);
+}
+
+TEST(RatioTest, HandComputed) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}});
+  const NeighborList result = MakeList({{5, 2.0f}, {6, 3.0f}});
+  // (2/1 + 3/2) / 2 = 1.75
+  EXPECT_DOUBLE_EQ(OverallRatio(result, gt, 2), 1.75);
+}
+
+TEST(RatioTest, MissingPositionsChargedWorstRatio) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 1.0f}, {2, 1.0f}});
+  const NeighborList result = MakeList({{9, 2.0f}});  // only 1 of 3 returned
+  // Worst observed ratio = 2; missing two slots charged 2 each.
+  EXPECT_DOUBLE_EQ(OverallRatio(result, gt, 3), 2.0);
+}
+
+TEST(RatioTest, ZeroExactDistanceSkipped) {
+  const NeighborList gt = MakeList({{0, 0.0f}, {1, 2.0f}});
+  const NeighborList result = MakeList({{0, 0.0f}, {1, 2.0f}});
+  EXPECT_DOUBLE_EQ(OverallRatio(result, gt, 2), 1.0);
+}
+
+TEST(RatioTest, KCappedByGroundTruth) {
+  const NeighborList gt = MakeList({{0, 1.0f}});
+  const NeighborList result = MakeList({{0, 1.0f}, {1, 5.0f}});
+  EXPECT_DOUBLE_EQ(OverallRatio(result, gt, 10), 1.0);
+}
+
+TEST(RatioTest, EmptyGroundTruthIsOne) {
+  EXPECT_DOUBLE_EQ(OverallRatio(MakeList({}), MakeList({}), 5), 1.0);
+}
+
+TEST(RecallTest, PerfectAndEmpty) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}, {2, 3.0f}});
+  EXPECT_DOUBLE_EQ(Recall(gt, gt, 3), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(MakeList({}), gt, 3), 0.0);
+}
+
+TEST(RecallTest, PartialOverlap) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}, {2, 3.0f}, {3, 4.0f}});
+  const NeighborList result = MakeList({{0, 1.0f}, {9, 1.5f}, {2, 3.0f}, {8, 9.0f}});
+  EXPECT_DOUBLE_EQ(Recall(result, gt, 4), 0.5);
+}
+
+TEST(RecallTest, OrderIrrelevant) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}});
+  const NeighborList result = MakeList({{1, 2.0f}, {0, 1.0f}});
+  EXPECT_DOUBLE_EQ(Recall(result, gt, 2), 1.0);
+}
+
+TEST(RecallTest, OnlyFirstKOfResultCount) {
+  const NeighborList gt = MakeList({{0, 1.0f}, {1, 2.0f}});
+  // The true hit sits at position 3 of the result; with k = 2 only the
+  // first 2 result entries are considered.
+  const NeighborList result = MakeList({{7, 1.0f}, {8, 2.0f}, {0, 3.0f}});
+  EXPECT_DOUBLE_EQ(Recall(result, gt, 2), 0.0);
+}
+
+TEST(MeanOverQueriesTest, Averages) {
+  const std::vector<NeighborList> gt = {MakeList({{0, 1.0f}}), MakeList({{1, 1.0f}})};
+  const std::vector<NeighborList> results = {MakeList({{0, 1.0f}}),
+                                             MakeList({{9, 2.0f}})};
+  EXPECT_DOUBLE_EQ(MeanOverQueries(results, gt, 1, &Recall), 0.5);
+  EXPECT_DOUBLE_EQ(MeanOverQueries(results, gt, 1, &OverallRatio), 1.5);
+  EXPECT_DOUBLE_EQ(MeanOverQueries({}, gt, 1, &Recall), 0.0);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,174 @@
+#include "src/baselines/multiprobe.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(PerturbationTest, EmptyInputs) {
+  EXPECT_TRUE(GeneratePerturbations({}, {}, 5).empty());
+  EXPECT_TRUE(GeneratePerturbations({1.0}, {2.0}, 0).empty());
+}
+
+TEST(PerturbationTest, ScoresNonDecreasing) {
+  const std::vector<double> xm = {0.3, 1.2, 0.7, 2.0};
+  const std::vector<double> xp = {1.7, 0.8, 1.3, 0.1};
+  const auto probes = GeneratePerturbations(xm, xp, 20);
+  ASSERT_FALSE(probes.empty());
+  for (size_t i = 1; i < probes.size(); ++i) {
+    EXPECT_GE(probes[i].score, probes[i - 1].score);
+  }
+}
+
+TEST(PerturbationTest, FirstProbeIsCheapestSingleStep) {
+  const std::vector<double> xm = {0.9, 0.2, 0.8};
+  const std::vector<double> xp = {0.5, 0.7, 0.6};
+  const auto probes = GeneratePerturbations(xm, xp, 5);
+  ASSERT_FALSE(probes.empty());
+  // Cheapest single perturbation: coordinate 1 with delta -1 (x = 0.2).
+  EXPECT_NEAR(probes[0].score, 0.04, 1e-12);
+  ASSERT_EQ(probes[0].deltas.size(), 3u);
+  EXPECT_EQ(probes[0].deltas[1], -1);
+  EXPECT_EQ(probes[0].deltas[0], 0);
+  EXPECT_EQ(probes[0].deltas[2], 0);
+}
+
+TEST(PerturbationTest, NoCoordinatePerturbedTwiceAndNonEmpty) {
+  const std::vector<double> xm = {0.1, 0.2};
+  const std::vector<double> xp = {0.15, 0.25};
+  const auto probes = GeneratePerturbations(xm, xp, 8);
+  for (const Perturbation& p : probes) {
+    int nonzero = 0;
+    for (int8_t d : p.deltas) {
+      EXPECT_GE(d, -1);
+      EXPECT_LE(d, 1);
+      if (d != 0) ++nonzero;
+    }
+    EXPECT_GE(nonzero, 1);  // the empty probe (home bucket) is not emitted
+  }
+}
+
+TEST(PerturbationTest, ScoreMatchesDeltas) {
+  const std::vector<double> xm = {0.4, 1.0};
+  const std::vector<double> xp = {0.6, 0.3};
+  const auto probes = GeneratePerturbations(xm, xp, 10);
+  for (const Perturbation& p : probes) {
+    double expected = 0.0;
+    for (size_t i = 0; i < p.deltas.size(); ++i) {
+      if (p.deltas[i] == -1) expected += xm[i] * xm[i];
+      if (p.deltas[i] == +1) expected += xp[i] * xp[i];
+    }
+    EXPECT_NEAR(p.score, expected, 1e-12);
+  }
+}
+
+TEST(PerturbationTest, DistinctProbes) {
+  const std::vector<double> xm = {0.2, 0.5, 0.9};
+  const std::vector<double> xp = {0.8, 0.4, 0.1};
+  const auto probes = GeneratePerturbations(xm, xp, 15);
+  std::set<std::vector<int8_t>> unique;
+  for (const Perturbation& p : probes) unique.insert(p.deltas);
+  EXPECT_EQ(unique.size(), probes.size());
+}
+
+MultiProbeOptions SmallOptions() {
+  MultiProbeOptions o;
+  o.K = 6;
+  o.L = 6;
+  o.w = 16.0;
+  o.num_probes = 16;
+  o.seed = 3;
+  return o;
+}
+
+TEST(MultiProbeIndexTest, Validation) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 1);
+  ASSERT_TRUE(pd.ok());
+  MultiProbeOptions o = SmallOptions();
+  o.K = 0;
+  EXPECT_TRUE(MultiProbeIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.w = 0;
+  EXPECT_TRUE(MultiProbeIndex::Build(pd->data, o).status().IsInvalidArgument());
+}
+
+TEST(MultiProbeIndexTest, FindsExactDuplicate) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 1, 5);
+  ASSERT_TRUE(pd.ok());
+  auto index = MultiProbeIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (ObjectId target : {0u, 700u, 1499u}) {
+    auto r = index->Query(pd->data, pd->data.object(target), 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    EXPECT_EQ((*r)[0].id, target);
+  }
+}
+
+TEST(MultiProbeIndexTest, MoreProbesAtLeastAsMuchRecall) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 3000, 16, 7);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+
+  auto run = [&](size_t probes) {
+    MultiProbeOptions o = SmallOptions();
+    o.num_probes = probes;
+    auto index = MultiProbeIndex::Build(pd->data, o);
+    EXPECT_TRUE(index.ok());
+    double hits = 0;
+    for (size_t q = 0; q < 16; ++q) {
+      auto r = index->Query(pd->data, pd->queries.row(q), 10);
+      EXPECT_TRUE(r.ok());
+      std::set<ObjectId> truth;
+      for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+      for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+    }
+    return hits / 160.0;
+  };
+
+  const double r0 = run(0);
+  const double r32 = run(32);
+  EXPECT_GE(r32 + 0.05, r0);  // statistically at least as good
+  EXPECT_GT(r32, 0.3);        // and respectable in absolute terms
+}
+
+TEST(MultiProbeIndexTest, ProbeCountStat) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 800, 1, 9);
+  ASSERT_TRUE(pd.ok());
+  MultiProbeOptions o = SmallOptions();
+  o.num_probes = 10;
+  auto index = MultiProbeIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+  MultiProbeQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 5, &stats);
+  ASSERT_TRUE(r.ok());
+  // Home + up to 10 perturbed probes per table.
+  EXPECT_GE(stats.buckets_probed, o.L * 1u);
+  EXPECT_LE(stats.buckets_probed, o.L * 11u);
+}
+
+TEST(MultiProbeIndexTest, Deterministic) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 600, 4, 11);
+  ASSERT_TRUE(pd.ok());
+  auto a = MultiProbeIndex::Build(pd->data, SmallOptions());
+  auto b = MultiProbeIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    auto ra = a->Query(pd->data, pd->queries.row(q), 5);
+    auto rb = b->Query(pd->data, pd->queries.row(q), 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,96 @@
+#include "src/storage/page_file.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_pf_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PageFileTest, CreateAllocateReadWrite) {
+  auto f = PageFile::Create(Path("a.pf"), 4096);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->num_pages(), 0u);
+  EXPECT_EQ(f->page_bytes(), 4096u);
+
+  auto p1 = f->AllocatePage();
+  auto p2 = f->AllocatePage();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1.value(), 1u);
+  EXPECT_EQ(p2.value(), 2u);
+  EXPECT_EQ(f->num_pages(), 2u);
+
+  std::vector<uint8_t> out(4096, 0xAB);
+  ASSERT_TRUE(f->WritePage(p1.value(), out.data()).ok());
+  std::vector<uint8_t> in(4096, 0);
+  ASSERT_TRUE(f->ReadPage(p1.value(), in.data()).ok());
+  EXPECT_EQ(in, out);
+
+  // Freshly allocated page reads back zeroed.
+  ASSERT_TRUE(f->ReadPage(p2.value(), in.data()).ok());
+  EXPECT_EQ(in, std::vector<uint8_t>(4096, 0));
+}
+
+TEST_F(PageFileTest, OutOfRangeRejected) {
+  auto f = PageFile::Create(Path("b.pf"));
+  ASSERT_TRUE(f.ok());
+  std::vector<uint8_t> buf(f->page_bytes());
+  EXPECT_TRUE(f->ReadPage(0, buf.data()).IsOutOfRange());   // header page
+  EXPECT_TRUE(f->ReadPage(1, buf.data()).IsOutOfRange());   // never allocated
+  EXPECT_TRUE(f->WritePage(9, buf.data()).IsOutOfRange());
+}
+
+TEST_F(PageFileTest, PersistsAcrossReopen) {
+  const std::string path = Path("c.pf");
+  {
+    auto f = PageFile::Create(path, 512);
+    ASSERT_TRUE(f.ok());
+    auto id = f->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> buf(512);
+    std::memset(buf.data(), 0x5C, 512);
+    ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  auto f = PageFile::Open(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->page_bytes(), 512u);
+  EXPECT_EQ(f->num_pages(), 1u);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(f->ReadPage(1, buf.data()).ok());
+  EXPECT_EQ(buf, std::vector<uint8_t>(512, 0x5C));
+}
+
+TEST_F(PageFileTest, OpenMissingFile) {
+  EXPECT_TRUE(PageFile::Open(Path("missing.pf")).status().IsIOError());
+}
+
+TEST_F(PageFileTest, OpenGarbageRejected) {
+  const std::string path = Path("junk.pf");
+  std::ofstream(path) << "not a page file at all, sorry";
+  EXPECT_TRUE(PageFile::Open(path).status().IsCorruption());
+}
+
+TEST_F(PageFileTest, UnreasonablePageSizeRejected) {
+  EXPECT_TRUE(PageFile::Create(Path("d.pf"), 4).status().IsInvalidArgument());
+  EXPECT_TRUE(PageFile::Create(Path("e.pf"), 1u << 30).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,61 @@
+#include "src/storage/page_model.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(PageModelTest, PagesForBytes) {
+  PageModel m(4096);
+  EXPECT_EQ(m.PagesForBytes(0), 0u);
+  EXPECT_EQ(m.PagesForBytes(1), 1u);
+  EXPECT_EQ(m.PagesForBytes(4096), 1u);
+  EXPECT_EQ(m.PagesForBytes(4097), 2u);
+  EXPECT_EQ(m.PagesForBytes(3 * 4096), 3u);
+}
+
+TEST(PageModelTest, PagesForEntries) {
+  PageModel m(4096);
+  // 4-byte entries: 1024 per page.
+  EXPECT_EQ(m.PagesForEntries(1024, 4), 1u);
+  EXPECT_EQ(m.PagesForEntries(1025, 4), 2u);
+  EXPECT_EQ(m.PagesForEntries(0, 4), 0u);
+}
+
+TEST(PageModelTest, EntriesPerPage) {
+  PageModel m(4096);
+  EXPECT_EQ(m.EntriesPerPage(4), 1024u);
+  EXPECT_EQ(m.EntriesPerPage(12), 341u);
+  EXPECT_EQ(m.EntriesPerPage(0), 0u);
+}
+
+TEST(PageModelTest, PagesPerVector) {
+  PageModel m(4096);
+  EXPECT_EQ(m.PagesPerVector(32), 1u);     // 128 bytes
+  EXPECT_EQ(m.PagesPerVector(1024), 1u);   // exactly one page
+  EXPECT_EQ(m.PagesPerVector(1025), 2u);   // just over
+  EXPECT_EQ(m.PagesPerVector(512), 1u);
+}
+
+TEST(PageModelTest, NonDefaultPageSize) {
+  PageModel m(512);
+  EXPECT_EQ(m.page_bytes(), 512u);
+  EXPECT_EQ(m.PagesForBytes(513), 2u);
+  EXPECT_EQ(m.PagesPerVector(512), 4u);  // 2048 bytes / 512
+}
+
+TEST(IoCounterTest, AccumulatesAndResets) {
+  IoCounter io;
+  EXPECT_EQ(io.total_pages(), 0u);
+  io.AddIndexPages(3);
+  io.AddDataPages(5);
+  io.AddIndexPages(2);
+  EXPECT_EQ(io.index_pages(), 5u);
+  EXPECT_EQ(io.data_pages(), 5u);
+  EXPECT_EQ(io.total_pages(), 10u);
+  io.Reset();
+  EXPECT_EQ(io.total_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,141 @@
+#include "src/core/params.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/math.h"
+
+namespace c2lsh {
+namespace {
+
+C2lshOptions DefaultOptions() {
+  C2lshOptions o;
+  o.w = 1.0;
+  o.c = 2.0;
+  o.delta = 0.1;
+  o.beta = 0.0;  // resolve to 100/n
+  return o;
+}
+
+TEST(ParamsTest, Validation) {
+  C2lshOptions o = DefaultOptions();
+  EXPECT_TRUE(ComputeDerivedParams(o, 0).status().IsInvalidArgument());
+
+  o.c = 1.5;  // non-integer
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+  o.c = 1.0;  // too small
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+  o = DefaultOptions();
+  o.delta = 0.0;
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+  o.delta = 1.0;
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+  o = DefaultOptions();
+  o.w = 0.0;
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+  o = DefaultOptions();
+  o.beta = 1e-9;  // beta*n < 1
+  EXPECT_TRUE(ComputeDerivedParams(o, 1000).status().IsInvalidArgument());
+}
+
+TEST(ParamsTest, BetaDefaultsTo100OverN) {
+  auto d = ComputeDerivedParams(DefaultOptions(), 50000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->beta, 100.0 / 50000.0, 1e-12);
+}
+
+TEST(ParamsTest, ExplicitBetaRespected) {
+  C2lshOptions o = DefaultOptions();
+  o.beta = 0.01;
+  auto d = ComputeDerivedParams(o, 50000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->beta, 0.01);
+}
+
+TEST(ParamsTest, AlphaBetweenP2AndP1) {
+  auto d = ComputeDerivedParams(DefaultOptions(), 20000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->alpha, d->model.p2);
+  EXPECT_LT(d->alpha, d->model.p1);
+}
+
+TEST(ParamsTest, ThresholdIsCeilAlphaM) {
+  auto d = ComputeDerivedParams(DefaultOptions(), 20000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->l, static_cast<size_t>(std::ceil(d->alpha * static_cast<double>(d->m))));
+  EXPECT_LE(d->l, d->m);
+  EXPECT_GE(d->l, 1u);
+}
+
+TEST(ParamsTest, HoeffdingRequirementsSatisfied) {
+  // The whole point of m's formula: both tail bounds must be met.
+  for (size_t n : {1000u, 20000u, 100000u}) {
+    auto d = ComputeDerivedParams(DefaultOptions(), n);
+    ASSERT_TRUE(d.ok());
+    const double p1_tail = HoeffdingLowerTailBound(d->model.p1 - d->alpha,
+                                                   static_cast<int>(d->m));
+    const double p2_tail = HoeffdingLowerTailBound(d->alpha - d->model.p2,
+                                                   static_cast<int>(d->m));
+    EXPECT_LE(p1_tail, 0.1 + 1e-9) << "n=" << n;          // <= delta
+    EXPECT_LE(p2_tail, d->beta / 2.0 + 1e-9) << "n=" << n;  // <= beta/2
+  }
+}
+
+TEST(ParamsTest, MGrowsWithN) {
+  // beta = 100/n shrinks with n, so separating alpha from p2 needs more
+  // functions.
+  auto d1 = ComputeDerivedParams(DefaultOptions(), 1000);
+  auto d2 = ComputeDerivedParams(DefaultOptions(), 100000);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_GT(d2->m, d1->m);
+}
+
+TEST(ParamsTest, LargerCNeedsFewerFunctions) {
+  // A wider gap p1 - p2 (larger c) means fewer functions for the same bounds.
+  C2lshOptions o2 = DefaultOptions();
+  C2lshOptions o3 = DefaultOptions();
+  o3.c = 3.0;
+  auto d2 = ComputeDerivedParams(o2, 20000);
+  auto d3 = ComputeDerivedParams(o3, 20000);
+  ASSERT_TRUE(d2.ok() && d3.ok());
+  EXPECT_LT(d3->m, d2->m);
+}
+
+TEST(ParamsTest, SmallerDeltaNeedsMoreFunctions) {
+  C2lshOptions strict = DefaultOptions();
+  strict.delta = 0.01;
+  auto d_loose = ComputeDerivedParams(DefaultOptions(), 20000);
+  auto d_strict = ComputeDerivedParams(strict, 20000);
+  ASSERT_TRUE(d_loose.ok() && d_strict.ok());
+  EXPECT_GT(d_strict->m, d_loose->m);
+}
+
+TEST(ParamsTest, TinyDatasetBetaClamped) {
+  // n = 50 with default beta = 100/n = 2 > 1 must clamp, not fail.
+  auto d = ComputeDerivedParams(DefaultOptions(), 50);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(d->beta, 1.0);
+}
+
+TEST(ParamsTest, ToStringMentionsKeyFields) {
+  auto d = ComputeDerivedParams(DefaultOptions(), 20000);
+  ASSERT_TRUE(d.ok());
+  const std::string s = d->ToString();
+  EXPECT_NE(s.find("m="), std::string::npos);
+  EXPECT_NE(s.find("l="), std::string::npos);
+  EXPECT_NE(s.find("alpha="), std::string::npos);
+}
+
+TEST(ParamsTest, PaperScaleParameterMagnitudes) {
+  // At the paper's operating point (n ~ tens of thousands, w = 1, c = 2,
+  // delta = 0.1, beta = 100/n) C2LSH lands at m in the low hundreds — far
+  // below E2LSH's K*L. Guard that the formulas reproduce that magnitude.
+  auto d = ComputeDerivedParams(DefaultOptions(), 60000);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->m, 50u);
+  EXPECT_LT(d->m, 2000u);
+}
+
+}  // namespace
+}  // namespace c2lsh

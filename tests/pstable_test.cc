@@ -1,0 +1,194 @@
+#include "src/lsh/pstable.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/math.h"
+#include "src/vector/distance.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(PStableHashTest, DeterministicGivenSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  PStableHash h1 = PStableHash::Sample(8, 2.0, &rng1);
+  PStableHash h2 = PStableHash::Sample(8, 2.0, &rng2);
+  const float v[8] = {1, -1, 2, 0.5f, 3, -2, 0, 1};
+  EXPECT_EQ(h1.Bucket(v), h2.Bucket(v));
+  EXPECT_DOUBLE_EQ(h1.Project(v), h2.Project(v));
+}
+
+TEST(PStableHashTest, BucketIsFloorOfProjection) {
+  Rng rng(9);
+  PStableHash h = PStableHash::Sample(4, 1.5, &rng);
+  const float v[4] = {0.3f, -1.2f, 2.0f, 0.0f};
+  EXPECT_EQ(h.Bucket(v), static_cast<BucketId>(std::floor(h.Project(v) / 1.5)));
+}
+
+TEST(PStableHashTest, OffsetWithinWidth) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    PStableHash h = PStableHash::Sample(4, 3.0, &rng);
+    EXPECT_GE(h.b(), 0.0);
+    EXPECT_LT(h.b(), 3.0);
+  }
+}
+
+TEST(PStableHashTest, TranslationShiftsProjection) {
+  // Projection is affine: project(v + t*a/|a|^2 ... ) — simpler property:
+  // project(v) - project(u) equals dot(a, v - u).
+  Rng rng(13);
+  PStableHash h = PStableHash::Sample(3, 1.0, &rng);
+  const float v[3] = {1, 2, 3};
+  const float u[3] = {0, -1, 5};
+  float diff[3];
+  for (int i = 0; i < 3; ++i) diff[i] = v[i] - u[i];
+  EXPECT_NEAR(h.Project(v) - h.Project(u), Dot(h.a().data(), diff, 3), 1e-9);
+}
+
+TEST(PStableFamilyTest, SampleValidation) {
+  EXPECT_TRUE(PStableFamily::Sample(0, 4, 1.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PStableFamily::Sample(4, 0, 1.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PStableFamily::Sample(4, 4, 0.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PStableFamily::Sample(4, 4, -1.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PStableFamily::Sample(4, 4, 1.0, 1).ok());
+}
+
+TEST(PStableFamilyTest, FunctionsAreDistinct) {
+  auto fam = PStableFamily::Sample(10, 16, 1.0, 3);
+  ASSERT_TRUE(fam.ok());
+  // Two different functions must differ on their projection vectors.
+  bool all_same = true;
+  for (size_t j = 0; j < 16; ++j) {
+    all_same &= (fam->function(0).a()[j] == fam->function(1).a()[j]);
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(PStableFamilyTest, BucketAllMatchesPerFunction) {
+  auto fam = PStableFamily::Sample(6, 8, 2.0, 4);
+  ASSERT_TRUE(fam.ok());
+  const float v[8] = {1, 0, -1, 2, 0.5f, -0.5f, 3, 1};
+  std::vector<BucketId> all;
+  fam->BucketAll(v, &all);
+  ASSERT_EQ(all.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(all[i], fam->function(i).Bucket(v));
+  }
+}
+
+TEST(PStableFamilyTest, BucketColumnMatchesBucketAll) {
+  auto data = GenerateUniform(50, 8, 21);
+  ASSERT_TRUE(data.ok());
+  auto fam = PStableFamily::Sample(4, 8, 1.0, 5);
+  ASSERT_TRUE(fam.ok());
+  for (size_t i = 0; i < fam->size(); ++i) {
+    const auto column = fam->BucketColumn(data.value(), i);
+    ASSERT_EQ(column.size(), 50u);
+    for (size_t r = 0; r < 50; ++r) {
+      std::vector<BucketId> all;
+      fam->BucketAll(data->row(r), &all);
+      EXPECT_EQ(column[r], all[i]);
+    }
+  }
+}
+
+TEST(PStableFamilyTest, FromPartsRoundTrip) {
+  Rng rng(31);
+  PStableHash original = PStableHash::Sample(6, 2.0, &rng);
+  auto rebuilt = PStableHash::FromParts(original.a(), original.b(), original.w());
+  ASSERT_TRUE(rebuilt.ok());
+  const float v[6] = {1, -2, 0.5f, 3, -1, 2};
+  EXPECT_EQ(rebuilt->Bucket(v), original.Bucket(v));
+  EXPECT_DOUBLE_EQ(rebuilt->Project(v), original.Project(v));
+}
+
+TEST(PStableFamilyTest, FromPartsValidation) {
+  EXPECT_TRUE(PStableHash::FromParts({}, 0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(PStableHash::FromParts({1.0f}, 0.0, 0.0).status().IsInvalidArgument());
+}
+
+TEST(PStableFamilyTest, FromFunctionsRoundTrip) {
+  auto fam = PStableFamily::Sample(5, 8, 1.5, 7);
+  ASSERT_TRUE(fam.ok());
+  std::vector<PStableHash> funcs;
+  for (size_t i = 0; i < fam->size(); ++i) {
+    auto h = PStableHash::FromParts(fam->function(i).a(), fam->function(i).b(),
+                                    fam->function(i).w());
+    ASSERT_TRUE(h.ok());
+    funcs.push_back(std::move(h).value());
+  }
+  auto rebuilt = PStableFamily::FromFunctions(std::move(funcs));
+  ASSERT_TRUE(rebuilt.ok());
+  const float v[8] = {1, 2, 3, 4, -1, -2, -3, -4};
+  std::vector<BucketId> a, b;
+  fam->BucketAll(v, &a);
+  rebuilt->BucketAll(v, &b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PStableFamilyTest, FromFunctionsValidation) {
+  EXPECT_TRUE(PStableFamily::FromFunctions({}).status().IsInvalidArgument());
+  Rng rng(9);
+  std::vector<PStableHash> mixed;
+  mixed.push_back(PStableHash::Sample(4, 1.0, &rng));
+  mixed.push_back(PStableHash::Sample(4, 2.0, &rng));  // different w
+  EXPECT_TRUE(PStableFamily::FromFunctions(std::move(mixed)).status().IsInvalidArgument());
+}
+
+TEST(PStableFamilyTest, OffsetSpanWidensOffsets) {
+  // With span s, offsets land in [0, w*s).
+  auto fam = PStableFamily::Sample(50, 4, 1.0, 11, /*offset_span=*/1024.0);
+  ASSERT_TRUE(fam.ok());
+  double max_b = 0.0;
+  for (size_t i = 0; i < fam->size(); ++i) {
+    EXPECT_GE(fam->function(i).b(), 0.0);
+    EXPECT_LT(fam->function(i).b(), 1024.0);
+    max_b = std::max(max_b, fam->function(i).b());
+  }
+  EXPECT_GT(max_b, 1.0);  // offsets actually use the widened span
+  EXPECT_TRUE(
+      PStableFamily::Sample(4, 4, 1.0, 1, /*offset_span=*/0.5).status().IsInvalidArgument());
+}
+
+// The heart of LSH: empirical collision frequency between points at a known
+// distance must match the analytic p(s; w) within sampling tolerance.
+class CollisionFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CollisionFrequencyTest, MatchesAnalyticProbability) {
+  const double s = GetParam();  // pairwise distance
+  const double w = 4.0;
+  const size_t dim = 16;
+  const int trials = 20000;
+
+  Rng rng(1234 + static_cast<uint64_t>(s * 1000));
+  // Two points at exactly distance s along a random direction per trial.
+  int collisions = 0;
+  for (int t = 0; t < trials; ++t) {
+    PStableHash h = PStableHash::Sample(dim, w, &rng);
+    std::vector<float> a, dir;
+    rng.GaussianVector(dim, &a);
+    rng.GaussianVector(dim, &dir);
+    double norm = std::sqrt(SquaredNorm(dir.data(), dim));
+    std::vector<float> b(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      b[j] = a[j] + static_cast<float>(s * dir[j] / norm);
+    }
+    if (h.Bucket(a.data()) == h.Bucket(b.data())) ++collisions;
+  }
+  const double freq = static_cast<double>(collisions) / trials;
+  const double expected = PStableCollisionProbability(s, w);
+  // 4-sigma binomial tolerance.
+  const double sigma = std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(freq, expected, 4 * sigma + 0.005) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, CollisionFrequencyTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace c2lsh

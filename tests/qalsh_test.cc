@@ -1,0 +1,342 @@
+#include "src/extensions/qalsh/qalsh.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/linear_scan.h"
+#include "src/util/math.h"
+#include "src/util/random.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+QalshOptions SmallOptions(double c = 2.0) {
+  QalshOptions o;
+  o.w = 2.0;  // query-aware windows: w/2 on each side of the query
+  o.c = c;
+  o.delta = 0.1;
+  o.seed = 7;
+  return o;
+}
+
+TEST(QalshProbTest, KnownValuesAndLimits) {
+  EXPECT_DOUBLE_EQ(QalshCollisionProbability(0.0, 1.0), 1.0);
+  // P[|N(0,1)| <= 0.5] = 2*Phi(0.5) - 1.
+  EXPECT_NEAR(QalshCollisionProbability(1.0, 1.0), 2.0 * NormalCdf(0.5) - 1.0, 1e-12);
+  EXPECT_LT(QalshCollisionProbability(1e9, 1.0), 1e-6);
+}
+
+TEST(QalshProbTest, MonotoneAndAboveQuantized) {
+  double prev = 1.0;
+  for (double s : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = QalshCollisionProbability(s, 2.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+    // Query-aware window beats the randomly-offset quantized bucket of the
+    // same total width at every distance (no misalignment loss).
+    EXPECT_GT(p, PStableCollisionProbability(s, 2.0));
+  }
+}
+
+TEST(QalshParamsTest, Validation) {
+  QalshOptions o = SmallOptions();
+  EXPECT_TRUE(ComputeQalshParams(o, 0).status().IsInvalidArgument());
+  o.c = 1.0;
+  EXPECT_TRUE(ComputeQalshParams(o, 1000).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.w = 0.0;
+  EXPECT_TRUE(ComputeQalshParams(o, 1000).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.max_rounds = 0;
+  EXPECT_TRUE(ComputeQalshParams(o, 1000).status().IsInvalidArgument());
+}
+
+TEST(QalshParamsTest, NonIntegerCAccepted) {
+  // The flexibility C2LSH lacks: any real c > 1.
+  for (double c : {1.2, 1.5, 2.5, 3.7}) {
+    auto d = ComputeQalshParams(SmallOptions(c), 10000);
+    ASSERT_TRUE(d.ok()) << "c=" << c;
+    EXPECT_GT(d->p1, d->p2);
+    EXPECT_GT(d->counting.m, 0u);
+    EXPECT_LE(d->counting.l, d->counting.m);
+  }
+}
+
+TEST(QalshParamsTest, SmallerCNeedsMoreFunctions) {
+  auto tight = ComputeQalshParams(SmallOptions(1.5), 10000);
+  auto loose = ComputeQalshParams(SmallOptions(3.0), 10000);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_GT(tight->counting.m, loose->counting.m);
+}
+
+TEST(QalshIndexTest, FindsExactDuplicate) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2000, 1, 3);
+  ASSERT_TRUE(pd.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (ObjectId target : {1u, 999u, 1999u}) {
+    auto r = index->Query(pd->data, pd->data.object(target), 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    EXPECT_EQ((*r)[0].id, target);
+    EXPECT_EQ((*r)[0].dist, 0.0f);
+  }
+}
+
+TEST(QalshIndexTest, HighRecall) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 4000, 16, 5);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  double hits = 0;
+  for (size_t q = 0; q < 16; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+  }
+  EXPECT_GT(hits / 160.0, 0.6);
+}
+
+TEST(QalshIndexTest, NonIntegerCEndToEnd) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2500, 8, 9);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 5);
+  ASSERT_TRUE(gt.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions(1.5));
+  ASSERT_TRUE(index.ok());
+  double hits = 0;
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 5);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 5; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+  }
+  // c = 1.5 uses more functions and should be at least as accurate.
+  EXPECT_GT(hits / 40.0, 0.6);
+}
+
+TEST(QalshIndexTest, ResultsSortedUniqueExactDistances) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 8, 11);
+  ASSERT_TRUE(pd.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> ids;
+    for (size_t i = 0; i < r->size(); ++i) {
+      ids.insert((*r)[i].id);
+      if (i > 0) EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+      const double exact =
+          L2(pd->queries.row(q), pd->data.object((*r)[i].id), pd->data.dim());
+      EXPECT_NEAR((*r)[i].dist, exact, 1e-4);
+    }
+    EXPECT_EQ(ids.size(), r->size());
+  }
+}
+
+TEST(QalshIndexTest, StatsPopulatedAndT2Caps) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 4, 13);
+  ASSERT_TRUE(pd.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    QalshQueryStats stats;
+    auto r = index->Query(pd->data, pd->queries.row(q), 10, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(stats.rounds, 0u);
+    EXPECT_GT(stats.final_radius, 0.0);
+    EXPECT_GT(stats.collision_increments, 0u);
+    EXPECT_GT(stats.candidates_verified, 0u);
+    EXPECT_TRUE(stats.terminated_by_t1 || stats.terminated_by_t2);
+    EXPECT_LT(stats.candidates_verified, 3000u / 2);
+  }
+}
+
+TEST(QalshIndexTest, ExhaustiveMatchesLinearScan) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 400, 4, 15);
+  ASSERT_TRUE(pd.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  LinearScan scan;
+  for (size_t q = 0; q < 4; ++q) {
+    auto approx = index->Query(pd->data, pd->queries.row(q), 400);
+    auto exact = scan.Search(pd->data, pd->queries.row(q), 400);
+    ASSERT_TRUE(approx.ok() && exact.ok());
+    ASSERT_EQ(approx->size(), exact->size());
+    for (size_t i = 0; i < approx->size(); ++i) {
+      EXPECT_EQ((*approx)[i].id, (*exact)[i].id);
+    }
+  }
+}
+
+TEST(QalshIndexTest, QueryValidation) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 1, 17);
+  ASSERT_TRUE(pd.ok());
+  auto index = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(
+      index->Query(pd->data, pd->queries.row(0), 0).status().IsInvalidArgument());
+  auto other = MakeProfileDataset(DatasetProfile::kMnist, 300, 1, 18);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(index->Query(other->data, pd->queries.row(0), 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(QalshIndexTest, DeterministicAcrossRebuilds) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 800, 4, 19);
+  ASSERT_TRUE(pd.ok());
+  auto a = QalshIndex::Build(pd->data, SmallOptions());
+  auto b = QalshIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    auto ra = a->Query(pd->data, pd->queries.row(q), 5);
+    auto rb = b->Query(pd->data, pd->queries.row(q), 5);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    ASSERT_EQ(ra->size(), rb->size());
+    for (size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+    }
+  }
+}
+
+TEST(QalshL1Test, CauchyProbabilityKnownValuesAndMonotonicity) {
+  // (2/pi) * arctan(w/(2s)): at s = w/2 this is (2/pi)*arctan(1) = 1/2.
+  EXPECT_NEAR(QalshCollisionProbability(1.0, 2.0, 1.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(QalshCollisionProbability(0.0, 2.0, 1.0), 1.0);
+  double prev = 1.0;
+  for (double s : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = QalshCollisionProbability(s, 2.0, 1.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(QalshL1Test, InvalidPRejected) {
+  QalshOptions o = SmallOptions();
+  o.p = 3.0;
+  EXPECT_TRUE(ComputeQalshParams(o, 1000).status().IsInvalidArgument());
+  o.p = 0.5;
+  EXPECT_TRUE(ComputeQalshParams(o, 1000).status().IsInvalidArgument());
+}
+
+TEST(QalshL1Test, ManhattanSearchMatchesL1GroundTruth) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 12, 21);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10, Metric::kManhattan);
+  ASSERT_TRUE(gt.ok());
+
+  QalshOptions o = SmallOptions();
+  o.p = 1.0;
+  // L1 distances are ~sqrt(d) larger than L2 on the same data; widen the
+  // window so distance 1 (the guarantee unit) has a workable p1.
+  o.w = 8.0;
+  auto index = QalshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  double hits = 0;
+  for (size_t q = 0; q < 12; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+    // Reported distances are exact L1.
+    for (const Neighbor& nb : *r) {
+      const double exact =
+          L1(pd->queries.row(q), pd->data.object(nb.id), pd->data.dim());
+      EXPECT_NEAR(nb.dist, exact, 1e-3);
+    }
+  }
+  EXPECT_GT(hits / 120.0, 0.5);
+}
+
+TEST(QalshL1Test, L1ExactDuplicateFound) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 23);
+  ASSERT_TRUE(pd.ok());
+  QalshOptions o = SmallOptions();
+  o.p = 1.0;
+  o.w = 8.0;
+  auto index = QalshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+  auto r = index->Query(pd->data, pd->data.object(321), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->empty());
+  EXPECT_EQ((*r)[0].id, 321u);
+}
+
+// Statistical validation of the query-aware collision probability for both
+// metrics: the measured frequency of |a.(o-q)| <= w/2 at a planted distance
+// must match the analytic formula.
+class QalshCollisionFrequencyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QalshCollisionFrequencyTest, MatchesAnalyticProbability) {
+  const double p = std::get<0>(GetParam());
+  const double s = std::get<1>(GetParam());
+  const double w = 2.0;
+  const size_t dim = 16;
+  const int trials = 20000;
+  Rng rng(777 + static_cast<uint64_t>(p * 10 + s * 100));
+
+  int collisions = 0;
+  for (int t = 0; t < trials; ++t) {
+    // One random projection of the requested stability.
+    std::vector<double> a(dim);
+    for (auto& v : a) {
+      v = (p == 1.0) ? std::tan(M_PI * (rng.Uniform(0.0, 1.0) - 0.5)) : rng.Gaussian();
+    }
+    // Two points at l_p distance s: offset one coordinate by s (for l1 this
+    // is exact; for l2 likewise since only one coordinate differs).
+    std::vector<float> o(dim), q(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      o[j] = static_cast<float>(rng.Gaussian());
+      q[j] = o[j];
+    }
+    const size_t coord = rng.Index(dim);
+    q[coord] += static_cast<float>(s);
+    double diff = 0;
+    for (size_t j = 0; j < dim; ++j) {
+      diff += a[j] * (static_cast<double>(o[j]) - q[j]);
+    }
+    if (std::fabs(diff) <= w / 2.0) ++collisions;
+  }
+  const double freq = static_cast<double>(collisions) / trials;
+  const double expected = QalshCollisionProbability(s, w, p);
+  const double sigma = std::sqrt(expected * (1 - expected) / trials);
+  EXPECT_NEAR(freq, expected, 4 * sigma + 0.01) << "p=" << p << " s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Metrics, QalshCollisionFrequencyTest,
+    ::testing::Values(std::make_tuple(2.0, 0.5), std::make_tuple(2.0, 1.0),
+                      std::make_tuple(2.0, 2.0), std::make_tuple(2.0, 4.0),
+                      std::make_tuple(1.0, 0.5), std::make_tuple(1.0, 1.0),
+                      std::make_tuple(1.0, 2.0), std::make_tuple(1.0, 4.0)));
+
+TEST(QalshIndexTest, FewerFunctionsThanC2lshAtSameSettings) {
+  // The query-aware family's larger (p1 - p2) gap shrinks m — the extension
+  // paper's headline efficiency claim over C2LSH.
+  auto qalsh = ComputeQalshParams(SmallOptions(), 10000);
+  ASSERT_TRUE(qalsh.ok());
+  C2lshOptions co;
+  co.w = 2.0;
+  co.c = 2.0;
+  co.delta = 0.1;
+  auto c2 = ComputeDerivedParams(co, 10000);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_LT(qalsh->counting.m, c2->m);
+}
+
+}  // namespace
+}  // namespace c2lsh

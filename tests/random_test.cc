@@ -1,0 +1,139 @@
+#include "src/util/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(SplitMixTest, DeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // Consecutive inputs should differ in many bits (avalanche sanity check).
+  const uint64_t a = SplitMix64(100);
+  const uint64_t b = SplitMix64(101);
+  int diff_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(diff_bits, 16);
+  EXPECT_LT(diff_bits, 48);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng base(7);
+  Rng f1 = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  Rng f1_again = base.Fork(1);
+  EXPECT_EQ(f1.Next64(), f1_again.Next64());
+  EXPECT_NE(f1.Next64(), f2.Next64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values of a tiny range appear
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(8);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianVectorSizeAndVariance) {
+  Rng rng(9);
+  std::vector<float> v;
+  rng.GaussianVector(10000, &v);
+  ASSERT_EQ(v.size(), 10000u);
+  double sum_sq = 0.0;
+  for (float x : v) sum_sq += static_cast<double>(x) * x;
+  EXPECT_NEAR(sum_sq / 10000.0, 1.0, 0.08);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(10);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(11);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Index(7), 7u);
+  }
+  EXPECT_EQ(rng.Index(1), 0u);
+}
+
+}  // namespace
+}  // namespace c2lsh

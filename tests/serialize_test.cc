@@ -1,0 +1,141 @@
+#include "src/core/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_ser_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    auto pd = MakeProfileDataset(DatasetProfile::kColor, 1200, 8, 5);
+    ASSERT_TRUE(pd.ok());
+    data_ = std::make_unique<Dataset>(std::move(pd->data));
+    queries_ = std::make_unique<FloatMatrix>(std::move(pd->queries));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  C2lshIndex BuildIndex() {
+    C2lshOptions o;
+    o.seed = 11;
+    auto index = C2lshIndex::Build(*data_, o);
+    EXPECT_TRUE(index.ok());
+    return std::move(index).value();
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<FloatMatrix> queries_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesAnswers) {
+  C2lshIndex index = BuildIndex();
+  std::vector<NeighborList> before;
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = index.Query(*data_, queries_->row(q), 10);
+    ASSERT_TRUE(r.ok());
+    before.push_back(std::move(r).value());
+  }
+
+  const std::string path = Path("index.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_tables(), index.num_tables());
+  EXPECT_EQ(loaded->num_objects(), index.num_objects());
+  EXPECT_EQ(loaded->dim(), index.dim());
+  EXPECT_EQ(loaded->radius_cap(), index.radius_cap());
+  EXPECT_EQ(loaded->derived().m, index.derived().m);
+  EXPECT_EQ(loaded->derived().l, index.derived().l);
+
+  for (size_t q = 0; q < queries_->num_rows(); ++q) {
+    auto r = loaded->Query(*data_, queries_->row(q), 10);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->size(), before[q].size());
+    for (size_t i = 0; i < r->size(); ++i) {
+      EXPECT_EQ((*r)[i].id, before[q][i].id) << "q=" << q << " i=" << i;
+      EXPECT_EQ((*r)[i].dist, before[q][i].dist);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RoundTripAfterDynamicUpdates) {
+  C2lshIndex index = BuildIndex();
+  ASSERT_TRUE(index.Delete(7).ok());
+  ASSERT_TRUE(index.Delete(42).ok());
+
+  const std::string path = Path("dyn.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index).ok());  // compacts internally
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Deleted objects stay deleted in the reloaded index.
+  auto r = loaded->Query(*data_, data_->object(7), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->empty());
+  EXPECT_NE((*r)[0].id, 7u);
+}
+
+TEST_F(SerializeTest, MissingFile) {
+  EXPECT_TRUE(LoadIndex(Path("missing.c2lsh")).status().IsIOError());
+}
+
+TEST_F(SerializeTest, GarbageFileRejected) {
+  const std::string path = Path("garbage.c2lsh");
+  std::ofstream(path) << "this is not an index";
+  EXPECT_TRUE(LoadIndex(path).status().IsCorruption());
+}
+
+TEST_F(SerializeTest, TruncatedFileRejected) {
+  C2lshIndex index = BuildIndex();
+  const std::string path = Path("full.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index).ok());
+  const auto size = std::filesystem::file_size(path);
+
+  // Truncate at several points: header, mid-functions, just before the CRC.
+  for (double frac : {0.01, 0.5, 0.999}) {
+    const std::string cut = Path("cut.c2lsh");
+    std::filesystem::copy_file(path, cut,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(cut, static_cast<uintmax_t>(size * frac));
+    EXPECT_TRUE(LoadIndex(cut).status().IsCorruption()) << "frac=" << frac;
+  }
+}
+
+TEST_F(SerializeTest, BitFlipRejectedByChecksum) {
+  C2lshIndex index = BuildIndex();
+  const std::string path = Path("flip.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index).ok());
+
+  // Flip one byte deep in the payload (a table entry, past the header).
+  const auto size = std::filesystem::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_TRUE(LoadIndex(path).status().IsCorruption());
+}
+
+TEST_F(SerializeTest, SaveNullRejected) {
+  EXPECT_TRUE(SaveIndex(Path("x.c2lsh"), nullptr).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace c2lsh

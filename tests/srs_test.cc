@@ -1,0 +1,199 @@
+#include "src/baselines/srs/srs.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/math.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+SrsOptions SmallOptions() {
+  SrsOptions o;
+  o.projected_dim = 6;
+  // SRS's early-termination certifies a c-approximation; recall-oriented use
+  // runs it at small c with a high confidence threshold (the paper's own
+  // recall experiments do the same).
+  o.c = 1.2;
+  o.threshold = 0.99;
+  o.budget_fraction = 0.1;
+  o.seed = 5;
+  return o;
+}
+
+TEST(ChiSquaredTest, KnownValues) {
+  // chi2(2) CDF is 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2), 1.0 - std::exp(-x / 2.0), 1e-10) << x;
+  }
+  // Median of chi2(1) ~ 0.4549; CDF at it = 0.5.
+  EXPECT_NEAR(ChiSquaredCdf(0.45493642, 1), 0.5, 1e-6);
+  // chi2(6) at its mean (6): ~0.5768.
+  EXPECT_NEAR(ChiSquaredCdf(6.0, 6), 0.57681, 1e-4);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 4), 0.0);
+  EXPECT_NEAR(ChiSquaredCdf(1000.0, 4), 1.0, 1e-12);
+}
+
+TEST(ChiSquaredTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    const double p = ChiSquaredCdf(x, 6);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.0, 0.0), 0.0);
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  // Large x -> 1.
+  EXPECT_NEAR(RegularizedGammaP(3.0, 100.0), 1.0, 1e-12);
+  // Continuity across the series/continued-fraction switch at x = a + 1:
+  // the two branches must agree up to the true function increment
+  // (pdf ~ 0.16 at this point, so 2e-4 step => ~3e-5 increment).
+  const double below = RegularizedGammaP(5.0, 5.9999);
+  const double above = RegularizedGammaP(5.0, 6.0001);
+  EXPECT_NEAR(below, above, 1e-4);
+  EXPECT_LT(below, above);  // monotone through the switch
+}
+
+TEST(SrsTest, BuildValidation) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 1);
+  ASSERT_TRUE(pd.ok());
+  SrsOptions o = SmallOptions();
+  o.projected_dim = 0;
+  EXPECT_TRUE(SrsIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.c = 1.0;
+  EXPECT_TRUE(SrsIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.threshold = 1.5;
+  EXPECT_TRUE(SrsIndex::Build(pd->data, o).status().IsInvalidArgument());
+  o = SmallOptions();
+  o.budget_fraction = 0.0;
+  EXPECT_TRUE(SrsIndex::Build(pd->data, o).status().IsInvalidArgument());
+}
+
+TEST(SrsTest, FindsExactDuplicate) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 2000, 1, 3);
+  ASSERT_TRUE(pd.ok());
+  auto index = SrsIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (ObjectId target : {5u, 1000u, 1999u}) {
+    auto r = index->Query(pd->data, pd->data.object(target), 1);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->empty());
+    // A duplicate projects to distance 0, so it is the first streamed point.
+    EXPECT_EQ((*r)[0].id, target);
+    EXPECT_EQ((*r)[0].dist, 0.0f);
+  }
+}
+
+TEST(SrsTest, ReasonableRecallOnClusteredData) {
+  auto pd = MakeProfileDataset(DatasetProfile::kMnist, 4000, 16, 7);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+  auto index = SrsIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  double hits = 0;
+  for (size_t q = 0; q < 16; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> truth;
+    for (size_t i = 0; i < 10; ++i) truth.insert((*gt)[q][i].id);
+    for (const Neighbor& nb : *r) hits += truth.count(nb.id);
+  }
+  EXPECT_GT(hits / 160.0, 0.5);
+}
+
+TEST(SrsTest, TinyIndexClaim) {
+  auto pd = MakeProfileDataset(DatasetProfile::kAudio, 3000, 1, 9);
+  ASSERT_TRUE(pd.ok());
+  auto index = SrsIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  // The projected index must be far below the raw data size (192-d floats).
+  const size_t data_bytes = 3000 * 192 * sizeof(float);
+  EXPECT_LT(index->MemoryBytes(), data_bytes / 10);
+}
+
+TEST(SrsTest, BudgetCapsVerifications) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 5000, 4, 11);
+  ASSERT_TRUE(pd.ok());
+  SrsOptions o = SmallOptions();
+  o.budget_fraction = 0.002;  // floor of min_budget = 100 applies
+  o.min_budget = 50;
+  auto index = SrsIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 4; ++q) {
+    SrsQueryStats stats;
+    auto r = index->Query(pd->data, pd->queries.row(q), 10, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(stats.candidates_verified, 50u);
+    EXPECT_TRUE(stats.terminated_early || stats.terminated_budget);
+  }
+}
+
+TEST(SrsTest, HigherThresholdVerifiesMore) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 3000, 8, 13);
+  ASSERT_TRUE(pd.ok());
+  auto run = [&](double threshold) {
+    SrsOptions o = SmallOptions();
+    o.threshold = threshold;
+    o.budget_fraction = 0.5;  // budget out of the way
+    auto index = SrsIndex::Build(pd->data, o);
+    EXPECT_TRUE(index.ok());
+    double cands = 0;
+    for (size_t q = 0; q < 8; ++q) {
+      SrsQueryStats stats;
+      auto r = index->Query(pd->data, pd->queries.row(q), 10, &stats);
+      EXPECT_TRUE(r.ok());
+      cands += static_cast<double>(stats.candidates_verified);
+    }
+    return cands / 8.0;
+  };
+  EXPECT_LE(run(0.5), run(0.99));
+}
+
+TEST(SrsTest, ContractInvariants) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1200, 8, 15);
+  ASSERT_TRUE(pd.ok());
+  auto index = SrsIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < 8; ++q) {
+    auto r = index->Query(pd->data, pd->queries.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    std::set<ObjectId> ids;
+    for (size_t i = 0; i < r->size(); ++i) {
+      ids.insert((*r)[i].id);
+      if (i > 0) {
+        EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+      }
+      const double exact =
+          L2(pd->queries.row(q), pd->data.object((*r)[i].id), pd->data.dim());
+      EXPECT_NEAR((*r)[i].dist, exact, 1e-4);
+    }
+    EXPECT_EQ(ids.size(), r->size());
+  }
+}
+
+TEST(SrsTest, KZeroRejectedAndDimMismatch) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 1, 17);
+  ASSERT_TRUE(pd.ok());
+  auto index = SrsIndex::Build(pd->data, SmallOptions());
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->Query(pd->data, pd->queries.row(0), 0).status().IsInvalidArgument());
+  auto other = MakeProfileDataset(DatasetProfile::kMnist, 300, 1, 19);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(
+      index->Query(other->data, pd->queries.row(0), 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace c2lsh

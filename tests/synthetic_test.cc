@@ -1,0 +1,176 @@
+#include "src/vector/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/vector/distance.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(MixtureTest, ShapeAndDeterminism) {
+  MixtureConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 16;
+  cfg.num_clusters = 5;
+  cfg.seed = 3;
+  auto a = GenerateGaussianMixture(cfg);
+  auto b = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_rows(), 500u);
+  EXPECT_EQ(a->dim(), 16u);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(a->at(i, j), b->at(i, j));
+    }
+  }
+}
+
+TEST(MixtureTest, DifferentSeedsDiffer) {
+  MixtureConfig cfg;
+  cfg.n = 100;
+  cfg.dim = 8;
+  cfg.seed = 1;
+  auto a = GenerateGaussianMixture(cfg);
+  cfg.seed = 2;
+  auto b = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (size_t j = 0; j < 8; ++j) any_diff |= (a->at(0, j) != b->at(0, j));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MixtureTest, ClusterMatesAreCloserThanStrangers) {
+  MixtureConfig cfg;
+  cfg.n = 400;
+  cfg.dim = 32;
+  cfg.num_clusters = 4;
+  cfg.center_spread = 5.0;
+  cfg.cluster_stddev = 0.1;
+  cfg.seed = 9;
+  auto m = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(m.ok());
+  // Round-robin assignment: rows i and i+4 share a cluster; i and i+1 don't.
+  double same_sum = 0.0;
+  double diff_sum = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i + 4 < 200; i += 4) {
+    same_sum += L2(m->row(i), m->row(i + 4), 32);
+    diff_sum += L2(m->row(i), m->row(i + 1), 32);
+    ++pairs;
+  }
+  EXPECT_LT(same_sum / pairs, diff_sum / pairs * 0.5);
+}
+
+TEST(MixtureTest, RejectsZeroClusters) {
+  MixtureConfig cfg;
+  cfg.num_clusters = 0;
+  EXPECT_TRUE(GenerateGaussianMixture(cfg).status().IsInvalidArgument());
+}
+
+TEST(UniformTest, RangeAndShape) {
+  auto m = GenerateUniform(200, 6, 5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_rows(), 200u);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_GE(m->at(i, j), 0.0f);
+      EXPECT_LT(m->at(i, j), 1.0f);
+    }
+  }
+}
+
+TEST(QueryGenTest, QueriesStayNearData) {
+  MixtureConfig cfg;
+  cfg.n = 300;
+  cfg.dim = 12;
+  cfg.seed = 11;
+  auto data = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(data.ok());
+  auto queries = GenerateQueriesNearData(data.value(), 20, 0.01, 13);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->num_rows(), 20u);
+  // Every query must be within jitter distance of some data point —
+  // generously bounded by 6 sigma per coordinate accumulated.
+  for (size_t q = 0; q < 20; ++q) {
+    double best = 1e30;
+    for (size_t i = 0; i < 300; ++i) {
+      best = std::min(best, L2(queries->row(q), data->row(i), 12));
+    }
+    EXPECT_LT(best, 0.01 * 6 * std::sqrt(12.0));
+  }
+}
+
+TEST(QueryGenTest, EmptyDataRejected) {
+  FloatMatrix empty;
+  EXPECT_TRUE(GenerateQueriesNearData(empty, 5, 0.1, 1).status().IsInvalidArgument());
+}
+
+TEST(NnEstimateTest, DetectsScale) {
+  MixtureConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 8;
+  cfg.cluster_stddev = 0.05;
+  cfg.seed = 21;
+  auto m = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(m.ok());
+  const double nn1 = EstimateNearestNeighborDistance(m.value(), 32, 0, 1);
+  ASSERT_GT(nn1, 0.0);
+  // Double every coordinate: the NN estimate must double too.
+  FloatMatrix scaled = m.value();
+  for (size_t i = 0; i < scaled.num_rows(); ++i) {
+    for (size_t j = 0; j < scaled.dim(); ++j) {
+      scaled.set(i, j, scaled.at(i, j) * 2.0f);
+    }
+  }
+  const double nn2 = EstimateNearestNeighborDistance(scaled, 32, 0, 1);
+  EXPECT_NEAR(nn2 / nn1, 2.0, 0.05);
+}
+
+TEST(RescaleTest, HitsTarget) {
+  MixtureConfig cfg;
+  cfg.n = 600;
+  cfg.dim = 10;
+  cfg.seed = 31;
+  auto m = GenerateGaussianMixture(cfg);
+  ASSERT_TRUE(m.ok());
+  RescaleToTargetNN(&m.value(), 8.0, 7);
+  const double nn = EstimateNearestNeighborDistance(m.value(), 64, 0, 7);
+  EXPECT_NEAR(nn, 8.0, 2.5);  // sampled estimate; loose tolerance
+}
+
+TEST(ProfileTest, AllProfilesMaterialize) {
+  for (DatasetProfile p : AllDatasetProfiles()) {
+    auto r = MakeProfileDataset(p, 1000, 10, 42);
+    ASSERT_TRUE(r.ok()) << DatasetProfileName(p);
+    EXPECT_EQ(r->data.size(), 1000u);
+    EXPECT_EQ(r->queries.num_rows(), 10u);
+    EXPECT_EQ(r->queries.dim(), r->data.dim());
+    EXPECT_EQ(r->data.name(), DatasetProfileName(p));
+  }
+}
+
+TEST(ProfileTest, DimensionsMatchPublishedDatasets) {
+  auto audio = MakeProfileDataset(DatasetProfile::kAudio, 200, 2, 1);
+  auto mnist = MakeProfileDataset(DatasetProfile::kMnist, 200, 2, 1);
+  auto color = MakeProfileDataset(DatasetProfile::kColor, 200, 2, 1);
+  auto labelme = MakeProfileDataset(DatasetProfile::kLabelMe, 200, 2, 1);
+  ASSERT_TRUE(audio.ok() && mnist.ok() && color.ok() && labelme.ok());
+  EXPECT_EQ(audio->data.dim(), 192u);
+  EXPECT_EQ(mnist->data.dim(), 50u);
+  EXPECT_EQ(color->data.dim(), 32u);
+  EXPECT_EQ(labelme->data.dim(), 512u);
+}
+
+TEST(ProfileTest, NnDistanceNormalizedNearTarget) {
+  auto r = MakeProfileDataset(DatasetProfile::kColor, 2000, 5, 17);
+  ASSERT_TRUE(r.ok());
+  const double nn = EstimateNearestNeighborDistance(r->data.vectors(), 64, 0, 99);
+  EXPECT_GT(nn, 3.0);
+  EXPECT_LT(nn, 20.0);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,50 @@
+#include "src/eval/table.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(TableTest, AlignedRendering) {
+  TablePrinter t({"dataset", "k", "ratio"});
+  t.AddRow({"Audio", "10", "1.023"});
+  t.AddRow({"LabelMe-long-name", "100", "1.5"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("dataset"), std::string::npos);
+  EXPECT_NE(out.find("-------"), std::string::npos);
+  EXPECT_NE(out.find("LabelMe-long-name"), std::string::npos);
+  // Header rule line present between header and rows.
+  const size_t header_pos = out.find("dataset");
+  const size_t rule_pos = out.find("---");
+  const size_t row_pos = out.find("Audio");
+  EXPECT_LT(header_pos, rule_pos);
+  EXPECT_LT(rule_pos, row_pos);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  // Renders without crashing and contains the partial cell.
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableTest, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 1), "2.0");
+  EXPECT_EQ(TablePrinter::FmtInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FmtBytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::FmtBytes(2048), "2.0 KiB");
+  EXPECT_EQ(TablePrinter::FmtBytes(3 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(TablePrinter::FmtBytes(size_t{5} << 30), "5.0 GiB");
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,122 @@
+#include "src/core/theory.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(BinomialTest, LogCoeffKnownValues) {
+  EXPECT_NEAR(std::exp(LogBinomialCoeff(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoeff(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoeff(10, 10)), 1.0, 1e-9);
+  EXPECT_EQ(LogBinomialCoeff(5, 6), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(LogBinomialCoeff(5, -1), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialTest, TailEdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialTailGE(10, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGE(10, -3, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGE(10, 11, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGE(10, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialTailGE(10, 5, 1.0), 1.0);
+}
+
+TEST(BinomialTest, HandComputedFairCoin) {
+  // P[Bin(3, 0.5) >= 2] = (3 + 1)/8 = 0.5.
+  EXPECT_NEAR(BinomialTailGE(3, 2, 0.5), 0.5, 1e-12);
+  // P[Bin(2, 0.5) >= 1] = 3/4.
+  EXPECT_NEAR(BinomialTailGE(2, 1, 0.5), 0.75, 1e-12);
+  // P[Bin(4, 0.25) >= 4] = 0.25^4.
+  EXPECT_NEAR(BinomialTailGE(4, 4, 0.25), std::pow(0.25, 4), 1e-12);
+}
+
+TEST(BinomialTest, MonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.1; p < 1.0; p += 0.1) {
+    const double tail = BinomialTailGE(50, 20, p);
+    EXPECT_GE(tail, prev);
+    prev = tail;
+  }
+}
+
+TEST(BinomialTest, MonotoneInThreshold) {
+  double prev = 1.0;
+  for (int l = 0; l <= 50; l += 5) {
+    const double tail = BinomialTailGE(50, l, 0.4);
+    EXPECT_LE(tail, prev + 1e-15);
+    prev = tail;
+  }
+}
+
+TEST(BinomialTest, ComplementsSumToOne) {
+  // P[X >= l] + P[X <= l-1] = 1; the lower tail equals the upper tail of the
+  // complement variable: P[X <= l-1] = P[Bin(m, 1-p) >= m-l+1].
+  const int m = 30;
+  const int l = 12;
+  const double p = 0.37;
+  const double upper = BinomialTailGE(m, l, p);
+  const double lower = BinomialTailGE(m, m - l + 1, 1.0 - p);
+  EXPECT_NEAR(upper + lower, 1.0, 1e-10);
+}
+
+class TheoryWithParams : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    C2lshOptions o;
+    o.w = 1.0;
+    o.c = 2.0;
+    o.delta = 0.1;
+    auto d = ComputeDerivedParams(o, 20000);
+    ASSERT_TRUE(d.ok());
+    derived_ = d.value();
+  }
+  C2lshDerived derived_;
+};
+
+TEST_F(TheoryWithParams, P1GuaranteeViaExactBinomial) {
+  // An object at exactly distance R collides per table w.p. p1; its chance
+  // of being frequent must be at least 1 - delta (the Hoeffding bound is
+  // looser than the exact binomial, so this must hold a fortiori).
+  const double p_frequent = ProbFrequent(derived_, 1.0, 1.0);
+  EXPECT_GE(p_frequent, 1.0 - 0.1);
+  // Closer objects do even better.
+  EXPECT_GE(ProbFrequent(derived_, 0.5, 1.0), p_frequent);
+}
+
+TEST_F(TheoryWithParams, P2GuaranteeViaExactBinomial) {
+  // Expected false positives among n far objects stays within beta*n/2.
+  const double n = 20000;
+  const double expected_fp = ExpectedFalsePositives(derived_, n);
+  EXPECT_LE(expected_fp, derived_.beta * n / 2.0 + 1e-9);
+}
+
+TEST_F(TheoryWithParams, HoeffdingBoundDominatesExact) {
+  // exp(-2m(p1-alpha)^2) >= exact miss probability of a distance-R object.
+  const double exact_miss = 1.0 - ProbFrequent(derived_, 1.0, 1.0);
+  EXPECT_LE(exact_miss, P1FailureBound(derived_) + 1e-12);
+  EXPECT_LE(P1FailureBound(derived_), 0.1 + 1e-9);  // <= delta by construction
+}
+
+TEST_F(TheoryWithParams, FrequentProbMonotoneInDistance) {
+  double prev = 1.0;
+  for (double s : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = ProbFrequent(derived_, s, 1.0);
+    EXPECT_LE(p, prev + 1e-12) << "s=" << s;
+    prev = p;
+  }
+}
+
+TEST_F(TheoryWithParams, RadiusScaleFree) {
+  // ProbFrequent(s, R) == ProbFrequent(s*g, R*g): the guarantee is the same
+  // at every round.
+  for (double g : {2.0, 4.0, 16.0}) {
+    EXPECT_NEAR(ProbFrequent(derived_, 1.0, 1.0), ProbFrequent(derived_, g, g), 1e-9);
+    EXPECT_NEAR(ProbFrequent(derived_, 2.0, 1.0), ProbFrequent(derived_, 2.0 * g, g), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,239 @@
+#include "src/vector/transform.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/eval/metrics.h"
+#include "src/util/random.h"
+#include "src/vector/distance.h"
+#include "src/vector/ground_truth.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+// Anisotropic Gaussian with a planted dominant direction.
+FloatMatrix MakeAnisotropic(size_t n, size_t d, const std::vector<double>& axis,
+                            double major_sigma, double minor_sigma, uint64_t seed) {
+  Rng rng(seed);
+  auto m = FloatMatrix::Create(n, d);
+  EXPECT_TRUE(m.ok());
+  for (size_t i = 0; i < n; ++i) {
+    const double along = rng.Gaussian(0.0, major_sigma);
+    float* row = m->mutable_row(i);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(along * axis[j] + rng.Gaussian(5.0, minor_sigma));
+    }
+  }
+  return std::move(m).value();
+}
+
+std::vector<double> UnitAxis(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> axis(d);
+  double norm = 0;
+  for (auto& x : axis) {
+    x = rng.Gaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : axis) x /= norm;
+  return axis;
+}
+
+TEST(PcaTest, Validation) {
+  auto m = FloatMatrix::FromVector(1, 3, {1, 2, 3});
+  ASSERT_TRUE(m.ok());
+  PcaOptions o;
+  EXPECT_TRUE(PcaTransform::Fit(m.value(), o).status().IsInvalidArgument());
+  auto m2 = FloatMatrix::FromVector(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(m2.ok());
+  o.out_dim = 3;
+  EXPECT_TRUE(PcaTransform::Fit(m2.value(), o).status().IsInvalidArgument());
+}
+
+TEST(PcaTest, RecoversPlantedDirection) {
+  const size_t d = 16;
+  const auto axis = UnitAxis(d, 3);
+  FloatMatrix data = MakeAnisotropic(2000, d, axis, 10.0, 0.3, 5);
+  PcaOptions o;
+  o.out_dim = 1;
+  auto pca = PcaTransform::Fit(data, o);
+  ASSERT_TRUE(pca.ok());
+  double cosine = 0;
+  for (size_t j = 0; j < d; ++j) cosine += pca->component(0)[j] * axis[j];
+  EXPECT_GT(std::fabs(cosine), 0.99);
+  // Leading eigenvalue ~ major variance (100) >> minor (0.09).
+  EXPECT_GT(pca->eigenvalues()[0], 50.0);
+}
+
+TEST(PcaTest, ComponentsOrthonormalAndEigenvaluesOrdered) {
+  auto data = GenerateGaussianMixture(
+      {.n = 1500, .dim = 12, .num_clusters = 6, .center_spread = 2.0,
+       .cluster_stddev = 0.3, .seed = 7});
+  ASSERT_TRUE(data.ok());
+  PcaOptions o;
+  o.out_dim = 6;
+  auto pca = PcaTransform::Fit(data.value(), o);
+  ASSERT_TRUE(pca.ok());
+  for (size_t a = 0; a < 6; ++a) {
+    double norm = 0;
+    for (double x : pca->component(a)) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+    for (size_t b = a + 1; b < 6; ++b) {
+      double dot = 0;
+      for (size_t j = 0; j < 12; ++j) dot += pca->component(a)[j] * pca->component(b)[j];
+      EXPECT_NEAR(dot, 0.0, 1e-6) << a << "," << b;
+    }
+    if (a > 0) {
+      EXPECT_LE(pca->eigenvalues()[a], pca->eigenvalues()[a - 1] + 1e-6);
+    }
+  }
+}
+
+TEST(PcaTest, FullRotationPreservesDistances) {
+  auto data = GenerateGaussianMixture(
+      {.n = 300, .dim = 8, .num_clusters = 4, .seed = 9});
+  ASSERT_TRUE(data.ok());
+  PcaOptions o;
+  o.out_dim = 0;  // keep all -> pure rotation (plus centering)
+  auto pca = PcaTransform::Fit(data.value(), o);
+  ASSERT_TRUE(pca.ok());
+  auto projected = pca->Apply(data.value());
+  ASSERT_TRUE(projected.ok());
+  Rng rng(11);
+  for (int t = 0; t < 30; ++t) {
+    const size_t a = rng.Index(300);
+    const size_t b = rng.Index(300);
+    const double orig = L2(data->row(a), data->row(b), 8);
+    const double proj = L2(projected->row(a), projected->row(b), 8);
+    EXPECT_NEAR(proj, orig, 1e-3 * (1.0 + orig));
+  }
+  EXPECT_NEAR(pca->ExplainedVarianceRatio(), 1.0, 1e-6);
+}
+
+TEST(PcaTest, ProjectedVarianceMatchesEigenvalues) {
+  const size_t d = 10;
+  auto data = GenerateGaussianMixture(
+      {.n = 3000, .dim = d, .num_clusters = 5, .center_spread = 3.0, .seed = 13});
+  ASSERT_TRUE(data.ok());
+  PcaOptions o;
+  o.out_dim = 3;
+  auto pca = PcaTransform::Fit(data.value(), o);
+  ASSERT_TRUE(pca.ok());
+  auto projected = pca->Apply(data.value());
+  ASSERT_TRUE(projected.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    double mean = 0;
+    for (size_t i = 0; i < 3000; ++i) mean += projected->at(i, c);
+    mean /= 3000.0;
+    double var = 0;
+    for (size_t i = 0; i < 3000; ++i) {
+      const double x = projected->at(i, c) - mean;
+      var += x * x;
+    }
+    var /= 2999.0;
+    EXPECT_NEAR(var, pca->eigenvalues()[c], 0.05 * pca->eigenvalues()[c] + 1e-6);
+    EXPECT_NEAR(mean, 0.0, 1e-3);  // centering
+  }
+}
+
+TEST(PcaTest, WhiteningUnitVariance) {
+  auto data = GenerateGaussianMixture(
+      {.n = 2000, .dim = 8, .num_clusters = 4, .center_spread = 4.0, .seed = 17});
+  ASSERT_TRUE(data.ok());
+  PcaOptions o;
+  o.out_dim = 4;
+  o.whiten = true;
+  auto pca = PcaTransform::Fit(data.value(), o);
+  ASSERT_TRUE(pca.ok());
+  auto projected = pca->Apply(data.value());
+  ASSERT_TRUE(projected.ok());
+  for (size_t c = 0; c < 4; ++c) {
+    double var = 0;
+    for (size_t i = 0; i < 2000; ++i) {
+      var += static_cast<double>(projected->at(i, c)) * projected->at(i, c);
+    }
+    var /= 1999.0;
+    EXPECT_NEAR(var, 1.0, 0.1) << "component " << c;
+  }
+}
+
+TEST(PcaTest, ApplyDimMismatchRejected) {
+  auto data = GenerateUniform(100, 6, 19);
+  ASSERT_TRUE(data.ok());
+  PcaOptions o;
+  o.out_dim = 2;
+  auto pca = PcaTransform::Fit(data.value(), o);
+  ASSERT_TRUE(pca.ok());
+  auto wrong = GenerateUniform(10, 7, 21);
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_TRUE(pca->Apply(wrong.value()).status().IsInvalidArgument());
+}
+
+// Pipeline test: PCA-reduce a high-d profile, index the reduction with
+// C2LSH, and check recall against the ORIGINAL-space ground truth stays
+// useful — the standard dimension-reduction + LSH pipeline.
+TEST(PcaTest, ReductionPipelineKeepsRecall) {
+  auto pd = MakeProfileDataset(DatasetProfile::kAudio, 3000, 12, 23);
+  ASSERT_TRUE(pd.ok());
+  auto gt = ComputeGroundTruth(pd->data, pd->queries, 10);
+  ASSERT_TRUE(gt.ok());
+
+  PcaOptions o;
+  o.out_dim = 48;  // 192 -> 48 (the Audio profile spreads variance over ~50
+                   // cluster directions, so a 4x reduction is the sweet spot)
+  auto pca = PcaTransform::Fit(pd->data.vectors(), o);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_GT(pca->ExplainedVarianceRatio(), 0.5);
+
+  auto reduced_data_m = pca->Apply(pd->data.vectors());
+  auto reduced_queries = pca->Apply(pd->queries);
+  ASSERT_TRUE(reduced_data_m.ok() && reduced_queries.ok());
+  // Re-normalize the reduced space's NN distance for the radius schedule.
+  FloatMatrix reduced = std::move(reduced_data_m).value();
+  FloatMatrix red_q = std::move(reduced_queries).value();
+  const double scale = RescaleToTargetNN(&reduced, 8.0, 29);
+  for (size_t i = 0; i < red_q.num_rows(); ++i) {
+    for (size_t j = 0; j < red_q.dim(); ++j) {
+      red_q.set(i, j, static_cast<float>(red_q.at(i, j) * scale));
+    }
+  }
+  auto reduced_ds = Dataset::Create("audio-pca24", std::move(reduced));
+  ASSERT_TRUE(reduced_ds.ok());
+
+  // Ceiling: the exact reduced-space neighbors vs the original-space truth
+  // (what the reduction itself costs, independent of the index).
+  auto reduced_gt = ComputeGroundTruth(reduced_ds.value(), red_q, 10);
+  ASSERT_TRUE(reduced_gt.ok());
+  double ceiling = 0;
+  for (size_t q = 0; q < 12; ++q) {
+    ceiling += Recall((*reduced_gt)[q], (*gt)[q], 10);
+  }
+  ceiling /= 12.0;
+
+  C2lshOptions co;
+  co.seed = 31;
+  auto index = C2lshIndex::Build(reduced_ds.value(), co);
+  ASSERT_TRUE(index.ok());
+  double recall_vs_original = 0;
+  double recall_vs_reduced = 0;
+  for (size_t q = 0; q < 12; ++q) {
+    auto r = index->Query(reduced_ds.value(), red_q.row(q), 10);
+    ASSERT_TRUE(r.ok());
+    recall_vs_original += Recall(*r, (*gt)[q], 10);
+    recall_vs_reduced += Recall(*r, (*reduced_gt)[q], 10);
+  }
+  recall_vs_original /= 12.0;
+  recall_vs_reduced /= 12.0;
+
+  // The index must recover most of what the reduced space still contains...
+  EXPECT_GT(recall_vs_reduced, 0.6);
+  // ...and end-to-end recall must sit near the reduction's own ceiling.
+  EXPECT_GT(recall_vs_original, ceiling * 0.6);
+}
+
+}  // namespace
+}  // namespace c2lsh

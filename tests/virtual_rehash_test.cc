@@ -1,0 +1,152 @@
+#include "src/core/virtual_rehash.h"
+
+#include <gtest/gtest.h>
+
+namespace c2lsh {
+namespace {
+
+TEST(BucketRangeTest, DefaultIsEmpty) {
+  BucketRange r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+}
+
+TEST(BucketRangeTest, WidthAndContains) {
+  BucketRange outer{0, 9};
+  BucketRange inner{2, 5};
+  EXPECT_EQ(outer.width(), 10);
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(BucketRange{}));  // empty is contained anywhere
+  EXPECT_TRUE(outer.Contains(outer));
+}
+
+TEST(LevelBucketTest, PositiveAndNegative) {
+  EXPECT_EQ(LevelBucket(7, 2), 3);
+  EXPECT_EQ(LevelBucket(-7, 2), -4);  // floor, not truncation
+  EXPECT_EQ(LevelBucket(0, 4), 0);
+  EXPECT_EQ(LevelBucket(-1, 4), -1);
+}
+
+TEST(QueryIntervalTest, RadiusOneIsSingleton) {
+  for (BucketId b : {-5LL, 0LL, 7LL}) {
+    const BucketRange r = QueryIntervalAtRadius(b, 1);
+    EXPECT_EQ(r.lo, b);
+    EXPECT_EQ(r.hi, b);
+  }
+}
+
+TEST(QueryIntervalTest, ContainsQueryBucketAndHasWidthR) {
+  for (BucketId b = -20; b <= 20; ++b) {
+    for (long long R : {1LL, 2LL, 3LL, 4LL, 8LL}) {
+      const BucketRange r = QueryIntervalAtRadius(b, R);
+      EXPECT_LE(r.lo, b);
+      EXPECT_GE(r.hi, b);
+      EXPECT_EQ(r.width(), R);
+      // Alignment: lo is a multiple of R.
+      EXPECT_EQ(FloorDiv(r.lo, R) * R, r.lo);
+    }
+  }
+}
+
+TEST(QueryIntervalTest, NestingAcrossRounds) {
+  // The property incremental counting rests on: the interval at radius R*c
+  // contains the interval at radius R, for every query bucket.
+  for (BucketId b = -50; b <= 50; ++b) {
+    long long R = 1;
+    BucketRange prev = QueryIntervalAtRadius(b, R);
+    for (int round = 0; round < 6; ++round) {
+      R *= 2;
+      const BucketRange next = QueryIntervalAtRadius(b, R);
+      EXPECT_TRUE(next.Contains(prev)) << "b=" << b << " R=" << R;
+      prev = next;
+    }
+  }
+}
+
+TEST(QueryIntervalTest, NestingForC3) {
+  for (BucketId b = -30; b <= 30; ++b) {
+    long long R = 1;
+    BucketRange prev = QueryIntervalAtRadius(b, R);
+    for (int round = 0; round < 4; ++round) {
+      R *= 3;
+      const BucketRange next = QueryIntervalAtRadius(b, R);
+      EXPECT_TRUE(next.Contains(prev)) << "b=" << b << " R=" << R;
+      prev = next;
+    }
+  }
+}
+
+TEST(QueryIntervalTest, TwoPointsCollideIffSameLevelBucket) {
+  // o collides with q at radius R <=> h(o) lies in q's level-R interval
+  // <=> LevelBucket(h(o), R) == LevelBucket(h(q), R).
+  for (BucketId q = -12; q <= 12; ++q) {
+    for (BucketId o = -12; o <= 12; ++o) {
+      for (long long R : {2LL, 4LL}) {
+        const BucketRange r = QueryIntervalAtRadius(q, R);
+        const bool in_range = o >= r.lo && o <= r.hi;
+        const bool same_level = LevelBucket(o, R) == LevelBucket(q, R);
+        EXPECT_EQ(in_range, same_level) << "q=" << q << " o=" << o << " R=" << R;
+      }
+    }
+  }
+}
+
+TEST(RangeDeltaTest, FromEmptyPrev) {
+  const BucketRange next{4, 7};
+  const RangeDelta d = ComputeRangeDelta(BucketRange{}, next);
+  EXPECT_EQ(d.left, next);
+  EXPECT_TRUE(d.right.empty());
+}
+
+TEST(RangeDeltaTest, SplitsGrowth) {
+  const BucketRange prev{4, 7};
+  const BucketRange next{0, 15};
+  const RangeDelta d = ComputeRangeDelta(prev, next);
+  EXPECT_EQ(d.left, (BucketRange{0, 3}));
+  EXPECT_EQ(d.right, (BucketRange{8, 15}));
+}
+
+TEST(RangeDeltaTest, OneSidedGrowth) {
+  const BucketRange prev{0, 3};
+  const BucketRange next{0, 7};
+  const RangeDelta d = ComputeRangeDelta(prev, next);
+  EXPECT_TRUE(d.left.empty());
+  EXPECT_EQ(d.right, (BucketRange{4, 7}));
+}
+
+TEST(RangeDeltaTest, NoGrowth) {
+  const BucketRange r{2, 5};
+  const RangeDelta d = ComputeRangeDelta(r, r);
+  EXPECT_TRUE(d.left.empty());
+  EXPECT_TRUE(d.right.empty());
+}
+
+TEST(RangeDeltaTest, DeltaUnionEqualsNextMinusPrev) {
+  // Property over the real radius schedule: prev-interval plus the two
+  // deltas tile the next interval exactly, with no overlap.
+  for (BucketId b = -20; b <= 20; ++b) {
+    long long R = 1;
+    BucketRange prev = QueryIntervalAtRadius(b, R);
+    for (int round = 0; round < 5; ++round) {
+      R *= 2;
+      const BucketRange next = QueryIntervalAtRadius(b, R);
+      const RangeDelta d = ComputeRangeDelta(prev, next);
+      const long long tiles =
+          prev.width() + d.left.width() + d.right.width();
+      EXPECT_EQ(tiles, next.width());
+      if (!d.left.empty()) {
+        EXPECT_EQ(d.left.hi + 1, prev.lo);
+        EXPECT_EQ(d.left.lo, next.lo);
+      }
+      if (!d.right.empty()) {
+        EXPECT_EQ(d.right.lo - 1, prev.hi);
+        EXPECT_EQ(d.right.hi, next.hi);
+      }
+      prev = next;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c2lsh

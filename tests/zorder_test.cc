@@ -1,0 +1,143 @@
+#include "src/baselines/lsb/zorder.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace c2lsh {
+namespace {
+
+std::vector<uint64_t> Encode(const ZOrderEncoder& enc, const std::vector<BucketId>& comps) {
+  std::vector<uint64_t> key(enc.key_words());
+  enc.Encode(comps, key.data());
+  return key;
+}
+
+TEST(ZOrderTest, CreateValidation) {
+  EXPECT_TRUE(ZOrderEncoder::Create(0, 8).status().IsInvalidArgument());
+  EXPECT_TRUE(ZOrderEncoder::Create(4, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(ZOrderEncoder::Create(4, 33).status().IsInvalidArgument());
+  EXPECT_TRUE(ZOrderEncoder::Create(4, 32).ok());
+}
+
+TEST(ZOrderTest, KeyGeometry) {
+  auto enc = ZOrderEncoder::Create(3, 10);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->key_bits(), 30u);
+  EXPECT_EQ(enc->key_words(), 1u);
+  auto enc2 = ZOrderEncoder::Create(8, 16);  // 128 bits
+  ASSERT_TRUE(enc2.ok());
+  EXPECT_EQ(enc2->key_words(), 2u);
+}
+
+TEST(ZOrderTest, SingleComponentIsIdentityOrder) {
+  // With u = 1, z-order is just the (recentered) value, so ordering of keys
+  // matches ordering of components.
+  auto enc = ZOrderEncoder::Create(1, 16);
+  ASSERT_TRUE(enc.ok());
+  const auto k1 = Encode(*enc, {-5});
+  const auto k2 = Encode(*enc, {0});
+  const auto k3 = Encode(*enc, {7});
+  EXPECT_LT(ZOrderEncoder::Compare(k1.data(), k2.data(), 1), 0);
+  EXPECT_LT(ZOrderEncoder::Compare(k2.data(), k3.data(), 1), 0);
+  EXPECT_EQ(ZOrderEncoder::Compare(k2.data(), k2.data(), 1), 0);
+}
+
+TEST(ZOrderTest, InterleavingHandComputed) {
+  // u = 2, v = 2; components (1, 2) recentered by +2 become (3, 0b00...).
+  // Actually offset = 2^(v-1) = 2: values (1+2, 2+2) = (3, 4) -> clamp 4 to
+  // 3 (max = 2^2 - 1 = 3). Bits of 3 = 11, 3 = 11. Interleaved msb-first:
+  // plane1: 1,1  plane0: 1,1  -> key bits 1111 at the top of the word.
+  auto enc = ZOrderEncoder::Create(2, 2);
+  ASSERT_TRUE(enc.ok());
+  const auto key = Encode(*enc, {1, 2});
+  EXPECT_EQ(key[0] >> 60, 0xFULL);
+}
+
+TEST(ZOrderTest, ClampingSaturates) {
+  auto enc = ZOrderEncoder::Create(2, 4);
+  ASSERT_TRUE(enc.ok());
+  // Values beyond the representable range clamp to the extremes rather than
+  // wrapping.
+  const auto huge = Encode(*enc, {1000000, 1000000});
+  const auto max_rep = Encode(*enc, {7, 7});  // max = 2^4-1-offset = 15-8 = 7
+  EXPECT_EQ(ZOrderEncoder::Compare(huge.data(), max_rep.data(), enc->key_words()), 0);
+  const auto tiny = Encode(*enc, {-1000000, -1000000});
+  const auto min_rep = Encode(*enc, {-8, -8});
+  EXPECT_EQ(ZOrderEncoder::Compare(tiny.data(), min_rep.data(), enc->key_words()), 0);
+}
+
+TEST(ZOrderTest, LlcpIdenticalKeys) {
+  auto enc = ZOrderEncoder::Create(4, 16);
+  ASSERT_TRUE(enc.ok());
+  const auto k = Encode(*enc, {1, -2, 3, 4});
+  EXPECT_EQ(ZOrderEncoder::Llcp(k.data(), k.data(), enc->key_words(), enc->key_bits()),
+            enc->key_bits());
+}
+
+TEST(ZOrderTest, LlcpCountsAgreedPlanes) {
+  // Two component vectors that agree on all high bit-planes but differ at
+  // the lowest plane of one component: LLCP covers all full planes above the
+  // disagreement.
+  auto enc = ZOrderEncoder::Create(2, 8);
+  ASSERT_TRUE(enc.ok());
+  const auto a = Encode(*enc, {4, 4});
+  const auto b = Encode(*enc, {4, 5});  // differ in lowest bit of comp 1
+  const size_t llcp =
+      ZOrderEncoder::Llcp(a.data(), b.data(), enc->key_words(), enc->key_bits());
+  // Key bits = 16; the differing bit is the very last one.
+  EXPECT_EQ(llcp, 15u);
+  EXPECT_EQ(enc->LevelForLlcp(llcp), 7u);  // 7 of 8 planes fully agreed
+}
+
+TEST(ZOrderTest, CloserComponentsLongerLlcp) {
+  auto enc = ZOrderEncoder::Create(2, 12);
+  ASSERT_TRUE(enc.ok());
+  const auto q = Encode(*enc, {100, -50});
+  const auto near = Encode(*enc, {101, -50});
+  const auto far = Encode(*enc, {100, 900});
+  const size_t llcp_near =
+      ZOrderEncoder::Llcp(q.data(), near.data(), enc->key_words(), enc->key_bits());
+  const size_t llcp_far =
+      ZOrderEncoder::Llcp(q.data(), far.data(), enc->key_words(), enc->key_bits());
+  EXPECT_GT(llcp_near, llcp_far);
+}
+
+TEST(ZOrderTest, MultiWordKeysCompareAndLlcp) {
+  auto enc = ZOrderEncoder::Create(10, 20);  // 200 bits, 4 words
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->key_words(), 4u);
+  Rng rng(33);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<BucketId> c1(10), c2(10);
+    for (int j = 0; j < 10; ++j) {
+      c1[j] = rng.UniformInt(-500, 500);
+      c2[j] = rng.UniformInt(-500, 500);
+    }
+    const auto k1 = Encode(*enc, c1);
+    const auto k2 = Encode(*enc, c2);
+    const int cmp = ZOrderEncoder::Compare(k1.data(), k2.data(), 4);
+    const int cmp_rev = ZOrderEncoder::Compare(k2.data(), k1.data(), 4);
+    EXPECT_EQ(cmp, -cmp_rev);
+    const size_t llcp = ZOrderEncoder::Llcp(k1.data(), k2.data(), 4, enc->key_bits());
+    if (cmp == 0) {
+      EXPECT_EQ(llcp, enc->key_bits());
+    } else {
+      EXPECT_LT(llcp, enc->key_bits());
+    }
+    // LLCP is symmetric.
+    EXPECT_EQ(llcp, ZOrderEncoder::Llcp(k2.data(), k1.data(), 4, enc->key_bits()));
+  }
+}
+
+TEST(ZOrderTest, EncodeDeterministic) {
+  auto enc = ZOrderEncoder::Create(3, 16);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(Encode(*enc, {1, 2, 3}), Encode(*enc, {1, 2, 3}));
+  EXPECT_NE(Encode(*enc, {1, 2, 3}), Encode(*enc, {1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace c2lsh
