@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_virtual_rehash.dir/bench_a2_virtual_rehash.cc.o"
+  "CMakeFiles/bench_a2_virtual_rehash.dir/bench_a2_virtual_rehash.cc.o.d"
+  "bench_a2_virtual_rehash"
+  "bench_a2_virtual_rehash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_virtual_rehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_offset_span.dir/bench_a3_offset_span.cc.o"
+  "CMakeFiles/bench_a3_offset_span.dir/bench_a3_offset_span.cc.o.d"
+  "bench_a3_offset_span"
+  "bench_a3_offset_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_offset_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d1_disk_io.dir/bench_d1_disk_io.cc.o"
+  "CMakeFiles/bench_d1_disk_io.dir/bench_d1_disk_io.cc.o.d"
+  "bench_d1_disk_io"
+  "bench_d1_disk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d1_disk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_qalsh.dir/bench_e1_qalsh.cc.o"
+  "CMakeFiles/bench_e1_qalsh.dir/bench_e1_qalsh.cc.o.d"
+  "bench_e1_qalsh"
+  "bench_e1_qalsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_qalsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

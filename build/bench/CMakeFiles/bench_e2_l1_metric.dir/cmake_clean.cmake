@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_l1_metric.dir/bench_e2_l1_metric.cc.o"
+  "CMakeFiles/bench_e2_l1_metric.dir/bench_e2_l1_metric.cc.o.d"
+  "bench_e2_l1_metric"
+  "bench_e2_l1_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_l1_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_effect_c.dir/bench_f4_effect_c.cc.o"
+  "CMakeFiles/bench_f4_effect_c.dir/bench_f4_effect_c.cc.o.d"
+  "bench_f4_effect_c"
+  "bench_f4_effect_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_effect_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

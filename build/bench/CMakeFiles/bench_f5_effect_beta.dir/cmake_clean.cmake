@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_effect_beta.dir/bench_f5_effect_beta.cc.o"
+  "CMakeFiles/bench_f5_effect_beta.dir/bench_f5_effect_beta.cc.o.d"
+  "bench_f5_effect_beta"
+  "bench_f5_effect_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_effect_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_dedup.dir/audio_dedup.cpp.o"
+  "CMakeFiles/audio_dedup.dir/audio_dedup.cpp.o.d"
+  "audio_dedup"
+  "audio_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_mode.dir/disk_mode.cpp.o"
+  "CMakeFiles/disk_mode.dir/disk_mode.cpp.o.d"
+  "disk_mode"
+  "disk_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

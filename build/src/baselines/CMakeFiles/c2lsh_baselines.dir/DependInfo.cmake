@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/e2lsh.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/e2lsh.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/e2lsh.cc.o.d"
+  "/root/repo/src/baselines/linear_scan.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/linear_scan.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/linear_scan.cc.o.d"
+  "/root/repo/src/baselines/lsb/bptree.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/bptree.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/bptree.cc.o.d"
+  "/root/repo/src/baselines/lsb/lsb_forest.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/lsb_forest.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/lsb_forest.cc.o.d"
+  "/root/repo/src/baselines/lsb/lsb_tree.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/lsb_tree.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/lsb_tree.cc.o.d"
+  "/root/repo/src/baselines/lsb/zorder.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/zorder.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/lsb/zorder.cc.o.d"
+  "/root/repo/src/baselines/multiprobe.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/multiprobe.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/multiprobe.cc.o.d"
+  "/root/repo/src/baselines/srs/kdtree.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/srs/kdtree.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/srs/kdtree.cc.o.d"
+  "/root/repo/src/baselines/srs/srs.cc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/srs/srs.cc.o" "gcc" "src/baselines/CMakeFiles/c2lsh_baselines.dir/srs/srs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/c2lsh_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/c2lsh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/c2lsh_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/c2lsh_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

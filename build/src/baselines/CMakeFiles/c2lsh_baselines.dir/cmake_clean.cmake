@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_baselines.dir/e2lsh.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/e2lsh.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/linear_scan.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/linear_scan.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/bptree.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/bptree.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/lsb_forest.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/lsb_forest.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/lsb_tree.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/lsb_tree.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/zorder.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/lsb/zorder.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/multiprobe.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/multiprobe.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/srs/kdtree.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/srs/kdtree.cc.o.d"
+  "CMakeFiles/c2lsh_baselines.dir/srs/srs.cc.o"
+  "CMakeFiles/c2lsh_baselines.dir/srs/srs.cc.o.d"
+  "libc2lsh_baselines.a"
+  "libc2lsh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/c2lsh_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/disk_index.cc" "src/core/CMakeFiles/c2lsh_core.dir/disk_index.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/disk_index.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/c2lsh_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/index.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/c2lsh_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/params.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/c2lsh_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/c2lsh_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/c2lsh_core.dir/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/c2lsh_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/c2lsh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/c2lsh_lsh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_core.dir/cost_model.cc.o"
+  "CMakeFiles/c2lsh_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/c2lsh_core.dir/disk_index.cc.o"
+  "CMakeFiles/c2lsh_core.dir/disk_index.cc.o.d"
+  "CMakeFiles/c2lsh_core.dir/index.cc.o"
+  "CMakeFiles/c2lsh_core.dir/index.cc.o.d"
+  "CMakeFiles/c2lsh_core.dir/params.cc.o"
+  "CMakeFiles/c2lsh_core.dir/params.cc.o.d"
+  "CMakeFiles/c2lsh_core.dir/serialize.cc.o"
+  "CMakeFiles/c2lsh_core.dir/serialize.cc.o.d"
+  "CMakeFiles/c2lsh_core.dir/theory.cc.o"
+  "CMakeFiles/c2lsh_core.dir/theory.cc.o.d"
+  "libc2lsh_core.a"
+  "libc2lsh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

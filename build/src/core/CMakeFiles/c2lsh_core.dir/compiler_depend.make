@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c2lsh_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_eval.dir/harness.cc.o"
+  "CMakeFiles/c2lsh_eval.dir/harness.cc.o.d"
+  "CMakeFiles/c2lsh_eval.dir/method.cc.o"
+  "CMakeFiles/c2lsh_eval.dir/method.cc.o.d"
+  "CMakeFiles/c2lsh_eval.dir/metrics.cc.o"
+  "CMakeFiles/c2lsh_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/c2lsh_eval.dir/table.cc.o"
+  "CMakeFiles/c2lsh_eval.dir/table.cc.o.d"
+  "libc2lsh_eval.a"
+  "libc2lsh_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

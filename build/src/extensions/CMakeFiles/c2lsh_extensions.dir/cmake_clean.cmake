@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_extensions.dir/qalsh/qalsh.cc.o"
+  "CMakeFiles/c2lsh_extensions.dir/qalsh/qalsh.cc.o.d"
+  "libc2lsh_extensions.a"
+  "libc2lsh_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

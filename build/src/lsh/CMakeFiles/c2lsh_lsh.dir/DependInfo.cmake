@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/collision_model.cc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/collision_model.cc.o" "gcc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/collision_model.cc.o.d"
+  "/root/repo/src/lsh/compound.cc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/compound.cc.o" "gcc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/compound.cc.o.d"
+  "/root/repo/src/lsh/pstable.cc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/pstable.cc.o" "gcc" "src/lsh/CMakeFiles/c2lsh_lsh.dir/pstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/c2lsh_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/c2lsh_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

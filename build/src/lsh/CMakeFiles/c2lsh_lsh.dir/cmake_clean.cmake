@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_lsh.dir/collision_model.cc.o"
+  "CMakeFiles/c2lsh_lsh.dir/collision_model.cc.o.d"
+  "CMakeFiles/c2lsh_lsh.dir/compound.cc.o"
+  "CMakeFiles/c2lsh_lsh.dir/compound.cc.o.d"
+  "CMakeFiles/c2lsh_lsh.dir/pstable.cc.o"
+  "CMakeFiles/c2lsh_lsh.dir/pstable.cc.o.d"
+  "libc2lsh_lsh.a"
+  "libc2lsh_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/blob.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/blob.cc.o.d"
+  "/root/repo/src/storage/bucket_table.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/bucket_table.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/bucket_table.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_bucket_table.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/disk_bucket_table.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/disk_bucket_table.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/page_file.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/page_file.cc.o.d"
+  "/root/repo/src/storage/page_model.cc" "src/storage/CMakeFiles/c2lsh_storage.dir/page_model.cc.o" "gcc" "src/storage/CMakeFiles/c2lsh_storage.dir/page_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/c2lsh_vector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

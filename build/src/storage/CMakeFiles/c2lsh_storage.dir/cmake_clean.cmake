@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_storage.dir/blob.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/blob.cc.o.d"
+  "CMakeFiles/c2lsh_storage.dir/bucket_table.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/bucket_table.cc.o.d"
+  "CMakeFiles/c2lsh_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/c2lsh_storage.dir/disk_bucket_table.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/disk_bucket_table.cc.o.d"
+  "CMakeFiles/c2lsh_storage.dir/page_file.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/c2lsh_storage.dir/page_model.cc.o"
+  "CMakeFiles/c2lsh_storage.dir/page_model.cc.o.d"
+  "libc2lsh_storage.a"
+  "libc2lsh_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

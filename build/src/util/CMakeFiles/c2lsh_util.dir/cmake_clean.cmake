@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_util.dir/argparse.cc.o"
+  "CMakeFiles/c2lsh_util.dir/argparse.cc.o.d"
+  "CMakeFiles/c2lsh_util.dir/math.cc.o"
+  "CMakeFiles/c2lsh_util.dir/math.cc.o.d"
+  "CMakeFiles/c2lsh_util.dir/random.cc.o"
+  "CMakeFiles/c2lsh_util.dir/random.cc.o.d"
+  "CMakeFiles/c2lsh_util.dir/status.cc.o"
+  "CMakeFiles/c2lsh_util.dir/status.cc.o.d"
+  "libc2lsh_util.a"
+  "libc2lsh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vector/dataset.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/dataset.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/dataset.cc.o.d"
+  "/root/repo/src/vector/distance.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/distance.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/distance.cc.o.d"
+  "/root/repo/src/vector/ground_truth.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/ground_truth.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/ground_truth.cc.o.d"
+  "/root/repo/src/vector/io.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/io.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/io.cc.o.d"
+  "/root/repo/src/vector/matrix.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/matrix.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/matrix.cc.o.d"
+  "/root/repo/src/vector/synthetic.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/synthetic.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/synthetic.cc.o.d"
+  "/root/repo/src/vector/transform.cc" "src/vector/CMakeFiles/c2lsh_vector.dir/transform.cc.o" "gcc" "src/vector/CMakeFiles/c2lsh_vector.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_vector.dir/dataset.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/dataset.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/distance.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/distance.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/ground_truth.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/ground_truth.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/io.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/io.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/matrix.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/matrix.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/synthetic.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/synthetic.cc.o.d"
+  "CMakeFiles/c2lsh_vector.dir/transform.cc.o"
+  "CMakeFiles/c2lsh_vector.dir/transform.cc.o.d"
+  "libc2lsh_vector.a"
+  "libc2lsh_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

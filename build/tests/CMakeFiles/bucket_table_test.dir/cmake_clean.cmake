@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_table_test.dir/bucket_table_test.cc.o"
+  "CMakeFiles/bucket_table_test.dir/bucket_table_test.cc.o.d"
+  "bucket_table_test"
+  "bucket_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

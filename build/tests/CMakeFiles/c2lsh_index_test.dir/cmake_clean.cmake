@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_index_test.dir/c2lsh_index_test.cc.o"
+  "CMakeFiles/c2lsh_index_test.dir/c2lsh_index_test.cc.o.d"
+  "c2lsh_index_test"
+  "c2lsh_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

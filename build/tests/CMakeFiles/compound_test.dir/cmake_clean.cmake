@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_test.dir/compound_test.cc.o"
+  "CMakeFiles/compound_test.dir/compound_test.cc.o.d"
+  "compound_test"
+  "compound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

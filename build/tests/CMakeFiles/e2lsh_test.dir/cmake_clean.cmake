@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2lsh_test.dir/e2lsh_test.cc.o"
+  "CMakeFiles/e2lsh_test.dir/e2lsh_test.cc.o.d"
+  "e2lsh_test"
+  "e2lsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

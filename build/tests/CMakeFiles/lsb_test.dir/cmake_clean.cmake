@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsb_test.dir/lsb_test.cc.o"
+  "CMakeFiles/lsb_test.dir/lsb_test.cc.o.d"
+  "lsb_test"
+  "lsb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

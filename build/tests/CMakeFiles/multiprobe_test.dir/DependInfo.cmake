@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/multiprobe_test.cc" "tests/CMakeFiles/multiprobe_test.dir/multiprobe_test.cc.o" "gcc" "tests/CMakeFiles/multiprobe_test.dir/multiprobe_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/c2lsh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/extensions/CMakeFiles/c2lsh_extensions.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/c2lsh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/c2lsh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/c2lsh_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/c2lsh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/c2lsh_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/c2lsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprobe_test.dir/multiprobe_test.cc.o"
+  "CMakeFiles/multiprobe_test.dir/multiprobe_test.cc.o.d"
+  "multiprobe_test"
+  "multiprobe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprobe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_model_test.dir/page_model_test.cc.o"
+  "CMakeFiles/page_model_test.dir/page_model_test.cc.o.d"
+  "page_model_test"
+  "page_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstable_test.dir/pstable_test.cc.o"
+  "CMakeFiles/pstable_test.dir/pstable_test.cc.o.d"
+  "pstable_test"
+  "pstable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qalsh_test.dir/qalsh_test.cc.o"
+  "CMakeFiles/qalsh_test.dir/qalsh_test.cc.o.d"
+  "qalsh_test"
+  "qalsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qalsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_rehash_test.dir/virtual_rehash_test.cc.o"
+  "CMakeFiles/virtual_rehash_test.dir/virtual_rehash_test.cc.o.d"
+  "virtual_rehash_test"
+  "virtual_rehash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_rehash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

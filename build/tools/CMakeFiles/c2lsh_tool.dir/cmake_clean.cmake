@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2lsh_tool.dir/c2lsh_tool.cpp.o"
+  "CMakeFiles/c2lsh_tool.dir/c2lsh_tool.cpp.o.d"
+  "c2lsh_tool"
+  "c2lsh_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2lsh_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
