@@ -21,9 +21,16 @@ Status WriteSuperblock(BufferPool* pool, PageId meta_root) {
 }
 
 Result<PageId> ReadSuperblock(BufferPool* pool) {
-  C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->Fetch(1));
+  Result<BufferPool::PageHandle> page = pool->Fetch(1);
+  if (!page.ok()) {
+    if (page.status().IsCorruption()) return page.status();
+    // An out-of-range page 1 means the header was never published (e.g. a
+    // crash before the first Sync): the file is not a usable index.
+    return Status::Corruption("DiskC2lshIndex: cannot read superblock (" +
+                              std::string(page.status().message()) + ")");
+  }
   PageId meta_root = 0;
-  std::memcpy(&meta_root, page.data(), sizeof(meta_root));
+  std::memcpy(&meta_root, page->data(), sizeof(meta_root));
   if (meta_root == 0) {
     return Status::Corruption("DiskC2lshIndex: empty superblock");
   }
@@ -35,7 +42,8 @@ Result<PageId> ReadSuperblock(BufferPool* pool) {
 Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
                                              const C2lshOptions& options,
                                              const std::string& path,
-                                             size_t pool_pages, bool store_vectors) {
+                                             size_t pool_pages, bool store_vectors,
+                                             Env* env) {
   C2LSH_ASSIGN_OR_RETURN(C2lshDerived derived, ComputeDerivedParams(options, data.size()));
   long long radius_cap = 1;
   const long long c_int = static_cast<long long>(std::llround(options.c));
@@ -46,7 +54,8 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
                             static_cast<double>(radius_cap)));
 
   DiskC2lshIndex index;
-  C2LSH_ASSIGN_OR_RETURN(PageFile file, PageFile::Create(path, options.page_bytes));
+  C2LSH_ASSIGN_OR_RETURN(PageFile file,
+                         PageFile::Create(path, options.page_bytes, env));
   index.file_ = std::make_unique<PageFile>(std::move(file));
   C2LSH_ASSIGN_OR_RETURN(BufferPool pool,
                          BufferPool::Create(index.file_.get(), pool_pages));
@@ -149,9 +158,10 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
   return index;
 }
 
-Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool_pages) {
+Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool_pages,
+                                            Env* env) {
   DiskC2lshIndex index;
-  C2LSH_ASSIGN_OR_RETURN(PageFile file, PageFile::Open(path));
+  C2LSH_ASSIGN_OR_RETURN(PageFile file, PageFile::Open(path, env));
   index.file_ = std::make_unique<PageFile>(std::move(file));
   C2LSH_ASSIGN_OR_RETURN(BufferPool pool,
                          BufferPool::Create(index.file_.get(), pool_pages));
@@ -267,6 +277,7 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
   if (verified_.size() < num_objects_) verified_.resize(num_objects_, 0);
   for (ObjectId id : touched_) verified_[id] = 0;
   touched_.clear();
+  table_bad_.assign(tables_.size(), 0);
 
   const size_t m = tables_.size();
   const uint32_t l = static_cast<uint32_t>(derived_.l);
@@ -297,10 +308,10 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
   };
 
   Status scan_status;
-  auto scan_range = [&](const DiskBucketTable& table, const BucketRange& range) {
-    if (range.empty() || !scan_status.ok()) return;
+  auto scan_range = [&](size_t table_idx, const BucketRange& range) {
+    if (range.empty() || !scan_status.ok() || table_bad_[table_idx] != 0) return;
     Result<size_t> visited =
-        table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+        tables_[table_idx].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
           ++st->base.collision_increments;
           if (verified_[id] != 0) return;
           if (counter_.Increment(id) == l) {
@@ -313,6 +324,14 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
             } else {
               const uint64_t misses_before = pool_->stats().misses;
               if (Status s = ReadStoredVector(id, vector_buf_.data()); !s.ok()) {
+                if (s.IsCorruption()) {
+                  // The candidate's stored vector is unreadable: drop it and
+                  // flag the answer as degraded rather than returning a
+                  // distance computed from garbage bytes.
+                  st->degraded = true;
+                  ++st->candidates_skipped;
+                  return;
+                }
                 scan_status = s;
                 return;
               }
@@ -325,6 +344,16 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
           }
         });
     if (!visited.ok()) {
+      if (visited.status().IsCorruption()) {
+        // A table page failed its checksum: drop this table for the rest of
+        // the query. Collision counts only ever come from verified page
+        // reads, so skipping can under-count (fewer candidates, flagged
+        // below) but never mis-count.
+        st->degraded = true;
+        ++st->tables_skipped;
+        table_bad_[table_idx] = 1;
+        return;
+      }
       scan_status = visited.status();
       return;
     }
@@ -339,11 +368,11 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
     for (size_t i = 0; i < m; ++i) {
       const BucketRange next = interval(qbuckets[i], R);
       const RangeDelta delta = ComputeRangeDelta(prev[i], next);
-      scan_range(tables_[i], delta.left);
-      scan_range(tables_[i], delta.right);
+      scan_range(i, delta.left);
+      scan_range(i, delta.right);
       if (!scan_status.ok()) return scan_status;
       prev[i] = next;
-      if (tables_[i].num_buckets() > 0 &&
+      if (table_bad_[i] == 0 && tables_[i].num_buckets() > 0 &&
           tables_[i].EntriesInRange(next.lo, next.hi) < tables_[i].num_entries()) {
         all_covered = false;
       }

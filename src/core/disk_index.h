@@ -39,6 +39,15 @@ struct DiskQueryStats {
                           ///< the MEASURED pool-miss count.
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+
+  /// Degraded-query accounting: when an index or data page fails its
+  /// checksum mid-query, the query drops the affected table (or candidate)
+  /// instead of aborting — the results are still genuine neighbors with
+  /// exact distances, but possibly fewer of them. `degraded` is the signal
+  /// that the answer may be incomplete; it is NEVER silently wrong.
+  bool degraded = false;
+  uint64_t tables_skipped = 0;      ///< hash tables dropped on a corrupt page
+  uint64_t candidates_skipped = 0;  ///< candidates dropped on a corrupt data page
 };
 
 /// The disk-resident C2LSH index.
@@ -52,12 +61,17 @@ class DiskC2lshIndex {
   /// self-contained: queries need no external Dataset and every candidate
   /// verification is a *measured* page access — the complete external-memory
   /// deployment of the paper.
+  /// `env` (nullptr = Env::Default()) is the filesystem the index lives in;
+  /// tests pass a FaultInjectionEnv to exercise crash and corruption paths.
   static Result<DiskC2lshIndex> Build(const Dataset& data, const C2lshOptions& options,
                                       const std::string& path, size_t pool_pages = 256,
-                                      bool store_vectors = true);
+                                      bool store_vectors = true, Env* env = nullptr);
 
-  /// Reopens an index built by Build.
-  static Result<DiskC2lshIndex> Open(const std::string& path, size_t pool_pages = 256);
+  /// Reopens an index built by Build. After a crash during Build or Sync
+  /// this either recovers a fully consistent index or fails with
+  /// Corruption (never a partially-applied one).
+  static Result<DiskC2lshIndex> Open(const std::string& path, size_t pool_pages = 256,
+                                     Env* env = nullptr);
 
   /// c-k-ANN query against the stored data segment. Requires the index to
   /// have been built with store_vectors = true. Not thread-safe.
@@ -84,6 +98,9 @@ class DiskC2lshIndex {
   /// Cumulative pool statistics (reset by ResetPoolStats).
   const BufferPoolStats& pool_stats() const { return pool_->stats(); }
   void ResetPoolStats() { pool_->ResetStats(); }
+
+  /// Transient-failure retry counters of the underlying PageFile.
+  const RetryStats& retry_stats() const { return file_->retry_stats(); }
 
  private:
   DiskC2lshIndex() = default;
@@ -115,6 +132,7 @@ class DiskC2lshIndex {
   mutable std::vector<uint8_t> verified_;
   mutable std::vector<ObjectId> touched_;
   mutable std::vector<float> vector_buf_;
+  mutable std::vector<uint8_t> table_bad_;  ///< tables dropped this query
 };
 
 }  // namespace c2lsh

@@ -1,115 +1,137 @@
 #include "src/core/serialize.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <type_traits>
 #include <vector>
+
+#include "src/util/crc32.h"
 
 namespace c2lsh {
 
 namespace {
 
 constexpr uint64_t kMagic = 0xC25123AA2012F00DULL;  // "C2LSH index, SIGMOD'12"
-constexpr uint32_t kVersion = 1;
+// v1 used a bitwise crc64 trailer and stdio; v2 shares the storage stack's
+// crc32c and Env plumbing. v1 files are rejected, not misread.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kBufBytes = 1u << 16;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-/// Streaming CRC-64 (ECMA polynomial, bitwise — cold path, clarity over
-/// speed). Accumulated over every payload byte written/read.
-class Crc64 {
- public:
-  void Update(const void* data, size_t len) {
-    const auto* p = static_cast<const uint8_t*>(data);
-    for (size_t i = 0; i < len; ++i) {
-      crc_ ^= static_cast<uint64_t>(p[i]);
-      for (int bit = 0; bit < 8; ++bit) {
-        crc_ = (crc_ >> 1) ^ ((crc_ & 1) ? 0xC96C5795D7870F42ULL : 0);
-      }
-    }
-  }
-  uint64_t value() const { return crc_; }
-
- private:
-  uint64_t crc_ = ~0ULL;
-};
-
+/// Buffered sequential writer over a RandomAccessFile, checksumming every
+/// payload byte with the shared CRC-32C.
 class Writer {
  public:
-  Writer(std::FILE* f) : f_(f) {}
+  explicit Writer(RandomAccessFile* f) : f_(f) { buf_.reserve(kBufBytes); }
 
   template <typename T>
   bool Put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    crc_.Update(&v, sizeof(v));
-    return std::fwrite(&v, sizeof(v), 1, f_) == 1;
+    return Append(&v, sizeof(v));
   }
   template <typename T>
   bool PutArray(const T* data, size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (count == 0) return true;
-    crc_.Update(data, count * sizeof(T));
-    return std::fwrite(data, sizeof(T), count, f_) == count;
+    return count == 0 || Append(data, count * sizeof(T));
   }
+  /// Appends the checksum trailer and flushes. The trailer itself is not
+  /// part of the checksummed stream.
   bool Finish() {
-    const uint64_t crc = crc_.value();
-    return std::fwrite(&crc, sizeof(crc), 1, f_) == 1;
+    const uint32_t crc = Crc32cMask(crc_);
+    const auto* p = reinterpret_cast<const uint8_t*>(&crc);
+    buf_.insert(buf_.end(), p, p + sizeof(crc));
+    return Flush() && f_->Sync().ok();
   }
+  const Status& status() const { return status_; }
 
  private:
-  std::FILE* f_;
-  Crc64 crc_;
+  bool Append(const void* data, size_t n) {
+    crc_ = Crc32c(data, n, crc_);
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+    return buf_.size() < kBufBytes || Flush();
+  }
+  bool Flush() {
+    if (buf_.empty()) return true;
+    status_ = f_->WriteAt(offset_, buf_.data(), buf_.size());
+    if (!status_.ok()) return false;
+    offset_ += buf_.size();
+    buf_.clear();
+    return true;
+  }
+
+  RandomAccessFile* f_;
+  uint64_t offset_ = 0;
+  std::vector<uint8_t> buf_;
+  uint32_t crc_ = 0;
+  Status status_;
 };
 
+/// Buffered sequential reader; mirrors Writer's checksum accounting.
 class Reader {
  public:
-  Reader(std::FILE* f) : f_(f) {}
+  explicit Reader(RandomAccessFile* f) : f_(f) {}
 
   template <typename T>
   bool Get(T* v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (std::fread(v, sizeof(T), 1, f_) != 1) return false;
-    crc_.Update(v, sizeof(T));
+    if (!Read(v, sizeof(T))) return false;
+    crc_ = Crc32c(v, sizeof(T), crc_);
     return true;
   }
   template <typename T>
   bool GetArray(T* data, size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (count == 0) return true;
-    if (std::fread(data, sizeof(T), count, f_) != count) return false;
-    crc_.Update(data, count * sizeof(T));
+    if (!Read(data, count * sizeof(T))) return false;
+    crc_ = Crc32c(data, count * sizeof(T), crc_);
     return true;
   }
   bool VerifyChecksum() {
-    uint64_t stored = 0;
-    if (std::fread(&stored, sizeof(stored), 1, f_) != 1) return false;
-    return stored == crc_.value();
+    uint32_t stored = 0;
+    if (!Read(&stored, sizeof(stored))) return false;
+    return Crc32cUnmask(stored) == crc_;
   }
 
  private:
-  std::FILE* f_;
-  Crc64 crc_;
+  bool Read(void* out, size_t n) {
+    auto* dst = static_cast<uint8_t*>(out);
+    while (n > 0) {
+      if (pos_ == avail_) {
+        buf_.resize(kBufBytes);
+        if (!f_->ReadAt(offset_, buf_.data(), buf_.size(), &avail_).ok()) return false;
+        if (avail_ == 0) return false;  // end of file
+        offset_ += avail_;
+        pos_ = 0;
+      }
+      const size_t chunk = std::min(n, avail_ - pos_);
+      std::memcpy(dst, buf_.data() + pos_, chunk);
+      dst += chunk;
+      pos_ += chunk;
+      n -= chunk;
+    }
+    return true;
+  }
+
+  RandomAccessFile* f_;
+  uint64_t offset_ = 0;
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+  size_t avail_ = 0;
+  uint32_t crc_ = 0;
 };
 
 }  // namespace
 
-Status SaveIndex(const std::string& path, C2lshIndex* index) {
+Status SaveIndex(const std::string& path, C2lshIndex* index, Env* env) {
   if (index == nullptr) {
     return Status::InvalidArgument("SaveIndex: index is null");
   }
+  if (env == nullptr) env = Env::Default();
   // Fold overlays/tombstones so the flat representation is the whole truth.
   index->Compact();
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IOError("SaveIndex: cannot open '" + path + "' for writing");
-  }
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->NewFile(path));
   Writer w(f.get());
 
   const C2lshOptions& opt = index->options();
@@ -144,19 +166,16 @@ Status SaveIndex(const std::string& path, C2lshIndex* index) {
   }
   ok = ok && w.Finish();
   if (!ok) {
-    return Status::IOError("SaveIndex: short write to '" + path + "'");
-  }
-  if (std::fflush(f.get()) != 0) {
-    return Status::IOError("SaveIndex: flush failed for '" + path + "'");
+    std::string cause = w.status().ok() ? std::string("short write")
+                                        : std::string(w.status().message());
+    return Status::IOError("SaveIndex: writing '" + path + "' failed: " + cause);
   }
   return Status::OK();
 }
 
-Result<C2lshIndex> LoadIndex(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::IOError("LoadIndex: cannot open '" + path + "'");
-  }
+Result<C2lshIndex> LoadIndex(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->OpenFile(path));
   Reader r(f.get());
 
   uint64_t magic = 0;
@@ -164,8 +183,14 @@ Result<C2lshIndex> LoadIndex(const std::string& path) {
   if (!r.Get(&magic) || magic != kMagic) {
     return Status::Corruption("LoadIndex: '" + path + "' is not a C2LSH index file");
   }
-  if (!r.Get(&version) || version != kVersion) {
-    return Status::Corruption("LoadIndex: unsupported version in '" + path + "'");
+  if (!r.Get(&version)) {
+    return Status::Corruption("LoadIndex: truncated header in '" + path + "'");
+  }
+  if (version != kVersion) {
+    return Status::NotSupported(
+        "LoadIndex: '" + path + "' is format version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(kVersion) +
+        " (the checksum format changed in v2 — rebuild and re-save the index)");
   }
 
   C2lshOptions opt;

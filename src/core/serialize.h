@@ -2,18 +2,23 @@
 //
 // Building an index costs O(m * n * d) projection work; persisting it makes
 // the paper's "index once, query forever" deployment story real. The format
-// is a single file:
+// is a single file (version 2):
 //
 //   [magic u64][version u32][options][derived scalars]
 //   [m u32][dim u32][num_objects u64][radius_cap i64]
 //   per function: [a: dim f32][b f64][w f64]
 //   per table:    [num raw (bucket,id) pairs u64][pairs...]
-//   [crc64 of everything above]
+//   [crc32c of everything above]
 //
 // Tables are persisted compacted (overlays folded, tombstones dropped).
 // Loading validates the magic, version, and checksum and returns Corruption
 // on any mismatch — truncated or bit-flipped files never produce a silently
-// wrong index.
+// wrong index. Version 1 (crc64, pre-Env) files are rejected with
+// NotSupported; rebuild and re-save to migrate.
+//
+// All file I/O goes through the same Env layer as the page-file stack
+// (util/env.h), so IOErrors carry errno context and fault-injection tests
+// can exercise this path too.
 
 #ifndef C2LSH_CORE_SERIALIZE_H_
 #define C2LSH_CORE_SERIALIZE_H_
@@ -21,16 +26,18 @@
 #include <string>
 
 #include "src/core/index.h"
+#include "src/util/env.h"
 #include "src/util/result.h"
 
 namespace c2lsh {
 
 /// Writes `index` to `path`. The index is logically const but its delta
 /// overlays are folded into the flat tables first (same result set).
-Status SaveIndex(const std::string& path, C2lshIndex* index);
+/// `env` defaults to Env::Default().
+Status SaveIndex(const std::string& path, C2lshIndex* index, Env* env = nullptr);
 
 /// Reads an index previously written by SaveIndex.
-Result<C2lshIndex> LoadIndex(const std::string& path);
+Result<C2lshIndex> LoadIndex(const std::string& path, Env* env = nullptr);
 
 }  // namespace c2lsh
 

@@ -46,10 +46,12 @@ class BufferPool {
     PageHandle() = default;
     PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
     PageHandle& operator=(PageHandle&& other) noexcept {
-      Release();
-      pool_ = other.pool_;
-      frame_ = other.frame_;
-      other.pool_ = nullptr;
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        frame_ = other.frame_;
+        other.pool_ = nullptr;
+      }
       return *this;
     }
     PageHandle(const PageHandle&) = delete;

@@ -1,109 +1,223 @@
 #include "src/storage/page_file.h"
 
 #include <cstring>
-#include <vector>
+
+#include "src/util/crc32.h"
 
 namespace c2lsh {
 
 namespace {
-constexpr uint64_t kPageFileMagic = 0xC25F11E0'0000A001ULL;
-constexpr size_t kHeaderBytes = sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t);
+
+// v1 (pre-checksum, stdio-era) files start with this magic; they carry no
+// page checksums and no shadow header, so they are rejected rather than
+// silently misread.
+constexpr uint64_t kPageFileMagicV1 = 0xC25F11E0'0000A001ULL;
+constexpr uint64_t kPageFileMagic = 0xC25F11E0'0000A002ULL;
+constexpr uint32_t kPageFileVersion = 2;
+
+constexpr size_t kHeaderSlotBytes = 256;
+constexpr size_t kHeaderRegionBytes = 2 * kHeaderSlotBytes;
+constexpr size_t kPageFooterBytes = sizeof(uint32_t) + sizeof(uint32_t);
+constexpr size_t kMinPageBytes = 64;
+constexpr size_t kMaxPageBytes = 1u << 26;
+
+// Header slot wire layout (little-endian host order, like every other
+// on-disk struct in the library): the checksummed prefix, then its CRC.
+struct HeaderFields {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t page_bytes;
+  uint64_t num_pages;
+  uint64_t generation;
+};
+static_assert(sizeof(HeaderFields) == 32);
+
+void EncodeHeaderSlot(uint8_t* slot, const HeaderFields& h) {
+  std::memset(slot, 0, kHeaderSlotBytes);
+  std::memcpy(slot, &h, sizeof(h));
+  const uint32_t crc = Crc32cMask(Crc32c(slot, sizeof(HeaderFields)));
+  std::memcpy(slot + sizeof(HeaderFields), &crc, sizeof(crc));
+}
+
+/// Returns true iff `slot` holds a well-formed v2 header.
+bool DecodeHeaderSlot(const uint8_t* slot, HeaderFields* h) {
+  std::memcpy(h, slot, sizeof(*h));
+  uint32_t stored = 0;
+  std::memcpy(&stored, slot + sizeof(HeaderFields), sizeof(stored));
+  if (h->magic != kPageFileMagic || h->version != kPageFileVersion) return false;
+  if (Crc32cUnmask(stored) != Crc32c(slot, sizeof(HeaderFields))) return false;
+  return h->page_bytes >= kMinPageBytes && h->page_bytes <= kMaxPageBytes;
+}
+
+void EncodePageFooter(uint8_t* footer, const void* payload, size_t page_bytes,
+                      PageId id) {
+  const uint32_t crc = Crc32cMask(Crc32c(payload, page_bytes));
+  const uint32_t id32 = static_cast<uint32_t>(id);
+  std::memcpy(footer, &crc, sizeof(crc));
+  std::memcpy(footer + sizeof(crc), &id32, sizeof(id32));
+}
+
 }  // namespace
 
-Result<PageFile> PageFile::Create(const std::string& path, size_t page_bytes) {
-  if (page_bytes < kHeaderBytes || page_bytes > (1u << 26)) {
+size_t PageFile::PhysicalPageBytes() const { return page_bytes_ + kPageFooterBytes; }
+
+uint64_t PageFile::PageOffset(PageId id) const {
+  return kHeaderRegionBytes + (id - 1) * PhysicalPageBytes();
+}
+
+Result<PageFile> PageFile::Create(const std::string& path, size_t page_bytes,
+                                  Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (page_bytes < kMinPageBytes || page_bytes > kMaxPageBytes) {
     return Status::InvalidArgument("PageFile: unreasonable page size " +
                                    std::to_string(page_bytes));
   }
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb+"));
-  if (f == nullptr) {
-    return Status::IOError("PageFile: cannot create '" + path + "'");
-  }
-  PageFile pf(std::move(f), path, page_bytes, 0);
-  C2LSH_RETURN_IF_ERROR(pf.WriteHeader());
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->NewFile(path));
+  PageFile pf(std::move(f), path, page_bytes, 0, /*generation=*/1,
+              /*active_slot=*/0);
+  // Slot 0 carries generation 1; slot 1 starts zeroed (invalid) and becomes
+  // the target of the first Sync.
+  C2LSH_RETURN_IF_ERROR(pf.WriteHeaderSlot(0, 1));
+  std::vector<uint8_t> zeros(kHeaderSlotBytes, 0);
+  C2LSH_RETURN_IF_ERROR(RetryTransient(pf.retry_policy_, &pf.retry_stats_, [&] {
+    return pf.file_->WriteAt(kHeaderSlotBytes, zeros.data(), zeros.size());
+  }));
   return pf;
 }
 
-Result<PageFile> PageFile::Open(const std::string& path) {
-  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "rb+"));
-  if (f == nullptr) {
-    return Status::IOError("PageFile: cannot open '" + path + "'");
-  }
-  uint64_t magic = 0;
-  uint32_t page_bytes = 0;
-  uint64_t num_pages = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
-      std::fread(&page_bytes, sizeof(page_bytes), 1, f.get()) != 1 ||
-      std::fread(&num_pages, sizeof(num_pages), 1, f.get()) != 1) {
-    return Status::Corruption("PageFile: truncated header in '" + path + "'");
-  }
-  if (magic != kPageFileMagic) {
+Result<PageFile> PageFile::Open(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->OpenFile(path));
+
+  uint8_t region[kHeaderRegionBytes] = {};
+  size_t got = 0;
+  C2LSH_RETURN_IF_ERROR(f->ReadAt(0, region, sizeof(region), &got));
+
+  HeaderFields slot[2];
+  const bool valid0 = got >= kHeaderSlotBytes && DecodeHeaderSlot(region, &slot[0]);
+  const bool valid1 =
+      got >= kHeaderRegionBytes && DecodeHeaderSlot(region + kHeaderSlotBytes, &slot[1]);
+  if (!valid0 && !valid1) {
+    uint64_t first_word = 0;
+    if (got >= sizeof(first_word)) std::memcpy(&first_word, region, sizeof(first_word));
+    if (first_word == kPageFileMagicV1) {
+      return Status::NotSupported(
+          "PageFile: '" + path +
+          "' uses the unchecksummed v1 format, which this build no longer reads; "
+          "rebuild the index to migrate it to v2");
+    }
+    if (first_word == kPageFileMagic) {
+      return Status::Corruption("PageFile: '" + path +
+                                "' has a v2 magic but no valid header slot "
+                                "(both copies torn or corrupt)");
+    }
     return Status::Corruption("PageFile: '" + path + "' is not a page file");
   }
-  if (page_bytes < kHeaderBytes || page_bytes > (1u << 26)) {
-    return Status::Corruption("PageFile: implausible page size in '" + path + "'");
+
+  // The valid slot with the highest generation is the durable truth.
+  int active;
+  if (valid0 && valid1) {
+    active = slot[1].generation > slot[0].generation ? 1 : 0;
+  } else {
+    active = valid1 ? 1 : 0;
   }
-  return PageFile(std::move(f), path, page_bytes, num_pages);
+  const HeaderFields& h = slot[active];
+
+  PageFile pf(std::move(f), path, h.page_bytes, h.num_pages, h.generation, active);
+  C2LSH_ASSIGN_OR_RETURN(uint64_t size, pf.file_->Size());
+  const uint64_t need =
+      kHeaderRegionBytes + h.num_pages * static_cast<uint64_t>(pf.PhysicalPageBytes());
+  if (size < need) {
+    return Status::Corruption(
+        "PageFile: '" + path + "' header claims " + std::to_string(h.num_pages) +
+        " pages (" + std::to_string(need) + " bytes) but the file holds only " +
+        std::to_string(size) + " bytes (truncated)");
+  }
+  return pf;
 }
 
-Status PageFile::WriteHeader() {
-  if (std::fseek(file_.get(), 0, SEEK_SET) != 0) {
-    return Status::IOError("PageFile: seek failed on '" + path_ + "'");
-  }
-  std::vector<uint8_t> header(page_bytes_, 0);
-  size_t off = 0;
-  std::memcpy(header.data() + off, &kPageFileMagic, sizeof(kPageFileMagic));
-  off += sizeof(kPageFileMagic);
-  const uint32_t pb = static_cast<uint32_t>(page_bytes_);
-  std::memcpy(header.data() + off, &pb, sizeof(pb));
-  off += sizeof(pb);
-  std::memcpy(header.data() + off, &num_pages_, sizeof(num_pages_));
-  if (std::fwrite(header.data(), 1, page_bytes_, file_.get()) != page_bytes_) {
-    return Status::IOError("PageFile: header write failed on '" + path_ + "'");
+Status PageFile::WriteHeaderSlot(int slot, uint64_t generation) {
+  uint8_t buf[kHeaderSlotBytes];
+  EncodeHeaderSlot(buf, HeaderFields{kPageFileMagic, kPageFileVersion,
+                                     static_cast<uint32_t>(page_bytes_), num_pages_,
+                                     generation});
+  return RetryTransient(retry_policy_, &retry_stats_, [&] {
+    return file_->WriteAt(slot == 0 ? 0 : kHeaderSlotBytes, buf, sizeof(buf));
+  });
+}
+
+Status PageFile::CheckPageId(PageId id) const {
+  if (id == 0 || id > num_pages_) {
+    return Status::OutOfRange("PageFile: page " + std::to_string(id) + " of " +
+                              std::to_string(num_pages_) + " in '" + path_ + "'");
   }
   return Status::OK();
 }
 
 Result<PageId> PageFile::AllocatePage() {
-  const PageId id = num_pages_ + 1;  // page 0 is the header
-  std::vector<uint8_t> zeros(page_bytes_, 0);
-  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
-      std::fwrite(zeros.data(), 1, page_bytes_, file_.get()) != page_bytes_) {
-    return Status::IOError("PageFile: allocation failed on '" + path_ + "'");
-  }
+  const PageId id = num_pages_ + 1;
+  scratch_.assign(PhysicalPageBytes(), 0);
+  EncodePageFooter(scratch_.data() + page_bytes_, scratch_.data(), page_bytes_, id);
+  C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
+    return file_->WriteAt(PageOffset(id), scratch_.data(), scratch_.size());
+  }));
   ++num_pages_;
   return id;
 }
 
 Status PageFile::ReadPage(PageId id, void* buf) const {
-  if (id == 0 || id > num_pages_) {
-    return Status::OutOfRange("PageFile: page " + std::to_string(id) + " of " +
-                              std::to_string(num_pages_));
+  C2LSH_RETURN_IF_ERROR(CheckPageId(id));
+  const size_t phys = PhysicalPageBytes();
+  scratch_.resize(phys);
+  size_t got = 0;
+  C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
+    return file_->ReadAt(PageOffset(id), scratch_.data(), phys, &got);
+  }));
+  if (got < phys) {
+    return Status::Corruption("PageFile: page " + std::to_string(id) + " of '" +
+                              path_ + "' is truncated (" + std::to_string(got) +
+                              " of " + std::to_string(phys) +
+                              " bytes; torn write or truncated file)");
   }
-  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
-      std::fread(buf, 1, page_bytes_, file_.get()) != page_bytes_) {
-    return Status::IOError("PageFile: read of page " + std::to_string(id) + " failed");
+  uint32_t stored_crc = 0, stored_id = 0;
+  std::memcpy(&stored_crc, scratch_.data() + page_bytes_, sizeof(stored_crc));
+  std::memcpy(&stored_id, scratch_.data() + page_bytes_ + sizeof(stored_crc),
+              sizeof(stored_id));
+  if (stored_id != static_cast<uint32_t>(id)) {
+    return Status::Corruption("PageFile: page " + std::to_string(id) + " of '" +
+                              path_ + "' carries footer id " +
+                              std::to_string(stored_id) +
+                              " (misdirected or torn write)");
   }
+  if (Crc32cUnmask(stored_crc) != Crc32c(scratch_.data(), page_bytes_)) {
+    return Status::Corruption("PageFile: checksum mismatch on page " +
+                              std::to_string(id) + " of '" + path_ +
+                              "' (torn write or bit corruption)");
+  }
+  std::memcpy(buf, scratch_.data(), page_bytes_);
   return Status::OK();
 }
 
 Status PageFile::WritePage(PageId id, const void* buf) {
-  if (id == 0 || id > num_pages_) {
-    return Status::OutOfRange("PageFile: page " + std::to_string(id) + " of " +
-                              std::to_string(num_pages_));
-  }
-  if (std::fseek(file_.get(), static_cast<long>(id * page_bytes_), SEEK_SET) != 0 ||
-      std::fwrite(buf, 1, page_bytes_, file_.get()) != page_bytes_) {
-    return Status::IOError("PageFile: write of page " + std::to_string(id) + " failed");
-  }
-  return Status::OK();
+  C2LSH_RETURN_IF_ERROR(CheckPageId(id));
+  scratch_.resize(PhysicalPageBytes());
+  std::memcpy(scratch_.data(), buf, page_bytes_);
+  EncodePageFooter(scratch_.data() + page_bytes_, buf, page_bytes_, id);
+  return RetryTransient(retry_policy_, &retry_stats_, [&] {
+    return file_->WriteAt(PageOffset(id), scratch_.data(), scratch_.size());
+  });
 }
 
 Status PageFile::Sync() {
-  C2LSH_RETURN_IF_ERROR(WriteHeader());
-  if (std::fflush(file_.get()) != 0) {
-    return Status::IOError("PageFile: flush failed on '" + path_ + "'");
-  }
+  // Data first: every page write must be durable before the header that
+  // makes it reachable is published.
+  C2LSH_RETURN_IF_ERROR(file_->Sync());
+  const int target = 1 - active_slot_;
+  const uint64_t next_generation = generation_ + 1;
+  C2LSH_RETURN_IF_ERROR(WriteHeaderSlot(target, next_generation));
+  C2LSH_RETURN_IF_ERROR(file_->Sync());
+  active_slot_ = target;
+  generation_ = next_generation;
   return Status::OK();
 }
 

@@ -1,40 +1,60 @@
 // PageFile: a fixed-page-size file, the unit of persistence for the
 // disk-resident index mode. C2LSH is presented as an external-memory index;
 // this file plus the BufferPool on top of it make that mode real (the
-// in-memory mode keeps the analytic PageModel). Layout:
+// in-memory mode keeps the analytic PageModel).
 //
-//   page 0:  header [magic u64][page_bytes u32][num_pages u64][reserved]
-//   page 1+: raw pages owned by higher layers
+// On-disk layout (format v2 — crash-safe and checksummed):
 //
-// All operations are Status-based; the file is always in a consistent state
-// after Sync() (header rewritten on every allocation batch).
+//   [header slot A: 256 B][header slot B: 256 B]   shadow header pair
+//   [page 1][page 2]...                            data pages
+//
+// Each header slot holds [magic][version][page_bytes][num_pages][generation]
+// [crc32c]. Sync() publishes state by writing the *inactive* slot with a
+// higher generation; Open() picks the valid slot with the highest
+// generation, so a crash that tears a header write loses at most the
+// un-synced tail, never the file. Each data page is stored as
+// page_bytes of payload plus an 8-byte footer [masked crc32c][page id], so
+// ReadPage detects torn writes, bit flips, and misdirected writes and
+// reports them as Status::Corruption with page-level context.
+//
+// All I/O goes through an Env (util/env.h); transient (Unavailable)
+// failures are retried with bounded exponential backoff and the retry
+// counts are observable via retry_stats(). The file is durable and
+// consistent after Sync(); between Syncs, Open() recovers the last synced
+// state.
 
 #ifndef C2LSH_STORAGE_PAGE_FILE_H_
 #define C2LSH_STORAGE_PAGE_FILE_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/storage/page_model.h"
+#include "src/util/env.h"
 #include "src/util/result.h"
+#include "src/util/retry.h"
 
 namespace c2lsh {
 
-/// Identifier of a page within a PageFile. Page 0 is the header and is never
-/// handed out.
+/// Identifier of a page within a PageFile. Page ids start at 1; 0 is
+/// reserved as "no page" (the header region is not addressable).
 using PageId = uint64_t;
 
 /// A fixed-page file. Move-only (owns the file handle).
 class PageFile {
  public:
-  /// Creates a new file (truncating any existing one).
+  /// Creates a new file (truncating any existing one). `env` defaults to
+  /// Env::Default().
   static Result<PageFile> Create(const std::string& path,
-                                 size_t page_bytes = kDefaultPageBytes);
+                                 size_t page_bytes = kDefaultPageBytes,
+                                 Env* env = nullptr);
 
-  /// Opens an existing file, validating the header.
-  static Result<PageFile> Open(const std::string& path);
+  /// Opens an existing file, validating the shadow headers. After a crash
+  /// this either recovers the last synced state or returns Corruption
+  /// (NotSupported for pre-checksum v1 files, which must be rebuilt).
+  static Result<PageFile> Open(const std::string& path, Env* env = nullptr);
 
   PageFile(PageFile&&) = default;
   PageFile& operator=(PageFile&&) = default;
@@ -43,41 +63,52 @@ class PageFile {
 
   size_t page_bytes() const { return page_bytes_; }
 
-  /// Number of allocated data pages (excluding the header page).
+  /// Number of allocated data pages.
   uint64_t num_pages() const { return num_pages_; }
 
   /// Appends a zeroed page; returns its id (>= 1).
   Result<PageId> AllocatePage();
 
-  /// Reads page `id` into `buf` (page_bytes() bytes).
+  /// Reads page `id` into `buf` (page_bytes() bytes), verifying its
+  /// checksum footer. Torn or corrupt pages fail with Corruption naming the
+  /// page.
   Status ReadPage(PageId id, void* buf) const;
 
-  /// Writes `buf` (page_bytes() bytes) to page `id`.
+  /// Writes `buf` (page_bytes() bytes) to page `id` with a fresh footer.
   Status WritePage(PageId id, const void* buf);
 
-  /// Flushes buffered writes and the header to the OS.
+  /// Makes all writes durable, then atomically publishes the new header
+  /// generation (data before metadata, shadow slot alternation).
   Status Sync();
 
- private:
-  struct FileCloser {
-    void operator()(std::FILE* f) const {
-      if (f != nullptr) std::fclose(f);
-    }
-  };
+  /// Retry behavior for transient (Unavailable) env failures.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryStats& retry_stats() const { return retry_stats_; }
 
-  PageFile(std::unique_ptr<std::FILE, FileCloser> f, std::string path, size_t page_bytes,
-           uint64_t num_pages)
+ private:
+  PageFile(std::unique_ptr<RandomAccessFile> f, std::string path, size_t page_bytes,
+           uint64_t num_pages, uint64_t generation, int active_slot)
       : file_(std::move(f)),
         path_(std::move(path)),
         page_bytes_(page_bytes),
-        num_pages_(num_pages) {}
+        num_pages_(num_pages),
+        generation_(generation),
+        active_slot_(active_slot) {}
 
-  Status WriteHeader();
+  size_t PhysicalPageBytes() const;
+  uint64_t PageOffset(PageId id) const;
+  Status WriteHeaderSlot(int slot, uint64_t generation);
+  Status CheckPageId(PageId id) const;
 
-  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   size_t page_bytes_ = kDefaultPageBytes;
   uint64_t num_pages_ = 0;
+  uint64_t generation_ = 1;  ///< generation of the active header slot
+  int active_slot_ = 0;      ///< slot holding the current durable header
+  RetryPolicy retry_policy_;
+  mutable RetryStats retry_stats_;
+  mutable std::vector<uint8_t> scratch_;  ///< payload+footer staging buffer
 };
 
 }  // namespace c2lsh

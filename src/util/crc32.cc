@@ -1,0 +1,39 @@
+#include "src/util/crc32.h"
+
+namespace c2lsh {
+
+namespace {
+
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    // Reflected Castagnoli polynomial.
+    constexpr uint32_t kPoly = 0x82F63B78U;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const Crc32cTable& t = Table();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ t.entries[(crc ^ p[i]) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,37 @@
+// CRC-32C (Castagnoli): the checksum guarding every persisted byte.
+//
+// One implementation shared by the storage stack (per-page footers in
+// PageFile) and the index serializer (whole-file trailer in serialize.cc),
+// so a bit flip anywhere on disk is detected by the same, well-tested code
+// path. Table-driven, byte-at-a-time — checksumming is off the query hot
+// path (pages are verified once per pool miss).
+
+#ifndef C2LSH_UTIL_CRC32_H_
+#define C2LSH_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c2lsh {
+
+/// CRC-32C of `data[0, n)`. Pass a previous result as `seed` to checksum a
+/// logical stream in chunks: Crc32c(b, nb, Crc32c(a, na)) == Crc32c(a+b).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+/// Mixes a checksum so that a stored CRC of zero-filled data is never the
+/// all-zeros bit pattern (a freshly truncated or torn region would otherwise
+/// masquerade as a valid zero page). Unmask inverts Mask; use Mask to store
+/// and Unmask to load.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  // Rotate right by 15 bits and add a constant, per the RocksDB/LevelDB
+  // masked-CRC convention.
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8U;
+}
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8U;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_CRC32_H_

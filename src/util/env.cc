@@ -1,0 +1,122 @@
+#include "src/util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace c2lsh {
+
+namespace {
+
+/// "op 'path': strerror (errno N)" — every IOError the storage stack emits
+/// carries the failing syscall, the path, and the OS cause.
+std::string ErrnoMessage(const char* op, const std::string& path, int err) {
+  return std::string(op) + " '" + path + "': " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadAt(uint64_t offset, void* buf, size_t n,
+                size_t* bytes_read) const override {
+    auto* p = static_cast<uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, p + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        *bytes_read = done;
+        return Status::IOError(ErrnoMessage("pread", path_, errno));
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override {
+    const auto* p = static_cast<const uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::pwrite(fd_, p + done, n - done,
+                                 static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pwrite", path_, errno));
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_, errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat", path_, errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewFile(const std::string& path) override {
+    return OpenWithFlags(path, O_RDWR | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& path) override {
+    return OpenWithFlags(path, O_RDWR);
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("unlink", path, errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Result<std::unique_ptr<RandomAccessFile>> OpenWithFlags(
+      const std::string& path, int flags) {
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open", path, errno));
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixRandomAccessFile>(fd, path));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace c2lsh

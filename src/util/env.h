@@ -1,0 +1,72 @@
+// Env: the storage stack's only doorway to the filesystem (LevelDB-style,
+// matching the Status/Result conventions of src/util/status.h).
+//
+// PageFile and the index serializer never call open/fopen/pread themselves;
+// they go through an Env, so tests can substitute a FaultInjectionEnv (see
+// fault_env.h) that tears writes, drops syncs, flips bits on read, or kills
+// the "process" after the Nth write — and the production PosixEnv can attach
+// errno context to every failure in one place.
+
+#ifndef C2LSH_UTIL_ENV_H_
+#define C2LSH_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// A random-access, read-write file. All offsets are absolute; there is no
+/// cursor, so readers and writers cannot interfere through shared seek
+/// state. Implementations are not required to be thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `buf`; `*bytes_read` is always
+  /// set. A short read at end-of-file is NOT an error (callers that require
+  /// exactly `n` bytes — e.g. a page that the header says exists — decide
+  /// for themselves whether short means Corruption).
+  virtual Status ReadAt(uint64_t offset, void* buf, size_t n,
+                        size_t* bytes_read) const = 0;
+
+  /// Writes exactly `n` bytes at `offset`, extending the file if needed.
+  /// Partial application followed by an error is possible (that is what a
+  /// torn write is); callers defend with checksums, not with assumptions.
+  virtual Status WriteAt(uint64_t offset, const void* buf, size_t n) = 0;
+
+  /// Flushes written data to durable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+/// Factory for files plus the few filesystem queries the library needs.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The production POSIX environment (pread/pwrite/fsync, errno context on
+  /// every failure). A process-lifetime singleton; never delete it.
+  static Env* Default();
+
+  /// Creates `path` (truncating any existing file) for read-write access.
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewFile(
+      const std::string& path) = 0;
+
+  /// Opens an existing `path` for read-write access; NotFound-style IOError
+  /// if it does not exist.
+  virtual Result<std::unique_ptr<RandomAccessFile>> OpenFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_ENV_H_

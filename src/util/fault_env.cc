@@ -1,0 +1,174 @@
+#include "src/util/fault_env.h"
+
+#include <algorithm>
+
+namespace c2lsh {
+
+namespace internal {
+
+struct FaultEnvState {
+  int64_t writes_until_crash = 0;  // 0 = disarmed; 1 = the next write tears
+  bool crashed = false;
+  size_t torn_bytes = SIZE_MAX;  // SIZE_MAX = half of the crashing write
+
+  int transient_write_faults = 0;
+  int transient_read_faults = 0;
+
+  bool corrupt_read = false;
+  uint64_t corrupt_offset = 0;
+  uint8_t corrupt_mask = 0;
+
+  bool drop_syncs = false;
+  bool fail_syncs = false;
+
+  FaultStats stats;
+};
+
+}  // namespace internal
+
+using internal::FaultEnvState;
+
+namespace {
+
+class FaultInjectionFile final : public RandomAccessFile {
+ public:
+  FaultInjectionFile(std::unique_ptr<RandomAccessFile> base,
+                     std::shared_ptr<FaultEnvState> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status ReadAt(uint64_t offset, void* buf, size_t n,
+                size_t* bytes_read) const override {
+    FaultEnvState& st = *state_;
+    *bytes_read = 0;
+    if (st.transient_read_faults > 0) {
+      --st.transient_read_faults;
+      ++st.stats.transient_faults;
+      return Status::Unavailable("FaultInjectionEnv: injected transient read fault");
+    }
+    ++st.stats.reads;
+    C2LSH_RETURN_IF_ERROR(base_->ReadAt(offset, buf, n, bytes_read));
+    if (st.corrupt_read && st.corrupt_offset >= offset &&
+        st.corrupt_offset < offset + *bytes_read) {
+      static_cast<uint8_t*>(buf)[st.corrupt_offset - offset] ^= st.corrupt_mask;
+      ++st.stats.corrupted_reads;
+    }
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override {
+    FaultEnvState& st = *state_;
+    if (st.transient_write_faults > 0) {
+      --st.transient_write_faults;
+      ++st.stats.transient_faults;
+      return Status::Unavailable("FaultInjectionEnv: injected transient write fault");
+    }
+    if (st.crashed) {
+      ++st.stats.post_crash_rejects;
+      return Status::IOError("FaultInjectionEnv: write after simulated crash");
+    }
+    ++st.stats.writes;
+    if (st.writes_until_crash > 0 && --st.writes_until_crash == 0) {
+      st.crashed = true;
+      const size_t torn = st.torn_bytes == SIZE_MAX ? n / 2 : std::min(st.torn_bytes, n);
+      if (torn > 0) {
+        // Best effort: the prefix that "made it to the platter" before the
+        // crash. Its own failure is subsumed by the simulated crash.
+        (void)base_->WriteAt(offset, buf, torn);
+      }
+      return Status::IOError("FaultInjectionEnv: simulated crash (write torn after " +
+                             std::to_string(torn) + " of " + std::to_string(n) +
+                             " bytes)");
+    }
+    return base_->WriteAt(offset, buf, n);
+  }
+
+  Status Sync() override {
+    FaultEnvState& st = *state_;
+    if (st.crashed) {
+      ++st.stats.post_crash_rejects;
+      return Status::IOError("FaultInjectionEnv: sync after simulated crash");
+    }
+    ++st.stats.syncs;
+    if (st.fail_syncs) {
+      return Status::IOError("FaultInjectionEnv: injected sync failure");
+    }
+    if (st.drop_syncs) return Status::OK();
+    return base_->Sync();
+  }
+
+  Result<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<FaultEnvState> state_;
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base)
+    : base_(base), state_(std::make_shared<FaultEnvState>()) {}
+
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+void FaultInjectionEnv::SetCrashAfterWrites(int64_t n) {
+  state_->writes_until_crash = n > 0 ? n : 0;
+}
+
+void FaultInjectionEnv::SetTornBytes(size_t torn_bytes) {
+  state_->torn_bytes = torn_bytes;
+}
+
+bool FaultInjectionEnv::crashed() const { return state_->crashed; }
+
+void FaultInjectionEnv::ClearCrash() {
+  state_->crashed = false;
+  state_->writes_until_crash = 0;
+}
+
+void FaultInjectionEnv::SetTransientWriteFaults(int n) {
+  state_->transient_write_faults = n;
+}
+
+void FaultInjectionEnv::SetTransientReadFaults(int n) {
+  state_->transient_read_faults = n;
+}
+
+void FaultInjectionEnv::SetReadCorruption(uint64_t offset, uint8_t mask) {
+  state_->corrupt_read = mask != 0;
+  state_->corrupt_offset = offset;
+  state_->corrupt_mask = mask;
+}
+
+void FaultInjectionEnv::ClearReadCorruption() { state_->corrupt_read = false; }
+
+void FaultInjectionEnv::SetDropSyncs(bool drop) { state_->drop_syncs = drop; }
+
+void FaultInjectionEnv::SetFailSyncs(bool fail) { state_->fail_syncs = fail; }
+
+const FaultStats& FaultInjectionEnv::stats() const { return state_->stats; }
+
+void FaultInjectionEnv::ResetStats() { state_->stats = FaultStats(); }
+
+Result<std::unique_ptr<RandomAccessFile>> FaultInjectionEnv::NewFile(
+    const std::string& path) {
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, base_->NewFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultInjectionFile>(std::move(f), state_));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultInjectionEnv::OpenFile(
+    const std::string& path) {
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, base_->OpenFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultInjectionFile>(std::move(f), state_));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) const {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+}  // namespace c2lsh

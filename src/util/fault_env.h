@@ -1,0 +1,96 @@
+// FaultInjectionEnv: an Env decorator that makes storage failure modes
+// reproducible, so the crash-safety invariants of PageFile and
+// DiskC2lshIndex are *tested*, not assumed.
+//
+// Programmable faults (all deterministic, shared across every file the env
+// hands out):
+//   * crash point      — the Nth write from now is torn (only a prefix
+//                        reaches the base env) and every later write/sync
+//                        fails, simulating a process kill mid-write;
+//   * transient faults — the next K reads or writes fail with
+//                        Status::Unavailable (EINTR-style), exercising the
+//                        bounded-retry path in PageFile;
+//   * read bit-flips   — any read covering a chosen file offset comes back
+//                        with that byte XOR-ed, simulating media corruption
+//                        without touching the file (the checksum layer must
+//                        catch it);
+//   * sync faults      — Sync() either silently does nothing (dropped
+//                        fsync) or fails with an IOError.
+//
+// Not thread-safe; fault-injection tests are single-threaded by design.
+
+#ifndef C2LSH_UTIL_FAULT_ENV_H_
+#define C2LSH_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/env.h"
+
+namespace c2lsh {
+
+/// Counters for everything the env observed or injected.
+struct FaultStats {
+  uint64_t reads = 0;              ///< read ops forwarded to the base env
+  uint64_t writes = 0;             ///< write ops forwarded (torn write included)
+  uint64_t syncs = 0;              ///< sync ops (dropped ones included)
+  uint64_t transient_faults = 0;   ///< Unavailable results injected
+  uint64_t corrupted_reads = 0;    ///< reads that had a byte flipped
+  uint64_t post_crash_rejects = 0; ///< ops refused because the env "crashed"
+};
+
+namespace internal {
+struct FaultEnvState;  // shared between the env and the files it creates
+}  // namespace internal
+
+class FaultInjectionEnv final : public Env {
+ public:
+  /// `base` is borrowed (typically Env::Default()) and must outlive this env.
+  explicit FaultInjectionEnv(Env* base);
+  ~FaultInjectionEnv() override;
+
+  // --- fault programming -------------------------------------------------
+  /// The Nth write from now (1-based) is torn and the env crashes: that
+  /// write persists only `torn_bytes` of its buffer (default: half) and
+  /// returns IOError, as does every subsequent write or sync. n <= 0 disarms.
+  void SetCrashAfterWrites(int64_t n);
+  /// How much of the crashing write reaches the base env.
+  void SetTornBytes(size_t torn_bytes);
+  bool crashed() const;
+  /// Clears the crashed flag and any armed crash point (a "new process"
+  /// against the same files).
+  void ClearCrash();
+
+  /// The next `n` write (resp. read) operations fail with
+  /// Status::Unavailable before touching the base env.
+  void SetTransientWriteFaults(int n);
+  void SetTransientReadFaults(int n);
+
+  /// Any read whose range covers absolute file offset `offset` has that
+  /// byte XOR-ed with `mask` (mask != 0). One corruption site at a time.
+  void SetReadCorruption(uint64_t offset, uint8_t mask);
+  void ClearReadCorruption();
+
+  /// Dropped syncs return OK without forwarding; failed syncs return
+  /// IOError. Mutually independent; failure wins if both are set.
+  void SetDropSyncs(bool drop);
+  void SetFailSyncs(bool fail);
+
+  const FaultStats& stats() const;
+  void ResetStats();
+
+  // --- Env interface -----------------------------------------------------
+  Result<std::unique_ptr<RandomAccessFile>> NewFile(const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& path) override;
+  bool FileExists(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+
+ private:
+  Env* base_;  // not owned
+  std::shared_ptr<internal::FaultEnvState> state_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_FAULT_ENV_H_

@@ -69,14 +69,12 @@ class Result {
 
 /// Assigns the value of a Result expression to `lhs`, or returns its error
 /// Status from the enclosing function.
+/// (C2LSH_CONCAT_ comes from status.h, shared with C2LSH_RETURN_IF_ERROR.)
 #define C2LSH_ASSIGN_OR_RETURN(lhs, expr)              \
   auto C2LSH_CONCAT_(_c2lsh_result_, __LINE__) = (expr);        \
   if (!C2LSH_CONCAT_(_c2lsh_result_, __LINE__).ok())            \
     return C2LSH_CONCAT_(_c2lsh_result_, __LINE__).status();    \
   lhs = std::move(C2LSH_CONCAT_(_c2lsh_result_, __LINE__)).value()
-
-#define C2LSH_CONCAT_INNER_(a, b) a##b
-#define C2LSH_CONCAT_(a, b) C2LSH_CONCAT_INNER_(a, b)
 
 }  // namespace c2lsh
 

@@ -1,0 +1,67 @@
+// Bounded retry with exponential backoff for transient I/O failures.
+//
+// The Env layer reports EINTR-style transient conditions as
+// Status::Unavailable (distinct from a hard IOError); RetryTransient retries
+// exactly those, a bounded number of times, and converts persistent
+// unavailability into an IOError so no caller can spin forever. PageFile
+// wraps every page read/write in this helper and exposes the RetryStats.
+
+#ifndef C2LSH_UTIL_RETRY_H_
+#define C2LSH_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+/// How hard to try. The defaults absorb a short burst of transient faults
+/// without adding noticeable latency; tests set backoff_initial_us = 0.
+struct RetryPolicy {
+  int max_attempts = 4;          ///< total attempts (first try included), >= 1
+  int backoff_initial_us = 100;  ///< sleep before the first retry; doubles
+  int backoff_max_us = 10'000;   ///< backoff ceiling
+};
+
+/// Cumulative counters, observable wherever a policy is applied.
+struct RetryStats {
+  uint64_t operations = 0;  ///< calls to RetryTransient
+  uint64_t retries = 0;     ///< extra attempts after a transient failure
+  uint64_t exhausted = 0;   ///< operations that failed every attempt
+};
+
+/// Runs `fn` (returning Status) until it returns anything other than
+/// Unavailable, up to `policy.max_attempts` attempts. Non-transient results
+/// (OK, IOError, Corruption, ...) pass through untouched on whichever
+/// attempt produces them.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
+  if (stats != nullptr) ++stats->operations;
+  const int attempts = std::max(1, policy.max_attempts);
+  int backoff_us = policy.backoff_initial_us;
+  Status s;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (stats != nullptr) ++stats->retries;
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+      backoff_us = std::min(std::max(backoff_us, 1) * 2, policy.backoff_max_us);
+    }
+    s = fn();
+    if (!s.IsUnavailable()) return s;
+  }
+  if (stats != nullptr) ++stats->exhausted;
+  return Status::IOError("transient failure persisted after " +
+                         std::to_string(attempts) +
+                         " attempts: " + std::string(s.message()));
+}
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_RETRY_H_

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kInternal = 5,         ///< Invariant violation inside the library.
   kCorruption = 6,       ///< Persisted data failed validation.
   kOutOfRange = 7,       ///< Index or radius outside the valid domain.
+  kUnavailable = 8,      ///< Transient failure; retrying may succeed.
 };
 
 /// Returns a stable human-readable name for a code ("OK", "InvalidArgument"...).
@@ -65,6 +66,9 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -76,6 +80,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// The error message, empty for OK.
   std::string_view message() const {
@@ -101,12 +106,22 @@ class Status {
   std::unique_ptr<Rep> rep_;  // nullptr <=> OK
 };
 
+/// Token-pasting helpers shared by the status/result macros. Keeping the
+/// temporary names line-unique means an expression passed to a macro can
+/// itself mention a variable with the "obvious" name (or another macro
+/// expansion) without being captured by the macro's own declaration.
+#define C2LSH_CONCAT_INNER_(a, b) a##b
+#define C2LSH_CONCAT_(a, b) C2LSH_CONCAT_INNER_(a, b)
+
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing
-/// function if it is not OK.
-#define C2LSH_RETURN_IF_ERROR(expr)                  \
-  do {                                               \
-    ::c2lsh::Status _c2lsh_status = (expr);          \
-    if (!_c2lsh_status.ok()) return _c2lsh_status;   \
+/// function if it is not OK. The temporary's name is unique per line, so
+/// `expr` may reference surrounding variables named `_c2lsh_status` (see
+/// status_test.cc's compile-time regression test).
+#define C2LSH_RETURN_IF_ERROR(expr)                                         \
+  do {                                                                      \
+    ::c2lsh::Status C2LSH_CONCAT_(_c2lsh_status_, __LINE__) = (expr);       \
+    if (!C2LSH_CONCAT_(_c2lsh_status_, __LINE__).ok())                      \
+      return C2LSH_CONCAT_(_c2lsh_status_, __LINE__);                       \
   } while (0)
 
 }  // namespace c2lsh

@@ -118,6 +118,88 @@ TEST_F(BufferPoolTest, AllFramesPinnedFails) {
   EXPECT_TRUE(pool->NewPage(&c).status().IsInternal());
 }
 
+TEST_F(BufferPoolTest, AllFramesPinnedFetchFails) {
+  auto pool = BufferPool::Create(file_.get(), 2);
+  ASSERT_TRUE(pool.ok());
+  PageId a = 0, b = 0, c = 0;
+  // Create a third page first so there is something unpinned to fetch.
+  { auto p = pool->NewPage(&c); ASSERT_TRUE(p.ok()); }
+  auto p1 = pool->NewPage(&a);
+  auto p2 = pool->NewPage(&b);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  // Every frame is pinned: Fetch of an evicted page has no frame to land in.
+  EXPECT_TRUE(pool->Fetch(c).status().IsInternal());
+  // Releasing one pin makes the fetch succeed.
+  { BufferPool::PageHandle release = std::move(p1).value(); }
+  EXPECT_TRUE(pool->Fetch(c).ok());
+}
+
+TEST_F(BufferPoolTest, PageHandleMoveTransfersThePin) {
+  auto pool = BufferPool::Create(file_.get(), 2);
+  ASSERT_TRUE(pool.ok());
+  PageId id = 0;
+  auto page = pool->NewPage(&id);
+  ASSERT_TRUE(page.ok());
+
+  BufferPool::PageHandle h = std::move(page).value();
+  ASSERT_TRUE(h.valid());
+  const uint8_t* bytes = h.data();
+
+  BufferPool::PageHandle moved(std::move(h));
+  EXPECT_FALSE(h.valid());  // NOLINT(bugprone-use-after-move): documented
+  ASSERT_TRUE(moved.valid());
+  EXPECT_EQ(moved.data(), bytes);
+
+  BufferPool::PageHandle assigned;
+  assigned = std::move(moved);
+  EXPECT_FALSE(moved.valid());  // NOLINT(bugprone-use-after-move): documented
+  ASSERT_TRUE(assigned.valid());
+  EXPECT_EQ(assigned.data(), bytes);
+}
+
+TEST_F(BufferPoolTest, PageHandleSelfMoveIsSafe) {
+  auto pool = BufferPool::Create(file_.get(), 2);
+  ASSERT_TRUE(pool.ok());
+  PageId id = 0;
+  auto page = pool->NewPage(&id);
+  ASSERT_TRUE(page.ok());
+  BufferPool::PageHandle h = std::move(page).value();
+  // Through a reference so the self-move is not flagged by -Wself-move; the
+  // guard under test is the one in operator=.
+  BufferPool::PageHandle& alias = h;
+  alias = std::move(h);
+  ASSERT_TRUE(h.valid());  // self-move must not release the pin
+  // The pin is still counted exactly once: dropping it frees the frame.
+  { BufferPool::PageHandle release = std::move(h); }
+  PageId a = 0, b = 0;
+  auto p1 = pool->NewPage(&a);
+  auto p2 = pool->NewPage(&b);
+  EXPECT_TRUE(p1.ok() && p2.ok());  // both frames available again
+}
+
+TEST_F(BufferPoolTest, WritebackStatsOnDirtyReleasedEviction) {
+  auto pool = BufferPool::Create(file_.get(), 2);
+  ASSERT_TRUE(pool.ok());
+  PageId dirty = 0;
+  {
+    auto p = pool->NewPage(&dirty);  // pinned...
+    ASSERT_TRUE(p.ok());
+    std::memset(p->mutable_data(), 0x9D, 512);
+  }  // ...then released, still dirty and resident
+  pool->ResetStats();
+  // Force its eviction via Fetch pressure (not NewPage).
+  PageId a = 0, b = 0;
+  { auto p = pool->NewPage(&a); ASSERT_TRUE(p.ok()); }
+  { auto p = pool->NewPage(&b); ASSERT_TRUE(p.ok()); }
+  { auto p = pool->Fetch(a); ASSERT_TRUE(p.ok()); }
+  EXPECT_GE(pool->stats().evictions, 1u);
+  EXPECT_EQ(pool->stats().writebacks, 1u);  // only the dirty page wrote back
+  // And the writeback preserved the bytes.
+  auto back = pool->Fetch(dirty);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < 512; ++i) EXPECT_EQ(back->data()[i], 0x9D);
+}
+
 TEST_F(BufferPoolTest, HitRate) {
   BufferPoolStats s;
   EXPECT_DOUBLE_EQ(s.HitRate(), 0.0);

@@ -1,0 +1,304 @@
+#include "src/util/env.h"
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/fault_env.h"
+#include "src/util/retry.h"
+
+namespace c2lsh {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_env_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EnvTest, PosixRoundTrip) {
+  Env* env = Env::Default();
+  auto f = env->NewFile(Path("a.bin"));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+
+  const char payload[] = "hello, storage stack";
+  ASSERT_TRUE((*f)->WriteAt(0, payload, sizeof(payload)).ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+
+  char back[sizeof(payload)] = {};
+  size_t n = 0;
+  ASSERT_TRUE((*f)->ReadAt(0, back, sizeof(back), &n).ok());
+  EXPECT_EQ(n, sizeof(payload));
+  EXPECT_STREQ(back, payload);
+
+  auto size = (*f)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), sizeof(payload));
+}
+
+TEST_F(EnvTest, WriteAtExtendsAndOffsets) {
+  Env* env = Env::Default();
+  auto f = env->NewFile(Path("b.bin"));
+  ASSERT_TRUE(f.ok());
+  // Write at a far offset; the gap reads back as zeros.
+  const uint8_t byte = 0xEE;
+  ASSERT_TRUE((*f)->WriteAt(100, &byte, 1).ok());
+  EXPECT_EQ((*f)->Size().value(), 101u);
+  uint8_t buf[101] = {0xFF};
+  size_t n = 0;
+  ASSERT_TRUE((*f)->ReadAt(0, buf, sizeof(buf), &n).ok());
+  EXPECT_EQ(n, 101u);
+  EXPECT_EQ(buf[0], 0u);
+  EXPECT_EQ(buf[99], 0u);
+  EXPECT_EQ(buf[100], 0xEE);
+}
+
+TEST_F(EnvTest, ShortReadAtEofIsNotAnError) {
+  Env* env = Env::Default();
+  auto f = env->NewFile(Path("c.bin"));
+  ASSERT_TRUE(f.ok());
+  const char four[] = {'a', 'b', 'c', 'd'};
+  ASSERT_TRUE((*f)->WriteAt(0, four, 4).ok());
+
+  char buf[16] = {};
+  size_t n = 99;
+  ASSERT_TRUE((*f)->ReadAt(0, buf, sizeof(buf), &n).ok());
+  EXPECT_EQ(n, 4u);
+  // Reading entirely past EOF: ok, zero bytes.
+  ASSERT_TRUE((*f)->ReadAt(1000, buf, sizeof(buf), &n).ok());
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(EnvTest, OpenMissingFileCarriesErrnoContext) {
+  Env* env = Env::Default();
+  auto f = env->OpenFile(Path("does_not_exist.bin"));
+  ASSERT_FALSE(f.ok());
+  EXPECT_TRUE(f.status().IsIOError());
+  const std::string msg(f.status().message());
+  // Satellite contract: every storage IOError names the op, the path, and
+  // the strerror text.
+  EXPECT_NE(msg.find("does_not_exist.bin"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("No such file"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("errno"), std::string::npos) << msg;
+}
+
+TEST_F(EnvTest, FileExistsAndDelete) {
+  Env* env = Env::Default();
+  const std::string path = Path("d.bin");
+  EXPECT_FALSE(env->FileExists(path));
+  { auto f = env->NewFile(path); ASSERT_TRUE(f.ok()); }
+  EXPECT_TRUE(env->FileExists(path));
+  EXPECT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_TRUE(env->DeleteFile(path).IsIOError());  // already gone
+}
+
+// ---------------------------------------------------------------------------
+// RetryTransient
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, PassesThroughImmediateSuccess) {
+  RetryPolicy policy;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, RecoversFromTransientBurstWithObservableRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_initial_us = 0;  // keep the test fast
+  RetryStats stats;
+  int remaining_faults = 2;
+  Status s = RetryTransient(policy, &stats, [&] {
+    if (remaining_faults > 0) {
+      --remaining_faults;
+      return Status::Unavailable("simulated EINTR");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.retries, 2u);  // two faults -> two extra attempts
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryTest, ExhaustionIsBoundedAndBecomesIOError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_us = 0;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, [&] {
+    ++calls;
+    return Status::Unavailable("still busy");
+  });
+  EXPECT_TRUE(s.IsIOError());  // converted: callers never see raw Unavailable
+  EXPECT_EQ(calls, 3);         // bounded, no infinite spin
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_NE(std::string(s.message()).find("3 attempts"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(RetryTest, HardErrorsAreNotRetried) {
+  RetryPolicy policy;
+  policy.backoff_initial_us = 0;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, [&] {
+    ++calls;
+    return Status::Corruption("bad page");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+class FaultEnvTest : public EnvTest {};
+
+TEST_F(FaultEnvTest, CountsOperations) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = env.NewFile(Path("f.bin"));
+  ASSERT_TRUE(f.ok());
+  uint8_t b = 1;
+  size_t n = 0;
+  ASSERT_TRUE((*f)->WriteAt(0, &b, 1).ok());
+  ASSERT_TRUE((*f)->ReadAt(0, &b, 1, &n).ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+  EXPECT_EQ(env.stats().writes, 1u);
+  EXPECT_EQ(env.stats().reads, 1u);
+  EXPECT_EQ(env.stats().syncs, 1u);
+}
+
+TEST_F(FaultEnvTest, CrashAfterNthWriteTearsAndRejects) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = env.NewFile(Path("g.bin"));
+  ASSERT_TRUE(f.ok());
+
+  std::vector<uint8_t> page(64, 0xAA);
+  env.SetCrashAfterWrites(2);
+  env.SetTornBytes(16);
+
+  ASSERT_TRUE((*f)->WriteAt(0, page.data(), page.size()).ok());  // write 1: fine
+  EXPECT_FALSE(env.crashed());
+  Status torn = (*f)->WriteAt(64, page.data(), page.size());  // write 2: torn
+  EXPECT_TRUE(torn.IsIOError());
+  EXPECT_TRUE(env.crashed());
+  EXPECT_NE(std::string(torn.message()).find("torn"), std::string::npos)
+      << torn.ToString();
+
+  // Only the torn prefix reached the base env.
+  EXPECT_EQ((*f)->Size().value(), 64u + 16u);
+
+  // Everything after the crash is refused until ClearCrash.
+  EXPECT_TRUE((*f)->WriteAt(128, page.data(), page.size()).IsIOError());
+  EXPECT_TRUE((*f)->Sync().IsIOError());
+  EXPECT_GE(env.stats().post_crash_rejects, 2u);
+
+  env.ClearCrash();
+  EXPECT_FALSE(env.crashed());
+  EXPECT_TRUE((*f)->WriteAt(128, page.data(), page.size()).ok());
+}
+
+TEST_F(FaultEnvTest, TransientFaultsAreUnavailableAndDoNotTouchTheFile) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = env.NewFile(Path("h.bin"));
+  ASSERT_TRUE(f.ok());
+  uint8_t b = 0x42;
+  env.SetTransientWriteFaults(2);
+  EXPECT_TRUE((*f)->WriteAt(0, &b, 1).IsUnavailable());
+  EXPECT_TRUE((*f)->WriteAt(0, &b, 1).IsUnavailable());
+  EXPECT_TRUE((*f)->WriteAt(0, &b, 1).ok());  // faults exhausted
+  EXPECT_EQ(env.stats().transient_faults, 2u);
+  EXPECT_EQ(env.stats().writes, 1u);  // only the successful write forwarded
+
+  size_t n = 0;
+  env.SetTransientReadFaults(1);
+  EXPECT_TRUE((*f)->ReadAt(0, &b, 1, &n).IsUnavailable());
+  EXPECT_TRUE((*f)->ReadAt(0, &b, 1, &n).ok());
+  EXPECT_EQ(b, 0x42);
+}
+
+TEST_F(FaultEnvTest, ReadCorruptionFlipsExactlyTheChosenByte) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = env.NewFile(Path("i.bin"));
+  ASSERT_TRUE(f.ok());
+  std::vector<uint8_t> data(32, 0x11);
+  ASSERT_TRUE((*f)->WriteAt(0, data.data(), data.size()).ok());
+
+  env.SetReadCorruption(/*offset=*/5, /*mask=*/0xFF);
+  std::vector<uint8_t> back(32, 0);
+  size_t n = 0;
+  ASSERT_TRUE((*f)->ReadAt(0, back.data(), back.size(), &n).ok());
+  EXPECT_EQ(back[5], 0x11 ^ 0xFF);
+  for (size_t i = 0; i < back.size(); ++i) {
+    if (i != 5) {
+      EXPECT_EQ(back[i], 0x11) << "byte " << i;
+    }
+  }
+  EXPECT_EQ(env.stats().corrupted_reads, 1u);
+
+  // A read that does not cover the offset is untouched.
+  ASSERT_TRUE((*f)->ReadAt(8, back.data(), 8, &n).ok());
+  EXPECT_EQ(back[0], 0x11);
+
+  // The file itself was never modified.
+  env.ClearReadCorruption();
+  ASSERT_TRUE((*f)->ReadAt(0, back.data(), back.size(), &n).ok());
+  EXPECT_EQ(back[5], 0x11);
+}
+
+TEST_F(FaultEnvTest, DroppedAndFailedSyncs) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = env.NewFile(Path("j.bin"));
+  ASSERT_TRUE(f.ok());
+
+  env.SetDropSyncs(true);
+  EXPECT_TRUE((*f)->Sync().ok());  // lies, silently
+  env.SetDropSyncs(false);
+
+  env.SetFailSyncs(true);
+  EXPECT_TRUE((*f)->Sync().IsIOError());
+  env.SetFailSyncs(false);
+  EXPECT_TRUE((*f)->Sync().ok());
+  EXPECT_EQ(env.stats().syncs, 3u);
+}
+
+TEST_F(FaultEnvTest, PassesThroughFilesystemQueries) {
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = Path("k.bin");
+  EXPECT_FALSE(env.FileExists(path));
+  { auto f = env.NewFile(path); ASSERT_TRUE(f.ok()); }
+  EXPECT_TRUE(env.FileExists(path));
+  auto g = env.OpenFile(path);
+  EXPECT_TRUE(g.ok());
+  g->reset();
+  EXPECT_TRUE(env.DeleteFile(path).ok());
+  EXPECT_FALSE(env.FileExists(path));
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/fault_env.h"
+
 namespace c2lsh {
 namespace {
 
@@ -90,6 +92,108 @@ TEST_F(PageFileTest, OpenGarbageRejected) {
 TEST_F(PageFileTest, UnreasonablePageSizeRejected) {
   EXPECT_TRUE(PageFile::Create(Path("d.pf"), 4).status().IsInvalidArgument());
   EXPECT_TRUE(PageFile::Create(Path("e.pf"), 1u << 30).status().IsInvalidArgument());
+}
+
+TEST_F(PageFileTest, ChecksumDetectsBitFlip) {
+  const std::string path = Path("flip.pf");
+  {
+    auto f = PageFile::Create(path, 256);
+    ASSERT_TRUE(f.ok());
+    auto id = f->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> buf(256, 0x41);
+    ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  // Flip one payload byte of page 1 behind the file's back. Physical layout:
+  // 512-byte header region, then pages of (page_bytes + 8-byte footer).
+  {
+    std::fstream raw(path, std::ios::in | std::ios::out | std::ios::binary);
+    raw.seekp(512 + 100);
+    char b = 0x40;  // 0x41 ^ 0x01
+    raw.write(&b, 1);
+  }
+  auto f = PageFile::Open(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  std::vector<uint8_t> buf(256);
+  Status st = f->ReadPage(1, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  // The error names the page so operators can localize the damage.
+  EXPECT_NE(std::string(st.message()).find("page 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PageFileTest, TornPageWriteDetectedAfterReopen) {
+  const std::string path = Path("torn.pf");
+  FaultInjectionEnv env(Env::Default());
+  {
+    auto f = PageFile::Create(path, 256, &env);
+    ASSERT_TRUE(f.ok());
+    auto id = f->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> buf(256, 0x11);
+    ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+    ASSERT_TRUE(f->Sync().ok());
+    // The next page overwrite tears after 100 of 264 bytes.
+    std::memset(buf.data(), 0x22, buf.size());
+    env.SetCrashAfterWrites(1);
+    env.SetTornBytes(100);
+    EXPECT_TRUE(f->WritePage(id.value(), buf.data()).IsIOError());
+  }
+  env.ClearCrash();
+  auto f = PageFile::Open(path, &env);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();  // header generation intact
+  std::vector<uint8_t> buf(256);
+  Status st = f->ReadPage(1, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();  // mixed old/new bytes
+}
+
+TEST_F(PageFileTest, V1FormatRejectedAsNotSupported) {
+  const std::string path = Path("v1.pf");
+  {
+    // A v1 file began with magic 0xC25F11E0'0000A001; fabricate its prefix.
+    const uint64_t v1_magic = 0xC25F11E00000A001ULL;
+    std::ofstream raw(path, std::ios::binary);
+    raw.write(reinterpret_cast<const char*>(&v1_magic), sizeof(v1_magic));
+    std::vector<char> rest(4096, 0);
+    raw.write(rest.data(), rest.size());
+  }
+  Status st = PageFile::Open(path).status();
+  EXPECT_TRUE(st.IsNotSupported()) << st.ToString();
+  EXPECT_NE(std::string(st.message()).find("v1"), std::string::npos) << st.ToString();
+  EXPECT_NE(std::string(st.message()).find("rebuild"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PageFileTest, TransientFaultsRetriedWithObservableCounts) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = PageFile::Create(Path("tr.pf"), 256, &env);
+  ASSERT_TRUE(f.ok());
+  RetryPolicy fast;
+  fast.backoff_initial_us = 0;
+  f->SetRetryPolicy(fast);
+  auto id = f->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  const uint64_t ops_before = f->retry_stats().operations;
+
+  std::vector<uint8_t> buf(256, 0x33);
+  env.SetTransientWriteFaults(2);
+  ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+  EXPECT_EQ(f->retry_stats().operations, ops_before + 1);
+  EXPECT_EQ(f->retry_stats().retries, 2u);
+  EXPECT_EQ(f->retry_stats().exhausted, 0u);
+
+  std::vector<uint8_t> back(256);
+  ASSERT_TRUE(f->ReadPage(id.value(), back.data()).ok());
+  EXPECT_EQ(back, buf);
+}
+
+TEST_F(PageFileTest, IOErrorsCarryErrnoContext) {
+  Status st = PageFile::Open(Path("missing_dir") + "/nope.pf").status();
+  ASSERT_TRUE(st.IsIOError());
+  const std::string msg(st.message());
+  EXPECT_NE(msg.find("nope.pf"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("errno"), std::string::npos) << msg;
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/fault_env.h"
 #include "src/vector/synthetic.h"
 
 namespace c2lsh {
@@ -135,6 +136,46 @@ TEST_F(SerializeTest, BitFlipRejectedByChecksum) {
 
 TEST_F(SerializeTest, SaveNullRejected) {
   EXPECT_TRUE(SaveIndex(Path("x.c2lsh"), nullptr).IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, V1FormatVersionRejectedAsNotSupported) {
+  C2lshIndex index = BuildIndex();
+  const std::string path = Path("v1.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index).ok());
+  // Patch the version field (u32 right after the u64 magic) down to 1,
+  // impersonating a file from the pre-checksum-rework era.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const uint32_t v1 = 1;
+    f.seekp(8);
+    f.write(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  }
+  Status st = LoadIndex(path).status();
+  EXPECT_TRUE(st.IsNotSupported()) << st.ToString();
+  EXPECT_NE(std::string(st.message()).find("version 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(std::string(st.message()).find("rebuild"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(SerializeTest, RoutesThroughTheProvidedEnv) {
+  C2lshIndex index = BuildIndex();
+  FaultInjectionEnv env(Env::Default());
+  const std::string path = Path("env.c2lsh");
+  ASSERT_TRUE(SaveIndex(path, &index, &env).ok());
+  EXPECT_GT(env.stats().writes, 0u);
+  EXPECT_GT(env.stats().syncs, 0u);  // Save ends with a durability sync
+
+  auto loaded = LoadIndex(path, &env);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(env.stats().reads, 0u);
+
+  // A bit flip injected at read time (the file itself untouched) is caught
+  // by the checksum like an on-disk one.
+  env.SetReadCorruption(std::filesystem::file_size(path) / 2, 0x08);
+  EXPECT_TRUE(LoadIndex(path, &env).status().IsCorruption());
+  env.ClearReadCorruption();
+  EXPECT_TRUE(LoadIndex(path, &env).ok());
 }
 
 }  // namespace

@@ -31,6 +31,17 @@ TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableIsDistinctFromIOError) {
+  // The retry layer (util/retry.h) depends on this distinction: only
+  // Unavailable is transient and retryable.
+  Status s = Status::Unavailable("EINTR-ish");
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(s.ToString(), "Unavailable: EINTR-ish");
 }
 
 TEST(StatusTest, CopyPreservesState) {
@@ -76,6 +87,36 @@ Status UsesReturnIfError(int x) {
 TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_TRUE(UsesReturnIfError(1).ok());
   EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+Status Identity(const Status& s) { return s; }
+
+// Regression for the macro-hygiene bug: the original C2LSH_RETURN_IF_ERROR
+// expanded to `Status _c2lsh_status = (expr);`, so an `expr` that mentioned a
+// caller-scope variable of that exact name read the macro's own
+// just-declared (uninitialized) temporary instead — shadowing, caught only
+// at runtime if at all. The macro now pastes __LINE__ into the temporary's
+// name, so caller identifiers can never collide with it.
+Status CallerOwnsTheOldTemporaryName() {
+  Status _c2lsh_status = Status::NotFound("caller's variable");
+  C2LSH_RETURN_IF_ERROR(Identity(_c2lsh_status));  // must see the caller's value
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroDoesNotShadowCallerVariables) {
+  EXPECT_TRUE(CallerOwnsTheOldTemporaryName().IsNotFound());
+}
+
+Status TwoChecksShareAFunction(int x) {
+  C2LSH_RETURN_IF_ERROR(FailIfNegative(x));
+  C2LSH_RETURN_IF_ERROR(FailIfNegative(x - 10));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroComposesWithinOneFunction) {
+  EXPECT_TRUE(TwoChecksShareAFunction(20).ok());
+  EXPECT_TRUE(TwoChecksShareAFunction(5).IsInvalidArgument());   // second check
+  EXPECT_TRUE(TwoChecksShareAFunction(-1).IsInvalidArgument());  // first check
 }
 
 TEST(ResultTest, HoldsValue) {
