@@ -4,6 +4,7 @@
 // C2LSH evaluation (see DESIGN.md section 5) and accepts --n / --queries /
 // --seed to scale the run.
 
+#pragma once
 #ifndef C2LSH_BENCH_BENCH_COMMON_H_
 #define C2LSH_BENCH_BENCH_COMMON_H_
 

@@ -142,18 +142,21 @@ BENCHMARK(BM_C2lshQuery)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 void BM_BatchQueryThreads(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(0));
-  static auto* pd = [] {
+  // Function-local statics: built once, shared across the thread-count args.
+  static ProfileData& pd = *[] {
     auto r = MakeProfileDataset(DatasetProfile::kMnist, 10000, 64, 15);
-    return new ProfileData(std::move(r).value());
+    static ProfileData d = std::move(r).value();
+    return &d;
   }();
-  static auto* index = [] {
+  static C2lshIndex& index = *[] {
     C2lshOptions o;
     o.seed = 16;
-    auto r = C2lshIndex::Build(pd->data, o);
-    return new C2lshIndex(std::move(r).value());
+    auto r = C2lshIndex::Build(pd.data, o);
+    static C2lshIndex idx = std::move(r).value();
+    return &idx;
   }();
   for (auto _ : state) {
-    auto r = index->BatchQuery(pd->data, pd->queries, 10, threads);
+    auto r = index.BatchQuery(pd.data, pd.queries, 10, threads);
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(state.iterations() * 64);

@@ -14,6 +14,7 @@
 // verified candidates lie within c*R (or the schedule or the verification
 // budget is exhausted).
 
+#pragma once
 #ifndef C2LSH_BASELINES_E2LSH_H_
 #define C2LSH_BASELINES_E2LSH_H_
 

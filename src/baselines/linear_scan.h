@@ -1,6 +1,7 @@
 // Exact brute-force k-NN — the accuracy reference point and the cost
 // ceiling every approximate method is compared against.
 
+#pragma once
 #ifndef C2LSH_BASELINES_LINEAR_SCAN_H_
 #define C2LSH_BASELINES_LINEAR_SCAN_H_
 

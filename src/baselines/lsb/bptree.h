@@ -9,6 +9,7 @@
 // every descent and sideways cursor move charges to the simulated page
 // model.
 
+#pragma once
 #ifndef C2LSH_BASELINES_LSB_BPTREE_H_
 #define C2LSH_BASELINES_LSB_BPTREE_H_
 

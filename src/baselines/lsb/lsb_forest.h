@@ -11,6 +11,7 @@
 //   E2 (budget):   a fixed candidate budget (default 4B/entry * L, i.e. four
 //       leaf pages per tree) has been verified.
 
+#pragma once
 #ifndef C2LSH_BASELINES_LSB_LSB_FOREST_H_
 #define C2LSH_BASELINES_LSB_LSB_FOREST_H_
 

@@ -5,6 +5,7 @@
 // (number of fully-agreed bit planes) lower-bounds how coarse a grid cell
 // the candidate shares with the query.
 
+#pragma once
 #ifndef C2LSH_BASELINES_LSB_LSB_TREE_H_
 #define C2LSH_BASELINES_LSB_LSB_TREE_H_
 

@@ -3,6 +3,7 @@
 // hash values so that a long common key prefix implies closeness in *every*
 // component simultaneously, then index the keys with a B+-tree.
 
+#pragma once
 #ifndef C2LSH_BASELINES_LSB_ZORDER_H_
 #define C2LSH_BASELINES_LSB_ZORDER_H_
 

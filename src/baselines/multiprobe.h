@@ -15,6 +15,7 @@
 // keeps K fixed per radius — it has no radius schedule, so its quality is
 // tied to a tuned w, whereas collision counting adapts R per query.
 
+#pragma once
 #ifndef C2LSH_BASELINES_MULTIPROBE_H_
 #define C2LSH_BASELINES_MULTIPROBE_H_
 

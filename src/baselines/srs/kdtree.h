@@ -4,6 +4,7 @@
 // results. SRS projects high-dimensional data into ~6 dimensions, where a
 // kd-tree is effective, and consumes exactly this ordered stream.
 
+#pragma once
 #ifndef C2LSH_BASELINES_SRS_KDTREE_H_
 #define C2LSH_BASELINES_SRS_KDTREE_H_
 

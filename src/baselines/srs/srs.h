@@ -20,6 +20,7 @@
 // is verification-dominated — the opposite end of the design space from
 // E2LSH, with C2LSH in between.
 
+#pragma once
 #ifndef C2LSH_BASELINES_SRS_SRS_H_
 #define C2LSH_BASELINES_SRS_SRS_H_
 

@@ -6,6 +6,7 @@
 // C2lshQueryStats in tests/cost_model_test.cc and surfaced to users through
 // the tuning_advisor example.
 
+#pragma once
 #ifndef C2LSH_CORE_COST_MODEL_H_
 #define C2LSH_CORE_COST_MODEL_H_
 

@@ -1,6 +1,7 @@
 // CollisionCounter: per-query collision counts over all object ids with
 // O(1) reset between queries (epoch trick — no O(n) clear).
 
+#pragma once
 #ifndef C2LSH_CORE_COUNTER_H_
 #define C2LSH_CORE_COUNTER_H_
 

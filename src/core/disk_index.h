@@ -14,6 +14,7 @@
 // in-memory index (the paper likewise separates index I/O from the one
 // random data access per candidate).
 
+#pragma once
 #ifndef C2LSH_CORE_DISK_INDEX_H_
 #define C2LSH_CORE_DISK_INDEX_H_
 
@@ -95,8 +96,9 @@ class DiskC2lshIndex {
   /// Pages in the file — the on-disk index size.
   uint64_t FilePages() const { return file_->num_pages(); }
 
-  /// Cumulative pool statistics (reset by ResetPoolStats).
-  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
+  /// Cumulative pool statistics (reset by ResetPoolStats). By value: the
+  /// pool hands out a snapshot, not a reference into mutex-guarded state.
+  BufferPoolStats pool_stats() const { return pool_->stats(); }
   void ResetPoolStats() { pool_->ResetStats(); }
 
   /// Transient-failure retry counters of the underlying PageFile.

@@ -6,6 +6,7 @@
 #include <string>
 #include <thread>
 
+#include "src/util/thread_annotations.h"
 #include "src/vector/distance.h"
 
 namespace c2lsh {
@@ -47,6 +48,13 @@ Result<C2lshIndex> C2lshIndex::Build(const Dataset& data, const C2lshOptions& op
       PStableFamily::Sample(derived.m, data.dim(), options.w, options.seed,
                             static_cast<double>(radius_cap)));
 
+  // Parallel-build scratch. `tables` is shared across workers without a
+  // mutex because the sharing is disjoint by construction: worker t writes
+  // only slots i with i % num_threads == t, the vector is never resized
+  // while workers run, and join() below publishes every slot to this thread
+  // (sequenced-before the return). `family` and `data` are read-only.
+  // The race lane (race_stress_test.cc, ParallelBuildMatchesSerialReference)
+  // re-checks this partitioning under TSan.
   std::vector<BucketTable> tables(derived.m);
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -321,6 +329,9 @@ Result<std::vector<NeighborList>> C2lshIndex::BatchQuery(const Dataset& data,
   if (queries.dim() != dim_) {
     return Status::InvalidArgument("BatchQuery: query dim mismatch");
   }
+  // Disjoint-by-construction sharing, same scheme as Build above: worker t
+  // writes only results[q] / errors[q] with q % num_threads == t; each
+  // worker owns a private Searcher (and thus private query scratch).
   const size_t nq = queries.num_rows();
   std::vector<NeighborList> results(nq);
   std::vector<Status> errors(nq);

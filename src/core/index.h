@@ -17,6 +17,7 @@
 // and verification distances are computed against the Dataset passed to
 // Query. Dynamic inserts/deletes go through the tables' delta overlays.
 
+#pragma once
 #ifndef C2LSH_CORE_INDEX_H_
 #define C2LSH_CORE_INDEX_H_
 

@@ -18,6 +18,7 @@
 //   P2: at most beta*n objects beyond distance cR collide >= l times,
 //       w.p. >= 1/2.
 
+#pragma once
 #ifndef C2LSH_CORE_PARAMS_H_
 #define C2LSH_CORE_PARAMS_H_
 

@@ -20,6 +20,7 @@
 // (util/env.h), so IOErrors carry errno context and fault-injection tests
 // can exercise this path too.
 
+#pragma once
 #ifndef C2LSH_CORE_SERIALIZE_H_
 #define C2LSH_CORE_SERIALIZE_H_
 

@@ -2,6 +2,7 @@
 // the property-based tests (measured frequencies must match these within
 // statistical tolerance) and the tuning-advisor example.
 
+#pragma once
 #ifndef C2LSH_CORE_THEORY_H_
 #define C2LSH_CORE_THEORY_H_
 

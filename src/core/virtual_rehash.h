@@ -18,6 +18,7 @@
 // implementation, and the paper's analysis treats h^R as (R, cR, p1, p2)-
 // sensitive under exactly this construction.
 
+#pragma once
 #ifndef C2LSH_CORE_VIRTUAL_REHASH_H_
 #define C2LSH_CORE_VIRTUAL_REHASH_H_
 

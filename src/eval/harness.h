@@ -2,6 +2,7 @@
 // accuracy and cost against exact ground truth, and reports the averages the
 // paper's tables and figures are made of.
 
+#pragma once
 #ifndef C2LSH_EVAL_HARNESS_H_
 #define C2LSH_EVAL_HARNESS_H_
 

@@ -1,6 +1,7 @@
 // A uniform interface over every index in the library so the experiment
 // harness and bench binaries treat C2LSH and its baselines identically.
 
+#pragma once
 #ifndef C2LSH_EVAL_METHOD_H_
 #define C2LSH_EVAL_METHOD_H_
 

@@ -1,6 +1,7 @@
 // Accuracy metrics of the paper's evaluation: overall (distance) ratio and
 // recall against exact ground truth.
 
+#pragma once
 #ifndef C2LSH_EVAL_METRICS_H_
 #define C2LSH_EVAL_METRICS_H_
 

@@ -1,6 +1,7 @@
 // Plain-text table printer shared by every bench binary, so all regenerated
 // tables and figure series have one consistent, paper-style rendering.
 
+#pragma once
 #ifndef C2LSH_EVAL_TABLE_H_
 #define C2LSH_EVAL_TABLE_H_
 

@@ -25,6 +25,7 @@
 // [left, right) cursor pair per function and each round extends both ends to
 // the new window — incremental, like C2LSH's side-run scans.
 
+#pragma once
 #ifndef C2LSH_EXTENSIONS_QALSH_QALSH_H_
 #define C2LSH_EXTENSIONS_QALSH_QALSH_H_
 

@@ -3,6 +3,7 @@
 // (core/params.h) and the baselines' (K, L) selection are both derived from
 // these quantities.
 
+#pragma once
 #ifndef C2LSH_LSH_COLLISION_MODEL_H_
 #define C2LSH_LSH_COLLISION_MODEL_H_
 

@@ -3,6 +3,7 @@
 // L such compound functions; LSB-forest z-orders the component values
 // instead (see baselines/lsb).
 
+#pragma once
 #ifndef C2LSH_LSH_COMPOUND_H_
 #define C2LSH_LSH_COMPOUND_H_
 

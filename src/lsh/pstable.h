@@ -5,6 +5,7 @@
 // This is the base family C2LSH builds its m hash tables from, and the family
 // the E2LSH and LSB-forest baselines concatenate.
 
+#pragma once
 #ifndef C2LSH_LSH_PSTABLE_H_
 #define C2LSH_LSH_PSTABLE_H_
 

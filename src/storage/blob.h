@@ -3,6 +3,7 @@
 // [next: u64][len: u32][payload]. Used by the disk-resident index for
 // everything that is not a fixed-layout entry page.
 
+#pragma once
 #ifndef C2LSH_STORAGE_BLOB_H_
 #define C2LSH_STORAGE_BLOB_H_
 

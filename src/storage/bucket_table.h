@@ -11,6 +11,7 @@
 // consulted alongside the flat run and can be folded in with Compact() —
 // the classic main-file + delta organization of disk-based indexes.
 
+#pragma once
 #ifndef C2LSH_STORAGE_BUCKET_TABLE_H_
 #define C2LSH_STORAGE_BUCKET_TABLE_H_
 

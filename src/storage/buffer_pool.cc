@@ -2,19 +2,16 @@
 
 namespace c2lsh {
 
-const uint8_t* BufferPool::PageHandle::data() const {
-  return pool_->frames_[frame_].data.data();
-}
-
 uint8_t* BufferPool::PageHandle::mutable_data() {
   pool_->MarkDirty(frame_);
-  return pool_->frames_[frame_].data.data();
+  return data_;
 }
 
 void BufferPool::PageHandle::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(frame_);
     pool_ = nullptr;
+    data_ = nullptr;
   }
 }
 
@@ -23,6 +20,27 @@ BufferPool::BufferPool(PageFile* file, size_t capacity) : file_(file) {
   for (Frame& f : frames_) {
     f.data.resize(file_->page_bytes());
   }
+}
+
+// Moves run while both pools are externally quiescent (see header), so they
+// access guarded members without holding either mutex.
+BufferPool::BufferPool(BufferPool&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
+    : file_(other.file_),
+      frames_(std::move(other.frames_)),
+      page_to_frame_(std::move(other.page_to_frame_)),
+      lru_(std::move(other.lru_)),
+      stats_(other.stats_) {}
+
+BufferPool& BufferPool::operator=(BufferPool&& other) noexcept
+    NO_THREAD_SAFETY_ANALYSIS {
+  if (this != &other) {
+    file_ = other.file_;
+    frames_ = std::move(other.frames_);
+    page_to_frame_ = std::move(other.page_to_frame_);
+    lru_ = std::move(other.lru_);
+    stats_ = other.stats_;
+  }
+  return *this;
 }
 
 Result<BufferPool> BufferPool::Create(PageFile* file, size_t capacity_pages) {
@@ -40,7 +58,10 @@ Result<size_t> BufferPool::GrabFrame() {
   for (size_t i = 0; i < frames_.size(); ++i) {
     if (frames_[i].page == 0) return i;
   }
-  // Evict the least-recently-used unpinned frame.
+  // Evict the least-recently-used unpinned frame. The writeback I/O runs
+  // under mu_; eviction only ever touches unpinned frames, so no live
+  // PageHandle can be scribbling on the bytes being written back (the
+  // scribbler's Unpin happened under mu_, giving happens-before).
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     const size_t frame = *it;
     Frame& f = frames_[frame];
@@ -62,6 +83,7 @@ Result<size_t> BufferPool::GrabFrame() {
 }
 
 Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
+  MutexLock lock(&mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
@@ -71,7 +93,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
       f.in_lru = false;
     }
     ++f.pins;
-    return PageHandle(this, it->second);
+    return PageHandle(this, it->second, f.data.data());
   }
   ++stats_.misses;
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
@@ -81,10 +103,11 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
   f.pins = 1;
   f.dirty = false;
   page_to_frame_[id] = frame;
-  return PageHandle(this, frame);
+  return PageHandle(this, frame, f.data.data());
 }
 
 Result<BufferPool::PageHandle> BufferPool::NewPage(PageId* id_out) {
+  MutexLock lock(&mu_);
   C2LSH_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
@@ -94,10 +117,16 @@ Result<BufferPool::PageHandle> BufferPool::NewPage(PageId* id_out) {
   f.dirty = true;
   page_to_frame_[id] = frame;
   if (id_out != nullptr) *id_out = id;
-  return PageHandle(this, frame);
+  return PageHandle(this, frame, f.data.data());
+}
+
+void BufferPool::MarkDirty(size_t frame) {
+  MutexLock lock(&mu_);
+  frames_[frame].dirty = true;
 }
 
 void BufferPool::Unpin(size_t frame) {
+  MutexLock lock(&mu_);
   Frame& f = frames_[frame];
   if (f.pins > 0) --f.pins;
   if (f.pins == 0 && f.page != 0 && !f.in_lru) {
@@ -108,6 +137,7 @@ void BufferPool::Unpin(size_t frame) {
 }
 
 Status BufferPool::FlushAll() {
+  MutexLock lock(&mu_);
   for (Frame& f : frames_) {
     if (f.page != 0 && f.dirty) {
       C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));

@@ -3,6 +3,7 @@
 // disk-resident index counts pool misses as its I/O cost, which experiment
 // D1 compares against the analytic PageModel predictions.
 
+#pragma once
 #ifndef C2LSH_STORAGE_BUFFER_POOL_H_
 #define C2LSH_STORAGE_BUFFER_POOL_H_
 
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "src/storage/page_file.h"
+#include "src/util/mutex.h"
 #include "src/util/result.h"
 
 namespace c2lsh {
@@ -29,15 +31,27 @@ struct BufferPoolStats {
   }
 };
 
-/// An LRU buffer pool. Not thread-safe (one pool per query thread, matching
-/// the single-threaded disk index).
+/// An LRU buffer pool.
+///
+/// Thread-safety: all pool *metadata* operations (Fetch, NewPage, FlushAll,
+/// pin/unpin via PageHandle, stats) are safe to call from multiple threads;
+/// a single internal Mutex serializes them, including the PageFile I/O they
+/// trigger. The *bytes* of a pinned page are not latched: concurrent readers
+/// of one page are fine, but a writer (mutable_data) requires external
+/// synchronization against other accessors of that same page, and FlushAll
+/// must not run concurrently with in-place writers (it snapshots frame bytes
+/// while the writer scribbles). The race-lane hammer test
+/// (race_stress_test.cc) exercises exactly this contract under TSan.
+///
+/// Move is NOT thread-safe: both pools must be externally quiescent (no
+/// concurrent operations, no live PageHandles on the source).
 class BufferPool {
  public:
   /// `capacity_pages` frames are allocated eagerly. Must be >= 1.
   static Result<BufferPool> Create(PageFile* file, size_t capacity_pages);
 
-  BufferPool(BufferPool&&) = default;
-  BufferPool& operator=(BufferPool&&) = default;
+  BufferPool(BufferPool&& other) noexcept;
+  BufferPool& operator=(BufferPool&& other) noexcept;
 
   /// RAII pin: while alive, the page stays resident and its bytes stay
   /// valid. Unpins on destruction.
@@ -50,7 +64,9 @@ class BufferPool {
         Release();
         pool_ = other.pool_;
         frame_ = other.frame_;
+        data_ = other.data_;
         other.pool_ = nullptr;
+        other.data_ = nullptr;
       }
       return *this;
     }
@@ -58,33 +74,48 @@ class BufferPool {
     PageHandle& operator=(const PageHandle&) = delete;
     ~PageHandle() { Release(); }
 
-    const uint8_t* data() const;
+    const uint8_t* data() const { return data_; }
     /// Mutable access marks the frame dirty.
     uint8_t* mutable_data();
     bool valid() const { return pool_ != nullptr; }
 
    private:
     friend class BufferPool;
-    PageHandle(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+    PageHandle(BufferPool* pool, size_t frame, uint8_t* data)
+        : pool_(pool), frame_(frame), data_(data) {}
     void Release();
 
     BufferPool* pool_ = nullptr;
     size_t frame_ = 0;
+    // Cached at pin time (under the pool mutex); stable while pinned, so
+    // readers never need to touch guarded pool state.
+    uint8_t* data_ = nullptr;
   };
 
   /// Pins page `id`, reading it from the file on a miss. Fails with
   /// ResourceExhausted-like Internal error if every frame is pinned.
-  Result<PageHandle> Fetch(PageId id);
+  Result<PageHandle> Fetch(PageId id) EXCLUDES(mu_);
 
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
-  Result<PageHandle> NewPage(PageId* id_out);
+  Result<PageHandle> NewPage(PageId* id_out) EXCLUDES(mu_);
 
   /// Writes all dirty frames back and syncs the file.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_);
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
-  size_t capacity() const { return frames_.size(); }
+  /// Snapshot of the counters (by value: a const reference would race with
+  /// concurrent updates under the mutex).
+  BufferPoolStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = BufferPoolStats();
+  }
+  size_t capacity() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return frames_.size();
+  }
   size_t page_bytes() const { return file_->page_bytes(); }
 
  private:
@@ -100,15 +131,17 @@ class BufferPool {
   BufferPool(PageFile* file, size_t capacity);
 
   /// Finds a frame for a new page: empty frame, else LRU-evict.
-  Result<size_t> GrabFrame();
-  void Unpin(size_t frame);
-  void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
+  Result<size_t> GrabFrame() REQUIRES(mu_);
+  void Unpin(size_t frame) EXCLUDES(mu_);
+  void MarkDirty(size_t frame) EXCLUDES(mu_);
 
-  PageFile* file_;  // not owned
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  std::list<size_t> lru_;  // front = most recent
-  BufferPoolStats stats_;
+  PageFile* file_;  // not owned; set at construction, immutable afterwards
+
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_to_frame_ GUARDED_BY(mu_);
+  std::list<size_t> lru_ GUARDED_BY(mu_);  // front = most recent
+  BufferPoolStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace c2lsh

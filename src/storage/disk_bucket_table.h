@@ -12,6 +12,7 @@
 // quantity the BufferPool measures and experiment D1 compares against the
 // analytic model.
 
+#pragma once
 #ifndef C2LSH_STORAGE_DISK_BUCKET_TABLE_H_
 #define C2LSH_STORAGE_DISK_BUCKET_TABLE_H_
 

@@ -23,6 +23,7 @@
 // consistent after Sync(); between Syncs, Open() recovers the last synced
 // state.
 
+#pragma once
 #ifndef C2LSH_STORAGE_PAGE_FILE_H_
 #define C2LSH_STORAGE_PAGE_FILE_H_
 

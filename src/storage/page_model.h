@@ -8,6 +8,7 @@
 // function of layout and access pattern, so it regenerates the paper's
 // figures without a disk.
 
+#pragma once
 #ifndef C2LSH_STORAGE_PAGE_MODEL_H_
 #define C2LSH_STORAGE_PAGE_MODEL_H_
 

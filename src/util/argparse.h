@@ -3,6 +3,7 @@
 // flags it understands, unknown flags are an error, and `--help` prints the
 // declared set.
 
+#pragma once
 #ifndef C2LSH_UTIL_ARGPARSE_H_
 #define C2LSH_UTIL_ARGPARSE_H_
 

@@ -6,6 +6,7 @@
 // path. Table-driven, byte-at-a-time — checksumming is off the query hot
 // path (pages are verified once per pool miss).
 
+#pragma once
 #ifndef C2LSH_UTIL_CRC32_H_
 #define C2LSH_UTIL_CRC32_H_
 

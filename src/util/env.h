@@ -7,6 +7,7 @@
 // the "process" after the Nth write — and the production PosixEnv can attach
 // errno context to every failure in one place.
 
+#pragma once
 #ifndef C2LSH_UTIL_ENV_H_
 #define C2LSH_UTIL_ENV_H_
 

@@ -2,26 +2,34 @@
 
 #include <algorithm>
 
+#include "src/util/mutex.h"
+
 namespace c2lsh {
 
 namespace internal {
 
+// One mutex guards the whole programming state: faults are armed rarely and
+// I/O through a fault env is test-path code, so a single lock is simpler to
+// reason about than per-field atomics and lets one ReadAt/WriteAt observe a
+// consistent fault configuration.
 struct FaultEnvState {
-  int64_t writes_until_crash = 0;  // 0 = disarmed; 1 = the next write tears
-  bool crashed = false;
-  size_t torn_bytes = SIZE_MAX;  // SIZE_MAX = half of the crashing write
+  Mutex mu;
 
-  int transient_write_faults = 0;
-  int transient_read_faults = 0;
+  int64_t writes_until_crash GUARDED_BY(mu) = 0;  // 0 = disarmed; 1 = next write tears
+  bool crashed GUARDED_BY(mu) = false;
+  size_t torn_bytes GUARDED_BY(mu) = SIZE_MAX;  // SIZE_MAX = half of the crashing write
 
-  bool corrupt_read = false;
-  uint64_t corrupt_offset = 0;
-  uint8_t corrupt_mask = 0;
+  int transient_write_faults GUARDED_BY(mu) = 0;
+  int transient_read_faults GUARDED_BY(mu) = 0;
 
-  bool drop_syncs = false;
-  bool fail_syncs = false;
+  bool corrupt_read GUARDED_BY(mu) = false;
+  uint64_t corrupt_offset GUARDED_BY(mu) = 0;
+  uint8_t corrupt_mask GUARDED_BY(mu) = 0;
 
-  FaultStats stats;
+  bool drop_syncs GUARDED_BY(mu) = false;
+  bool fail_syncs GUARDED_BY(mu) = false;
+
+  FaultStats stats GUARDED_BY(mu);
 };
 
 }  // namespace internal
@@ -40,13 +48,19 @@ class FaultInjectionFile final : public RandomAccessFile {
                 size_t* bytes_read) const override {
     FaultEnvState& st = *state_;
     *bytes_read = 0;
-    if (st.transient_read_faults > 0) {
-      --st.transient_read_faults;
-      ++st.stats.transient_faults;
-      return Status::Unavailable("FaultInjectionEnv: injected transient read fault");
+    {
+      MutexLock lock(&st.mu);
+      if (st.transient_read_faults > 0) {
+        --st.transient_read_faults;
+        ++st.stats.transient_faults;
+        return Status::Unavailable("FaultInjectionEnv: injected transient read fault");
+      }
+      ++st.stats.reads;
     }
-    ++st.stats.reads;
+    // The base read runs outside the lock; concurrent reads of one file are
+    // the base env's contract (pread is positional and thread-safe).
     C2LSH_RETURN_IF_ERROR(base_->ReadAt(offset, buf, n, bytes_read));
+    MutexLock lock(&st.mu);
     if (st.corrupt_read && st.corrupt_offset >= offset &&
         st.corrupt_offset < offset + *bytes_read) {
       static_cast<uint8_t*>(buf)[st.corrupt_offset - offset] ^= st.corrupt_mask;
@@ -57,6 +71,10 @@ class FaultInjectionFile final : public RandomAccessFile {
 
   Status WriteAt(uint64_t offset, const void* buf, size_t n) override {
     FaultEnvState& st = *state_;
+    // Writes stay fully under the lock: the crash point must tear exactly
+    // one write, which requires the arm-check, the torn prefix write and the
+    // crashed-flag flip to be one atomic step.
+    MutexLock lock(&st.mu);
     if (st.transient_write_faults > 0) {
       --st.transient_write_faults;
       ++st.stats.transient_faults;
@@ -84,6 +102,7 @@ class FaultInjectionFile final : public RandomAccessFile {
 
   Status Sync() override {
     FaultEnvState& st = *state_;
+    MutexLock lock(&st.mu);
     if (st.crashed) {
       ++st.stats.post_crash_rejects;
       return Status::IOError("FaultInjectionEnv: sync after simulated crash");
@@ -111,43 +130,67 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
 FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::SetCrashAfterWrites(int64_t n) {
+  MutexLock lock(&state_->mu);
   state_->writes_until_crash = n > 0 ? n : 0;
 }
 
 void FaultInjectionEnv::SetTornBytes(size_t torn_bytes) {
+  MutexLock lock(&state_->mu);
   state_->torn_bytes = torn_bytes;
 }
 
-bool FaultInjectionEnv::crashed() const { return state_->crashed; }
+bool FaultInjectionEnv::crashed() const {
+  MutexLock lock(&state_->mu);
+  return state_->crashed;
+}
 
 void FaultInjectionEnv::ClearCrash() {
+  MutexLock lock(&state_->mu);
   state_->crashed = false;
   state_->writes_until_crash = 0;
 }
 
 void FaultInjectionEnv::SetTransientWriteFaults(int n) {
+  MutexLock lock(&state_->mu);
   state_->transient_write_faults = n;
 }
 
 void FaultInjectionEnv::SetTransientReadFaults(int n) {
+  MutexLock lock(&state_->mu);
   state_->transient_read_faults = n;
 }
 
 void FaultInjectionEnv::SetReadCorruption(uint64_t offset, uint8_t mask) {
+  MutexLock lock(&state_->mu);
   state_->corrupt_read = mask != 0;
   state_->corrupt_offset = offset;
   state_->corrupt_mask = mask;
 }
 
-void FaultInjectionEnv::ClearReadCorruption() { state_->corrupt_read = false; }
+void FaultInjectionEnv::ClearReadCorruption() {
+  MutexLock lock(&state_->mu);
+  state_->corrupt_read = false;
+}
 
-void FaultInjectionEnv::SetDropSyncs(bool drop) { state_->drop_syncs = drop; }
+void FaultInjectionEnv::SetDropSyncs(bool drop) {
+  MutexLock lock(&state_->mu);
+  state_->drop_syncs = drop;
+}
 
-void FaultInjectionEnv::SetFailSyncs(bool fail) { state_->fail_syncs = fail; }
+void FaultInjectionEnv::SetFailSyncs(bool fail) {
+  MutexLock lock(&state_->mu);
+  state_->fail_syncs = fail;
+}
 
-const FaultStats& FaultInjectionEnv::stats() const { return state_->stats; }
+FaultStats FaultInjectionEnv::stats() const {
+  MutexLock lock(&state_->mu);
+  return state_->stats;
+}
 
-void FaultInjectionEnv::ResetStats() { state_->stats = FaultStats(); }
+void FaultInjectionEnv::ResetStats() {
+  MutexLock lock(&state_->mu);
+  state_->stats = FaultStats();
+}
 
 Result<std::unique_ptr<RandomAccessFile>> FaultInjectionEnv::NewFile(
     const std::string& path) {

@@ -17,8 +17,11 @@
 //   * sync faults      — Sync() either silently does nothing (dropped
 //                        fsync) or fails with an IOError.
 //
-// Not thread-safe; fault-injection tests are single-threaded by design.
+// Thread-safe: the env and every file it hands out share one mutex-guarded
+// fault-programming state, so faults can be armed from one thread while I/O
+// runs on others (the TSan race lane does exactly this to storage stacks).
 
+#pragma once
 #ifndef C2LSH_UTIL_FAULT_ENV_H_
 #define C2LSH_UTIL_FAULT_ENV_H_
 
@@ -77,7 +80,9 @@ class FaultInjectionEnv final : public Env {
   void SetDropSyncs(bool drop);
   void SetFailSyncs(bool fail);
 
-  const FaultStats& stats() const;
+  /// Snapshot of the counters (by value: a const reference would race with
+  /// I/O running on other threads).
+  FaultStats stats() const;
   void ResetStats();
 
   // --- Env interface -----------------------------------------------------

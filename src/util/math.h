@@ -3,6 +3,7 @@
 // that C2LSH's parameterization is built on, and small statistics helpers
 // used by the evaluation harness.
 
+#pragma once
 #ifndef C2LSH_UTIL_MATH_H_
 #define C2LSH_UTIL_MATH_H_
 

@@ -5,6 +5,7 @@
 // randomness through Rng, so a whole experiment is reproducible from a single
 // 64-bit seed printed in its header line.
 
+#pragma once
 #ifndef C2LSH_UTIL_RANDOM_H_
 #define C2LSH_UTIL_RANDOM_H_
 

@@ -1,6 +1,7 @@
 // Result<T>: a value-or-Status union, the library's replacement for throwing
 // constructors and factory functions. Modeled after absl::StatusOr.
 
+#pragma once
 #ifndef C2LSH_UTIL_RESULT_H_
 #define C2LSH_UTIL_RESULT_H_
 
@@ -18,8 +19,10 @@ namespace c2lsh {
 ///   Result<C2lshIndex> r = C2lshIndex::Build(data, params);
 ///   if (!r.ok()) { /* inspect r.status() */ }
 ///   C2lshIndex index = std::move(r).value();
+/// Like Status, Result is [[nodiscard]]: silently dropping a Result loses
+/// both the value and the error explaining its absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success path reads naturally:
   /// `return my_t;`).

@@ -6,10 +6,12 @@
 // unavailability into an IOError so no caller can spin forever. PageFile
 // wraps every page read/write in this helper and exposes the RetryStats.
 
+#pragma once
 #ifndef C2LSH_UTIL_RETRY_H_
 #define C2LSH_UTIL_RETRY_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -29,10 +31,29 @@ struct RetryPolicy {
 };
 
 /// Cumulative counters, observable wherever a policy is applied.
+///
+/// The counters are atomic so a monitoring thread can read them while
+/// another thread is inside RetryTransient (the "read while retrying" case —
+/// see retry_concurrency_test.cc). Relaxed ordering suffices: each counter
+/// is an independent statistic, not a synchronization point. Copying takes a
+/// relaxed per-field snapshot, so a copied RetryStats is a plain value whose
+/// fields may be from slightly different instants — fine for statistics.
 struct RetryStats {
-  uint64_t operations = 0;  ///< calls to RetryTransient
-  uint64_t retries = 0;     ///< extra attempts after a transient failure
-  uint64_t exhausted = 0;   ///< operations that failed every attempt
+  std::atomic<uint64_t> operations{0};  ///< calls to RetryTransient
+  std::atomic<uint64_t> retries{0};     ///< extra attempts after a transient failure
+  std::atomic<uint64_t> exhausted{0};   ///< operations that failed every attempt
+
+  RetryStats() = default;
+  RetryStats(const RetryStats& other) { *this = other; }
+  RetryStats& operator=(const RetryStats& other) {
+    operations.store(other.operations.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    retries.store(other.retries.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    exhausted.store(other.exhausted.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Runs `fn` (returning Status) until it returns anything other than
@@ -41,13 +62,15 @@ struct RetryStats {
 /// attempt produces them.
 template <typename Fn>
 Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
-  if (stats != nullptr) ++stats->operations;
+  if (stats != nullptr) {
+    stats->operations.fetch_add(1, std::memory_order_relaxed);
+  }
   const int attempts = std::max(1, policy.max_attempts);
   int backoff_us = policy.backoff_initial_us;
   Status s;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      if (stats != nullptr) ++stats->retries;
+      if (stats != nullptr) stats->retries.fetch_add(1, std::memory_order_relaxed);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
@@ -56,7 +79,7 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
     s = fn();
     if (!s.IsUnavailable()) return s;
   }
-  if (stats != nullptr) ++stats->exhausted;
+  if (stats != nullptr) stats->exhausted.fetch_add(1, std::memory_order_relaxed);
   return Status::IOError("transient failure persisted after " +
                          std::to_string(attempts) +
                          " attempts: " + std::string(s.message()));

@@ -5,6 +5,7 @@
 // LevelDB: a Status is cheap to create and copy in the OK case, carries an
 // error code plus a human-readable message otherwise.
 
+#pragma once
 #ifndef C2LSH_UTIL_STATUS_H_
 #define C2LSH_UTIL_STATUS_H_
 
@@ -33,7 +34,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A Status is either OK (no allocation, fits in a register) or an error code
 /// with a message. Copyable and movable; moving leaves the source OK.
-class Status {
+///
+/// [[nodiscard]]: a Status that is neither checked nor explicitly voided is a
+/// compile-time warning (an error under C2LSH_WERROR). Intentional drops must
+/// spell out `(void)` plus a comment saying why losing the error is safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

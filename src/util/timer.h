@@ -1,5 +1,6 @@
 // Wall-clock stopwatch used by the evaluation harness and benchmarks.
 
+#pragma once
 #ifndef C2LSH_UTIL_TIMER_H_
 #define C2LSH_UTIL_TIMER_H_
 

@@ -2,6 +2,7 @@
 // experiment harness prints (mirroring the statistics table every LSH paper
 // leads its evaluation with).
 
+#pragma once
 #ifndef C2LSH_VECTOR_DATASET_H_
 #define C2LSH_VECTOR_DATASET_H_
 

@@ -1,6 +1,7 @@
 // Distance kernels. C2LSH's p-stable family targets Euclidean distance; the
 // angular kernels support the normalized-dataset experiments and baselines.
 
+#pragma once
 #ifndef C2LSH_VECTOR_DISTANCE_H_
 #define C2LSH_VECTOR_DISTANCE_H_
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/util/thread_annotations.h"
 #include "src/vector/io.h"
 
 namespace c2lsh {
@@ -49,6 +50,10 @@ Result<std::vector<NeighborList>> ComputeGroundTruth(const Dataset& data,
                                    std::to_string(queries.dim()) + " != data dim " +
                                    std::to_string(data.dim()));
   }
+  // Parallel scratch shared without a mutex: worker t writes only out[i]
+  // with i % num_threads == t (disjoint slots, no resize while workers run),
+  // and join() publishes the writes to this thread. `data` and `queries` are
+  // read-only. Checked under TSan by the race lane.
   const size_t nq = queries.num_rows();
   std::vector<NeighborList> out(nq);
   if (num_threads == 0) {

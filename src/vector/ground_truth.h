@@ -2,6 +2,7 @@
 // force) and an .ivecs-compatible cache so repeated experiment runs skip the
 // O(n * q * d) scan.
 
+#pragma once
 #ifndef C2LSH_VECTOR_GROUND_TRUTH_H_
 #define C2LSH_VECTOR_GROUND_TRUTH_H_
 

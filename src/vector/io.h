@@ -4,6 +4,7 @@
 // These are the formats the public SIFT/GIST/Audio datasets ship in, so real
 // data can replace the synthetic profiles without code changes.
 
+#pragma once
 #ifndef C2LSH_VECTOR_IO_H_
 #define C2LSH_VECTOR_IO_H_
 

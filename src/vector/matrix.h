@@ -1,5 +1,6 @@
 // FloatMatrix: dense row-major float storage for datasets and query sets.
 
+#pragma once
 #ifndef C2LSH_VECTOR_MATRIX_H_
 #define C2LSH_VECTOR_MATRIX_H_
 

@@ -8,6 +8,7 @@
 // knob (cluster tightness), per the substitution table in DESIGN.md. Real
 // .fvecs files drop in through vector/io.h without further changes.
 
+#pragma once
 #ifndef C2LSH_VECTOR_SYNTHETIC_H_
 #define C2LSH_VECTOR_SYNTHETIC_H_
 

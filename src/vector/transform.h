@@ -5,6 +5,7 @@
 // with deflation on the explicit covariance matrix — exact enough for the
 // leading components a reduction keeps, with deterministic seeding.
 
+#pragma once
 #ifndef C2LSH_VECTOR_TRANSFORM_H_
 #define C2LSH_VECTOR_TRANSFORM_H_
 

@@ -1,5 +1,6 @@
 // Small value types shared by every index implementation.
 
+#pragma once
 #ifndef C2LSH_VECTOR_TYPES_H_
 #define C2LSH_VECTOR_TYPES_H_
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/index.h"
+#include "src/util/thread_annotations.h"
 #include "src/vector/synthetic.h"
 
 namespace c2lsh {

@@ -62,7 +62,7 @@ class DifferentialTest : public ::testing::TestWithParam<FuzzCase> {
     for (size_t i = 0; i < result.size(); ++i) {
       ASSERT_LT(result[i].id, data_->size());
       ids.insert(result[i].id);
-      if (i > 0) EXPECT_LE(result[i - 1].dist, result[i].dist);
+      if (i > 0) { EXPECT_LE(result[i - 1].dist, result[i].dist); }
       const double exact = L2(query, data_->object(result[i].id), data_->dim());
       EXPECT_NEAR(result[i].dist, exact, 1e-3 * (1.0 + exact));
     }

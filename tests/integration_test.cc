@@ -2,6 +2,8 @@
 // ground truth -> every index -> harness -> metrics), plus the head-to-head
 // comparisons the paper's evaluation rests on.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "src/core/index.h"
@@ -19,26 +21,26 @@ class IntegrationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto pd = MakeProfileDataset(DatasetProfile::kMnist, 6000, 24, 1234);
     ASSERT_TRUE(pd.ok());
-    data_ = new Dataset(std::move(pd->data));
-    queries_ = new FloatMatrix(std::move(pd->queries));
+    data_ = std::make_unique<Dataset>(std::move(pd->data));
+    queries_ = std::make_unique<FloatMatrix>(std::move(pd->queries));
     auto gt = ComputeGroundTruth(*data_, *queries_, 20);
     ASSERT_TRUE(gt.ok());
-    gt_ = new std::vector<NeighborList>(std::move(gt.value()));
+    gt_ = std::make_unique<std::vector<NeighborList>>(std::move(gt.value()));
   }
   static void TearDownTestSuite() {
-    delete data_;
-    delete queries_;
-    delete gt_;
+    data_.reset();
+    queries_.reset();
+    gt_.reset();
   }
 
-  static Dataset* data_;
-  static FloatMatrix* queries_;
-  static std::vector<NeighborList>* gt_;
+  static std::unique_ptr<Dataset> data_;
+  static std::unique_ptr<FloatMatrix> queries_;
+  static std::unique_ptr<std::vector<NeighborList>> gt_;
 };
 
-Dataset* IntegrationTest::data_ = nullptr;
-FloatMatrix* IntegrationTest::queries_ = nullptr;
-std::vector<NeighborList>* IntegrationTest::gt_ = nullptr;
+std::unique_ptr<Dataset> IntegrationTest::data_;
+std::unique_ptr<FloatMatrix> IntegrationTest::queries_;
+std::unique_ptr<std::vector<NeighborList>> IntegrationTest::gt_;
 
 TEST_F(IntegrationTest, AllMethodsBeatRandomAndReportSaneRatios) {
   C2lshOptions co;

@@ -171,7 +171,7 @@ TEST(LsbForestTest, ResultsSortedUnique) {
     std::set<ObjectId> ids;
     for (size_t i = 0; i < r->size(); ++i) {
       ids.insert((*r)[i].id);
-      if (i > 0) EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+      if (i > 0) { EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist); }
     }
     EXPECT_EQ(ids.size(), r->size());
   }

@@ -1,0 +1,93 @@
+// Coverage for the annotated c2lsh::Mutex / MutexLock wrapper (util/mutex.h).
+// Deterministic: every test asserts an exact final state, so the suite runs
+// in the default lane and is re-run unchanged under TSan via `ctest -L race`
+// (where the mutual-exclusion tests double as data-race probes).
+
+#include "src/util/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/thread_annotations.h"
+
+namespace c2lsh {
+namespace {
+
+TEST(MutexTest, LockUnlockSequential) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+  // Re-lockable after Unlock (i.e. Unlock really released it).
+  mu.Lock();
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockIsScoped) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    mu.AssertHeld();
+  }
+  // The scope above released the mutex; acquiring again must not deadlock.
+  MutexLock lock(&mu);
+}
+
+// A counter guarded the way production code guards state. With the mutex,
+// num_threads * increments_per_thread increments survive exactly; a lost
+// update (the classic torn read-modify-write) would change the total, and
+// under TSan the guarded access pattern must produce zero reports.
+class GuardedCounter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+  int value() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, GuardedCounterExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  GuardedCounter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter]() {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+}
+
+TEST(MutexTest, ReadersObserveConsistentValueWhileWritersRun) {
+  GuardedCounter counter;
+  constexpr int kWrites = 20000;
+  std::thread writer([&counter]() {
+    for (int i = 0; i < kWrites; ++i) counter.Increment();
+  });
+  // Concurrent reads through the same mutex: every observed value must be a
+  // real intermediate count, monotonically non-decreasing.
+  int last = 0;
+  while (last < kWrites) {
+    const int v = counter.value();
+    EXPECT_GE(v, last);
+    EXPECT_LE(v, kWrites);
+    last = v;
+  }
+  writer.join();
+  EXPECT_EQ(counter.value(), kWrites);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -135,7 +135,7 @@ TEST(QalshIndexTest, ResultsSortedUniqueExactDistances) {
     std::set<ObjectId> ids;
     for (size_t i = 0; i < r->size(); ++i) {
       ids.insert((*r)[i].id);
-      if (i > 0) EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist);
+      if (i > 0) { EXPECT_LE((*r)[i - 1].dist, (*r)[i].dist); }
       const double exact =
           L2(pd->queries.row(q), pd->data.object((*r)[i].id), pd->data.dim());
       EXPECT_NEAR((*r)[i].dist, exact, 1e-4);

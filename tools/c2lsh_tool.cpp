@@ -8,11 +8,11 @@
 //   c2lsh_tool --mode=info --index=base.c2lsh
 //
 //   # query: top-k for every vector in a query file, results as .ivecs
-//   c2lsh_tool --mode=query --data=base.fvecs --index=base.c2lsh \
+//   c2lsh_tool --mode=query --data=base.fvecs --index=base.c2lsh
 //              --queries=query.fvecs --k=10 --out=results.ivecs
 //
 //   # exact ground truth (brute force), same output format
-//   c2lsh_tool --mode=exact --data=base.fvecs --queries=query.fvecs --k=10 \
+//   c2lsh_tool --mode=exact --data=base.fvecs --queries=query.fvecs --k=10
 //              --out=gt.ivecs
 
 #include <cstdio>

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# tools/check.sh — the pre-merge gate: lint + every build/test lane.
+#
+# Lanes (all with -DC2LSH_WERROR=ON, so warnings — including discarded
+# [[nodiscard]] Status/Result — are hard failures):
+#
+#   lint      tools/lint.py over src/ tests/ tools/ bench/
+#   default   plain build, full ctest
+#   asan      -DC2LSH_SANITIZE=address,   full ctest
+#   ubsan     -DC2LSH_SANITIZE=undefined, full ctest
+#   tsan      -DC2LSH_SANITIZE=thread,    ctest -L race (concurrent stress
+#             suite; any TSan report fails the test)
+#   clang     clang++ build with -Wthread-safety (annotation check) — runs
+#             only when clang++ is installed
+#   tidy      clang-tidy over src/ with the checked-in .clang-tidy — runs
+#             only when clang-tidy is installed
+#
+# Exits non-zero if ANY lane fails. Build trees live under build-check/ so
+# they never collide with a developer's ./build.
+#
+# Usage: tools/check.sh [--fast]   (--fast: lint + default lane only)
+
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+failures=()
+note() { printf '\n==== %s ====\n' "$*"; }
+
+run_lane() {  # run_lane <name> <command...>
+  local name="$1"; shift
+  note "lane: ${name}"
+  if "$@"; then
+    echo "lane ${name}: OK"
+  else
+    echo "lane ${name}: FAILED"
+    failures+=("${name}")
+  fi
+}
+
+build_and_test() {  # build_and_test <dir> <ctest-args...> -- <cmake-args...>
+  local dir="$1"; shift
+  local ctest_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do ctest_args+=("$1"); shift; done
+  [[ "${1:-}" == "--" ]] && shift
+  cmake -B "${dir}" -S . -DC2LSH_WERROR=ON "$@" >/dev/null || return 1
+  cmake --build "${dir}" -j "${JOBS}" || return 1
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${ctest_args[@]}"
+}
+
+# --- lint ------------------------------------------------------------------
+run_lane lint python3 tools/lint.py
+
+# --- default ---------------------------------------------------------------
+run_lane default build_and_test build-check/default --
+
+if [[ "${FAST}" -eq 0 ]]; then
+  # --- sanitizers ----------------------------------------------------------
+  run_lane asan build_and_test build-check/asan -- -DC2LSH_SANITIZE=address
+  run_lane ubsan build_and_test build-check/ubsan -- -DC2LSH_SANITIZE=undefined
+  run_lane tsan build_and_test build-check/tsan -L race -- -DC2LSH_SANITIZE=thread
+
+  # --- clang thread-safety annotations (optional tool) ---------------------
+  if command -v clang++ >/dev/null 2>&1; then
+    run_lane clang build_and_test build-check/clang -- \
+      -DCMAKE_CXX_COMPILER=clang++
+  else
+    note "lane: clang (skipped — clang++ not installed; -Wthread-safety not checked)"
+  fi
+
+  # --- clang-tidy (optional tool) ------------------------------------------
+  if command -v clang-tidy >/dev/null 2>&1; then
+    tidy() {
+      cmake -B build-check/tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null || return 1
+      # shellcheck disable=SC2046
+      clang-tidy -p build-check/tidy --quiet \
+        $(find src -name '*.cc') $(find tools -name '*.cpp')
+    }
+    run_lane tidy tidy
+  else
+    note "lane: tidy (skipped — clang-tidy not installed)"
+  fi
+fi
+
+# --- verdict ---------------------------------------------------------------
+note "summary"
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAILED lanes: ${failures[*]}"
+  exit 1
+fi
+echo "all lanes passed"

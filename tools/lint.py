@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Project lint for the c2lsh tree — the static rules the compilers can't
+(or don't reliably) enforce, wired into tools/check.sh as a pre-merge gate.
+
+Rules (each failure prints `file:line: [rule] message` and exits non-zero):
+
+  pragma-once       every header must contain `#pragma once` (the C2LSH_*_H_
+                    guards stay for belt-and-suspenders, but the pragma is
+                    what this gate checks).
+  banned-function   rand(), strcpy(), sprintf() and naked `new` are
+                    forbidden: the library uses <random> Rng, bounded string
+                    ops, and std::make_unique/containers. Placement new and
+                    make_unique/make_shared internals don't match.
+  thread-header     any file spawning std::thread must include
+                    src/util/thread_annotations.h or src/util/mutex.h, so
+                    its cross-thread state is either annotated or documented
+                    disjoint under the annotation regime.
+  unchecked-status  a statement that calls a Status-returning function and
+                    ignores the result. The [[nodiscard]] attribute makes the
+                    compiler catch the same thing; the lint also runs on
+                    files a given build config might skip, and rejects
+                    `(void)` casts that lack an explanatory comment. The set
+                    of Status-returning names is harvested from declarations
+                    in src/ headers, so the rule updates itself; names that
+                    are *also* declared with a non-Status return type
+                    somewhere (e.g. Insert/Delete exist on both C2lshIndex,
+                    returning Status, and BucketTable, returning void) are
+                    skipped — this lint has no type information, and the
+                    compiler's [[nodiscard]] already resolves those
+                    precisely.
+
+A line ending in `// NOLINT` or `// NOLINT(rule)` is exempt from that rule
+(use sparingly, with justification in the surrounding comment).
+
+Usage: tools/lint.py [--root DIR] [paths...]
+Default paths: src/ tests/ tools/ bench/ under the repo root.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DEFAULT_DIRS = ["src", "tests", "tools", "bench"]
+SOURCE_EXTS = {".cc", ".cpp", ".h", ".hpp"}
+HEADER_EXTS = {".h", ".hpp"}
+
+BANNED_CALLS = [
+    # (rule-regex, message)
+    (re.compile(r"(?<![\w:.])rand\s*\("),
+     "rand() is banned: use c2lsh::Rng (src/util/random.h)"),
+    (re.compile(r"(?<![\w:.])srand\s*\("),
+     "srand() is banned: use c2lsh::Rng (src/util/random.h)"),
+    (re.compile(r"(?<![\w:.])strcpy\s*\("),
+     "strcpy() is banned: use std::string or bounded copies"),
+    (re.compile(r"(?<![\w:.])sprintf\s*\("),
+     "sprintf() is banned: use snprintf or std::string formatting"),
+]
+
+NAKED_NEW = re.compile(r"(?<![\w:.])new\s+[A-Za-z_(]")
+THREAD_USE = re.compile(r"std::thread\b")
+THREAD_HEADERS = ("src/util/thread_annotations.h", "src/util/mutex.h")
+
+# Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
+# in src/ headers; also the factory helpers `static Status IOError(` etc.
+STATUS_DECL = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)*Status\s+([A-Za-z_]\w*)\s*\(")
+# Same shape with any other return type — used to drop ambiguous names.
+OTHER_DECL = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+)*"
+    r"(?!Status\b)[A-Za-z_][\w:<>]*(?:[&*]|\s)\s*([A-Za-z_]\w*)\s*\(")
+
+# Lines that legitimately consume a Status: assignment/decl, return, macro
+# wrappers, test assertions, explicit (void).
+CONSUMED = re.compile(
+    r"=|\breturn\b|C2LSH_RETURN_IF_ERROR|C2LSH_ASSIGN_OR_RETURN|"
+    r"\bASSERT_|\bEXPECT_|\(void\)|\.ok\(\)|\.Is[A-Z]|\.code\(\)|\.ToString\(\)")
+
+VOID_CAST = re.compile(r"\(void\)\s*[A-Za-z_]")
+
+
+def iter_files(root, paths):
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            yield full
+            continue
+        for dirpath, _, names in os.walk(full):
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in SOURCE_EXTS:
+                    yield os.path.join(dirpath, name)
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of // comments and string/char literals so the
+    regexes don't fire on prose or formats. Block comments are handled by
+    the caller tracking state."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def harvest_status_names(root):
+    """Collect names of functions declared to return Status in src/ headers,
+    minus names that some other declaration gives a non-Status return type
+    (the lint cannot tell receivers apart; the compiler can)."""
+    names = set()
+    ambiguous = set()
+    for f in iter_files(root, ["src"]):
+        if os.path.splitext(f)[1] not in HEADER_EXTS:
+            continue
+        with open(f, encoding="utf-8") as fh:
+            for line in fh:
+                m = STATUS_DECL.match(line)
+                if m:
+                    names.add(m.group(1))
+                    continue
+                m = OTHER_DECL.match(line)
+                if m:
+                    ambiguous.add(m.group(1))
+    # `Status` the type itself can appear as a constructor-style cast.
+    names.discard("Status")
+    return names - ambiguous
+
+
+def lint_file(path, rel, status_names, errors):
+    with open(path, encoding="utf-8") as fh:
+        raw_lines = fh.readlines()
+    text = "".join(raw_lines)
+    ext = os.path.splitext(path)[1]
+
+    if ext in HEADER_EXTS and "#pragma once" not in text:
+        errors.append(f"{rel}:1: [pragma-once] header is missing '#pragma once'")
+
+    uses_thread = False
+    status_call = re.compile(
+        r"^\s*(?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*(?:" +
+        "|".join(sorted(map(re.escape, status_names))) + r")\s*\(") if status_names else None
+
+    in_block_comment = False
+    for lineno, raw in enumerate(raw_lines, 1):
+        line = raw.rstrip("\n")
+        # Track /* ... */ state (coarse: one transition per line is enough
+        # for this codebase's comment style).
+        if in_block_comment:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        if "/*" in line and "*/" not in line.split("/*", 1)[1]:
+            line = line.split("/*", 1)[0]
+            in_block_comment = True
+        code = strip_comments_and_strings(line)
+        if not code.strip():
+            continue
+        nolint = re.search(r"//\s*NOLINT(?:\(([\w-]+)\))?", line)
+
+        def allowed(rule):
+            return nolint is not None and nolint.group(1) in (None, rule)
+
+        for pattern, msg in BANNED_CALLS:
+            if pattern.search(code) and not allowed("banned-function"):
+                errors.append(f"{rel}:{lineno}: [banned-function] {msg}")
+        if NAKED_NEW.search(code) and not allowed("banned-function"):
+            errors.append(
+                f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "
+                "std::make_unique / std::make_shared / containers")
+        if THREAD_USE.search(code):
+            uses_thread = True
+
+        if status_call and status_call.match(code) and code.rstrip().endswith(";"):
+            if not CONSUMED.search(code) and not allowed("unchecked-status"):
+                errors.append(
+                    f"{rel}:{lineno}: [unchecked-status] result of a "
+                    "Status-returning call is dropped — check it, use "
+                    "C2LSH_RETURN_IF_ERROR, or cast to (void) with a comment")
+        if VOID_CAST.search(code) and any(n + "(" in code for n in status_names):
+            # (void)-dropping a Status requires a same-line or previous-line
+            # comment saying why it's safe.
+            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if ("//" not in raw and "//" not in prev and "*/" not in prev and
+                    not allowed("unchecked-status")):
+                errors.append(
+                    f"{rel}:{lineno}: [unchecked-status] (void)-discarded Status "
+                    "needs a comment explaining why dropping the error is safe")
+
+    if uses_thread and not any(h in text for h in THREAD_HEADERS):
+        errors.append(
+            f"{rel}:1: [thread-header] file uses std::thread but includes neither "
+            "src/util/thread_annotations.h nor src/util/mutex.h")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("paths", nargs="*", default=DEFAULT_DIRS)
+    args = parser.parse_args()
+
+    status_names = harvest_status_names(args.root)
+    errors = []
+    nfiles = 0
+    for path in iter_files(args.root, args.paths or DEFAULT_DIRS):
+        rel = os.path.relpath(path, args.root)
+        nfiles += 1
+        lint_file(path, rel, status_names, errors)
+
+    for e in errors:
+        print(e)
+    print(f"lint: {nfiles} files, {len(errors)} error(s), "
+          f"{len(status_names)} Status-returning functions tracked",
+          file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
