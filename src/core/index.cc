@@ -235,8 +235,15 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   }
   (void)exhausted;
 
-  std::sort(found.begin(), found.end(), NeighborLess());
-  if (found.size() > k) found.resize(k);
+  // Only the k nearest survive, so a partial sort suffices when more
+  // candidates were verified than requested.
+  if (found.size() > k) {
+    std::partial_sort(found.begin(), found.begin() + static_cast<std::ptrdiff_t>(k),
+                      found.end(), NeighborLess());
+    found.resize(k);
+  } else {
+    std::sort(found.begin(), found.end(), NeighborLess());
+  }
   return found;
 }
 
@@ -274,6 +281,13 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   family_.BucketAll(query, &qbuckets);
   std::vector<BucketRange> prev(m);
   NeighborList found;
+  // Verified in-range candidates are bounded by the same k-free budget shape
+  // as RunQuery's T2 threshold: the beta*n false-positive allowance plus the
+  // per-table slack.
+  found.reserve(std::min<size_t>(
+      num_objects_,
+      static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(num_objects_))) +
+          m));
   const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
   st->index_pages += tables_.size();
 
@@ -491,8 +505,9 @@ size_t C2lshIndex::MemoryBytes() const {
   for (const BucketTable& table : tables_) {
     bytes += table.MemoryBytes();
   }
-  // Hash functions: the projection vector plus (b, w) per function.
-  bytes += tables_.size() * (dim_ * sizeof(float) + 2 * sizeof(double));
+  // Hash functions, including the packed (aligned, padded) projection
+  // matrix behind BucketAll/BucketColumn.
+  bytes += family_.MemoryBytes();
   return bytes;
 }
 

@@ -8,8 +8,14 @@
 #include "src/util/math.h"
 #include "src/util/random.h"
 #include "src/vector/distance.h"
+#include "src/vector/simd.h"
 
 namespace c2lsh {
+
+namespace {
+// Chunk size bounding the stack scratch of blocked projection passes.
+constexpr size_t kProjectionChunk = 256;
+}  // namespace
 
 double QalshCollisionProbability(double s, double w, double p) {
   if (s <= 0.0) return 1.0;
@@ -55,13 +61,20 @@ QalshIndex::QalshIndex(QalshOptions options, QalshDerived derived,
     : options_(options),
       derived_(derived),
       projections_(std::move(projections)),
+      packed_stride_(AlignedStride<float>(dim)),
       columns_(std::move(columns)),
       num_objects_(num_objects),
       dim_(dim),
       page_model_(options.page_bytes),
       counts_(num_objects, 0),
       epochs_(num_objects, 0),
-      verified_(num_objects, 0) {}
+      verified_(num_objects, 0) {
+  packed_.assign(projections_.size() * packed_stride_, 0.0f);
+  for (size_t i = 0; i < projections_.size(); ++i) {
+    std::copy(projections_[i].begin(), projections_[i].end(),
+              packed_.begin() + i * packed_stride_);
+  }
+}
 
 Result<QalshIndex> QalshIndex::Build(const Dataset& data, const QalshOptions& options) {
   C2LSH_ASSIGN_OR_RETURN(QalshDerived derived, ComputeQalshParams(options, data.size()));
@@ -89,9 +102,14 @@ Result<QalshIndex> QalshIndex::Build(const Dataset& data, const QalshOptions& op
     std::vector<size_t> order(n);
     std::iota(order.begin(), order.end(), 0);
     std::vector<float> raw(n);
-    for (size_t r = 0; r < n; ++r) {
-      raw[r] = static_cast<float>(
-          Dot(projections[i].data(), data.object(static_cast<ObjectId>(r)), dim));
+    double proj[kProjectionChunk];
+    for (size_t start = 0; start < n; start += kProjectionChunk) {
+      const size_t count = std::min(kProjectionChunk, n - start);
+      simd::Active().dot_rows(data.vectors().row(start), count, dim, dim,
+                              projections[i].data(), proj);
+      for (size_t r = 0; r < count; ++r) {
+        raw[start + r] = static_cast<float>(proj[r]);
+      }
     }
     std::sort(order.begin(), order.end(),
               [&raw](size_t a, size_t b) { return raw[a] < raw[b]; });
@@ -134,11 +152,16 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
   for (ObjectId id : touched_) verified_[id] = 0;
   touched_.clear();
 
-  // Query projections and initial cursors at the query's insertion point.
+  // Query projections — one blocked matrix-vector pass over the packed
+  // projection matrix — then initial cursors at the query's insertion point.
   std::vector<double> qproj(m);
+  for (size_t start = 0; start < m; start += kProjectionChunk) {
+    const size_t count = std::min(kProjectionChunk, m - start);
+    simd::Active().dot_rows(packed_.data() + start * packed_stride_, count,
+                            packed_stride_, dim_, query, qproj.data() + start);
+  }
   cursors_.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    qproj[i] = Dot(projections_[i].data(), query, dim_);
     const auto& vals = columns_[i].values;
     const size_t pos = static_cast<size_t>(
         std::lower_bound(vals.begin(), vals.end(), static_cast<float>(qproj[i])) -
@@ -238,6 +261,7 @@ size_t QalshIndex::MemoryBytes() const {
     bytes += col.values.size() * sizeof(float) + col.ids.size() * sizeof(ObjectId);
   }
   for (const auto& a : projections_) bytes += a.size() * sizeof(float);
+  bytes += packed_.size() * sizeof(float);
   return bytes;
 }
 

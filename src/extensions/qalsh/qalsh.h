@@ -35,6 +35,7 @@
 #include "src/core/params.h"
 #include "src/storage/page_model.h"
 #include "src/util/result.h"
+#include "src/vector/aligned.h"
 #include "src/vector/dataset.h"
 #include "src/vector/types.h"
 
@@ -124,6 +125,11 @@ class QalshIndex {
   QalshOptions options_;
   QalshDerived derived_;
   std::vector<std::vector<float>> projections_;  // the m projection vectors a_i
+  // The same m vectors packed into one aligned row-major matrix (rows padded
+  // to packed_stride_), so the query's m projections run as one blocked
+  // matrix-vector pass through the SIMD kernel layer.
+  AlignedVector<float> packed_;
+  size_t packed_stride_ = 0;
   std::vector<ProjectionColumn> columns_;
   size_t num_objects_ = 0;
   size_t dim_ = 0;

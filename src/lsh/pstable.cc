@@ -1,12 +1,20 @@
 #include "src/lsh/pstable.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
 #include "src/util/math.h"
 #include "src/vector/distance.h"
+#include "src/vector/simd.h"
 
 namespace c2lsh {
+
+namespace {
+// Projections are produced in bounded chunks so the double scratch stays on
+// the stack regardless of m or n.
+constexpr size_t kProjectionChunk = 256;
+}  // namespace
 
 PStableHash PStableHash::Sample(size_t dim, double w, Rng* rng, double offset_span) {
   std::vector<float> a;
@@ -68,20 +76,62 @@ Result<PStableFamily> PStableFamily::FromFunctions(std::vector<PStableHash> func
   return PStableFamily(std::move(funcs), dim, w);
 }
 
-void PStableFamily::BucketAll(const float* v, std::vector<BucketId>* out) const {
-  out->resize(funcs_.size());
+PStableFamily::PStableFamily(std::vector<PStableHash> funcs, size_t dim, double w)
+    : funcs_(std::move(funcs)),
+      dim_(dim),
+      w_(w),
+      packed_stride_(AlignedStride<float>(dim)) {
+  packed_.assign(funcs_.size() * packed_stride_, 0.0f);
   for (size_t i = 0; i < funcs_.size(); ++i) {
-    (*out)[i] = funcs_[i].Bucket(v);
+    const std::vector<float>& a = funcs_[i].a();
+    std::copy(a.begin(), a.end(), packed_.begin() + i * packed_stride_);
+  }
+}
+
+void PStableFamily::BucketAll(const float* v, std::vector<BucketId>* out) const {
+  const size_t m = funcs_.size();
+  out->resize(m);
+  // One blocked matrix-vector pass over the packed matrix instead of m
+  // separate projections. dot_rows is bit-identical per row to the dot
+  // kernel behind PStableHash::Project (simd.h exactness contract), so the
+  // quantized buckets match per-function Bucket() exactly.
+  double proj[kProjectionChunk];
+  for (size_t start = 0; start < m; start += kProjectionChunk) {
+    const size_t count = std::min(kProjectionChunk, m - start);
+    simd::Active().dot_rows(packed_.data() + start * packed_stride_, count,
+                            packed_stride_, dim_, v, proj);
+    for (size_t j = 0; j < count; ++j) {
+      (*out)[start + j] = static_cast<BucketId>(
+          std::floor((proj[j] + funcs_[start + j].b()) / w_));
+    }
   }
 }
 
 std::vector<BucketId> PStableFamily::BucketColumn(const FloatMatrix& data, size_t i) const {
-  std::vector<BucketId> out(data.num_rows());
-  const PStableHash& h = funcs_[i];
-  for (size_t r = 0; r < data.num_rows(); ++r) {
-    out[r] = h.Bucket(data.row(r));
+  const size_t n = data.num_rows();
+  std::vector<BucketId> out(n);
+  const double b = funcs_[i].b();
+  // Blocked multi-row kernel: dataset rows stream through dot_rows against
+  // function i's packed (aligned) projection vector. Exact commutativity of
+  // the dot kernel keeps every bucket identical to h.Bucket(row).
+  double proj[kProjectionChunk];
+  for (size_t start = 0; start < n; start += kProjectionChunk) {
+    const size_t count = std::min(kProjectionChunk, n - start);
+    simd::Active().dot_rows(data.row(start), count, data.dim(), dim_,
+                            packed_row(i), proj);
+    for (size_t r = 0; r < count; ++r) {
+      out[start + r] = static_cast<BucketId>(std::floor((proj[r] + b) / w_));
+    }
   }
   return out;
+}
+
+size_t PStableFamily::MemoryBytes() const {
+  size_t bytes = packed_.size() * sizeof(float);
+  for (const PStableHash& h : funcs_) {
+    bytes += h.a().size() * sizeof(float) + 2 * sizeof(double);
+  }
+  return bytes;
 }
 
 }  // namespace c2lsh

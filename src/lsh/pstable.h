@@ -15,6 +15,7 @@
 #include "src/storage/bucket_table.h"
 #include "src/util/random.h"
 #include "src/util/result.h"
+#include "src/vector/aligned.h"
 #include "src/vector/matrix.h"
 
 namespace c2lsh {
@@ -56,6 +57,16 @@ class PStableHash {
 };
 
 /// A family of m i.i.d. p-stable functions sharing (dim, w).
+///
+/// Besides the individual functions (the unit of serialization and of the
+/// query-aware extensions), the family keeps all m projection vectors packed
+/// into one contiguous, kSimdAlignment-aligned row-major m x dim matrix
+/// (rows padded to packed_stride() floats so every row starts aligned).
+/// BucketAll runs as a blocked matrix-vector product over that matrix — all
+/// m buckets in one pass over the query — and BucketColumn as a blocked
+/// multi-row kernel over the dataset. Both are guaranteed to match the
+/// per-function Bucket() exactly, bucket boundaries included, by the kernel
+/// layer's dot/dot_rows exactness contract (src/vector/simd.h).
 class PStableFamily {
  public:
   /// Samples `m` functions. Deterministic given `seed`. `offset_span` is
@@ -79,13 +90,24 @@ class PStableFamily {
   /// Buckets of every row of `data` under function `i`.
   std::vector<BucketId> BucketColumn(const FloatMatrix& data, size_t i) const;
 
+  /// The packed projection matrix: row i is function(i).a(), zero-padded to
+  /// packed_stride() floats; the base pointer and every row are
+  /// kSimdAlignment-aligned.
+  const float* packed_row(size_t i) const { return packed_.data() + i * packed_stride_; }
+  size_t packed_stride() const { return packed_stride_; }
+
+  /// Resident bytes of the family: the per-function projection vectors and
+  /// offsets plus the packed matrix.
+  size_t MemoryBytes() const;
+
  private:
-  PStableFamily(std::vector<PStableHash> funcs, size_t dim, double w)
-      : funcs_(std::move(funcs)), dim_(dim), w_(w) {}
+  PStableFamily(std::vector<PStableHash> funcs, size_t dim, double w);
 
   std::vector<PStableHash> funcs_;
   size_t dim_ = 0;
   double w_ = 0.0;
+  AlignedVector<float> packed_;  ///< m x packed_stride_, rows zero-padded
+  size_t packed_stride_ = 0;
 };
 
 }  // namespace c2lsh

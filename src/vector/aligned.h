@@ -1,0 +1,71 @@
+// Aligned allocation for SIMD-friendly buffers.
+//
+// The kernel layer (src/vector/simd.h) tolerates arbitrary alignment — every
+// load is an unaligned load — but aligned data lets the hardware coalesce
+// cache-line accesses, so the containers that feed hot kernels (FloatMatrix,
+// PStableFamily's packed projection matrix) allocate on kSimdAlignment
+// boundaries and pad row strides with AlignedStride so every row starts
+// aligned end to end.
+
+#pragma once
+#ifndef C2LSH_VECTOR_ALIGNED_H_
+#define C2LSH_VECTOR_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace c2lsh {
+
+/// Alignment of SIMD-facing buffers: one cache line, and the natural
+/// alignment of a 512-bit vector register.
+inline constexpr size_t kSimdAlignment = 64;
+
+/// Minimal C++17 allocator yielding Alignment-aligned storage.
+template <typename T, size_t Alignment = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment must not weaken T's own");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is kSimdAlignment-aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Row stride (in elements) that keeps every row of a row-major matrix of
+/// ElementSize-byte elements on a kSimdAlignment boundary: the smallest
+/// multiple of kSimdAlignment / sizeof(element) that is >= d.
+template <typename T>
+constexpr size_t AlignedStride(size_t d) {
+  constexpr size_t kPerLine = kSimdAlignment / sizeof(T);
+  return (d + kPerLine - 1) / kPerLine * kPerLine;
+}
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_VECTOR_ALIGNED_H_

@@ -2,7 +2,14 @@
 
 #include <cmath>
 
+#include "src/vector/simd.h"
+
 namespace c2lsh {
+
+// Every kernel routes through the runtime-dispatched SIMD layer
+// (src/vector/simd.h): the best ISA the host supports is resolved once at
+// first use, and the scalar reference (which preserves the historical
+// distance.cc loops exactly) remains the always-available fallback.
 
 std::string_view MetricToString(Metric m) {
   switch (m) {
@@ -19,59 +26,23 @@ std::string_view MetricToString(Metric m) {
 }
 
 double SquaredL2(const float* a, const float* b, size_t d) {
-  // Four-way unrolled accumulation: keeps the loop vectorizable under -O2
-  // and reduces dependency chains for the double accumulators.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    const double d0 = static_cast<double>(a[i]) - b[i];
-    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
-    const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
-    const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < d; ++i) {
-    const double di = static_cast<double>(a[i]) - b[i];
-    s0 += di * di;
-  }
-  return s0 + s1 + s2 + s3;
+  return simd::Active().squared_l2(a, b, d);
 }
 
 double L2(const float* a, const float* b, size_t d) { return std::sqrt(SquaredL2(a, b, d)); }
 
-double L1(const float* a, const float* b, size_t d) {
-  double s0 = 0.0, s1 = 0.0;
-  size_t i = 0;
-  for (; i + 2 <= d; i += 2) {
-    s0 += std::fabs(static_cast<double>(a[i]) - b[i]);
-    s1 += std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]);
-  }
-  for (; i < d; ++i) s0 += std::fabs(static_cast<double>(a[i]) - b[i]);
-  return s0 + s1;
-}
+double L1(const float* a, const float* b, size_t d) { return simd::Active().l1(a, b, d); }
 
-double Dot(const float* a, const float* b, size_t d) {
-  double s0 = 0.0, s1 = 0.0;
-  size_t i = 0;
-  for (; i + 2 <= d; i += 2) {
-    s0 += static_cast<double>(a[i]) * b[i];
-    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
-  }
-  for (; i < d; ++i) s0 += static_cast<double>(a[i]) * b[i];
-  return s0 + s1;
-}
+double Dot(const float* a, const float* b, size_t d) { return simd::Active().dot(a, b, d); }
 
-double SquaredNorm(const float* a, size_t d) { return Dot(a, a, d); }
+double SquaredNorm(const float* a, size_t d) { return simd::Active().squared_norm(a, d); }
 
 double Angular(const float* a, const float* b, size_t d) {
-  const double na = SquaredNorm(a, d);
-  const double nb = SquaredNorm(b, d);
+  // One fused pass computes the dot product and both norms together.
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  simd::Active().dot_and_norms(a, b, d, &dot, &na, &nb);
   if (na <= 0.0 || nb <= 0.0) return 1.0;
-  const double cosine = Dot(a, b, d) / std::sqrt(na * nb);
-  return 1.0 - cosine;
+  return 1.0 - dot / std::sqrt(na * nb);
 }
 
 double ComputeDistance(Metric metric, const float* a, const float* b, size_t d) {

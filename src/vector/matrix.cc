@@ -14,7 +14,7 @@ Result<FloatMatrix> FloatMatrix::Create(size_t num_rows, size_t dim) {
   if (dim != 0 && num_rows > std::numeric_limits<size_t>::max() / dim / sizeof(float)) {
     return Status::InvalidArgument("FloatMatrix size overflows");
   }
-  return FloatMatrix(num_rows, dim, std::vector<float>(num_rows * dim, 0.0f));
+  return FloatMatrix(num_rows, dim, Buffer(num_rows * dim, 0.0f));
 }
 
 Result<FloatMatrix> FloatMatrix::FromVector(size_t num_rows, size_t dim,
@@ -27,7 +27,9 @@ Result<FloatMatrix> FloatMatrix::FromVector(size_t num_rows, size_t dim,
         "FloatMatrix::FromVector: buffer has " + std::to_string(data.size()) +
         " floats, expected " + std::to_string(num_rows * dim));
   }
-  return FloatMatrix(num_rows, dim, std::move(data));
+  // Copy into the aligned backing store (the caller's default-aligned buffer
+  // cannot be adopted in place).
+  return FloatMatrix(num_rows, dim, Buffer(data.begin(), data.end()));
 }
 
 Status FloatMatrix::AppendRow(const float* v, size_t len) {

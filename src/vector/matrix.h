@@ -8,13 +8,20 @@
 #include <vector>
 
 #include "src/util/result.h"
+#include "src/vector/aligned.h"
 
 namespace c2lsh {
 
 /// A dense n x d row-major float matrix. Rows are vectors (objects or
-/// queries). Copyable and movable; the copy is deep.
+/// queries). Copyable and movable; the copy is deep. The backing buffer is
+/// kSimdAlignment-aligned so the SIMD kernel layer's loads start on a cache
+/// line (rows themselves are packed at stride dim() — the kernels tolerate
+/// any row alignment).
 class FloatMatrix {
  public:
+  /// The aligned backing store (data() is kSimdAlignment-aligned).
+  using Buffer = AlignedVector<float>;
+
   /// An empty 0 x 0 matrix.
   FloatMatrix() = default;
 
@@ -39,7 +46,7 @@ class FloatMatrix {
   float at(size_t i, size_t j) const { return data_[i * dim_ + j]; }
   void set(size_t i, size_t j, float v) { data_[i * dim_ + j] = v; }
 
-  const std::vector<float>& data() const { return data_; }
+  const Buffer& data() const { return data_; }
 
   /// Appends a row (must have exactly dim() elements). Used by streaming
   /// loaders and the dynamic-update tests.
@@ -50,12 +57,12 @@ class FloatMatrix {
   void NormalizeRows();
 
  private:
-  FloatMatrix(size_t num_rows, size_t dim, std::vector<float> data)
+  FloatMatrix(size_t num_rows, size_t dim, Buffer data)
       : num_rows_(num_rows), dim_(dim), data_(std::move(data)) {}
 
   size_t num_rows_ = 0;
   size_t dim_ = 0;
-  std::vector<float> data_;
+  Buffer data_;
 };
 
 }  // namespace c2lsh

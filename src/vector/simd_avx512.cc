@@ -1,0 +1,207 @@
+// AVX-512F kernel table: 8 double lanes per 512-bit register, 16 floats per
+// unrolled iteration. Compiled with -mavx512f on its own (see
+// src/vector/CMakeLists.txt — per-TU flags only, never global -march), and
+// entered only after simd.cc's __builtin_cpu_supports("avx512f") check.
+//
+// Same contracts as the other tables (see simd.h): double accumulation,
+// unaligned loads everywhere, and dot_rows bit-identical per row to dot via
+// the shared DotBody structure.
+
+#include "src/vector/simd.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace c2lsh {
+namespace simd {
+namespace detail {
+namespace {
+
+// The plain _mm512_cvtps_pd / _mm512_reduce_add_pd expand through
+// _mm512_undefined_pd() / _mm256_undefined_pd(), a GCC -Wuninitialized
+// false positive at every inline site (GCC PR105593). The all-ones-mask
+// zero-masking forms compile to the same instructions without it.
+inline __m512d LoadPd(const float* p) {
+  return _mm512_maskz_cvtps_pd(static_cast<__mmask8>(0xFF), _mm256_loadu_ps(p));
+}
+
+inline double HSum(__m512d x) {
+  // (The 512->256 cast also expands through the undefined-arg extract in
+  // GCC 12, hence the masked extract for the low half as well.)
+  const __m256d lo = _mm512_maskz_extractf64x4_pd(static_cast<__mmask8>(0xF), x, 0);
+  const __m256d hi = _mm512_maskz_extractf64x4_pd(static_cast<__mmask8>(0xF), x, 1);
+  const __m256d s = _mm256_add_pd(lo, hi);
+  const __m128d q =
+      _mm_add_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd(s, 1));
+  return _mm_cvtsd_f64(q) + _mm_cvtsd_f64(_mm_unpackhi_pd(q, q));
+}
+
+// 16 floats per iteration into two independent accumulators; scalar tail.
+// Keep the loop/finalization structure in lockstep with DotRows below.
+inline double DotBody(const float* a, const float* b, size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm512_fmadd_pd(LoadPd(a + i), LoadPd(b + i), acc0);
+    acc1 = _mm512_fmadd_pd(LoadPd(a + i + 8), LoadPd(b + i + 8), acc1);
+  }
+  double tail = 0.0;
+  for (; i < d; ++i) tail += static_cast<double>(a[i]) * b[i];
+  return HSum(acc0) + HSum(acc1) + tail;
+}
+
+double Avx512SquaredL2(const float* a, const float* b, size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512d d0 = _mm512_sub_pd(LoadPd(a + i), LoadPd(b + i));
+    const __m512d d1 = _mm512_sub_pd(LoadPd(a + i + 8), LoadPd(b + i + 8));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < d; ++i) {
+    const double di = static_cast<double>(a[i]) - b[i];
+    tail += di * di;
+  }
+  return HSum(acc0) + HSum(acc1) + tail;
+}
+
+double Avx512L1(const float* a, const float* b, size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512d d0 = _mm512_sub_pd(LoadPd(a + i), LoadPd(b + i));
+    const __m512d d1 = _mm512_sub_pd(LoadPd(a + i + 8), LoadPd(b + i + 8));
+    acc0 = _mm512_add_pd(acc0, _mm512_abs_pd(d0));
+    acc1 = _mm512_add_pd(acc1, _mm512_abs_pd(d1));
+  }
+  double tail = 0.0;
+  for (; i < d; ++i) {
+    tail += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return HSum(acc0) + HSum(acc1) + tail;
+}
+
+double Avx512Dot(const float* a, const float* b, size_t d) {
+  return DotBody(a, b, d);
+}
+
+double Avx512SquaredNorm(const float* a, size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512d a0 = LoadPd(a + i);
+    const __m512d a1 = LoadPd(a + i + 8);
+    acc0 = _mm512_fmadd_pd(a0, a0, acc0);
+    acc1 = _mm512_fmadd_pd(a1, a1, acc1);
+  }
+  double tail = 0.0;
+  for (; i < d; ++i) {
+    const double ai = a[i];
+    tail += ai * ai;
+  }
+  return HSum(acc0) + HSum(acc1) + tail;
+}
+
+void Avx512DotAndNorms(const float* a, const float* b, size_t d, double* dot,
+                       double* norm_a, double* norm_b) {
+  __m512d accd = _mm512_setzero_pd();
+  __m512d acca = _mm512_setzero_pd();
+  __m512d accb = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d av = LoadPd(a + i);
+    const __m512d bv = LoadPd(b + i);
+    accd = _mm512_fmadd_pd(av, bv, accd);
+    acca = _mm512_fmadd_pd(av, av, acca);
+    accb = _mm512_fmadd_pd(bv, bv, accb);
+  }
+  double td = 0.0, ta = 0.0, tb = 0.0;
+  for (; i < d; ++i) {
+    const double ai = a[i];
+    const double bi = b[i];
+    td += ai * bi;
+    ta += ai * ai;
+    tb += bi * bi;
+  }
+  *dot = HSum(accd) + td;
+  *norm_a = HSum(acca) + ta;
+  *norm_b = HSum(accb) + tb;
+}
+
+void Avx512DotRows(const float* rows, size_t num_rows, size_t stride, size_t d,
+                   const float* v, double* out) {
+  size_t r = 0;
+  // Four rows per pass share each load of v; every row keeps DotBody's exact
+  // accumulator structure (two lanes + scalar tail, summed in the same
+  // order), so out[r] is bit-identical to DotBody(row_r, v, d).
+  for (; r + 4 <= num_rows; r += 4) {
+    const float* r0 = rows + (r + 0) * stride;
+    const float* r1 = rows + (r + 1) * stride;
+    const float* r2 = rows + (r + 2) * stride;
+    const float* r3 = rows + (r + 3) * stride;
+    __m512d acc00 = _mm512_setzero_pd(), acc01 = _mm512_setzero_pd();
+    __m512d acc10 = _mm512_setzero_pd(), acc11 = _mm512_setzero_pd();
+    __m512d acc20 = _mm512_setzero_pd(), acc21 = _mm512_setzero_pd();
+    __m512d acc30 = _mm512_setzero_pd(), acc31 = _mm512_setzero_pd();
+    size_t i = 0;
+    for (; i + 16 <= d; i += 16) {
+      const __m512d v0 = LoadPd(v + i);
+      const __m512d v1 = LoadPd(v + i + 8);
+      acc00 = _mm512_fmadd_pd(LoadPd(r0 + i), v0, acc00);
+      acc01 = _mm512_fmadd_pd(LoadPd(r0 + i + 8), v1, acc01);
+      acc10 = _mm512_fmadd_pd(LoadPd(r1 + i), v0, acc10);
+      acc11 = _mm512_fmadd_pd(LoadPd(r1 + i + 8), v1, acc11);
+      acc20 = _mm512_fmadd_pd(LoadPd(r2 + i), v0, acc20);
+      acc21 = _mm512_fmadd_pd(LoadPd(r2 + i + 8), v1, acc21);
+      acc30 = _mm512_fmadd_pd(LoadPd(r3 + i), v0, acc30);
+      acc31 = _mm512_fmadd_pd(LoadPd(r3 + i + 8), v1, acc31);
+    }
+    double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+    for (; i < d; ++i) {
+      const double vi = v[i];
+      t0 += static_cast<double>(r0[i]) * vi;
+      t1 += static_cast<double>(r1[i]) * vi;
+      t2 += static_cast<double>(r2[i]) * vi;
+      t3 += static_cast<double>(r3[i]) * vi;
+    }
+    out[r + 0] = HSum(acc00) + HSum(acc01) + t0;
+    out[r + 1] = HSum(acc10) + HSum(acc11) + t1;
+    out[r + 2] = HSum(acc20) + HSum(acc21) + t2;
+    out[r + 3] = HSum(acc30) + HSum(acc31) + t3;
+  }
+  for (; r < num_rows; ++r) out[r] = DotBody(rows + r * stride, v, d);
+}
+
+constexpr Kernels kAvx512Kernels = {
+    Avx512SquaredL2, Avx512L1,          Avx512Dot,
+    Avx512SquaredNorm, Avx512DotAndNorms, Avx512DotRows,
+};
+
+}  // namespace
+
+const Kernels* GetAvx512Kernels() { return &kAvx512Kernels; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace c2lsh
+
+#else  // the build system misconfigured this TU's flags — degrade, don't break
+
+namespace c2lsh {
+namespace simd {
+namespace detail {
+const Kernels* GetAvx512Kernels() { return nullptr; }
+}  // namespace detail
+}  // namespace simd
+}  // namespace c2lsh
+
+#endif

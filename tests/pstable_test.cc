@@ -1,12 +1,14 @@
 #include "src/lsh/pstable.h"
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/util/math.h"
 #include "src/vector/distance.h"
+#include "src/vector/simd.h"
 #include "src/vector/synthetic.h"
 
 namespace c2lsh {
@@ -153,6 +155,51 @@ TEST(PStableFamilyTest, OffsetSpanWidensOffsets) {
   EXPECT_GT(max_b, 1.0);  // offsets actually use the widened span
   EXPECT_TRUE(
       PStableFamily::Sample(4, 4, 1.0, 1, /*offset_span=*/0.5).status().IsInvalidArgument());
+}
+
+// The packed matrix-vector path must reproduce the per-function quantized
+// buckets EXACTLY — floor boundaries included — on every dispatch target the
+// host supports (the simd.h dot/dot_rows exactness contract). m = 300
+// exceeds the internal projection chunk, so the chunked loop is exercised.
+TEST(PStableFamilyTest, PackedBucketsExactOnEveryIsa) {
+  auto fam = PStableFamily::Sample(300, 33, 1.0, 17);
+  ASSERT_TRUE(fam.ok());
+  auto data = GenerateUniform(300, 33, 23);
+  ASSERT_TRUE(data.ok());
+  const simd::Isa original = simd::ActiveIsa();
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    ASSERT_TRUE(simd::ForceIsa(isa));
+    std::vector<BucketId> all;
+    fam->BucketAll(data->row(0), &all);
+    ASSERT_EQ(all.size(), fam->size());
+    for (size_t i = 0; i < fam->size(); ++i) {
+      ASSERT_EQ(all[i], fam->function(i).Bucket(data->row(0)))
+          << simd::IsaName(isa) << " i=" << i;
+    }
+    for (size_t i : {size_t{0}, size_t{7}, size_t{299}}) {
+      const auto column = fam->BucketColumn(data.value(), i);
+      ASSERT_EQ(column.size(), data->num_rows());
+      for (size_t r = 0; r < data->num_rows(); ++r) {
+        ASSERT_EQ(column[r], fam->function(i).Bucket(data->row(r)))
+            << simd::IsaName(isa) << " i=" << i << " r=" << r;
+      }
+    }
+  }
+  ASSERT_TRUE(simd::ForceIsa(original));
+}
+
+TEST(PStableFamilyTest, MemoryBytesCoversPackedMatrix) {
+  auto fam = PStableFamily::Sample(10, 20, 1.0, 29);
+  ASSERT_TRUE(fam.ok());
+  EXPECT_GE(fam->packed_stride(), 20u);
+  EXPECT_EQ(fam->packed_stride() % (kSimdAlignment / sizeof(float)), 0u);
+  const size_t packed_bytes = 10 * fam->packed_stride() * sizeof(float);
+  const size_t per_function_bytes = 10 * (20 * sizeof(float) + 2 * sizeof(double));
+  EXPECT_GE(fam->MemoryBytes(), packed_bytes + per_function_bytes);
+  // Every packed row must start kSimdAlignment-aligned.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(fam->packed_row(i)) % kSimdAlignment, 0u);
+  }
 }
 
 // The heart of LSH: empirical collision frequency between points at a known

@@ -1,0 +1,224 @@
+// Equivalence suite for the SIMD kernel layer: every dispatch target the
+// host can reach is held against the scalar reference across dimensions
+// around every unroll width, misaligned base pointers, and special float
+// values. The dot/dot_rows exactness contract (src/vector/simd.h) is checked
+// bit-for-bit, because packed BucketAll correctness depends on it.
+#include "src/vector/simd.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/vector/aligned.h"
+
+namespace c2lsh {
+namespace simd {
+namespace {
+
+// Deterministic test vectors seasoned with the values SIMD lanes are most
+// likely to mishandle: signed zeros, float denormals, and magnitudes large
+// enough to expose float (rather than double) accumulation.
+std::vector<float> MakeVector(size_t d, uint64_t seed, bool large) {
+  Rng rng(seed);
+  std::vector<float> v;
+  rng.GaussianVector(d, &v);
+  if (large) {
+    for (float& x : v) x *= 1e18f;
+  }
+  for (size_t i = 0; i < d; i += 7) v[i] = (i % 14 == 0) ? 0.0f : -0.0f;
+  for (size_t i = 3; i < d; i += 11) v[i] = 1.4e-42f;  // denormal
+  for (size_t i = 5; i < d; i += 13) v[i] = -1.4e-42f;
+  return v;
+}
+
+// Reassociation bound: both tables accumulate each term in double, so they
+// agree to a few ulps of the magnitude sum of the terms.
+double Tolerance(double magnitude_sum) {
+  return 1e-12 * magnitude_sum + 1e-300;
+}
+
+double MagnitudeSumSquaredL2(const float* a, const float* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += diff * diff;
+  }
+  return s;
+}
+
+double MagnitudeSumDot(const float* a, const float* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    s += std::fabs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
+  }
+  return s;
+}
+
+// Every non-scalar ISA reachable on this host.
+std::vector<Isa> NonScalarIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : SupportedIsas()) {
+    if (isa != Isa::kScalar) out.push_back(isa);
+  }
+  return out;
+}
+
+TEST(SimdTest, ScalarAlwaysSupported) {
+  const std::vector<Isa> isas = SupportedIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  ASSERT_NE(KernelsFor(Isa::kScalar), nullptr);
+  // Every reported ISA must come with a full table.
+  for (Isa isa : isas) {
+    const Kernels* k = KernelsFor(isa);
+    ASSERT_NE(k, nullptr) << IsaName(isa);
+    EXPECT_NE(k->squared_l2, nullptr);
+    EXPECT_NE(k->l1, nullptr);
+    EXPECT_NE(k->dot, nullptr);
+    EXPECT_NE(k->squared_norm, nullptr);
+    EXPECT_NE(k->dot_and_norms, nullptr);
+    EXPECT_NE(k->dot_rows, nullptr);
+  }
+}
+
+TEST(SimdTest, IsaNamesRoundTrip) {
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    const auto parsed = IsaFromName(IsaName(isa));
+    ASSERT_TRUE(parsed.has_value()) << IsaName(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_FALSE(IsaFromName("sse9").has_value());
+  EXPECT_FALSE(IsaFromName("").has_value());
+}
+
+TEST(SimdTest, ForceIsaRoundTrip) {
+  const Isa original = ActiveIsa();
+  for (Isa isa : SupportedIsas()) {
+    ASSERT_TRUE(ForceIsa(isa)) << IsaName(isa);
+    EXPECT_EQ(ActiveIsa(), isa);
+    EXPECT_EQ(&Active(), KernelsFor(isa));
+  }
+  // Unavailable targets must be rejected without disturbing the active table.
+  bool any_unavailable = false;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (KernelsFor(isa) == nullptr) {
+      const Isa before = ActiveIsa();
+      EXPECT_FALSE(ForceIsa(isa)) << IsaName(isa);
+      EXPECT_EQ(ActiveIsa(), before);
+      any_unavailable = true;
+    }
+  }
+  (void)any_unavailable;
+  ASSERT_TRUE(ForceIsa(original));
+}
+
+// Scalar-vs-SIMD agreement for every reduction kernel, swept over the
+// dimensions around every unroll width (1..129 covers the 4/8/16-wide main
+// loops, their 2x blocks, and all tail lengths), over misaligned base
+// pointers, and over both moderate and large magnitudes.
+TEST(SimdTest, AllKernelsMatchScalar) {
+  const Kernels& scalar = *KernelsFor(Isa::kScalar);
+  for (Isa isa : NonScalarIsas()) {
+    const Kernels& k = *KernelsFor(isa);
+    for (size_t d = 1; d <= 129; ++d) {
+      for (bool large : {false, true}) {
+        // Over-allocate so shifted base pointers still have d valid floats.
+        const std::vector<float> a_buf = MakeVector(d + 3, 1000 + d, large);
+        const std::vector<float> b_buf = MakeVector(d + 3, 2000 + d, large);
+        for (size_t offset = 0; offset <= 3; ++offset) {
+          const float* a = a_buf.data() + offset;
+          const float* b = b_buf.data() + offset;
+
+          const double l2_scale = MagnitudeSumSquaredL2(a, b, d);
+          EXPECT_NEAR(k.squared_l2(a, b, d), scalar.squared_l2(a, b, d),
+                      Tolerance(l2_scale))
+              << IsaName(isa) << " squared_l2 d=" << d << " off=" << offset;
+
+          double l1_scale = 0.0;
+          for (size_t i = 0; i < d; ++i) {
+            l1_scale += std::fabs(static_cast<double>(a[i]) - b[i]);
+          }
+          EXPECT_NEAR(k.l1(a, b, d), scalar.l1(a, b, d), Tolerance(l1_scale))
+              << IsaName(isa) << " l1 d=" << d << " off=" << offset;
+
+          const double dot_scale = MagnitudeSumDot(a, b, d);
+          EXPECT_NEAR(k.dot(a, b, d), scalar.dot(a, b, d), Tolerance(dot_scale))
+              << IsaName(isa) << " dot d=" << d << " off=" << offset;
+
+          EXPECT_NEAR(k.squared_norm(a, d), scalar.squared_norm(a, d),
+                      Tolerance(MagnitudeSumDot(a, a, d)))
+              << IsaName(isa) << " squared_norm d=" << d << " off=" << offset;
+
+          double dot_s, na_s, nb_s, dot_k, na_k, nb_k;
+          scalar.dot_and_norms(a, b, d, &dot_s, &na_s, &nb_s);
+          k.dot_and_norms(a, b, d, &dot_k, &na_k, &nb_k);
+          EXPECT_NEAR(dot_k, dot_s, Tolerance(dot_scale))
+              << IsaName(isa) << " dot_and_norms.dot d=" << d;
+          EXPECT_NEAR(na_k, na_s, Tolerance(MagnitudeSumDot(a, a, d)))
+              << IsaName(isa) << " dot_and_norms.na d=" << d;
+          EXPECT_NEAR(nb_k, nb_s, Tolerance(MagnitudeSumDot(b, b, d)))
+              << IsaName(isa) << " dot_and_norms.nb d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, SignedZerosAndDenormalsExact) {
+  // Sums of zero products and denormal products are exact in double, so
+  // every table must agree bit-for-bit here — no tolerance.
+  const std::vector<float> zeros = {0.0f, -0.0f, 0.0f, -0.0f, 0.0f,
+                                    -0.0f, 0.0f, -0.0f, 0.0f};
+  const std::vector<float> denorm(9, 1.4e-42f);
+  for (Isa isa : SupportedIsas()) {
+    const Kernels& k = *KernelsFor(isa);
+    for (size_t d = 1; d <= zeros.size(); ++d) {
+      EXPECT_EQ(k.squared_l2(zeros.data(), zeros.data(), d), 0.0)
+          << IsaName(isa) << " d=" << d;
+      EXPECT_EQ(k.dot(zeros.data(), denorm.data(), d), 0.0)
+          << IsaName(isa) << " d=" << d;
+      EXPECT_GT(k.squared_norm(denorm.data(), d), 0.0)
+          << IsaName(isa) << " denormals must not flush to zero, d=" << d;
+    }
+  }
+}
+
+// The exactness contract: dot_rows must reproduce this table's own dot
+// bit-for-bit per row (padding never read), and dot must be exactly
+// commutative. Checked for stride == d and for an aligned padded stride, at
+// row counts covering every blocked-remainder path.
+TEST(SimdTest, DotRowsBitIdenticalToDot) {
+  for (Isa isa : SupportedIsas()) {
+    const Kernels& k = *KernelsFor(isa);
+    for (size_t d : {1u, 3u, 7u, 8u, 16u, 31u, 64u, 100u, 129u}) {
+      for (size_t stride : {d, AlignedStride<float>(d)}) {
+        for (size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 9u}) {
+          AlignedVector<float> rows(n * stride, 7.7e33f);  // poison padding
+          for (size_t r = 0; r < n; ++r) {
+            const std::vector<float> row = MakeVector(d, 31 * r + d, false);
+            for (size_t i = 0; i < d; ++i) rows[r * stride + i] = row[i];
+          }
+          const std::vector<float> v = MakeVector(d, 555 + d, false);
+          std::vector<double> out(n, -1.0);
+          k.dot_rows(rows.data(), n, stride, d, v.data(), out.data());
+          for (size_t r = 0; r < n; ++r) {
+            const float* row = rows.data() + r * stride;
+            const double direct = k.dot(row, v.data(), d);
+            EXPECT_EQ(out[r], direct)
+                << IsaName(isa) << " d=" << d << " stride=" << stride
+                << " n=" << n << " r=" << r;
+            EXPECT_EQ(k.dot(v.data(), row, d), direct)
+                << IsaName(isa) << " commutativity d=" << d << " r=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace c2lsh

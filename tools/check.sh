@@ -6,10 +6,17 @@
 #
 #   lint      tools/lint.py over src/ tests/ tools/ bench/
 #   default   plain build, full ctest
-#   asan      -DC2LSH_SANITIZE=address,   full ctest
-#   ubsan     -DC2LSH_SANITIZE=undefined, full ctest
+#   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
+#             compiled), full ctest — keeps the portable fallback tested
+#   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
+#   ubsan     -DC2LSH_SANITIZE=undefined, full ctest, rerun w/ C2LSH_SIMD=scalar
 #   tsan      -DC2LSH_SANITIZE=thread,    ctest -L race (concurrent stress
 #             suite; any TSan report fails the test)
+#
+# The sanitizer lanes run their ctest suite twice: once on the CPU's best
+# SIMD dispatch target and once with the C2LSH_SIMD=scalar runtime override,
+# so both sides of the kernel dispatch stay sanitizer-clean without an extra
+# build tree.
 #   clang     clang++ build with -Wthread-safety (annotation check) — runs
 #             only when clang++ is installed
 #   tidy      clang-tidy over src/ with the checked-in .clang-tidy — runs
@@ -51,6 +58,18 @@ build_and_test() {  # build_and_test <dir> <ctest-args...> -- <cmake-args...>
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${ctest_args[@]}"
 }
 
+# Like build_and_test, but runs the ctest suite a second time with the SIMD
+# dispatch forced to the scalar kernels (runtime override — no rebuild).
+build_and_test_both_isas() {
+  build_and_test "$@" || return 1
+  local dir="$1"; shift
+  local ctest_args=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do ctest_args+=("$1"); shift; done
+  note "  (rerun with C2LSH_SIMD=scalar)"
+  C2LSH_SIMD=scalar ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    "${ctest_args[@]}"
+}
+
 # --- lint ------------------------------------------------------------------
 run_lane lint python3 tools/lint.py
 
@@ -58,10 +77,13 @@ run_lane lint python3 tools/lint.py
 run_lane default build_and_test build-check/default --
 
 if [[ "${FAST}" -eq 0 ]]; then
+  # --- forced-scalar build (no SIMD translation units at all) --------------
+  run_lane scalar build_and_test build-check/scalar -- -DC2LSH_DISABLE_SIMD=ON
+
   # --- sanitizers ----------------------------------------------------------
-  run_lane asan build_and_test build-check/asan -- -DC2LSH_SANITIZE=address
-  run_lane ubsan build_and_test build-check/ubsan -- -DC2LSH_SANITIZE=undefined
-  run_lane tsan build_and_test build-check/tsan -L race -- -DC2LSH_SANITIZE=thread
+  run_lane asan build_and_test_both_isas build-check/asan -- -DC2LSH_SANITIZE=address
+  run_lane ubsan build_and_test_both_isas build-check/ubsan -- -DC2LSH_SANITIZE=undefined
+  run_lane tsan build_and_test_both_isas build-check/tsan -L race -- -DC2LSH_SANITIZE=thread
 
   # --- clang thread-safety annotations (optional tool) ---------------------
   if command -v clang++ >/dev/null 2>&1; then

@@ -15,6 +15,11 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     src/util/thread_annotations.h or src/util/mutex.h, so
                     its cross-thread state is either annotated or documented
                     disjoint under the annotation regime.
+  isa-header        ISA intrinsics headers (<immintrin.h>, <arm_neon.h>, ...)
+                    may only be included under src/vector/ — every other
+                    layer must go through the dispatched kernel table in
+                    src/vector/simd.h, so no TU outside the kernel layer can
+                    accidentally depend on -m flags it isn't compiled with.
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -60,6 +65,16 @@ BANNED_CALLS = [
 NAKED_NEW = re.compile(r"(?<![\w:.])new\s+[A-Za-z_(]")
 THREAD_USE = re.compile(r"std::thread\b")
 THREAD_HEADERS = ("src/util/thread_annotations.h", "src/util/mutex.h")
+
+# Intrinsics headers are confined to the SIMD kernel layer (src/vector/),
+# whose translation units carry the matching -m target flags.
+ISA_HEADER_INCLUDE = re.compile(
+    r'^\s*#\s*include\s*[<"]'
+    r"(?:immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|tmmintrin|"
+    r"smmintrin|nmmintrin|wmmintrin|avxintrin|avx2intrin|avx512\w*|"
+    r"arm_neon|arm_sve|arm_acle)\.h"
+    r'[>"]')
+ISA_HEADER_ALLOWED_PREFIX = os.path.join("src", "vector") + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -182,6 +197,13 @@ def lint_file(path, rel, status_names, errors):
         for pattern, msg in BANNED_CALLS:
             if pattern.search(code) and not allowed("banned-function"):
                 errors.append(f"{rel}:{lineno}: [banned-function] {msg}")
+        if (ISA_HEADER_INCLUDE.match(code) and
+                not rel.startswith(ISA_HEADER_ALLOWED_PREFIX) and
+                not allowed("isa-header")):
+            errors.append(
+                f"{rel}:{lineno}: [isa-header] intrinsics headers are confined "
+                "to src/vector/ — call through the dispatch table in "
+                "src/vector/simd.h instead")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "
