@@ -16,6 +16,7 @@
 
 #include "src/eval/harness.h"
 #include "src/eval/method.h"
+#include "src/eval/report.h"
 #include "src/eval/table.h"
 #include "src/util/argparse.h"
 #include "src/vector/ground_truth.h"
@@ -57,7 +58,19 @@ inline ArgParser MakeStandardParser(const std::string& doc) {
   p.AddInt("n", 10000, "objects per dataset profile");
   p.AddInt("queries", 50, "number of queries");
   p.AddInt("seed", 42, "master seed");
+  p.AddString("metrics_out", "",
+              "write a JSON metrics report (per-query latency percentiles, "
+              "rehash traces, registry dump) to this path; empty = disabled");
   return p;
+}
+
+/// Writes the JSON metrics report when --metrics_out was given.
+inline void MaybeWriteMetricsReport(const ArgParser& parser,
+                                    const std::vector<WorkloadResult>& results) {
+  const std::string path = parser.GetString("metrics_out");
+  if (path.empty()) return;
+  DieIf(WriteMetricsReport(path, results), "metrics report");
+  std::printf("metrics report written to %s\n", path.c_str());
 }
 
 /// Parses or dies; handles --help.
@@ -161,11 +174,12 @@ struct SweepRow {
 };
 inline std::vector<SweepRow> RunKSweep(const World& world,
                                        std::vector<std::unique_ptr<AnnMethod>>* methods,
-                                       const std::vector<size_t>& ks) {
+                                       const std::vector<size_t>& ks,
+                                       const WorkloadOptions& options = WorkloadOptions()) {
   std::vector<SweepRow> rows;
   for (auto& method : *methods) {
     for (size_t k : ks) {
-      auto r = RunWorkload(method.get(), world.data, world.queries, world.gt, k);
+      auto r = RunWorkload(method.get(), world.data, world.queries, world.gt, k, options);
       DieIf(r.status(), "workload");
       rows.push_back(SweepRow{method->name(), std::move(r).value()});
     }

@@ -20,10 +20,15 @@ int Run(int argc, char** argv) {
 
   bench::PrintHeader("F3", "mean query wall time (ms) vs k");
   const std::vector<size_t> ks = bench::PaperKs();
+  // Per-round trace collection is only worth its copy cost when the report
+  // is actually being written.
+  WorkloadOptions workload_options;
+  workload_options.collect_traces = !parser.GetString("metrics_out").empty();
+  std::vector<WorkloadResult> all_results;
   for (DatasetProfile profile : AllDatasetProfiles()) {
     bench::World world = bench::MakeWorld(profile, n, nq, ks.back(), seed);
     auto methods = bench::BuildAllMethods(world, seed);
-    const auto rows = bench::RunKSweep(world, &methods, ks);
+    const auto rows = bench::RunKSweep(world, &methods, ks, workload_options);
 
     std::printf("\n[%s]  n=%zu  d=%zu\n", world.name.c_str(), world.data.size(),
                 world.data.dim());
@@ -38,7 +43,9 @@ int Run(int argc, char** argv) {
       table.AddRow(std::move(cells));
     }
     std::printf("%s", table.ToString().c_str());
+    for (const auto& row : rows) all_results.push_back(row.result);
   }
+  bench::MaybeWriteMetricsReport(parser, all_results);
   return 0;
 }
 

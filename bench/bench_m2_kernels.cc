@@ -10,7 +10,6 @@
 //
 // Usage: bench_m2_kernels [--reps 200] [--out BENCH_kernels.json]
 
-#include <chrono>
 #include <cstdio>
 #include <iterator>
 #include <string>
@@ -19,6 +18,7 @@
 #include "bench/bench_common.h"
 #include "src/lsh/pstable.h"
 #include "src/util/random.h"
+#include "src/util/timer.h"
 #include "src/vector/aligned.h"
 #include "src/vector/simd.h"
 
@@ -38,12 +38,6 @@ struct Measurement {
   double speedup_vs_scalar = 0.0;
 };
 
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 // Runs `fn` (one "op") enough times to exceed ~2ms, returns ns per op. The
 // double return value of each op is accumulated into a volatile sink so the
 // kernel call is not optimized away.
@@ -54,10 +48,9 @@ double TimeNsPerOp(size_t reps, Fn&& fn) {
   for (size_t i = 0; i < 8; ++i) sink = sink + fn();
   double best = 1e300;
   for (int trial = 0; trial < 3; ++trial) {
-    const double t0 = NowSeconds();
+    Timer timer;
     for (size_t i = 0; i < reps; ++i) sink = sink + fn();
-    const double elapsed = NowSeconds() - t0;
-    const double ns = elapsed * 1e9 / static_cast<double>(reps);
+    const double ns = timer.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
     if (ns < best) best = ns;
   }
   (void)sink;

@@ -3,12 +3,14 @@
 //   1. Generate (or load) a dataset of float vectors.
 //   2. Build a C2lshIndex with the paper's default parameters.
 //   3. Run c-k-ANN queries and inspect results + per-query statistics.
+//   4. Read the process-wide metrics the queries left behind.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
 #include "src/core/index.h"
+#include "src/obs/registry.h"
 #include "src/vector/ground_truth.h"
 #include "src/vector/synthetic.h"
 
@@ -60,6 +62,20 @@ int main() {
     for (const Neighbor& nb : *result) {
       std::printf("  id=%u  dist=%.4f\n", nb.id, nb.dist);
     }
+  }
+
+  // 4. Every query also fed the process-wide metrics registry. Pull a few
+  //    aggregates back out (tools/metrics_dump prints the whole registry as
+  //    a table, JSON, or Prometheus text; benches accept --metrics_out).
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::Counter* rounds = registry.FindCounter("c2lsh_rounds_total");
+  const obs::Histogram* lat = registry.FindHistogram("c2lsh_query_millis");
+  if (rounds != nullptr && lat != nullptr && lat->count() > 0) {
+    std::printf("\nmetrics: %llu rehash rounds over %llu queries, "
+                "query latency p50=%.3f ms p95=%.3f ms\n",
+                static_cast<unsigned long long>(rounds->value()),
+                static_cast<unsigned long long>(lat->count()),
+                lat->Percentile(0.50), lat->Percentile(0.95));
   }
   return 0;
 }

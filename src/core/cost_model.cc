@@ -106,11 +106,12 @@ Result<CostPrediction> PredictQueryCost(const C2lshDerived& derived,
     const double freq_kth = BinomialTailGE(static_cast<int>(derived.m),
                                            static_cast<int>(derived.l), p_kth);
     if (kth_nn <= c * static_cast<double>(R) && freq_kth >= 0.5) {
-      pred.terminated_by_t1 = true;
+      pred.predicted_termination = Termination::kT1;
       break;
     }
     // T2: the candidate budget is expected to be exhausted.
     if (expected_candidates >= t2_budget) {
+      pred.predicted_termination = Termination::kT2;
       break;
     }
     R *= c_int;

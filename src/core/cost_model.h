@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/params.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 #include "src/vector/matrix.h"
@@ -50,7 +51,9 @@ struct CostPrediction {
   /// Expected counter increments summed over rounds (the CPU driver):
   /// n * m * p(d; w*R_final) averaged over the distance sample.
   double expected_increments = 0.0;
-  bool terminated_by_t1 = false;
+  /// Predicted stopping condition: kT1, kT2 (budget), or kNone when the
+  /// round cap of the model was reached without either firing.
+  Termination predicted_termination = Termination::kNone;
 };
 
 /// Evaluates the model for a query load asking for k neighbors.

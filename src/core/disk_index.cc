@@ -6,13 +6,90 @@
 #include <limits>
 
 #include "src/core/virtual_rehash.h"
+#include "src/obs/registry.h"
 #include "src/storage/blob.h"
+#include "src/util/timer.h"
 #include "src/vector/distance.h"
 
 namespace c2lsh {
 
 namespace {
 constexpr uint32_t kMetaMagic = 0xC25D1234;
+
+// Registry handles for the disk query path, resolved once; RunDiskQuery
+// flushes its per-query stats through these at the end of each query.
+struct DiskMetrics {
+  obs::Counter* queries;
+  obs::Counter* rounds;
+  obs::Counter* collision_increments;
+  obs::Counter* candidates_verified;
+  obs::Counter* buckets_scanned;
+  obs::Counter* t1;
+  obs::Counter* t2;
+  obs::Counter* exhausted;
+  obs::Counter* degraded_queries;
+  obs::Counter* tables_skipped;
+  obs::Counter* candidates_skipped;
+  obs::Histogram* latency;
+};
+
+const DiskMetrics& Metrics() {
+  static const DiskMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return DiskMetrics{
+        r.GetCounter("disk_c2lsh_queries_total", "Disk C2LSH queries answered"),
+        r.GetCounter("disk_c2lsh_rounds_total",
+                     "Virtual-rehashing rounds executed by disk queries"),
+        r.GetCounter("disk_c2lsh_collision_increments_total",
+                     "Collision-counter increments (disk queries)"),
+        r.GetCounter("disk_c2lsh_candidates_verified_total",
+                     "Exact distance verifications (disk queries)"),
+        r.GetCounter("disk_c2lsh_buckets_scanned_total",
+                     "Hash buckets visited (disk queries)"),
+        r.GetCounter("disk_c2lsh_queries_t1_total",
+                     "Disk queries terminated by T1"),
+        r.GetCounter("disk_c2lsh_queries_t2_total",
+                     "Disk queries terminated by T2"),
+        r.GetCounter("disk_c2lsh_queries_exhausted_total",
+                     "Disk queries that covered every readable bucket"),
+        r.GetCounter("disk_c2lsh_degraded_queries_total",
+                     "Disk queries answered while skipping corrupt pages"),
+        r.GetCounter("disk_c2lsh_tables_skipped_total",
+                     "Hash tables dropped mid-query on a corrupt index page"),
+        r.GetCounter("disk_c2lsh_candidates_skipped_total",
+                     "Candidates dropped mid-query on a corrupt data page"),
+        r.GetHistogram("disk_c2lsh_query_millis",
+                       "Disk C2LSH query latency in milliseconds"),
+    };
+  }();
+  return m;
+}
+
+void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis) {
+  const DiskMetrics& m = Metrics();
+  m.queries->Increment();
+  m.rounds->Increment(st.base.rounds);
+  m.collision_increments->Increment(st.base.collision_increments);
+  m.candidates_verified->Increment(st.base.candidates_verified);
+  m.buckets_scanned->Increment(st.base.buckets_scanned);
+  switch (st.base.termination) {
+    case Termination::kT1:
+      m.t1->Increment();
+      break;
+    case Termination::kT2:
+      m.t2->Increment();
+      break;
+    case Termination::kExhausted:
+      m.exhausted->Increment();
+      break;
+    case Termination::kNone:
+      break;
+  }
+  if (st.degraded) m.degraded_queries->Increment();
+  m.tables_skipped->Increment(st.tables_skipped);
+  m.candidates_skipped->Increment(st.candidates_skipped);
+  m.latency->Observe(millis);
+}
 
 Status WriteSuperblock(BufferPool* pool, PageId meta_root) {
   C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool->Fetch(1));
@@ -244,32 +321,38 @@ Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out) const {
 }
 
 Result<NeighborList> DiskC2lshIndex::Query(const float* query, size_t k,
-                                           DiskQueryStats* stats) const {
+                                           DiskQueryStats* stats,
+                                           obs::QueryTrace* trace) const {
   if (first_data_page_ == 0) {
     return Status::NotSupported(
         "DiskC2LSH: this index was built without a data segment; pass the Dataset "
         "to Query or rebuild with store_vectors = true");
   }
-  return RunDiskQuery(nullptr, query, k, stats);
+  return RunDiskQuery(nullptr, query, k, stats, trace);
 }
 
 Result<NeighborList> DiskC2lshIndex::Query(const Dataset& data, const float* query,
-                                           size_t k, DiskQueryStats* stats) const {
+                                           size_t k, DiskQueryStats* stats,
+                                           obs::QueryTrace* trace) const {
   if (data.dim() != dim_) {
     return Status::InvalidArgument("DiskC2LSH query: dataset dim mismatch");
   }
   if (data.size() < num_objects_) {
     return Status::InvalidArgument("DiskC2LSH query: dataset smaller than the index");
   }
-  return RunDiskQuery(&data, query, k, stats);
+  return RunDiskQuery(&data, query, k, stats, trace);
 }
 
 Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const float* query,
-                                                  size_t k, DiskQueryStats* stats) const {
+                                                  size_t k, DiskQueryStats* stats,
+                                                  obs::QueryTrace* trace) const {
   if (k == 0) return Status::InvalidArgument("DiskC2LSH query: k must be positive");
   DiskQueryStats local;
   DiskQueryStats* st = (stats != nullptr) ? stats : &local;
   *st = DiskQueryStats();
+  const bool tracing = trace != nullptr;
+  if (tracing) trace->Clear();
+  Timer query_timer;
   const BufferPoolStats pool_before = pool_->stats();
 
   counter_.NewQuery();
@@ -361,9 +444,19 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
   };
 
   long long R = 1;
+  Timer round_timer;
   while (true) {
     ++st->base.rounds;
     st->base.final_radius = R;
+    C2lshQueryStats before;
+    uint64_t misses_at_round_start = 0;
+    uint64_t data_misses_at_round_start = 0;
+    if (tracing) {
+      round_timer.Reset();
+      before = st->base;
+      misses_at_round_start = pool_->stats().misses;
+      data_misses_at_round_start = data_misses;
+    }
     bool all_covered = true;
     for (size_t i = 0; i < m; ++i) {
       const BucketRange next = interval(qbuckets[i], R);
@@ -385,14 +478,33 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
       if (within >= k) break;
     }
     if (within >= k) {
-      st->base.terminated_by_t1 = true;
-      break;
+      st->base.termination = Termination::kT1;
+    } else if (found.size() >= t2_threshold) {
+      st->base.termination = Termination::kT2;
+    } else if (all_covered) {
+      st->base.termination = Termination::kExhausted;
     }
-    if (found.size() >= t2_threshold) {
-      st->base.terminated_by_t2 = true;
-      break;
+    if (tracing) {
+      obs::QueryRoundSpan span;
+      span.radius = R;
+      span.buckets_scanned = st->base.buckets_scanned - before.buckets_scanned;
+      span.collision_increments =
+          st->base.collision_increments - before.collision_increments;
+      span.candidates_verified =
+          st->base.candidates_verified - before.candidates_verified;
+      // Index pages this round: measured pool misses minus the misses
+      // attributed to data-segment vector reads.
+      const uint64_t round_misses =
+          pool_->stats().misses - misses_at_round_start;
+      const uint64_t round_data_misses =
+          data_misses - data_misses_at_round_start;
+      span.index_pages = round_misses - round_data_misses;
+      span.t1_fired = st->base.termination == Termination::kT1;
+      span.t2_fired = st->base.termination == Termination::kT2;
+      span.millis = round_timer.ElapsedMillis();
+      trace->rounds.push_back(span);
     }
-    if (all_covered) break;
+    if (st->base.termination != Termination::kNone) break;
     R *= c_int;
   }
 
@@ -408,6 +520,15 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
 
   std::sort(found.begin(), found.end(), NeighborLess());
   if (found.size() > k) found.resize(k);
+  const double total_millis = query_timer.ElapsedMillis();
+  if (tracing) {
+    trace->termination = st->base.termination;
+    trace->total_millis = total_millis;
+    trace->pool_hits = st->pool_hits;
+    trace->pool_misses = st->pool_misses;
+    trace->degraded = st->degraded;
+  }
+  FlushDiskQueryMetrics(*st, total_millis);
   return found;
 }
 

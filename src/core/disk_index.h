@@ -75,15 +75,19 @@ class DiskC2lshIndex {
                                      Env* env = nullptr);
 
   /// c-k-ANN query against the stored data segment. Requires the index to
-  /// have been built with store_vectors = true. Not thread-safe.
+  /// have been built with store_vectors = true. `trace`, when non-null,
+  /// receives one span per rehashing round plus measured pool hit/miss
+  /// counts (src/obs/trace.h). Not thread-safe.
   Result<NeighborList> Query(const float* query, size_t k,
-                             DiskQueryStats* stats = nullptr) const;
+                             DiskQueryStats* stats = nullptr,
+                             obs::QueryTrace* trace = nullptr) const;
 
   /// c-k-ANN query verifying against the caller's dataset (works with or
   /// without a stored data segment); identical answers to the in-memory
   /// C2lshIndex built with the same options/seed. Not thread-safe.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
-                             DiskQueryStats* stats = nullptr) const;
+                             DiskQueryStats* stats = nullptr,
+                             obs::QueryTrace* trace = nullptr) const;
 
   bool has_stored_vectors() const { return first_data_page_ != 0; }
 
@@ -109,7 +113,8 @@ class DiskC2lshIndex {
 
   /// Shared query loop. `data` may be null when vectors are stored.
   Result<NeighborList> RunDiskQuery(const Dataset* data, const float* query, size_t k,
-                                    DiskQueryStats* stats) const;
+                                    DiskQueryStats* stats,
+                                    obs::QueryTrace* trace) const;
 
   /// Reads object `id`'s vector from the data segment into `out`
   /// (dim_ floats), charging the pool.

@@ -6,10 +6,79 @@
 #include <string>
 #include <thread>
 
+#include "src/obs/registry.h"
 #include "src/util/thread_annotations.h"
+#include "src/util/timer.h"
 #include "src/vector/distance.h"
 
 namespace c2lsh {
+namespace {
+
+// Registry handles resolved once per process; RunQuery flushes its local
+// C2lshQueryStats through these at query end, so the hot round loop never
+// touches an atomic (see docs/ARCHITECTURE.md, "Observability").
+struct CoreMetrics {
+  obs::Counter* queries;
+  obs::Counter* rounds;
+  obs::Counter* collision_increments;
+  obs::Counter* candidates_verified;
+  obs::Counter* buckets_scanned;
+  obs::Counter* t1;
+  obs::Counter* t2;
+  obs::Counter* exhausted;
+  obs::Histogram* latency;
+};
+
+const CoreMetrics& Metrics() {
+  static const CoreMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return CoreMetrics{
+        r.GetCounter("c2lsh_queries_total", "In-memory C2LSH queries answered"),
+        r.GetCounter("c2lsh_rounds_total",
+                     "Virtual-rehashing rounds executed by in-memory queries"),
+        r.GetCounter("c2lsh_collision_increments_total",
+                     "Collision-counter increments (in-memory queries)"),
+        r.GetCounter("c2lsh_candidates_verified_total",
+                     "Exact distance verifications (in-memory queries)"),
+        r.GetCounter("c2lsh_buckets_scanned_total",
+                     "Hash buckets visited (in-memory queries)"),
+        r.GetCounter("c2lsh_queries_t1_total",
+                     "Queries terminated by T1 (k verified within c*R)"),
+        r.GetCounter("c2lsh_queries_t2_total",
+                     "Queries terminated by T2 (k + beta*n candidate budget)"),
+        r.GetCounter("c2lsh_queries_exhausted_total",
+                     "Queries that covered every bucket of every table"),
+        r.GetHistogram("c2lsh_query_millis",
+                       "In-memory C2LSH query latency in milliseconds"),
+    };
+  }();
+  return m;
+}
+
+void FlushQueryMetrics(const C2lshQueryStats& st, double millis) {
+  const CoreMetrics& m = Metrics();
+  m.queries->Increment();
+  m.rounds->Increment(st.rounds);
+  m.collision_increments->Increment(st.collision_increments);
+  m.candidates_verified->Increment(st.candidates_verified);
+  m.buckets_scanned->Increment(st.buckets_scanned);
+  switch (st.termination) {
+    case Termination::kT1:
+      m.t1->Increment();
+      break;
+    case Termination::kT2:
+      m.t2->Increment();
+      break;
+    case Termination::kExhausted:
+      m.exhausted->Increment();
+      break;
+    case Termination::kNone:
+      break;
+  }
+  m.latency->Observe(millis);
+}
+
+}  // namespace
 
 C2lshIndex::C2lshIndex(C2lshOptions options, C2lshDerived derived, PStableFamily family,
                        std::vector<BucketTable> tables, size_t num_objects, size_t dim,
@@ -101,8 +170,10 @@ Result<C2lshIndex> C2lshIndex::FromParts(const C2lshOptions& options,
 }
 
 Result<NeighborList> C2lshIndex::Query(const Dataset& data, const float* query, size_t k,
-                                       C2lshQueryStats* stats) const {
-  return RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_);
+                                       C2lshQueryStats* stats,
+                                       obs::QueryTrace* trace) const {
+  return RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_,
+                  /*filter=*/nullptr, trace);
 }
 
 Result<NeighborList> C2lshIndex::FilteredQuery(
@@ -117,7 +188,8 @@ Result<NeighborList> C2lshIndex::FilteredQuery(
 Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* query, size_t k,
                                           long long max_radius, C2lshQueryStats* stats,
                                           C2lshQueryScratch* scratch,
-                                          const std::function<bool(ObjectId)>* filter) const {
+                                          const std::function<bool(ObjectId)>* filter,
+                                          obs::QueryTrace* trace) const {
   if (k == 0) return Status::InvalidArgument("C2LSH query: k must be positive");
   if (data.dim() != dim_) {
     return Status::InvalidArgument("C2LSH query: dataset dim mismatch");
@@ -130,6 +202,9 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   C2lshQueryStats local_stats;
   C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
   *st = C2lshQueryStats();
+  const bool tracing = trace != nullptr;
+  if (tracing) trace->Clear();
+  Timer query_timer;
 
   CollisionCounter& counter = scratch->counter;
   std::vector<uint8_t>& verified = scratch->verified;
@@ -190,10 +265,17 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   };
 
   long long R = 1;
-  bool exhausted = false;
+  Timer round_timer;
   while (true) {
     ++st->rounds;
     st->final_radius = R;
+    // Trace spans are deltas of the running stats, so tracing adds no work
+    // inside scan_range.
+    C2lshQueryStats before;
+    if (tracing) {
+      round_timer.Reset();
+      before = *st;
+    }
 
     bool all_covered = true;
     for (size_t i = 0; i < m; ++i) {
@@ -218,22 +300,32 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
       if (within >= k) break;
     }
     if (within >= k) {
-      st->terminated_by_t1 = true;
-      break;
+      st->termination = Termination::kT1;
+    } else if (found.size() >= t2_threshold) {
+      // T2: the false-positive budget is exhausted.
+      st->termination = Termination::kT2;
+    } else if (all_covered) {
+      // Every object has been counted in every table.
+      st->termination = Termination::kExhausted;
     }
-    // T2: the false-positive budget is exhausted.
-    if (found.size() >= t2_threshold) {
-      st->terminated_by_t2 = true;
-      break;
+    if (tracing) {
+      obs::QueryRoundSpan span;
+      span.radius = R;
+      span.buckets_scanned = st->buckets_scanned - before.buckets_scanned;
+      span.collision_increments =
+          st->collision_increments - before.collision_increments;
+      span.candidates_verified =
+          st->candidates_verified - before.candidates_verified;
+      span.index_pages = st->index_pages - before.index_pages;
+      span.t1_fired = st->termination == Termination::kT1;
+      span.t2_fired = st->termination == Termination::kT2;
+      span.millis = round_timer.ElapsedMillis();
+      trace->rounds.push_back(span);
     }
-    if (all_covered) {
-      exhausted = true;  // every object has been counted in every table
-      break;
-    }
+    if (st->termination != Termination::kNone) break;
     if (max_radius > 0 && R >= max_radius) break;
     R *= c_int;
   }
-  (void)exhausted;
 
   // Only the k nearest survive, so a partial sort suffices when more
   // candidates were verified than requested.
@@ -244,6 +336,12 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   } else {
     std::sort(found.begin(), found.end(), NeighborLess());
   }
+  const double total_millis = query_timer.ElapsedMillis();
+  if (tracing) {
+    trace->termination = st->termination;
+    trace->total_millis = total_millis;
+  }
+  FlushQueryMetrics(*st, total_millis);
   return found;
 }
 

@@ -30,6 +30,7 @@
 #include "src/core/params.h"
 #include "src/core/virtual_rehash.h"
 #include "src/lsh/pstable.h"
+#include "src/obs/trace.h"
 #include "src/storage/bucket_table.h"
 #include "src/storage/page_model.h"
 #include "src/util/result.h"
@@ -48,8 +49,10 @@ struct C2lshQueryStats {
   uint64_t buckets_scanned = 0;        ///< base buckets visited
   uint64_t index_pages = 0;            ///< simulated index I/O (pages)
   uint64_t data_pages = 0;             ///< simulated verification I/O (pages)
-  bool terminated_by_t1 = false;       ///< which condition fired
-  bool terminated_by_t2 = false;
+  /// Which condition ended the query: kT1 / kT2 / kExhausted (full coverage),
+  /// or kNone when an external bound stopped it first (max_radius probes,
+  /// RangeQuery's radius schedule, DecisionQuery's single round).
+  Termination termination = Termination::kNone;
 
   uint64_t total_pages() const { return index_pages + data_pages; }
 };
@@ -73,11 +76,13 @@ class C2lshIndex {
                                   size_t num_threads = 0);
 
   /// c-k-ANN query. Returns up to k neighbors sorted by ascending exact
-  /// distance. `stats` may be null. Not thread-safe: this convenience entry
-  /// point reuses one internal scratch; concurrent callers must each use
-  /// their own Searcher instead.
+  /// distance. `stats` may be null. `trace`, when non-null, receives one
+  /// span per virtual-rehashing round (cleared first; see src/obs/trace.h).
+  /// Not thread-safe: this convenience entry point reuses one internal
+  /// scratch; concurrent callers must each use their own Searcher instead.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
-                             C2lshQueryStats* stats = nullptr) const;
+                             C2lshQueryStats* stats = nullptr,
+                             obs::QueryTrace* trace = nullptr) const;
 
   /// A lightweight per-thread query handle. The index itself is immutable
   /// during queries, so any number of Searchers may run concurrently — each
@@ -89,8 +94,10 @@ class C2lshIndex {
     /// Same contract as C2lshIndex::Query, safe to call concurrently with
     /// other Searchers.
     Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
-                               C2lshQueryStats* stats = nullptr) {
-      return index_->RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_);
+                               C2lshQueryStats* stats = nullptr,
+                               obs::QueryTrace* trace = nullptr) {
+      return index_->RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_,
+                              /*filter=*/nullptr, trace);
     }
 
    private:
@@ -194,11 +201,13 @@ class C2lshIndex {
   /// Shared round loop. `max_radius`: stop after the round at this radius
   /// (0 = unbounded, run to termination). `scratch` holds the per-query
   /// state; distinct scratches make concurrent queries safe. `filter`, when
-  /// non-null, gates verification (see FilteredQuery).
+  /// non-null, gates verification (see FilteredQuery). `trace`, when
+  /// non-null, records one QueryRoundSpan per round.
   Result<NeighborList> RunQuery(const Dataset& data, const float* query, size_t k,
                                 long long max_radius, C2lshQueryStats* stats,
                                 C2lshQueryScratch* scratch,
-                                const std::function<bool(ObjectId)>* filter = nullptr) const;
+                                const std::function<bool(ObjectId)>* filter = nullptr,
+                                obs::QueryTrace* trace = nullptr) const;
 
   /// The probe interval at radius R, falling back to a full-table range once
   /// R exceeds the radius schedule cap (guarantees termination).

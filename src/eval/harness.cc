@@ -1,14 +1,46 @@
 #include "src/eval/harness.h"
 
+#include <utility>
+
 #include "src/eval/metrics.h"
+#include "src/obs/registry.h"
+#include "src/util/math.h"
 #include "src/util/timer.h"
 
 namespace c2lsh {
+namespace {
+
+struct HarnessMetrics {
+  obs::Counter* queries;
+  obs::Histogram* latency;
+};
+
+const HarnessMetrics& Metrics() {
+  static const HarnessMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return HarnessMetrics{
+        r.GetCounter("eval_queries_total",
+                     "Queries executed by the evaluation harness"),
+        r.GetHistogram("eval_query_millis",
+                       "End-to-end harness query latency in milliseconds"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
                                    const FloatMatrix& queries,
                                    const std::vector<NeighborList>& ground_truth,
                                    size_t k) {
+  return RunWorkload(method, data, queries, ground_truth, k, WorkloadOptions());
+}
+
+Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
+                                   const FloatMatrix& queries,
+                                   const std::vector<NeighborList>& ground_truth,
+                                   size_t k, const WorkloadOptions& options) {
   if (method == nullptr) {
     return Status::InvalidArgument("RunWorkload: method is null");
   }
@@ -23,10 +55,16 @@ Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
   agg.num_queries = queries.num_rows();
   agg.index_bytes = method->MemoryBytes();
   agg.build_seconds = method->build_seconds();
+  agg.query_millis.reserve(queries.num_rows());
+
+  const bool tracing = options.collect_traces && method->SupportsTracing();
+  if (tracing) {
+    method->set_collect_traces(true);
+    agg.traces.reserve(queries.num_rows());
+  }
 
   double recall_sum = 0.0;
   double ratio_sum = 0.0;
-  double millis_sum = 0.0;
   double index_pages_sum = 0.0;
   double data_pages_sum = 0.0;
   double candidates_sum = 0.0;
@@ -36,18 +74,31 @@ Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
     Timer timer;
     C2LSH_ASSIGN_OR_RETURN(NeighborList result,
                            method->Search(data, queries.row(i), k, &cost));
-    millis_sum += timer.ElapsedMillis();
+    const double millis = timer.ElapsedMillis();
+    agg.query_millis.push_back(millis);
+    Metrics().queries->Increment();
+    Metrics().latency->Observe(millis);
+    if (tracing) {
+      const obs::QueryTrace* trace = method->last_trace();
+      if (trace != nullptr) agg.traces.push_back(*trace);
+    }
     recall_sum += Recall(result, ground_truth[i], k);
     ratio_sum += OverallRatio(result, ground_truth[i], k);
     index_pages_sum += static_cast<double>(cost.index_pages);
     data_pages_sum += static_cast<double>(cost.data_pages);
     candidates_sum += static_cast<double>(cost.candidates_verified);
   }
+  if (tracing) method->set_collect_traces(false);
 
   const double nq = static_cast<double>(queries.num_rows());
+  double millis_sum = 0.0;
+  for (double millis : agg.query_millis) millis_sum += millis;
   agg.mean_recall = recall_sum / nq;
   agg.mean_ratio = ratio_sum / nq;
   agg.mean_query_millis = millis_sum / nq;
+  agg.p50_query_millis = Percentile(agg.query_millis, 50.0);
+  agg.p95_query_millis = Percentile(agg.query_millis, 95.0);
+  agg.p99_query_millis = Percentile(agg.query_millis, 99.0);
   agg.mean_index_pages = index_pages_sum / nq;
   agg.mean_data_pages = data_pages_sum / nq;
   agg.mean_total_pages = agg.mean_index_pages + agg.mean_data_pages;

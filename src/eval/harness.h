@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/eval/method.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 #include "src/vector/matrix.h"
@@ -27,6 +28,9 @@ struct WorkloadResult {
   double mean_ratio = 0.0;
 
   double mean_query_millis = 0.0;
+  double p50_query_millis = 0.0;
+  double p95_query_millis = 0.0;
+  double p99_query_millis = 0.0;
   double mean_index_pages = 0.0;
   double mean_data_pages = 0.0;
   double mean_total_pages = 0.0;
@@ -34,6 +38,21 @@ struct WorkloadResult {
 
   size_t index_bytes = 0;
   double build_seconds = 0.0;
+
+  /// Wall latency of every individual query, in workload order. Always
+  /// filled — the percentiles above are computed from it.
+  std::vector<double> query_millis;
+
+  /// One trace per query, filled only when WorkloadOptions::collect_traces
+  /// is set and the method supports tracing (empty otherwise).
+  std::vector<obs::QueryTrace> traces;
+};
+
+/// Knobs for RunWorkload beyond the workload itself.
+struct WorkloadOptions {
+  /// Ask the method for a per-round QueryTrace of every query (methods
+  /// without tracing support run unchanged and yield no traces).
+  bool collect_traces = false;
 };
 
 /// Runs every query through `method` and aggregates. Ground truth must hold
@@ -42,6 +61,12 @@ Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
                                    const FloatMatrix& queries,
                                    const std::vector<NeighborList>& ground_truth,
                                    size_t k);
+
+/// As above, with options (trace collection).
+Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
+                                   const FloatMatrix& queries,
+                                   const std::vector<NeighborList>& ground_truth,
+                                   size_t k, const WorkloadOptions& options);
 
 /// Runs the workload for each k in `ks`.
 Result<std::vector<WorkloadResult>> RunWorkloadSweep(

@@ -23,7 +23,9 @@ class C2lshMethod : public AnnMethod {
   Result<NeighborList> Search(const Dataset& data, const float* query, size_t k,
                               SearchCost* cost) override {
     C2lshQueryStats stats;
-    C2LSH_ASSIGN_OR_RETURN(NeighborList result, index_.Query(data, query, k, &stats));
+    obs::QueryTrace* trace = collect_traces_ ? &trace_ : nullptr;
+    C2LSH_ASSIGN_OR_RETURN(NeighborList result,
+                           index_.Query(data, query, k, &stats, trace));
     if (cost != nullptr) {
       cost->index_pages = stats.index_pages;
       cost->data_pages = stats.data_pages;
@@ -34,8 +36,16 @@ class C2lshMethod : public AnnMethod {
 
   size_t MemoryBytes() const override { return index_.MemoryBytes(); }
 
+  bool SupportsTracing() const override { return true; }
+  void set_collect_traces(bool enabled) override { collect_traces_ = enabled; }
+  const obs::QueryTrace* last_trace() const override {
+    return collect_traces_ ? &trace_ : nullptr;
+  }
+
  private:
   C2lshIndex index_;
+  bool collect_traces_ = false;
+  obs::QueryTrace trace_;
 };
 
 class E2lshMethod : public AnnMethod {

@@ -14,6 +14,7 @@
 #include "src/baselines/multiprobe.h"
 #include "src/baselines/srs/srs.h"
 #include "src/core/index.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 #include "src/vector/types.h"
@@ -42,6 +43,15 @@ class AnnMethod {
 
   /// Resident index size in bytes.
   virtual size_t MemoryBytes() const = 0;
+
+  /// Per-query tracing (see src/obs/trace.h). Methods that can narrate
+  /// their virtual-rehashing rounds override these three; the defaults make
+  /// tracing a silent no-op for everything else.
+  virtual bool SupportsTracing() const { return false; }
+  /// When enabled, each Search() call records a trace retrievable (until
+  /// the next Search) via last_trace().
+  virtual void set_collect_traces(bool enabled) { (void)enabled; }
+  virtual const obs::QueryTrace* last_trace() const { return nullptr; }
 
   /// Wall seconds spent building the index.
   double build_seconds() const { return build_seconds_; }

@@ -1,0 +1,106 @@
+#include "src/eval/report.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
+
+namespace c2lsh {
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendWorkload(std::string* out, const WorkloadResult& r) {
+  *out += "    {\"method\": \"" + EscapeJson(r.method_name) + "\",\n";
+  *out += "     \"k\": " + std::to_string(r.k) + ",\n";
+  *out += "     \"num_queries\": " + std::to_string(r.num_queries) + ",\n";
+  *out += "     \"mean_recall\": " + Fmt(r.mean_recall) + ",\n";
+  *out += "     \"mean_ratio\": " + Fmt(r.mean_ratio) + ",\n";
+  *out += "     \"mean_query_millis\": " + Fmt(r.mean_query_millis) + ",\n";
+  *out += "     \"p50_query_millis\": " + Fmt(r.p50_query_millis) + ",\n";
+  *out += "     \"p95_query_millis\": " + Fmt(r.p95_query_millis) + ",\n";
+  *out += "     \"p99_query_millis\": " + Fmt(r.p99_query_millis) + ",\n";
+  *out += "     \"mean_index_pages\": " + Fmt(r.mean_index_pages) + ",\n";
+  *out += "     \"mean_data_pages\": " + Fmt(r.mean_data_pages) + ",\n";
+  *out += "     \"mean_candidates\": " + Fmt(r.mean_candidates) + ",\n";
+  *out += "     \"index_bytes\": " + std::to_string(r.index_bytes) + ",\n";
+  *out += "     \"build_seconds\": " + Fmt(r.build_seconds) + ",\n";
+  *out += "     \"traces\": [";
+  for (size_t i = 0; i < r.traces.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "\n       " + r.traces[i].ToJson();
+  }
+  if (!r.traces.empty()) *out += "\n     ";
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string RenderMetricsReport(const std::vector<WorkloadResult>& results) {
+  auto& registry = obs::MetricsRegistry::Global();
+
+  // Hit rate straight from the pool counters so the report carries it as a
+  // first-class field (it is also derivable from the registry section).
+  double hit_rate = 0.0;
+  const obs::Counter* hits = registry.FindCounter("buffer_pool_hits_total");
+  const obs::Counter* misses = registry.FindCounter("buffer_pool_misses_total");
+  if (hits != nullptr && misses != nullptr) {
+    const double accesses =
+        static_cast<double>(hits->value()) + static_cast<double>(misses->value());
+    if (accesses > 0.0) hit_rate = static_cast<double>(hits->value()) / accesses;
+  }
+
+  std::string out = "{\n  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendWorkload(&out, results[i]);
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"buffer_pool_hit_rate\": " + Fmt(hit_rate) + ",\n";
+  out += "  \"registry\": " + obs::FormatJson(registry.Snapshot());
+  out += "}\n";
+  return out;
+}
+
+Status WriteMetricsReport(const std::string& path,
+                          const std::vector<WorkloadResult>& results) {
+  const std::string body = RenderMetricsReport(results);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("WriteMetricsReport: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IOError("WriteMetricsReport: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace c2lsh

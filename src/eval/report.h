@@ -1,0 +1,28 @@
+// JSON metrics report for eval/bench runs (--metrics_out): per-workload
+// aggregates with latency percentiles, per-query round traces when
+// collected, the BufferPool hit rate, and a full snapshot of the global
+// metrics registry.
+
+#pragma once
+#ifndef C2LSH_EVAL_REPORT_H_
+#define C2LSH_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/harness.h"
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+/// Renders the report as a JSON string. Pulls the registry snapshot and
+/// BufferPool hit rate from obs::MetricsRegistry::Global() at call time.
+std::string RenderMetricsReport(const std::vector<WorkloadResult>& results);
+
+/// Writes RenderMetricsReport(results) to `path` (IOError on failure).
+Status WriteMetricsReport(const std::string& path,
+                          const std::vector<WorkloadResult>& results);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_EVAL_REPORT_H_

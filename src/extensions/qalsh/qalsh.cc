@@ -5,8 +5,10 @@
 #include <numeric>
 #include <string>
 
+#include "src/obs/registry.h"
 #include "src/util/math.h"
 #include "src/util/random.h"
+#include "src/util/timer.h"
 #include "src/vector/distance.h"
 #include "src/vector/simd.h"
 
@@ -15,6 +17,54 @@ namespace c2lsh {
 namespace {
 // Chunk size bounding the stack scratch of blocked projection passes.
 constexpr size_t kProjectionChunk = 256;
+
+// Registry handles resolved once; per-query stats are flushed in one pass at
+// query end so the scan loops never touch an atomic.
+struct QalshMetrics {
+  obs::Counter* queries;
+  obs::Counter* rounds;
+  obs::Counter* collision_increments;
+  obs::Counter* candidates_verified;
+  obs::Counter* t1;
+  obs::Counter* t2;
+  obs::Counter* exhausted;
+  obs::Histogram* latency;
+};
+
+const QalshMetrics& Metrics() {
+  static const QalshMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    QalshMetrics mm;
+    mm.queries = r.GetCounter("qalsh_queries_total", "QALSH queries answered");
+    mm.rounds = r.GetCounter("qalsh_rounds_total", "QALSH virtual-rehashing rounds run");
+    mm.collision_increments = r.GetCounter("qalsh_collision_increments_total",
+                                           "QALSH collision-counter increments");
+    mm.candidates_verified = r.GetCounter("qalsh_candidates_verified_total",
+                                          "QALSH candidates verified by exact distance");
+    mm.t1 = r.GetCounter("qalsh_queries_t1_total", "QALSH queries terminated by T1");
+    mm.t2 = r.GetCounter("qalsh_queries_t2_total", "QALSH queries terminated by T2");
+    mm.exhausted = r.GetCounter("qalsh_queries_exhausted_total",
+                                "QALSH queries that scanned every projection column");
+    mm.latency = r.GetHistogram("qalsh_query_millis", "QALSH query latency (ms)");
+    return mm;
+  }();
+  return m;
+}
+
+void FlushQueryMetrics(const QalshQueryStats& st, double millis) {
+  const QalshMetrics& m = Metrics();
+  m.queries->Increment();
+  m.rounds->Increment(st.rounds);
+  m.collision_increments->Increment(st.collision_increments);
+  m.candidates_verified->Increment(st.candidates_verified);
+  switch (st.termination) {
+    case Termination::kT1: m.t1->Increment(); break;
+    case Termination::kT2: m.t2->Increment(); break;
+    case Termination::kExhausted: m.exhausted->Increment(); break;
+    case Termination::kNone: break;
+  }
+  m.latency->Observe(millis);
+}
 }  // namespace
 
 double QalshCollisionProbability(double s, double w, double p) {
@@ -133,6 +183,7 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
   QalshQueryStats local;
   QalshQueryStats* st = (stats != nullptr) ? stats : &local;
   *st = QalshQueryStats();
+  Timer query_timer;
 
   const size_t m = columns_.size();
   const uint32_t l = static_cast<uint32_t>(derived_.counting.l);
@@ -237,21 +288,25 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
       if (within >= k) break;
     }
     if (within >= k) {
-      st->terminated_by_t1 = true;
+      st->termination = Termination::kT1;
       break;
     }
     // T2: false-positive budget exhausted.
     if (found.size() >= t2_threshold) {
-      st->terminated_by_t2 = true;
+      st->termination = Termination::kT2;
       break;
     }
-    if (all_covered) break;
+    if (all_covered) {
+      st->termination = Termination::kExhausted;
+      break;
+    }
     R *= c;
     ++round;
   }
 
   std::sort(found.begin(), found.end(), NeighborLess());
   if (found.size() > k) found.resize(k);
+  FlushQueryMetrics(*st, query_timer.ElapsedMillis());
   return found;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/core/params.h"
+#include "src/obs/trace.h"
 #include "src/storage/page_model.h"
 #include "src/util/result.h"
 #include "src/vector/aligned.h"
@@ -90,8 +91,9 @@ struct QalshQueryStats {
   uint64_t candidates_verified = 0;
   uint64_t index_pages = 0;
   uint64_t data_pages = 0;
-  bool terminated_by_t1 = false;
-  bool terminated_by_t2 = false;
+  /// How the round loop stopped: kT1, kT2, kExhausted (every projection
+  /// column fully scanned), or kNone if the loop never ran.
+  Termination termination = Termination::kNone;
 
   uint64_t total_pages() const { return index_pages + data_pages; }
 };

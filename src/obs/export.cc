@@ -1,0 +1,440 @@
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string FmtDouble(double v, const char* fmt = "%.17g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return std::string(buf);
+}
+
+// Prometheus renders the +Inf bucket bound literally; finite bounds as
+// floats with full round-trip precision.
+std::string PromBound(double le) {
+  if (std::isinf(le)) return le > 0 ? "+Inf" : "-Inf";
+  return FmtDouble(le);
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// HELP text escaping per the exposition format: backslash and newline only.
+std::string EscapePromHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatTable(const std::vector<MetricSnapshot>& snapshot) {
+  size_t width = 6;  // len("metric")
+  for (const MetricSnapshot& m : snapshot) {
+    width = std::max(width, m.name.size());
+  }
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%-*s  %-9s  value\n",
+                static_cast<int>(width), "metric", "type");
+  out += buf;
+  out += std::string(width + 2 + 9 + 2 + 40, '-');
+  out += "\n";
+  for (const MetricSnapshot& m : snapshot) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-*s  %-9s  %" PRIu64 "\n",
+                      static_cast<int>(width), m.name.c_str(), "counter",
+                      m.counter_value);
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-*s  %-9s  %.6g\n",
+                      static_cast<int>(width), m.name.c_str(), "gauge",
+                      m.gauge_value);
+        break;
+      case MetricType::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-*s  %-9s  count=%" PRIu64
+                      " sum=%.6g p50=%.4g p95=%.4g p99=%.4g\n",
+                      static_cast<int>(width), m.name.c_str(), "histogram",
+                      m.histogram.count, m.histogram.sum, m.histogram.p50,
+                      m.histogram.p95, m.histogram.p99);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + EscapeJson(m.name) + "\": {\"type\": \"";
+    out += TypeName(m.type);
+    out += "\", \"help\": \"" + EscapeJson(m.help) + "\"";
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += ", \"value\": " + std::to_string(m.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + FmtDouble(m.gauge_value, "%.6g");
+        break;
+      case MetricType::kHistogram: {
+        out += ", \"count\": " + std::to_string(m.histogram.count);
+        out += ", \"sum\": " + FmtDouble(m.histogram.sum, "%.6g");
+        out += ", \"p50\": " + FmtDouble(m.histogram.p50, "%.6g");
+        out += ", \"p95\": " + FmtDouble(m.histogram.p95, "%.6g");
+        out += ", \"p99\": " + FmtDouble(m.histogram.p99, "%.6g");
+        out += ", \"buckets\": [";
+        for (size_t i = 0; i < m.histogram.cumulative.size(); ++i) {
+          const auto& [le, cum] = m.histogram.cumulative[i];
+          if (i > 0) out += ", ";
+          // JSON has no Infinity literal; the +Inf bound becomes a string.
+          out += "{\"le\": ";
+          out += std::isinf(le) ? "\"+Inf\"" : FmtDouble(le, "%.17g");
+          out += ", \"cumulative\": " + std::to_string(cum) + "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string FormatPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    if (!m.help.empty()) {
+      out += "# HELP " + m.name + " " + EscapePromHelp(m.help) + "\n";
+    }
+    out += "# TYPE " + m.name + " ";
+    out += TypeName(m.type);
+    out += "\n";
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += m.name + " " + std::to_string(m.counter_value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += m.name + " " + FmtDouble(m.gauge_value) + "\n";
+        break;
+      case MetricType::kHistogram:
+        for (const auto& [le, cum] : m.histogram.cumulative) {
+          out += m.name + "_bucket{le=\"" + PromBound(le) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += m.name + "_sum " + FmtDouble(m.histogram.sum) + "\n";
+        out += m.name + "_count " + std::to_string(m.histogram.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool NameHead(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool NameTail(char c) {
+  return NameHead(c) || (c >= '0' && c <= '9');
+}
+bool LabelNameHead(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool LabelNameTail(char c) {
+  return LabelNameHead(c) || (c >= '0' && c <= '9');
+}
+
+size_t SkipSpace(std::string_view s, size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i;
+}
+
+// strtod accepts the full Prometheus value vocabulary, including +Inf,
+// -Inf, and NaN (case-insensitively); require the whole token to parse.
+bool ParseFloatToken(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  const std::string buf(token);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseIntToken(std::string_view token) {
+  if (token.empty()) return false;
+  const std::string buf(token);
+  char* end = nullptr;
+  (void)std::strtoll(buf.c_str(), &end, 10);
+  return end == buf.c_str() + buf.size();
+}
+
+struct BucketSample {
+  double le = 0.0;
+  double cumulative = 0.0;
+};
+
+}  // namespace
+
+Status ValidatePrometheusText(std::string_view text) {
+  // Per-series bookkeeping for the histogram semantic checks.
+  std::map<std::string, std::vector<BucketSample>> buckets;
+  std::map<std::string, double> counts;
+
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, (nl == std::string_view::npos ? text.size() : nl) -
+                             pos);
+    pos = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    ++lineno;
+    const auto fail = [lineno](const std::string& why) {
+      return Status::InvalidArgument("prometheus text line " +
+                                     std::to_string(lineno) + ": " + why);
+    };
+
+    if (SkipSpace(line, 0) == line.size()) continue;  // blank line
+
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" / "# TYPE <name> <type>" / free comment.
+      size_t i = SkipSpace(line, 1);
+      size_t kw_end = i;
+      while (kw_end < line.size() && line[kw_end] != ' ' &&
+             line[kw_end] != '\t') {
+        ++kw_end;
+      }
+      const std::string_view keyword = line.substr(i, kw_end - i);
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // plain comment
+      i = SkipSpace(line, kw_end);
+      size_t name_end = i;
+      while (name_end < line.size() && NameTail(line[name_end])) ++name_end;
+      if (name_end == i || !NameHead(line[i])) {
+        return fail("missing metric name after # " + std::string(keyword));
+      }
+      if (keyword == "TYPE") {
+        const size_t t = SkipSpace(line, name_end);
+        size_t t_end = t;
+        while (t_end < line.size() && line[t_end] != ' ' &&
+               line[t_end] != '\t') {
+          ++t_end;
+        }
+        const std::string_view type = line.substr(t, t_end - t);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown metric type '" + std::string(type) + "'");
+        }
+        if (SkipSpace(line, t_end) != line.size()) {
+          return fail("trailing characters after # TYPE");
+        }
+      } else if (name_end == line.size()) {
+        return fail("# HELP without help text");
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    if (!NameHead(line[0])) return fail("expected metric name");
+    size_t i = 1;
+    while (i < line.size() && NameTail(line[i])) ++i;
+    const std::string name(line.substr(0, i));
+
+    bool has_le = false;
+    double le = 0.0;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (true) {
+        i = SkipSpace(line, i);
+        if (i >= line.size()) return fail("unterminated label set");
+        if (line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (i >= line.size() || !LabelNameHead(line[i])) {
+          return fail("expected label name");
+        }
+        const size_t ln_start = i;
+        while (i < line.size() && LabelNameTail(line[i])) ++i;
+        const std::string_view label = line.substr(ln_start, i - ln_start);
+        if (i >= line.size() || line[i] != '=') {
+          return fail("expected '=' after label name");
+        }
+        ++i;
+        if (i >= line.size() || line[i] != '"') {
+          return fail("label value must be double-quoted");
+        }
+        ++i;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) return fail("dangling escape");
+            const char esc = line[i + 1];
+            if (esc != '\\' && esc != '"' && esc != 'n') {
+              return fail("invalid escape in label value");
+            }
+            value += (esc == 'n') ? '\n' : esc;
+            i += 2;
+          } else {
+            value += line[i];
+            ++i;
+          }
+        }
+        if (i >= line.size()) return fail("unterminated label value");
+        ++i;  // closing quote
+        if (label == "le") {
+          if (!ParseFloatToken(value, &le)) {
+            return fail("le label is not a float: '" + value + "'");
+          }
+          has_le = true;
+        }
+        i = SkipSpace(line, i);
+        if (i < line.size() && line[i] == ',') {
+          ++i;  // next label (a trailing comma before '}' is legal)
+        } else if (i >= line.size() || line[i] != '}') {
+          return fail("expected ',' or '}' after label");
+        }
+      }
+    }
+
+    const size_t v_start = SkipSpace(line, i);
+    if (v_start == i) return fail("expected whitespace before sample value");
+    size_t v_end = v_start;
+    while (v_end < line.size() && line[v_end] != ' ' && line[v_end] != '\t') {
+      ++v_end;
+    }
+    double value = 0.0;
+    if (!ParseFloatToken(line.substr(v_start, v_end - v_start), &value)) {
+      return fail("sample value is not a float");
+    }
+    const size_t ts_start = SkipSpace(line, v_end);
+    if (ts_start < line.size()) {
+      size_t ts_end = ts_start;
+      while (ts_end < line.size() && line[ts_end] != ' ' &&
+             line[ts_end] != '\t') {
+        ++ts_end;
+      }
+      if (!ParseIntToken(line.substr(ts_start, ts_end - ts_start))) {
+        return fail("timestamp is not an integer");
+      }
+      if (SkipSpace(line, ts_end) != line.size()) {
+        return fail("trailing characters after timestamp");
+      }
+    }
+
+    constexpr std::string_view kBucket = "_bucket";
+    constexpr std::string_view kCount = "_count";
+    if (name.size() > kBucket.size() &&
+        std::string_view(name).substr(name.size() - kBucket.size()) ==
+            kBucket &&
+        has_le) {
+      buckets[name.substr(0, name.size() - kBucket.size())].push_back(
+          {le, value});
+    } else if (name.size() > kCount.size() &&
+               std::string_view(name).substr(name.size() - kCount.size()) ==
+                   kCount) {
+      counts[name.substr(0, name.size() - kCount.size())] = value;
+    }
+  }
+
+  // Histogram semantics: bucket series cumulative and capped by +Inf.
+  for (const auto& [base, series] : buckets) {
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      if (i > 0) {
+        if (series[i].le < series[i - 1].le) {
+          return Status::InvalidArgument(
+              "histogram '" + base + "': bucket bounds not ascending");
+        }
+        if (series[i].cumulative < series[i - 1].cumulative) {
+          return Status::InvalidArgument(
+              "histogram '" + base + "': bucket counts not cumulative");
+        }
+      }
+      if (std::isinf(series[i].le) && series[i].le > 0) {
+        saw_inf = true;
+        inf_value = series[i].cumulative;
+      }
+    }
+    if (!saw_inf) {
+      return Status::InvalidArgument("histogram '" + base +
+                                     "': missing le=\"+Inf\" bucket");
+    }
+    const auto count_it = counts.find(base);
+    if (count_it != counts.end() && count_it->second != inf_value) {
+      return Status::InvalidArgument(
+          "histogram '" + base + "': +Inf bucket does not match _count");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace c2lsh

@@ -1,0 +1,44 @@
+// Exporters for a MetricsRegistry snapshot: a human-readable table, JSON,
+// and the Prometheus text exposition format, plus a validator for the
+// latter so tests (and the metrics_dump tool itself) can prove the output
+// parses before anything scrapes it.
+
+#pragma once
+#ifndef C2LSH_OBS_EXPORT_H_
+#define C2LSH_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/util/status.h"
+
+namespace c2lsh {
+namespace obs {
+
+/// Fixed-width table for terminals: one line per counter/gauge, histograms
+/// rendered as count/sum/p50/p95/p99.
+std::string FormatTable(const std::vector<MetricSnapshot>& snapshot);
+
+/// One JSON object keyed by metric name; histograms carry count, sum,
+/// percentiles, and the cumulative (le, count) bucket series.
+std::string FormatJson(const std::vector<MetricSnapshot>& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// comments, `name value` samples, and `name_bucket{le="..."}` cumulative
+/// histogram series with `_sum` and `_count`.
+std::string FormatPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// Checks `text` against the Prometheus text-format grammar: every line must
+/// be blank, a comment, or `name[{labels}] value [timestamp]` with a valid
+/// metric name, well-formed quoted label values, and a parseable float
+/// value. Histogram `_bucket` series must additionally be cumulative
+/// (non-decreasing) and end with an `le="+Inf"` bucket that matches the
+/// series' `_count`. Returns InvalidArgument naming the first bad line.
+Status ValidatePrometheusText(std::string_view text);
+
+}  // namespace obs
+}  // namespace c2lsh
+
+#endif  // C2LSH_OBS_EXPORT_H_

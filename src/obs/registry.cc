@@ -1,0 +1,264 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+// Percentile by cumulative walk + linear interpolation, over a consistent
+// local copy of the bucket counts (so a snapshot's p50/p95/p99 agree with
+// its cumulative series even while writers are active).
+double PercentileFromCounts(const uint64_t* counts, uint64_t total, double p) {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double lo = (i == 0) ? 0.0 : Histogram::BucketUpperBound(i - 1);
+      if (i == Histogram::kNumBuckets - 1) return lo;  // overflow: no width
+      const double hi = Histogram::BucketUpperBound(i);
+      const double frac = std::clamp(
+          (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]),
+          0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 2);
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(double value) {
+  const double min_value = std::ldexp(1.0, kMinExp);
+  // !(value >= min) also routes NaN and negatives into the underflow bucket.
+  if (!(value >= min_value)) return 0;
+  if (value >= std::ldexp(1.0, kMaxExp)) return kNumBuckets - 1;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+  int sub = static_cast<int>((frac - 0.5) * (2 * kSubBucketsPerOctave));
+  sub = std::clamp(sub, 0, kSubBucketsPerOctave - 1);
+  const long idx = 1 + (static_cast<long>(exp) - 1 - kMinExp) *
+                           kSubBucketsPerOctave + sub;
+  return static_cast<size_t>(
+      std::clamp(idx, 1L, static_cast<long>(kNumBuckets) - 2));
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return std::ldexp(1.0, kMinExp);
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  const size_t j = i - 1;
+  const int octave = static_cast<int>(j) / kSubBucketsPerOctave;
+  const int sub = static_cast<int>(j) % kSubBucketsPerOctave;
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / kSubBucketsPerOctave,
+      kMinExp + octave);
+}
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  uint64_t new_bits;
+  do {
+    new_bits = std::bit_cast<uint64_t>(std::bit_cast<double>(old_bits) + value);
+  } while (!sum_bits_.compare_exchange_weak(
+      old_bits, new_bits, std::memory_order_relaxed,
+      std::memory_order_relaxed));
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return PercentileFromCounts(counts, total, p);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::ValidName(std::string_view name) {
+  if (name.empty()) return false;
+  const char first = name.front();
+  if (!((first >= 'a' && first <= 'z') || first == '_')) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: cached metric pointers must stay valid even in
+  // static destructors that run after main (e.g. a pool flushing at exit).
+  static MetricsRegistry* registry = new MetricsRegistry();  // NOLINT(banned-function)
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  if (!ValidName(name)) return nullptr;
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.type = MetricType::kCounter;
+    e.help = std::string(help);
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.type != MetricType::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  if (!ValidName(name)) return nullptr;
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.type = MetricType::kGauge;
+    e.help = std::string(help);
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.type != MetricType::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  if (!ValidName(name)) return nullptr;
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.type = MetricType::kHistogram;
+    e.help = std::string(help);
+    e.histogram = std::make_unique<Histogram>();
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.type != MetricType::kHistogram) return nullptr;
+  return it->second.histogram.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != MetricType::kCounter) {
+    return nullptr;
+  }
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != MetricType::kGauge) {
+    return nullptr;
+  }
+  return it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.type != MetricType::kHistogram) {
+    return nullptr;
+  }
+  return it->second.histogram.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  MutexLock lock(&mu_);
+  out.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.help = entry.help;
+    snap.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        snap.counter_value = entry.counter->value();
+        break;
+      case MetricType::kGauge:
+        snap.gauge_value = entry.gauge->value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        uint64_t counts[Histogram::kNumBuckets];
+        uint64_t total = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          counts[i] = h.BucketCount(i);
+          total += counts[i];
+        }
+        snap.histogram.count = total;
+        snap.histogram.sum = h.sum();
+        snap.histogram.p50 = PercentileFromCounts(counts, total, 0.50);
+        snap.histogram.p95 = PercentileFromCounts(counts, total, 0.95);
+        snap.histogram.p99 = PercentileFromCounts(counts, total, 0.99);
+        uint64_t cum = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          cum += counts[i];
+          if (counts[i] != 0 && i != Histogram::kNumBuckets - 1) {
+            snap.histogram.cumulative.emplace_back(
+                Histogram::BucketUpperBound(i), cum);
+          }
+        }
+        // The +Inf bucket is always present and equals the total count.
+        snap.histogram.cumulative.emplace_back(
+            std::numeric_limits<double>::infinity(), total);
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;  // std::map iteration order is already sorted by name
+}
+
+void MetricsRegistry::ResetAll() {
+  MutexLock lock(&mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace c2lsh

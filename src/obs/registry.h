@@ -1,0 +1,197 @@
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// latency histograms, cheap enough for hot paths and thread-safe under the
+// annotation regime of src/util/thread_annotations.h.
+//
+// Design:
+//   * Metric objects are plain relaxed atomics — an Increment()/Observe() on
+//     a hot path is one (histogram: three) uncontended atomic RMW, no lock,
+//     no allocation. Relaxed ordering suffices because each metric is an
+//     independent statistic, not a synchronization point (the same contract
+//     as RetryStats, src/util/retry.h).
+//   * The registry's name->metric map is guarded by a Mutex, but lookups
+//     happen once per call site: instrumented code caches the returned
+//     pointer in a function-local static. Returned pointers are stable for
+//     the life of the process (metrics are never deleted, only Reset()).
+//   * Histograms bucket values on a log scale (kSubBucketsPerOctave buckets
+//     per power of two, via frexp) so one fixed-size atomic array covers
+//     sub-microsecond to multi-hour latencies with <= ~9% relative bucket
+//     width, giving honest p50/p95/p99 without per-sample allocation.
+//
+// Metric names must match [a-z_][a-z0-9_]* — valid for the Prometheus text
+// exposition format without escaping. By convention counters end in
+// `_total` and millisecond histograms end in `_millis`.
+
+#pragma once
+#ifndef C2LSH_OBS_REGISTRY_H_
+#define C2LSH_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/mutex.h"
+
+namespace c2lsh {
+namespace obs {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time double value (e.g. the active SIMD ISA, a pool size).
+/// Stored as bit-cast uint64 so plain store/load stay lock-free everywhere.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+
+ private:
+  // 0 is the bit pattern of +0.0, so the default value is 0.0.
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// A log-bucketed distribution of non-negative values with percentile
+/// queries. Observe() is wait-free (two relaxed fetch_adds and one CAS loop
+/// for the running sum). Snapshots taken while writers are active are
+/// internally consistent per bucket but may straddle concurrent updates —
+/// fine for statistics.
+class Histogram {
+ public:
+  /// Buckets per power of two; 8 gives <= 1/8 relative bucket width.
+  static constexpr int kSubBucketsPerOctave = 8;
+  /// Covered value range [2^kMinExp, 2^kMaxExp): ~1e-6 .. ~1e6.
+  /// In milliseconds that is 1ns .. ~17min; out-of-range values land in the
+  /// underflow/overflow buckets and still count toward count()/sum().
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 20;
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExp - kMinExp) * kSubBucketsPerOctave + 2;
+
+  void Observe(double value);
+
+  /// Total observations (sum over buckets — exact once writers quiesce).
+  uint64_t count() const;
+  /// Sum of all observed values.
+  double sum() const;
+
+  /// The p-quantile (p in [0,1]) by cumulative walk over the buckets with
+  /// linear interpolation inside the landing bucket. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Inclusive upper bound of bucket i (i == kNumBuckets-1 -> +infinity).
+  static double BucketUpperBound(size_t i);
+
+  /// Observation count of bucket i (relaxed read).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  static size_t BucketIndex(double value);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_bits_{0};  // bit-cast double, CAS-accumulated
+};
+
+/// Which kind of metric a snapshot entry describes.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one histogram, with the percentiles pre-computed
+/// and the cumulative bucket counts Prometheus-style (last entry is +Inf).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// (upper_bound, cumulative_count) for every bucket with a count increase,
+  /// plus always the final (+infinity, count) entry.
+  std::vector<std::pair<double, uint64_t>> cumulative;
+};
+
+/// Point-in-time copy of one registered metric.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  HistogramSnapshot histogram;
+};
+
+/// The process-wide name -> metric table. GetX() registers on first use and
+/// returns the same stable pointer ever after; Snapshot() renders the whole
+/// registry for the exporters in src/obs/export.h.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (function-local static, safe before main).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first call.
+  /// `help` is recorded on creation (later calls may pass anything).
+  /// Returns nullptr if `name` is invalid ([a-z_][a-z0-9_]* required) or is
+  /// already registered as a different type — both are caller bugs; callers
+  /// with literal names may assume non-null.
+  Counter* GetCounter(std::string_view name, std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view help);
+  Histogram* GetHistogram(std::string_view name, std::string_view help);
+
+  /// Lookup without creating. Returns nullptr when absent or of another type.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Point-in-time copy of every registered metric, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered; pointers remain
+  /// valid). For test isolation — production code never resets.
+  void ResetAll();
+
+  /// True iff `name` is a valid metric name: [a-z_][a-z0-9_]*.
+  static bool ValidName(std::string_view name);
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_ GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace c2lsh
+
+#endif  // C2LSH_OBS_REGISTRY_H_

@@ -1,0 +1,86 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+// %g keeps the JSON compact while preserving enough precision for
+// millisecond-scale latencies.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(std::to_string(v));
+}
+
+}  // namespace
+
+std::string_view TerminationName(Termination t) {
+  switch (t) {
+    case Termination::kNone:
+      return "none";
+    case Termination::kT1:
+      return "t1";
+    case Termination::kT2:
+      return "t2";
+    case Termination::kExhausted:
+      return "exhausted";
+  }
+  return "unknown";
+}
+
+void QueryTrace::Clear() {
+  rounds.clear();
+  termination = Termination::kNone;
+  total_millis = 0.0;
+  pool_hits = 0;
+  pool_misses = 0;
+  degraded = false;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out;
+  out.reserve(128 + rounds.size() * 128);
+  out += "{\"termination\": \"";
+  out += TerminationName(termination);
+  out += "\", \"total_millis\": ";
+  AppendDouble(&out, total_millis);
+  out += ", \"pool_hits\": ";
+  AppendU64(&out, pool_hits);
+  out += ", \"pool_misses\": ";
+  AppendU64(&out, pool_misses);
+  out += ", \"degraded\": ";
+  out += degraded ? "true" : "false";
+  out += ", \"rounds\": [";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const QueryRoundSpan& r = rounds[i];
+    if (i > 0) out += ", ";
+    out += "{\"radius\": ";
+    out += std::to_string(r.radius);
+    out += ", \"buckets_scanned\": ";
+    AppendU64(&out, r.buckets_scanned);
+    out += ", \"collision_increments\": ";
+    AppendU64(&out, r.collision_increments);
+    out += ", \"candidates_verified\": ";
+    AppendU64(&out, r.candidates_verified);
+    out += ", \"index_pages\": ";
+    AppendU64(&out, r.index_pages);
+    out += ", \"t1_fired\": ";
+    out += r.t1_fired ? "true" : "false";
+    out += ", \"t2_fired\": ";
+    out += r.t2_fired ? "true" : "false";
+    out += ", \"millis\": ";
+    AppendDouble(&out, r.millis);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace c2lsh

@@ -1,0 +1,77 @@
+// Per-query rehash tracing: one span per virtual-rehashing round.
+//
+// C2LSH answers a query by widening the search radius R over rounds
+// (R = 1, c, c^2, ...) until a termination condition fires. Aggregate stats
+// (C2lshQueryStats) say *how much* work a query did; a QueryTrace says *when*
+// it did it — which round scanned how many buckets, raised how many collision
+// counters, verified how many candidates, and which of the T1/T2 conditions
+// ended the search. Traces are opt-in (pass a QueryTrace* to Query) so the
+// hot path pays nothing when nobody is looking.
+//
+// This header also owns the Termination enum shared by every per-query stats
+// struct in the tree (C2lshQueryStats, DiskQueryStats, QalshQueryStats,
+// CostPrediction): a query can end by T1, by T2, by exhausting every bucket,
+// or not terminate at all inside a bounded-radius probe — two bools could not
+// say which.
+
+#pragma once
+#ifndef C2LSH_OBS_TRACE_H_
+#define C2LSH_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace c2lsh {
+namespace obs {
+
+/// Why a collision-counting query stopped.
+enum class Termination : uint8_t {
+  kNone = 0,       ///< stopped by an external bound (radius cap, budget)
+  kT1 = 1,         ///< >= k candidates verified within distance c*R
+  kT2 = 2,         ///< >= k + beta*n candidates collected
+  kExhausted = 3,  ///< every bucket of every table scanned (fallback to exact)
+};
+
+/// Stable lower-case name for a Termination ("none", "t1", "t2", "exhausted").
+std::string_view TerminationName(Termination t);
+
+/// What one virtual-rehashing round did.
+struct QueryRoundSpan {
+  long long radius = 0;               ///< search radius R this round
+  uint64_t buckets_scanned = 0;       ///< hash buckets visited this round
+  uint64_t collision_increments = 0;  ///< collision-counter bumps this round
+  uint64_t candidates_verified = 0;   ///< exact distances computed this round
+  uint64_t index_pages = 0;           ///< index pages touched (disk mode)
+  bool t1_fired = false;              ///< T1 ended the query in this round
+  bool t2_fired = false;              ///< T2 ended the query in this round
+  double millis = 0.0;                ///< wall time spent in this round
+};
+
+/// The full story of one query: a span per round plus query-level outcomes.
+/// Reused across queries via Clear() — the rounds vector keeps its capacity.
+struct QueryTrace {
+  std::vector<QueryRoundSpan> rounds;
+  Termination termination = Termination::kNone;
+  double total_millis = 0.0;
+  uint64_t pool_hits = 0;    ///< BufferPool hits attributed to this query
+  uint64_t pool_misses = 0;  ///< BufferPool misses attributed to this query
+  bool degraded = false;     ///< answered while skipping corrupt tables/pages
+
+  /// Resets to the empty state, keeping the rounds vector's capacity.
+  void Clear();
+
+  /// Compact single-object JSON rendering (used by the eval report).
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+
+// The termination outcome is part of every per-query stats struct, so the
+// enum is hoisted to the library namespace for brevity at call sites.
+using obs::Termination;
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_OBS_TRACE_H_

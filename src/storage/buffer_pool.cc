@@ -1,6 +1,36 @@
 #include "src/storage/buffer_pool.h"
 
+#include "src/obs/registry.h"
+
 namespace c2lsh {
+
+namespace {
+// Registry handles resolved once per process. The pool also keeps its own
+// per-instance BufferPoolStats (snapshot semantics, resettable per query);
+// the registry counters are the process-wide running totals.
+struct PoolMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* writebacks;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    PoolMetrics mm;
+    mm.hits = r.GetCounter("buffer_pool_hits_total", "BufferPool fetches served from a frame");
+    mm.misses = r.GetCounter("buffer_pool_misses_total",
+                             "BufferPool fetches that read from the PageFile");
+    mm.evictions = r.GetCounter("buffer_pool_evictions_total",
+                                "frames evicted to make room for another page");
+    mm.writebacks = r.GetCounter("buffer_pool_writebacks_total",
+                                 "dirty frames written back to the PageFile");
+    return mm;
+  }();
+  return m;
+}
+}  // namespace
 
 uint8_t* BufferPool::PageHandle::mutable_data() {
   pool_->MarkDirty(frame_);
@@ -69,6 +99,7 @@ Result<size_t> BufferPool::GrabFrame() {
     if (f.dirty) {
       C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
       ++stats_.writebacks;
+      Metrics().writebacks->Increment();
       f.dirty = false;
     }
     page_to_frame_.erase(f.page);
@@ -76,6 +107,7 @@ Result<size_t> BufferPool::GrabFrame() {
     f.in_lru = false;
     f.page = 0;
     ++stats_.evictions;
+    Metrics().evictions->Increment();
     return frame;
   }
   return Status::Internal("BufferPool: all frames pinned — pool too small for the "
@@ -87,6 +119,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
+    Metrics().hits->Increment();
     Frame& f = frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -96,6 +129,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
     return PageHandle(this, it->second, f.data.data());
   }
   ++stats_.misses;
+  Metrics().misses->Increment();
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
   C2LSH_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data()));
@@ -142,6 +176,7 @@ Status BufferPool::FlushAll() {
     if (f.page != 0 && f.dirty) {
       C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
       ++stats_.writebacks;
+      Metrics().writebacks->Increment();
       f.dirty = false;
     }
   }

@@ -2,11 +2,37 @@
 
 #include <cstring>
 
+#include "src/obs/registry.h"
 #include "src/util/crc32.h"
 
 namespace c2lsh {
 
 namespace {
+
+// Process-wide I/O counters; resolved once, bumped per page operation (the
+// operations are real I/O, so the relaxed atomic increment is noise).
+struct FileMetrics {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* crc_failures;
+  obs::Counter* syncs;
+};
+
+const FileMetrics& Metrics() {
+  static const FileMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    FileMetrics mm;
+    mm.reads = r.GetCounter("page_file_reads_total", "pages read from disk");
+    mm.writes = r.GetCounter("page_file_writes_total",
+                             "pages written to disk (including allocations)");
+    mm.crc_failures = r.GetCounter(
+        "page_file_crc_failures_total",
+        "page reads rejected by an integrity check (truncation, footer id, CRC)");
+    mm.syncs = r.GetCounter("page_file_syncs_total", "durable sync barriers completed");
+    return mm;
+  }();
+  return m;
+}
 
 // v1 (pre-checksum, stdio-era) files start with this magic; they carry no
 // page checksums and no shadow header, so they are rejected rather than
@@ -161,6 +187,7 @@ Result<PageId> PageFile::AllocatePage() {
   C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
     return file_->WriteAt(PageOffset(id), scratch_.data(), scratch_.size());
   }));
+  Metrics().writes->Increment();
   ++num_pages_;
   return id;
 }
@@ -173,7 +200,9 @@ Status PageFile::ReadPage(PageId id, void* buf) const {
   C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
     return file_->ReadAt(PageOffset(id), scratch_.data(), phys, &got);
   }));
+  Metrics().reads->Increment();
   if (got < phys) {
+    Metrics().crc_failures->Increment();
     return Status::Corruption("PageFile: page " + std::to_string(id) + " of '" +
                               path_ + "' is truncated (" + std::to_string(got) +
                               " of " + std::to_string(phys) +
@@ -184,12 +213,14 @@ Status PageFile::ReadPage(PageId id, void* buf) const {
   std::memcpy(&stored_id, scratch_.data() + page_bytes_ + sizeof(stored_crc),
               sizeof(stored_id));
   if (stored_id != static_cast<uint32_t>(id)) {
+    Metrics().crc_failures->Increment();
     return Status::Corruption("PageFile: page " + std::to_string(id) + " of '" +
                               path_ + "' carries footer id " +
                               std::to_string(stored_id) +
                               " (misdirected or torn write)");
   }
   if (Crc32cUnmask(stored_crc) != Crc32c(scratch_.data(), page_bytes_)) {
+    Metrics().crc_failures->Increment();
     return Status::Corruption("PageFile: checksum mismatch on page " +
                               std::to_string(id) + " of '" + path_ +
                               "' (torn write or bit corruption)");
@@ -203,6 +234,7 @@ Status PageFile::WritePage(PageId id, const void* buf) {
   scratch_.resize(PhysicalPageBytes());
   std::memcpy(scratch_.data(), buf, page_bytes_);
   EncodePageFooter(scratch_.data() + page_bytes_, buf, page_bytes_, id);
+  Metrics().writes->Increment();
   return RetryTransient(retry_policy_, &retry_stats_, [&] {
     return file_->WriteAt(PageOffset(id), scratch_.data(), scratch_.size());
   });
@@ -218,6 +250,7 @@ Status PageFile::Sync() {
   C2LSH_RETURN_IF_ERROR(file_->Sync());
   active_slot_ = target;
   generation_ = next_generation;
+  Metrics().syncs->Increment();
   return Status::OK();
 }
 

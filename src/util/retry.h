@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/registry.h"
 #include "src/util/status.h"
 
 namespace c2lsh {
@@ -56,12 +57,41 @@ struct RetryStats {
   }
 };
 
+namespace retry_internal {
+
+/// Process-wide registry counters, the cross-instance complement of the
+/// per-owner RetryStats. Resolved once outside the template so every
+/// RetryTransient instantiation shares one cache.
+struct RegistryCounters {
+  obs::Counter* operations;
+  obs::Counter* retries;
+  obs::Counter* exhausted;
+};
+
+inline const RegistryCounters& Metrics() {
+  static const RegistryCounters m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    RegistryCounters mm;
+    mm.operations =
+        r.GetCounter("retry_operations_total", "operations run under RetryTransient");
+    mm.retries = r.GetCounter("retry_retries_total",
+                              "extra attempts after a transient failure");
+    mm.exhausted = r.GetCounter("retry_exhausted_total",
+                                "operations that failed every retry attempt");
+    return mm;
+  }();
+  return m;
+}
+
+}  // namespace retry_internal
+
 /// Runs `fn` (returning Status) until it returns anything other than
 /// Unavailable, up to `policy.max_attempts` attempts. Non-transient results
 /// (OK, IOError, Corruption, ...) pass through untouched on whichever
 /// attempt produces them.
 template <typename Fn>
 Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
+  retry_internal::Metrics().operations->Increment();
   if (stats != nullptr) {
     stats->operations.fetch_add(1, std::memory_order_relaxed);
   }
@@ -70,6 +100,7 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
   Status s;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      retry_internal::Metrics().retries->Increment();
       if (stats != nullptr) stats->retries.fetch_add(1, std::memory_order_relaxed);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
@@ -79,6 +110,7 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
     s = fn();
     if (!s.IsUnavailable()) return s;
   }
+  retry_internal::Metrics().exhausted->Increment();
   if (stats != nullptr) stats->exhausted.fetch_add(1, std::memory_order_relaxed);
   return Status::IOError("transient failure persisted after " +
                          std::to_string(attempts) +

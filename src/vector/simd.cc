@@ -10,6 +10,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/obs/registry.h"
+
 namespace c2lsh {
 namespace simd {
 
@@ -176,6 +178,13 @@ const ActiveState* NewActiveState(Isa isa) {
   static std::atomic<size_t> next{0};
   const size_t slot = next.fetch_add(1, std::memory_order_relaxed) % 64;
   slots[slot] = ActiveState{KernelsFor(isa), isa};
+  // Every dispatch decision (first use and ForceIsa) flows through here, so
+  // this is the one place the gauge needs updating. Values follow the Isa
+  // enum: 0 scalar, 1 avx2, 2 avx512, 3 neon.
+  if (obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge(
+          "simd_active_isa", "active SIMD ISA (0 scalar, 1 avx2, 2 avx512, 3 neon)")) {
+    g->Set(static_cast<double>(static_cast<int>(isa)));
+  }
   return &slots[slot];
 }
 

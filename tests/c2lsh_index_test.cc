@@ -148,7 +148,8 @@ TEST(C2lshIndexTest, StatsPopulated) {
   EXPECT_GT(stats.candidates_verified, 0u);
   EXPECT_GT(stats.index_pages, 0u);
   EXPECT_GT(stats.data_pages, 0u);
-  EXPECT_TRUE(stats.terminated_by_t1 || stats.terminated_by_t2);
+  EXPECT_TRUE(stats.termination == Termination::kT1 ||
+              stats.termination == Termination::kT2);
   EXPECT_GE(stats.candidates_verified, r->size());
 }
 

@@ -1,0 +1,133 @@
+// Concurrency stress for the metrics registry (runs in the TSan race lane).
+//
+// Many threads hammer the same counter/histogram/gauge, plus racing GetX
+// registration of the same and distinct names. After the joins the totals
+// must be EXACT — relaxed atomics may reorder, but they never drop an
+// increment.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
+#include "src/util/mutex.h"
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 100'000;
+
+TEST(ObsConcurrencyTest, CounterIncrementsAreExactAcrossThreads) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("conctest_counter_total", "hammered counter");
+  ASSERT_NE(c, nullptr);
+  const uint64_t before = c->value();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kOpsPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), before + static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(ObsConcurrencyTest, HistogramCountAndSumAreExactAcrossThreads) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("conctest_histogram_millis", "hammered histogram");
+  ASSERT_NE(h, nullptr);
+  const uint64_t count_before = h->count();
+  const double sum_before = h->sum();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      // Thread-distinct values spread over several octaves so the CAS sum
+      // loop and multiple bucket slots all see contention.
+      const double v = 0.5 * static_cast<double>(t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) h->Observe(v);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->count(), count_before + static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  double want_sum = sum_before;
+  for (int t = 0; t < kThreads; ++t) {
+    want_sum += 0.5 * static_cast<double>(t + 1) * kOpsPerThread;
+  }
+  // The CAS loop accumulates doubles exactly here: every addend is a small
+  // multiple of 0.5, far inside the 53-bit mantissa.
+  EXPECT_EQ(h->sum(), want_sum);
+  // Every observation landed in a real bucket: per-bucket counts also total.
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) bucket_total += h->BucketCount(i);
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(ObsConcurrencyTest, RacingRegistrationYieldsOneMetricPerName) {
+  auto& reg = MetricsRegistry::Global();
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      // All threads race the same name; each also registers a private one.
+      seen[static_cast<size_t>(t)] =
+          reg.GetCounter("conctest_shared_total", "raced registration");
+      Counter* own = reg.GetCounter("conctest_private_" + std::to_string(t) + "_total",
+                                    "per-thread metric");
+      ASSERT_NE(own, nullptr);
+      own->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_NE(seen[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]) << "thread " << t;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    const Counter* own =
+        reg.FindCounter("conctest_private_" + std::to_string(t) + "_total");
+    ASSERT_NE(own, nullptr);
+    EXPECT_EQ(own->value(), 1u);
+  }
+}
+
+TEST(ObsConcurrencyTest, SnapshotWhileWritersAreActiveIsConsistent) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("conctest_snap_total", "written during snapshots");
+  Histogram* h = reg.GetHistogram("conctest_snap_millis", "written during snapshots");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(h, nullptr);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([c, h] {
+      for (int i = 0; i < 20'000; ++i) {
+        c->Increment();
+        h->Observe(1.0);
+      }
+    });
+  }
+  // Concurrent snapshots + exports must stay internally consistent (the
+  // +Inf cumulative entry always equals the snapshot count) and validate.
+  for (int round = 0; round < 20; ++round) {
+    const auto snap = reg.Snapshot();
+    for (const MetricSnapshot& m : snap) {
+      if (m.type != MetricType::kHistogram) continue;
+      ASSERT_FALSE(m.histogram.cumulative.empty()) << m.name;
+      EXPECT_EQ(m.histogram.cumulative.back().second, m.histogram.count) << m.name;
+    }
+    const Status s = ValidatePrometheusText(FormatPrometheus(snap));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  for (auto& th : writers) th.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2lsh

@@ -1,0 +1,186 @@
+// Disk-path observability: the degraded-query skip paths, the BufferPool
+// and PageFile traffic, and the RetryTransient attempts must all surface in
+// the process-wide metrics registry, and the per-query trace must carry the
+// measured pool counts.
+//
+// The registry is global, so every assertion is delta-based: read the
+// counters, run the workload, read again.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_index.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+#include "src/storage/page_file.h"
+#include "src/util/fault_env.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  const obs::Counter* c = obs::MetricsRegistry::Global().FindCounter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+class ObsDiskMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_obs_disk_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ObsDiskMetricsTest, QueryAndPoolCountersTrackMeasuredStats) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 2, 11);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 13;
+  o.page_bytes = 1024;
+  const std::string path = Path("metrics_idx.pf");
+  {
+    auto built = DiskC2lshIndex::Build(pd->data, o, path, 64);
+    ASSERT_TRUE(built.ok());
+  }
+  auto disk = DiskC2lshIndex::Open(path, 8);  // tiny pool: real misses
+  ASSERT_TRUE(disk.ok());
+
+  const uint64_t queries_before = CounterValue("disk_c2lsh_queries_total");
+  const uint64_t rounds_before = CounterValue("disk_c2lsh_rounds_total");
+  const uint64_t hits_before = CounterValue("buffer_pool_hits_total");
+  const uint64_t misses_before = CounterValue("buffer_pool_misses_total");
+  const uint64_t reads_before = CounterValue("page_file_reads_total");
+  disk->ResetPoolStats();
+
+  DiskQueryStats stats;
+  obs::QueryTrace trace;
+  auto r = disk->Query(pd->queries.row(0), 5, &stats, &trace);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  EXPECT_EQ(CounterValue("disk_c2lsh_queries_total"), queries_before + 1);
+  EXPECT_EQ(CounterValue("disk_c2lsh_rounds_total"), rounds_before + stats.base.rounds);
+  // The registry's pool counters moved in lockstep with the pool's own
+  // measured statistics (this is the only pool active in this window).
+  const BufferPoolStats pool = disk->pool_stats();
+  EXPECT_EQ(CounterValue("buffer_pool_hits_total"), hits_before + pool.hits);
+  EXPECT_EQ(CounterValue("buffer_pool_misses_total"), misses_before + pool.misses);
+  // Every pool miss is a page read, and reads only happen on misses here.
+  EXPECT_EQ(CounterValue("page_file_reads_total"), reads_before + pool.misses);
+
+  // The trace carries the same measured I/O and a genuine termination.
+  ASSERT_FALSE(trace.rounds.empty());
+  EXPECT_EQ(trace.rounds.size(), stats.base.rounds);
+  EXPECT_EQ(trace.termination, stats.base.termination);
+  EXPECT_NE(trace.termination, Termination::kNone);
+  EXPECT_EQ(trace.pool_hits, stats.pool_hits);
+  EXPECT_EQ(trace.pool_misses, stats.pool_misses);
+  EXPECT_FALSE(trace.degraded);
+  EXPECT_GT(trace.total_millis, 0.0);
+  uint64_t span_increments = 0;
+  for (const obs::QueryRoundSpan& span : trace.rounds) {
+    span_increments += span.collision_increments;
+  }
+  EXPECT_EQ(span_increments, stats.base.collision_increments);
+}
+
+TEST_F(ObsDiskMetricsTest, DegradedQueriesSurfaceInMetrics) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 200, 1, 91);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 97;
+  o.page_bytes = 1024;
+  const std::string path = Path("degraded_idx.pf");
+  {
+    auto built = DiskC2lshIndex::Build(pd->data, o, path, 64);
+    ASSERT_TRUE(built.ok());
+  }
+
+  // Corrupt each page in turn through the fault env until a query survives
+  // in degraded mode (same sweep as fault_injection_test, but here the
+  // subject is the metrics the degradation leaves behind).
+  FaultInjectionEnv env(Env::Default());
+  constexpr uint64_t kHeaderRegion = 512;
+  const uint64_t physical_page = o.page_bytes + 8;  // payload + crc footer
+  const uint64_t file_bytes = std::filesystem::file_size(path);
+  const uint64_t num_pages = (file_bytes - kHeaderRegion) / physical_page;
+
+  const uint64_t degraded_before = CounterValue("disk_c2lsh_degraded_queries_total");
+  const uint64_t skipped_before = CounterValue("disk_c2lsh_tables_skipped_total") +
+                                  CounterValue("disk_c2lsh_candidates_skipped_total");
+  const uint64_t crc_before = CounterValue("page_file_crc_failures_total");
+
+  bool saw_degraded = false;
+  for (uint64_t page = 1; page <= num_pages && !saw_degraded; ++page) {
+    SCOPED_TRACE("corrupting page " + std::to_string(page));
+    env.SetReadCorruption(kHeaderRegion + (page - 1) * physical_page +
+                              o.page_bytes / 2,
+                          0xFF);
+    auto disk = DiskC2lshIndex::Open(path, 8, &env);
+    if (!disk.ok()) {
+      env.ClearReadCorruption();
+      continue;
+    }
+    DiskQueryStats stats;
+    obs::QueryTrace trace;
+    auto r = disk->Query(pd->data, pd->queries.row(0), 5, &stats, &trace);
+    env.ClearReadCorruption();
+    if (r.ok() && stats.degraded) {
+      saw_degraded = true;
+      EXPECT_TRUE(trace.degraded);
+    }
+  }
+  ASSERT_TRUE(saw_degraded) << "no page corruption produced a degraded query";
+
+  EXPECT_GE(CounterValue("disk_c2lsh_degraded_queries_total"), degraded_before + 1);
+  EXPECT_GE(CounterValue("disk_c2lsh_tables_skipped_total") +
+                CounterValue("disk_c2lsh_candidates_skipped_total"),
+            skipped_before + 1);
+  // The skip was triggered by a checksum rejection, which PageFile counted.
+  EXPECT_GE(CounterValue("page_file_crc_failures_total"), crc_before + 1);
+}
+
+TEST_F(ObsDiskMetricsTest, RetryAttemptsSurfaceInMetrics) {
+  FaultInjectionEnv env(Env::Default());
+  auto f = PageFile::Create(Path("retry.pf"), 256, &env);
+  ASSERT_TRUE(f.ok());
+  RetryPolicy fast;
+  fast.backoff_initial_us = 0;
+  f->SetRetryPolicy(fast);
+  auto id = f->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  std::vector<uint8_t> buf(256, 0x2F);
+
+  const uint64_t ops_before = CounterValue("retry_operations_total");
+  const uint64_t retries_before = CounterValue("retry_retries_total");
+  const uint64_t exhausted_before = CounterValue("retry_exhausted_total");
+
+  env.SetTransientWriteFaults(2);  // < max_attempts: recovers after 2 retries
+  ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+  EXPECT_EQ(CounterValue("retry_operations_total"), ops_before + 1);
+  EXPECT_EQ(CounterValue("retry_retries_total"), retries_before + 2);
+  EXPECT_EQ(CounterValue("retry_exhausted_total"), exhausted_before);
+
+  // Persistent unavailability: the operation exhausts and says so.
+  RetryPolicy tight;
+  tight.max_attempts = 3;
+  tight.backoff_initial_us = 0;
+  f->SetRetryPolicy(tight);
+  env.SetTransientWriteFaults(1000);
+  EXPECT_TRUE(f->WritePage(id.value(), buf.data()).IsIOError());
+  EXPECT_EQ(CounterValue("retry_exhausted_total"), exhausted_before + 1);
+  env.SetTransientWriteFaults(0);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,239 @@
+// Metrics registry, histogram, trace, and exporter tests.
+//
+// The registry is process-global, so every test uses metric names prefixed
+// with the test name — no test depends on another's state.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterRegistersOnceAndAccumulates) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("regtest_counter_total", "a test counter");
+  ASSERT_NE(c, nullptr);
+  const uint64_t before = c->value();
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), before + 42);
+  // Same name -> same pointer; the help of a later call is ignored.
+  EXPECT_EQ(reg.GetCounter("regtest_counter_total", "other help"), c);
+}
+
+TEST(MetricsRegistryTest, InvalidNamesAndTypeConflictsReturnNull) {
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.GetCounter("Bad-Name", "h"), nullptr);
+  EXPECT_EQ(reg.GetCounter("9starts_with_digit", "h"), nullptr);
+  EXPECT_EQ(reg.GetCounter("", "h"), nullptr);
+  EXPECT_EQ(reg.GetCounter("has space", "h"), nullptr);
+  ASSERT_NE(reg.GetGauge("regtest_typed_metric", "h"), nullptr);
+  EXPECT_EQ(reg.GetCounter("regtest_typed_metric", "h"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("regtest_typed_metric", "h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.FindCounter("regtest_never_registered"), nullptr);
+  Counter* c = reg.GetCounter("regtest_find_total", "h");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.FindCounter("regtest_find_total"), c);
+  EXPECT_EQ(reg.FindGauge("regtest_find_total"), nullptr);  // wrong type
+}
+
+TEST(MetricsRegistryTest, GaugeHoldsLastValue) {
+  auto& reg = MetricsRegistry::Global();
+  Gauge* g = reg.GetGauge("regtest_gauge", "h");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value(), 0.0);
+  g->Set(2.5);
+  EXPECT_EQ(g->value(), 2.5);
+  g->Set(-1.0);
+  EXPECT_EQ(g->value(), -1.0);
+}
+
+TEST(HistogramTest, CountSumAndPercentilesTrackObservations) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i) / 100.0);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum(), 5005.0, 1e-9);
+  // Log buckets are <= 1/8 wide, so percentiles are within ~13% of exact.
+  EXPECT_NEAR(h.Percentile(0.50), 5.0, 5.0 * 0.15);
+  EXPECT_NEAR(h.Percentile(0.95), 9.5, 9.5 * 0.15);
+  EXPECT_NEAR(h.Percentile(0.99), 9.9, 9.9 * 0.15);
+}
+
+TEST(HistogramTest, OutOfRangeValuesStillCount) {
+  Histogram h;
+  h.Observe(0.0);          // underflow bucket
+  h.Observe(-3.0);         // negative -> underflow bucket
+  h.Observe(std::nan(""));  // NaN -> underflow bucket, sum stays finite? (NaN
+                            // poisons sum; count is what matters here)
+  h.Observe(1e30);         // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.BucketCount(0), 3u);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(HistogramTest, BucketBoundsAreMonotonic) {
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketUpperBound(i - 1), Histogram::BucketUpperBound(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  auto& reg = MetricsRegistry::Global();
+  ASSERT_NE(reg.GetCounter("regtest_snap_a_total", "first"), nullptr);
+  ASSERT_NE(reg.GetHistogram("regtest_snap_b_millis", "second"), nullptr);
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  bool saw_a = false, saw_b = false;
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  for (const MetricSnapshot& m : snap) {
+    if (m.name == "regtest_snap_a_total") {
+      saw_a = true;
+      EXPECT_EQ(m.type, MetricType::kCounter);
+      EXPECT_EQ(m.help, "first");
+    }
+    if (m.name == "regtest_snap_b_millis") {
+      saw_b = true;
+      EXPECT_EQ(m.type, MetricType::kHistogram);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotCumulativeEndsAtTotalCount) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("regtest_cumulative_millis", "h");
+  ASSERT_NE(h, nullptr);
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(250.0);
+  for (const MetricSnapshot& m : reg.Snapshot()) {
+    if (m.name != "regtest_cumulative_millis") continue;
+    ASSERT_FALSE(m.histogram.cumulative.empty());
+    // Cumulative counts are non-decreasing and the +Inf entry equals count.
+    uint64_t prev = 0;
+    for (const auto& [bound, cum] : m.histogram.cumulative) {
+      EXPECT_GE(cum, prev);
+      prev = cum;
+    }
+    EXPECT_TRUE(std::isinf(m.histogram.cumulative.back().first));
+    EXPECT_EQ(m.histogram.cumulative.back().second, m.histogram.count);
+    EXPECT_EQ(m.histogram.count, h->count());
+    return;
+  }
+  FAIL() << "snapshot did not include regtest_cumulative_millis";
+}
+
+TEST(ExportTest, PrometheusOutputValidatesAndContainsSeries) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("regtest_prom_total", "events");
+  Histogram* h = reg.GetHistogram("regtest_prom_millis", "latency");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(h, nullptr);
+  c->Increment(7);
+  h->Observe(1.0);
+  h->Observe(32.0);
+  const std::string text = FormatPrometheus(reg.Snapshot());
+  const Status s = ValidatePrometheusText(text);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << text;
+  EXPECT_NE(text.find("# TYPE regtest_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE regtest_prom_millis histogram"), std::string::npos);
+  EXPECT_NE(text.find("regtest_prom_millis_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("regtest_prom_millis_count"), std::string::npos);
+  EXPECT_NE(text.find("regtest_prom_millis_sum"), std::string::npos);
+}
+
+TEST(ExportTest, ValidatorRejectsMalformedText) {
+  EXPECT_FALSE(ValidatePrometheusText("9bad_name 1\n").ok());
+  EXPECT_FALSE(ValidatePrometheusText("metric{le=\"1\" 2\n").ok());        // unterminated
+  EXPECT_FALSE(ValidatePrometheusText("metric{a=\"1\"b=\"2\"} 3\n").ok());  // missing comma
+  EXPECT_FALSE(ValidatePrometheusText("metric not_a_number\n").ok());
+  // Histogram series must end with a +Inf bucket.
+  EXPECT_FALSE(ValidatePrometheusText("m_bucket{le=\"1\"} 2\nm_count 2\nm_sum 2\n").ok());
+  EXPECT_TRUE(ValidatePrometheusText("").ok());
+  EXPECT_TRUE(ValidatePrometheusText("# just a comment\n\nplain_value 1 1234\n").ok());
+}
+
+TEST(ExportTest, JsonAndTableMentionEveryMetric) {
+  auto& reg = MetricsRegistry::Global();
+  ASSERT_NE(reg.GetCounter("regtest_fmt_total", "h"), nullptr);
+  const auto snap = reg.Snapshot();
+  const std::string json = FormatJson(snap);
+  const std::string table = FormatTable(snap);
+  for (const MetricSnapshot& m : snap) {
+    EXPECT_NE(json.find("\"" + m.name + "\""), std::string::npos) << m.name;
+    EXPECT_NE(table.find(m.name), std::string::npos) << m.name;
+  }
+}
+
+TEST(TraceTest, TerminationNamesAreStable) {
+  EXPECT_EQ(TerminationName(Termination::kNone), "none");
+  EXPECT_EQ(TerminationName(Termination::kT1), "t1");
+  EXPECT_EQ(TerminationName(Termination::kT2), "t2");
+  EXPECT_EQ(TerminationName(Termination::kExhausted), "exhausted");
+}
+
+TEST(TraceTest, ToJsonRendersSpansAndClearKeepsCapacity) {
+  QueryTrace trace;
+  QueryRoundSpan span;
+  span.radius = 4;
+  span.buckets_scanned = 10;
+  span.collision_increments = 20;
+  span.candidates_verified = 3;
+  span.t1_fired = true;
+  span.millis = 0.25;
+  trace.rounds.push_back(span);
+  trace.termination = Termination::kT1;
+  trace.total_millis = 0.3;
+  trace.pool_hits = 5;
+  trace.pool_misses = 2;
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"termination\": \"t1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"radius\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets_scanned\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool_hits\": 5"), std::string::npos) << json;
+
+  const size_t cap = trace.rounds.capacity();
+  trace.Clear();
+  EXPECT_TRUE(trace.rounds.empty());
+  EXPECT_EQ(trace.rounds.capacity(), cap);
+  EXPECT_EQ(trace.termination, Termination::kNone);
+  EXPECT_EQ(trace.pool_hits, 0u);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("regtest_reset_total", "h");
+  Histogram* h = reg.GetHistogram("regtest_reset_millis", "h");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(h, nullptr);
+  c->Increment(5);
+  h->Observe(1.0);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("regtest_reset_total", "h"), c);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2lsh

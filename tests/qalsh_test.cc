@@ -157,7 +157,8 @@ TEST(QalshIndexTest, StatsPopulatedAndT2Caps) {
     EXPECT_GT(stats.final_radius, 0.0);
     EXPECT_GT(stats.collision_increments, 0u);
     EXPECT_GT(stats.candidates_verified, 0u);
-    EXPECT_TRUE(stats.terminated_by_t1 || stats.terminated_by_t2);
+    EXPECT_TRUE(stats.termination == Termination::kT1 ||
+                stats.termination == Termination::kT2);
     EXPECT_LT(stats.candidates_verified, 3000u / 2);
   }
 }

@@ -6,6 +6,9 @@
 #
 #   lint      tools/lint.py over src/ tests/ tools/ bench/
 #   default   plain build, full ctest
+#   metrics   ctest -L metrics in the default tree, then metrics_dump in all
+#             three exporter formats (the prometheus run self-validates
+#             against the text-exposition grammar)
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -75,6 +78,20 @@ run_lane lint python3 tools/lint.py
 
 # --- default ---------------------------------------------------------------
 run_lane default build_and_test build-check/default --
+
+# --- metrics (observability suite + exporter round-trip) -------------------
+metrics_lane() {  # reuses the default lane's tree
+  ctest --test-dir build-check/default --output-on-failure -j "${JOBS}" \
+    -L metrics || return 1
+  local dump=build-check/default/tools/metrics_dump
+  [[ -x "${dump}" ]] || { echo "metrics_dump not built"; return 1; }
+  local fmt
+  for fmt in table json prometheus; do
+    "${dump}" --format="${fmt}" --n=500 --queries=2 \
+      --scratch=build-check/default/metrics_dump.pages >/dev/null || return 1
+  done
+}
+run_lane metrics metrics_lane
 
 if [[ "${FAST}" -eq 0 ]]; then
   # --- forced-scalar build (no SIMD translation units at all) --------------

@@ -20,6 +20,11 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     layer must go through the dispatched kernel table in
                     src/vector/simd.h, so no TU outside the kernel layer can
                     accidentally depend on -m flags it isn't compiled with.
+  chrono-include    <chrono> may only be included by src/util/timer.h,
+                    src/util/retry.h, and src/obs/ — everywhere else, timing
+                    goes through util::Timer and observations through the
+                    metrics registry, so clock reads stay auditable in one
+                    place instead of scattered ad-hoc steady_clock calls.
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -75,6 +80,15 @@ ISA_HEADER_INCLUDE = re.compile(
     r"arm_neon|arm_sve|arm_acle)\.h"
     r'[>"]')
 ISA_HEADER_ALLOWED_PREFIX = os.path.join("src", "vector") + os.sep
+
+# Clock reads are confined to the timing/backoff/observability primitives;
+# everything else uses util::Timer or the metrics registry.
+CHRONO_INCLUDE = re.compile(r'^\s*#\s*include\s*[<"]chrono[>"]')
+CHRONO_ALLOWED_FILES = {
+    os.path.join("src", "util", "timer.h"),
+    os.path.join("src", "util", "retry.h"),
+}
+CHRONO_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -204,6 +218,14 @@ def lint_file(path, rel, status_names, errors):
                 f"{rel}:{lineno}: [isa-header] intrinsics headers are confined "
                 "to src/vector/ — call through the dispatch table in "
                 "src/vector/simd.h instead")
+        if (CHRONO_INCLUDE.match(code) and
+                rel not in CHRONO_ALLOWED_FILES and
+                not rel.startswith(CHRONO_ALLOWED_PREFIX) and
+                not allowed("chrono-include")):
+            errors.append(
+                f"{rel}:{lineno}: [chrono-include] <chrono> is confined to "
+                "src/util/timer.h, src/util/retry.h, and src/obs/ — time with "
+                "util::Timer (src/util/timer.h) instead")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "
