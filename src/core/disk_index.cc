@@ -27,6 +27,8 @@ struct DiskMetrics {
   obs::Counter* t1;
   obs::Counter* t2;
   obs::Counter* exhausted;
+  obs::Counter* deadline;
+  obs::Counter* cancelled;
   obs::Counter* degraded_queries;
   obs::Counter* tables_skipped;
   obs::Counter* candidates_skipped;
@@ -52,6 +54,11 @@ const DiskMetrics& Metrics() {
                      "Disk queries terminated by T2"),
         r.GetCounter("disk_c2lsh_queries_exhausted_total",
                      "Disk queries that covered every readable bucket"),
+        r.GetCounter("disk_c2lsh_queries_deadline_total",
+                     "Disk queries stopped by a deadline or page budget "
+                     "(partial results)"),
+        r.GetCounter("disk_c2lsh_queries_cancelled_total",
+                     "Disk queries cooperatively cancelled (partial results)"),
         r.GetCounter("disk_c2lsh_degraded_queries_total",
                      "Disk queries answered while skipping corrupt pages"),
         r.GetCounter("disk_c2lsh_tables_skipped_total",
@@ -81,6 +88,12 @@ void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis) {
       break;
     case Termination::kExhausted:
       m.exhausted->Increment();
+      break;
+    case Termination::kDeadline:
+      m.deadline->Increment();
+      break;
+    case Termination::kCancelled:
+      m.cancelled->Increment();
       break;
     case Termination::kNone:
       break;
@@ -302,7 +315,8 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool
   return index;
 }
 
-Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out) const {
+Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out,
+                                        const QueryContext* ctx) const {
   const size_t page_bytes = pool_->page_bytes();
   const size_t vec_bytes = dim_ * sizeof(float);
   size_t byte_off = static_cast<size_t>(id) * vec_bytes;
@@ -312,7 +326,7 @@ Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out) const {
     const PageId page_id = first_data_page_ + (byte_off / page_bytes);
     const size_t in_page = byte_off % page_bytes;
     const size_t chunk = std::min(page_bytes - in_page, vec_bytes - copied);
-    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id));
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id, ctx));
     std::memcpy(dst + copied, page.data() + in_page, chunk);
     copied += chunk;
     byte_off += chunk;
@@ -322,30 +336,33 @@ Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out) const {
 
 Result<NeighborList> DiskC2lshIndex::Query(const float* query, size_t k,
                                            DiskQueryStats* stats,
-                                           obs::QueryTrace* trace) const {
+                                           obs::QueryTrace* trace,
+                                           const QueryContext* ctx) const {
   if (first_data_page_ == 0) {
     return Status::NotSupported(
         "DiskC2LSH: this index was built without a data segment; pass the Dataset "
         "to Query or rebuild with store_vectors = true");
   }
-  return RunDiskQuery(nullptr, query, k, stats, trace);
+  return RunDiskQuery(nullptr, query, k, stats, trace, ctx);
 }
 
 Result<NeighborList> DiskC2lshIndex::Query(const Dataset& data, const float* query,
                                            size_t k, DiskQueryStats* stats,
-                                           obs::QueryTrace* trace) const {
+                                           obs::QueryTrace* trace,
+                                           const QueryContext* ctx) const {
   if (data.dim() != dim_) {
     return Status::InvalidArgument("DiskC2LSH query: dataset dim mismatch");
   }
   if (data.size() < num_objects_) {
     return Status::InvalidArgument("DiskC2LSH query: dataset smaller than the index");
   }
-  return RunDiskQuery(&data, query, k, stats, trace);
+  return RunDiskQuery(&data, query, k, stats, trace, ctx);
 }
 
 Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const float* query,
                                                   size_t k, DiskQueryStats* stats,
-                                                  obs::QueryTrace* trace) const {
+                                                  obs::QueryTrace* trace,
+                                                  const QueryContext* ctx) const {
   if (k == 0) return Status::InvalidArgument("DiskC2LSH query: k must be positive");
   DiskQueryStats local;
   DiskQueryStats* st = (stats != nullptr) ? stats : &local;
@@ -390,12 +407,27 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
     return QueryIntervalAtRadius(qb, R);
   };
 
+  // Cooperative-stop state, same contract as the in-memory RunQuery: kNone
+  // while running; once set, every remaining scan is skipped and the query
+  // returns its partial results under that Termination.
+  Termination early_stop = Termination::kNone;
+
   Status scan_status;
   auto scan_range = [&](size_t table_idx, const BucketRange& range) {
     if (range.empty() || !scan_status.ok() || table_bad_[table_idx] != 0) return;
-    Result<size_t> visited =
-        tables_[table_idx].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+    if (ctx != nullptr && early_stop == Termination::kNone) {
+      early_stop = ctx->CheckNow();
+    }
+    if (early_stop != Termination::kNone) return;
+    Result<size_t> visited = tables_[table_idx].ForEachInRange(
+        range.lo, range.hi,
+        [&](ObjectId id) {
+          if (early_stop != Termination::kNone) return;
           ++st->base.collision_increments;
+          if (ctx != nullptr && ctx->cancelled()) {
+            early_stop = Termination::kCancelled;
+            return;
+          }
           if (verified_[id] != 0) return;
           if (counter_.Increment(id) == l) {
             verified_[id] = 1;
@@ -406,13 +438,26 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
               st->base.data_pages += vector_pages;  // modelled (external data)
             } else {
               const uint64_t misses_before = pool_->stats().misses;
-              if (Status s = ReadStoredVector(id, vector_buf_.data()); !s.ok()) {
+              if (Status s = ReadStoredVector(id, vector_buf_.data(), ctx); !s.ok()) {
                 if (s.IsCorruption()) {
                   // The candidate's stored vector is unreadable: drop it and
                   // flag the answer as degraded rather than returning a
                   // distance computed from garbage bytes.
                   st->degraded = true;
                   ++st->candidates_skipped;
+                  return;
+                }
+                if (ctx != nullptr &&
+                    (ctx->CheckNow() != Termination::kNone || s.IsUnavailable())) {
+                  // The retry layer gave up because the query's budget ended,
+                  // not because the device failed hard: stop with partial
+                  // results instead of surfacing an error. A still-transient
+                  // Unavailable under a context can only mean abandonment —
+                  // possibly *before* the deadline strictly expires, when the
+                  // remaining budget cannot cover the next backoff — so it
+                  // converts even while CheckNow() is still kNone.
+                  const Termination now = ctx->CheckNow();
+                  early_stop = now != Termination::kNone ? now : Termination::kDeadline;
                   return;
                 }
                 scan_status = s;
@@ -425,7 +470,8 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
             found.push_back(Neighbor{id, static_cast<float>(dist)});
             ++st->base.candidates_verified;
           }
-        });
+        },
+        ctx);
     if (!visited.ok()) {
       if (visited.status().IsCorruption()) {
         // A table page failed its checksum: drop this table for the rest of
@@ -437,6 +483,14 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
         table_bad_[table_idx] = 1;
         return;
       }
+      if (ctx != nullptr && (ctx->CheckNow() != Termination::kNone ||
+                             visited.status().IsUnavailable())) {
+        // As above: an abandoned retry under the query's context is an early
+        // stop, not an error.
+        const Termination now = ctx->CheckNow();
+        early_stop = now != Termination::kNone ? now : Termination::kDeadline;
+        return;
+      }
       scan_status = visited.status();
       return;
     }
@@ -446,6 +500,16 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
   long long R = 1;
   Timer round_timer;
   while (true) {
+    // Round boundary: the full context check — deadline, cancellation, and
+    // the I/O-page budget against *measured* pool misses so far. A
+    // pre-expired context runs zero rounds and returns empty.
+    if (ctx != nullptr && early_stop == Termination::kNone) {
+      early_stop = ctx->Check(pool_->stats().misses - pool_before.misses);
+    }
+    if (early_stop != Termination::kNone) {
+      st->base.termination = early_stop;
+      break;
+    }
     ++st->base.rounds;
     st->base.final_radius = R;
     C2lshQueryStats before;
@@ -459,6 +523,7 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
     }
     bool all_covered = true;
     for (size_t i = 0; i < m; ++i) {
+      if (early_stop != Termination::kNone) break;
       const BucketRange next = interval(qbuckets[i], R);
       const RangeDelta delta = ComputeRangeDelta(prev[i], next);
       scan_range(i, delta.left);
@@ -471,6 +536,8 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
       }
     }
 
+    // T1 is evaluated even after an early stop: if the partial scan already
+    // proved the answer, the query keeps the full-quality termination.
     const double cr = derived_.model.c * static_cast<double>(R);
     size_t within = 0;
     for (const Neighbor& nb : found) {
@@ -481,6 +548,10 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
       st->base.termination = Termination::kT1;
     } else if (found.size() >= t2_threshold) {
       st->base.termination = Termination::kT2;
+    } else if (early_stop != Termination::kNone) {
+      // Partial results; beats kExhausted because an interrupted round never
+      // evaluated the remaining tables' coverage.
+      st->base.termination = early_stop;
     } else if (all_covered) {
       st->base.termination = Termination::kExhausted;
     }

@@ -29,6 +29,7 @@
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_bucket_table.h"
 #include "src/storage/page_file.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 
@@ -77,17 +78,24 @@ class DiskC2lshIndex {
   /// c-k-ANN query against the stored data segment. Requires the index to
   /// have been built with store_vectors = true. `trace`, when non-null,
   /// receives one span per rehashing round plus measured pool hit/miss
-  /// counts (src/obs/trace.h). Not thread-safe.
+  /// counts (src/obs/trace.h). `ctx` (nullable) bounds the query: on
+  /// deadline expiry, cancellation, or an exceeded I/O-page budget
+  /// (measured pool misses) the query returns best-effort partial results
+  /// with termination kDeadline / kCancelled — never an error; an expired
+  /// context also stops in-flight transient-fault retries (util/retry.h).
+  /// Not thread-safe.
   Result<NeighborList> Query(const float* query, size_t k,
                              DiskQueryStats* stats = nullptr,
-                             obs::QueryTrace* trace = nullptr) const;
+                             obs::QueryTrace* trace = nullptr,
+                             const QueryContext* ctx = nullptr) const;
 
   /// c-k-ANN query verifying against the caller's dataset (works with or
   /// without a stored data segment); identical answers to the in-memory
   /// C2lshIndex built with the same options/seed. Not thread-safe.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
                              DiskQueryStats* stats = nullptr,
-                             obs::QueryTrace* trace = nullptr) const;
+                             obs::QueryTrace* trace = nullptr,
+                             const QueryContext* ctx = nullptr) const;
 
   bool has_stored_vectors() const { return first_data_page_ != 0; }
 
@@ -108,17 +116,27 @@ class DiskC2lshIndex {
   /// Transient-failure retry counters of the underlying PageFile.
   const RetryStats& retry_stats() const { return file_->retry_stats(); }
 
+  /// Retry behavior of the underlying PageFile for transient env failures.
+  /// Tests install sleepy policies here to race cancellation against an
+  /// in-flight retry loop.
+  void SetRetryPolicy(const RetryPolicy& policy) { file_->SetRetryPolicy(policy); }
+
+  /// Buffer-pool frames currently pinned. Zero between queries — the
+  /// cancellation tests assert an early-stopped query leaks no pins.
+  size_t PinnedPoolFrames() const { return pool_->PinnedFrames(); }
+
  private:
   DiskC2lshIndex() = default;
 
   /// Shared query loop. `data` may be null when vectors are stored.
   Result<NeighborList> RunDiskQuery(const Dataset* data, const float* query, size_t k,
-                                    DiskQueryStats* stats,
-                                    obs::QueryTrace* trace) const;
+                                    DiskQueryStats* stats, obs::QueryTrace* trace,
+                                    const QueryContext* ctx) const;
 
   /// Reads object `id`'s vector from the data segment into `out`
-  /// (dim_ floats), charging the pool.
-  Status ReadStoredVector(ObjectId id, float* out) const;
+  /// (dim_ floats), charging the pool. `ctx` bounds the retry loop of the
+  /// underlying page reads.
+  Status ReadStoredVector(ObjectId id, float* out, const QueryContext* ctx) const;
 
   C2lshOptions options_;
   C2lshDerived derived_;

@@ -26,6 +26,8 @@ struct CoreMetrics {
   obs::Counter* t1;
   obs::Counter* t2;
   obs::Counter* exhausted;
+  obs::Counter* deadline;
+  obs::Counter* cancelled;
   obs::Histogram* latency;
 };
 
@@ -48,6 +50,10 @@ const CoreMetrics& Metrics() {
                      "Queries terminated by T2 (k + beta*n candidate budget)"),
         r.GetCounter("c2lsh_queries_exhausted_total",
                      "Queries that covered every bucket of every table"),
+        r.GetCounter("c2lsh_queries_deadline_total",
+                     "Queries stopped by a deadline or page budget (partial results)"),
+        r.GetCounter("c2lsh_queries_cancelled_total",
+                     "Queries cooperatively cancelled (partial results)"),
         r.GetHistogram("c2lsh_query_millis",
                        "In-memory C2LSH query latency in milliseconds"),
     };
@@ -71,6 +77,12 @@ void FlushQueryMetrics(const C2lshQueryStats& st, double millis) {
       break;
     case Termination::kExhausted:
       m.exhausted->Increment();
+      break;
+    case Termination::kDeadline:
+      m.deadline->Increment();
+      break;
+    case Termination::kCancelled:
+      m.cancelled->Increment();
       break;
     case Termination::kNone:
       break;
@@ -170,10 +182,10 @@ Result<C2lshIndex> C2lshIndex::FromParts(const C2lshOptions& options,
 }
 
 Result<NeighborList> C2lshIndex::Query(const Dataset& data, const float* query, size_t k,
-                                       C2lshQueryStats* stats,
-                                       obs::QueryTrace* trace) const {
+                                       C2lshQueryStats* stats, obs::QueryTrace* trace,
+                                       const QueryContext* ctx) const {
   return RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_,
-                  /*filter=*/nullptr, trace);
+                  /*filter=*/nullptr, trace, ctx);
 }
 
 Result<NeighborList> C2lshIndex::FilteredQuery(
@@ -189,7 +201,8 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
                                           long long max_radius, C2lshQueryStats* stats,
                                           C2lshQueryScratch* scratch,
                                           const std::function<bool(ObjectId)>* filter,
-                                          obs::QueryTrace* trace) const {
+                                          obs::QueryTrace* trace,
+                                          const QueryContext* ctx) const {
   if (k == 0) return Status::InvalidArgument("C2LSH query: k must be positive");
   if (data.dim() != dim_) {
     return Status::InvalidArgument("C2LSH query: dataset dim mismatch");
@@ -240,14 +253,32 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   // table is charged below, once per query.
   st->index_pages += tables_.size();
 
+  // Cooperative-stop state: kNone while running, kDeadline/kCancelled once
+  // the context expires. Checked inside the scan (cancellation every
+  // increment — an acquire load; the clock only every kCheckIntervalMask+1
+  // increments) and at every round boundary.
+  Termination early_stop = Termination::kNone;
+
   auto scan_range = [&](const BucketTable& table, const BucketRange& range) {
-    if (range.empty()) return;
+    if (range.empty() || early_stop != Termination::kNone) return;
     const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
     if (range_entries > 0) {
       st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
     }
     const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      if (early_stop != Termination::kNone) return;
       ++st->collision_increments;
+      if (ctx != nullptr) {
+        if (ctx->cancelled()) {
+          early_stop = Termination::kCancelled;
+          return;
+        }
+        if ((st->collision_increments & QueryContext::kCheckIntervalMask) == 0 &&
+            ctx->deadline.Expired()) {
+          early_stop = Termination::kDeadline;
+          return;
+        }
+      }
       if (verified[id] != 0) return;  // already a verified candidate
       if (counter.Increment(id) == l) {
         verified[id] = 1;
@@ -267,6 +298,15 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   long long R = 1;
   Timer round_timer;
   while (true) {
+    // Round boundary: the full context check (deadline, cancellation, page
+    // budget). A pre-expired context runs zero rounds and returns empty.
+    if (ctx != nullptr && early_stop == Termination::kNone) {
+      early_stop = ctx->Check(st->total_pages());
+    }
+    if (early_stop != Termination::kNone) {
+      st->termination = early_stop;
+      break;
+    }
     ++st->rounds;
     st->final_radius = R;
     // Trace spans are deltas of the running stats, so tracing adds no work
@@ -279,6 +319,7 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
 
     bool all_covered = true;
     for (size_t i = 0; i < m; ++i) {
+      if (early_stop != Termination::kNone) break;
       const BucketRange next = IntervalForRadius(qbuckets[i], R);
       const RangeDelta delta = ComputeRangeDelta(prev[i], next);
       scan_range(tables_[i], delta.left);
@@ -292,7 +333,9 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
       }
     }
 
-    // T1: enough verified candidates within distance c*R.
+    // T1: enough verified candidates within distance c*R. Evaluated even
+    // after an early stop — if the partial scan already proved the answer,
+    // the query gets the full-quality termination, not kDeadline.
     const double cr = c * static_cast<double>(R);
     size_t within = 0;
     for (const Neighbor& nb : found) {
@@ -304,6 +347,11 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
     } else if (found.size() >= t2_threshold) {
       // T2: the false-positive budget is exhausted.
       st->termination = Termination::kT2;
+    } else if (early_stop != Termination::kNone) {
+      // The context expired mid-round: partial results. Takes precedence
+      // over kExhausted because an interrupted round never evaluated the
+      // remaining tables' coverage.
+      st->termination = early_stop;
     } else if (all_covered) {
       // Every object has been counted in every table.
       st->termination = Termination::kExhausted;

@@ -33,6 +33,7 @@
 #include "src/obs/trace.h"
 #include "src/storage/bucket_table.h"
 #include "src/storage/page_model.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 #include "src/vector/types.h"
@@ -49,9 +50,11 @@ struct C2lshQueryStats {
   uint64_t buckets_scanned = 0;        ///< base buckets visited
   uint64_t index_pages = 0;            ///< simulated index I/O (pages)
   uint64_t data_pages = 0;             ///< simulated verification I/O (pages)
-  /// Which condition ended the query: kT1 / kT2 / kExhausted (full coverage),
-  /// or kNone when an external bound stopped it first (max_radius probes,
-  /// RangeQuery's radius schedule, DecisionQuery's single round).
+  /// Which condition ended the query: kT1 / kT2 / kExhausted (full
+  /// coverage), kDeadline / kCancelled (a QueryContext stopped it with
+  /// partial results), or kNone when an external bound stopped it first
+  /// (max_radius probes, RangeQuery's radius schedule, DecisionQuery's
+  /// single round).
   Termination termination = Termination::kNone;
 
   uint64_t total_pages() const { return index_pages + data_pages; }
@@ -78,11 +81,16 @@ class C2lshIndex {
   /// c-k-ANN query. Returns up to k neighbors sorted by ascending exact
   /// distance. `stats` may be null. `trace`, when non-null, receives one
   /// span per virtual-rehashing round (cleared first; see src/obs/trace.h).
+  /// `ctx` (nullable) bounds the query: on deadline expiry, cancellation, or
+  /// an exceeded I/O-page budget the query returns its best-effort partial
+  /// results with stats->termination = kDeadline / kCancelled — never an
+  /// error (see util/query_context.h).
   /// Not thread-safe: this convenience entry point reuses one internal
   /// scratch; concurrent callers must each use their own Searcher instead.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
                              C2lshQueryStats* stats = nullptr,
-                             obs::QueryTrace* trace = nullptr) const;
+                             obs::QueryTrace* trace = nullptr,
+                             const QueryContext* ctx = nullptr) const;
 
   /// A lightweight per-thread query handle. The index itself is immutable
   /// during queries, so any number of Searchers may run concurrently — each
@@ -95,9 +103,10 @@ class C2lshIndex {
     /// other Searchers.
     Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
                                C2lshQueryStats* stats = nullptr,
-                               obs::QueryTrace* trace = nullptr) {
+                               obs::QueryTrace* trace = nullptr,
+                               const QueryContext* ctx = nullptr) {
       return index_->RunQuery(data, query, k, /*max_radius=*/0, stats, &scratch_,
-                              /*filter=*/nullptr, trace);
+                              /*filter=*/nullptr, trace, ctx);
     }
 
    private:
@@ -202,12 +211,17 @@ class C2lshIndex {
   /// (0 = unbounded, run to termination). `scratch` holds the per-query
   /// state; distinct scratches make concurrent queries safe. `filter`, when
   /// non-null, gates verification (see FilteredQuery). `trace`, when
-  /// non-null, records one QueryRoundSpan per round.
+  /// non-null, records one QueryRoundSpan per round. `ctx`, when non-null,
+  /// is checked at every round boundary (deadline, cancellation, page
+  /// budget) and inside the bucket scan (cancellation every increment, the
+  /// clock every kCheckIntervalMask+1 increments); expiry stops the query
+  /// cooperatively with partial results.
   Result<NeighborList> RunQuery(const Dataset& data, const float* query, size_t k,
                                 long long max_radius, C2lshQueryStats* stats,
                                 C2lshQueryScratch* scratch,
                                 const std::function<bool(ObjectId)>* filter = nullptr,
-                                obs::QueryTrace* trace = nullptr) const;
+                                obs::QueryTrace* trace = nullptr,
+                                const QueryContext* ctx = nullptr) const;
 
   /// The probe interval at radius R, falling back to a full-table range once
   /// R exceeds the radius schedule cap (guarantees termination).

@@ -82,6 +82,8 @@ Result<WorkloadResult> RunWorkload(AnnMethod* method, const Dataset& data,
       const obs::QueryTrace* trace = method->last_trace();
       if (trace != nullptr) agg.traces.push_back(*trace);
     }
+    const size_t term = static_cast<size_t>(cost.termination);
+    if (term < agg.termination_counts.size()) ++agg.termination_counts[term];
     recall_sum += Recall(result, ground_truth[i], k);
     ratio_sum += OverallRatio(result, ground_truth[i], k);
     index_pages_sum += static_cast<double>(cost.index_pages);

@@ -6,6 +6,7 @@
 #ifndef C2LSH_EVAL_HARNESS_H_
 #define C2LSH_EVAL_HARNESS_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,12 @@ struct WorkloadResult {
 
   size_t index_bytes = 0;
   double build_seconds = 0.0;
+
+  /// How many queries ended with each obs::Termination kind, indexed by the
+  /// enum value (kNone counts methods without termination accounting). With
+  /// a deadline-bounded workload this is the breakdown of how many answers
+  /// were full-quality (t1/t2) vs. best-effort partial (deadline/cancelled).
+  std::array<uint64_t, obs::kNumTerminationKinds> termination_counts{};
 
   /// Wall latency of every individual query, in workload order. Always
   /// filled — the percentiles above are computed from it.

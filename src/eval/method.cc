@@ -30,6 +30,7 @@ class C2lshMethod : public AnnMethod {
       cost->index_pages = stats.index_pages;
       cost->data_pages = stats.data_pages;
       cost->candidates_verified = stats.candidates_verified;
+      cost->termination = stats.termination;
     }
     return result;
   }

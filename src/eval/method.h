@@ -27,6 +27,11 @@ struct SearchCost {
   uint64_t data_pages = 0;
   uint64_t candidates_verified = 0;
 
+  /// How the query ended (see src/obs/trace.h). Methods without termination
+  /// accounting leave it kNone; C2LSH fills it so workload aggregates can
+  /// break latency down by deadline/cancellation vs. full completion.
+  obs::Termination termination = obs::Termination::kNone;
+
   uint64_t total_pages() const { return index_pages + data_pages; }
 };
 

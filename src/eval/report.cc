@@ -49,6 +49,14 @@ void AppendWorkload(std::string* out, const WorkloadResult& r) {
   *out += "     \"mean_candidates\": " + Fmt(r.mean_candidates) + ",\n";
   *out += "     \"index_bytes\": " + std::to_string(r.index_bytes) + ",\n";
   *out += "     \"build_seconds\": " + Fmt(r.build_seconds) + ",\n";
+  *out += "     \"termination_counts\": {";
+  for (size_t t = 0; t < r.termination_counts.size(); ++t) {
+    if (t > 0) *out += ", ";
+    *out += "\"" +
+            std::string(obs::TerminationName(static_cast<obs::Termination>(t))) +
+            "\": " + std::to_string(r.termination_counts[t]);
+  }
+  *out += "},\n";
   *out += "     \"traces\": [";
   for (size_t i = 0; i < r.traces.size(); ++i) {
     if (i > 0) *out += ",";

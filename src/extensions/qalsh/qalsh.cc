@@ -28,6 +28,8 @@ struct QalshMetrics {
   obs::Counter* t1;
   obs::Counter* t2;
   obs::Counter* exhausted;
+  obs::Counter* deadline;
+  obs::Counter* cancelled;
   obs::Histogram* latency;
 };
 
@@ -45,6 +47,11 @@ const QalshMetrics& Metrics() {
     mm.t2 = r.GetCounter("qalsh_queries_t2_total", "QALSH queries terminated by T2");
     mm.exhausted = r.GetCounter("qalsh_queries_exhausted_total",
                                 "QALSH queries that scanned every projection column");
+    mm.deadline = r.GetCounter(
+        "qalsh_queries_deadline_total",
+        "QALSH queries stopped by a deadline or page budget (partial results)");
+    mm.cancelled = r.GetCounter("qalsh_queries_cancelled_total",
+                                "QALSH queries cooperatively cancelled (partial results)");
     mm.latency = r.GetHistogram("qalsh_query_millis", "QALSH query latency (ms)");
     return mm;
   }();
@@ -61,6 +68,8 @@ void FlushQueryMetrics(const QalshQueryStats& st, double millis) {
     case Termination::kT1: m.t1->Increment(); break;
     case Termination::kT2: m.t2->Increment(); break;
     case Termination::kExhausted: m.exhausted->Increment(); break;
+    case Termination::kDeadline: m.deadline->Increment(); break;
+    case Termination::kCancelled: m.cancelled->Increment(); break;
     case Termination::kNone: break;
   }
   m.latency->Observe(millis);
@@ -172,7 +181,8 @@ Result<QalshIndex> QalshIndex::Build(const Dataset& data, const QalshOptions& op
 }
 
 Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, size_t k,
-                                       QalshQueryStats* stats) const {
+                                       QalshQueryStats* stats,
+                                       const QueryContext* ctx) const {
   if (k == 0) return Status::InvalidArgument("QALSH query: k must be positive");
   if (data.dim() != dim_) {
     return Status::InvalidArgument("QALSH query: dataset dim mismatch");
@@ -227,8 +237,24 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
   const size_t entries_per_page = std::max<size_t>(
       1, page_model_.EntriesPerPage(sizeof(float) + sizeof(ObjectId)));
 
+  // Cooperative-stop state, same contract as C2lshIndex::RunQuery:
+  // cancellation polled every increment (an acquire load), the clock only
+  // every kCheckIntervalMask+1 increments.
+  Termination early_stop = Termination::kNone;
+
   auto count_one = [&](ObjectId id) {
     ++st->collision_increments;
+    if (ctx != nullptr) {
+      if (ctx->cancelled()) {
+        early_stop = Termination::kCancelled;
+        return;
+      }
+      if ((st->collision_increments & QueryContext::kCheckIntervalMask) == 0 &&
+          ctx->deadline.Expired()) {
+        early_stop = Termination::kDeadline;
+        return;
+      }
+    }
     if (verified_[id] != 0) return;
     if (epochs_[id] != epoch_) {
       epochs_[id] = epoch_;
@@ -248,6 +274,16 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
   double R = 1.0;
   int round = 0;
   while (true) {
+    // Round boundary: the full context check (deadline, cancellation, page
+    // budget against the modelled page count). A pre-expired context runs
+    // zero rounds and returns empty.
+    if (ctx != nullptr && early_stop == Termination::kNone) {
+      early_stop = ctx->Check(st->total_pages());
+    }
+    if (early_stop != Termination::kNone) {
+      st->termination = early_stop;
+      break;
+    }
     ++st->rounds;
     st->final_radius = R;
     const bool exhaustive = round >= options_.max_rounds;
@@ -256,17 +292,19 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
 
     bool all_covered = true;
     for (size_t i = 0; i < m; ++i) {
+      if (early_stop != Termination::kNone) break;
       const auto& col = columns_[i];
       Cursor& cur = cursors_[i];
       const double lo = qproj[i] - half_window;
       const double hi = qproj[i] + half_window;
       size_t scanned = 0;
-      while (cur.left > 0 && static_cast<double>(col.values[cur.left - 1]) >= lo) {
+      while (early_stop == Termination::kNone && cur.left > 0 &&
+             static_cast<double>(col.values[cur.left - 1]) >= lo) {
         --cur.left;
         count_one(col.ids[cur.left]);
         ++scanned;
       }
-      while (cur.right < col.values.size() &&
+      while (early_stop == Termination::kNone && cur.right < col.values.size() &&
              static_cast<double>(col.values[cur.right]) <= hi) {
         count_one(col.ids[cur.right]);
         ++cur.right;
@@ -280,7 +318,9 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
       }
     }
 
-    // T1: k verified candidates within c*R.
+    // T1: k verified candidates within c*R. Evaluated even after an early
+    // stop — a partial scan that already proved the answer keeps the
+    // full-quality termination.
     const double cr = c * R;
     size_t within = 0;
     for (const Neighbor& nb : found) {
@@ -294,6 +334,12 @@ Result<NeighborList> QalshIndex::Query(const Dataset& data, const float* query, 
     // T2: false-positive budget exhausted.
     if (found.size() >= t2_threshold) {
       st->termination = Termination::kT2;
+      break;
+    }
+    if (early_stop != Termination::kNone) {
+      // Partial results; beats kExhausted because an interrupted round never
+      // examined the remaining columns' coverage.
+      st->termination = early_stop;
       break;
     }
     if (all_covered) {

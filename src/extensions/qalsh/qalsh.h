@@ -35,6 +35,7 @@
 #include "src/core/params.h"
 #include "src/obs/trace.h"
 #include "src/storage/page_model.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/vector/aligned.h"
 #include "src/vector/dataset.h"
@@ -92,7 +93,8 @@ struct QalshQueryStats {
   uint64_t index_pages = 0;
   uint64_t data_pages = 0;
   /// How the round loop stopped: kT1, kT2, kExhausted (every projection
-  /// column fully scanned), or kNone if the loop never ran.
+  /// column fully scanned), kDeadline / kCancelled (a QueryContext stopped
+  /// it with partial results), or kNone if the loop never ran.
   Termination termination = Termination::kNone;
 
   uint64_t total_pages() const { return index_pages + data_pages; }
@@ -103,10 +105,13 @@ class QalshIndex {
  public:
   static Result<QalshIndex> Build(const Dataset& data, const QalshOptions& options);
 
-  /// c-k-ANN query; up to k neighbors ascending by exact distance. Not
-  /// thread-safe (per-query scratch reused).
+  /// c-k-ANN query; up to k neighbors ascending by exact distance. `ctx`
+  /// (nullable) bounds the query — deadline / cancellation / page budget
+  /// expiry returns best-effort partial results under kDeadline /
+  /// kCancelled, never an error. Not thread-safe (per-query scratch reused).
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
-                             QalshQueryStats* stats = nullptr) const;
+                             QalshQueryStats* stats = nullptr,
+                             const QueryContext* ctx = nullptr) const;
 
   const QalshOptions& options() const { return options_; }
   const QalshDerived& derived() const { return derived_; }

@@ -30,6 +30,10 @@ std::string_view TerminationName(Termination t) {
       return "t2";
     case Termination::kExhausted:
       return "exhausted";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -18,6 +18,7 @@
 #ifndef C2LSH_OBS_TRACE_H_
 #define C2LSH_OBS_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -32,9 +33,15 @@ enum class Termination : uint8_t {
   kT1 = 1,         ///< >= k candidates verified within distance c*R
   kT2 = 2,         ///< >= k + beta*n candidates collected
   kExhausted = 3,  ///< every bucket of every table scanned (fallback to exact)
+  kDeadline = 4,   ///< deadline or I/O-page budget expired — partial results
+  kCancelled = 5,  ///< cooperatively cancelled — partial results
 };
 
-/// Stable lower-case name for a Termination ("none", "t1", "t2", "exhausted").
+/// Number of Termination values (for per-reason breakdown arrays).
+inline constexpr size_t kNumTerminationKinds = 6;
+
+/// Stable lower-case name for a Termination ("none", "t1", "t2",
+/// "exhausted", "deadline", "cancelled").
 std::string_view TerminationName(Termination t);
 
 /// What one virtual-rehashing round did.

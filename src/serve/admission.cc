@@ -1,0 +1,153 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "src/obs/registry.h"
+#include "src/util/timer.h"
+
+namespace c2lsh {
+
+namespace {
+
+// How often a queued caller re-checks its context and queue timeout. An
+// external Cancel() cannot notify cv_, so the wait is sliced; slot releases
+// still wake waiters immediately via notify_one.
+constexpr int kQueuePollMicros = 1000;
+
+// Registry handles resolved once per process; every controller instance
+// also keeps its own AdmissionStats for per-controller tests/telemetry.
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed_queue_full;
+  obs::Counter* shed_timeout;
+  obs::Counter* shed_deadline;
+  obs::Gauge* in_flight;
+  obs::Gauge* queued;
+  obs::Histogram* queue_wait;
+};
+
+const AdmissionMetrics& Metrics() {
+  static const AdmissionMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    AdmissionMetrics mm;
+    mm.admitted =
+        r.GetCounter("admission_admitted_total", "queries granted an in-flight slot");
+    mm.shed_queue_full = r.GetCounter("admission_shed_queue_full_total",
+                                      "arrivals shed with the wait queue full");
+    mm.shed_timeout = r.GetCounter("admission_shed_timeout_total",
+                                   "waiters shed by the queue timeout");
+    mm.shed_deadline = r.GetCounter(
+        "admission_shed_deadline_total",
+        "waiters shed because their deadline expired or they were cancelled");
+    mm.in_flight = r.GetGauge("admission_in_flight", "in-flight slots outstanding");
+    mm.queued = r.GetGauge("admission_queued", "callers waiting for a slot");
+    mm.queue_wait =
+        r.GetHistogram("admission_queue_wait_millis", "admission queue wait (ms)");
+    return mm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  options_.max_in_flight = std::max<size_t>(1, options_.max_in_flight);
+}
+
+// The capability analysis cannot follow std::unique_lock or the
+// condition_variable_any wait (both lock/unlock the Mutex inside library
+// templates), so this function is excluded; the whole body runs under mu_
+// held by `lock`, and the cv wait releases/reacquires it as usual.
+Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContext* ctx)
+    NO_THREAD_SAFETY_ANALYSIS {
+  Timer wait_timer;
+  std::unique_lock<Mutex> lock(mu_);
+
+  auto shed_expired = [&](Termination t) -> Status {
+    ++totals_.shed_deadline;
+    Metrics().shed_deadline->Increment();
+    return Status::Unavailable(t == Termination::kCancelled
+                                   ? "admission: query cancelled before admission"
+                                   : "admission: deadline expired before admission");
+  };
+
+  if (ctx != nullptr) {
+    const Termination t = ctx->CheckNow();
+    if (t != Termination::kNone) return shed_expired(t);
+  }
+
+  // Fast path: a free slot and nobody queued ahead of us.
+  if (in_flight_ < options_.max_in_flight && queued_ == 0) {
+    ++in_flight_;
+    ++totals_.admitted;
+    Metrics().admitted->Increment();
+    Metrics().in_flight->Set(static_cast<double>(in_flight_));
+    Metrics().queue_wait->Observe(wait_timer.ElapsedMillis());
+    return Ticket(this);
+  }
+
+  if (queued_ >= options_.max_queue) {
+    ++totals_.shed_queue_full;
+    Metrics().shed_queue_full->Increment();
+    return Status::Unavailable("admission: wait queue full (" +
+                               std::to_string(queued_) + " waiting, max " +
+                               std::to_string(options_.max_queue) +
+                               ") — shedding; back off and retry");
+  }
+
+  ++queued_;
+  Metrics().queued->Set(static_cast<double>(queued_));
+  auto leave_queue = [&] {
+    --queued_;
+    Metrics().queued->Set(static_cast<double>(queued_));
+  };
+
+  while (in_flight_ >= options_.max_in_flight) {
+    if (ctx != nullptr) {
+      const Termination t = ctx->CheckNow();
+      if (t != Termination::kNone) {
+        leave_queue();
+        return shed_expired(t);
+      }
+    }
+    if (options_.queue_timeout_millis > 0 &&
+        wait_timer.ElapsedMillis() >= options_.queue_timeout_millis) {
+      leave_queue();
+      ++totals_.shed_timeout;
+      Metrics().shed_timeout->Increment();
+      return Status::Unavailable("admission: no slot freed within the queue timeout — "
+                                 "shedding; back off and retry");
+    }
+    cv_.wait_for(lock, std::chrono::microseconds(kQueuePollMicros));
+  }
+
+  leave_queue();
+  ++in_flight_;
+  ++totals_.admitted;
+  Metrics().admitted->Increment();
+  Metrics().in_flight->Set(static_cast<double>(in_flight_));
+  Metrics().queue_wait->Observe(wait_timer.ElapsedMillis());
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    MutexLock lock(&mu_);
+    if (in_flight_ > 0) --in_flight_;
+    Metrics().in_flight->Set(static_cast<double>(in_flight_));
+  }
+  cv_.notify_one();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  AdmissionStats s = totals_;
+  s.in_flight = in_flight_;
+  s.queued = queued_;
+  return s;
+}
+
+}  // namespace c2lsh

@@ -1,0 +1,134 @@
+// AdmissionController: overload protection for the query path.
+//
+// A deadline keeps one query from running too long; admission control keeps
+// too many queries from running at once. The controller enforces a bounded
+// number of in-flight queries plus a bounded wait queue:
+//
+//   * a free slot admits immediately;
+//   * a full slot set parks the caller in the queue, where it waits until a
+//     slot frees, its queue timeout elapses, or its QueryContext expires
+//     (deadline or cancellation — the admission wait is part of the query's
+//     deadline budget, as the paper's end-to-end latency accounting demands);
+//   * a full queue sheds the request immediately.
+//
+// Every rejection is Status::Unavailable — the transient "back off and
+// retry" code, never an internal error: overload is an expected operating
+// regime, and shedding early is what keeps the admitted queries' latencies
+// bounded. Outcomes are observable both per-controller (stats()) and
+// process-wide through the metrics registry (admission_* series).
+//
+// Thread-safety: Admit/stats and Ticket release are safe from any thread.
+// The returned Ticket is the RAII slot: run the query while holding it and
+// let it drop (or call Release) when done.
+
+#pragma once
+#ifndef C2LSH_SERVE_ADMISSION_H_
+#define C2LSH_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "src/util/mutex.h"
+#include "src/util/query_context.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// Capacity limits of an AdmissionController.
+struct AdmissionOptions {
+  /// Queries allowed to execute concurrently. Clamped to >= 1.
+  size_t max_in_flight = 4;
+
+  /// Callers allowed to wait for a slot; an arrival beyond this is shed
+  /// immediately. 0 = no queue (every arrival beyond max_in_flight sheds).
+  size_t max_queue = 16;
+
+  /// Longest a caller may wait in the queue before being shed; <= 0 disables
+  /// the timeout (the wait is then bounded only by the caller's
+  /// QueryContext, if any).
+  double queue_timeout_millis = 50.0;
+};
+
+/// Point-in-time controller statistics (cumulative sheds/admissions plus the
+/// current occupancy).
+struct AdmissionStats {
+  uint64_t admitted = 0;         ///< tickets granted
+  uint64_t shed_queue_full = 0;  ///< arrivals rejected with the queue full
+  uint64_t shed_timeout = 0;     ///< waiters rejected by the queue timeout
+  uint64_t shed_deadline = 0;    ///< waiters whose context expired (deadline
+                                 ///< or cancellation) before admission
+  size_t in_flight = 0;          ///< tickets currently outstanding
+  size_t queued = 0;             ///< callers currently waiting
+};
+
+/// A bounded-concurrency gate with a bounded, timeout-guarded wait queue.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII in-flight slot: the query runs while the ticket is alive; the slot
+  /// frees (waking one queued caller) when it is released or destroyed.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool valid() const { return controller_ != nullptr; }
+
+    /// Frees the slot now (idempotent; the destructor calls it too).
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->ReleaseSlot();
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller) : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Acquires an in-flight slot, waiting in the bounded queue if necessary.
+  /// Returns Status::Unavailable (transient — the caller may back off and
+  /// retry) when the queue is full, the queue timeout elapses, or `ctx`
+  /// (nullable) expires while waiting. Cancellation is polled, so an
+  /// external Cancel() unblocks a queued caller within a poll interval even
+  /// if no slot ever frees.
+  Result<Ticket> Admit(const QueryContext* ctx = nullptr);
+
+  /// Snapshot of the counters and current occupancy.
+  AdmissionStats stats() const EXCLUDES(mu_);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  void ReleaseSlot() EXCLUDES(mu_);
+
+  AdmissionOptions options_;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  AdmissionStats totals_ GUARDED_BY(mu_);  ///< cumulative counters only
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_SERVE_ADMISSION_H_

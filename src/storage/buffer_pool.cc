@@ -114,7 +114,8 @@ Result<size_t> BufferPool::GrabFrame() {
                           "working set of one operation");
 }
 
-Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
+Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id,
+                                                 const QueryContext* ctx) {
   MutexLock lock(&mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
@@ -132,7 +133,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id) {
   Metrics().misses->Increment();
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
-  C2LSH_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data()));
+  C2LSH_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data(), ctx));
   f.page = id;
   f.pins = 1;
   f.dirty = false;

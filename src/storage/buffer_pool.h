@@ -14,6 +14,7 @@
 
 #include "src/storage/page_file.h"
 #include "src/util/mutex.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 
 namespace c2lsh {
@@ -93,8 +94,11 @@ class BufferPool {
   };
 
   /// Pins page `id`, reading it from the file on a miss. Fails with
-  /// ResourceExhausted-like Internal error if every frame is pinned.
-  Result<PageHandle> Fetch(PageId id) EXCLUDES(mu_);
+  /// ResourceExhausted-like Internal error if every frame is pinned. `ctx`
+  /// (nullable) is forwarded to PageFile::ReadPage so transient-fault
+  /// retries on a miss respect the query's deadline and cancellation.
+  Result<PageHandle> Fetch(PageId id, const QueryContext* ctx = nullptr)
+      EXCLUDES(mu_);
 
   /// Allocates a fresh page in the file and pins it (zeroed, dirty).
   Result<PageHandle> NewPage(PageId* id_out) EXCLUDES(mu_);
@@ -115,6 +119,17 @@ class BufferPool {
   size_t capacity() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return frames_.size();
+  }
+  /// Number of frames currently pinned (> 0 pins). Zero once every
+  /// PageHandle has been released — the pin-leak assertion used by the
+  /// cancellation tests.
+  size_t PinnedFrames() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    size_t n = 0;
+    for (const Frame& f : frames_) {
+      if (f.pins > 0) ++n;
+    }
+    return n;
   }
   size_t page_bytes() const { return file_->page_bytes(); }
 

@@ -105,15 +105,20 @@ size_t DiskBucketTable::EntriesInRange(BucketId lo, BucketId hi) const {
 }
 
 Result<size_t> DiskBucketTable::ForEachInRange(
-    BucketId lo, BucketId hi, const std::function<void(ObjectId)>& fn) const {
+    BucketId lo, BucketId hi, const std::function<void(ObjectId)>& fn,
+    const QueryContext* ctx) const {
   const auto [begin_idx, end_idx] = EntryRange(lo, hi);
   if (begin_idx >= end_idx) return size_t{0};
   const size_t per_page = EntriesPerPage();
   size_t visited = 0;
   for (size_t page_idx = begin_idx / per_page; page_idx * per_page < end_idx;
        ++page_idx) {
+    // Page boundaries are the scan's checkpoints: each iteration may cost a
+    // real disk read, so an expired context stops before paying for the next
+    // page and the caller sees a clean partial count.
+    if (ctx != nullptr && ctx->CheckNow() != Termination::kNone) return visited;
     const PageId id = first_entry_page_ + page_idx;
-    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(id));
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(id, ctx));
     const auto* ids = reinterpret_cast<const ObjectId*>(page.data());
     const size_t page_start = page_idx * per_page;
     const size_t from = std::max(begin_idx, page_start) - page_start;

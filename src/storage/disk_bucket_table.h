@@ -23,6 +23,7 @@
 
 #include "src/storage/blob.h"
 #include "src/storage/bucket_table.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/vector/types.h"
 
@@ -49,9 +50,13 @@ class DiskBucketTable {
   /// Calls `fn(ObjectId)` for every object with bucket in [lo, hi]; entry
   /// pages are fetched through the pool (so misses are measured I/O).
   /// Returns the number of objects visited, or an error if a page fetch
-  /// fails.
+  /// fails. `ctx` (nullable) bounds the scan: the deadline/cancellation is
+  /// checked at every entry-page boundary, and an expired context stops the
+  /// scan early, returning the objects visited so far (not an error) —
+  /// the caller decides how a partial scan terminates the query.
   Result<size_t> ForEachInRange(BucketId lo, BucketId hi,
-                                const std::function<void(ObjectId)>& fn) const;
+                                const std::function<void(ObjectId)>& fn,
+                                const QueryContext* ctx = nullptr) const;
 
   /// Entries in [lo, hi], answered from the resident directory (no I/O).
   size_t EntriesInRange(BucketId lo, BucketId hi) const;

@@ -192,12 +192,12 @@ Result<PageId> PageFile::AllocatePage() {
   return id;
 }
 
-Status PageFile::ReadPage(PageId id, void* buf) const {
+Status PageFile::ReadPage(PageId id, void* buf, const QueryContext* ctx) const {
   C2LSH_RETURN_IF_ERROR(CheckPageId(id));
   const size_t phys = PhysicalPageBytes();
   scratch_.resize(phys);
   size_t got = 0;
-  C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
+  C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, ctx, [&] {
     return file_->ReadAt(PageOffset(id), scratch_.data(), phys, &got);
   }));
   Metrics().reads->Increment();

@@ -34,6 +34,7 @@
 
 #include "src/storage/page_model.h"
 #include "src/util/env.h"
+#include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
 
@@ -72,8 +73,10 @@ class PageFile {
 
   /// Reads page `id` into `buf` (page_bytes() bytes), verifying its
   /// checksum footer. Torn or corrupt pages fail with Corruption naming the
-  /// page.
-  Status ReadPage(PageId id, void* buf) const;
+  /// page. `ctx` (nullable) makes transient-fault retries deadline-aware:
+  /// once the query's remaining budget cannot cover the next backoff, the
+  /// read gives up with the still-transient Unavailable (see util/retry.h).
+  Status ReadPage(PageId id, void* buf, const QueryContext* ctx = nullptr) const;
 
   /// Writes `buf` (page_bytes() bytes) to page `id` with a fresh footer.
   Status WritePage(PageId id, const void* buf);

@@ -32,6 +32,14 @@ class CAPABILITY("mutex") Mutex {
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
 
+  /// BasicLockable spelling of Lock/Unlock, so std::unique_lock and
+  /// std::condition_variable_any can operate on an annotated Mutex (the
+  /// admission controller waits on one). Callers going through these
+  /// wrappers are invisible to the capability analysis and must annotate
+  /// themselves (see AdmissionController::Admit).
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
   /// Documents that the calling thread must already hold this mutex. A no-op
   /// at runtime; under Clang the analysis treats it as proof of possession,
   /// so private REQUIRES(mu_) helpers can assert their contract.

@@ -1,10 +1,23 @@
-// Bounded retry with exponential backoff for transient I/O failures.
+// Bounded retry with jittered exponential backoff for transient I/O
+// failures, deadline-aware when the operation runs on behalf of a query.
 //
 // The Env layer reports EINTR-style transient conditions as
 // Status::Unavailable (distinct from a hard IOError); RetryTransient retries
 // exactly those, a bounded number of times, and converts persistent
 // unavailability into an IOError so no caller can spin forever. PageFile
 // wraps every page read/write in this helper and exposes the RetryStats.
+//
+// Backoff uses *decorrelated jitter* (sleep ~ U[base, 3*prev], capped),
+// seeded per thread from RetryPolicy::jitter_seed: deterministic within a
+// thread, decorrelated across threads, so a burst of threads hitting the
+// same transient fault does not sleep — and then retry — in lockstep.
+//
+// When a QueryContext is supplied, the retry loop honors it: it stops
+// retrying (returning the still-transient Unavailable) as soon as the query
+// is cancelled or the remaining deadline budget cannot cover the next
+// backoff sleep, so a disk-fault retry can never blow a query's latency
+// budget. Callers on the query path treat that Unavailable plus an expired
+// context as "stop with partial results", not as an error.
 
 #pragma once
 #ifndef C2LSH_UTIL_RETRY_H_
@@ -14,12 +27,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/obs/registry.h"
+#include "src/util/query_context.h"
+#include "src/util/random.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace c2lsh {
 
@@ -27,8 +44,13 @@ namespace c2lsh {
 /// without adding noticeable latency; tests set backoff_initial_us = 0.
 struct RetryPolicy {
   int max_attempts = 4;          ///< total attempts (first try included), >= 1
-  int backoff_initial_us = 100;  ///< sleep before the first retry; doubles
+  int backoff_initial_us = 100;  ///< backoff floor; 0 disables sleeping
   int backoff_max_us = 10'000;   ///< backoff ceiling
+  /// Seed of the decorrelated jitter stream. Each thread derives its own
+  /// stream from (jitter_seed, thread id), so identical policies on
+  /// different threads produce different backoff sequences while any single
+  /// thread stays reproducible.
+  uint64_t jitter_seed = 1;
 };
 
 /// Cumulative counters, observable wherever a policy is applied.
@@ -43,6 +65,7 @@ struct RetryStats {
   std::atomic<uint64_t> operations{0};  ///< calls to RetryTransient
   std::atomic<uint64_t> retries{0};     ///< extra attempts after a transient failure
   std::atomic<uint64_t> exhausted{0};   ///< operations that failed every attempt
+  std::atomic<uint64_t> abandoned{0};   ///< retry loops cut short by deadline/cancel
 
   RetryStats() = default;
   RetryStats(const RetryStats& other) { *this = other; }
@@ -52,6 +75,8 @@ struct RetryStats {
     retries.store(other.retries.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     exhausted.store(other.exhausted.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    abandoned.store(other.abandoned.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
   }
@@ -66,6 +91,7 @@ struct RegistryCounters {
   obs::Counter* operations;
   obs::Counter* retries;
   obs::Counter* exhausted;
+  obs::Counter* abandoned;
 };
 
 inline const RegistryCounters& Metrics() {
@@ -78,9 +104,36 @@ inline const RegistryCounters& Metrics() {
                               "extra attempts after a transient failure");
     mm.exhausted = r.GetCounter("retry_exhausted_total",
                                 "operations that failed every retry attempt");
+    mm.abandoned = r.GetCounter(
+        "retry_abandoned_total",
+        "retry loops cut short by a query deadline or cancellation");
     return mm;
   }();
   return m;
+}
+
+/// The next decorrelated-jitter backoff: U[base, 3*prev] clamped to
+/// [base, cap] (AWS "decorrelated jitter"; prev = 0 on the first retry, so
+/// the first sleep is U[base, min(3*base, cap)]). Returns 0 when the policy
+/// disables sleeping (backoff_initial_us <= 0).
+inline int NextBackoffUs(const RetryPolicy& policy, int prev_us, Rng* rng) {
+  if (policy.backoff_initial_us <= 0) return 0;
+  const int64_t base = policy.backoff_initial_us;
+  const int64_t cap = std::max<int64_t>(policy.backoff_max_us, base);
+  const int64_t prev = std::max<int64_t>(prev_us, base);
+  const int64_t hi = std::min<int64_t>(cap, 3 * prev);
+  if (hi <= base) return static_cast<int>(base);
+  return static_cast<int>(rng->UniformInt(base, hi));
+}
+
+/// Per-thread jitter stream: deterministic given (seed, thread), distinct
+/// across threads. The stream advances across RetryTransient calls on the
+/// same thread, so even two back-to-back retry loops do not repeat sleeps.
+inline Rng& ThreadJitterRng(uint64_t seed) {
+  thread_local Rng rng(SplitMix64(
+      seed ^ static_cast<uint64_t>(
+                 std::hash<std::thread::id>{}(std::this_thread::get_id()))));
+  return rng;
 }
 
 }  // namespace retry_internal
@@ -89,23 +142,43 @@ inline const RegistryCounters& Metrics() {
 /// Unavailable, up to `policy.max_attempts` attempts. Non-transient results
 /// (OK, IOError, Corruption, ...) pass through untouched on whichever
 /// attempt produces them.
+///
+/// `ctx` (nullable) makes the loop deadline-aware: before each backoff
+/// sleep, if the query is cancelled or its remaining deadline cannot cover
+/// the sleep, the loop gives up immediately and returns the last transient
+/// Status (still Unavailable — the condition might clear; it is the *query*
+/// that ran out of budget, not the device that failed hard). Exhausting
+/// every attempt still converts to IOError as before.
 template <typename Fn>
-Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
+Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
+                      const QueryContext* ctx, Fn&& fn) {
   retry_internal::Metrics().operations->Increment();
   if (stats != nullptr) {
     stats->operations.fetch_add(1, std::memory_order_relaxed);
   }
   const int attempts = std::max(1, policy.max_attempts);
-  int backoff_us = policy.backoff_initial_us;
+  int prev_backoff_us = 0;
   Status s;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      const int backoff_us = retry_internal::NextBackoffUs(
+          policy, prev_backoff_us,
+          &retry_internal::ThreadJitterRng(policy.jitter_seed));
+      if (ctx != nullptr &&
+          (ctx->cancelled() ||
+           ctx->deadline.RemainingMicros() < static_cast<double>(backoff_us))) {
+        retry_internal::Metrics().abandoned->Increment();
+        if (stats != nullptr) {
+          stats->abandoned.fetch_add(1, std::memory_order_relaxed);
+        }
+        return s;  // still Unavailable: the query's budget ended, not the device
+      }
       retry_internal::Metrics().retries->Increment();
       if (stats != nullptr) stats->retries.fetch_add(1, std::memory_order_relaxed);
       if (backoff_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       }
-      backoff_us = std::min(std::max(backoff_us, 1) * 2, policy.backoff_max_us);
+      prev_backoff_us = backoff_us;
     }
     s = fn();
     if (!s.IsUnavailable()) return s;
@@ -115,6 +188,13 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
   return Status::IOError("transient failure persisted after " +
                          std::to_string(attempts) +
                          " attempts: " + std::string(s.message()));
+}
+
+/// Context-free overload (build paths, maintenance I/O): retries are
+/// bounded by the policy alone.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, RetryStats* stats, Fn&& fn) {
+  return RetryTransient(policy, stats, /*ctx=*/nullptr, std::forward<Fn>(fn));
 }
 
 }  // namespace c2lsh

@@ -1,0 +1,416 @@
+// Deadline, cancellation, and I/O-budget tests: a QueryContext must stop a
+// query cooperatively — best-effort partial results under kDeadline /
+// kCancelled, never an error — across the in-memory index, the disk index
+// (including its transient-fault retry loop), and QALSH. The acceptance
+// bound asserted here: a deadline-bounded disk query against a fault-heavy
+// env returns within 2x the requested deadline.
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_index.h"
+#include "src/core/index.h"
+#include "src/extensions/qalsh/qalsh.h"
+#include "src/util/fault_env.h"
+#include "src/util/mutex.h"
+#include "src/util/query_context.h"
+#include "src/util/random.h"
+#include "src/util/retry.h"
+#include "src/util/timer.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_deadline_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+bool SortedAscending(const NeighborList& r) {
+  for (size_t i = 1; i < r.size(); ++i) {
+    if (r[i].dist < r[i - 1].dist) return false;
+  }
+  return true;
+}
+
+// --- in-memory index ------------------------------------------------------
+
+TEST_F(DeadlineTest, ExpiredDeadlineStopsBeforeFirstRound) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 2, 7);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 11;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMicros(-1);  // already expired
+  C2lshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 10, &stats, nullptr, &ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // partial results, not an error
+  EXPECT_EQ(stats.termination, Termination::kDeadline);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(DeadlineTest, CancelledBeforeQueryReportsCancelled) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 13);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 17;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+  C2lshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 5, &stats, nullptr, &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.termination, Termination::kCancelled);
+  EXPECT_EQ(stats.rounds, 0u);
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(DeadlineTest, CancellationWinsOverExpiredDeadline) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 500, 1, 19);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 23;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+  ctx.deadline = Deadline::AfterMicros(-1);
+  C2lshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 5, &stats, nullptr, &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.termination, Termination::kCancelled);
+}
+
+TEST_F(DeadlineTest, PageBudgetTerminatesWithPartialResults) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 4000, 2, 29);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 31;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  // Calibrate: the unbounded query must take >= 2 rounds, otherwise a
+  // one-page budget could not cut anything off.
+  C2lshQueryStats full;
+  auto rf = index->Query(pd->data, pd->queries.row(0), 10, &full);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_GE(full.rounds, 2u) << "dataset too easy to exercise the budget";
+
+  QueryContext ctx;
+  ctx.io_page_budget = 1;  // exhausted after the first round's first page
+  C2lshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 10, &stats, nullptr, &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.termination, Termination::kDeadline);  // resource deadline
+  EXPECT_LT(stats.rounds, full.rounds);
+  EXPECT_LE(stats.total_pages(), full.total_pages());
+  // Whatever came back is genuine: exact distances, sorted ascending.
+  EXPECT_TRUE(SortedAscending(*r));
+}
+
+TEST_F(DeadlineTest, GenerousContextChangesNothing) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 4, 37);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 41;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;  // never cancelled
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMillis(60'000);
+  ctx.cancel = &token;
+  for (size_t q = 0; q < 4; ++q) {
+    C2lshQueryStats plain, bounded;
+    auto a = index->Query(pd->data, pd->queries.row(q), 10, &plain);
+    auto b = index->Query(pd->data, pd->queries.row(q), 10, &bounded, nullptr, &ctx);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(plain.termination, bounded.termination);
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+      EXPECT_EQ((*a)[i].dist, (*b)[i].dist);
+    }
+  }
+}
+
+// --- disk index under fault injection -------------------------------------
+
+TEST_F(DeadlineTest, DiskDeadlineBoundedUnderPersistentFaults) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1200, 1, 43);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 47;
+  const std::string path = Path("deadline.pf");
+  FaultInjectionEnv env(Env::Default());
+  {
+    auto built = DiskC2lshIndex::Build(pd->data, o, path, 64, true, &env);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+  }
+  auto disk = DiskC2lshIndex::Open(path, 8, &env);  // tiny pool: real reads
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  // Every read fails with a transient fault from here on; the sleepy retry
+  // policy makes each retry loop expensive. Only the deadline-aware retry
+  // abandonment keeps the query inside its latency budget.
+  env.SetTransientReadFaults(1'000'000);
+  RetryPolicy sleepy;
+  sleepy.max_attempts = 1000;
+  sleepy.backoff_initial_us = 10'000;
+  sleepy.backoff_max_us = 20'000;
+  disk->SetRetryPolicy(sleepy);
+
+  constexpr double kDeadlineMillis = 100.0;
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMillis(kDeadlineMillis);
+  DiskQueryStats stats;
+  Timer timer;
+  auto r = disk->Query(pd->queries.row(0), 10, &stats, nullptr, &ctx);
+  const double elapsed = timer.ElapsedMillis();
+
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // partial, never an error
+  EXPECT_EQ(stats.base.termination, Termination::kDeadline);
+  // The acceptance bound: the query honors the deadline within a factor of
+  // two (the slack covers at most one abandoned backoff sleep).
+  EXPECT_LE(elapsed, 2.0 * kDeadlineMillis)
+      << "deadline-bounded query overran its budget";
+  EXPECT_GE(disk->retry_stats().abandoned.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(disk->PinnedPoolFrames(), 0u);  // no pins leaked on the early stop
+}
+
+TEST_F(DeadlineTest, CancelRacingRetryLoopReturnsPromptly) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1200, 1, 53);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 59;
+  const std::string path = Path("cancel_race.pf");
+  FaultInjectionEnv env(Env::Default());
+  {
+    auto built = DiskC2lshIndex::Build(pd->data, o, path, 64, true, &env);
+    ASSERT_TRUE(built.ok());
+  }
+  auto disk = DiskC2lshIndex::Open(path, 8, &env);
+  ASSERT_TRUE(disk.ok());
+
+  // Without the cancel, this retry configuration would grind for seconds:
+  // every read faults and the policy allows 1000 sleepy attempts. The
+  // external Cancel() must cut the in-flight retry loop short.
+  env.SetTransientReadFaults(1'000'000);
+  RetryPolicy sleepy;
+  sleepy.max_attempts = 1000;
+  sleepy.backoff_initial_us = 5'000;
+  sleepy.backoff_max_us = 10'000;
+  disk->SetRetryPolicy(sleepy);
+
+  CancellationToken token;
+  QueryContext ctx;
+  ctx.cancel = &token;
+
+  DiskQueryStats stats;
+  Result<NeighborList> r = Status::Internal("query never ran");
+  Timer total;
+  std::thread worker([&] {
+    r = disk->Query(pd->queries.row(0), 10, &stats, nullptr, &ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  worker.join();
+  const double elapsed = total.ElapsedMillis();
+
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.base.termination, Termination::kCancelled);
+  // Prompt return: one poll interval plus at most one abandoned backoff,
+  // with generous slack for sanitizer builds.
+  EXPECT_LE(elapsed, 2000.0) << "cancellation did not cut the retry loop short";
+  EXPECT_GE(disk->retry_stats().abandoned.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(disk->PinnedPoolFrames(), 0u);  // no pins leaked
+}
+
+TEST_F(DeadlineTest, DiskGenerousContextMatchesUnbounded) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 800, 3, 61);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 67;
+  auto disk = DiskC2lshIndex::Build(pd->data, o, Path("generous.pf"), 256);
+  ASSERT_TRUE(disk.ok());
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMillis(60'000);
+  for (size_t q = 0; q < 3; ++q) {
+    auto a = disk->Query(pd->queries.row(q), 5);
+    auto b = disk->Query(pd->queries.row(q), 5, nullptr, nullptr, &ctx);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+    }
+  }
+}
+
+// --- QALSH ----------------------------------------------------------------
+
+TEST_F(DeadlineTest, QalshExpiredDeadlineReturnsPartial) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 71);
+  ASSERT_TRUE(pd.ok());
+  QalshOptions o;
+  o.seed = 73;
+  auto index = QalshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMicros(-1);
+  QalshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 10, &stats, &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.termination, Termination::kDeadline);
+  EXPECT_EQ(stats.rounds, 0u);
+}
+
+TEST_F(DeadlineTest, QalshCancelledReportsCancelled) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1000, 1, 79);
+  ASSERT_TRUE(pd.ok());
+  QalshOptions o;
+  o.seed = 83;
+  auto index = QalshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+  QalshQueryStats stats;
+  auto r = index->Query(pd->data, pd->queries.row(0), 10, &stats, &ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.termination, Termination::kCancelled);
+}
+
+// --- deadline-aware retry loop (unit level) -------------------------------
+
+TEST_F(DeadlineTest, RetryAbandonsWhenBudgetCannotCoverBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_initial_us = 10'000;
+  policy.backoff_max_us = 20'000;
+  RetryStats stats;
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMicros(100);  // << the 10ms backoff floor
+
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, &ctx, [&] {
+    ++calls;
+    return Status::Unavailable("injected");
+  });
+  // One attempt, then the loop sees the backoff cannot fit and gives up
+  // with the still-transient status (the query ran out of budget, the
+  // device did not fail hard).
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.abandoned.load(std::memory_order_relaxed), 1u);
+  EXPECT_EQ(stats.retries.load(std::memory_order_relaxed), 0u);
+}
+
+TEST_F(DeadlineTest, RetryAbandonsOnCancellation) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_initial_us = 1'000;
+  RetryStats stats;
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, &ctx, [&] {
+    ++calls;
+    return Status::Unavailable("injected");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.abandoned.load(std::memory_order_relaxed), 1u);
+}
+
+TEST_F(DeadlineTest, RetryWithoutContextStillExhaustsToIoError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_initial_us = 0;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(policy, &stats, [&] {
+    ++calls;
+    return Status::Unavailable("injected");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.exhausted.load(std::memory_order_relaxed), 1u);
+}
+
+// --- decorrelated jitter (unit level) -------------------------------------
+
+TEST_F(DeadlineTest, JitterStaysWithinDecorrelatedBounds) {
+  RetryPolicy policy;
+  policy.backoff_initial_us = 100;
+  policy.backoff_max_us = 10'000;
+  Rng rng(12345);
+  int prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int next = retry_internal::NextBackoffUs(policy, prev, &rng);
+    EXPECT_GE(next, policy.backoff_initial_us);
+    EXPECT_LE(next, policy.backoff_max_us);
+    // Decorrelated jitter: next <= 3 * max(prev, base).
+    EXPECT_LE(next, 3 * std::max(prev, policy.backoff_initial_us));
+    prev = next;
+  }
+}
+
+TEST_F(DeadlineTest, JitterDisabledWhenPolicyDisablesSleeping) {
+  RetryPolicy policy;
+  policy.backoff_initial_us = 0;
+  Rng rng(1);
+  EXPECT_EQ(retry_internal::NextBackoffUs(policy, 500, &rng), 0);
+}
+
+TEST_F(DeadlineTest, JitterSequenceIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.backoff_initial_us = 100;
+  policy.backoff_max_us = 50'000;
+  Rng a(99), b(99), c(100);
+  std::vector<int> sa, sb, sc;
+  int pa = 0, pb = 0, pc = 0;
+  for (int i = 0; i < 50; ++i) {
+    pa = retry_internal::NextBackoffUs(policy, pa, &a);
+    pb = retry_internal::NextBackoffUs(policy, pb, &b);
+    pc = retry_internal::NextBackoffUs(policy, pc, &c);
+    sa.push_back(pa);
+    sb.push_back(pb);
+    sc.push_back(pc);
+  }
+  EXPECT_EQ(sa, sb);  // same seed, same sequence
+  EXPECT_NE(sa, sc);  // different seed, different sequence
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -9,6 +9,9 @@
 #   metrics   ctest -L metrics in the default tree, then metrics_dump in all
 #             three exporter formats (the prometheus run self-validates
 #             against the text-exposition grammar)
+#   deadline  ctest -L deadline in the default tree — deadline, cancellation
+#             and admission-control behavior (the same tests also run under
+#             TSan via the race label)
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -92,6 +95,13 @@ metrics_lane() {  # reuses the default lane's tree
   done
 }
 run_lane metrics metrics_lane
+
+# --- deadline (cooperative-stop + overload-protection suite) ---------------
+deadline_lane() {  # reuses the default lane's tree
+  ctest --test-dir build-check/default --output-on-failure -j "${JOBS}" \
+    -L deadline
+}
+run_lane deadline deadline_lane
 
 if [[ "${FAST}" -eq 0 ]]; then
   # --- forced-scalar build (no SIMD translation units at all) --------------

@@ -21,10 +21,18 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     src/vector/simd.h, so no TU outside the kernel layer can
                     accidentally depend on -m flags it isn't compiled with.
   chrono-include    <chrono> may only be included by src/util/timer.h,
-                    src/util/retry.h, and src/obs/ — everywhere else, timing
-                    goes through util::Timer and observations through the
-                    metrics registry, so clock reads stay auditable in one
-                    place instead of scattered ad-hoc steady_clock calls.
+                    src/util/retry.h, src/util/query_context.h, src/obs/,
+                    and src/serve/ — everywhere else, timing goes through
+                    util::Timer, deadlines through Deadline, and observations
+                    through the metrics registry, so clock reads stay
+                    auditable in one place instead of scattered ad-hoc
+                    steady_clock calls.
+  raw-sleep         std::this_thread::sleep_for/sleep_until are banned in
+                    src/ outside the retry backoff seam (src/util/retry.h)
+                    and src/util/timer.h: a sleeping library call can't be
+                    cancelled and wrecks deadline budgets. Waits belong on a
+                    condition variable (wakeable) or in the deadline-aware
+                    retry loop; tests may sleep freely.
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -87,8 +95,22 @@ CHRONO_INCLUDE = re.compile(r'^\s*#\s*include\s*[<"]chrono[>"]')
 CHRONO_ALLOWED_FILES = {
     os.path.join("src", "util", "timer.h"),
     os.path.join("src", "util", "retry.h"),
+    os.path.join("src", "util", "query_context.h"),
 }
-CHRONO_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
+CHRONO_ALLOWED_PREFIXES = (
+    os.path.join("src", "obs") + os.sep,
+    os.path.join("src", "serve") + os.sep,
+)
+
+# Library code must never block the thread uncancellably: sleeps live only in
+# the deadline-aware retry backoff (and timer.h, the clock seam). Tests and
+# tools may sleep.
+RAW_SLEEP = re.compile(r"std::this_thread::sleep_(?:for|until)\b")
+RAW_SLEEP_ALLOWED_FILES = {
+    os.path.join("src", "util", "retry.h"),
+    os.path.join("src", "util", "timer.h"),
+}
+RAW_SLEEP_SCOPE_PREFIX = "src" + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -220,12 +242,22 @@ def lint_file(path, rel, status_names, errors):
                 "src/vector/simd.h instead")
         if (CHRONO_INCLUDE.match(code) and
                 rel not in CHRONO_ALLOWED_FILES and
-                not rel.startswith(CHRONO_ALLOWED_PREFIX) and
+                not rel.startswith(CHRONO_ALLOWED_PREFIXES) and
                 not allowed("chrono-include")):
             errors.append(
                 f"{rel}:{lineno}: [chrono-include] <chrono> is confined to "
-                "src/util/timer.h, src/util/retry.h, and src/obs/ — time with "
-                "util::Timer (src/util/timer.h) instead")
+                "src/util/{timer,retry,query_context}.h, src/obs/, and "
+                "src/serve/ — time with util::Timer, bound with Deadline "
+                "(src/util/query_context.h)")
+        if (RAW_SLEEP.search(code) and
+                rel.startswith(RAW_SLEEP_SCOPE_PREFIX) and
+                rel not in RAW_SLEEP_ALLOWED_FILES and
+                not allowed("raw-sleep")):
+            errors.append(
+                f"{rel}:{lineno}: [raw-sleep] std::this_thread::sleep_* is "
+                "banned in library code — it cannot be cancelled and blows "
+                "deadline budgets; wait on a condition variable or go through "
+                "the deadline-aware retry loop (src/util/retry.h)")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "
