@@ -1,0 +1,201 @@
+// bench_churn — online mutability under interleaved load.
+//
+// Both index modes run the same churn loop: every round inserts one new
+// object, deletes one existing object, and answers queries in between; a
+// compaction folds the accumulated deltas every --compact_every rounds.
+// The table reports per-operation latency percentiles — the cost of a
+// WAL-synced mutation (disk mode), of an overlay mutation (memory mode),
+// and of queries that must merge base runs with live deltas.
+//
+// With --metrics_out (e.g. --metrics_out BENCH_churn.json) the run emits a
+// JSON metrics report: one row per (mode, operation) with the full latency
+// series, plus the registry dump carrying the wal_* counters and the
+// overlay/tombstone/compaction gauges this workload exercises.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/disk_index.h"
+#include "src/core/index.h"
+#include "src/util/timer.h"
+
+namespace c2lsh {
+namespace {
+
+double Pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Wraps one operation's latency series as a metrics-report row.
+WorkloadResult MakeRow(const std::string& name, size_t k, std::vector<double> ms) {
+  WorkloadResult r;
+  r.method_name = name;
+  r.k = k;
+  r.num_queries = ms.size();
+  double sum = 0.0;
+  for (double m : ms) sum += m;
+  r.mean_query_millis = ms.empty() ? 0.0 : sum / static_cast<double>(ms.size());
+  r.p50_query_millis = Pct(ms, 0.50);
+  r.p95_query_millis = Pct(ms, 0.95);
+  r.p99_query_millis = Pct(ms, 0.99);
+  r.query_millis = std::move(ms);
+  return r;
+}
+
+struct ChurnLatencies {
+  std::vector<double> insert_ms, delete_ms, query_ms, compact_ms;
+};
+
+void PrintChurn(TablePrinter* table, const std::string& mode,
+                const ChurnLatencies& lat) {
+  const struct {
+    const char* op;
+    const std::vector<double>& ms;
+  } rows[] = {{"insert", lat.insert_ms},
+              {"delete", lat.delete_ms},
+              {"query", lat.query_ms},
+              {"compact", lat.compact_ms}};
+  for (const auto& row : rows) {
+    double sum = 0.0;
+    for (double m : row.ms) sum += m;
+    table->AddRow({mode, row.op, TablePrinter::FmtInt(static_cast<long long>(row.ms.size())),
+                   TablePrinter::Fmt(row.ms.empty()
+                                         ? 0.0
+                                         : sum / static_cast<double>(row.ms.size())),
+                   TablePrinter::Fmt(Pct(row.ms, 0.50)), TablePrinter::Fmt(Pct(row.ms, 0.95)),
+                   TablePrinter::Fmt(Pct(row.ms, 0.99))});
+  }
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser = bench::MakeStandardParser(
+      "churn: interleaved insert/delete/query with periodic compaction, "
+      "memory and disk (WAL-backed) index modes");
+  parser.AddInt("k", 10, "neighbors per query");
+  parser.AddInt("rounds", 256, "churn rounds (1 insert + 1 delete + queries each)");
+  parser.AddInt("compact_every", 64, "rounds between compactions");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const size_t rounds = static_cast<size_t>(parser.GetInt("rounds"));
+  const size_t compact_every =
+      std::max<size_t>(1, static_cast<size_t>(parser.GetInt("compact_every")));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  // The profile carries n base rows plus one fresh row per churn round; the
+  // full dataset resolves any id a query may return mid-churn.
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, n + rounds, nq, seed);
+  bench::DieIf(pd.status(), "profile dataset");
+  const size_t dim = pd->data.dim();
+  std::vector<float> head;
+  head.reserve(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i));
+    head.insert(head.end(), v, v + dim);
+  }
+  auto base_m = FloatMatrix::FromVector(n, dim, std::move(head));
+  bench::DieIf(base_m.status(), "base matrix");
+  auto base = Dataset::Create("base", std::move(base_m).value());
+  bench::DieIf(base.status(), "base dataset");
+
+  const C2lshOptions options = bench::DefaultC2lsh(seed);
+  bench::PrintHeader("CHURN", "online mutability: interleaved insert/delete/query");
+  std::printf("n=%zu rounds=%zu compact_every=%zu k=%zu queries=%zu\n\n", n, rounds,
+              compact_every, k, nq);
+
+  std::vector<WorkloadResult> report;
+  TablePrinter table({"mode", "op", "ops", "mean ms", "p50 ms", "p95 ms", "p99 ms"});
+
+  // --- memory mode: overlay mutation + snapshot queries ------------------
+  {
+    auto index = C2lshIndex::Build(*base, options);
+    bench::DieIf(index.status(), "mem build");
+    ChurnLatencies lat;
+    Timer t;
+    for (size_t r = 0; r < rounds; ++r) {
+      const ObjectId ins = static_cast<ObjectId>(n + r);
+      t.Reset();
+      bench::DieIf(index->Insert(ins, pd->data.object(ins)), "mem insert");
+      lat.insert_ms.push_back(t.ElapsedMillis());
+      t.Reset();
+      bench::DieIf(index->Delete(static_cast<ObjectId>((r * 37) % n)), "mem delete");
+      lat.delete_ms.push_back(t.ElapsedMillis());
+      const float* q = pd->queries.row(r % nq);
+      t.Reset();
+      auto res = index->Query(pd->data, q, k);
+      lat.query_ms.push_back(t.ElapsedMillis());
+      bench::DieIf(res.status(), "mem query");
+      if ((r + 1) % compact_every == 0) {
+        t.Reset();
+        index->Compact();
+        lat.compact_ms.push_back(t.ElapsedMillis());
+      }
+    }
+    PrintChurn(&table, "memory", lat);
+    report.push_back(MakeRow("churn-mem/insert", 0, std::move(lat.insert_ms)));
+    report.push_back(MakeRow("churn-mem/delete", 0, std::move(lat.delete_ms)));
+    report.push_back(MakeRow("churn-mem/query", k, std::move(lat.query_ms)));
+    report.push_back(MakeRow("churn-mem/compact", 0, std::move(lat.compact_ms)));
+  }
+
+  // --- disk mode: WAL-synced mutation + buffer-pool queries ---------------
+  {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "c2lsh_bench_churn.pf").string();
+    auto index = DiskC2lshIndex::Build(*base, options, path, 4096,
+                                       /*store_vectors=*/true);
+    bench::DieIf(index.status(), "disk build");
+    ChurnLatencies lat;
+    Timer t;
+    for (size_t r = 0; r < rounds; ++r) {
+      const ObjectId ins = static_cast<ObjectId>(n + r);
+      t.Reset();
+      bench::DieIf(index->Insert(ins, pd->data.object(ins)), "disk insert");
+      lat.insert_ms.push_back(t.ElapsedMillis());
+      t.Reset();
+      bench::DieIf(index->Delete(static_cast<ObjectId>((r * 37) % n)), "disk delete");
+      lat.delete_ms.push_back(t.ElapsedMillis());
+      const float* q = pd->queries.row(r % nq);
+      t.Reset();
+      auto res = index->Query(q, k);
+      lat.query_ms.push_back(t.ElapsedMillis());
+      bench::DieIf(res.status(), "disk query");
+      if ((r + 1) % compact_every == 0) {
+        t.Reset();
+        bench::DieIf(index->Compact(), "disk compact");
+        lat.compact_ms.push_back(t.ElapsedMillis());
+      }
+    }
+    std::printf("disk: wal last_lsn=%llu applied_lsn=%llu overlay=%zu tombstones=%zu "
+                "file pages=%llu\n\n",
+                static_cast<unsigned long long>(index->wal_last_lsn()),
+                static_cast<unsigned long long>(index->applied_lsn()),
+                index->OverlayEntries(), index->NumTombstones(),
+                static_cast<unsigned long long>(index->FilePages()));
+    PrintChurn(&table, "disk", lat);
+    report.push_back(MakeRow("churn-disk/insert", 0, std::move(lat.insert_ms)));
+    report.push_back(MakeRow("churn-disk/delete", 0, std::move(lat.delete_ms)));
+    report.push_back(MakeRow("churn-disk/query", k, std::move(lat.query_ms)));
+    report.push_back(MakeRow("churn-disk/compact", 0, std::move(lat.compact_ms)));
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".wal");
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  bench::MaybeWriteMetricsReport(parser, report);
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -14,7 +14,11 @@
 namespace c2lsh {
 
 namespace {
+// v1 meta blobs predate online mutability; v2 adds [applied_lsn u64]
+// [stored_objects u64] after first_data_page. Open reads both (a v1 blob
+// implies applied_lsn = 0 and stored_objects = n).
 constexpr uint32_t kMetaMagic = 0xC25D1234;
+constexpr uint32_t kMetaMagicV2 = 0xC25D1235;
 
 // Registry handles for the disk query path, resolved once; RunDiskQuery
 // flushes its per-query stats through these at the end of each query.
@@ -33,6 +37,10 @@ struct DiskMetrics {
   obs::Counter* tables_skipped;
   obs::Counter* candidates_skipped;
   obs::Histogram* latency;
+  obs::Counter* compaction_runs;
+  obs::Histogram* compaction_millis;
+  obs::Gauge* overlay_entries;
+  obs::Gauge* tombstones;
 };
 
 const DiskMetrics& Metrics() {
@@ -67,6 +75,15 @@ const DiskMetrics& Metrics() {
                      "Candidates dropped mid-query on a corrupt data page"),
         r.GetHistogram("disk_c2lsh_query_millis",
                        "Disk C2LSH query latency in milliseconds"),
+        r.GetCounter("disk_c2lsh_compaction_runs_total",
+                     "Disk index compactions completed (WAL truncated)"),
+        r.GetHistogram("disk_c2lsh_compaction_millis",
+                       "Disk index compaction duration in milliseconds"),
+        r.GetGauge("disk_c2lsh_overlay_entries",
+                   "Disk-index dynamic inserts awaiting compaction, summed "
+                   "over tables"),
+        r.GetGauge("disk_c2lsh_tombstones",
+                   "Disk-index objects deleted but not yet compacted away"),
     };
   }();
   return m;
@@ -102,6 +119,49 @@ void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis) {
   m.tables_skipped->Increment(st.tables_skipped);
   m.candidates_skipped->Increment(st.candidates_skipped);
   m.latency->Observe(millis);
+}
+
+// Serializes the full index metadata (v2) and returns the blob's root page.
+// Shared by Build and Compact so the two paths cannot drift.
+Result<PageId> WriteMetaBlob(BufferPool* pool, const C2lshOptions& options,
+                             const C2lshDerived& derived, size_t num_objects,
+                             size_t dim, long long radius_cap,
+                             PageId first_data_page, uint64_t applied_lsn,
+                             size_t stored_objects, const PStableFamily& family,
+                             const std::vector<PageId>& roots) {
+  ByteBuffer meta;
+  meta.Put(kMetaMagicV2);
+  meta.Put(options.w);
+  meta.Put(options.c);
+  meta.Put(options.delta);
+  meta.Put(options.beta);
+  meta.Put(options.max_radius_exponent);
+  meta.Put(options.seed);
+  meta.Put(static_cast<uint64_t>(options.page_bytes));
+  meta.Put(derived.model.w);
+  meta.Put(derived.model.c);
+  meta.Put(derived.model.p1);
+  meta.Put(derived.model.p2);
+  meta.Put(derived.model.rho);
+  meta.Put(derived.beta);
+  meta.Put(derived.z);
+  meta.Put(derived.alpha);
+  meta.Put(static_cast<uint64_t>(derived.m));
+  meta.Put(static_cast<uint64_t>(derived.l));
+  meta.Put(static_cast<uint64_t>(num_objects));
+  meta.Put(static_cast<uint64_t>(dim));
+  meta.Put(radius_cap);
+  meta.Put(static_cast<uint64_t>(first_data_page));
+  meta.Put(applied_lsn);
+  meta.Put(static_cast<uint64_t>(stored_objects));
+  for (size_t i = 0; i < derived.m; ++i) {
+    const PStableHash& h = family.function(i);
+    meta.PutArray(h.a().data(), h.a().size());
+    meta.Put(h.b());
+    meta.Put(h.w());
+  }
+  meta.PutArray(roots.data(), roots.size());
+  return WriteBlob(pool, meta.bytes());
 }
 
 Status WriteSuperblock(BufferPool* pool, PageId meta_root) {
@@ -201,44 +261,33 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
     index.tables_.push_back(std::move(table));
   }
 
-  // Meta blob.
-  ByteBuffer meta;
-  meta.Put(kMetaMagic);
-  meta.Put(options.w);
-  meta.Put(options.c);
-  meta.Put(options.delta);
-  meta.Put(options.beta);
-  meta.Put(options.max_radius_exponent);
-  meta.Put(options.seed);
-  meta.Put(static_cast<uint64_t>(options.page_bytes));
-  meta.Put(derived.model.w);
-  meta.Put(derived.model.c);
-  meta.Put(derived.model.p1);
-  meta.Put(derived.model.p2);
-  meta.Put(derived.model.rho);
-  meta.Put(derived.beta);
-  meta.Put(derived.z);
-  meta.Put(derived.alpha);
-  meta.Put(static_cast<uint64_t>(derived.m));
-  meta.Put(static_cast<uint64_t>(derived.l));
-  meta.Put(static_cast<uint64_t>(data.size()));
-  meta.Put(static_cast<uint64_t>(data.dim()));
-  meta.Put(radius_cap);
-  meta.Put(static_cast<uint64_t>(index.first_data_page_));
-  for (size_t i = 0; i < derived.m; ++i) {
-    const PStableHash& h = family.function(i);
-    meta.PutArray(h.a().data(), h.a().size());
-    meta.Put(h.b());
-    meta.Put(h.w());
-  }
-  meta.PutArray(roots.data(), roots.size());
-  C2LSH_ASSIGN_OR_RETURN(PageId meta_root, WriteBlob(index.pool_.get(), meta.bytes()));
+  // Meta blob, published both through the superblock page (legacy location)
+  // and the PageFile header's user_root (the atomic-publish primitive
+  // Compact relies on; Open prefers it).
+  C2LSH_ASSIGN_OR_RETURN(
+      PageId meta_root,
+      WriteMetaBlob(index.pool_.get(), options, derived, data.size(), data.dim(),
+                    radius_cap, index.first_data_page_, /*applied_lsn=*/0,
+                    /*stored_objects=*/data.size(), family, roots));
   C2LSH_RETURN_IF_ERROR(WriteSuperblock(index.pool_.get(), meta_root));
+  index.file_->SetUserRoot(meta_root);
   C2LSH_RETURN_IF_ERROR(index.pool_->FlushAll());
+
+  // A fresh build owns a fresh WAL: a stale log left by a previous index at
+  // the same path must not replay into this one.
+  index.path_ = path;
+  index.env_ = (env != nullptr) ? env : Env::Default();
+  const std::string wal_path = path + ".wal";
+  if (index.env_->FileExists(wal_path)) {
+    C2LSH_RETURN_IF_ERROR(index.env_->DeleteFile(wal_path));
+  }
+  C2LSH_ASSIGN_OR_RETURN(WriteAheadLog wal, WriteAheadLog::Open(wal_path, index.env_));
+  index.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
 
   index.options_ = options;
   index.derived_ = derived;
   index.num_objects_ = data.size();
+  index.stored_objects_ = data.size();
   index.dim_ = data.dim();
   index.radius_cap_ = radius_cap;
   index.family_ = std::make_unique<PStableFamily>(std::move(family));
@@ -257,13 +306,20 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool
                          BufferPool::Create(index.file_.get(), pool_pages));
   index.pool_ = std::make_unique<BufferPool>(std::move(pool));
 
-  C2LSH_ASSIGN_OR_RETURN(PageId meta_root, ReadSuperblock(index.pool_.get()));
+  // The durably published meta root: the PageFile header's user_root when
+  // set (v3 files — this is the pointer Compact swings atomically), falling
+  // back to the legacy superblock page for files written before user_root
+  // existed.
+  PageId meta_root = static_cast<PageId>(index.file_->user_root());
+  if (meta_root == 0) {
+    C2LSH_ASSIGN_OR_RETURN(meta_root, ReadSuperblock(index.pool_.get()));
+  }
   C2LSH_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                          ReadBlob(index.pool_.get(), meta_root));
   ByteReader r(&bytes);
   uint32_t magic = 0;
   uint64_t page_bytes = 0, m64 = 0, l64 = 0, n64 = 0, dim64 = 0;
-  bool ok = r.Get(&magic) && magic == kMetaMagic;
+  bool ok = r.Get(&magic) && (magic == kMetaMagic || magic == kMetaMagicV2);
   ok = ok && r.Get(&index.options_.w) && r.Get(&index.options_.c) &&
        r.Get(&index.options_.delta) && r.Get(&index.options_.beta) &&
        r.Get(&index.options_.max_radius_exponent) && r.Get(&index.options_.seed) &&
@@ -275,6 +331,11 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool
        r.Get(&index.derived_.z) && r.Get(&index.derived_.alpha) && r.Get(&m64) &&
        r.Get(&l64) && r.Get(&n64) && r.Get(&dim64) && r.Get(&index.radius_cap_) &&
        r.Get(&first_data_page);
+  uint64_t applied_lsn = 0;
+  uint64_t stored_objects = n64;
+  if (ok && magic == kMetaMagicV2) {
+    ok = r.Get(&applied_lsn) && r.Get(&stored_objects);
+  }
   if (!ok) {
     return Status::Corruption("DiskC2lshIndex: bad meta blob in '" + path + "'");
   }
@@ -284,6 +345,8 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool
   index.num_objects_ = static_cast<size_t>(n64);
   index.dim_ = static_cast<size_t>(dim64);
   index.first_data_page_ = static_cast<PageId>(first_data_page);
+  index.applied_lsn_ = applied_lsn;
+  index.stored_objects_ = static_cast<size_t>(stored_objects);
 
   std::vector<PStableHash> funcs;
   funcs.reserve(index.derived_.m);
@@ -309,10 +372,216 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Open(const std::string& path, size_t pool
                            DiskBucketTable::Load(index.pool_.get(), root));
     index.tables_.push_back(std::move(table));
   }
+
+  // Recovery: replay every acknowledged mutation the base image has not yet
+  // folded in. Records at or below applied_lsn_ are skipped (idempotence), a
+  // torn tail is truncated — a crashed, unacknowledged append can never
+  // surface.
+  index.path_ = path;
+  index.env_ = (env != nullptr) ? env : Env::Default();
+  C2LSH_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                         WriteAheadLog::Open(path + ".wal", index.env_));
+  index.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+  C2LSH_RETURN_IF_ERROR(
+      index.wal_
+          ->Replay(index.applied_lsn_,
+                   [&index](const WriteAheadLog::Record& rec) {
+                     return index.ApplyRecord(rec);
+                   })
+          .status());
+  index.UpdateMutationGauges();
+
   index.counter_.EnsureCapacity(index.num_objects_);
   index.verified_.assign(index.num_objects_, 0);
   index.pool_->ResetStats();
   return index;
+}
+
+Status DiskC2lshIndex::ApplyRecord(const WriteAheadLog::Record& rec) {
+  if (rec.type == WriteAheadLog::RecordType::kInsert) {
+    if (rec.vec.size() != dim_) {
+      return Status::Corruption("DiskC2lshIndex: WAL insert for id " +
+                                std::to_string(rec.id) + " has dim " +
+                                std::to_string(rec.vec.size()) + ", index has " +
+                                std::to_string(dim_));
+    }
+    std::vector<BucketId> buckets;
+    family_->BucketAll(rec.vec.data(), &buckets);
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      tables_[i].OverlayInsert(buckets[i], rec.id);
+    }
+    overlay_vectors_[rec.id] = rec.vec;
+    if (static_cast<size_t>(rec.id) + 1 > num_objects_) {
+      num_objects_ = static_cast<size_t>(rec.id) + 1;
+    }
+  } else {
+    for (DiskBucketTable& table : tables_) {
+      table.OverlayDelete(rec.id);
+    }
+    const auto it = std::lower_bound(deleted_ids_.begin(), deleted_ids_.end(), rec.id);
+    if (it == deleted_ids_.end() || *it != rec.id) {
+      deleted_ids_.insert(it, rec.id);
+    }
+  }
+  return Status::OK();
+}
+
+Status DiskC2lshIndex::Insert(ObjectId id, const float* v) {
+  if (wal_ == nullptr) {
+    return Status::Internal("DiskC2lshIndex: no WAL attached");
+  }
+  WriteAheadLog::Record rec;
+  // Past both the WAL cursor and the folded watermark: after a compaction
+  // truncated the log and the index reopened, the cursor restarts at 0 while
+  // applied_lsn_ stays high — an LSN at or below it would be skipped at the
+  // next replay, silently dropping an acknowledged mutation.
+  rec.lsn = std::max(wal_->last_lsn(), applied_lsn_) + 1;
+  rec.type = WriteAheadLog::RecordType::kInsert;
+  rec.id = id;
+  rec.vec.assign(v, v + dim_);
+  // WAL first, sync second, apply third: the mutation is acknowledged only
+  // once it would survive a crash, and the in-memory state never runs ahead
+  // of the log.
+  C2LSH_RETURN_IF_ERROR(wal_->Append(rec));
+  C2LSH_RETURN_IF_ERROR(wal_->Sync());
+  C2LSH_RETURN_IF_ERROR(ApplyRecord(rec));
+  UpdateMutationGauges();
+  return Status::OK();
+}
+
+Status DiskC2lshIndex::Delete(ObjectId id) {
+  if (wal_ == nullptr) {
+    return Status::Internal("DiskC2lshIndex: no WAL attached");
+  }
+  if (static_cast<size_t>(id) >= num_objects_) {
+    return Status::NotFound("Delete: object id " + std::to_string(id) +
+                            " was never registered with this index");
+  }
+  WriteAheadLog::Record rec;
+  rec.lsn = std::max(wal_->last_lsn(), applied_lsn_) + 1;  // see Insert
+  rec.type = WriteAheadLog::RecordType::kDelete;
+  rec.id = id;
+  C2LSH_RETURN_IF_ERROR(wal_->Append(rec));
+  C2LSH_RETURN_IF_ERROR(wal_->Sync());
+  C2LSH_RETURN_IF_ERROR(ApplyRecord(rec));
+  UpdateMutationGauges();
+  return Status::OK();
+}
+
+size_t DiskC2lshIndex::OverlayEntries() const {
+  size_t total = 0;
+  for (const DiskBucketTable& table : tables_) total += table.OverlayEntries();
+  return total;
+}
+
+void DiskC2lshIndex::UpdateMutationGauges() const {
+  const DiskMetrics& m = Metrics();
+  m.overlay_entries->Set(static_cast<double>(OverlayEntries()));
+  m.tombstones->Set(static_cast<double>(deleted_ids_.size()));
+}
+
+Status DiskC2lshIndex::Compact() {
+  if (wal_ == nullptr) {
+    return Status::Internal("DiskC2lshIndex: no WAL attached");
+  }
+  Timer timer;
+
+  // 1. Gather every table's live entries off the current image. All tables
+  // hold the same id set; the first table determines the new high-water.
+  std::vector<std::vector<std::pair<BucketId, ObjectId>>> live(tables_.size());
+  long long max_live = -1;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    live[t].reserve(tables_[t].num_entries());
+    C2LSH_RETURN_IF_ERROR(tables_[t].ForEachEntry(
+        [&live, &max_live, t](BucketId bucket, ObjectId id) {
+          live[t].emplace_back(bucket, id);
+          if (t == 0) max_live = std::max(max_live, static_cast<long long>(id));
+        }));
+  }
+  const size_t new_n = static_cast<size_t>(max_live + 1);
+
+  // 2. Rewrite the data segment (when one exists) for ids [0, new_n): old
+  // segment bytes for ids it stored, resident overlay vectors for dynamic
+  // inserts, zeros for holes left by deletes (their table entries are gone,
+  // so the bytes are never read). Everything is appended — the old segment
+  // stays valid until the header publish below.
+  PageId new_first_data_page = 0;
+  if (first_data_page_ != 0) {
+    const size_t page_bytes = pool_->page_bytes();
+    const size_t vec_bytes = dim_ * sizeof(float);
+    std::vector<uint8_t> segment(new_n * vec_bytes, 0);
+    std::vector<float> vec(dim_);
+    for (size_t id = 0; id < new_n; ++id) {
+      const auto ov = overlay_vectors_.find(static_cast<ObjectId>(id));
+      if (ov != overlay_vectors_.end()) {
+        std::memcpy(segment.data() + id * vec_bytes, ov->second.data(), vec_bytes);
+      } else if (id < stored_objects_) {
+        C2LSH_RETURN_IF_ERROR(ReadStoredVector(static_cast<ObjectId>(id),
+                                               vec.data(), nullptr));
+        std::memcpy(segment.data() + id * vec_bytes, vec.data(), vec_bytes);
+      }
+    }
+    size_t offset = 0;
+    while (offset < segment.size() || new_first_data_page == 0) {
+      PageId pid = 0;
+      C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->NewPage(&pid));
+      if (new_first_data_page == 0) {
+        new_first_data_page = pid;
+      } else if (pid != new_first_data_page + offset / page_bytes) {
+        return Status::Internal("DiskC2lshIndex: compacted data pages not contiguous");
+      }
+      const size_t chunk = std::min(page_bytes, segment.size() - offset);
+      std::memcpy(page.mutable_data(), segment.data() + offset, chunk);
+      offset += chunk;
+      if (offset >= segment.size()) break;
+    }
+  }
+
+  // 3. Fresh bucket runs from the gathered entries.
+  std::vector<DiskBucketTable> new_tables;
+  std::vector<PageId> roots;
+  new_tables.reserve(tables_.size());
+  roots.reserve(tables_.size());
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    C2LSH_ASSIGN_OR_RETURN(DiskBucketTable table,
+                           DiskBucketTable::Build(pool_.get(), std::move(live[t])));
+    roots.push_back(table.root());
+    new_tables.push_back(std::move(table));
+  }
+
+  // 4. New meta blob with the folded watermark, then the atomic publish:
+  // user_root swings to the new blob in the same header write that makes the
+  // new pages durable. A crash before FlushAll completes recovers the old
+  // root (the WAL still covers the delta); after it, the new image.
+  // max() and not just the WAL cursor: with no mutations since open the
+  // cursor can sit below the watermark already baked into the meta blob, and
+  // the watermark must never move backwards.
+  const uint64_t folded_lsn = std::max(wal_->last_lsn(), applied_lsn_);
+  C2LSH_ASSIGN_OR_RETURN(
+      PageId meta_root,
+      WriteMetaBlob(pool_.get(), options_, derived_, new_n, dim_, radius_cap_,
+                    new_first_data_page, folded_lsn, new_n, *family_, roots));
+  C2LSH_RETURN_IF_ERROR(WriteSuperblock(pool_.get(), meta_root));
+  file_->SetUserRoot(meta_root);
+  C2LSH_RETURN_IF_ERROR(pool_->FlushAll());
+
+  // 5. The new image is durable: swap it in and truncate the log. A failure
+  // in Reset leaves a log whose records are all <= applied_lsn_ — replay
+  // skips them, so recovery stays exact.
+  tables_ = std::move(new_tables);
+  first_data_page_ = new_first_data_page;
+  num_objects_ = new_n;
+  stored_objects_ = new_n;
+  applied_lsn_ = folded_lsn;
+  overlay_vectors_.clear();
+  deleted_ids_.clear();
+  C2LSH_RETURN_IF_ERROR(wal_->Reset());
+
+  const DiskMetrics& m = Metrics();
+  m.compaction_runs->Increment();
+  m.compaction_millis->Observe(timer.ElapsedMillis());
+  UpdateMutationGauges();
+  return Status::OK();
 }
 
 Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out,
@@ -332,6 +601,22 @@ Status DiskC2lshIndex::ReadStoredVector(ObjectId id, float* out,
     byte_off += chunk;
   }
   return Status::OK();
+}
+
+Status DiskC2lshIndex::LoadVector(ObjectId id, float* out,
+                                  const QueryContext* ctx) const {
+  // Dynamic inserts live in the resident overlay until a compaction moves
+  // them into the data segment; their reads cost no I/O.
+  const auto it = overlay_vectors_.find(id);
+  if (it != overlay_vectors_.end()) {
+    std::memcpy(out, it->second.data(), dim_ * sizeof(float));
+    return Status::OK();
+  }
+  if (static_cast<size_t>(id) >= stored_objects_) {
+    return Status::Corruption("DiskC2lshIndex: object " + std::to_string(id) +
+                              " has no stored vector");
+  }
+  return ReadStoredVector(id, out, ctx);
 }
 
 Result<NeighborList> DiskC2lshIndex::Query(const float* query, size_t k,
@@ -438,7 +723,7 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
               st->base.data_pages += vector_pages;  // modelled (external data)
             } else {
               const uint64_t misses_before = pool_->stats().misses;
-              if (Status s = ReadStoredVector(id, vector_buf_.data(), ctx); !s.ok()) {
+              if (Status s = LoadVector(id, vector_buf_.data(), ctx); !s.ok()) {
                 if (s.IsCorruption()) {
                   // The candidate's stored vector is unreadable: drop it and
                   // flag the answer as degraded rather than returning a

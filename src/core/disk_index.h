@@ -13,11 +13,24 @@
 // Dataset, and their fetch cost is charged via the analytic model as in the
 // in-memory index (the paper likewise separates index I/O from the one
 // random data access per candidate).
+//
+// Mutability & crash safety: Insert/Delete append an LSN-stamped record to a
+// write-ahead log beside the index file (<path>.wal) and acknowledge only
+// after the log syncs; the in-memory effect is a per-table overlay entry or
+// tombstone (storage/disk_bucket_table.h). Open() replays the log — records
+// at or below the durably published applied-LSN watermark are skipped, a
+// torn or corrupt tail is truncated, never applied — so every acknowledged
+// mutation is visible exactly once after any crash. Compact() folds overlays
+// and tombstones into freshly appended bucket runs (and a rewritten data
+// segment), publishes the new meta root atomically through the PageFile
+// header's user_root, then truncates the log; a crash at any point recovers
+// either the pre- or post-compaction image, both complete.
 
 #pragma once
 #ifndef C2LSH_CORE_DISK_INDEX_H_
 #define C2LSH_CORE_DISK_INDEX_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +42,7 @@
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_bucket_table.h"
 #include "src/storage/page_file.h"
+#include "src/storage/wal.h"
 #include "src/util/query_context.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
@@ -71,9 +85,33 @@ class DiskC2lshIndex {
 
   /// Reopens an index built by Build. After a crash during Build or Sync
   /// this either recovers a fully consistent index or fails with
-  /// Corruption (never a partially-applied one).
+  /// Corruption (never a partially-applied one). Surviving WAL records are
+  /// replayed into the tables' overlays, so every acknowledged Insert/Delete
+  /// is visible — exactly once — no matter where the crash landed.
   static Result<DiskC2lshIndex> Open(const std::string& path, size_t pool_pages = 256,
                                      Env* env = nullptr);
+
+  /// Dynamic insert: logs (id, vector) to the WAL, syncs, and only then
+  /// applies the mutation to the per-table overlays — a return of OK means
+  /// the insert survives any crash. The id becomes the new high-water when
+  /// it extends the id space. Mutators and queries on a DiskC2lshIndex share
+  /// per-query scratch and the single WAL cursor: callers must serialize
+  /// Insert/Delete/Compact/Query externally (single-writer, single-reader;
+  /// the in-memory C2lshIndex is the concurrent-query engine).
+  Status Insert(ObjectId id, const float* v);
+
+  /// Dynamic delete: logs a tombstone, syncs, then hides `id` from every
+  /// table. NotFound if `id` was never registered. Same durability and
+  /// serialization contract as Insert.
+  Status Delete(ObjectId id);
+
+  /// Folds overlays, tombstones, and overlay vectors into freshly written
+  /// bucket runs (and data segment), atomically publishes the new meta root
+  /// via the PageFile header, then truncates the WAL. Old pages stay in the
+  /// file as dead space until the next full rebuild — crash safety over
+  /// space reuse. A crash anywhere during compaction recovers either the old
+  /// image (plus WAL replay) or the new one, never a mix.
+  Status Compact();
 
   /// c-k-ANN query against the stored data segment. Requires the index to
   /// have been built with store_vectors = true. `trace`, when non-null,
@@ -83,7 +121,8 @@ class DiskC2lshIndex {
   /// (measured pool misses) the query returns best-effort partial results
   /// with termination kDeadline / kCancelled — never an error; an expired
   /// context also stops in-flight transient-fault retries (util/retry.h).
-  /// Not thread-safe.
+  /// Single-threaded: queries share one scratch and must also be serialized
+  /// against Insert/Delete/Compact (see Insert).
   Result<NeighborList> Query(const float* query, size_t k,
                              DiskQueryStats* stats = nullptr,
                              obs::QueryTrace* trace = nullptr,
@@ -91,7 +130,8 @@ class DiskC2lshIndex {
 
   /// c-k-ANN query verifying against the caller's dataset (works with or
   /// without a stored data segment); identical answers to the in-memory
-  /// C2lshIndex built with the same options/seed. Not thread-safe.
+  /// C2lshIndex built with the same options/seed. Single-threaded: same
+  /// serialization contract as the stored-vector Query above.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
                              DiskQueryStats* stats = nullptr,
                              obs::QueryTrace* trace = nullptr,
@@ -104,6 +144,15 @@ class DiskC2lshIndex {
   size_t num_objects() const { return num_objects_; }
   size_t dim() const { return dim_; }
   size_t num_tables() const { return tables_.size(); }
+
+  /// Dynamic inserts awaiting Compact, summed over tables.
+  size_t OverlayEntries() const;
+  /// Objects deleted but not yet compacted away.
+  size_t NumTombstones() const { return deleted_ids_.size(); }
+  /// LSN of the last WAL record folded into the published base image.
+  uint64_t applied_lsn() const { return applied_lsn_; }
+  /// LSN of the last record appended to (or replayed from) the WAL.
+  uint64_t wal_last_lsn() const { return wal_ != nullptr ? wal_->last_lsn() : 0; }
 
   /// Pages in the file — the on-disk index size.
   uint64_t FilePages() const { return file_->num_pages(); }
@@ -138,12 +187,39 @@ class DiskC2lshIndex {
   /// underlying page reads.
   Status ReadStoredVector(ObjectId id, float* out, const QueryContext* ctx) const;
 
+  /// Vector lookup that sees mutations: overlay vectors first (free — they
+  /// are resident), then the data segment. `id` must be live.
+  Status LoadVector(ObjectId id, float* out, const QueryContext* ctx) const;
+
+  /// Applies one WAL record to the in-memory overlays (shared by the live
+  /// mutation path and Open's replay, so replayed and acked mutations cannot
+  /// diverge).
+  Status ApplyRecord(const WriteAheadLog::Record& rec);
+
+  /// Refreshes the disk-side overlay/tombstone gauges.
+  void UpdateMutationGauges() const;
+
   C2lshOptions options_;
   C2lshDerived derived_;
   size_t num_objects_ = 0;
   size_t dim_ = 0;
   long long radius_cap_ = 1;
   PageId first_data_page_ = 0;  ///< 0 = no data segment
+  size_t stored_objects_ = 0;   ///< vectors resident in the data segment
+  std::string path_;
+  Env* env_ = nullptr;  ///< not owned; the filesystem the index lives in
+
+  /// Durability state. applied_lsn_ is the watermark baked into the meta
+  /// blob: records at or below it are already part of the base image and are
+  /// skipped at replay.
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t applied_lsn_ = 0;
+
+  /// The mutation delta mirrored by the WAL: vectors of dynamic inserts
+  /// (resident until a compaction moves them into the data segment) and the
+  /// sorted set of deleted ids (every table tombstones the same set).
+  std::map<ObjectId, std::vector<float>> overlay_vectors_;
+  std::vector<ObjectId> deleted_ids_;
 
   // Order matters: tables_ hold raw pool pointers, pool_ holds a raw file
   // pointer; destruction must run tables -> pool -> file.

@@ -29,6 +29,10 @@ struct CoreMetrics {
   obs::Counter* deadline;
   obs::Counter* cancelled;
   obs::Histogram* latency;
+  obs::Counter* compaction_runs;
+  obs::Histogram* compaction_millis;
+  obs::Gauge* overlay_entries;
+  obs::Gauge* tombstones;
 };
 
 const CoreMetrics& Metrics() {
@@ -56,6 +60,14 @@ const CoreMetrics& Metrics() {
                      "Queries cooperatively cancelled (partial results)"),
         r.GetHistogram("c2lsh_query_millis",
                        "In-memory C2LSH query latency in milliseconds"),
+        r.GetCounter("c2lsh_compaction_runs_total",
+                     "In-memory index compactions completed"),
+        r.GetHistogram("c2lsh_compaction_millis",
+                       "In-memory index compaction duration in milliseconds"),
+        r.GetGauge("c2lsh_overlay_entries",
+                   "Dynamic inserts awaiting compaction, summed over tables"),
+        r.GetGauge("c2lsh_tombstones",
+                   "Objects deleted but not yet compacted away"),
     };
   }();
   return m;
@@ -103,6 +115,36 @@ C2lshIndex::C2lshIndex(C2lshOptions options, C2lshDerived derived, PStableFamily
       dim_(dim),
       radius_cap_(radius_cap),
       page_model_(options.page_bytes) {}
+
+// Moves exist for factory returns only (the atomic and the writer Mutex are
+// not movable themselves); the contract that no other thread touches either
+// object during a move makes the relaxed load/fresh-Mutex exchange safe.
+C2lshIndex::C2lshIndex(C2lshIndex&& other) noexcept
+    : options_(std::move(other.options_)),
+      derived_(other.derived_),
+      family_(std::move(other.family_)),
+      tables_(std::move(other.tables_)),
+      num_objects_(other.num_objects_.load(std::memory_order_relaxed)),
+      dim_(other.dim_),
+      radius_cap_(other.radius_cap_),
+      page_model_(other.page_model_),
+      scratch_(std::move(other.scratch_)) {}
+
+C2lshIndex& C2lshIndex::operator=(C2lshIndex&& other) noexcept {
+  if (this != &other) {
+    options_ = std::move(other.options_);
+    derived_ = other.derived_;
+    family_ = std::move(other.family_);
+    tables_ = std::move(other.tables_);
+    num_objects_.store(other.num_objects_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    dim_ = other.dim_;
+    radius_cap_ = other.radius_cap_;
+    page_model_ = other.page_model_;
+    scratch_ = std::move(other.scratch_);
+  }
+  return *this;
+}
 
 BucketRange C2lshIndex::IntervalForRadius(BucketId query_bucket, long long R) const {
   if (R > radius_cap_) {
@@ -207,11 +249,22 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   if (data.dim() != dim_) {
     return Status::InvalidArgument("C2LSH query: dataset dim mismatch");
   }
-  if (data.size() < num_objects_) {
+  // The query's frozen view of the index: the object count is read once and
+  // every table is pinned once, up front. A concurrent Insert publishes its
+  // table versions *before* raising the count, so an id admitted by `id < n`
+  // here always has counter/verified capacity — entries from newer table
+  // versions with id >= n are simply skipped until a later query picks up
+  // the larger n.
+  const size_t n = num_objects();
+  if (data.size() < n) {
     return Status::InvalidArgument(
         "C2LSH query: dataset has fewer objects than the index — pass the dataset the "
         "index was built on (plus any inserted rows)");
   }
+  std::vector<BucketTable::Snapshot> snaps;
+  snaps.reserve(tables_.size());
+  for (const BucketTable& table : tables_) snaps.push_back(table.snapshot());
+
   C2lshQueryStats local_stats;
   C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
   *st = C2lshQueryStats();
@@ -223,8 +276,8 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   std::vector<uint8_t>& verified = scratch->verified;
   std::vector<ObjectId>& touched = scratch->touched;
   counter.NewQuery();
-  counter.EnsureCapacity(num_objects_);
-  if (verified.size() < num_objects_) verified.resize(num_objects_, 0);
+  counter.EnsureCapacity(n);
+  if (verified.size() < n) verified.resize(n, 0);
   for (ObjectId id : touched) verified[id] = 0;
   touched.clear();
 
@@ -235,8 +288,7 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   // T2 threshold: k + beta*n candidates, capped at the live object count so
   // the loop always terminates (full coverage verifies everyone).
   const size_t t2_threshold = std::min<size_t>(
-      num_objects_,
-      k + static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(num_objects_))));
+      n, k + static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(n))));
 
   std::vector<BucketId> qbuckets;
   family_.BucketAll(query, &qbuckets);
@@ -259,13 +311,14 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   // increments) and at every round boundary.
   Termination early_stop = Termination::kNone;
 
-  auto scan_range = [&](const BucketTable& table, const BucketRange& range) {
+  auto scan_range = [&](const BucketTable::Snapshot& table, const BucketRange& range) {
     if (range.empty() || early_stop != Termination::kNone) return;
     const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
     if (range_entries > 0) {
       st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
     }
     const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      if (static_cast<size_t>(id) >= n) return;  // inserted after this query started
       if (early_stop != Termination::kNone) return;
       ++st->collision_increments;
       if (ctx != nullptr) {
@@ -322,13 +375,13 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
       if (early_stop != Termination::kNone) break;
       const BucketRange next = IntervalForRadius(qbuckets[i], R);
       const RangeDelta delta = ComputeRangeDelta(prev[i], next);
-      scan_range(tables_[i], delta.left);
-      scan_range(tables_[i], delta.right);
+      scan_range(snaps[i], delta.left);
+      scan_range(snaps[i], delta.right);
       prev[i] = next;
       // Coverage test: once the interval spans every bucket the table holds,
       // further rounds cannot add collisions from this table.
-      if (tables_[i].num_buckets() > 0 &&
-          tables_[i].EntriesInRange(next.lo, next.hi) < tables_[i].num_entries()) {
+      if (snaps[i].num_buckets() > 0 &&
+          snaps[i].EntriesInRange(next.lo, next.hi) < snaps[i].num_entries()) {
         all_covered = false;
       }
     }
@@ -402,9 +455,15 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   if (data.dim() != dim_) {
     return Status::InvalidArgument("RangeQuery: dataset dim mismatch");
   }
-  if (data.size() < num_objects_) {
+  // Frozen view, same scheme as RunQuery: count first, then pin each table.
+  const size_t n = num_objects();
+  if (data.size() < n) {
     return Status::InvalidArgument("RangeQuery: dataset smaller than the index");
   }
+  std::vector<BucketTable::Snapshot> snaps;
+  snaps.reserve(tables_.size());
+  for (const BucketTable& table : tables_) snaps.push_back(table.snapshot());
+
   C2lshQueryStats local_stats;
   C2lshQueryStats* st = (stats != nullptr) ? stats : &local_stats;
   *st = C2lshQueryStats();
@@ -414,8 +473,8 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   std::vector<uint8_t>& verified = scratch->verified;
   std::vector<ObjectId>& touched = scratch->touched;
   counter.NewQuery();
-  counter.EnsureCapacity(num_objects_);
-  if (verified.size() < num_objects_) verified.resize(num_objects_, 0);
+  counter.EnsureCapacity(n);
+  if (verified.size() < n) verified.resize(n, 0);
   for (ObjectId id : touched) verified[id] = 0;
   touched.clear();
 
@@ -431,19 +490,18 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   // as RunQuery's T2 threshold: the beta*n false-positive allowance plus the
   // per-table slack.
   found.reserve(std::min<size_t>(
-      num_objects_,
-      static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(num_objects_))) +
-          m));
+      n, static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(n))) + m));
   const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
   st->index_pages += tables_.size();
 
-  auto scan_range = [&](const BucketTable& table, const BucketRange& range) {
+  auto scan_range = [&](const BucketTable::Snapshot& table, const BucketRange& range) {
     if (range.empty()) return;
     const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
     if (range_entries > 0) {
       st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
     }
     const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      if (static_cast<size_t>(id) >= n) return;  // inserted after this query started
       ++st->collision_increments;
       if (verified[id] != 0) return;
       if (counter.Increment(id) == l) {
@@ -470,8 +528,8 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
     for (size_t i = 0; i < m; ++i) {
       const BucketRange next = IntervalForRadius(qbuckets[i], R);
       const RangeDelta delta = ComputeRangeDelta(prev[i], next);
-      scan_range(tables_[i], delta.left);
-      scan_range(tables_[i], delta.right);
+      scan_range(snaps[i], delta.left);
+      scan_range(snaps[i], delta.right);
       prev[i] = next;
     }
     if (static_cast<double>(R) >= radius || R > radius_cap_) break;
@@ -533,17 +591,23 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
   st->rounds = 1;
   st->final_radius = R;
 
+  // Frozen view, same scheme as RunQuery: count first, then pin each table.
+  const size_t n = num_objects();
+  std::vector<BucketTable::Snapshot> snaps;
+  snaps.reserve(tables_.size());
+  for (const BucketTable& table : tables_) snaps.push_back(table.snapshot());
+
   CollisionCounter& counter = scratch_.counter;
   counter.NewQuery();
-  counter.EnsureCapacity(num_objects_);
+  counter.EnsureCapacity(n);
 
   std::vector<BucketId> qbuckets;
   family_.BucketAll(query, &qbuckets);
 
   const uint32_t l = static_cast<uint32_t>(derived_.l);
   const double cr = derived_.model.c * static_cast<double>(R);
-  const size_t fp_budget = 1 + static_cast<size_t>(std::ceil(
-                                   derived_.beta * static_cast<double>(num_objects_)));
+  const size_t fp_budget =
+      1 + static_cast<size_t>(std::ceil(derived_.beta * static_cast<double>(n)));
   const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
 
   Neighbor best{0, std::numeric_limits<float>::infinity()};
@@ -553,11 +617,12 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
   for (size_t i = 0; i < tables_.size() && !have_hit && verified < fp_budget; ++i) {
     const BucketRange range = IntervalForRadius(qbuckets[i], R);
     ++st->index_pages;  // per-table descent
-    const size_t range_entries = tables_[i].EntriesInRange(range.lo, range.hi);
+    const size_t range_entries = snaps[i].EntriesInRange(range.lo, range.hi);
     if (range_entries > 0) {
       st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
     }
-    tables_[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+    snaps[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
+      if (static_cast<size_t>(id) >= n) return;  // inserted after this query started
       ++st->collision_increments;
       if (have_hit || verified >= fp_budget) return;
       if (counter.Increment(id) == l) {
@@ -580,7 +645,7 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
 
 std::vector<uint32_t> C2lshIndex::CollisionCountsAtRadius(const float* query,
                                                           long long R) const {
-  std::vector<uint32_t> counts(num_objects_, 0);
+  std::vector<uint32_t> counts(num_objects(), 0);
   std::vector<BucketId> qbuckets;
   family_.BucketAll(query, &qbuckets);
   for (size_t i = 0; i < tables_.size(); ++i) {
@@ -595,51 +660,85 @@ std::vector<uint32_t> C2lshIndex::CollisionCountsAtRadius(const float* query,
 Status C2lshIndex::Insert(ObjectId id, const float* v) {
   std::vector<BucketId> buckets;
   family_.BucketAll(v, &buckets);
+  MutexLock lock(&writer_mu_);
   for (size_t i = 0; i < tables_.size(); ++i) {
     tables_[i].Insert(buckets[i], id);
   }
-  if (static_cast<size_t>(id) + 1 > num_objects_) {
-    num_objects_ = static_cast<size_t>(id) + 1;
+  // Publication order matters: the release-store of the count happens after
+  // every table published its new version, so a query that admits `id` by
+  // `id < num_objects()` is guaranteed to find its entries (see num_objects()).
+  if (static_cast<size_t>(id) + 1 > num_objects()) {
+    num_objects_.store(static_cast<size_t>(id) + 1, std::memory_order_release);
   }
+  UpdateMutationGauges();
   return Status::OK();
 }
 
 Status C2lshIndex::Delete(ObjectId id) {
-  if (static_cast<size_t>(id) >= num_objects_) {
+  MutexLock lock(&writer_mu_);
+  if (static_cast<size_t>(id) >= num_objects()) {
     return Status::NotFound("Delete: object id " + std::to_string(id) +
                             " was never registered with this index");
   }
   for (BucketTable& table : tables_) {
     table.Delete(id);
   }
+  UpdateMutationGauges();
   return Status::OK();
 }
 
 void C2lshIndex::Compact() {
+  MutexLock lock(&writer_mu_);
+  Timer timer;
   for (BucketTable& table : tables_) {
     table.Compact();
   }
+  // Trailing deletes lower the high-water: every table holds the same id
+  // set, so the front table's largest live id is the index's.
+  if (!tables_.empty()) {
+    const long long max_live = tables_.front().snapshot().MaxLiveId();
+    num_objects_.store(static_cast<size_t>(max_live + 1), std::memory_order_release);
+  }
+  const CoreMetrics& m = Metrics();
+  m.compaction_runs->Increment();
+  m.compaction_millis->Observe(timer.ElapsedMillis());
+  UpdateMutationGauges();
+}
+
+void C2lshIndex::UpdateMutationGauges() const {
+  size_t overlay = 0;
+  for (const BucketTable& table : tables_) overlay += table.OverlayEntries();
+  const CoreMetrics& m = Metrics();
+  m.overlay_entries->Set(static_cast<double>(overlay));
+  // Every table tombstones the same id set; the front table's count is the
+  // index-wide number of pending deletes.
+  m.tombstones->Set(tables_.empty()
+                        ? 0.0
+                        : static_cast<double>(tables_.front().NumTombstones()));
 }
 
 C2lshIndex::IndexStats C2lshIndex::ComputeStats() const {
   IndexStats s;
   s.num_tables = tables_.size();
   if (tables_.empty()) return s;
-  s.entries_per_table = tables_.front().num_entries();
   s.min_buckets = std::numeric_limits<size_t>::max();
   double bucket_sum = 0.0;
   double mean_size_sum = 0.0;
-  for (const BucketTable& table : tables_) {
-    const size_t buckets = table.num_buckets();
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    // One snapshot per table so each table's figures are internally
+    // consistent even while mutators run.
+    const BucketTable::Snapshot snap = tables_[i].snapshot();
+    if (i == 0) s.entries_per_table = snap.num_entries();
+    const size_t buckets = snap.num_buckets();
     bucket_sum += static_cast<double>(buckets);
     s.min_buckets = std::min(s.min_buckets, buckets);
     s.max_buckets = std::max(s.max_buckets, buckets);
     if (buckets > 0) {
       mean_size_sum +=
-          static_cast<double>(table.num_entries()) / static_cast<double>(buckets);
+          static_cast<double>(snap.num_entries()) / static_cast<double>(buckets);
     }
-    s.max_bucket_size = std::max(s.max_bucket_size, table.MaxBucketSize());
-    s.overlay_entries += table.OverlayEntries();
+    s.max_bucket_size = std::max(s.max_bucket_size, snap.MaxBucketSize());
+    s.overlay_entries += snap.OverlayEntries();
   }
   s.mean_buckets_per_table = bucket_sum / static_cast<double>(tables_.size());
   s.mean_bucket_size = mean_size_sum / static_cast<double>(tables_.size());

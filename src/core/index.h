@@ -16,11 +16,20 @@
 // The index is decoupled from vector storage: it maps ids to buckets only,
 // and verification distances are computed against the Dataset passed to
 // Query. Dynamic inserts/deletes go through the tables' delta overlays.
+//
+// Concurrency model: queries pin per-table snapshots (storage/bucket_table.h)
+// and run lock-free against them, so any number of Searcher queries may run
+// concurrently with Insert/Delete/Compact — readers never block on a
+// mutation, not even a full compaction. Mutators serialize on an internal
+// writer lock; a mutation is visible to every query that *starts* after the
+// mutating call returns, while in-flight queries keep the versions they
+// pinned.
 
 #pragma once
 #ifndef C2LSH_CORE_INDEX_H_
 #define C2LSH_CORE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -33,7 +42,9 @@
 #include "src/obs/trace.h"
 #include "src/storage/bucket_table.h"
 #include "src/storage/page_model.h"
+#include "src/util/mutex.h"
 #include "src/util/query_context.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/result.h"
 #include "src/vector/dataset.h"
 #include "src/vector/types.h"
@@ -85,16 +96,20 @@ class C2lshIndex {
   /// an exceeded I/O-page budget the query returns its best-effort partial
   /// results with stats->termination = kDeadline / kCancelled — never an
   /// error (see util/query_context.h).
-  /// Not thread-safe: this convenience entry point reuses one internal
-  /// scratch; concurrent callers must each use their own Searcher instead.
+  /// Safe to call concurrently with Insert/Delete/Compact (the query runs on
+  /// pinned table snapshots), but this convenience entry point reuses one
+  /// internal scratch shared with FilteredQuery/RangeQuery/DecisionQuery —
+  /// at most one of those four may run at a time. Concurrent query callers
+  /// must each use their own Searcher instead.
   Result<NeighborList> Query(const Dataset& data, const float* query, size_t k,
                              C2lshQueryStats* stats = nullptr,
                              obs::QueryTrace* trace = nullptr,
                              const QueryContext* ctx = nullptr) const;
 
-  /// A lightweight per-thread query handle. The index itself is immutable
-  /// during queries, so any number of Searchers may run concurrently — each
-  /// owns its scratch. The Searcher must not outlive the index.
+  /// A lightweight per-thread query handle. Any number of Searchers may run
+  /// concurrently — each owns its scratch, and every query pins immutable
+  /// table snapshots, so Searchers are also safe against concurrent
+  /// Insert/Delete/Compact. The Searcher must not outlive the index.
   class Searcher {
    public:
     explicit Searcher(const C2lshIndex* index) : index_(index) {}
@@ -127,8 +142,8 @@ class C2lshIndex {
   /// windows). Filtered-out objects still participate in collision counting
   /// (their hashes are in the tables) but are skipped at the verification
   /// gate, so the filter adds no distance computations for rejected ids.
-  /// The k+beta*n candidate budget counts only accepted objects. Not
-  /// thread-safe.
+  /// The k+beta*n candidate budget counts only accepted objects. Shares the
+  /// convenience scratch (see Query for the concurrency contract).
   Result<NeighborList> FilteredQuery(const Dataset& data, const float* query, size_t k,
                                      const std::function<bool(ObjectId)>& filter,
                                      C2lshQueryStats* stats = nullptr) const;
@@ -138,7 +153,8 @@ class C2lshIndex {
   /// per-object recall >= 1 - delta by property P1 (an object at distance
   /// <= radius collides >= l times once R >= radius w.h.p.). Results are
   /// sorted ascending by exact distance; false positives are filtered by
-  /// verification, so precision is exact. Not thread-safe.
+  /// verification, so precision is exact. Shares the convenience scratch
+  /// (see Query for the concurrency contract).
   Result<NeighborList> RangeQuery(const Dataset& data, const float* query, double radius,
                                   C2lshQueryStats* stats = nullptr) const;
 
@@ -156,14 +172,20 @@ class C2lshIndex {
 
   /// Dynamic insert: registers object `id` with vector `v` (d floats) in all
   /// m tables' delta overlays. The caller's dataset must expose `id` by the
-  /// time Query runs.
-  Status Insert(ObjectId id, const float* v);
+  /// time a query that should see it runs. Mutators serialize on the writer
+  /// lock and are safe against concurrent queries; the insert is visible to
+  /// every query that starts after this returns.
+  Status Insert(ObjectId id, const float* v) EXCLUDES(writer_mu_);
 
-  /// Dynamic delete: tombstones `id` in all tables.
-  Status Delete(ObjectId id);
+  /// Dynamic delete: tombstones `id` in all tables. Same concurrency
+  /// contract as Insert.
+  Status Delete(ObjectId id) EXCLUDES(writer_mu_);
 
-  /// Folds overlays and tombstones back into the flat tables.
-  void Compact();
+  /// Folds overlays and tombstones back into the flat tables and shrinks the
+  /// object-count high-water past trailing deletes. Runs off to the side on
+  /// pinned snapshots; concurrent queries never block on it — they keep the
+  /// versions they pinned until the compacted tables publish.
+  void Compact() EXCLUDES(writer_mu_);
 
   /// Reassembles an index from its serialized parts (core/serialize.h).
   /// The parts must be mutually consistent (m tables matching the family's
@@ -176,7 +198,10 @@ class C2lshIndex {
   const C2lshOptions& options() const { return options_; }
   const C2lshDerived& derived() const { return derived_; }
   size_t num_tables() const { return tables_.size(); }
-  size_t num_objects() const { return num_objects_; }
+  /// Object-count high-water (1 + largest id ever inserted, until a Compact
+  /// after trailing deletes lowers it). Acquire-load so a query thread that
+  /// reads the new count also sees the table versions published before it.
+  size_t num_objects() const { return num_objects_.load(std::memory_order_acquire); }
   size_t dim() const { return dim_; }
   long long radius_cap() const { return radius_cap_; }
   const PStableFamily& family() const { return family_; }
@@ -201,6 +226,14 @@ class C2lshIndex {
     size_t overlay_entries = 0;         ///< dynamic inserts awaiting Compact
   };
   IndexStats ComputeStats() const;
+
+  // Movable (for Result<C2lshIndex> and factory returns); moves must not
+  // race with any other use of either index — the writer Mutex and atomic
+  // count pin the object in place otherwise.
+  C2lshIndex(C2lshIndex&& other) noexcept;
+  C2lshIndex& operator=(C2lshIndex&& other) noexcept;
+  C2lshIndex(const C2lshIndex&) = delete;
+  C2lshIndex& operator=(const C2lshIndex&) = delete;
 
  private:
   C2lshIndex(C2lshOptions options, C2lshDerived derived, PStableFamily family,
@@ -227,14 +260,23 @@ class C2lshIndex {
   /// R exceeds the radius schedule cap (guarantees termination).
   BucketRange IntervalForRadius(BucketId query_bucket, long long R) const;
 
+  /// Refreshes the overlay/tombstone gauges after a mutation. Called with
+  /// writer_mu_ held (tables are quiescent, so per-table snapshots agree).
+  void UpdateMutationGauges() const;
+
   C2lshOptions options_;
   C2lshDerived derived_;
   PStableFamily family_;
   std::vector<BucketTable> tables_;
-  size_t num_objects_ = 0;
+  /// Store-release by mutators after their table versions publish; see
+  /// num_objects().
+  std::atomic<size_t> num_objects_{0};
   size_t dim_ = 0;
   long long radius_cap_ = 1;  ///< c^max_radius_exponent
   PageModel page_model_;
+  /// Serializes Insert/Delete/Compact against each other (never held while a
+  /// query scans — queries run on pinned snapshots).
+  mutable Mutex writer_mu_;
 
   // Scratch behind the convenience Query()/DecisionQuery() entry points
   // (those are documented non-concurrent; Searcher owns its own).

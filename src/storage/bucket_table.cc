@@ -1,51 +1,91 @@
 #include "src/storage/bucket_table.h"
 
-#include <algorithm>
-
 namespace c2lsh {
 
-BucketTable BucketTable::Build(std::vector<std::pair<BucketId, ObjectId>> raw) {
+BucketTable::BucketTable() {
+  // The shared empty version every default-constructed table starts from
+  // (immutable, so one instance serves the whole process).
+  static const std::shared_ptr<const Rep> kEmpty = [] {
+    auto rep = std::make_shared<Rep>();
+    rep->flat = std::make_shared<Flat>();
+    return rep;
+  }();
+  rep_ = kEmpty;
+}
+
+BucketTable::BucketTable(BucketTable&& other) noexcept { rep_ = other.CurrentRep(); }
+
+BucketTable& BucketTable::operator=(BucketTable&& other) noexcept {
+  if (this != &other) PublishRep(other.CurrentRep());
+  return *this;
+}
+
+std::shared_ptr<const BucketTable::Rep> BucketTable::CurrentRep() const {
+  MutexLock lock(&mu_);
+  return rep_;
+}
+
+void BucketTable::PublishRep(std::shared_ptr<const Rep> rep) {
+  MutexLock lock(&mu_);
+  rep_ = std::move(rep);
+}
+
+BucketTable::Snapshot BucketTable::snapshot() const { return Snapshot(CurrentRep()); }
+
+std::shared_ptr<const BucketTable::Flat> BucketTable::BuildFlat(
+    std::vector<std::pair<BucketId, ObjectId>> raw) {
   std::sort(raw.begin(), raw.end());
-  BucketTable t;
-  t.entries_.reserve(raw.size());
+  auto flat = std::make_shared<Flat>();
+  flat->entries.reserve(raw.size());
   for (size_t i = 0; i < raw.size();) {
     const BucketId bucket = raw[i].first;
-    const size_t start = t.entries_.size();
+    const size_t start = flat->entries.size();
     size_t j = i;
     while (j < raw.size() && raw[j].first == bucket) {
-      t.entries_.push_back(raw[j].second);
+      flat->entries.push_back(raw[j].second);
       ++j;
     }
-    t.directory_.push_back(DirEntry{bucket, static_cast<uint32_t>(start),
-                                    static_cast<uint32_t>(t.entries_.size() - start)});
+    flat->directory.push_back(
+        DirEntry{bucket, static_cast<uint32_t>(start),
+                 static_cast<uint32_t>(flat->entries.size() - start)});
     i = j;
   }
+  return flat;
+}
+
+BucketTable BucketTable::Build(std::vector<std::pair<BucketId, ObjectId>> raw) {
+  BucketTable t;
+  auto rep = std::make_shared<Rep>();
+  rep->flat = BuildFlat(std::move(raw));
+  t.PublishRep(std::move(rep));
   return t;
 }
 
-std::pair<size_t, size_t> BucketTable::EntryRange(BucketId lo, BucketId hi) const {
-  if (directory_.empty() || lo > hi) return {0, 0};
+std::pair<size_t, size_t> BucketTable::Flat::EntryRange(BucketId lo, BucketId hi) const {
+  if (directory.empty() || lo > hi) return {0, 0};
   const auto first = std::lower_bound(
-      directory_.begin(), directory_.end(), lo,
+      directory.begin(), directory.end(), lo,
       [](const DirEntry& e, BucketId b) { return e.bucket < b; });
-  if (first == directory_.end() || first->bucket > hi) return {0, 0};
+  if (first == directory.end() || first->bucket > hi) return {0, 0};
   const auto last = std::upper_bound(
-      directory_.begin(), directory_.end(), hi,
+      directory.begin(), directory.end(), hi,
       [](BucketId b, const DirEntry& e) { return b < e.bucket; });
   const DirEntry& tail = *(last - 1);
   return {first->offset, static_cast<size_t>(tail.offset) + tail.count};
 }
 
-size_t BucketTable::EntriesInRange(BucketId lo, BucketId hi) const {
-  const auto [b, e] = EntryRange(lo, hi);
+size_t BucketTable::Snapshot::EntriesInRange(BucketId lo, BucketId hi) const {
+  const auto [b, e] = rep_->flat->EntryRange(lo, hi);
   size_t count = e - b;
-  for (auto it = overlay_.lower_bound(lo); it != overlay_.end() && it->first <= hi; ++it) {
-    count += it->second.size();
+  for (auto it = OverlayLowerBound(lo); it != rep_->overlay.end() && it->first <= hi;
+       ++it) {
+    ++count;
   }
   return count;
 }
 
-size_t BucketTable::PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const {
+size_t BucketTable::Snapshot::PagesForRange(BucketId lo, BucketId hi,
+                                            const PageModel& model) const {
   const size_t entries = EntriesInRange(lo, hi);
   // One page for the directory descent (the directory of one table is small
   // and its hot path is cached/pinned; the paper charges the same way), plus
@@ -57,66 +97,75 @@ size_t BucketTable::PagesForRange(BucketId lo, BucketId hi, const PageModel& mod
   return pages;
 }
 
-void BucketTable::Insert(BucketId bucket, ObjectId id) { overlay_[bucket].push_back(id); }
-
-void BucketTable::Delete(ObjectId id) {
-  const auto it = std::lower_bound(tombstones_.begin(), tombstones_.end(), id);
-  if (it == tombstones_.end() || *it != id) {
-    tombstones_.insert(it, id);
-  }
-}
-
-bool BucketTable::IsDeleted(ObjectId id) const {
-  return std::binary_search(tombstones_.begin(), tombstones_.end(), id);
-}
-
-void BucketTable::Compact() {
-  std::vector<std::pair<BucketId, ObjectId>> raw;
-  raw.reserve(num_entries());
-  for (const DirEntry& dir : directory_) {
-    for (uint32_t i = 0; i < dir.count; ++i) {
-      const ObjectId id = entries_[dir.offset + i];
-      if (!IsDeleted(id)) raw.emplace_back(dir.bucket, id);
-    }
-  }
-  for (const auto& [bucket, ids] : overlay_) {
-    for (ObjectId id : ids) {
-      if (!IsDeleted(id)) raw.emplace_back(bucket, id);
-    }
-  }
-  *this = Build(std::move(raw));
-}
-
-size_t BucketTable::MaxBucketSize() const {
+size_t BucketTable::Snapshot::MaxBucketSize() const {
   size_t max_size = 0;
-  for (const DirEntry& dir : directory_) {
+  for (const DirEntry& dir : rep_->flat->directory) {
     max_size = std::max(max_size, static_cast<size_t>(dir.count));
   }
-  for (const auto& [bucket, ids] : overlay_) {
-    max_size = std::max(max_size, ids.size());
+  // Overlay buckets counted separately from flat ones with the same id —
+  // diagnostics only.
+  size_t run = 0;
+  for (size_t i = 0; i < rep_->overlay.size(); ++i) {
+    run = (i > 0 && rep_->overlay[i].first == rep_->overlay[i - 1].first) ? run + 1 : 1;
+    max_size = std::max(max_size, run);
   }
   return max_size;
 }
 
-size_t BucketTable::OverlayEntries() const {
-  size_t n = 0;
-  for (const auto& [bucket, ids] : overlay_) n += ids.size();
-  return n;
+size_t BucketTable::Snapshot::MemoryBytes() const {
+  return rep_->flat->directory.size() * sizeof(DirEntry) +
+         rep_->flat->entries.size() * sizeof(ObjectId) +
+         rep_->overlay.size() * sizeof(std::pair<BucketId, ObjectId>) +
+         rep_->tombstones.size() * sizeof(ObjectId);
 }
 
-size_t BucketTable::num_entries() const {
-  size_t n = entries_.size();
-  for (const auto& [bucket, ids] : overlay_) n += ids.size();
-  return n;
-}
-
-size_t BucketTable::MemoryBytes() const {
-  size_t bytes = directory_.size() * sizeof(DirEntry) + entries_.size() * sizeof(ObjectId) +
-                 tombstones_.size() * sizeof(ObjectId);
-  for (const auto& [bucket, ids] : overlay_) {
-    bytes += sizeof(bucket) + ids.size() * sizeof(ObjectId) + 3 * sizeof(void*);
+long long BucketTable::Snapshot::MaxLiveId() const {
+  long long max_id = -1;
+  for (const ObjectId id : rep_->flat->entries) {
+    if (!rep_->IsDeleted(id)) max_id = std::max(max_id, static_cast<long long>(id));
   }
-  return bytes;
+  for (const auto& [bucket, id] : rep_->overlay) {
+    if (!rep_->IsDeleted(id)) max_id = std::max(max_id, static_cast<long long>(id));
+  }
+  return max_id;
+}
+
+void BucketTable::Insert(BucketId bucket, ObjectId id) {
+  const std::shared_ptr<const Rep> cur = CurrentRep();
+  auto next = std::make_shared<Rep>(*cur);  // shares flat, copies overlay
+  const auto pos = std::upper_bound(
+      next->overlay.begin(), next->overlay.end(), bucket,
+      [](BucketId b, const std::pair<BucketId, ObjectId>& e) { return b < e.first; });
+  next->overlay.insert(pos, {bucket, id});
+  PublishRep(std::move(next));
+}
+
+void BucketTable::Delete(ObjectId id) {
+  const std::shared_ptr<const Rep> cur = CurrentRep();
+  const auto it = std::lower_bound(cur->tombstones.begin(), cur->tombstones.end(), id);
+  if (it != cur->tombstones.end() && *it == id) return;  // already tombstoned
+  const auto idx = it - cur->tombstones.begin();
+  auto next = std::make_shared<Rep>(*cur);
+  next->tombstones.insert(next->tombstones.begin() + idx, id);
+  PublishRep(std::move(next));
+}
+
+void BucketTable::Compact() {
+  const std::shared_ptr<const Rep> cur = CurrentRep();
+  std::vector<std::pair<BucketId, ObjectId>> raw;
+  raw.reserve(cur->flat->entries.size() + cur->overlay.size());
+  for (const DirEntry& dir : cur->flat->directory) {
+    for (uint32_t i = 0; i < dir.count; ++i) {
+      const ObjectId id = cur->flat->entries[dir.offset + i];
+      if (!cur->IsDeleted(id)) raw.emplace_back(dir.bucket, id);
+    }
+  }
+  for (const auto& [bucket, id] : cur->overlay) {
+    if (!cur->IsDeleted(id)) raw.emplace_back(bucket, id);
+  }
+  auto next = std::make_shared<Rep>();
+  next->flat = BuildFlat(std::move(raw));
+  PublishRep(std::move(next));
 }
 
 }  // namespace c2lsh

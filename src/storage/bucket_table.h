@@ -7,20 +7,32 @@
 // range of bucket ids maps to one contiguous slice of entries, which is both
 // cache-friendly in memory and sequential on the simulated disk.
 //
-// Dynamic inserts/deletes land in a small sorted overlay (std::map) that is
-// consulted alongside the flat run and can be folded in with Compact() —
-// the classic main-file + delta organization of disk-based indexes.
+// Dynamic inserts/deletes land in a small sorted overlay that is consulted
+// alongside the flat run and can be folded in with Compact() — the classic
+// main-file + delta organization of disk-based indexes.
+//
+// Concurrency: the table's entire state lives in one immutable Rep published
+// through a shared_ptr guarded by an annotated Mutex. Readers take a
+// Snapshot (one brief lock to copy the pointer) and then scan lock-free;
+// mutators build a fresh Rep off to the side and swap the pointer (again one
+// brief lock). Readers therefore NEVER block on a mutation — not even on a
+// full Compact() — they simply keep scanning the Rep they pinned. Mutators
+// are not serialized against each other here; the owning index holds its
+// writer lock around them (see C2lshIndex).
 
 #pragma once
 #ifndef C2LSH_STORAGE_BUCKET_TABLE_H_
 #define C2LSH_STORAGE_BUCKET_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/storage/page_model.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/vector/types.h"
 
 namespace c2lsh {
@@ -30,104 +42,184 @@ using BucketId = int64_t;
 
 /// One LSH hash table: bucket id -> list of object ids.
 class BucketTable {
+ private:
+  struct DirEntry {
+    BucketId bucket;
+    uint32_t offset;  // first entry index in entries
+    uint32_t count;
+  };
+
+  /// The compacted run: a directory sorted by bucket id over a flat,
+  /// bucket-contiguous entry array. Immutable once built.
+  struct Flat {
+    std::vector<DirEntry> directory;
+    std::vector<ObjectId> entries;
+
+    /// Returns [begin, end) indexes into entries covering buckets in [lo, hi].
+    std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
+  };
+
+  /// One immutable version of the table: the shared flat run plus this
+  /// version's overlay (sorted by bucket, insertion-ordered within a bucket)
+  /// and tombstones (sorted). Mutations copy-on-write the overlay/tombstone
+  /// vectors but share the flat run, so an Insert costs O(overlay), not O(n).
+  struct Rep {
+    std::shared_ptr<const Flat> flat;
+    std::vector<std::pair<BucketId, ObjectId>> overlay;
+    std::vector<ObjectId> tombstones;
+
+    bool IsDeleted(ObjectId id) const {
+      return std::binary_search(tombstones.begin(), tombstones.end(), id);
+    }
+  };
+
  public:
-  BucketTable() = default;
+  BucketTable();
+
+  // Movable so std::vector<BucketTable> works (moves happen only while the
+  // owning index is being built or reassembled, single-threaded); the Mutex
+  // pins each table in place otherwise, so the moved-into table constructs a
+  // fresh one and adopts the source's current Rep.
+  BucketTable(BucketTable&& other) noexcept;
+  BucketTable& operator=(BucketTable&& other) noexcept;
+  BucketTable(const BucketTable&) = delete;
+  BucketTable& operator=(const BucketTable&) = delete;
 
   /// Builds the table from (bucket, object) pairs. Consumes the input
   /// (sorted in place). Duplicate pairs are kept as-is.
   static BucketTable Build(std::vector<std::pair<BucketId, ObjectId>> entries);
 
-  /// Calls `fn(ObjectId)` for every object whose bucket id lies in
-  /// [lo, hi] (inclusive), including overlay inserts and excluding deleted
-  /// objects. Returns the number of objects visited.
-  template <typename Fn>
-  size_t ForEachInRange(BucketId lo, BucketId hi, Fn&& fn) const {
-    size_t visited = 0;
-    const auto [begin_idx, end_idx] = EntryRange(lo, hi);
-    for (size_t i = begin_idx; i < end_idx; ++i) {
-      const ObjectId id = entries_[i];
-      if (IsDeleted(id)) continue;
-      fn(id);
-      ++visited;
-    }
-    for (auto it = overlay_.lower_bound(lo); it != overlay_.end() && it->first <= hi; ++it) {
-      for (ObjectId id : it->second) {
-        if (IsDeleted(id)) continue;
+  /// A pinned, immutable view of the table. Scans on a Snapshot are
+  /// wait-free with respect to concurrent Insert/Delete/Compact — they see
+  /// exactly the state at snapshot() time. Cheap to take (one pointer copy
+  /// under the lock); take one per table per query, not per probe.
+  class Snapshot {
+   public:
+    /// Calls `fn(ObjectId)` for every object whose bucket id lies in
+    /// [lo, hi] (inclusive), including overlay inserts and excluding deleted
+    /// objects. Returns the number of objects visited.
+    template <typename Fn>
+    size_t ForEachInRange(BucketId lo, BucketId hi, Fn&& fn) const {
+      size_t visited = 0;
+      const Flat& flat = *rep_->flat;
+      const auto [begin_idx, end_idx] = flat.EntryRange(lo, hi);
+      for (size_t i = begin_idx; i < end_idx; ++i) {
+        const ObjectId id = flat.entries[i];
+        if (rep_->IsDeleted(id)) continue;
         fn(id);
         ++visited;
       }
+      for (auto it = OverlayLowerBound(lo); it != rep_->overlay.end() && it->first <= hi;
+           ++it) {
+        if (rep_->IsDeleted(it->second)) continue;
+        fn(it->second);
+        ++visited;
+      }
+      return visited;
     }
-    return visited;
-  }
 
-  /// Calls `fn(BucketId, ObjectId)` for every live entry (flat + overlay,
-  /// tombstones skipped), in no particular order. Used by serialization.
-  template <typename Fn>
-  void ForEachEntry(Fn&& fn) const {
-    for (const DirEntry& dir : directory_) {
-      for (uint32_t i = 0; i < dir.count; ++i) {
-        const ObjectId id = entries_[dir.offset + i];
-        if (!IsDeleted(id)) fn(dir.bucket, id);
+    /// Calls `fn(BucketId, ObjectId)` for every live entry (flat + overlay,
+    /// tombstones skipped), in no particular order. Used by serialization
+    /// and compaction.
+    template <typename Fn>
+    void ForEachEntry(Fn&& fn) const {
+      const Flat& flat = *rep_->flat;
+      for (const DirEntry& dir : flat.directory) {
+        for (uint32_t i = 0; i < dir.count; ++i) {
+          const ObjectId id = flat.entries[dir.offset + i];
+          if (!rep_->IsDeleted(id)) fn(dir.bucket, id);
+        }
+      }
+      for (const auto& [bucket, id] : rep_->overlay) {
+        if (!rep_->IsDeleted(id)) fn(bucket, id);
       }
     }
-    for (const auto& [bucket, ids] : overlay_) {
-      for (ObjectId id : ids) {
-        if (!IsDeleted(id)) fn(bucket, id);
-      }
+
+    /// Number of entries whose bucket id lies in [lo, hi] (deleted objects
+    /// still occupy their slots until Compact()). Used for I/O accounting.
+    size_t EntriesInRange(BucketId lo, BucketId hi) const;
+
+    /// Simulated pages touched when reading the range [lo, hi]: one page for
+    /// the directory descent plus the sequential entry pages.
+    size_t PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const;
+
+    size_t num_buckets() const { return rep_->flat->directory.size(); }
+    size_t num_entries() const {
+      return rep_->flat->entries.size() + rep_->overlay.size();
     }
-  }
+    size_t MaxBucketSize() const;
+    size_t OverlayEntries() const { return rep_->overlay.size(); }
+    size_t NumTombstones() const { return rep_->tombstones.size(); }
+    size_t MemoryBytes() const;
 
-  /// Number of entries whose bucket id lies in [lo, hi] (deleted objects
-  /// still occupy their slots until Compact()). Used for I/O accounting.
-  size_t EntriesInRange(BucketId lo, BucketId hi) const;
+    /// Largest live (non-tombstoned) object id, or -1 when the snapshot is
+    /// empty of live entries. The index's Compact() uses this to shrink its
+    /// object-count high-water after trailing deletes.
+    long long MaxLiveId() const;
 
-  /// Simulated pages touched when reading the range [lo, hi]: the directory
-  /// probe is charged one page per `dir_pages` levels... simplified to a
-  /// binary-search touch of ceil(log2(#buckets)) directory entries folded
-  /// into one page, plus ceil(entries / entries_per_page) sequential entry
-  /// pages (entries of a range are contiguous by construction).
-  size_t PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const;
+   private:
+    friend class BucketTable;
+    explicit Snapshot(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
 
-  /// Inserts a dynamic entry into the overlay.
-  void Insert(BucketId bucket, ObjectId id);
+    std::vector<std::pair<BucketId, ObjectId>>::const_iterator OverlayLowerBound(
+        BucketId lo) const {
+      return std::lower_bound(
+          rep_->overlay.begin(), rep_->overlay.end(), lo,
+          [](const std::pair<BucketId, ObjectId>& e, BucketId b) { return e.first < b; });
+    }
 
-  /// Marks an object deleted everywhere in this table (tombstone).
-  void Delete(ObjectId id);
-
-  /// Folds overlay inserts and drops tombstoned entries, restoring the flat
-  /// contiguous layout.
-  void Compact();
-
-  size_t num_buckets() const { return directory_.size(); }
-  size_t num_entries() const;
-
-  /// Size of the largest bucket (flat entries; overlay buckets counted
-  /// separately from flat ones with the same id — diagnostics only).
-  size_t MaxBucketSize() const;
-
-  /// Entries sitting in the dynamic overlay (not yet compacted).
-  size_t OverlayEntries() const;
-
-  /// Approximate resident bytes (flat arrays + overlay), used by the
-  /// index-size experiment.
-  size_t MemoryBytes() const;
-
- private:
-  struct DirEntry {
-    BucketId bucket;
-    uint32_t offset;  // first entry index in entries_
-    uint32_t count;
+    std::shared_ptr<const Rep> rep_;
   };
 
-  /// Returns [begin, end) indexes into entries_ covering buckets in [lo, hi].
-  std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
+  /// Pins the current version. Thread-safe against every other method.
+  Snapshot snapshot() const EXCLUDES(mu_);
 
-  bool IsDeleted(ObjectId id) const;
+  // Convenience passthroughs: each takes a fresh snapshot. Callers scanning
+  // more than once per query should hold their own Snapshot instead.
+  template <typename Fn>
+  size_t ForEachInRange(BucketId lo, BucketId hi, Fn&& fn) const {
+    return snapshot().ForEachInRange(lo, hi, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    snapshot().ForEachEntry(std::forward<Fn>(fn));
+  }
+  size_t EntriesInRange(BucketId lo, BucketId hi) const {
+    return snapshot().EntriesInRange(lo, hi);
+  }
+  size_t PagesForRange(BucketId lo, BucketId hi, const PageModel& model) const {
+    return snapshot().PagesForRange(lo, hi, model);
+  }
+  size_t num_buckets() const { return snapshot().num_buckets(); }
+  size_t num_entries() const { return snapshot().num_entries(); }
+  size_t MaxBucketSize() const { return snapshot().MaxBucketSize(); }
+  size_t OverlayEntries() const { return snapshot().OverlayEntries(); }
+  size_t NumTombstones() const { return snapshot().NumTombstones(); }
+  size_t MemoryBytes() const { return snapshot().MemoryBytes(); }
 
-  std::vector<DirEntry> directory_;  // sorted by bucket id
-  std::vector<ObjectId> entries_;    // bucket-contiguous
-  std::map<BucketId, std::vector<ObjectId>> overlay_;
-  std::vector<ObjectId> tombstones_;  // sorted
+  /// Inserts a dynamic entry into the overlay. Publishes a new version;
+  /// in-flight Snapshots are unaffected. Concurrent mutators must be
+  /// serialized by the caller (the index's writer lock).
+  void Insert(BucketId bucket, ObjectId id) EXCLUDES(mu_);
+
+  /// Marks an object deleted everywhere in this table (tombstone). Same
+  /// publication contract as Insert.
+  void Delete(ObjectId id) EXCLUDES(mu_);
+
+  /// Folds overlay inserts and drops tombstoned entries, restoring the flat
+  /// contiguous layout. The fold runs off to the side on a pinned snapshot;
+  /// readers keep scanning the old version until the new one is published.
+  void Compact() EXCLUDES(mu_);
+
+ private:
+  static std::shared_ptr<const Flat> BuildFlat(
+      std::vector<std::pair<BucketId, ObjectId>> entries);
+
+  std::shared_ptr<const Rep> CurrentRep() const EXCLUDES(mu_);
+  void PublishRep(std::shared_ptr<const Rep> rep) EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::shared_ptr<const Rep> rep_ GUARDED_BY(mu_);  ///< never null
 };
 
 }  // namespace c2lsh

@@ -101,18 +101,43 @@ std::pair<size_t, size_t> DiskBucketTable::EntryRange(BucketId lo, BucketId hi) 
 
 size_t DiskBucketTable::EntriesInRange(BucketId lo, BucketId hi) const {
   const auto [b, e] = EntryRange(lo, hi);
-  return e - b;
+  size_t count = e - b;
+  for (auto it = std::lower_bound(
+           overlay_.begin(), overlay_.end(), lo,
+           [](const std::pair<BucketId, ObjectId>& o, BucketId b2) {
+             return o.first < b2;
+           });
+       it != overlay_.end() && it->first <= hi; ++it) {
+    ++count;
+  }
+  return count;
+}
+
+bool DiskBucketTable::IsDeleted(ObjectId id) const {
+  return std::binary_search(tombstones_.begin(), tombstones_.end(), id);
+}
+
+void DiskBucketTable::OverlayInsert(BucketId bucket, ObjectId id) {
+  const auto pos = std::upper_bound(
+      overlay_.begin(), overlay_.end(), bucket,
+      [](BucketId b, const std::pair<BucketId, ObjectId>& o) { return b < o.first; });
+  overlay_.insert(pos, {bucket, id});
+}
+
+void DiskBucketTable::OverlayDelete(ObjectId id) {
+  const auto it = std::lower_bound(tombstones_.begin(), tombstones_.end(), id);
+  if (it != tombstones_.end() && *it == id) return;  // already tombstoned
+  tombstones_.insert(it, id);
 }
 
 Result<size_t> DiskBucketTable::ForEachInRange(
     BucketId lo, BucketId hi, const std::function<void(ObjectId)>& fn,
     const QueryContext* ctx) const {
   const auto [begin_idx, end_idx] = EntryRange(lo, hi);
-  if (begin_idx >= end_idx) return size_t{0};
   const size_t per_page = EntriesPerPage();
   size_t visited = 0;
-  for (size_t page_idx = begin_idx / per_page; page_idx * per_page < end_idx;
-       ++page_idx) {
+  for (size_t page_idx = begin_idx / per_page;
+       begin_idx < end_idx && page_idx * per_page < end_idx; ++page_idx) {
     // Page boundaries are the scan's checkpoints: each iteration may cost a
     // real disk read, so an expired context stops before paying for the next
     // page and the caller sees a clean partial count.
@@ -124,11 +149,44 @@ Result<size_t> DiskBucketTable::ForEachInRange(
     const size_t from = std::max(begin_idx, page_start) - page_start;
     const size_t to = std::min(end_idx, page_start + per_page) - page_start;
     for (size_t i = from; i < to; ++i) {
+      if (IsDeleted(ids[i])) continue;
       fn(ids[i]);
       ++visited;
     }
   }
+  // Overlay inserts after the base run, in bucket order — the same scan
+  // order BucketTable::Snapshot::ForEachInRange produces, so the two index
+  // modes verify candidates in the same sequence.
+  for (auto it = std::lower_bound(
+           overlay_.begin(), overlay_.end(), lo,
+           [](const std::pair<BucketId, ObjectId>& o, BucketId b) {
+             return o.first < b;
+           });
+       it != overlay_.end() && it->first <= hi; ++it) {
+    if (IsDeleted(it->second)) continue;
+    fn(it->second);
+    ++visited;
+  }
   return visited;
+}
+
+Status DiskBucketTable::ForEachEntry(
+    const std::function<void(BucketId, ObjectId)>& fn) const {
+  const size_t per_page = EntriesPerPage();
+  for (const DirEntry& dir : directory_) {
+    for (uint32_t i = 0; i < dir.count; ++i) {
+      const size_t idx = static_cast<size_t>(dir.offset) + i;
+      const PageId page_id = first_entry_page_ + idx / per_page;
+      C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id));
+      const auto* ids = reinterpret_cast<const ObjectId*>(page.data());
+      const ObjectId oid = ids[idx % per_page];
+      if (!IsDeleted(oid)) fn(dir.bucket, oid);
+    }
+  }
+  for (const auto& [bucket, oid] : overlay_) {
+    if (!IsDeleted(oid)) fn(bucket, oid);
+  }
+  return Status::OK();
 }
 
 }  // namespace c2lsh

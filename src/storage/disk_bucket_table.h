@@ -11,6 +11,13 @@
 // Range probes therefore cost exactly the entry pages they touch — the
 // quantity the BufferPool measures and experiment D1 compares against the
 // analytic model.
+//
+// Mutability: the on-disk run is immutable, but the table carries a small
+// in-memory delta — a sorted insert overlay plus a tombstone set — that
+// scans consult alongside the run. The delta is *not* persisted here: the
+// owning DiskC2lshIndex makes each mutation durable in its write-ahead log
+// first and rebuilds the deltas by replay at Open(); a compaction folds them
+// into a freshly written run (see core/disk_index.h).
 
 #pragma once
 #ifndef C2LSH_STORAGE_DISK_BUCKET_TABLE_H_
@@ -29,7 +36,8 @@
 
 namespace c2lsh {
 
-/// An immutable on-disk bucket table.
+/// An on-disk bucket table: an immutable base run plus an in-memory,
+/// WAL-recovered delta overlay.
 class DiskBucketTable {
  public:
   /// Builds the table from (bucket, object) pairs (sorted internally),
@@ -44,22 +52,44 @@ class DiskBucketTable {
   /// The directory blob's first page — persist this to find the table again.
   PageId root() const { return root_; }
 
-  size_t num_entries() const { return num_entries_; }
+  /// Base-run plus overlay entries (tombstoned objects still occupy their
+  /// slots until a compaction rewrites the run).
+  size_t num_entries() const { return num_entries_ + overlay_.size(); }
   size_t num_buckets() const { return directory_.size(); }
 
-  /// Calls `fn(ObjectId)` for every object with bucket in [lo, hi]; entry
-  /// pages are fetched through the pool (so misses are measured I/O).
-  /// Returns the number of objects visited, or an error if a page fetch
-  /// fails. `ctx` (nullable) bounds the scan: the deadline/cancellation is
-  /// checked at every entry-page boundary, and an expired context stops the
-  /// scan early, returning the objects visited so far (not an error) —
-  /// the caller decides how a partial scan terminates the query.
+  /// Calls `fn(ObjectId)` for every live object with bucket in [lo, hi] —
+  /// base-run entries first (tombstoned ids skipped), then overlay inserts
+  /// in bucket order. Entry pages are fetched through the pool (so misses
+  /// are measured I/O). Returns the number of objects visited, or an error
+  /// if a page fetch fails. `ctx` (nullable) bounds the scan: the
+  /// deadline/cancellation is checked at every entry-page boundary, and an
+  /// expired context stops the scan early, returning the objects visited so
+  /// far (not an error) — the caller decides how a partial scan terminates
+  /// the query.
   Result<size_t> ForEachInRange(BucketId lo, BucketId hi,
                                 const std::function<void(ObjectId)>& fn,
                                 const QueryContext* ctx = nullptr) const;
 
-  /// Entries in [lo, hi], answered from the resident directory (no I/O).
+  /// Calls `fn(BucketId, ObjectId)` for every live entry (base run in
+  /// directory order, then overlay), fetching entry pages through the pool.
+  /// Compaction's input: the union of run and delta with tombstones applied.
+  Status ForEachEntry(const std::function<void(BucketId, ObjectId)>& fn) const;
+
+  /// Entries in [lo, hi] (base run + overlay), answered from resident state
+  /// (no I/O). Tombstoned entries still count — see num_entries().
   size_t EntriesInRange(BucketId lo, BucketId hi) const;
+
+  /// Records a dynamic insert in the overlay (kept sorted by bucket,
+  /// insertion-ordered within a bucket — the same scan order the in-memory
+  /// BucketTable produces). Durability is the caller's job (WAL first).
+  void OverlayInsert(BucketId bucket, ObjectId id);
+
+  /// Tombstones `id`: every occurrence (run or overlay) disappears from
+  /// scans. Idempotent.
+  void OverlayDelete(ObjectId id);
+
+  size_t OverlayEntries() const { return overlay_.size(); }
+  size_t NumTombstones() const { return tombstones_.size(); }
 
  private:
   struct DirEntry {
@@ -78,12 +108,17 @@ class DiskBucketTable {
 
   std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
   size_t EntriesPerPage() const { return pool_->page_bytes() / sizeof(ObjectId); }
+  bool IsDeleted(ObjectId id) const;
 
   BufferPool* pool_;  // not owned
   PageId root_ = 0;
   PageId first_entry_page_ = 0;
   size_t num_entries_ = 0;
   std::vector<DirEntry> directory_;
+  /// The in-memory delta: overlay sorted by bucket, tombstones sorted by id.
+  /// Rebuilt from the WAL at open; emptied by compaction.
+  std::vector<std::pair<BucketId, ObjectId>> overlay_;
+  std::vector<ObjectId> tombstones_;
 };
 
 }  // namespace c2lsh

@@ -39,7 +39,8 @@ const FileMetrics& Metrics() {
 // silently misread.
 constexpr uint64_t kPageFileMagicV1 = 0xC25F11E0'0000A001ULL;
 constexpr uint64_t kPageFileMagic = 0xC25F11E0'0000A002ULL;
-constexpr uint32_t kPageFileVersion = 2;
+constexpr uint32_t kPageFileVersionV2 = 2;  ///< pre-user_root slots, still read
+constexpr uint32_t kPageFileVersion = 3;
 
 constexpr size_t kHeaderSlotBytes = 256;
 constexpr size_t kHeaderRegionBytes = 2 * kHeaderSlotBytes;
@@ -55,8 +56,14 @@ struct HeaderFields {
   uint32_t page_bytes;
   uint64_t num_pages;
   uint64_t generation;
+  uint64_t user_root;  ///< v3+; decodes as 0 from a v2 slot
 };
-static_assert(sizeof(HeaderFields) == 32);
+static_assert(sizeof(HeaderFields) == 40);
+
+// A v2 slot checksums only the first five fields (32 bytes); v3 includes
+// user_root (40 bytes). The CRC sits immediately after the checksummed
+// prefix in both layouts.
+constexpr size_t kHeaderPrefixBytesV2 = sizeof(HeaderFields) - sizeof(uint64_t);
 
 void EncodeHeaderSlot(uint8_t* slot, const HeaderFields& h) {
   std::memset(slot, 0, kHeaderSlotBytes);
@@ -65,13 +72,23 @@ void EncodeHeaderSlot(uint8_t* slot, const HeaderFields& h) {
   std::memcpy(slot + sizeof(HeaderFields), &crc, sizeof(crc));
 }
 
-/// Returns true iff `slot` holds a well-formed v2 header.
+/// Returns true iff `slot` holds a well-formed v2 or v3 header.
 bool DecodeHeaderSlot(const uint8_t* slot, HeaderFields* h) {
-  std::memcpy(h, slot, sizeof(*h));
+  std::memset(h, 0, sizeof(*h));
+  std::memcpy(h, slot, kHeaderPrefixBytesV2);  // magic..generation
+  if (h->magic != kPageFileMagic) return false;
+  size_t prefix = 0;
+  if (h->version == kPageFileVersionV2) {
+    prefix = kHeaderPrefixBytesV2;
+  } else if (h->version == kPageFileVersion) {
+    prefix = sizeof(HeaderFields);
+    std::memcpy(&h->user_root, slot + kHeaderPrefixBytesV2, sizeof(h->user_root));
+  } else {
+    return false;
+  }
   uint32_t stored = 0;
-  std::memcpy(&stored, slot + sizeof(HeaderFields), sizeof(stored));
-  if (h->magic != kPageFileMagic || h->version != kPageFileVersion) return false;
-  if (Crc32cUnmask(stored) != Crc32c(slot, sizeof(HeaderFields))) return false;
+  std::memcpy(&stored, slot + prefix, sizeof(stored));
+  if (Crc32cUnmask(stored) != Crc32c(slot, prefix)) return false;
   return h->page_bytes >= kMinPageBytes && h->page_bytes <= kMaxPageBytes;
 }
 
@@ -100,7 +117,7 @@ Result<PageFile> PageFile::Create(const std::string& path, size_t page_bytes,
   }
   C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->NewFile(path));
   PageFile pf(std::move(f), path, page_bytes, 0, /*generation=*/1,
-              /*active_slot=*/0);
+              /*active_slot=*/0, /*user_root=*/0);
   // Slot 0 carries generation 1; slot 1 starts zeroed (invalid) and becomes
   // the target of the first Sync.
   C2LSH_RETURN_IF_ERROR(pf.WriteHeaderSlot(0, 1));
@@ -149,7 +166,8 @@ Result<PageFile> PageFile::Open(const std::string& path, Env* env) {
   }
   const HeaderFields& h = slot[active];
 
-  PageFile pf(std::move(f), path, h.page_bytes, h.num_pages, h.generation, active);
+  PageFile pf(std::move(f), path, h.page_bytes, h.num_pages, h.generation, active,
+              h.user_root);
   C2LSH_ASSIGN_OR_RETURN(uint64_t size, pf.file_->Size());
   const uint64_t need =
       kHeaderRegionBytes + h.num_pages * static_cast<uint64_t>(pf.PhysicalPageBytes());
@@ -166,7 +184,7 @@ Status PageFile::WriteHeaderSlot(int slot, uint64_t generation) {
   uint8_t buf[kHeaderSlotBytes];
   EncodeHeaderSlot(buf, HeaderFields{kPageFileMagic, kPageFileVersion,
                                      static_cast<uint32_t>(page_bytes_), num_pages_,
-                                     generation});
+                                     generation, user_root_});
   return RetryTransient(retry_policy_, &retry_stats_, [&] {
     return file_->WriteAt(slot == 0 ? 0 : kHeaderSlotBytes, buf, sizeof(buf));
   });

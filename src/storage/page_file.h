@@ -3,16 +3,21 @@
 // this file plus the BufferPool on top of it make that mode real (the
 // in-memory mode keeps the analytic PageModel).
 //
-// On-disk layout (format v2 — crash-safe and checksummed):
+// On-disk layout (format v3 — crash-safe and checksummed):
 //
 //   [header slot A: 256 B][header slot B: 256 B]   shadow header pair
 //   [page 1][page 2]...                            data pages
 //
 // Each header slot holds [magic][version][page_bytes][num_pages][generation]
-// [crc32c]. Sync() publishes state by writing the *inactive* slot with a
-// higher generation; Open() picks the valid slot with the highest
+// [user_root][crc32c]. Sync() publishes state by writing the *inactive* slot
+// with a higher generation; Open() picks the valid slot with the highest
 // generation, so a crash that tears a header write loses at most the
-// un-synced tail, never the file. Each data page is stored as
+// un-synced tail, never the file. `user_root` is an opaque u64 the caller
+// owns (DiskC2lshIndex stores its meta-blob root there): because it rides in
+// the header slot it flips atomically with the generation, giving layers
+// above a single-pointer atomic-publish primitive — compaction writes a whole
+// new page tree, then swings user_root in one Sync. v2 files (no user_root
+// field) still open; their user_root reads as 0. Each data page is stored as
 // page_bytes of payload plus an 8-byte footer [masked crc32c][page id], so
 // ReadPage detects torn writes, bit flips, and misdirected writes and
 // reports them as Status::Corruption with page-level context.
@@ -85,19 +90,32 @@ class PageFile {
   /// generation (data before metadata, shadow slot alternation).
   Status Sync();
 
+  /// The caller-owned root pointer published with the header (0 until set).
+  /// After Open this is the last *durably published* value.
+  uint64_t user_root() const { return user_root_; }
+
+  /// Stages a new user root. It becomes durable — atomically, together with
+  /// the page count — at the next Sync(); a crash before that Sync recovers
+  /// the previous value. This is the storage layer's only sanctioned way to
+  /// re-point an index at a rewritten page tree (see lint rule
+  /// `mutation-seam`).
+  void SetUserRoot(uint64_t root) { user_root_ = root; }
+
   /// Retry behavior for transient (Unavailable) env failures.
   void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
   const RetryStats& retry_stats() const { return retry_stats_; }
 
  private:
   PageFile(std::unique_ptr<RandomAccessFile> f, std::string path, size_t page_bytes,
-           uint64_t num_pages, uint64_t generation, int active_slot)
+           uint64_t num_pages, uint64_t generation, int active_slot,
+           uint64_t user_root)
       : file_(std::move(f)),
         path_(std::move(path)),
         page_bytes_(page_bytes),
         num_pages_(num_pages),
         generation_(generation),
-        active_slot_(active_slot) {}
+        active_slot_(active_slot),
+        user_root_(user_root) {}
 
   size_t PhysicalPageBytes() const;
   uint64_t PageOffset(PageId id) const;
@@ -110,6 +128,7 @@ class PageFile {
   uint64_t num_pages_ = 0;
   uint64_t generation_ = 1;  ///< generation of the active header slot
   int active_slot_ = 0;      ///< slot holding the current durable header
+  uint64_t user_root_ = 0;   ///< caller-owned root, published by Sync
   RetryPolicy retry_policy_;
   mutable RetryStats retry_stats_;
   mutable std::vector<uint8_t> scratch_;  ///< payload+footer staging buffer

@@ -1,0 +1,130 @@
+// WriteAheadLog: the delta log that makes online mutation of the disk index
+// crash-safe. Every Insert/Delete is serialized into an LSN-stamped,
+// CRC-framed record and appended here; the index acknowledges the mutation
+// only after Sync() returns, so an acknowledged mutation is durable by
+// definition. On reopen, Replay() walks the log and re-applies the surviving
+// records into the in-memory overlays.
+//
+// On-disk layout (all little-endian host order, like the rest of the
+// library):
+//
+//   [magic u64][version u32][reserved u32]                     16-byte header
+//   [masked crc32c u32][body length u32][body] ...             record frames
+//
+// where body = [lsn u64][type u8][payload]. The CRC covers the whole body,
+// so a torn append (the crash case) fails the frame check and Replay stops
+// there: the torn tail is truncated — subsequent appends overwrite it — and
+// is never applied. LSNs must be strictly increasing; a frame that breaks
+// monotonicity is treated exactly like a corrupt one (stop and truncate).
+// Records with lsn <= the caller's applied_lsn high-water (persisted in the
+// index meta at compaction time) are parsed but skipped, which is what makes
+// replay idempotent across repeated crash/reopen cycles.
+//
+// Reset() — called after compaction has durably folded the log's effects —
+// deletes and recreates the file rather than rewinding a write offset, so a
+// stale-but-valid old tail can never resurrect behind a shorter new log.
+//
+// All I/O goes through the Env seam (util/env.h); transient Unavailable
+// failures are retried with the same bounded backoff as PageFile.
+
+#pragma once
+#ifndef C2LSH_STORAGE_WAL_H_
+#define C2LSH_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/env.h"
+#include "src/util/result.h"
+#include "src/util/retry.h"
+#include "src/vector/types.h"
+
+namespace c2lsh {
+
+/// A single append-only delta log. Move-only (owns the file handle).
+class WriteAheadLog {
+ public:
+  enum class RecordType : uint8_t {
+    kInsert = 1,  ///< payload: [id u32][dim u32][dim floats]
+    kDelete = 2,  ///< payload: [id u32]
+  };
+
+  struct Record {
+    uint64_t lsn = 0;
+    RecordType type = RecordType::kInsert;
+    ObjectId id = 0;
+    std::vector<float> vec;  ///< empty for kDelete
+  };
+
+  struct ReplayStats {
+    uint64_t applied = 0;    ///< records delivered to the callback
+    uint64_t skipped = 0;    ///< records with lsn <= applied_lsn (already folded)
+    uint64_t truncated = 0;  ///< 1 if a torn/corrupt tail was cut off, else 0
+  };
+
+  /// Opens the log at `path`, creating an empty one if the file does not
+  /// exist. An existing file's records are not validated here — call
+  /// Replay() before the first Append (it both applies the survivors and
+  /// positions the append offset at the end of the valid prefix).
+  /// `env` defaults to Env::Default().
+  static Result<WriteAheadLog> Open(std::string path, Env* env = nullptr);
+
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Scans the log from the start. Frames that parse and carry
+  /// lsn > applied_lsn are handed to `fn` in order; frames with
+  /// lsn <= applied_lsn are skipped (already folded into the index by a
+  /// compaction). The scan stops at the first torn, corrupt, or
+  /// LSN-non-monotonic frame; everything from there on is truncated (the
+  /// next Append overwrites it) and never delivered. An error from `fn`
+  /// aborts the replay and is returned.
+  Result<ReplayStats> Replay(uint64_t applied_lsn,
+                             const std::function<Status(const Record&)>& fn);
+
+  /// Appends one record frame at the end of the valid prefix. The record is
+  /// NOT durable (and must not be acknowledged) until Sync() succeeds.
+  /// `rec.lsn` must be strictly greater than every LSN already in the log.
+  Status Append(const Record& rec);
+
+  /// Makes all appended records durable (fsync through the Env seam).
+  Status Sync();
+
+  /// Empties the log by deleting and recreating the file. Call only after
+  /// the log's effects are durably folded elsewhere (compaction publish).
+  Status Reset();
+
+  /// Highest LSN seen by Replay or Append (0 if the log is empty).
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  /// Bytes of valid log (header + surviving frames).
+  uint64_t size_bytes() const { return append_offset_; }
+
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
+ private:
+  WriteAheadLog(std::unique_ptr<RandomAccessFile> f, std::string path, Env* env,
+                uint64_t append_offset)
+      : file_(std::move(f)),
+        path_(std::move(path)),
+        env_(env),
+        append_offset_(append_offset) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+  std::string path_;
+  Env* env_;  // not owned
+  uint64_t append_offset_ = 0;  ///< end of the valid prefix
+  uint64_t last_lsn_ = 0;
+  RetryPolicy retry_policy_;
+  RetryStats retry_stats_;
+  std::vector<uint8_t> scratch_;  ///< frame staging buffer
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_STORAGE_WAL_H_

@@ -1,0 +1,272 @@
+// Crash matrix for online mutation of DiskC2lshIndex.
+//
+// The invariant (docs/ARCHITECTURE.md, "Mutability & recovery invariants"):
+// once Insert/Delete returns OK the mutation is durable — after a crash at
+// ANY write of a mutation workload (WAL appends, compaction page writes,
+// publish), reopening the index shows every acknowledged mutation exactly
+// once. The single mutation in flight at the crash may land in either state
+// (it was never acknowledged); nothing else may change.
+//
+// Visibility is probed by self-query: an object's own vector collides with
+// it in all m tables at R = 1, so a live id must come back at distance 0
+// and a deleted id must never come back at all.
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_index.h"
+#include "src/util/fault_env.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+struct Mutation {
+  WriteAheadLog::RecordType type;
+  ObjectId id;
+};
+
+class MutateCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_mutate_crash_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  /// True iff a self-query for `v` returns `id` (necessarily at distance 0).
+  static bool SelfVisible(const DiskC2lshIndex& idx, ObjectId id, const float* v) {
+    auto r = idx.Query(v, 3);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return false;
+    for (const Neighbor& nb : *r) {
+      if (nb.id == id) {
+        EXPECT_EQ(nb.dist, 0.0f);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// The deterministic mutation workload the sweep tears at every write:
+/// opens the prebuilt index at `path`, inserts, deletes, compacts, and
+/// inserts again (the post-compaction inserts exercise the LSN watermark
+/// across a truncated log). Every mutation acknowledged with OK is appended
+/// to `acked`; the one that failed mid-flight (if any) lands in `limbo`.
+Status RunMutationWorkload(const std::string& path, Env* env, size_t base_n,
+                           const FloatMatrix& extra, std::vector<Mutation>* acked,
+                           std::optional<Mutation>* limbo) {
+  acked->clear();
+  limbo->reset();
+  auto idx = DiskC2lshIndex::Open(path, 64, env);
+  C2LSH_RETURN_IF_ERROR(idx.status());
+
+  auto mutate = [&](Mutation m, Status st) {
+    if (st.ok()) {
+      acked->push_back(m);
+    } else {
+      *limbo = m;
+    }
+    return st;
+  };
+
+  // Phase 1: grow the id space past the built dataset.
+  for (size_t i = 0; i < 4; ++i) {
+    const ObjectId id = static_cast<ObjectId>(base_n + i);
+    C2LSH_RETURN_IF_ERROR(mutate({WriteAheadLog::RecordType::kInsert, id},
+                                 idx->Insert(id, extra.row(i))));
+  }
+  // Phase 2: delete two built objects and one dynamic insert.
+  for (const ObjectId id : {static_cast<ObjectId>(3), static_cast<ObjectId>(17),
+                            static_cast<ObjectId>(base_n + 1)}) {
+    C2LSH_RETURN_IF_ERROR(
+        mutate({WriteAheadLog::RecordType::kDelete, id}, idx->Delete(id)));
+  }
+  // Phase 3: fold everything. Compaction changes no visibility, so it is
+  // not an acked mutation — but every crash inside it is a sweep point.
+  C2LSH_RETURN_IF_ERROR(idx->Compact());
+  // Phase 4: mutate again on top of the truncated log.
+  for (size_t i = 4; i < 6; ++i) {
+    const ObjectId id = static_cast<ObjectId>(base_n + i);
+    C2LSH_RETURN_IF_ERROR(mutate({WriteAheadLog::RecordType::kInsert, id},
+                                 idx->Insert(id, extra.row(i))));
+  }
+  return mutate({WriteAheadLog::RecordType::kDelete, 9}, idx->Delete(9));
+}
+
+TEST_F(MutateCrashTest, MutationCrashSweepKeepsEveryAckedMutationExactlyOnce) {
+  constexpr size_t kBaseN = 100;
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, kBaseN + 8, 2, 101);
+  ASSERT_TRUE(pd.ok());
+  const size_t dim = pd->data.dim();
+
+  // Base dataset = first kBaseN rows; the tail feeds dynamic inserts.
+  std::vector<float> base_rows, extra_rows;
+  for (size_t i = 0; i < pd->data.size(); ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i));
+    auto& target = i < kBaseN ? base_rows : extra_rows;
+    target.insert(target.end(), v, v + dim);
+  }
+  auto base_m = FloatMatrix::FromVector(kBaseN, dim, std::move(base_rows));
+  ASSERT_TRUE(base_m.ok());
+  auto extra = FloatMatrix::FromVector(pd->data.size() - kBaseN, dim,
+                                       std::move(extra_rows));
+  ASSERT_TRUE(extra.ok());
+  auto base = Dataset::Create("base", std::move(base_m).value());
+  ASSERT_TRUE(base.ok());
+
+  C2lshOptions o;
+  o.seed = 103;
+  o.page_bytes = 1024;
+
+  // Build once, cleanly; the sweep restarts from a copy of this image so
+  // only mutation writes are crash points (Build's own sweep lives in
+  // fault_injection_test.cc).
+  FaultInjectionEnv env(Env::Default());
+  const std::string golden = Path("golden.pf");
+  {
+    auto built = DiskC2lshIndex::Build(*base, o, golden, 64,
+                                       /*store_vectors=*/true, &env);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+  }
+
+  const std::string work = Path("work.pf");
+  auto fresh_work = [&] {
+    std::filesystem::copy_file(golden, work,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::remove(work + ".wal");
+  };
+
+  // Dry run measures the workload's write count (the sweep range) and
+  // proves the workload itself is sound.
+  std::vector<Mutation> acked;
+  std::optional<Mutation> limbo;
+  fresh_work();
+  const uint64_t writes_before = env.stats().writes;
+  ASSERT_TRUE(
+      RunMutationWorkload(work, &env, kBaseN, *extra, &acked, &limbo).ok());
+  const uint64_t total_writes = env.stats().writes - writes_before;
+  ASSERT_GT(total_writes, 10u);
+  ASSERT_EQ(acked.size(), 10u);
+  ASSERT_FALSE(limbo.has_value());
+
+  for (uint64_t n = 1; n <= total_writes; ++n) {
+    SCOPED_TRACE("crash at mutation write " + std::to_string(n) + " of " +
+                 std::to_string(total_writes));
+    fresh_work();
+    env.ClearCrash();
+    env.SetCrashAfterWrites(static_cast<int64_t>(n));
+    Status st = RunMutationWorkload(work, &env, kBaseN, *extra, &acked, &limbo);
+    ASSERT_FALSE(st.ok());  // deterministic workload: the crash must hit
+    ASSERT_TRUE(env.crashed());
+    env.ClearCrash();  // "restart the process"
+
+    // The base image was fully published before the mutations began, so
+    // recovery must ALWAYS succeed here — a failed Open would mean a torn
+    // mutation damaged the published image.
+    auto idx = DiskC2lshIndex::Open(work, 64, &env);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+
+    // Fold the acked history into expected visibility.
+    std::set<ObjectId> expect_live, expect_dead;
+    for (const Mutation& m : acked) {
+      if (m.type == WriteAheadLog::RecordType::kInsert) {
+        expect_live.insert(m.id);
+        expect_dead.erase(m.id);
+      } else {
+        expect_dead.insert(m.id);
+        expect_live.erase(m.id);
+      }
+    }
+
+    auto vector_of = [&](ObjectId id) -> const float* {
+      return id < kBaseN ? pd->data.object(id) : extra->row(id - kBaseN);
+    };
+    for (const ObjectId id : expect_live) {
+      if (limbo.has_value() && limbo->id == id) continue;  // either state ok
+      EXPECT_TRUE(SelfVisible(*idx, id, vector_of(id))) << "lost insert " << id;
+    }
+    for (const ObjectId id : expect_dead) {
+      if (limbo.has_value() && limbo->id == id) continue;
+      EXPECT_FALSE(SelfVisible(*idx, id, vector_of(id)))
+          << "resurrected delete " << id;
+    }
+    // A base object untouched by the workload must always survive.
+    EXPECT_TRUE(SelfVisible(*idx, 42, pd->data.object(42)));
+
+    // Exactly once: a second recovery replays nothing extra — same overlay
+    // and tombstone footprint, same WAL tail, same answers.
+    auto again = DiskC2lshIndex::Open(work, 64, &env);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->num_objects(), idx->num_objects());
+    EXPECT_EQ(again->OverlayEntries(), idx->OverlayEntries());
+    EXPECT_EQ(again->NumTombstones(), idx->NumTombstones());
+    EXPECT_EQ(again->applied_lsn(), idx->applied_lsn());
+    EXPECT_EQ(again->wal_last_lsn(), idx->wal_last_lsn());
+  }
+}
+
+// Direct regression for the LSN watermark across compaction + reopen: the
+// log is truncated by Compact while applied_lsn stays high; a fresh insert
+// in a new process must stamp an LSN past the watermark or the next replay
+// silently drops it.
+TEST_F(MutateCrashTest, InsertAfterCompactAndReopenSurvivesNextReplay) {
+  constexpr size_t kBaseN = 60;
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, kBaseN + 2, 1, 107);
+  ASSERT_TRUE(pd.ok());
+  const size_t dim = pd->data.dim();
+  std::vector<float> base_rows;
+  for (size_t i = 0; i < kBaseN; ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i));
+    base_rows.insert(base_rows.end(), v, v + dim);
+  }
+  auto base_m = FloatMatrix::FromVector(kBaseN, dim, std::move(base_rows));
+  ASSERT_TRUE(base_m.ok());
+  auto base = Dataset::Create("base", std::move(base_m).value());
+  ASSERT_TRUE(base.ok());
+  const float* va = pd->data.object(static_cast<ObjectId>(kBaseN));
+  const float* vb = pd->data.object(static_cast<ObjectId>(kBaseN + 1));
+
+  C2lshOptions o;
+  o.seed = 109;
+  o.page_bytes = 1024;
+  const std::string path = Path("lsn.pf");
+  {
+    auto idx = DiskC2lshIndex::Build(*base, o, path, 64, true);
+    ASSERT_TRUE(idx.ok());
+    ASSERT_TRUE(idx->Insert(static_cast<ObjectId>(kBaseN), va).ok());
+    ASSERT_TRUE(idx->Compact().ok());
+    EXPECT_GT(idx->applied_lsn(), 0u);  // watermark advanced past the fold
+  }
+  {
+    // New process: WAL is empty, watermark is high. Insert B.
+    auto idx = DiskC2lshIndex::Open(path, 64);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    ASSERT_TRUE(idx->Insert(static_cast<ObjectId>(kBaseN + 1), vb).ok());
+    EXPECT_GT(idx->wal_last_lsn(), idx->applied_lsn());
+  }
+  // Third process: B's record must replay (not be skipped under the
+  // watermark) and A must still be folded in the base image.
+  auto idx = DiskC2lshIndex::Open(path, 64);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  EXPECT_EQ(idx->num_objects(), kBaseN + 2);
+  EXPECT_TRUE(SelfVisible(*idx, static_cast<ObjectId>(kBaseN), va));
+  EXPECT_TRUE(SelfVisible(*idx, static_cast<ObjectId>(kBaseN + 1), vb));
+  EXPECT_EQ(idx->OverlayEntries(), idx->num_tables());  // B once per table
+}
+
+}  // namespace
+}  // namespace c2lsh

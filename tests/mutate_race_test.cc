@@ -1,0 +1,170 @@
+// Concurrent mutation stress for the TSan race lane: reader threads hammer
+// an in-memory C2lshIndex through per-thread Searchers while one writer
+// thread interleaves Insert / Delete / Compact. The contract under test
+// (core/index.h): queries run on pinned snapshots, never block on
+// compaction, and always return genuine results — real ids with their exact
+// distances — even while the table versions churn underneath them.
+//
+// Which objects a query sees depends on the snapshot it pinned, so the
+// assertions check genuineness (every neighbor is a live-or-recently-live id
+// at its true distance), not set equality; the deterministic final state is
+// checked after the writer joins.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/util/mutex.h"  // cross-thread state regime (thread-header lint)
+#include "src/vector/distance.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+constexpr size_t kBaseN = 600;
+constexpr size_t kExtra = 60;  // ids inserted (and partially deleted) live
+constexpr size_t kReaders = 3;
+constexpr size_t kReaderRounds = 40;
+constexpr size_t kK = 10;
+
+TEST(MutateRaceTest, QueriesStayGenuineUnderConcurrentMutation) {
+  // The dataset carries base + future-insert rows so reader verification can
+  // resolve any id the index may surface mid-mutation.
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, kBaseN + kExtra, 6, 307);
+  ASSERT_TRUE(pd.ok());
+  const size_t dim = pd->data.dim();
+
+  std::vector<float> head;
+  for (size_t i = 0; i < kBaseN; ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i));
+    head.insert(head.end(), v, v + dim);
+  }
+  auto base_m = FloatMatrix::FromVector(kBaseN, dim, std::move(head));
+  ASSERT_TRUE(base_m.ok());
+  auto base = Dataset::Create("base", std::move(base_m).value());
+  ASSERT_TRUE(base.ok());
+
+  C2lshOptions o;
+  o.seed = 311;
+  auto index = C2lshIndex::Build(*base, o);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      C2lshIndex::Searcher searcher(&*index);
+      for (size_t round = 0; round < kReaderRounds && !failed.load(); ++round) {
+        const size_t q = (t + round) % pd->queries.num_rows();
+        auto r = searcher.Query(pd->data, pd->queries.row(q), kK);
+        if (!r.ok()) {
+          failed.store(true);
+          ADD_FAILURE() << "reader " << t << ": " << r.status().ToString();
+          return;
+        }
+        for (const Neighbor& nb : *r) {
+          if (nb.id >= pd->data.size() ||
+              nb.dist != static_cast<float>(
+                             L2(pd->queries.row(q), pd->data.object(nb.id), dim))) {
+            failed.store(true);
+            ADD_FAILURE() << "reader " << t << ": fabricated neighbor id "
+                          << nb.id << " dist " << nb.dist;
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    // Grow, prune, fold — repeatedly, so readers race every publication
+    // path: overlay insert, tombstone, and whole-table COW swap.
+    for (size_t i = 0; i < kExtra; ++i) {
+      const ObjectId id = static_cast<ObjectId>(kBaseN + i);
+      ASSERT_TRUE(index->Insert(id, pd->data.object(id)).ok());
+      if (i % 3 == 1) {
+        ASSERT_TRUE(index->Delete(static_cast<ObjectId>(kBaseN + i - 1)).ok());
+      }
+      if (i % 10 == 9) index->Compact();
+    }
+    index->Compact();
+  });
+
+  writer.join();
+  for (auto& th : readers) th.join();
+  ASSERT_FALSE(failed.load());
+
+  // Deterministic end state: the last insert is live, so the high-water
+  // covers every extra id even after the final compaction.
+  EXPECT_EQ(index->num_objects(), kBaseN + kExtra);
+  // A surviving insert is findable at distance 0; a deleted one never is.
+  const ObjectId live = static_cast<ObjectId>(kBaseN + kExtra - 1);
+  auto r = index->Query(pd->data, pd->data.object(live), 3);
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (const Neighbor& nb : *r) found |= (nb.id == live && nb.dist == 0.0f);
+  EXPECT_TRUE(found);
+  const ObjectId dead = static_cast<ObjectId>(kBaseN + 0);  // deleted at i=1
+  auto rd = index->Query(pd->data, pd->data.object(dead), 3);
+  ASSERT_TRUE(rd.ok());
+  for (const Neighbor& nb : *rd) EXPECT_NE(nb.id, dead);
+}
+
+// Compaction concurrent with a long reader: the reader's pinned snapshot
+// stays valid across repeated Compact() calls (the COW swap must not free
+// table state a snapshot still references).
+TEST(MutateRaceTest, SnapshotOutlivesRepeatedCompaction) {
+  constexpr size_t kN = 400;
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, kN, 4, 313);
+  ASSERT_TRUE(pd.ok());
+  const size_t dim = pd->data.dim();
+
+  // The index is built over the first kN rows, but queries must pass a
+  // dataset covering every id the churner may make live — one extra row.
+  std::vector<float> rows;
+  for (size_t i = 0; i <= kN; ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i % kN));
+    rows.insert(rows.end(), v, v + dim);
+  }
+  auto wide_m = FloatMatrix::FromVector(kN + 1, dim, std::move(rows));
+  ASSERT_TRUE(wide_m.ok());
+  auto wide = Dataset::Create("wide", std::move(wide_m).value());
+  ASSERT_TRUE(wide.ok());
+
+  C2lshOptions o;
+  o.seed = 317;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    const ObjectId next = static_cast<ObjectId>(kN);
+    while (!stop.load()) {
+      // Insert/delete the same id over and over: every cycle dirties all
+      // m tables, so each Compact below rebuilds and republishes them.
+      ASSERT_TRUE(index->Insert(next, wide->object(next)).ok());
+      ASSERT_TRUE(index->Delete(next).ok());
+      index->Compact();
+    }
+  });
+
+  C2lshIndex::Searcher searcher(&*index);
+  for (size_t round = 0; round < 60; ++round) {
+    const size_t q = round % pd->queries.num_rows();
+    auto r = searcher.Query(*wide, pd->queries.row(q), 5);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const Neighbor& nb : *r) {
+      ASSERT_LT(nb.id, kN + 1);
+    }
+  }
+  stop.store(true);
+  churner.join();
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -196,5 +196,66 @@ TEST_F(PageFileTest, IOErrorsCarryErrnoContext) {
   EXPECT_NE(msg.find("errno"), std::string::npos) << msg;
 }
 
+
+TEST_F(PageFileTest, UserRootPublishedBySyncAndSurvivesReopen) {
+  const std::string path = Path("root.pf");
+  {
+    auto f = PageFile::Create(path, 256);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f->user_root(), 0u);  // fresh files carry no root
+    auto id = f->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> buf(256, 0x11);
+    ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+    f->SetUserRoot(0xABCD1234u);
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  auto f = PageFile::Open(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->user_root(), 0xABCD1234u);
+
+  // Swing it again: the new value replaces the old one atomically with the
+  // generation bump.
+  f->SetUserRoot(0x5555u);
+  ASSERT_TRUE(f->Sync().ok());
+  auto again = PageFile::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->user_root(), 0x5555u);
+}
+
+TEST_F(PageFileTest, UserRootCrashBeforeSyncKeepsPreviousRoot) {
+  // The atomic-publish primitive the disk index's compaction leans on: a
+  // staged SetUserRoot must be invisible until its Sync completes — a torn
+  // header write recovers the PREVIOUS root, never a half-published one.
+  const std::string path = Path("root_crash.pf");
+  FaultInjectionEnv env(Env::Default());
+  {
+    auto f = PageFile::Create(path, 256, &env);
+    ASSERT_TRUE(f.ok());
+    auto id = f->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    std::vector<uint8_t> buf(256, 0x22);
+    ASSERT_TRUE(f->WritePage(id.value(), buf.data()).ok());
+    f->SetUserRoot(1111);
+    ASSERT_TRUE(f->Sync().ok());  // root 1111 published
+
+    f->SetUserRoot(2222);
+    env.SetCrashAfterWrites(1);  // tear the header-slot write of this Sync
+    env.SetTornBytes(8);
+    EXPECT_FALSE(f->Sync().ok());
+  }
+  env.ClearCrash();
+  auto f = PageFile::Open(path, &env);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->user_root(), 1111u);
+
+  // The recovered file can stage and publish the root it lost.
+  f->SetUserRoot(2222);
+  ASSERT_TRUE(f->Sync().ok());
+  auto again = PageFile::Open(path, &env);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->user_root(), 2222u);
+}
+
 }  // namespace
 }  // namespace c2lsh

@@ -12,6 +12,9 @@
 #   deadline  ctest -L deadline in the default tree — deadline, cancellation
 #             and admission-control behavior (the same tests also run under
 #             TSan via the race label)
+#   mutate    ctest -L mutate in the default tree — WAL durability, crash
+#             replay, and mutate/build equivalence (the concurrent-mutation
+#             tests also run under TSan via the race label)
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -102,6 +105,13 @@ deadline_lane() {  # reuses the default lane's tree
     -L deadline
 }
 run_lane deadline deadline_lane
+
+# --- mutate (online mutability: WAL, replay recovery, equivalence) ---------
+mutate_lane() {  # reuses the default lane's tree
+  ctest --test-dir build-check/default --output-on-failure -j "${JOBS}" \
+    -L mutate
+}
+run_lane mutate mutate_lane
 
 if [[ "${FAST}" -eq 0 ]]; then
   # --- forced-scalar build (no SIMD translation units at all) --------------

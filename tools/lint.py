@@ -33,6 +33,14 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     cancelled and wrecks deadline budgets. Waits belong on a
                     condition variable (wakeable) or in the deadline-aware
                     retry loop; tests may sleep freely.
+  mutation-seam     the page-mutation primitives (WritePage, AllocatePage,
+                    SetUserRoot) may be called only inside src/storage/ and
+                    the compaction/publish seam src/core/disk_index.cc —
+                    everywhere else in src/, index state changes must flow
+                    through the WAL-backed Insert/Delete/Compact path so a
+                    bucket run or page header is never rewritten behind the
+                    crash-recovery protocol's back. Tests and tools are
+                    exempt (they tear state on purpose).
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -111,6 +119,17 @@ RAW_SLEEP_ALLOWED_FILES = {
     os.path.join("src", "util", "timer.h"),
 }
 RAW_SLEEP_SCOPE_PREFIX = "src" + os.sep
+
+# Direct page mutation is confined to the storage layer plus the disk
+# index's compaction/publish seam; everything else goes through the
+# WAL-backed mutation path (see docs/ARCHITECTURE.md, "Mutability & recovery
+# invariants").
+MUTATION_SEAM = re.compile(r"(?:->|\.)\s*(?:WritePage|AllocatePage|SetUserRoot)\s*\(")
+MUTATION_SEAM_ALLOWED_PREFIX = os.path.join("src", "storage") + os.sep
+MUTATION_SEAM_ALLOWED_FILES = {
+    os.path.join("src", "core", "disk_index.cc"),
+}
+MUTATION_SEAM_SCOPE_PREFIX = "src" + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -258,6 +277,16 @@ def lint_file(path, rel, status_names, errors):
                 "banned in library code — it cannot be cancelled and blows "
                 "deadline budgets; wait on a condition variable or go through "
                 "the deadline-aware retry loop (src/util/retry.h)")
+        if (MUTATION_SEAM.search(code) and
+                rel.startswith(MUTATION_SEAM_SCOPE_PREFIX) and
+                not rel.startswith(MUTATION_SEAM_ALLOWED_PREFIX) and
+                rel not in MUTATION_SEAM_ALLOWED_FILES and
+                not allowed("mutation-seam")):
+            errors.append(
+                f"{rel}:{lineno}: [mutation-seam] direct page mutation "
+                "(WritePage/AllocatePage/SetUserRoot) is confined to "
+                "src/storage/ and src/core/disk_index.cc — route index "
+                "changes through the WAL-backed Insert/Delete/Compact seam")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "
