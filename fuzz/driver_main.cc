@@ -1,0 +1,196 @@
+// Standalone fuzz driver: a libFuzzer-shaped harness runner for toolchains
+// without -fsanitize=fuzzer (GCC). It links against the same
+// LLVMFuzzerTestOneInput entry point the real libFuzzer would, so a harness
+// compiles unchanged under either driver; what it lacks is coverage
+// feedback — mutation here is blind, seeded, and deterministic.
+//
+// Modes (combinable, libFuzzer-compatible flag names where they exist):
+//
+//   driver CORPUS...                      replay every file/dir once (regression mode)
+//   driver -max_total_time=N CORPUS...    + N seconds of seeded mutation of the corpus
+//   driver -runs=N CORPUS...              + exactly N mutated runs
+//   driver -seed=S ...                    PRNG seed (default 20120817 — deterministic
+//                                         runs are what makes a CI failure replayable;
+//                                         the failing input is dumped to a file)
+//
+// Any abort/sanitizer report kills the process non-zero, which is what the
+// check.sh fuzz lane treats as failure.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+using Bytes = std::vector<uint8_t>;
+
+// xorshift64*: tiny, deterministic, and plenty for blind mutation.
+uint64_t g_rng_state = 20120817;  // SIGMOD'12 venue date — arbitrary, stable
+uint64_t NextRand() {
+  uint64_t x = g_rng_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  g_rng_state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+Bytes ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+void CollectCorpus(const std::string& arg, std::vector<Bytes>* corpus,
+                   std::vector<std::string>* names) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    std::vector<std::string> paths;
+    for (const auto& e : fs::directory_iterator(arg, ec)) {
+      if (e.is_regular_file()) paths.push_back(e.path().string());
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic replay order
+    for (const auto& p : paths) {
+      corpus->push_back(ReadFileBytes(p));
+      names->push_back(p);
+    }
+  } else {
+    corpus->push_back(ReadFileBytes(arg));
+    names->push_back(arg);
+  }
+}
+
+constexpr size_t kMaxLen = 1 << 20;
+const uint64_t kInteresting[] = {0,    1,        0x7F,       0xFF,
+                                 256,  0xFFFF,   0x7FFFFFFF, 0xFFFFFFFF,
+                                 ~0ULL};
+
+// One blind mutation step. The menu mirrors libFuzzer's basics: bit flips,
+// byte sets, interesting-value overwrites, truncation/extension, and cross-
+// corpus splices (the splice is what stitches valid headers onto torn
+// bodies, which is how most of the parser branches get reached without
+// coverage feedback).
+void MutateOnce(Bytes* b, const std::vector<Bytes>& corpus) {
+  switch (NextRand() % 6) {
+    case 0:  // bit flip
+      if (!b->empty()) (*b)[NextRand() % b->size()] ^= 1u << (NextRand() % 8);
+      break;
+    case 1:  // byte set
+      if (!b->empty()) {
+        (*b)[NextRand() % b->size()] = static_cast<uint8_t>(NextRand());
+      }
+      break;
+    case 2: {  // overwrite 1/2/4/8 bytes with an interesting value
+      const size_t w = size_t{1} << (NextRand() % 4);
+      if (b->size() >= w) {
+        const size_t at = NextRand() % (b->size() - w + 1);
+        const uint64_t v =
+            kInteresting[NextRand() % (sizeof(kInteresting) / sizeof(uint64_t))];
+        std::memcpy(b->data() + at, &v, w);
+      }
+      break;
+    }
+    case 3:  // truncate — the crash-tail case the WAL/PageFile formats defend
+      if (!b->empty()) b->resize(NextRand() % b->size());
+      break;
+    case 4: {  // extend with random bytes
+      const size_t add = NextRand() % 64;
+      if (b->size() + add <= kMaxLen) {
+        for (size_t i = 0; i < add; ++i) {
+          b->push_back(static_cast<uint8_t>(NextRand()));
+        }
+      }
+      break;
+    }
+    case 5: {  // splice: overwrite a window with a chunk of another input
+      if (corpus.empty()) break;
+      const Bytes& other = corpus[NextRand() % corpus.size()];
+      if (other.empty() || b->empty()) break;
+      const size_t len =
+          1 + NextRand() % std::min(other.size(), b->size());
+      const size_t src = NextRand() % (other.size() - len + 1);
+      const size_t dst = NextRand() % (b->size() - len + 1);
+      std::memcpy(b->data() + dst, other.data() + src, len);
+      break;
+    }
+  }
+}
+
+// The input that is about to run, dumped on the way IN so an abort or
+// sanitizer kill still leaves the reproducer on disk.
+void DumpPendingInput(const Bytes& b) {
+  std::ofstream out("fuzz-last-input.bin",
+                    std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t max_seconds = 0;
+  std::vector<Bytes> corpus;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(a.c_str() + 6, nullptr, 10);
+    } else if (a.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::strtoull(a.c_str() + 16, nullptr, 10);
+    } else if (a.rfind("-seed=", 0) == 0) {
+      g_rng_state = std::strtoull(a.c_str() + 6, nullptr, 10) | 1;
+    } else if (a.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return 2;
+    } else {
+      CollectCorpus(a, &corpus, &names);
+    }
+  }
+
+  // Regression pass: every corpus entry exactly once.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    DumpPendingInput(corpus[i]);
+    LLVMFuzzerTestOneInput(corpus[i].data(), corpus[i].size());
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  if (runs == 0 && max_seconds == 0) {
+    std::remove("fuzz-last-input.bin");
+    return 0;
+  }
+
+  const std::time_t deadline =
+      max_seconds > 0 ? std::time(nullptr) + static_cast<std::time_t>(max_seconds)
+                      : 0;
+  uint64_t executed = 0;
+  Bytes input;
+  for (;;) {
+    if (runs > 0 && executed >= runs) break;
+    if (deadline != 0 && std::time(nullptr) >= deadline) break;
+
+    input = corpus.empty() ? Bytes() : corpus[NextRand() % corpus.size()];
+    const size_t steps = 1 + NextRand() % 8;
+    for (size_t s = 0; s < steps; ++s) MutateOnce(&input, corpus);
+    if (input.size() > kMaxLen) input.resize(kMaxLen);
+
+    DumpPendingInput(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::fprintf(stderr, "executed %llu mutated runs (no crash)\n",
+               static_cast<unsigned long long>(executed));
+  std::remove("fuzz-last-input.bin");
+  return 0;
+}

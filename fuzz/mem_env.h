@@ -1,0 +1,111 @@
+// MemEnv: an in-memory Env for the fuzz harnesses. Every fuzz iteration
+// plants the input bytes as a "file" and lets the parser under test read it
+// through the same Env seam production uses — no disk I/O, no tmpfile
+// cleanup, and a fresh filesystem per iteration so corpus entries cannot
+// contaminate each other.
+//
+// Unlike FaultInjectionEnv this never injects failures: a Status escaping a
+// parser here is a verdict about the input bytes alone, which is what lets
+// the harnesses abort() on broken round-trip invariants (append-after-replay,
+// save-after-load) without false positives.
+
+#pragma once
+#ifndef C2LSH_FUZZ_MEM_ENV_H_
+#define C2LSH_FUZZ_MEM_ENV_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/env.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+namespace fuzz {
+
+/// A RandomAccessFile over a shared byte vector. The vector is shared with
+/// the owning MemEnv so reopening a path sees earlier writes (the reopen
+/// round-trips in the harnesses depend on this).
+class MemFile final : public RandomAccessFile {
+ public:
+  explicit MemFile(std::shared_ptr<std::vector<uint8_t>> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  Status ReadAt(uint64_t offset, void* buf, size_t n,
+                size_t* bytes_read) const override {
+    *bytes_read = 0;
+    if (offset >= bytes_->size()) return Status::OK();  // short read at EOF
+    const size_t avail = static_cast<size_t>(bytes_->size() - offset);
+    const size_t take = n < avail ? n : avail;
+    std::memcpy(buf, bytes_->data() + offset, take);
+    *bytes_read = take;
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* buf, size_t n) override {
+    if (offset + n > bytes_->size()) bytes_->resize(offset + n, 0);
+    std::memcpy(bytes_->data() + offset, buf, n);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Result<uint64_t> Size() const override {
+    return static_cast<uint64_t>(bytes_->size());
+  }
+
+ private:
+  std::shared_ptr<std::vector<uint8_t>> bytes_;
+};
+
+/// Path -> bytes map implementing the full Env factory surface.
+class MemEnv final : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewFile(
+      const std::string& path) override {
+    auto bytes = std::make_shared<std::vector<uint8_t>>();
+    files_[path] = bytes;
+    std::unique_ptr<RandomAccessFile> f =
+        std::make_unique<MemFile>(std::move(bytes));
+    return f;
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> OpenFile(
+      const std::string& path) override {
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::IOError("MemEnv: no such file: " + path);
+    }
+    std::unique_ptr<RandomAccessFile> f = std::make_unique<MemFile>(it->second);
+    return f;
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return files_.count(path) != 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (files_.erase(path) == 0) {
+      return Status::IOError("MemEnv: no such file: " + path);
+    }
+    return Status::OK();
+  }
+
+  /// Plants `n` bytes at `path` — how each harness injects the fuzz input.
+  void SetFileBytes(const std::string& path, const uint8_t* data, size_t n) {
+    files_[path] =
+        std::make_shared<std::vector<uint8_t>>(data, data + n);
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<std::vector<uint8_t>>> files_;
+};
+
+}  // namespace fuzz
+}  // namespace c2lsh
+
+#endif  // C2LSH_FUZZ_MEM_ENV_H_

@@ -1,0 +1,41 @@
+// Fuzz target: LoadIndex over attacker-controlled bytes.
+//
+// The index file carries length-prefixed sections (per-function projection
+// rows, per-table pair counts) whose sizes the parser must bound-check
+// against the actual file before allocating or reading — a forged
+// num_objects or pair count must fail cleanly, not allocate terabytes or
+// read past the buffer. The trailing crc32c rejects random mutation quickly,
+// so most coverage of the field parsers comes from truncations of valid
+// seeds (short reads hit every section boundary).
+//
+// When LoadIndex accepts the input, the save/load round trip must close:
+// SaveIndex on the loaded index followed by LoadIndex must succeed on a
+// fault-free Env. A failure there means load accepted parameters that save
+// cannot re-serialize — abort().
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "fuzz/mem_env.h"
+#include "src/core/serialize.h"
+
+namespace {
+constexpr size_t kMaxInput = 1 << 20;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+
+  c2lsh::fuzz::MemEnv env;
+  env.SetFileBytes("index.bin", data, size);
+
+  auto loaded = c2lsh::LoadIndex("index.bin", &env);
+  if (!loaded.ok()) return 0;  // Corruption/NotSupported — a valid outcome
+
+  if (!c2lsh::SaveIndex("resaved.bin", &loaded.value(), &env).ok()) {
+    std::abort();
+  }
+  auto reloaded = c2lsh::LoadIndex("resaved.bin", &env);
+  if (!reloaded.ok()) std::abort();
+  return 0;
+}

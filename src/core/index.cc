@@ -447,8 +447,8 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
 }
 
 Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* query,
-                                            double radius,
-                                            C2lshQueryStats* stats) const {
+                                            double radius, C2lshQueryStats* stats,
+                                            const QueryContext* ctx) const {
   if (!(radius > 0.0)) {
     return Status::InvalidArgument("RangeQuery: radius must be positive");
   }
@@ -494,15 +494,31 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   const uint64_t vector_pages = page_model_.PagesPerVector(dim_);
   st->index_pages += tables_.size();
 
+  // Same cooperative-stop shape as RunQuery: cancellation is an acquire load
+  // polled every increment, the clock only every kCheckIntervalMask+1.
+  Termination early_stop = Termination::kNone;
+
   auto scan_range = [&](const BucketTable::Snapshot& table, const BucketRange& range) {
-    if (range.empty()) return;
+    if (range.empty() || early_stop != Termination::kNone) return;
     const size_t range_entries = table.EntriesInRange(range.lo, range.hi);
     if (range_entries > 0) {
       st->index_pages += page_model_.PagesForEntries(range_entries, sizeof(ObjectId));
     }
     const size_t visited = table.ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
       if (static_cast<size_t>(id) >= n) return;  // inserted after this query started
+      if (early_stop != Termination::kNone) return;
       ++st->collision_increments;
+      if (ctx != nullptr) {
+        if (ctx->cancelled()) {
+          early_stop = Termination::kCancelled;
+          return;
+        }
+        if ((st->collision_increments & QueryContext::kCheckIntervalMask) == 0 &&
+            ctx->deadline.Expired()) {
+          early_stop = Termination::kDeadline;
+          return;
+        }
+      }
       if (verified[id] != 0) return;
       if (counter.Increment(id) == l) {
         verified[id] = 1;
@@ -531,6 +547,14 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
       scan_range(snaps[i], delta.left);
       scan_range(snaps[i], delta.right);
       prev[i] = next;
+    }
+    // Round boundary: also the page-budget checkpoint.
+    if (ctx != nullptr && early_stop == Termination::kNone) {
+      early_stop = ctx->Check(st->total_pages());
+    }
+    if (early_stop != Termination::kNone) {
+      st->termination = early_stop;
+      break;
     }
     if (static_cast<double>(R) >= radius || R > radius_cap_) break;
     R *= c_int;
@@ -580,7 +604,8 @@ Result<std::vector<NeighborList>> C2lshIndex::BatchQuery(const Dataset& data,
 }
 
 Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* query,
-                                           long long R, C2lshQueryStats* stats) const {
+                                           long long R, C2lshQueryStats* stats,
+                                           const QueryContext* ctx) const {
   if (R <= 0) return Status::InvalidArgument("DecisionQuery: R must be positive");
   if (data.dim() != dim_) {
     return Status::InvalidArgument("DecisionQuery: dataset dim mismatch");
@@ -613,8 +638,11 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
   Neighbor best{0, std::numeric_limits<float>::infinity()};
   bool have_hit = false;
   size_t verified = 0;
+  Termination early_stop = Termination::kNone;
 
-  for (size_t i = 0; i < tables_.size() && !have_hit && verified < fp_budget; ++i) {
+  for (size_t i = 0; i < tables_.size() && !have_hit && verified < fp_budget &&
+                     early_stop == Termination::kNone;
+       ++i) {
     const BucketRange range = IntervalForRadius(qbuckets[i], R);
     ++st->index_pages;  // per-table descent
     const size_t range_entries = snaps[i].EntriesInRange(range.lo, range.hi);
@@ -624,7 +652,15 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
     snaps[i].ForEachInRange(range.lo, range.hi, [&](ObjectId id) {
       if (static_cast<size_t>(id) >= n) return;  // inserted after this query started
       ++st->collision_increments;
-      if (have_hit || verified >= fp_budget) return;
+      if (ctx != nullptr && early_stop == Termination::kNone) {
+        if (ctx->cancelled()) {
+          early_stop = Termination::kCancelled;
+        } else if ((st->collision_increments & QueryContext::kCheckIntervalMask) == 0 &&
+                   ctx->deadline.Expired()) {
+          early_stop = Termination::kDeadline;
+        }
+      }
+      if (have_hit || verified >= fp_budget || early_stop != Termination::kNone) return;
       if (counter.Increment(id) == l) {
         const double dist = L2(query, data.object(id), dim_);
         ++verified;
@@ -638,7 +674,14 @@ Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* que
     });
   }
   st->buckets_scanned = st->collision_increments;
+  if (early_stop != Termination::kNone) st->termination = early_stop;
   if (have_hit) return best;
+  if (IsEarlyStop(early_stop)) {
+    // Interrupted before a hit surfaced: NOT a verified "no" — the stats
+    // carry kDeadline/kCancelled so callers can tell the two apart.
+    return Status::NotFound("decision query stopped early (deadline/cancel) at radius " +
+                            std::to_string(R));
+  }
   return Status::NotFound("no object within distance c*R surfaced at radius " +
                           std::to_string(R));
 }

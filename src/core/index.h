@@ -154,16 +154,25 @@ class C2lshIndex {
   /// <= radius collides >= l times once R >= radius w.h.p.). Results are
   /// sorted ascending by exact distance; false positives are filtered by
   /// verification, so precision is exact. Shares the convenience scratch
-  /// (see Query for the concurrency contract).
+  /// (see Query for the concurrency contract). `ctx`, when non-null, applies
+  /// the deadline/cancellation contract: the scan polls at the standard
+  /// cadence and stops with partial results, recording
+  /// stats->termination = kDeadline / kCancelled.
   Result<NeighborList> RangeQuery(const Dataset& data, const float* query, double radius,
-                                  C2lshQueryStats* stats = nullptr) const;
+                                  C2lshQueryStats* stats = nullptr,
+                                  const QueryContext* ctx = nullptr) const;
 
   /// The (R, c)-NN decision primitive (Definition 2.2 of the LSH
   /// literature): a single round at fixed radius R. Returns a verified
   /// object within distance c*R if the round surfaces one, NotFound
   /// otherwise (which is a correct answer whenever no object lies within R).
+  /// `ctx`, when non-null, applies the deadline/cancellation contract: an
+  /// interrupted scan records stats->termination = kDeadline / kCancelled,
+  /// and a NotFound returned after an interruption is *not* a verified "no"
+  /// — callers that care must check the stats.
   Result<Neighbor> DecisionQuery(const Dataset& data, const float* query, long long R,
-                                 C2lshQueryStats* stats = nullptr) const;
+                                 C2lshQueryStats* stats = nullptr,
+                                 const QueryContext* ctx = nullptr) const;
 
   /// Collision counts of every object against `query` at exactly radius R —
   /// the quantity properties P1/P2 speak about. For property tests and the

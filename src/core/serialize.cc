@@ -68,9 +68,23 @@ class Writer {
 };
 
 /// Buffered sequential reader; mirrors Writer's checksum accounting.
+/// Constructed with the file's size so length fields parsed from the (still
+/// unverified) stream can be sanity-bounded BEFORE anything is allocated —
+/// the checksum trailer only proves integrity after the whole file is read,
+/// so it cannot defend the parser against a forged multi-terabyte count.
 class Reader {
  public:
-  explicit Reader(RandomAccessFile* f) : f_(f) {}
+  Reader(RandomAccessFile* f, uint64_t file_size) : f_(f), size_(file_size) {}
+
+  /// Bytes the file can still supply (buffered + unread). Any section that
+  /// claims to need more than this is corrupt, however plausible its count
+  /// field looks.
+  uint64_t RemainingBytes() const {
+    // Defensive max(0): a concurrently truncated file must degrade to "no
+    // bytes left", not underflow.
+    const uint64_t unread = size_ > offset_ ? size_ - offset_ : 0;
+    return unread + (avail_ - pos_);
+  }
 
   template <typename T>
   bool Get(T* v) {
@@ -115,6 +129,7 @@ class Reader {
 
   RandomAccessFile* f_;
   uint64_t offset_ = 0;
+  uint64_t size_ = 0;
   std::vector<uint8_t> buf_;
   size_t pos_ = 0;
   size_t avail_ = 0;
@@ -176,7 +191,8 @@ Status SaveIndex(const std::string& path, C2lshIndex* index, Env* env) {
 Result<C2lshIndex> LoadIndex(const std::string& path, Env* env) {
   if (env == nullptr) env = Env::Default();
   C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> f, env->OpenFile(path));
-  Reader r(f.get());
+  C2LSH_ASSIGN_OR_RETURN(uint64_t file_size, f->Size());
+  Reader r(f.get(), file_size);
 
   uint64_t magic = 0;
   uint32_t version = 0;
@@ -214,6 +230,20 @@ Result<C2lshIndex> LoadIndex(const std::string& path, Env* env) {
     return Status::Corruption("LoadIndex: inconsistent header in '" + path + "'");
   }
 
+  // Bound every parsed count against the bytes the file can actually supply
+  // before allocating. These fields are read ahead of the checksum trailer,
+  // so a bit-flipped or malicious file can claim any m/dim/pair count it
+  // likes — without this, a forged count turns into a giant allocation (and
+  // its zero-fill) long before VerifyChecksum would reject the file.
+  const uint64_t per_fn_bytes =
+      uint64_t{dim32} * sizeof(float) + 2 * sizeof(double);
+  if (m32 > r.RemainingBytes() / per_fn_bytes) {
+    return Status::Corruption("LoadIndex: '" + path + "' claims " +
+                              std::to_string(m32) + " hash functions of dim " +
+                              std::to_string(dim32) +
+                              " but is too small to hold them");
+  }
+
   std::vector<PStableHash> funcs;
   funcs.reserve(m32);
   for (uint32_t i = 0; i < m32; ++i) {
@@ -232,7 +262,8 @@ Result<C2lshIndex> LoadIndex(const std::string& path, Env* env) {
   tables.reserve(m32);
   for (uint32_t i = 0; i < m32; ++i) {
     uint64_t count = 0;
-    if (!r.Get(&count) || count > (1ULL << 40)) {
+    constexpr uint64_t kPairBytes = sizeof(int64_t) + sizeof(ObjectId);
+    if (!r.Get(&count) || count > r.RemainingBytes() / kPairBytes) {
       return Status::Corruption("LoadIndex: bad table size in '" + path + "'");
     }
     std::vector<int64_t> buckets(count);

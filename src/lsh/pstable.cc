@@ -96,6 +96,7 @@ void PStableFamily::BucketAll(const float* v, std::vector<BucketId>* out) const 
   // kernel behind PStableHash::Project (simd.h exactness contract), so the
   // quantized buckets match per-function Bucket() exactly.
   double proj[kProjectionChunk];
+  // analyze-ok(cancellation-cadence): bounded m x d projection — one matrix-vector pass per query, well under the poll cadence; the scan loops above this poll.
   for (size_t start = 0; start < m; start += kProjectionChunk) {
     const size_t count = std::min(kProjectionChunk, m - start);
     simd::Active().dot_rows(packed_.data() + start * packed_stride_, count,

@@ -133,6 +133,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id,
   Metrics().misses->Increment();
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
+  // analyze-ok(lock-order): documented single-latch design (class comment) — the miss read runs under mu_ so a frame is never visible half-filled.
   C2LSH_RETURN_IF_ERROR(file_->ReadPage(id, f.data.data(), ctx));
   f.page = id;
   f.pins = 1;
@@ -143,6 +144,7 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id,
 
 Result<BufferPool::PageHandle> BufferPool::NewPage(PageId* id_out) {
   MutexLock lock(&mu_);
+  // analyze-ok(lock-order): documented single-latch design (class comment) — allocation mutates the file header, which shares mu_ with the frame table.
   C2LSH_ASSIGN_OR_RETURN(PageId id, file_->AllocatePage());
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
@@ -175,12 +177,14 @@ Status BufferPool::FlushAll() {
   MutexLock lock(&mu_);
   for (Frame& f : frames_) {
     if (f.page != 0 && f.dirty) {
+      // analyze-ok(lock-order): documented single-latch design — FlushAll must write a stable snapshot of every dirty frame, so writeback holds mu_.
       C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
       ++stats_.writebacks;
       Metrics().writebacks->Increment();
       f.dirty = false;
     }
   }
+  // analyze-ok(lock-order): the fsync is ordered after the writebacks above and callers expect FlushAll to be atomic w.r.t. concurrent NewPage/Fetch.
   return file_->Sync();
 }
 

@@ -132,7 +132,10 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     if (type == static_cast<uint8_t>(RecordType::kInsert)) {
       rec.type = RecordType::kInsert;
       uint32_t dim = 0;
-      if (!r.Get(&rec.id) || !r.Get(&dim) || dim > kMaxBodyBytes / sizeof(float)) break;
+      // Bound dim by the frame's actual length, not just kMaxBodyBytes: the
+      // resize below happens before GetArray validates, so a forged dim in
+      // a short frame must not buy a large zero-filled allocation.
+      if (!r.Get(&rec.id) || !r.Get(&dim) || dim > len / sizeof(float)) break;
       rec.vec.resize(dim);
       if (!r.GetArray(rec.vec.data(), rec.vec.size()) || !r.exhausted()) break;
     } else if (type == static_cast<uint8_t>(RecordType::kDelete)) {

@@ -102,16 +102,22 @@ class FaultInjectionFile final : public RandomAccessFile {
 
   Status Sync() override {
     FaultEnvState& st = *state_;
-    MutexLock lock(&st.mu);
-    if (st.crashed) {
-      ++st.stats.post_crash_rejects;
-      return Status::IOError("FaultInjectionEnv: sync after simulated crash");
+    {
+      MutexLock lock(&st.mu);
+      if (st.crashed) {
+        ++st.stats.post_crash_rejects;
+        return Status::IOError("FaultInjectionEnv: sync after simulated crash");
+      }
+      ++st.stats.syncs;
+      if (st.fail_syncs) {
+        return Status::IOError("FaultInjectionEnv: injected sync failure");
+      }
+      if (st.drop_syncs) return Status::OK();
     }
-    ++st.stats.syncs;
-    if (st.fail_syncs) {
-      return Status::IOError("FaultInjectionEnv: injected sync failure");
-    }
-    if (st.drop_syncs) return Status::OK();
+    // The base fsync runs outside the lock, same contract as ReadAt: holding
+    // st.mu across a real fsync would serialize every injected-file op
+    // behind device latency. (WriteAt is different: the crash point must
+    // tear exactly one write, so it stays fully under the lock.)
     return base_->Sync();
   }
 

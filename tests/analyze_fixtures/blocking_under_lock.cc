@@ -1,0 +1,64 @@
+// Analyzer fixture: blocking operations performed while holding a mutex.
+// Covers the flagged shape, the release-then-block fix shape (clean), a
+// justified inline suppression, and the nonblocking-receiver exemption.
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Journal {
+ public:
+  // Flagged: a real fsync runs with mu_ held.
+  Status FlushLocked() {
+    MutexLock lock(&mu_);
+    dirty_ = false;
+    return file_->Sync();
+  }
+
+  // Clean: the decision happens under the lock, the fsync outside.
+  Status FlushUnlocked() {
+    {
+      MutexLock lock(&mu_);
+      if (!dirty_) return Status::OK();
+      dirty_ = false;
+    }
+    return file_->Sync();
+  }
+
+  // Clean via suppression: the justification is mandatory.
+  Status FlushPinned() {
+    MutexLock lock(&mu_);
+    // analyze-ok(lock-order): fixture — single-writer file, sync latency is the point of this path.
+    return file_->Sync();
+  }
+
+  // Clean: counters named like metrics are not file I/O.
+  void Account() {
+    MutexLock lock(&mu_);
+    flush_counter_->Reset();
+  }
+
+ private:
+  Mutex mu_;
+  bool dirty_ = true;
+  File* file_;
+  Counter* flush_counter_;
+};
+
+// Flagged: waiting on a condition variable releases only the innermost
+// lock; the outer mutex stays held for the whole wait.
+class TwoLevelWait {
+ public:
+  void Drain() {
+    MutexLock outer(&registry_mu_);
+    MutexLock inner(&queue_mu_);
+    cv_.wait(inner);
+  }
+
+ private:
+  Mutex registry_mu_;
+  Mutex queue_mu_;
+  CondVar cv_;
+};
+
+}  // namespace fixture

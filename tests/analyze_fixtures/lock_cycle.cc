@@ -1,0 +1,56 @@
+// Analyzer fixture: classic AB/BA lock-order inversion. The two methods
+// nest the same pair of mutexes in opposite orders, which is the deadlock
+// pattern check_lock_order exists to catch. Never compiled — parsed only.
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class TwoLocks {
+ public:
+  void TransferAB() {
+    MutexLock a(&mu_a_);
+    MutexLock b(&mu_b_);
+    ++balance_;
+  }
+
+  void TransferBA() {
+    MutexLock b(&mu_b_);
+    MutexLock a(&mu_a_);
+    --balance_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int balance_ = 0;
+};
+
+// The interprocedural variant: Outer holds its lock across a call into
+// Inner, which acquires the second mutex; Reverse nests them the other way
+// within one body. The cycle spans two functions.
+class Layered {
+ public:
+  void Outer() {
+    MutexLock l(&coarse_);
+    Inner();
+  }
+
+  void Inner() {
+    MutexLock l(&fine_);
+    ++steps_;
+  }
+
+  void Reverse() {
+    MutexLock f(&fine_);
+    MutexLock c(&coarse_);
+    ++steps_;
+  }
+
+ private:
+  Mutex coarse_;
+  Mutex fine_;
+  int steps_ = 0;
+};
+
+}  // namespace fixture

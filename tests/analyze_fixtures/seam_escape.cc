@@ -1,0 +1,44 @@
+// Analyzer fixture: page-mutation primitives called outside the sanctioned
+// seam. The seam is function-level: src/storage/ plus the allowlisted
+// DiskC2lshIndex entries in tools/analyze/config.py — a rogue caller in any
+// other layer is flagged no matter which file it lives in.
+
+#include "storage/page_file.h"
+
+namespace fixture {
+
+class RogueWriter {
+ public:
+  // Flagged: raw page write from outside the seam.
+  void Patch(PageId page, const void* bytes) {
+    file_->WritePage(page, bytes);
+  }
+
+  // Flagged: allocation mutates the file header — same seam.
+  void Grow() {
+    file_->AllocatePage();
+  }
+
+ private:
+  PageFile* file_;
+};
+
+// Clean: DiskC2lshIndex::Build is on the allowlist (bootstrap publish).
+class DiskC2lshIndex {
+ public:
+  void Build() {
+    file_->SetUserRoot(1);
+  }
+
+ private:
+  PageFile* file_;
+};
+
+// Clean: a free function named like a primitive is not the storage API.
+void WritePage() {}
+
+void Caller() {
+  WritePage();
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Analyzer fixture: discarded Status/Result values in the statement shapes
+// the line-regex lint cannot see — multi-line statements, comma operators,
+// bare (void) casts without a justifying comment.
+//
+// Comment placement matters here: the (void) rule accepts a comment on the
+// same or preceding line, so flagged statements sit after a blank line.
+
+#include "util/status.h"
+
+namespace fixture {
+
+Status Persist();
+Status Cleanup();
+int Tally();
+
+class Sink {
+ public:
+  Status Emit();
+};
+
+void Worker(Sink* sink, int* out) {
+  Persist();
+
+  Persist(
+      );
+
+  (void)Persist();
+
+  // Dropping cleanup failures is deliberate once the persist succeeded.
+  (void)Cleanup();
+
+  Persist(), Tally();
+
+  sink->Emit();
+
+  Status ok = Persist();
+  if (!ok.ok()) *out = 1;
+
+  *out = Tally();
+
+  Tally();
+}
+
+}  // namespace fixture

@@ -158,6 +158,89 @@ TEST_F(DeadlineTest, GenerousContextChangesNothing) {
   }
 }
 
+// RangeQuery and DecisionQuery share RunQuery's cooperative-stop contract:
+// partial results (never an error) under kCancelled/kDeadline, and a
+// DecisionQuery NotFound after an interruption is not a verified "no".
+
+TEST_F(DeadlineTest, RangeQueryCancelledReturnsPartialNotError) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 2, 53);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 23;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+  C2lshQueryStats stats;
+  auto r = index->RangeQuery(pd->data, pd->queries.row(0), 2.0, &stats, &ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // partial, not an error
+  EXPECT_EQ(stats.termination, Termination::kCancelled);
+}
+
+TEST_F(DeadlineTest, RangeQueryExpiredDeadlineReportsDeadline) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 2, 59);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 29;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMicros(-1);  // already expired
+  C2lshQueryStats stats;
+  auto r = index->RangeQuery(pd->data, pd->queries.row(0), 2.0, &stats, &ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.termination, Termination::kDeadline);
+}
+
+TEST_F(DeadlineTest, RangeQueryGenerousContextMatchesUnbounded) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 2, 61);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 31;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMillis(60'000);
+  for (size_t q = 0; q < 2; ++q) {
+    C2lshQueryStats plain, bounded;
+    auto a = index->RangeQuery(pd->data, pd->queries.row(q), 1.5, &plain);
+    auto b = index->RangeQuery(pd->data, pd->queries.row(q), 1.5, &bounded, &ctx);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+    }
+  }
+}
+
+TEST_F(DeadlineTest, DecisionQueryInterruptedNotFoundIsNotVerifiedNo) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 2, 67);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions o;
+  o.seed = 37;
+  auto index = C2lshIndex::Build(pd->data, o);
+  ASSERT_TRUE(index.ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.cancel = &token;
+  C2lshQueryStats stats;
+  auto r = index->DecisionQuery(pd->data, pd->queries.row(0), 4, &stats, &ctx);
+  // A hit found before the cancellation poll is still a valid verified
+  // answer; a miss must carry the kCancelled marker so the caller knows it
+  // is not a verified "no object within R".
+  if (!r.ok()) {
+    EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+    EXPECT_EQ(stats.termination, Termination::kCancelled);
+  }
+}
+
 // --- disk index under fault injection -------------------------------------
 
 TEST_F(DeadlineTest, DiskDeadlineBoundedUnderPersistentFaults) {

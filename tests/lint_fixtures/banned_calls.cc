@@ -1,0 +1,26 @@
+// Lint fixture: banned functions. Four violations, one NOLINT exemption,
+// and lookalikes that must NOT fire (prefixed identifiers, strings,
+// comments).
+
+#include <cstdio>
+#include <cstring>
+
+namespace fixture {
+
+int my_rand() { return 4; }
+
+int Roll() {
+  int bad = rand();                       // banned-function
+  char buf[16];
+  strcpy(buf, "x");                       // banned-function
+  sprintf(buf, "%d", bad);                // banned-function
+  int* leak = new int(7);                 // banned-function (naked new)
+  int ok = rand();  // NOLINT(banned-function) — fixture exemption
+  int fine = my_rand();                   // prefixed identifier — clean
+  // rand() in a comment is clean, as is "rand()" in a string:
+  const char* s = "rand()";
+  (void)s;
+  return bad + ok + fine + *leak;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: intrinsics and <chrono> includes outside their sanctioned
+// homes — must trip isa-header and chrono-include (this file is not under
+// src/vector/ or the chrono allowlist).
+
+#include <immintrin.h>
+#include <chrono>
+
+namespace fixture {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

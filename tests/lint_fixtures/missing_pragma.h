@@ -1,0 +1,11 @@
+// Lint fixture: a header relying on classic include guards alone — must
+// trip the pragma-once rule (careful: naming the missing directive here
+// verbatim would satisfy the substring check).
+#ifndef C2LSH_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_
+#define C2LSH_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_
+
+namespace fixture {
+inline int Answer() { return 42; }
+}  // namespace fixture
+
+#endif  // C2LSH_TESTS_LINT_FIXTURES_MISSING_PRAGMA_H_

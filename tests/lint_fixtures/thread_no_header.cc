@@ -1,0 +1,13 @@
+// Lint fixture: spawns std::thread without including the thread-annotation
+// or mutex header — must trip thread-header.
+
+#include <thread>
+
+namespace fixture {
+
+void Spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fixture

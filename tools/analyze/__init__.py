@@ -1,0 +1,5 @@
+# tools/analyze — AST-grounded invariant analyzer for the c2lsh tree.
+#
+# The package is runnable (`python3 tools/analyze`) and importable from the
+# test runners. Modules use flat intra-package imports so both entry styles
+# work without an installed package.

@@ -1,0 +1,8 @@
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cli  # noqa: E402
+
+sys.exit(cli.main())

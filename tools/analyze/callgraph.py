@@ -1,0 +1,113 @@
+"""Call resolution and memoized reachability predicates over the Model.
+
+Resolution is name-based with precision tiers: local lambda > spelled
+qualifier > same-class method > same-file definition > unique global name.
+A short name that still matches several distinct definitions after those
+tiers (e.g. `Reset` on a metrics counter vs. the WAL vs. the fault env) is
+deliberately left unresolved: linking a receiver-dispatched call to every
+same-named method in the tree manufactures lock-order edges and query-path
+reachability that do not exist. The cost is that genuinely virtual dispatch
+through a base pointer is invisible to the interprocedural passes — the
+golden fixtures pin this trade-off and the tree-wide run is reviewed
+finding-by-finding.
+"""
+
+import config
+
+
+class CallGraph:
+    def __init__(self, model):
+        self.model = model
+        self._polls = {}
+        self._loops = {}
+        self._blocking = {}
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(self, caller, cs):
+        """Returns the list of candidate FunctionDef keys for a call site."""
+        m = self.model
+        # Named local lambda of the caller (or of the caller's parent chain).
+        scope = caller
+        while scope is not None:
+            key = f"{scope.qual_name}::{cs.name}"
+            if key in m.functions:
+                return [key]
+            scope = m.functions.get(scope.parent) if scope.parent else None
+        # Spelled qualifier: Class::Method(...).
+        if cs.qual:
+            hits = [k for k in m.by_name.get(cs.name, ())
+                    if m.functions[k].cls == cs.qual]
+            if hits:
+                return hits
+        # Unqualified call in a method: prefer the same class.
+        if not cs.receiver and caller.cls:
+            hits = [k for k in m.by_name.get(cs.name, ())
+                    if m.functions[k].cls == caller.cls]
+            if hits:
+                return hits
+        cands = list(m.by_name.get(cs.name, ()))
+        # Locality: a definition in the caller's own file beats same-named
+        # methods elsewhere in the tree.
+        same_file = [k for k in cands if m.functions[k].file == caller.file]
+        if same_file:
+            return same_file
+        # Unique global name (overload sets of one function count as unique).
+        bases = {m.functions[k].qual_name.split("#")[0] for k in cands}
+        if len(bases) <= 1:
+            return cands
+        return []  # ambiguous short name — refuse to over-link
+
+    # -- memoized predicates ------------------------------------------------
+
+    def _closure(self, key, cache, direct_fn, depth):
+        if key in cache:
+            return cache[key]
+        cache[key] = False  # cycle guard
+        fn = self.model.functions[key]
+        if direct_fn(fn):
+            cache[key] = True
+            return True
+        if depth <= 0:
+            return False
+        for cs in fn.calls:
+            for cand in self.resolve(fn, cs):
+                if self._closure(cand, cache, direct_fn, depth - 1):
+                    cache[key] = True
+                    return True
+        return cache[key]
+
+    def polls(self, key, depth=config.CALL_GRAPH_DEPTH):
+        """Does this function (transitively) poll the QueryContext?"""
+        return self._closure(key, self._polls,
+                             lambda fn: bool(fn.poll_lines), depth)
+
+    def has_loops(self, key, depth=2):
+        """Does this function (shallow-transitively) iterate? Used to decide
+        whether a loop that calls it does compound work."""
+        return self._closure(key, self._loops,
+                             lambda fn: bool(fn.loops), depth)
+
+    def call_polls(self, caller, cs):
+        return any(self.polls(k) for k in self.resolve(caller, cs))
+
+    def call_has_loops(self, caller, cs):
+        return any(self.has_loops(k) for k in self.resolve(caller, cs))
+
+    # -- reachability -------------------------------------------------------
+
+    def reachable_from(self, entry_keys):
+        """BFS closure over resolved calls. Returns {key: entry_witness}."""
+        seen = {}
+        frontier = [(k, k) for k in entry_keys]
+        while frontier:
+            key, witness = frontier.pop()
+            if key in seen:
+                continue
+            seen[key] = witness
+            fn = self.model.functions[key]
+            for cs in fn.calls:
+                for cand in self.resolve(fn, cs):
+                    if cand not in seen:
+                        frontier.append((cand, witness))
+        return seen

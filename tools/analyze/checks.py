@@ -1,0 +1,391 @@
+"""The project-invariant checks. Each takes (model, graph) and returns a
+list of ir.Finding, already filtered through inline `analyze-ok` suppressions.
+
+  lock-order            cycles in the mutex-acquisition graph, and blocking
+                        operations performed while holding a mutex
+  cancellation-cadence  loops on the query path that do compound work and
+                        never poll the QueryContext (the PR 5 contract)
+  unchecked-status      statement-accurate discarded Status/Result<T>
+                        (multi-line statements, comma operators, bare (void)
+                        casts — the shapes the line-regex lint cannot see)
+  mutation-seam         WritePage/AllocatePage/SetUserRoot call sites outside
+                        the function-level mutation seam (storage layer +
+                        the sanctioned disk-index compaction/publish set)
+"""
+
+import config
+from ir import Finding
+
+
+def _suppressed(model, check, fn_or_file, line):
+    path = fn_or_file if isinstance(fn_or_file, str) else fn_or_file.file
+    return model.suppressed(check, path, line)
+
+
+def _emit(findings, model, check, path, line, message):
+    if not model.suppressed(check, path, line):
+        findings.append(Finding(check=check, file=path, line=line,
+                                message=message))
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+
+
+def check_lock_order(model, graph):
+    findings = []
+    check = "lock-order"
+
+    # Edge map: (held, acquired) -> first witness "file:line (function)".
+    edges = {}
+
+    def add_edge(a, b, fn, line):
+        if a == b:
+            return
+        edges.setdefault((a, b), f"{fn.file}:{line} ({fn.qual_name})")
+
+    # Transitive acquisition closure per function (what taking this call may
+    # lock), memoized. REQUIRES keys are preconditions, not acquisitions.
+    acq_cache = {}
+
+    def acq_closure(key, depth=config.CALL_GRAPH_DEPTH):
+        if key in acq_cache:
+            return acq_cache[key]
+        acq_cache[key] = frozenset()  # cycle guard
+        fn = model.functions[key]
+        out = {(a.key, a.line) for a in fn.acquires}
+        if depth > 0:
+            for cs in fn.calls:
+                for cand in graph.resolve(fn, cs):
+                    out |= {(k, cs.line) for (k, _l) in
+                            acq_closure(cand, depth - 1)}
+        acq_cache[key] = frozenset(out)
+        return acq_cache[key]
+
+    for key, fn in model.functions.items():
+        # Intra-function: acquiring B while holding A.
+        for acq in fn.acquires:
+            for held in acq.held_before:
+                add_edge(held, acq.key, fn, acq.line)
+        # REQUIRES(A) functions that acquire B: the caller held A first.
+        for req in fn.requires:
+            for acq in fn.acquires:
+                add_edge(req, acq.key, fn, acq.line)
+        # Inter-procedural: calling something that (transitively) locks B
+        # while holding A.
+        for cs in fn.calls:
+            if not cs.locks_held:
+                continue
+            for cand in graph.resolve(fn, cs):
+                for (acquired, _line) in acq_closure(cand):
+                    for held in cs.locks_held:
+                        add_edge(held, acquired, fn, cs.line)
+
+    # Cycle detection over the acquisition graph.
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, set()).add(b)
+    for cycle in _find_cycles(adj):
+        # Report at the witness of the first edge; suppression keys off it.
+        a, b = cycle[0], cycle[1 % len(cycle)]
+        witness = edges.get((a, b), "")
+        path, _, rest = witness.partition(":")
+        line = int(rest.split(" ")[0]) if rest else 1
+        order = " -> ".join(cycle + [cycle[0]])
+        wits = "; ".join(
+            f"{x}->{y} at {edges[(x, y)]}"
+            for x, y in zip(cycle, cycle[1:] + [cycle[0]]) if (x, y) in edges)
+        _emit(findings, model, check, path, line,
+              f"mutex acquisition cycle: {order} ({wits}) — a consistent "
+              "global order is required; invert one of the nestings")
+
+    # Blocking calls under a lock.
+    for key, fn in model.functions.items():
+        for cs in fn.calls:
+            if not cs.locks_held:
+                continue
+            if cs.name in config.CV_WAIT_NAMES:
+                # A cv wait releases the innermost lock while waiting; it only
+                # wedges other threads if a *second* mutex stays held.
+                if len(cs.locks_held) >= 2:
+                    _emit(findings, model, check, fn.file, cs.line,
+                          f"condition-variable {cs.name}() while holding "
+                          f"{cs.locks_held[0]} in addition to the wait lock — "
+                          "the outer mutex stays held for the whole wait")
+                continue
+            if cs.name not in config.BLOCKING_CALLS:
+                continue
+            recv = cs.receiver.lower()
+            if any(h in recv for h in config.NONBLOCKING_RECEIVER_HINTS):
+                continue
+            _emit(findings, model, check, fn.file, cs.line,
+                  f"blocking call {cs.receiver + '.' if cs.receiver else ''}"
+                  f"{cs.name}() while holding "
+                  f"{', '.join(cs.locks_held)} — I/O, fsync, waits and "
+                  "retries must not run under a mutex (they serialize every "
+                  "other thread behind a device latency)")
+    return findings
+
+
+def _find_cycles(adj):
+    """Returns simple cycles as canonicalized node lists (deduplicated).
+    Bounded DFS — the mutex graph is tiny."""
+    cycles = set()
+    for start in sorted(adj):
+        stack = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adj.get(node, ())):
+                if nxt == path[0] and len(path) > 0:
+                    # canonical rotation: start at the smallest node
+                    k = path.index(min(path))
+                    cycles.add(tuple(path[k:] + path[:k]))
+                elif nxt not in path and len(path) < 8:
+                    stack.append((nxt, path + [nxt]))
+    return [list(c) for c in sorted(cycles)]
+
+
+# ---------------------------------------------------------------------------
+# cancellation-cadence
+
+
+def check_cancellation_cadence(model, graph):
+    findings = []
+    check = "cancellation-cadence"
+    entries = [k for k, fn in model.functions.items()
+               if fn.name in config.QUERY_ENTRY_POINTS
+               and not fn.is_lambda]
+    reachable = graph.reachable_from(entries)
+
+    for key, entry in sorted(reachable.items()):
+        fn = model.functions[key]
+        if fn.qual_name.split("#")[0] in config.CADENCE_EXEMPT_FUNCTIONS:
+            continue
+        if fn.file.startswith(config.CADENCE_EXEMPT_PREFIXES):
+            continue
+        entry_name = model.functions[entry].qual_name
+        for loop in fn.loops:
+            # polls: a direct poll site lexically inside the span (inline
+            # lambdas included), or a call inside the loop that resolves to
+            # something that transitively polls.
+            polls = bool(loop.poll_lines) or any(
+                graph.call_polls(fn, fn.calls[ci]) for ci in loop.call_ids)
+            if polls:
+                continue
+            # significance: infinite loops and compound-iteration loops only
+            # (a leaf loop over one vector's dimensions is bounded by `d` and
+            # is exactly the granularity the PR 5 cadence contract allows
+            # between polls).
+            significant = loop.infinite or loop.has_nested_loop or any(
+                graph.call_has_loops(fn, fn.calls[ci])
+                for ci in loop.call_ids)
+            if not significant:
+                continue
+            # Inner loops whose enclosing loop already polls are covered by
+            # the outer cadence only if the outer poll happens *per
+            # iteration* of this loop — which a lexical span cannot prove, so
+            # they are still reported; real cadence fixes poll in the scan.
+            _emit(findings, model, check, fn.file, loop.line,
+                  f"{loop.kind}-loop in {fn.qual_name} (reachable from query "
+                  f"entry point {entry_name}) does compound work but never "
+                  "polls the QueryContext — check ctx at a bounded cadence "
+                  "(round boundary / kCheckIntervalMask increments) or "
+                  "justify with analyze-ok(cancellation-cadence)")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# unchecked-status
+
+
+def check_unchecked_status(model, graph):
+    findings = []
+    check = "unchecked-status"
+    short_status = {n for n in model.status_names if "::" not in n}
+    qual_status = {n for n in model.status_names if "::" in n}
+    unambiguous = short_status - model.ambiguous_status_names
+
+    def call_is_status(name, qual):
+        if qual and f"{qual}::{name}" in qual_status:
+            return True
+        return name in unambiguous
+
+    for key, fn in model.functions.items():
+        for stmt in getattr(fn, "status_stmts", ()):
+            hit = _analyze_status_stmt(stmt, call_is_status)
+            if hit is None:
+                continue
+            kind = hit
+            if kind == "comma":
+                _emit(findings, model, check, fn.file, stmt.line,
+                      "comma operator discards the result of a "
+                      "Status-returning call — check it or split the "
+                      "statement")
+            elif kind == "void-no-comment":
+                fi = model.files.get(fn.file)
+                if fi is not None and _has_adjacent_comment(fi.raw_lines,
+                                                           stmt.line):
+                    continue
+                _emit(findings, model, check, fn.file, stmt.line,
+                      "(void)-discarded Status needs a same-line or "
+                      "preceding-line comment explaining why dropping the "
+                      "error is safe")
+            else:
+                _emit(findings, model, check, fn.file, stmt.line,
+                      f"result of Status-returning call {kind}() is "
+                      "discarded — check it, use C2LSH_RETURN_IF_ERROR, or "
+                      "cast to (void) with a justifying comment")
+    return findings
+
+
+def _analyze_status_stmt(stmt, call_is_status):
+    """Returns None (fine), 'comma', 'void-no-comment', or the discarded
+    callee name."""
+    texts = stmt.texts
+    k = 3 if stmt.void_cast and texts[0] == "(" else (
+        5 if stmt.void_cast else 0)
+    # Find top-level calls: (start_idx_of_name, close_idx).
+    depth = 0
+    calls = []
+    commas = []
+    i = k
+    n = len(texts)
+    while i < n:
+        x = texts[i]
+        if x in ("(", "["):
+            if (x == "(" and depth == 0 and i > k
+                    and _ident_like(texts[i - 1])):
+                close = _match(texts, i)
+                calls.append((i - 1, close))
+                i = close + 1
+                continue
+            depth += 1
+        elif x in (")", "]"):
+            depth -= 1
+        elif x == "," and depth == 0:
+            commas.append(i)
+        elif x == "<":
+            # probable template args in a qualified call — skip shallowly
+            pass
+        i += 1
+    if not calls:
+        return None
+
+    def call_name_qual(name_idx):
+        name = texts[name_idx]
+        qual = ""
+        if name_idx >= 2 and texts[name_idx - 1] == "::" \
+                and _ident_like(texts[name_idx - 2]):
+            qual = texts[name_idx - 2]
+        return name, qual
+
+    # Comma operator: every call whose close is followed (at top level) by a
+    # comma is discarded outright.
+    for (ni, close) in calls:
+        nxt = texts[close + 1] if close + 1 < len(texts) else ""
+        if nxt == ",":
+            name, qual = call_name_qual(ni)
+            if call_is_status(name, qual):
+                return "comma"
+    # The statement's final value: the last top-level call, provided nothing
+    # but ';' follows it (a trailing `.member(...)` chain becomes the last
+    # call itself).
+    ni, close = calls[-1]
+    trailing = [x for x in texts[close + 1:] if x != ";"]
+    if trailing:
+        return None  # e.g. `foo(x)[i];` — not a plain discarded call
+    name, qual = call_name_qual(ni)
+    if not call_is_status(name, qual):
+        return None
+    if stmt.void_cast:
+        return "void-no-comment"
+    return name
+
+
+def _ident_like(x):
+    return bool(x) and (x[0].isalpha() or x[0] == "_")
+
+
+def _match(texts, i):
+    depth = 0
+    while i < len(texts):
+        if texts[i] == "(":
+            depth += 1
+        elif texts[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(texts) - 1
+
+
+def _has_adjacent_comment(raw_lines, line):
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(raw_lines):
+            txt = raw_lines[ln - 1]
+            if "//" in txt or "*/" in txt:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# mutation-seam
+
+
+def _in_seam(model, fn):
+    if fn.file.startswith(config.SEAM_DIR_PREFIX):
+        return True
+    scope = fn
+    while scope is not None:
+        if scope.qual_name.split("#")[0] in config.SEAM_FUNCTIONS:
+            return True
+        scope = model.functions.get(scope.parent) if scope.parent else None
+    return False
+
+
+def check_mutation_seam(model, graph):
+    findings = []
+    check = "mutation-seam"
+    seen_seam_fns = set()
+    for key, fn in model.functions.items():
+        # Tests/tools/bench tear state on purpose — but fixture files under
+        # *_fixtures simulate production code and stay in scope.
+        if (fn.file.startswith(config.SEAM_EXEMPT_PREFIXES)
+                and "analyze_fixtures/" not in fn.file):
+            continue
+        base = fn.qual_name.split("#")[0]
+        if base in config.SEAM_FUNCTIONS:
+            seen_seam_fns.add(base)
+        for cs in fn.calls:
+            if cs.name not in config.SEAM_PRIMITIVES:
+                continue
+            if not cs.receiver and not cs.qual:
+                continue  # a free function of the same name, not the API
+            if _in_seam(model, fn):
+                continue
+            _emit(findings, model, check, fn.file, cs.line,
+                  f"{fn.qual_name} calls the page-mutation primitive "
+                  f"{cs.name}() but is not part of the sanctioned seam "
+                  "(src/storage/ functions + the allowlisted DiskC2lshIndex "
+                  "compaction/recovery set in tools/analyze/config.py) — "
+                  "route index changes through the WAL-backed "
+                  "Insert/Delete/Compact path")
+    # Config hygiene: allowlist entries that match nothing rot silently and
+    # would quietly widen the seam if the function is later re-added with
+    # different behavior. Only meaningful on a run that saw the disk index.
+    if any(f.file.endswith("core/disk_index.cc") for f in
+           model.functions.values()):
+        for entry in sorted(config.SEAM_FUNCTIONS - seen_seam_fns):
+            findings.append(Finding(
+                check=check, file="tools/analyze/config.py", line=1,
+                message=f"seam allowlist entry {entry} matches no function "
+                        "definition — remove it or fix the name"))
+    return findings
+
+
+ALL_CHECKS = {
+    "lock-order": check_lock_order,
+    "cancellation-cadence": check_cancellation_cadence,
+    "unchecked-status": check_unchecked_status,
+    "mutation-seam": check_mutation_seam,
+}

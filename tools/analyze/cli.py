@@ -1,0 +1,170 @@
+"""Command-line driver for the invariant analyzer.
+
+Usage (from the repo root):
+
+  python3 tools/analyze                      # analyze src/ (needs a build
+                                             # dir with compile_commands.json)
+  python3 tools/analyze -p build-check/default
+  python3 tools/analyze --paths tests/analyze_fixtures   # fixture mode
+  python3 tools/analyze --checks lock-order,mutation-seam
+  python3 tools/analyze --list               # show the available checks
+
+Exit codes: 0 clean, 1 findings, 2 environment/usage error (most notably a
+missing compile_commands.json — build with CMAKE_EXPORT_COMPILE_COMMANDS=ON,
+which this tree's CMakeLists enables by default).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import config
+import checks as checks_mod
+import frontend
+import frontend_libclang
+from callgraph import CallGraph
+from ir import Model
+
+SOURCE_EXTS = (".cc", ".cpp", ".h", ".hpp")
+DEFAULT_BUILD_DIRS = ("build-check/default", "build")
+
+
+def find_build_dir(root, explicit):
+    if explicit:
+        cc = os.path.join(explicit, "compile_commands.json")
+        return explicit if os.path.exists(cc) else None
+    for d in DEFAULT_BUILD_DIRS:
+        if os.path.exists(os.path.join(root, d, "compile_commands.json")):
+            return os.path.join(root, d)
+    return None
+
+
+def collect_files(root, paths):
+    out = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            out.append(os.path.relpath(full, root))
+            continue
+        for dirpath, dirnames, names in os.walk(full):
+            dirnames[:] = [d for d in dirnames if not d.endswith("_fixtures")]
+            for name in sorted(names):
+                if name.endswith(SOURCE_EXTS):
+                    out.append(os.path.relpath(os.path.join(dirpath, name),
+                                               root))
+    return sorted(set(out))
+
+
+def build_model(root, files, frontend_choice, build_dir):
+    model = Model()
+    errors = []
+    use_libclang = False
+    if frontend_choice == "libclang":
+        if not frontend_libclang.available():
+            print("analyze: --frontend=libclang requested but the clang "
+                  "python bindings / libclang.so are not available",
+                  file=sys.stderr)
+            sys.exit(2)
+        use_libclang = True
+    elif frontend_choice == "auto":
+        use_libclang = frontend_libclang.available()
+
+    if use_libclang and build_dir is not None:
+        model.frontend = "libclang"
+        errors += frontend_libclang.parse_with_libclang(files, build_dir,
+                                                        model)
+    else:
+        model.frontend = "tokens"
+        for rel in files:
+            with open(os.path.join(root, rel), encoding="utf-8") as fh:
+                text = fh.read()
+            errors += frontend.parse_source(text, rel, model)
+    return model, errors
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="tools/analyze", description=__doc__)
+    ap.add_argument("-p", "--build-dir", default="",
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--paths", nargs="*", default=None,
+                    help="analyze these files/dirs instead of src/ "
+                         "(fixture/test mode; skips the compile_commands "
+                         "requirement)")
+    ap.add_argument("--checks", default="",
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--frontend", choices=("auto", "tokens", "libclang"),
+                    default="auto")
+    ap.add_argument("--list", action="store_true", help="list checks")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON")
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    args = ap.parse_args(argv)
+
+    if args.list:
+        for name in sorted(checks_mod.ALL_CHECKS):
+            print(name)
+        return 0
+
+    root = args.root
+    fixture_mode = args.paths is not None
+    build_dir = None
+    if not fixture_mode:
+        build_dir = find_build_dir(root, args.build_dir)
+        if build_dir is None:
+            where = args.build_dir or " or ".join(DEFAULT_BUILD_DIRS)
+            print(f"analyze: no compile_commands.json under {where}.\n"
+                  "  The analyzer needs an exported compilation database — "
+                  "configure any build tree first:\n"
+                  "    cmake -B build -S .   "
+                  "(CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)\n"
+                  "  or point at one with: tools/analyze -p <build-dir>",
+                  file=sys.stderr)
+            return 2
+
+    paths = args.paths if fixture_mode else list(config.DEFAULT_ANALYSIS_DIRS)
+    files = collect_files(root, paths)
+    if not files:
+        print(f"analyze: no source files under {paths}", file=sys.stderr)
+        return 2
+
+    selected = sorted(checks_mod.ALL_CHECKS)
+    if args.checks:
+        selected = [c.strip() for c in args.checks.split(",") if c.strip()]
+        unknown = [c for c in selected if c not in checks_mod.ALL_CHECKS]
+        if unknown:
+            print(f"analyze: unknown checks: {', '.join(unknown)} "
+                  f"(try --list)", file=sys.stderr)
+            return 2
+
+    prev_cwd = os.getcwd()
+    os.chdir(root)  # repo-relative paths throughout
+    try:
+        model, errors = build_model(root, files, args.frontend, build_dir)
+        graph = CallGraph(model)
+        findings = []
+        for name in selected:
+            findings.extend(checks_mod.ALL_CHECKS[name](model, graph))
+    finally:
+        os.chdir(prev_cwd)
+
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    if args.json:
+        print(json.dumps(
+            [{"check": f.check, "file": f.file, "line": f.line,
+              "message": f.message} for f in findings], indent=2))
+    else:
+        for e in errors:
+            print(e)
+        for f in findings:
+            print(f.render())
+    n_fn = len(model.functions)
+    print(f"analyze[{model.frontend}]: {len(files)} files, {n_fn} functions, "
+          f"{len(selected)} checks, {len(findings)} finding(s), "
+          f"{len(errors)} error(s)", file=sys.stderr)
+    return 1 if (findings or errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,768 @@
+"""Token-level C++ front end: builds the analysis Model (ir.py) from source
+text without a compiler.
+
+It is a structural parser, not a full C++ parser: it tracks namespaces,
+classes, function definitions (including out-of-line `Class::Method` and
+named local lambdas), brace scopes, RAII/manual lock acquisitions, loops,
+call sites with their held-lock context, QueryContext poll sites, and
+expression statements that discard a value. That is exactly the slice of the
+language the checks need, and it is resilient: unknown constructs fall
+through as plain tokens instead of failing the file.
+
+When the libclang front end (frontend_libclang.py) is available it is
+preferred for type-accurate receiver resolution; this front end is the
+always-available baseline and the one exercised by the golden fixture tests
+in CI images without libclang.
+"""
+
+from lexer import tokenize, code_tokens, collect_suppressions
+from ir import CallSite, FileInfo, FunctionDef, LockAcq, Loop
+import config
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default", "break",
+    "continue", "return", "goto", "sizeof", "alignof", "new", "delete",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "throw",
+    "try", "catch", "co_return", "co_await", "co_yield", "using", "typedef",
+    "static_assert", "decltype", "noexcept", "operator", "this", "template",
+    "typename", "public", "private", "protected", "friend",
+}
+# Keywords after which an `ident(` really is a call.
+CALL_PREV_OK = {"return", "co_return", "co_await", "co_yield", "throw", "else",
+                "do", "case"}
+DECL_SPECIFIERS = {
+    "static", "virtual", "inline", "constexpr", "consteval", "constinit",
+    "explicit", "friend", "extern", "mutable", "thread_local", "typename",
+    "const", "volatile",
+}
+CONTROL_STARTERS = {"if", "for", "while", "switch", "else", "do", "try",
+                    "catch", "case", "default"}
+
+
+def _norm_mutex_key(arg_tokens, cls):
+    """Normalizes a lock-argument expression to a stable mutex identity."""
+    texts = [t.text for t in arg_tokens]
+    while texts and texts[0] in ("&", "*", "("):
+        texts.pop(0)
+    while texts and texts[-1] == ")":
+        texts.pop()
+    if len(texts) >= 2 and texts[0] == "this" and texts[1] in ("->", "."):
+        texts = texts[2:]
+    if not texts:
+        return ""
+    if len(texts) == 1 and cls:
+        return f"{cls}::{texts[0]}"
+    return "".join(texts)
+
+
+class Parser:
+    def __init__(self, toks, rel, model, raw_lines, errors):
+        self.toks = toks
+        self.rel = rel
+        self.model = model
+        self.raw_lines = raw_lines
+        self.errors = errors
+
+    # -- token helpers ------------------------------------------------------
+
+    def match_brace(self, i):
+        """toks[i] == '{' -> index of the matching '}' (or len(toks))."""
+        depth = 0
+        n = len(self.toks)
+        while i < n:
+            t = self.toks[i].text
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return n - 1
+
+    def skip_group(self, i, open_ch, close_ch):
+        depth = 0
+        n = len(self.toks)
+        while i < n:
+            t = self.toks[i].text
+            if t == open_ch:
+                depth += 1
+            elif t == close_ch:
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return n - 1
+
+    def skip_angles(self, i):
+        """toks[i] == '<' -> index just past the matching '>' (template args).
+        Treats '>>' as two closers."""
+        depth = 0
+        n = len(self.toks)
+        while i < n:
+            t = self.toks[i].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif t == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif t in (";", "{"):
+                return i  # malformed / not a template — bail out
+            i += 1
+        return n
+
+    # -- top-level structure ------------------------------------------------
+
+    def parse_scope(self, i, end, cls):
+        """Parses declarations in a namespace/class body region [i, end)."""
+        toks = self.toks
+        while i < end:
+            t = toks[i]
+            x = t.text
+            if x == ";":
+                i += 1
+            elif x == "namespace":
+                j = i + 1
+                while j < end and toks[j].text not in ("{", ";", "="):
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    close = self.match_brace(j)
+                    self.parse_scope(j + 1, close, cls)
+                    i = close + 1
+                else:
+                    i = j + 1
+            elif x in ("class", "struct", "union"):
+                i = self.parse_class(i, end, cls)
+            elif x == "enum":
+                j = i + 1
+                while j < end and toks[j].text not in ("{", ";"):
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    j = self.match_brace(j)
+                j += 1
+                while j < end and toks[j].text != ";":
+                    j += 1
+                i = j + 1
+            elif x == "template":
+                j = i + 1
+                if j < end and toks[j].text == "<":
+                    j = self.skip_angles(j)
+                i = j
+            elif x in ("public", "private", "protected"):
+                i += 2 if i + 1 < end and toks[i + 1].text == ":" else 1
+            elif x in ("using", "typedef", "static_assert", "extern", "friend"):
+                # `extern "C" {` opens a scope; the rest run to ';'.
+                if x == "extern" and i + 2 < end and toks[i + 2].text == "{":
+                    close = self.match_brace(i + 2)
+                    self.parse_scope(i + 3, close, cls)
+                    i = close + 1
+                    continue
+                while i < end and toks[i].text != ";":
+                    if toks[i].text == "{":
+                        i = self.match_brace(i)
+                    i += 1
+                i += 1
+            elif x == "{":
+                close = self.match_brace(i)
+                self.parse_scope(i + 1, close, cls)
+                i = close + 1
+            else:
+                i = self.parse_declaration(i, end, cls)
+        return i
+
+    def parse_class(self, i, end, cls):
+        toks = self.toks
+        name = ""
+        j = i + 1
+        # Head runs to '{' (definition), ';' (fwd decl) or '=' (alias-ish).
+        while j < end and toks[j].text not in ("{", ";", "="):
+            if toks[j].kind == "ident" and toks[j].text not in ("final",):
+                if j + 1 < end and toks[j + 1].text == "(":
+                    # macro annotation like CAPABILITY("mutex") — skip it
+                    j = self.skip_group(j + 1, "(", ")")
+                elif toks[j].text == "alignas":
+                    pass
+                else:
+                    name = toks[j].text
+            if toks[j].text == ":":
+                break  # base clause; name is fixed by now
+            j += 1
+        while j < end and toks[j].text not in ("{", ";", "="):
+            if toks[j].text == "<":
+                j = self.skip_angles(j)
+                continue
+            j += 1
+        if j < end and toks[j].text == "{":
+            close = self.match_brace(j)
+            inner_cls = name or cls
+            self.parse_scope(j + 1, close, inner_cls)
+            j = close + 1
+        # Trailing declarator list (`} name;`) or the fwd-decl ';'.
+        while j < end and toks[j].text != ";":
+            j += 1
+        return j + 1
+
+    # -- declarations / function definitions --------------------------------
+
+    def parse_declaration(self, i, end, cls):
+        """Parses one declaration starting at i. Detects function definitions
+        and harvests Status/Result-returning declarations."""
+        toks = self.toks
+        head_start = i
+        j = i
+        paren = 0
+        group_open = group_close = -1   # first top-level (...) group
+        name_idx = -1
+        saw_eq = False
+        while j < end:
+            x = toks[j].text
+            if (x == "operator" and paren == 0 and group_open < 0
+                    and not saw_eq):
+                # Operator functions: `operator=(`, `operator==(`,
+                # `operator()(`, conversion `operator bool(`. The symbol
+                # tokens between `operator` and the parameter list must not
+                # trip the `=`/declaration logic below.
+                k = j + 1
+                sym = []
+                while k < end and toks[k].text not in ("(", ";", "{"):
+                    sym.append(toks[k].text)
+                    k += 1
+                if k >= end or toks[k].text != "(":
+                    return k + 1
+                if not sym and k + 1 < end and toks[k + 1].text == ")":
+                    sym = ["()"]  # operator()(params): first () is the name
+                    k += 2
+                    while k < end and toks[k].text != "(":
+                        k += 1
+                    if k >= end:
+                        return end
+                name_idx = j
+                self._op_name = "operator" + "".join(sym)
+                group_open = k
+                group_close = self.skip_group(k, "(", ")")
+                j = group_close + 1
+                continue
+            if x == "(":
+                if paren == 0 and group_open < 0 and not saw_eq:
+                    prev = toks[j - 1] if j > 0 else None
+                    if prev is not None and (
+                            prev.kind == "ident" and prev.text not in KEYWORDS
+                            or prev.text == "operator"):
+                        group_open = j
+                        name_idx = j - 1
+                        group_close = self.skip_group(j, "(", ")")
+                        j = group_close + 1
+                        continue
+                paren += 1
+            elif x == ")":
+                paren -= 1
+            elif paren == 0:
+                if x == ";":
+                    if name_idx >= 0:
+                        self.harvest_decl(head_start, name_idx, cls)
+                    return j + 1
+                if x == "=":
+                    saw_eq = True
+                if x == "{":
+                    if name_idx >= 0 and not saw_eq:
+                        return self.parse_function(head_start, name_idx,
+                                                   group_open, group_close,
+                                                   j, cls)
+                    close = self.match_brace(j)
+                    j = close  # brace-init or stray block; run on to ';'
+                if x == ":" and name_idx >= 0 and not saw_eq:
+                    # ctor member-init list: find the body '{'.
+                    k = j + 1
+                    while k < end:
+                        xt = toks[k].text
+                        if xt == "(":
+                            k = self.skip_group(k, "(", ")")
+                        elif xt == "{":
+                            prevt = toks[k - 1]
+                            if prevt.kind == "ident" or prevt.text in (">",):
+                                k = self.match_brace(k)  # brace-init item
+                            else:
+                                return self.parse_function(
+                                    head_start, name_idx, group_open,
+                                    group_close, k, cls)
+                        elif xt == ";":
+                            return k + 1  # e.g. bitfield — not a ctor
+                        k += 1
+                    return k
+                if x == ":" and name_idx < 0:
+                    # bitfield / label-ish: run to ';'
+                    while j < end and toks[j].text != ";":
+                        j += 1
+                    return j + 1
+            j += 1
+        return end
+
+    def head_annotation_keys(self, group_close, body_open, cls):
+        """Collects REQUIRES/EXCLUSIVE_LOCKS_REQUIRED(...) keys between the
+        parameter list and the body."""
+        toks = self.toks
+        keys = []
+        k = group_close + 1
+        while k < body_open:
+            if (toks[k].kind == "ident"
+                    and toks[k].text in config.REQUIRES_ANNOTATIONS
+                    and k + 1 < body_open and toks[k + 1].text == "("):
+                close = self.skip_group(k + 1, "(", ")")
+                keys.append(_norm_mutex_key(toks[k + 2:close], cls))
+                k = close
+            k += 1
+        return tuple(q for q in keys if q)
+
+    def returns_status(self, head_start, name_start):
+        """True if the return-type tokens are Status or Result<...>."""
+        k = head_start
+        toks = self.toks
+        while k < name_start:
+            t = toks[k]
+            if t.text in DECL_SPECIFIERS or t.text in ("[", "]"):
+                k += 1
+                continue
+            if t.kind == "ident" and t.text == "nodiscard":
+                k += 1
+                continue
+            if t.kind == "ident":
+                return t.text in ("Status", "Result")
+            return False
+        return False
+
+    def _qual_chain(self, name_idx):
+        """Walks `A::B::name` backwards; returns (first_head_idx, qual)."""
+        toks = self.toks
+        k = name_idx
+        qual_parts = []
+        while k - 2 >= 0 and toks[k - 1].text == "::" and toks[k - 2].kind == "ident":
+            qual_parts.insert(0, toks[k - 2].text)
+            k -= 2
+        return k, "::".join(qual_parts)
+
+    def harvest_decl(self, head_start, name_idx, cls):
+        name_tok = self.toks[name_idx]
+        if name_tok.kind != "ident" or name_tok.text in KEYWORDS:
+            return
+        chain_start, qual = self._qual_chain(name_idx)
+        owner = qual.split("::")[-1] if qual else cls
+        is_status = self.returns_status(head_start, chain_start)
+        name = name_tok.text
+        if name == owner or name in ("Status", "Result"):
+            return  # constructor / the types themselves
+        if is_status:
+            self.model.status_names.add(name)
+            if owner:
+                self.model.status_names.add(f"{owner}::{name}")
+        else:
+            self.model.ambiguous_status_names.add(name)
+
+    def parse_function(self, head_start, name_idx, group_open, group_close,
+                       body_open, cls):
+        toks = self.toks
+        self.harvest_decl(head_start, name_idx, cls)
+        chain_start, qual = self._qual_chain(name_idx)
+        name = toks[name_idx].text
+        if name == "operator":
+            name = getattr(self, "_op_name", "operator?")
+        owner = qual.split("::")[-1] if qual else cls
+        qual_name = f"{owner}::{name}" if owner else name
+        fn = FunctionDef(
+            qual_name=qual_name, name=name, cls=owner, file=self.rel,
+            line=toks[name_idx].line,
+            requires=self.head_annotation_keys(group_close, body_open, owner),
+        )
+        fn.returns_status = self.returns_status(head_start, chain_start)
+        body_close = self.match_brace(body_open)
+        fn.end_line = toks[body_close].line
+        BodyWalker(self, fn, owner).walk(body_open + 1, body_close)
+        self.model.add_function(fn)
+        # Run past the closing '}' (and a stray ';' if present).
+        return body_close + 1
+
+
+class BodyWalker:
+    """Linear walk over one function body: scopes, locks, loops, calls,
+    polls, statements. Anonymous lambdas are attributed to the enclosing
+    function (lexical attribution — what the cadence check wants); named
+    local lambdas (`auto f = [...](...) {...};`) become their own
+    FunctionDefs so calls to them resolve."""
+
+    def __init__(self, parser, fn, cls):
+        self.p = parser
+        self.fn = fn
+        self.cls = cls
+        self.held = list(fn.requires)       # lock keys currently held
+        self.frames = []                    # (kind, held_len, loop_len)
+        self.active_loops = []              # loop ids
+        self.stmt_stack = [[]]              # buffers; top = current statement
+        self.expect_do_while = []           # depths awaiting `while (...)` tail
+
+    # -- helpers ------------------------------------------------------------
+
+    def push_frame(self, kind):
+        self.frames.append((kind, len(self.held), len(self.active_loops)))
+
+    def pop_frame(self):
+        kind, held_len, loop_len = self.frames.pop()
+        del self.held[held_len:]
+        del self.active_loops[loop_len:]
+        return kind
+
+    def flush_stmt(self):
+        self.stmt_stack[-1] = []
+
+    def add_loop(self, line, kind, infinite):
+        loop = Loop(loop_id=len(self.fn.loops), line=line, kind=kind,
+                    infinite=infinite,
+                    parent=self.active_loops[-1] if self.active_loops else -1)
+        self.fn.loops.append(loop)
+        for lid in self.active_loops:
+            self.fn.loops[lid].has_nested_loop = True
+        self.active_loops.append(loop.loop_id)
+        return loop
+
+    def record_poll(self, line):
+        self.fn.poll_lines = tuple(self.fn.poll_lines) + (line,)
+        for lid in self.active_loops:
+            lp = self.fn.loops[lid]
+            lp.poll_lines = tuple(lp.poll_lines) + (line,)
+
+    def receiver_of(self, toks, idx):
+        """Builds the receiver/qualifier text for the call whose name is at
+        token idx: walks back over `a.b->c::` chains."""
+        parts = []
+        k = idx - 1
+        hops = 0
+        while k > 0 and toks[k].text in (".", "->", "::") and hops < 8:
+            parts.insert(0, toks[k].text)
+            k -= 1
+            if toks[k].kind == "ident" or toks[k].text in (")", "]"):
+                parts.insert(0, toks[k].text if toks[k].kind == "ident" else "()")
+                k -= 1
+            hops += 1
+        return "".join(parts[:-1]) if parts else ""
+
+    # -- the walk -----------------------------------------------------------
+
+    def walk(self, i, end):
+        toks = self.p.toks
+        paren = 0
+        while i < end:
+            t = toks[i]
+            x = t.text
+            buf = self.stmt_stack[-1]
+
+            if x == "(":
+                paren += 1
+                buf.append(t)
+                i += 1
+                continue
+            if x == ")":
+                paren -= 1
+                buf.append(t)
+                i += 1
+                continue
+
+            if x == "{":
+                if paren > 0:
+                    # Anonymous lambda (or brace-init) inside an expression:
+                    # its statements are processed in a nested buffer level.
+                    self.push_frame("expr-brace")
+                    self.stmt_stack.append([])
+                    # paren depth is per-level; save it on the frame via a
+                    # parallel trick: encode in stmt_stack? Keep a stack:
+                    self._paren_save = getattr(self, "_paren_save", [])
+                    self._paren_save.append(paren)
+                    paren = 0
+                    i += 1
+                    continue
+                named = self._named_lambda_start(buf)
+                if named is not None:
+                    close = self.p.match_brace(i)
+                    lam = FunctionDef(
+                        qual_name=f"{self.fn.qual_name}::{named}",
+                        name=named, cls=self.cls, file=self.p.rel,
+                        line=t.line, is_lambda=True,
+                        parent=self.fn.qual_name)
+                    lam.end_line = toks[close].line
+                    BodyWalker(self.p, lam, self.cls).walk(i + 1, close)
+                    self.p.model.add_function(lam)
+                    self.flush_stmt()
+                    i = close + 1
+                    continue
+                self.flush_stmt()
+                self.push_frame("block")
+                i += 1
+                continue
+
+            if x == "}":
+                if self.frames:
+                    kind = self.pop_frame()
+                    if kind == "expr-brace":
+                        self.stmt_stack.pop()
+                        paren = self._paren_save.pop()
+                        i += 1
+                        continue
+                self.flush_stmt()
+                # A `do { ... }` body just closed? Swallow `while (...)`.
+                if (self.expect_do_while
+                        and self.expect_do_while[-1] == len(self.frames)
+                        and i + 1 < end and toks[i + 1].text == "while"):
+                    self.expect_do_while.pop()
+                    k = i + 2
+                    if k < end and toks[k].text == "(":
+                        k = self.p.skip_group(k, "(", ")")
+                    i = k + 1
+                    continue
+                i += 1
+                continue
+
+            if x == ";" and paren == 0:
+                buf.append(t)
+                self.finalize_statement(buf)
+                self.flush_stmt()
+                while self.frames and self.frames[-1][0] == "loop-stmt":
+                    self.pop_frame()
+                i += 1
+                continue
+
+            if x in ("for", "while") and paren == 0:
+                self.flush_stmt()
+                header_open = i + 1
+                infinite = False
+                kind = x
+                if header_open < end and toks[header_open].text == "(":
+                    header_close = self.p.skip_group(header_open, "(", ")")
+                    inner = toks[header_open + 1:header_close]
+                    inner_txt = [tt.text for tt in inner]
+                    if x == "while" and inner_txt in (["true"], ["1"]):
+                        infinite = True
+                    if x == "for" and all(tt == ";" for tt in inner_txt):
+                        infinite = True
+                    if x == "for" and ":" in inner_txt:
+                        kind = "range-for"
+                    # Walk the header for calls/polls too (conditions poll).
+                    self._scan_header(inner)
+                else:
+                    header_close = i
+                # The frame snapshot must precede add_loop so popping the
+                # frame deactivates this loop too.
+                if header_close + 1 < end and toks[header_close + 1].text == "{":
+                    self.push_frame("loop")
+                    self.add_loop(t.line, kind, infinite)
+                    i = header_close + 2
+                else:
+                    # Single-statement body: the loop stays active until the
+                    # next ';' at this level — approximate with a frame that
+                    # the ';' handler below pops.
+                    self.push_frame("loop-stmt")
+                    self.add_loop(t.line, kind, infinite)
+                    i = header_close + 1
+                continue
+
+            if x == "do" and paren == 0:
+                self.flush_stmt()
+                if i + 1 < end and toks[i + 1].text == "{":
+                    self.push_frame("loop")
+                    self.add_loop(t.line, "do", False)
+                    self.expect_do_while.append(len(self.frames) - 1)
+                    i += 2
+                else:
+                    self.push_frame("loop-stmt")
+                    self.add_loop(t.line, "do", False)
+                    i += 1
+                continue
+
+            # RAII lock declaration: TYPE [<...>] NAME ( args ) ;
+            if (t.kind == "ident" and t.text in config.RAII_LOCK_TYPES
+                    and paren == 0):
+                j = i + 1
+                if j < end and toks[j].text == "<":
+                    j = self.p.skip_angles(j)
+                if (j < end and toks[j].kind == "ident"
+                        and j + 1 < end and toks[j + 1].text == "("):
+                    close = self.p.skip_group(j + 1, "(", ")")
+                    key = _norm_mutex_key(toks[j + 2:close], self.cls)
+                    if key:
+                        self.fn.acquires.append(LockAcq(
+                            key=key, line=t.line, kind="scoped",
+                            held_before=tuple(self.held)))
+                        self.held.append(key)
+                    i = close + 1
+                    continue
+
+            # Call site: ident followed by '('.
+            if (t.kind == "ident" and i + 1 < end
+                    and toks[i + 1].text == "("
+                    and t.text not in KEYWORDS):
+                prev = toks[i - 1] if i > 0 else None
+                is_decl = prev is not None and (
+                    (prev.kind == "ident" and prev.text not in KEYWORDS
+                     and prev.text not in CALL_PREV_OK)
+                    or prev.text in (">", "*", "&")
+                    and i >= 2 and toks[i - 2].kind == "ident")
+                if prev is not None and prev.text in (".", "->", "::"):
+                    is_decl = False
+                if not is_decl:
+                    self.record_call(t, self.receiver_of(toks, i))
+                buf.append(t)
+                i += 1
+                continue
+
+            buf.append(t)
+            i += 1
+
+            # Close single-statement loop bodies at their ';'.
+            if x == ";" and paren == 0:
+                pass  # handled above; unreachable
+
+        # Function end: leftover buffer is not a statement (no trailing ';').
+
+    def _scan_header(self, inner_tokens):
+        for k, tt in enumerate(inner_tokens):
+            if (tt.kind == "ident" and k + 1 < len(inner_tokens)
+                    and inner_tokens[k + 1].text == "("
+                    and tt.text not in KEYWORDS):
+                recv = ""
+                if k >= 2 and inner_tokens[k - 1].text in (".", "->", "::"):
+                    recv = inner_tokens[k - 2].text
+                self.record_call(tt, recv)
+
+    def _named_lambda_start(self, buf):
+        """`auto NAME = [...] ... {` (const auto also) -> NAME or None."""
+        texts = [t.text for t in buf]
+        if texts[:1] == ["const"]:
+            texts = texts[1:]
+        if len(texts) >= 4 and texts[0] == "auto" and texts[2] == "=" \
+                and texts[3] == "[":
+            return texts[1]
+        return None
+
+    def record_call(self, tok, receiver):
+        name = tok.text
+        qual = ""
+        if "::" in receiver:
+            qual = receiver.split("::")[0]
+        cs = CallSite(name=name, qual=qual, receiver=receiver, line=tok.line,
+                      locks_held=tuple(self.held),
+                      loop_ids=tuple(self.active_loops))
+        self.fn.calls.append(cs)
+        for lid in self.active_loops:
+            lp = self.fn.loops[lid]
+            lp.call_ids = tuple(lp.call_ids) + (len(self.fn.calls) - 1,)
+        # Manual lock transitions.
+        key = _norm_mutex_key_from_text(receiver, self.cls)
+        if name in config.MANUAL_ACQUIRE and receiver and key:
+            self.fn.acquires.append(LockAcq(key=key, line=tok.line,
+                                            kind="manual",
+                                            held_before=tuple(self.held)))
+            self.held.append(key)
+        elif name in config.MANUAL_RELEASE and key in self.held:
+            self.held.remove(key)
+        # Poll sites.
+        rl = receiver.lower()
+        for pname, rsub in config.POLL_SITES:
+            if name == pname and (not rsub or rsub in rl):
+                self.record_poll(tok.line)
+                break
+
+    def finalize_statement(self, buf):
+        """Statement-shaped analyses that need the whole statement: the
+        discarded-Status candidates are stashed on the FunctionDef for the
+        whole-program pass (the Status-name harvest completes only after all
+        files are parsed)."""
+        texts = [t.text for t in buf]
+        if not texts:
+            return
+        stmt = _StatusStmt.classify(buf, texts)
+        if stmt is not None:
+            if not hasattr(self.fn, "status_stmts"):
+                self.fn.status_stmts = []
+            self.fn.status_stmts.append(stmt)
+
+
+def _norm_mutex_key_from_text(receiver, cls):
+    if not receiver:
+        return ""
+    r = receiver
+    if r.startswith("this->") or r.startswith("this."):
+        r = r.split(">", 1)[-1] if "->" in r else r.split(".", 1)[-1]
+    if r.isidentifier() and cls:
+        return f"{cls}::{r}"
+    return r
+
+
+class _StatusStmt:
+    """A statement that *might* discard a Status: an expression statement
+    whose outermost construct is a call (possibly under a (void)/static_cast
+    <void> shroud or a comma operator). Stored token-texts + line; resolved
+    against the completed Status-name harvest in the whole-program pass."""
+
+    __slots__ = ("line", "texts", "void_cast", "kinds")
+
+    def __init__(self, line, texts, void_cast):
+        self.line = line
+        self.texts = texts
+        self.void_cast = void_cast
+
+    @staticmethod
+    def classify(buf, texts):
+        first = texts[0]
+        if first in CONTROL_STARTERS or first in ("return", "co_return",
+                                                  "break", "continue", "goto",
+                                                  "using", "typedef", "}",
+                                                  "delete", "throw"):
+            return None
+        if first in config.STATUS_CONSUMING_MACROS:
+            return None
+        if first.startswith(config.TEST_MACRO_PREFIXES):
+            return None
+        # Any top-level assignment consumes.
+        depth = 0
+        for x in texts:
+            if x in ("(", "["):
+                depth += 1
+            elif x in (")", "]"):
+                depth -= 1
+            elif depth == 0 and (x == "=" or (x.endswith("=") and len(x) == 2
+                                 and x not in ("==", "!=", "<=", ">="))):
+                return None
+        void_cast = False
+        k = 0
+        # (void) prefix
+        if texts[:3] == ["(", "void", ")"]:
+            void_cast = True
+            k = 3
+        elif texts[:5] == ["static_cast", "<", "void", ">", "("]:
+            void_cast = True
+            k = 5
+        # Expression must start with an identifier chain ending in a call.
+        if k >= len(texts) or not _is_ident(texts[k]):
+            return None
+        # Declaration shape `Type name ...` (two idents in a row) -> skip.
+        if k + 1 < len(texts) and _is_ident(texts[k + 1]):
+            return None
+        return _StatusStmt(buf[0].line, texts, void_cast)
+
+
+def _is_ident(x):
+    return bool(x) and (x[0].isalpha() or x[0] == "_")
+
+
+def parse_source(text, rel, model):
+    """Parses one file into the model; returns a list of error strings
+    (currently only malformed suppression markers)."""
+    errors = []
+    supp = collect_suppressions(text, rel, errors)
+    model.files[rel] = FileInfo(path=rel, suppressions=supp,
+                                raw_lines=tuple(text.splitlines()))
+    toks = code_tokens(tokenize(text))
+    Parser(toks, rel, model, text.splitlines(), errors).parse_scope(
+        0, len(toks), cls="")
+    return errors

@@ -1,0 +1,105 @@
+"""The analysis IR shared by both front ends (token-level and libclang).
+
+Everything downstream — the lock-order graph, the cancellation cadence walk,
+the seam confinement check — consumes only these shapes, so the checks do not
+care which front end produced the model.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+    name: str                 # unqualified callee name, e.g. "WritePage"
+    qual: str                 # qualifier if spelled, e.g. "WriteAheadLog" for A::B()
+    receiver: str             # receiver expression text for member calls ("" if free)
+    line: int = 0
+    locks_held: tuple = ()    # normalized mutex keys held at the call site
+    loop_ids: tuple = ()      # ids (into FunctionDef.loops) of enclosing loops
+
+
+@dataclass
+class LockAcq:
+    """One mutex acquisition (RAII scope, manual Lock(), or REQUIRES entry)."""
+    key: str                  # normalized mutex identity, e.g. "BufferPool::mu_"
+    line: int = 0
+    kind: str = "scoped"      # scoped | manual | requires
+    held_before: tuple = ()   # keys already held when this one was taken
+
+
+@dataclass
+class Loop:
+    loop_id: int
+    line: int = 0
+    kind: str = "for"         # for | while | do | range-for
+    infinite: bool = False    # while(true) / for(;;)
+    parent: int = -1          # enclosing loop id, -1 if top-level in the body
+    has_nested_loop: bool = False
+    poll_lines: tuple = ()    # lines of direct QueryContext poll sites in span
+    call_ids: tuple = ()      # indices into FunctionDef.calls made inside the span
+
+
+@dataclass
+class FunctionDef:
+    qual_name: str            # "Class::Name" or "Name"
+    name: str                 # unqualified
+    cls: str                  # enclosing class ("" for free functions)
+    file: str = ""            # repo-relative path
+    line: int = 0
+    end_line: int = 0
+    is_lambda: bool = False   # named local lambda (auto f = [...](...) {...})
+    parent: str = ""          # for lambdas: qual_name of the enclosing function
+    requires: tuple = ()      # mutex keys from EXCLUSIVE_LOCKS_REQUIRED/REQUIRES
+    acquires: list = field(default_factory=list)   # [LockAcq]
+    calls: list = field(default_factory=list)      # [CallSite]
+    loops: list = field(default_factory=list)      # [Loop]
+    poll_lines: tuple = ()    # direct QueryContext poll sites anywhere in body
+    returns_status: bool = False  # declared return type Status / Result<T>
+
+
+@dataclass
+class FileInfo:
+    path: str                 # repo-relative
+    suppressions: dict = field(default_factory=dict)  # check -> set(lines)
+    raw_lines: tuple = ()     # source lines, for comment-adjacency rules
+
+
+@dataclass
+class Model:
+    """Whole-program view over the analyzed translation units."""
+    functions: dict = field(default_factory=dict)   # qual_name -> FunctionDef
+    by_name: dict = field(default_factory=dict)     # short name -> [qual_name]
+    files: dict = field(default_factory=dict)       # path -> FileInfo
+    # names declared with a Status/Result return type somewhere, and names
+    # *also* declared with a different return type (ambiguous for unqualified
+    # call resolution; qualified calls still resolve exactly).
+    status_names: set = field(default_factory=set)
+    ambiguous_status_names: set = field(default_factory=set)
+    frontend: str = "tokens"
+
+    def add_function(self, fn):
+        # Lambdas and overloads: keep every definition distinguishable.
+        key = fn.qual_name
+        serial = 2
+        while key in self.functions:
+            key = f"{fn.qual_name}#{serial}"
+            serial += 1
+        self.functions[key] = fn
+        self.by_name.setdefault(fn.name, []).append(key)
+        return key
+
+    def suppressed(self, check, path, line):
+        fi = self.files.get(path)
+        return fi is not None and line in fi.suppressions.get(check, ())
+
+
+@dataclass(frozen=True)
+class Finding:
+    check: str
+    file: str
+    line: int
+    message: str
+
+    def render(self):
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"

@@ -1,0 +1,139 @@
+"""A C++ token scanner that is exact about the things the analyzer cares
+about: comments, string/char literals (including raw strings), preprocessor
+directives (with line continuations), and line numbers.
+
+It is NOT a preprocessor — macros are not expanded and conditional blocks are
+taken as written. That is the right trade-off for this tree: the analyzer's
+subjects (MutexLock scopes, call sites, loops, Status statements) all appear
+literally in the source, and the project style keeps preprocessor tricks out
+of function bodies (enforced culturally, and the checks would simply not see
+code hidden behind unexpanded macros — same blind spot clang-tidy has with
+macro-generated code).
+"""
+
+import bisect
+import re
+from dataclasses import dataclass
+
+# Kinds: 'ident', 'num', 'str', 'char', 'punct', 'pp' (a whole preprocessor
+# directive, continuations folded), 'comment' (kept so suppression markers
+# survive into the token stream).
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self):  # compact for golden-test debugging
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+     (?P<ws>\s+)
+    |(?P<lcomment>//[^\n]*)
+    |(?P<bcomment>/\*.*?\*/)
+    |(?P<rawstr>R"(?P<delim>[^()\s\\]*)\(.*?\)(?P=delim)")
+    |(?P<str>"(?:[^"\\\n]|\\.)*")
+    |(?P<char>'(?:[^'\\\n]|\\.)*')
+    |(?P<num>\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*)
+    |(?P<ident>[A-Za-z_]\w*)
+    |(?P<punct>->\*?|\+\+|--|<<=|>>=|<=>|\.\.\.|::|&&|\|\||<<|>>
+      |[-+*/%&|^!=<>]=|[{}()\[\];,.:?~&|^!<>=+\-*/%#@$`\\])
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+# (leading indentation is consumed by the preceding whitespace token, so a
+# directive always presents as '#' at the cursor when at_line_start is set)
+
+
+def tokenize(text):
+    """Returns a list of Tokens. Never raises on malformed input: anything the
+    scanner cannot classify is emitted as a 1-char 'punct' token, so the
+    analyzer degrades instead of dying on exotic code."""
+    # Line table for offset -> line translation.
+    nl_offsets = [m.start() for m in re.finditer(r"\n", text)]
+
+    def line_of(off):
+        return bisect.bisect_right(nl_offsets, off - 1) + 1
+
+    tokens = []
+    i, n = 0, len(text)
+    at_line_start = True
+    while i < n:
+        if at_line_start and text[i] == "#":
+            # Swallow the directive including backslash continuations.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k == -1:
+                    k = n
+                if text.endswith("\\", 0, k) and k < n:
+                    j = k + 1
+                    continue
+                # A // comment inside the directive can hide a continuation;
+                # keep it simple: a backslash-newline only continues when it
+                # ends the raw line.
+                if k > 0 and text[k - 1] == "\\":
+                    j = k + 1
+                    continue
+                j = k
+                break
+            tokens.append(Token("pp", text[i:j], line_of(i)))
+            i = j
+            continue
+        m = _TOKEN_RE.match(text, i)
+        if m is None:
+            tokens.append(Token("punct", text[i], line_of(i)))
+            i += 1
+            at_line_start = text[i - 1] == "\n"
+            continue
+        kind = m.lastgroup
+        if kind == "delim":  # subgroup of rawstr; normalize
+            kind = "rawstr"
+        tok_text = m.group(0)
+        if kind == "ws":
+            if "\n" in tok_text:
+                at_line_start = True
+        else:
+            at_line_start = False
+            if kind in ("lcomment", "bcomment"):
+                tokens.append(Token("comment", tok_text, line_of(m.start())))
+            elif kind == "rawstr":
+                tokens.append(Token("str", tok_text, line_of(m.start())))
+            else:
+                tokens.append(Token(kind, tok_text, line_of(m.start())))
+        i = m.end()
+    return tokens
+
+
+def code_tokens(tokens):
+    """The token stream without comments and preprocessor directives — what
+    the structural passes walk."""
+    return [t for t in tokens if t.kind not in ("comment", "pp")]
+
+
+SUPPRESS_RE = re.compile(r"//\s*analyze-ok\(([\w-]+)\)\s*:\s*(\S.*)")
+BARE_SUPPRESS_RE = re.compile(r"//\s*analyze-ok\(([\w-]+)\)\s*(?::\s*)?$")
+
+
+def collect_suppressions(text, path, errors):
+    """Scans raw source for `// analyze-ok(check): justification` markers.
+
+    Returns {check-name: set(lines)} where a marker on line L suppresses
+    findings of that check on L and L+1 (marker-above-statement style). A
+    marker with an empty justification is itself reported as an error: the
+    whole point of inline suppression is the recorded reason.
+    """
+    out = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            out.setdefault(m.group(1), set()).update({lineno, lineno + 1})
+            continue
+        if BARE_SUPPRESS_RE.search(line):
+            errors.append(
+                f"{path}:{lineno}: [suppression] analyze-ok marker has no "
+                "justification — write `// analyze-ok(check): <why this is safe>`")
+    return out

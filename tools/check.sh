@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# tools/check.sh — the pre-merge gate: lint + every build/test lane.
+# tools/check.sh — the pre-merge gate: lint + analyze + every build/test lane.
 #
-# Lanes (all with -DC2LSH_WERROR=ON, so warnings — including discarded
+# Lanes (all builds with -DC2LSH_WERROR=ON, so warnings — including discarded
 # [[nodiscard]] Status/Result — are hard failures):
 #
 #   lint      tools/lint.py over src/ tests/ tools/ bench/
-#   default   plain build, full ctest
+#   default   plain build, full ctest (includes the analyzer/lint self-test
+#             suites, registered under the `analysis` label)
+#   analyze   tools/analyze over src/ using the default lane's
+#             compile_commands.json (fails with a pointer at CMake's
+#             CMAKE_EXPORT_COMPILE_COMMANDS if the database is missing)
 #   metrics   ctest -L metrics in the default tree, then metrics_dump in all
 #             three exporter formats (the prometheus run self-validates
 #             against the text-exposition grammar)
@@ -21,20 +25,30 @@
 #   ubsan     -DC2LSH_SANITIZE=undefined, full ctest, rerun w/ C2LSH_SIMD=scalar
 #   tsan      -DC2LSH_SANITIZE=thread,    ctest -L race (concurrent stress
 #             suite; any TSan report fails the test)
+#   fuzz      -DC2LSH_FUZZ=ON -DC2LSH_SANITIZE=address,undefined: builds the
+#             fuzz/ harnesses, regenerates the seed corpora with make_seeds,
+#             and soaks each harness for FUZZ_SECONDS (default 60) of
+#             deterministic seeded mutation — any abort or sanitizer report
+#             fails the lane
+#   clang     clang++ build with -Wthread-safety (annotation check) — SKIP
+#             when clang++ is not installed
+#   tidy      clang-tidy (>= TIDY_MIN_VERSION) over src/ with the checked-in
+#             .clang-tidy — SKIP when clang-tidy is missing or too old; a
+#             finding from an installed, current clang-tidy FAILS the lane
 #
 # The sanitizer lanes run their ctest suite twice: once on the CPU's best
 # SIMD dispatch target and once with the C2LSH_SIMD=scalar runtime override,
 # so both sides of the kernel dispatch stay sanitizer-clean without an extra
 # build tree.
-#   clang     clang++ build with -Wthread-safety (annotation check) — runs
-#             only when clang++ is installed
-#   tidy      clang-tidy over src/ with the checked-in .clang-tidy — runs
-#             only when clang-tidy is installed
 #
-# Exits non-zero if ANY lane fails. Build trees live under build-check/ so
-# they never collide with a developer's ./build.
+# Every lane's verdict (PASS/FAIL/SKIP + duration) is collected into a
+# summary table; the script exits with the FIRST failing lane's exit code,
+# so CI surfaces the root cause, not whatever ran last.  Build trees live
+# under build-check/ so they never collide with a developer's ./build.
 #
-# Usage: tools/check.sh [--fast]   (--fast: lint + default lane only)
+# Usage: tools/check.sh [--fast]
+#   --fast: lint + default + analyze + the default-tree ctest sublanes;
+#           skips the scalar, sanitizer, fuzz, clang and tidy lanes.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -42,19 +56,47 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
+TIDY_MIN_VERSION=14
 
-failures=()
+# --- lane bookkeeping -------------------------------------------------------
+lane_names=()
+lane_status=()   # PASS / FAIL / SKIP
+lane_secs=()
+lane_notes=()
+first_fail_code=0
+first_fail_name=""
+
 note() { printf '\n==== %s ====\n' "$*"; }
+
+record_lane() {  # record_lane <name> <status> <secs> <code> [note]
+  lane_names+=("$1"); lane_status+=("$2"); lane_secs+=("$3")
+  lane_notes+=("${5:-}")
+  if [[ "$2" == "FAIL" && "${first_fail_code}" -eq 0 ]]; then
+    first_fail_code="$4"
+    first_fail_name="$1"
+  fi
+}
 
 run_lane() {  # run_lane <name> <command...>
   local name="$1"; shift
   note "lane: ${name}"
-  if "$@"; then
-    echo "lane ${name}: OK"
+  local t0=${SECONDS}
+  "$@"
+  local code=$?
+  local dt=$((SECONDS - t0))
+  if [[ ${code} -eq 0 ]]; then
+    echo "lane ${name}: OK (${dt}s)"
+    record_lane "${name}" PASS "${dt}" 0
   else
-    echo "lane ${name}: FAILED"
-    failures+=("${name}")
+    echo "lane ${name}: FAILED (exit ${code}, ${dt}s)"
+    record_lane "${name}" FAIL "${dt}" "${code}"
   fi
+}
+
+skip_lane() {  # skip_lane <name> <reason>
+  note "lane: $1 (skipped — $2)"
+  record_lane "$1" SKIP 0 0 "$2"
 }
 
 build_and_test() {  # build_and_test <dir> <ctest-args...> -- <cmake-args...>
@@ -84,6 +126,20 @@ run_lane lint python3 tools/lint.py
 
 # --- default ---------------------------------------------------------------
 run_lane default build_and_test build-check/default --
+
+# --- analyze (invariant analyzer over src/) --------------------------------
+analyze_lane() {
+  if [[ ! -f build-check/default/compile_commands.json ]]; then
+    echo "analyze: build-check/default/compile_commands.json is missing." >&2
+    echo "  The default lane's configure step exports it automatically" >&2
+    echo "  (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt);" >&2
+    echo "  run the default lane first, or configure any tree and pass" >&2
+    echo "  it with: python3 tools/analyze -p <build-dir>" >&2
+    return 2
+  fi
+  python3 tools/analyze -p build-check/default
+}
+run_lane analyze analyze_lane
 
 # --- metrics (observability suite + exporter round-trip) -------------------
 metrics_lane() {  # reuses the default lane's tree
@@ -122,33 +178,68 @@ if [[ "${FAST}" -eq 0 ]]; then
   run_lane ubsan build_and_test_both_isas build-check/ubsan -- -DC2LSH_SANITIZE=undefined
   run_lane tsan build_and_test_both_isas build-check/tsan -L race -- -DC2LSH_SANITIZE=thread
 
-  # --- clang thread-safety annotations (optional tool) ---------------------
+  # --- fuzz (untrusted-byte parsers under ASan+UBSan) ----------------------
+  fuzz_lane() {
+    cmake -B build-check/fuzz -S . -DC2LSH_WERROR=ON -DC2LSH_FUZZ=ON \
+      -DC2LSH_SANITIZE=address,undefined >/dev/null || return 1
+    cmake --build build-check/fuzz -j "${JOBS}" \
+      --target wal_replay_fuzz page_header_fuzz serialize_fuzz make_seeds \
+      || return 1
+    local work=build-check/fuzz/soak
+    rm -rf "${work}" && mkdir -p "${work}" || return 1
+    build-check/fuzz/fuzz/make_seeds "${work}/corpus" || return 1
+    local pair bin sub
+    for pair in wal_replay_fuzz:wal page_header_fuzz:page \
+                serialize_fuzz:serialize; do
+      bin="${pair%%:*}"; sub="${pair##*:}"
+      note "  (fuzz: ${bin}, ${FUZZ_SECONDS}s)"
+      ( cd "${work}" &&
+        "../fuzz/${bin}" -max_total_time="${FUZZ_SECONDS}" -seed=20120817 \
+          "corpus/${sub}" ) || { echo "fuzz harness ${bin} FAILED"; return 1; }
+    done
+  }
+  run_lane fuzz fuzz_lane
+
+  # --- clang thread-safety annotations -------------------------------------
   if command -v clang++ >/dev/null 2>&1; then
     run_lane clang build_and_test build-check/clang -- \
       -DCMAKE_CXX_COMPILER=clang++
   else
-    note "lane: clang (skipped — clang++ not installed; -Wthread-safety not checked)"
+    skip_lane clang "clang++ not installed; -Wthread-safety not checked"
   fi
 
-  # --- clang-tidy (optional tool) ------------------------------------------
-  if command -v clang-tidy >/dev/null 2>&1; then
-    tidy() {
-      cmake -B build-check/tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-        >/dev/null || return 1
+  # --- clang-tidy ----------------------------------------------------------
+  tidy_version() {  # major version of the installed clang-tidy, or 0
+    clang-tidy --version 2>/dev/null |
+      sed -n 's/.*version \([0-9][0-9]*\).*/\1/p' | head -1
+  }
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    skip_lane tidy "clang-tidy not installed"
+  elif [[ "$(tidy_version)" -lt "${TIDY_MIN_VERSION}" ]]; then
+    skip_lane tidy "clang-tidy $(tidy_version) < required ${TIDY_MIN_VERSION}"
+  else
+    tidy_lane() {
+      cmake -B build-check/tidy -S . >/dev/null || return 1
       # shellcheck disable=SC2046
       clang-tidy -p build-check/tidy --quiet \
         $(find src -name '*.cc') $(find tools -name '*.cpp')
     }
-    run_lane tidy tidy
-  else
-    note "lane: tidy (skipped — clang-tidy not installed)"
+    run_lane tidy tidy_lane
   fi
 fi
 
 # --- verdict ---------------------------------------------------------------
 note "summary"
-if [[ ${#failures[@]} -gt 0 ]]; then
-  echo "FAILED lanes: ${failures[*]}"
-  exit 1
+printf '%-10s %-6s %8s  %s\n' "lane" "status" "time" ""
+printf '%-10s %-6s %8s\n' "----" "------" "----"
+for i in "${!lane_names[@]}"; do
+  printf '%-10s %-6s %7ss  %s\n' "${lane_names[$i]}" "${lane_status[$i]}" \
+    "${lane_secs[$i]}" "${lane_notes[$i]}"
+done
+if [[ "${first_fail_code}" -ne 0 ]]; then
+  echo
+  echo "FIRST FAILURE: lane '${first_fail_name}' (exit ${first_fail_code})"
+  exit "${first_fail_code}"
 fi
+echo
 echo "all lanes passed"

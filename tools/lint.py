@@ -33,14 +33,6 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     cancelled and wrecks deadline budgets. Waits belong on a
                     condition variable (wakeable) or in the deadline-aware
                     retry loop; tests may sleep freely.
-  mutation-seam     the page-mutation primitives (WritePage, AllocatePage,
-                    SetUserRoot) may be called only inside src/storage/ and
-                    the compaction/publish seam src/core/disk_index.cc —
-                    everywhere else in src/, index state changes must flow
-                    through the WAL-backed Insert/Delete/Compact path so a
-                    bucket run or page header is never rewritten behind the
-                    crash-recovery protocol's back. Tests and tools are
-                    exempt (they tear state on purpose).
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -55,11 +47,18 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     compiler's [[nodiscard]] already resolves those
                     precisely.
 
+The mutation-seam rule that used to live here (a file-path allowlist for
+WritePage/AllocatePage/SetUserRoot) has moved to tools/analyze, which
+confines the primitives at function granularity over the call graph — see
+the mutation-seam check there.
+
 A line ending in `// NOLINT` or `// NOLINT(rule)` is exempt from that rule
 (use sparingly, with justification in the surrounding comment).
 
 Usage: tools/lint.py [--root DIR] [paths...]
-Default paths: src/ tests/ tools/ bench/ under the repo root.
+Default paths: src/ tests/ tools/ bench/ fuzz/ under the repo root.
+Directories named `*_fixtures` are skipped — they hold deliberately broken
+inputs for the lint/analyzer self-tests.
 """
 
 import argparse
@@ -67,7 +66,7 @@ import os
 import re
 import sys
 
-DEFAULT_DIRS = ["src", "tests", "tools", "bench"]
+DEFAULT_DIRS = ["src", "tests", "tools", "bench", "fuzz"]
 SOURCE_EXTS = {".cc", ".cpp", ".h", ".hpp"}
 HEADER_EXTS = {".h", ".hpp"}
 
@@ -120,17 +119,6 @@ RAW_SLEEP_ALLOWED_FILES = {
 }
 RAW_SLEEP_SCOPE_PREFIX = "src" + os.sep
 
-# Direct page mutation is confined to the storage layer plus the disk
-# index's compaction/publish seam; everything else goes through the
-# WAL-backed mutation path (see docs/ARCHITECTURE.md, "Mutability & recovery
-# invariants").
-MUTATION_SEAM = re.compile(r"(?:->|\.)\s*(?:WritePage|AllocatePage|SetUserRoot)\s*\(")
-MUTATION_SEAM_ALLOWED_PREFIX = os.path.join("src", "storage") + os.sep
-MUTATION_SEAM_ALLOWED_FILES = {
-    os.path.join("src", "core", "disk_index.cc"),
-}
-MUTATION_SEAM_SCOPE_PREFIX = "src" + os.sep
-
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
 STATUS_DECL = re.compile(
@@ -155,7 +143,10 @@ def iter_files(root, paths):
         if os.path.isfile(full):
             yield full
             continue
-        for dirpath, _, names in os.walk(full):
+        for dirpath, dirnames, names in os.walk(full):
+            # *_fixtures directories hold deliberately broken inputs for the
+            # lint/analyzer self-tests.
+            dirnames[:] = [d for d in dirnames if not d.endswith("_fixtures")]
             for name in sorted(names):
                 if os.path.splitext(name)[1] in SOURCE_EXTS:
                     yield os.path.join(dirpath, name)
@@ -277,16 +268,6 @@ def lint_file(path, rel, status_names, errors):
                 "banned in library code — it cannot be cancelled and blows "
                 "deadline budgets; wait on a condition variable or go through "
                 "the deadline-aware retry loop (src/util/retry.h)")
-        if (MUTATION_SEAM.search(code) and
-                rel.startswith(MUTATION_SEAM_SCOPE_PREFIX) and
-                not rel.startswith(MUTATION_SEAM_ALLOWED_PREFIX) and
-                rel not in MUTATION_SEAM_ALLOWED_FILES and
-                not allowed("mutation-seam")):
-            errors.append(
-                f"{rel}:{lineno}: [mutation-seam] direct page mutation "
-                "(WritePage/AllocatePage/SetUserRoot) is confined to "
-                "src/storage/ and src/core/disk_index.cc — route index "
-                "changes through the WAL-backed Insert/Delete/Compact seam")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint.py — stdlib unittest only. Run directly or via
+ctest:
+
+  python3 tools/test_lint.py
+
+Two styles:
+  - subprocess runs over tests/lint_fixtures/ pin the end-to-end behavior
+    (rule firing, NOLINT exemptions, exit codes);
+  - direct lint_file() calls with a synthetic repo-relative path exercise
+    the path-scoped rules (raw-sleep and the chrono/isa allowlists key off
+    where a file pretends to live, which fixture files cannot).
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join("tests", "lint_fixtures")
+
+_spec = importlib.util.spec_from_file_location(
+    "lint", os.path.join(ROOT, "tools", "lint.py"))
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def run_lint(*paths):
+    return subprocess.run(
+        [sys.executable, os.path.join("tools", "lint.py"), *paths],
+        cwd=ROOT, capture_output=True, text=True)
+
+
+def lint_text(text, rel, status_names=frozenset()):
+    """Runs lint_file on `text` pretending it lives at repo path `rel`."""
+    errors = []
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, os.path.basename(rel))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        lint.lint_file(path, rel, status_names, errors)
+    return errors
+
+
+class FixtureRules(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        proc = run_lint(FIXTURES)
+        cls.exit = proc.returncode
+        cls.out = proc.stdout
+
+    def rule_lines(self, rule, filename):
+        return [ln for ln in self.out.splitlines()
+                if f"[{rule}]" in ln and filename in ln]
+
+    def test_fixtures_fail_the_gate(self):
+        self.assertEqual(self.exit, 1)
+
+    def test_pragma_once(self):
+        self.assertEqual(len(self.rule_lines("pragma-once",
+                                             "missing_pragma.h")), 1)
+
+    def test_banned_functions_fire_exactly_four_times(self):
+        # rand, strcpy, sprintf, naked new — the NOLINT line, the member
+        # call, the string literal and the comment must all stay clean.
+        self.assertEqual(len(self.rule_lines("banned-function",
+                                             "banned_calls.cc")), 4)
+
+    def test_thread_header(self):
+        self.assertEqual(len(self.rule_lines("thread-header",
+                                             "thread_no_header.cc")), 1)
+
+    def test_isa_and_chrono_confinement(self):
+        self.assertEqual(len(self.rule_lines("isa-header",
+                                             "isa_and_chrono.cc")), 1)
+        self.assertEqual(len(self.rule_lines("chrono-include",
+                                             "isa_and_chrono.cc")), 1)
+
+    def test_default_run_skips_fixture_dirs(self):
+        proc = run_lint()  # default paths: src tests tools bench
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertNotIn("lint_fixtures", proc.stdout)
+        self.assertNotIn("analyze_fixtures", proc.stdout)
+
+
+class PathScopedRules(unittest.TestCase):
+    SLEEP = ("#pragma once\n"
+             "#include <thread>\n"
+             "#include \"util/mutex.h\"\n"
+             "void Nap() { std::this_thread::sleep_for(x); }\n")
+
+    def test_raw_sleep_banned_in_library_code(self):
+        errors = lint_text(self.SLEEP, os.path.join("src", "core", "nap.h"))
+        self.assertTrue(any("[raw-sleep]" in e for e in errors), errors)
+
+    def test_raw_sleep_allowed_in_retry_seam_and_tests(self):
+        for rel in (os.path.join("src", "util", "retry.h"),
+                    os.path.join("tests", "nap_test.cc")):
+            errors = lint_text(self.SLEEP, rel)
+            self.assertFalse(any("[raw-sleep]" in e for e in errors),
+                             (rel, errors))
+
+    def test_chrono_allowed_in_obs(self):
+        text = "#pragma once\n#include <chrono>\n"
+        errors = lint_text(text, os.path.join("src", "obs", "span.h"))
+        self.assertFalse(any("[chrono-include]" in e for e in errors), errors)
+
+    def test_isa_header_allowed_under_src_vector(self):
+        text = "#pragma once\n#include <immintrin.h>\n"
+        errors = lint_text(text, os.path.join("src", "vector", "avx2.h"))
+        self.assertFalse(any("[isa-header]" in e for e in errors), errors)
+
+
+class StatusRule(unittest.TestCase):
+    def test_dropped_status_flagged(self):
+        text = "void F() {\n  Persist();\n}\n"
+        errors = lint_text(text, os.path.join("src", "x.cc"),
+                           status_names={"Persist"})
+        self.assertTrue(any("[unchecked-status]" in e for e in errors),
+                        errors)
+
+    def test_consumed_status_clean(self):
+        text = ("void F() {\n"
+                "  Status s = Persist();\n"
+                "  if (!s.ok()) return;\n"
+                "  // best effort — shutdown path\n"
+                "  (void)Persist();\n"
+                "}\n")
+        errors = lint_text(text, os.path.join("src", "x.cc"),
+                           status_names={"Persist"})
+        self.assertFalse(any("[unchecked-status]" in e for e in errors),
+                         errors)
+
+    def test_void_cast_without_comment_flagged(self):
+        text = "void F() {\n  int a = 0;\n  (void)Persist();\n  ++a;\n}\n"
+        errors = lint_text(text, os.path.join("src", "x.cc"),
+                           status_names={"Persist"})
+        self.assertTrue(any("[unchecked-status]" in e for e in errors),
+                        errors)
+
+    def test_harvest_finds_status_declarations(self):
+        names = lint.harvest_status_names(ROOT)
+        self.assertIn("FlushAll", names)
+
+
+class SeamRuleRetired(unittest.TestCase):
+    def test_mutation_seam_moved_to_analyzer(self):
+        """The file-path seam heuristic is retired here; tools/analyze owns
+        the invariant at function granularity."""
+        text = ("void F(PageFile* f) {\n"
+                "  f->WritePage(1, nullptr);\n"
+                "}\n")
+        errors = lint_text(text, os.path.join("src", "core", "rogue.cc"))
+        self.assertFalse(any("[mutation-seam]" in e for e in errors), errors)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
