@@ -263,7 +263,10 @@ Result<DiskC2lshIndex> DiskC2lshIndex::Build(const Dataset& data,
 
   // Meta blob, published both through the superblock page (legacy location)
   // and the PageFile header's user_root (the atomic-publish primitive
-  // Compact relies on; Open prefers it).
+  // Compact relies on; Open prefers it). Build is the only writer of the
+  // superblock — everything here becomes durable in one FlushAll, so there
+  // is no earlier image to protect; Compact must never rewrite it (see the
+  // publish comment there).
   C2LSH_ASSIGN_OR_RETURN(
       PageId meta_root,
       WriteMetaBlob(index.pool_.get(), options, derived, data.size(), data.dim(),
@@ -411,6 +414,14 @@ Status DiskC2lshIndex::ApplyRecord(const WriteAheadLog::Record& rec) {
       tables_[i].OverlayInsert(buckets[i], rec.id);
     }
     overlay_vectors_[rec.id] = rec.vec;
+    // An insert supersedes any earlier delete of the same id: without this
+    // erase a delete-then-reinsert would stay invisible (the tombstone
+    // gauge would report it) and Compact would drop the acknowledged
+    // insert. The per-table tombstones are lifted inside OverlayInsert.
+    const auto it = std::lower_bound(deleted_ids_.begin(), deleted_ids_.end(), rec.id);
+    if (it != deleted_ids_.end() && *it == rec.id) {
+      deleted_ids_.erase(it);
+    }
     if (static_cast<size_t>(rec.id) + 1 > num_objects_) {
       num_objects_ = static_cast<size_t>(rec.id) + 1;
     }
@@ -553,6 +564,14 @@ Status DiskC2lshIndex::Compact() {
   // user_root swings to the new blob in the same header write that makes the
   // new pages durable. A crash before FlushAll completes recovers the old
   // root (the WAL still covers the delta); after it, the new image.
+  // user_root is the ONLY publish channel here: the legacy superblock (page
+  // 1) is deliberately left untouched. Rewriting it would destroy the old
+  // meta root's last pointer before the header publish — on a pre-v3 file
+  // (durable user_root == 0) a crash between page 1's writeback and Sync
+  // would leave Open's superblock fallback pointing at pages beyond the
+  // durable num_pages, making the index permanently unopenable. Stale is
+  // safe: Open only consults the superblock while user_root is 0, and a
+  // successful publish makes user_root nonzero forever after.
   // max() and not just the WAL cursor: with no mutations since open the
   // cursor can sit below the watermark already baked into the meta blob, and
   // the watermark must never move backwards.
@@ -561,7 +580,6 @@ Status DiskC2lshIndex::Compact() {
       PageId meta_root,
       WriteMetaBlob(pool_.get(), options_, derived_, new_n, dim_, radius_cap_,
                     new_first_data_page, folded_lsn, new_n, *family_, roots));
-  C2LSH_RETURN_IF_ERROR(WriteSuperblock(pool_.get(), meta_root));
   file_->SetUserRoot(meta_root);
   C2LSH_RETURN_IF_ERROR(pool_->FlushAll());
 

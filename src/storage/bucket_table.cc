@@ -116,13 +116,13 @@ size_t BucketTable::Snapshot::MemoryBytes() const {
   return rep_->flat->directory.size() * sizeof(DirEntry) +
          rep_->flat->entries.size() * sizeof(ObjectId) +
          rep_->overlay.size() * sizeof(std::pair<BucketId, ObjectId>) +
-         rep_->tombstones.size() * sizeof(ObjectId);
+         (rep_->tombstones.size() + rep_->flat_dead.size()) * sizeof(ObjectId);
 }
 
 long long BucketTable::Snapshot::MaxLiveId() const {
   long long max_id = -1;
   for (const ObjectId id : rep_->flat->entries) {
-    if (!rep_->IsDeleted(id)) max_id = std::max(max_id, static_cast<long long>(id));
+    if (!rep_->IsDeadInFlat(id)) max_id = std::max(max_id, static_cast<long long>(id));
   }
   for (const auto& [bucket, id] : rep_->overlay) {
     if (!rep_->IsDeleted(id)) max_id = std::max(max_id, static_cast<long long>(id));
@@ -132,7 +132,23 @@ long long BucketTable::Snapshot::MaxLiveId() const {
 
 void BucketTable::Insert(BucketId bucket, ObjectId id) {
   const std::shared_ptr<const Rep> cur = CurrentRep();
-  auto next = std::make_shared<Rep>(*cur);  // shares flat, copies overlay
+  auto next = std::make_shared<Rep>(*cur);  // shares flat, copies deltas
+  // Upsert: every earlier trace of the id dies before the new entry lands —
+  // the tombstone is lifted, stale overlay entries from a previous insert
+  // are removed, and the flat-run entries stay dead via flat_dead (their
+  // bucket came from the superseded vector; resurrecting them would place
+  // the id in stale buckets and double-count collisions after a same-vector
+  // reinsert).
+  const auto t =
+      std::lower_bound(next->tombstones.begin(), next->tombstones.end(), id);
+  if (t != next->tombstones.end() && *t == id) next->tombstones.erase(t);
+  next->overlay.erase(std::remove_if(next->overlay.begin(), next->overlay.end(),
+                                     [id](const std::pair<BucketId, ObjectId>& e) {
+                                       return e.second == id;
+                                     }),
+                      next->overlay.end());
+  const auto d = std::lower_bound(next->flat_dead.begin(), next->flat_dead.end(), id);
+  if (d == next->flat_dead.end() || *d != id) next->flat_dead.insert(d, id);
   const auto pos = std::upper_bound(
       next->overlay.begin(), next->overlay.end(), bucket,
       [](BucketId b, const std::pair<BucketId, ObjectId>& e) { return b < e.first; });
@@ -147,6 +163,8 @@ void BucketTable::Delete(ObjectId id) {
   const auto idx = it - cur->tombstones.begin();
   auto next = std::make_shared<Rep>(*cur);
   next->tombstones.insert(next->tombstones.begin() + idx, id);
+  const auto d = std::lower_bound(next->flat_dead.begin(), next->flat_dead.end(), id);
+  if (d == next->flat_dead.end() || *d != id) next->flat_dead.insert(d, id);
   PublishRep(std::move(next));
 }
 
@@ -157,7 +175,7 @@ void BucketTable::Compact() {
   for (const DirEntry& dir : cur->flat->directory) {
     for (uint32_t i = 0; i < dir.count; ++i) {
       const ObjectId id = cur->flat->entries[dir.offset + i];
-      if (!cur->IsDeleted(id)) raw.emplace_back(dir.bucket, id);
+      if (!cur->IsDeadInFlat(id)) raw.emplace_back(dir.bucket, id);
     }
   }
   for (const auto& [bucket, id] : cur->overlay) {

@@ -61,15 +61,25 @@ class BucketTable {
 
   /// One immutable version of the table: the shared flat run plus this
   /// version's overlay (sorted by bucket, insertion-ordered within a bucket)
-  /// and tombstones (sorted). Mutations copy-on-write the overlay/tombstone
-  /// vectors but share the flat run, so an Insert costs O(overlay), not O(n).
+  /// and two sorted id sets. Mutations copy-on-write the delta vectors but
+  /// share the flat run, so an Insert costs O(overlay), not O(n).
+  ///
+  /// `tombstones` holds currently-deleted ids — it hides overlay entries
+  /// and feeds NumTombstones. `flat_dead` holds ids whose FLAT-RUN entries
+  /// are dead: every deleted id plus every reinserted one (whose live
+  /// entries moved to the overlay, bucketed by the new vector). Keeping the
+  /// union precomputed means each scanned entry checks exactly one set.
   struct Rep {
     std::shared_ptr<const Flat> flat;
     std::vector<std::pair<BucketId, ObjectId>> overlay;
     std::vector<ObjectId> tombstones;
+    std::vector<ObjectId> flat_dead;
 
     bool IsDeleted(ObjectId id) const {
       return std::binary_search(tombstones.begin(), tombstones.end(), id);
+    }
+    bool IsDeadInFlat(ObjectId id) const {
+      return std::binary_search(flat_dead.begin(), flat_dead.end(), id);
     }
   };
 
@@ -105,7 +115,7 @@ class BucketTable {
       const auto [begin_idx, end_idx] = flat.EntryRange(lo, hi);
       for (size_t i = begin_idx; i < end_idx; ++i) {
         const ObjectId id = flat.entries[i];
-        if (rep_->IsDeleted(id)) continue;
+        if (rep_->IsDeadInFlat(id)) continue;
         fn(id);
         ++visited;
       }
@@ -127,7 +137,7 @@ class BucketTable {
       for (const DirEntry& dir : flat.directory) {
         for (uint32_t i = 0; i < dir.count; ++i) {
           const ObjectId id = flat.entries[dir.offset + i];
-          if (!rep_->IsDeleted(id)) fn(dir.bucket, id);
+          if (!rep_->IsDeadInFlat(id)) fn(dir.bucket, id);
         }
       }
       for (const auto& [bucket, id] : rep_->overlay) {
@@ -197,13 +207,18 @@ class BucketTable {
   size_t NumTombstones() const { return snapshot().NumTombstones(); }
   size_t MemoryBytes() const { return snapshot().MemoryBytes(); }
 
-  /// Inserts a dynamic entry into the overlay. Publishes a new version;
-  /// in-flight Snapshots are unaffected. Concurrent mutators must be
-  /// serialized by the caller (the index's writer lock).
+  /// Inserts a dynamic entry into the overlay. An insert is an upsert: it
+  /// lifts any tombstone on `id`, drops stale overlay entries from an
+  /// earlier insert of the same id, and hides the id's flat-run entries
+  /// (bucketed by the superseded vector) until Compact rewrites the run —
+  /// so a delete-then-reinsert is visible exactly once, never lost and
+  /// never double-counted. Publishes a new version; in-flight Snapshots are
+  /// unaffected. Concurrent mutators must be serialized by the caller (the
+  /// index's writer lock).
   void Insert(BucketId bucket, ObjectId id) EXCLUDES(mu_);
 
-  /// Marks an object deleted everywhere in this table (tombstone). Same
-  /// publication contract as Insert.
+  /// Marks an object deleted everywhere in this table (tombstone). Undone
+  /// by a later Insert of the same id. Same publication contract as Insert.
   void Delete(ObjectId id) EXCLUDES(mu_);
 
   /// Folds overlay inserts and drops tombstoned entries, restoring the flat

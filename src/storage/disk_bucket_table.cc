@@ -117,7 +117,26 @@ bool DiskBucketTable::IsDeleted(ObjectId id) const {
   return std::binary_search(tombstones_.begin(), tombstones_.end(), id);
 }
 
+bool DiskBucketTable::IsDeadInRun(ObjectId id) const {
+  return std::binary_search(run_dead_.begin(), run_dead_.end(), id);
+}
+
 void DiskBucketTable::OverlayInsert(BucketId bucket, ObjectId id) {
+  // Upsert: every earlier trace of the id dies before the new entry lands.
+  // The tombstone is lifted (a reinserted id is live again), stale overlay
+  // entries from a previous insert are physically removed, and the id's
+  // base-run entries stay dead via run_dead_ — their bucket was computed
+  // from the superseded vector, so resurrecting them would place the id in
+  // stale buckets and double-count collisions after a same-vector reinsert.
+  const auto t = std::lower_bound(tombstones_.begin(), tombstones_.end(), id);
+  if (t != tombstones_.end() && *t == id) tombstones_.erase(t);
+  overlay_.erase(std::remove_if(overlay_.begin(), overlay_.end(),
+                                [id](const std::pair<BucketId, ObjectId>& o) {
+                                  return o.second == id;
+                                }),
+                 overlay_.end());
+  const auto d = std::lower_bound(run_dead_.begin(), run_dead_.end(), id);
+  if (d == run_dead_.end() || *d != id) run_dead_.insert(d, id);
   const auto pos = std::upper_bound(
       overlay_.begin(), overlay_.end(), bucket,
       [](BucketId b, const std::pair<BucketId, ObjectId>& o) { return b < o.first; });
@@ -126,8 +145,9 @@ void DiskBucketTable::OverlayInsert(BucketId bucket, ObjectId id) {
 
 void DiskBucketTable::OverlayDelete(ObjectId id) {
   const auto it = std::lower_bound(tombstones_.begin(), tombstones_.end(), id);
-  if (it != tombstones_.end() && *it == id) return;  // already tombstoned
-  tombstones_.insert(it, id);
+  if (it == tombstones_.end() || *it != id) tombstones_.insert(it, id);
+  const auto d = std::lower_bound(run_dead_.begin(), run_dead_.end(), id);
+  if (d == run_dead_.end() || *d != id) run_dead_.insert(d, id);
 }
 
 Result<size_t> DiskBucketTable::ForEachInRange(
@@ -149,7 +169,7 @@ Result<size_t> DiskBucketTable::ForEachInRange(
     const size_t from = std::max(begin_idx, page_start) - page_start;
     const size_t to = std::min(end_idx, page_start + per_page) - page_start;
     for (size_t i = from; i < to; ++i) {
-      if (IsDeleted(ids[i])) continue;
+      if (IsDeadInRun(ids[i])) continue;
       fn(ids[i]);
       ++visited;
     }
@@ -172,15 +192,31 @@ Result<size_t> DiskBucketTable::ForEachInRange(
 
 Status DiskBucketTable::ForEachEntry(
     const std::function<void(BucketId, ObjectId)>& fn) const {
+  // The base run is bucket-contiguous over [0, num_entries_), so the scan
+  // walks it one page at a time — each entry page is fetched (and its pool
+  // frame looked up) exactly once — while a directory cursor labels every
+  // index with its bucket.
   const size_t per_page = EntriesPerPage();
-  for (const DirEntry& dir : directory_) {
-    for (uint32_t i = 0; i < dir.count; ++i) {
-      const size_t idx = static_cast<size_t>(dir.offset) + i;
-      const PageId page_id = first_entry_page_ + idx / per_page;
-      C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id));
-      const auto* ids = reinterpret_cast<const ObjectId*>(page.data());
+  auto dir = directory_.begin();
+  for (size_t idx = 0; idx < num_entries_;) {
+    const PageId page_id = first_entry_page_ + idx / per_page;
+    C2LSH_ASSIGN_OR_RETURN(BufferPool::PageHandle page, pool_->Fetch(page_id));
+    const auto* ids = reinterpret_cast<const ObjectId*>(page.data());
+    const size_t page_end = std::min(num_entries_, (idx / per_page + 1) * per_page);
+    for (; idx < page_end; ++idx) {
+      while (dir != directory_.end() &&
+             idx >= static_cast<size_t>(dir->offset) + dir->count) {
+        ++dir;
+      }
+      if (dir == directory_.end() || idx < dir->offset) {
+        // A loaded directory whose spans don't contiguously cover
+        // [0, num_entries_) (possible only from a corrupt blob that still
+        // parsed) must not be walked off the end or mislabel a bucket.
+        return Status::Corruption(
+            "DiskBucketTable: directory does not cover the entry run");
+      }
       const ObjectId oid = ids[idx % per_page];
-      if (!IsDeleted(oid)) fn(dir.bucket, oid);
+      if (!IsDeadInRun(oid)) fn(dir->bucket, oid);
     }
   }
   for (const auto& [bucket, oid] : overlay_) {

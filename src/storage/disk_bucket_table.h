@@ -81,11 +81,16 @@ class DiskBucketTable {
 
   /// Records a dynamic insert in the overlay (kept sorted by bucket,
   /// insertion-ordered within a bucket — the same scan order the in-memory
-  /// BucketTable produces). Durability is the caller's job (WAL first).
+  /// BucketTable produces). An insert is an upsert: it lifts any tombstone
+  /// on `id`, drops stale overlay entries from an earlier insert of the
+  /// same id, and hides the id's base-run entries (whose bucket came from
+  /// the superseded vector) until a compaction rewrites the run — so a
+  /// delete-then-reinsert is visible exactly once, never lost and never
+  /// double-counted. Durability is the caller's job (WAL first).
   void OverlayInsert(BucketId bucket, ObjectId id);
 
   /// Tombstones `id`: every occurrence (run or overlay) disappears from
-  /// scans. Idempotent.
+  /// scans. Idempotent; undone by a later OverlayInsert of the same id.
   void OverlayDelete(ObjectId id);
 
   size_t OverlayEntries() const { return overlay_.size(); }
@@ -109,16 +114,22 @@ class DiskBucketTable {
   std::pair<size_t, size_t> EntryRange(BucketId lo, BucketId hi) const;
   size_t EntriesPerPage() const { return pool_->page_bytes() / sizeof(ObjectId); }
   bool IsDeleted(ObjectId id) const;
+  bool IsDeadInRun(ObjectId id) const;
 
   BufferPool* pool_;  // not owned
   PageId root_ = 0;
   PageId first_entry_page_ = 0;
   size_t num_entries_ = 0;
   std::vector<DirEntry> directory_;
-  /// The in-memory delta: overlay sorted by bucket, tombstones sorted by id.
-  /// Rebuilt from the WAL at open; emptied by compaction.
+  /// The in-memory delta: overlay sorted by bucket, tombstones and run_dead
+  /// sorted by id. Rebuilt from the WAL at open; emptied by compaction.
+  /// tombstones_ holds currently-deleted ids (hides overlay entries and
+  /// feeds NumTombstones); run_dead_ holds ids whose BASE-RUN entries are
+  /// dead — every deleted id plus every reinserted one, whose live entries
+  /// now live in the overlay. Scans check exactly one set per entry.
   std::vector<std::pair<BucketId, ObjectId>> overlay_;
   std::vector<ObjectId> tombstones_;
+  std::vector<ObjectId> run_dead_;
 };
 
 }  // namespace c2lsh

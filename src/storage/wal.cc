@@ -43,9 +43,9 @@ constexpr uint64_t kWalMagic = 0xC25DE17A'0000B001ULL;
 constexpr uint32_t kWalVersion = 1;
 constexpr size_t kWalHeaderBytes = 16;
 constexpr size_t kFrameHeaderBytes = sizeof(uint32_t) + sizeof(uint32_t);
-// Body = lsn + type + (id [+ dim + floats]); anything larger than this is
-// garbage masquerading as a length field.
-constexpr uint32_t kMaxBodyBytes = 1u << 26;
+// Body = lsn + type + (id [+ dim + floats]); anything larger than
+// WriteAheadLog::kMaxBodyBytes is garbage masquerading as a length field.
+constexpr size_t kMaxBodyBytes = WriteAheadLog::kMaxBodyBytes;
 
 void EncodeWalHeader(uint8_t* buf) {
   std::memset(buf, 0, kWalHeaderBytes);
@@ -168,6 +168,21 @@ Status WriteAheadLog::Append(const Record& rec) {
     return Status::InvalidArgument(
         "WAL: append lsn " + std::to_string(rec.lsn) +
         " does not advance past " + std::to_string(last_lsn_));
+  }
+  // Mirror of the encoding below; checked before the body is built so a
+  // hopeless record costs no allocation. Replay() truncates any frame whose
+  // length exceeds kMaxBodyBytes as a torn tail — writing one would silently
+  // drop this acknowledged record and everything appended after it.
+  const size_t body_bytes =
+      sizeof(rec.lsn) + sizeof(uint8_t) + sizeof(rec.id) +
+      (rec.type == RecordType::kInsert
+           ? sizeof(uint32_t) + rec.vec.size() * sizeof(float)
+           : 0);
+  if (body_bytes > kMaxBodyBytes) {
+    return Status::InvalidArgument(
+        "WAL: record body of " + std::to_string(body_bytes) +
+        " bytes exceeds the replayable maximum of " +
+        std::to_string(kMaxBodyBytes) + " (vector too large for one record)");
   }
   ByteBuffer body;
   body.Put(rec.lsn);

@@ -59,6 +59,12 @@ class WriteAheadLog {
     std::vector<float> vec;  ///< empty for kDelete
   };
 
+  /// Largest encoded record body Replay() accepts; anything larger in a
+  /// frame's length field is treated as a torn tail and truncated. Append()
+  /// therefore rejects records that would encode past this bound — an
+  /// unreplayable record must never be written, let alone acknowledged.
+  static constexpr size_t kMaxBodyBytes = 1u << 26;
+
   struct ReplayStats {
     uint64_t applied = 0;    ///< records delivered to the callback
     uint64_t skipped = 0;    ///< records with lsn <= applied_lsn (already folded)

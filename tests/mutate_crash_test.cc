@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/disk_index.h"
+#include "src/storage/page_file.h"
 #include "src/util/fault_env.h"
 #include "src/vector/synthetic.h"
 
@@ -217,6 +218,121 @@ TEST_F(MutateCrashTest, MutationCrashSweepKeepsEveryAckedMutationExactlyOnce) {
     EXPECT_EQ(again->applied_lsn(), idx->applied_lsn());
     EXPECT_EQ(again->wal_last_lsn(), idx->wal_last_lsn());
   }
+}
+
+// Regression for the legacy-superblock publish hazard: on a file whose
+// durable header carries user_root == 0, Open falls back to the superblock
+// (page 1). Compact must therefore never rewrite page 1 — if it did, a
+// crash after page 1's writeback but before the header publish would leave
+// the fallback pointing at pages beyond the durable num_pages, destroying
+// the only pointer to the old image and making the index permanently
+// unopenable. The sweep crashes at every write of an
+// open → insert → delete → compact workload on such a file and requires
+// recovery to succeed each time.
+TEST_F(MutateCrashTest, CompactCrashSweepOnLegacyRootFileStaysOpenable) {
+  constexpr size_t kBaseN = 60;
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, kBaseN + 1, 1, 113);
+  ASSERT_TRUE(pd.ok());
+  const size_t dim = pd->data.dim();
+  std::vector<float> base_rows;
+  for (size_t i = 0; i < kBaseN; ++i) {
+    const float* v = pd->data.object(static_cast<ObjectId>(i));
+    base_rows.insert(base_rows.end(), v, v + dim);
+  }
+  auto base_m = FloatMatrix::FromVector(kBaseN, dim, std::move(base_rows));
+  ASSERT_TRUE(base_m.ok());
+  auto base = Dataset::Create("base", std::move(base_m).value());
+  ASSERT_TRUE(base.ok());
+  const float* extra = pd->data.object(static_cast<ObjectId>(kBaseN));
+
+  C2lshOptions o;
+  o.seed = 127;
+  o.page_bytes = 1024;
+
+  FaultInjectionEnv env(Env::Default());
+  const std::string golden = Path("legacy_golden.pf");
+  {
+    auto built = DiskC2lshIndex::Build(*base, o, golden, 64,
+                                       /*store_vectors=*/true, &env);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+  }
+
+  const std::string work = Path("legacy_work.pf");
+  // Demote `work` to a legacy-root file: publish a header whose user_root is
+  // 0, exactly what a pre-user_root index looks like to Open — the
+  // superblock becomes the only durable pointer to the meta blob.
+  auto fresh_legacy_work = [&] {
+    std::filesystem::copy_file(golden, work,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::remove(work + ".wal");
+    auto pf = PageFile::Open(work, &env);
+    ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+    pf->SetUserRoot(0);
+    ASSERT_TRUE(pf->Sync().ok());
+  };
+
+  std::vector<Mutation> acked;
+  std::optional<Mutation> limbo;
+  auto workload = [&]() -> Status {
+    acked.clear();
+    limbo.reset();
+    auto idx = DiskC2lshIndex::Open(work, 64, &env);
+    C2LSH_RETURN_IF_ERROR(idx.status());
+    auto mutate = [&](Mutation m, Status st) {
+      if (st.ok()) {
+        acked.push_back(m);
+      } else {
+        limbo = m;
+      }
+      return st;
+    };
+    C2LSH_RETURN_IF_ERROR(
+        mutate({WriteAheadLog::RecordType::kInsert, static_cast<ObjectId>(kBaseN)},
+               idx->Insert(static_cast<ObjectId>(kBaseN), extra)));
+    C2LSH_RETURN_IF_ERROR(
+        mutate({WriteAheadLog::RecordType::kDelete, 7}, idx->Delete(7)));
+    return idx->Compact();
+  };
+
+  // Dry run: prove the workload is sound on a legacy-root file and measure
+  // the sweep range.
+  fresh_legacy_work();
+  const uint64_t writes_before = env.stats().writes;
+  ASSERT_TRUE(workload().ok());
+  const uint64_t total_writes = env.stats().writes - writes_before;
+  ASSERT_GT(total_writes, 5u);
+
+  for (uint64_t n = 1; n <= total_writes; ++n) {
+    SCOPED_TRACE("crash at write " + std::to_string(n) + " of " +
+                 std::to_string(total_writes));
+    env.ClearCrash();
+    fresh_legacy_work();
+    env.SetCrashAfterWrites(static_cast<int64_t>(n));
+    Status st = workload();
+    ASSERT_FALSE(st.ok());  // deterministic workload: the crash must hit
+    ASSERT_TRUE(env.crashed());
+    env.ClearCrash();
+
+    // The published image (old or new) must ALWAYS be recoverable; before
+    // the fix, crashes between page 1's writeback and the header publish
+    // failed here with Corruption.
+    auto idx = DiskC2lshIndex::Open(work, 64, &env);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    // An object untouched by the workload must always survive.
+    EXPECT_TRUE(SelfVisible(*idx, 42, pd->data.object(42)));
+    // Acked mutations stay exactly-once across recovery; the one in limbo
+    // (torn mid-write) may land in either state.
+    for (const Mutation& m : acked) {
+      if (limbo.has_value() && limbo->id == m.id) continue;
+      if (m.type == WriteAheadLog::RecordType::kInsert) {
+        EXPECT_TRUE(SelfVisible(*idx, m.id, extra)) << "lost insert " << m.id;
+      } else {
+        EXPECT_FALSE(SelfVisible(*idx, m.id, pd->data.object(m.id)))
+            << "resurrected delete " << m.id;
+      }
+    }
+  }
+  env.ClearCrash();
 }
 
 // Direct regression for the LSN watermark across compaction + reopen: the

@@ -202,6 +202,108 @@ TEST_F(MutateEquivalenceTest, DiskInsertDeleteCompactMatchesFreshBuild) {
   }
 }
 
+// Delete-then-reinsert is the churn pattern that exercises the upsert
+// semantics of Insert: the tombstone must lift, the stale flat-run entries
+// must stay dead (no double counting), and the reinserted object must be
+// visible exactly once — before and after compaction.
+TEST_F(MutateEquivalenceTest, MemoryDeleteReinsertCompactMatchesFreshBuild) {
+  const C2lshOptions o = Options();
+  auto churned = C2lshIndex::Build(pd_->data, o);
+  ASSERT_TRUE(churned.ok());
+  for (size_t i = kA; i < kFull; ++i) {
+    ASSERT_TRUE(churned->Delete(static_cast<ObjectId>(i)).ok());
+  }
+  for (size_t i = kA; i < kFull; ++i) {
+    ASSERT_TRUE(
+        churned
+            ->Insert(static_cast<ObjectId>(i), pd_->data.object(static_cast<ObjectId>(i)))
+            .ok());
+  }
+
+  auto fresh = C2lshIndex::Build(pd_->data, o);
+  ASSERT_TRUE(fresh.ok());
+
+  // Identical collision counts BEFORE compaction: the reinserted ids are
+  // counted once (overlay), not zero times (lost to the tombstone) and not
+  // twice (resurrected flat entries plus overlay).
+  const long long c = static_cast<long long>(o.c);
+  for (size_t q = 0; q < kQueries; ++q) {
+    for (const long long radius : {1ll, c}) {
+      EXPECT_EQ(churned->CollisionCountsAtRadius(pd_->queries.row(q), radius),
+                fresh->CollisionCountsAtRadius(pd_->queries.row(q), radius))
+          << "pre-compact q=" << q << " R=" << radius;
+    }
+  }
+  churned->Compact();
+  EXPECT_EQ(churned->num_objects(), fresh->num_objects());
+  for (size_t q = 0; q < kQueries; ++q) {
+    EXPECT_EQ(churned->CollisionCountsAtRadius(pd_->queries.row(q), 1),
+              fresh->CollisionCountsAtRadius(pd_->queries.row(q), 1))
+        << "post-compact q=" << q;
+    auto got = churned->Query(pd_->data, pd_->queries.row(q), kK);
+    auto want = fresh->Query(pd_->data, pd_->queries.row(q), kK);
+    ASSERT_TRUE(got.ok() && want.ok());
+    ExpectSameAnswers(*got, *want, "reinsert-equiv q=" + std::to_string(q));
+  }
+}
+
+// The disk-mode twin, additionally crossing a reopen so the delete and
+// reinsert records flow through WAL replay (ApplyRecord) rather than only
+// the live mutation path.
+TEST_F(MutateEquivalenceTest, DiskDeleteReinsertSurvivesReplayAndCompact) {
+  const C2lshOptions o = Options();
+  const std::string path = Path("churn.pf");
+  const std::string fresh_path = Path("churn_fresh.pf");
+  auto fresh = DiskC2lshIndex::Build(pd_->data, o, fresh_path, 64, true);
+  ASSERT_TRUE(fresh.ok());
+
+  {
+    auto idx = DiskC2lshIndex::Build(pd_->data, o, path, 64, /*store_vectors=*/true);
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    for (size_t i = kA; i < kFull; ++i) {
+      ASSERT_TRUE(idx->Delete(static_cast<ObjectId>(i)).ok());
+    }
+    for (size_t i = kA; i < kFull; ++i) {
+      ASSERT_TRUE(
+          idx->Insert(static_cast<ObjectId>(i), pd_->data.object(static_cast<ObjectId>(i)))
+              .ok());
+    }
+    // The reinserts lift the tombstones immediately (live mutation path).
+    EXPECT_EQ(idx->NumTombstones(), 0u);
+    for (size_t q = 0; q < kQueries; ++q) {
+      auto got = idx->Query(pd_->queries.row(q), kK);
+      auto want = fresh->Query(pd_->queries.row(q), kK);
+      ASSERT_TRUE(got.ok() && want.ok());
+      ExpectSameAnswers(*got, *want, "disk reinsert overlay q=" + std::to_string(q));
+    }
+  }
+
+  // Reopen: the whole churn replays from the WAL. A replayed reinsert must
+  // be visible exactly once too.
+  auto reopened = DiskC2lshIndex::Open(path, 64);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->NumTombstones(), 0u);
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto got = reopened->Query(pd_->queries.row(q), kK);
+    auto want = fresh->Query(pd_->queries.row(q), kK);
+    ASSERT_TRUE(got.ok() && want.ok());
+    ExpectSameAnswers(*got, *want, "disk reinsert replayed q=" + std::to_string(q));
+  }
+
+  // Compact folds the churn; the reinserted ids survive (they are live, not
+  // tombstoned) and appear exactly once in the rewritten runs.
+  ASSERT_TRUE(reopened->Compact().ok());
+  EXPECT_EQ(reopened->OverlayEntries(), 0u);
+  EXPECT_EQ(reopened->NumTombstones(), 0u);
+  EXPECT_EQ(reopened->num_objects(), kFull);
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto got = reopened->Query(pd_->queries.row(q), kK);
+    auto want = fresh->Query(pd_->queries.row(q), kK);
+    ASSERT_TRUE(got.ok() && want.ok());
+    ExpectSameAnswers(*got, *want, "disk reinsert compacted q=" + std::to_string(q));
+  }
+}
+
 // The mutability gauges and counters surface through the registry and both
 // exporters (the ISSUE's observability satellite).
 TEST_F(MutateEquivalenceTest, MutationMetricsSurfaceInExporters) {

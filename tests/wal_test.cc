@@ -250,6 +250,46 @@ TEST_F(WalTest, ResetTruncatesButKeepsLsnCursor) {
   ASSERT_TRUE(wal->Append(Delete(3, 9)).ok());
 }
 
+TEST_F(WalTest, OversizedRecordIsRejectedNeverAcknowledged) {
+  // Replay treats a frame length beyond kMaxBodyBytes as a torn tail, so a
+  // record that encodes past the bound must be refused at Append — writing
+  // it would silently drop the acked mutation (and everything after it) at
+  // the next recovery.
+  const std::string path = Path("oversize.wal");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+
+  // Largest vector that still fits: body = lsn(8) + type(1) + id(4) +
+  // dim(4) + 4 bytes per float.
+  const size_t fixed = sizeof(uint64_t) + 1 + sizeof(ObjectId) + sizeof(uint32_t);
+  const size_t max_floats = (WriteAheadLog::kMaxBodyBytes - fixed) / sizeof(float);
+
+  Record too_big = Insert(1, 0, std::vector<float>(max_floats + 1, 1.0f));
+  EXPECT_TRUE(wal->Append(too_big).IsInvalidArgument());
+  EXPECT_EQ(wal->last_lsn(), 0u);  // nothing advanced, nothing written
+
+  // The log is still usable, the boundary record still fits, and a reopen
+  // replays exactly the records that were acknowledged.
+  Record at_limit = Insert(1, 0, std::vector<float>(max_floats, 1.0f));
+  ASSERT_TRUE(wal->Append(at_limit).ok());
+  ASSERT_TRUE(wal->Append(Delete(2, 3)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+
+  auto reopened = WriteAheadLog::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<Record> seen;
+  auto stats = reopened->Replay(0, [&](const Record& rec) {
+    seen.push_back(rec);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->applied, 2u);
+  EXPECT_EQ(stats->truncated, 0u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].vec.size(), max_floats);
+  EXPECT_EQ(seen[1].type, RecordType::kDelete);
+}
+
 TEST_F(WalTest, GarbageFileIsTruncatedNotParsed) {
   const std::string path = Path("garbage.wal");
   {
