@@ -1,0 +1,247 @@
+// Figure F8 — batched query engine throughput vs the serial query loop.
+//
+// Sweeps QueryBatch's batch_size x num_shards grid over the paper's
+// in-memory profiles (the F3 workload) and reports aggregate throughput
+// (queries/sec), the speedup over a serial loop of Query() calls, and the
+// per-query latency percentiles (p50/p95/p99) from the
+// c2lsh_batch_query_millis histogram. The speedup on a single core comes
+// from the engine's shared bucket-run scans and the query-major projection
+// kernel, not from parallelism; with more cores the table sharding adds on
+// top. --metrics_out writes the whole sweep as JSON (BENCH_batch.json in
+// CI) including a `speedup_batch32` summary per profile and the
+// workload-level `aggregate_speedup_batch32` (total serial time over total
+// best batched time at batch >= 32, across every profile) — the acceptance
+// gate is aggregate >= 2x at batch >= 32 on the F3 workload.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/index.h"
+#include "src/obs/registry.h"
+#include "src/util/timer.h"
+
+namespace c2lsh {
+namespace {
+
+/// Nearest-rank percentile over raw serial samples (batched runs read the
+/// obs histogram instead, which is the production surface).
+double SamplePercentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t ix = std::min(samples.size() - 1,
+                             static_cast<size_t>(p * static_cast<double>(samples.size())));
+  return samples[ix];
+}
+
+struct RunRow {
+  size_t batch_size = 0;   // 0 = whole batch in one block
+  size_t num_shards = 0;
+  double millis = 0.0;     // best-of-reps wall time for the whole batch
+  double qps = 0.0;
+  double speedup = 0.0;    // vs the serial Query() loop
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+struct ProfileRows {
+  std::string name;
+  size_t n = 0, dim = 0, nq = 0;
+  double serial_millis = 0.0, serial_qps = 0.0;
+  double serial_p50 = 0.0, serial_p95 = 0.0, serial_p99 = 0.0;
+  double speedup_batch32 = 0.0;  // best speedup among batch_size >= 32 runs
+  double best_batch32_millis = 0.0;  // fastest batch_size >= 32 run
+  std::vector<RunRow> runs;
+};
+
+void AppendJson(std::string* out, const ProfileRows& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"profile\": \"%s\", \"n\": %zu, \"dim\": %zu, "
+                "\"queries\": %zu,\n",
+                p.name.c_str(), p.n, p.dim, p.nq);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "     \"serial\": {\"millis\": %.3f, \"qps\": %.1f, "
+                "\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f},\n",
+                p.serial_millis, p.serial_qps, p.serial_p50, p.serial_p95,
+                p.serial_p99);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "     \"speedup_batch32\": %.3f,\n",
+                p.speedup_batch32);
+  *out += buf;
+  *out += "     \"runs\": [\n";
+  for (size_t i = 0; i < p.runs.size(); ++i) {
+    const RunRow& r = p.runs[i];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"batch_size\": %zu, \"num_shards\": %zu, "
+                  "\"millis\": %.3f, \"qps\": %.1f, \"speedup\": %.3f, "
+                  "\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}%s\n",
+                  r.batch_size, r.num_shards, r.millis, r.qps, r.speedup,
+                  r.p50, r.p95, r.p99, i + 1 < p.runs.size() ? "," : "");
+    *out += buf;
+  }
+  *out += "     ]}";
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser =
+      bench::MakeStandardParser("F8: batched engine throughput vs serial loop");
+  parser.AddInt("k", 10, "neighbors per query");
+  parser.AddInt("reps", 3, "repetitions per configuration (best time wins)");
+  bench::ParseOrDie(&parser, argc, argv);
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const size_t k = static_cast<size_t>(parser.GetInt("k"));
+  const int reps = std::max(1, static_cast<int>(parser.GetInt("reps")));
+  const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
+
+  bench::PrintHeader("F8", "QueryBatch throughput vs serial Query loop");
+
+  // batch_size 0 means "the whole query set in one block" — the widest
+  // sharing. Shard counts beyond the core count still exercise the
+  // deterministic merge; on one core they are pure bookkeeping.
+  const std::vector<size_t> batch_sizes = {8, 32, 0};
+  const std::vector<size_t> shard_counts = {1, 2, 4};
+  obs::Histogram* batch_hist = obs::MetricsRegistry::Global().GetHistogram(
+      "c2lsh_batch_query_millis",
+      "Per-query wall latency inside batched execution blocks (ms)");
+
+  std::vector<ProfileRows> all;
+  for (DatasetProfile profile : AllDatasetProfiles()) {
+    auto pd = MakeProfileDataset(profile, n, nq, seed);
+    bench::DieIf(pd.status(), "profile dataset");
+    auto index = C2lshIndex::Build(pd->data, bench::DefaultC2lsh(seed));
+    bench::DieIf(index.status(), "c2lsh build");
+
+    ProfileRows rows;
+    rows.name = DatasetProfileName(profile);
+    rows.n = pd->data.size();
+    rows.dim = pd->data.dim();
+    rows.nq = pd->queries.num_rows();
+
+    // Serial baseline: the exact loop QueryBatch replaces.
+    std::vector<double> per_query_millis(rows.nq, 0.0);
+    double serial_best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer loop_timer;
+      for (size_t q = 0; q < rows.nq; ++q) {
+        Timer qt;
+        auto r = index->Query(pd->data, pd->queries.row(q), k);
+        bench::DieIf(r.status(), "serial query");
+        per_query_millis[q] = qt.ElapsedMillis();
+      }
+      const double t = loop_timer.ElapsedMillis();
+      if (rep == 0 || t < serial_best) serial_best = t;
+    }
+    rows.serial_millis = serial_best;
+    rows.serial_qps = 1e3 * static_cast<double>(rows.nq) / serial_best;
+    rows.serial_p50 = SamplePercentile(per_query_millis, 0.50);
+    rows.serial_p95 = SamplePercentile(per_query_millis, 0.95);
+    rows.serial_p99 = SamplePercentile(per_query_millis, 0.99);
+
+    for (size_t batch : batch_sizes) {
+      for (size_t shards : shard_counts) {
+        C2lshIndex::BatchQueryOptions opts;
+        opts.batch_size = batch;
+        opts.num_shards = shards;
+        RunRow row;
+        row.batch_size = batch;
+        row.num_shards = shards;
+        for (int rep = 0; rep < reps; ++rep) {
+          batch_hist->Reset();  // percentiles reflect the final rep
+          Timer t;
+          auto r = index->QueryBatch(pd->data, pd->queries, k, opts);
+          bench::DieIf(r.status(), "batched query");
+          const double millis = t.ElapsedMillis();
+          if (rep == 0 || millis < row.millis) row.millis = millis;
+        }
+        row.qps = 1e3 * static_cast<double>(rows.nq) / row.millis;
+        row.speedup = serial_best / row.millis;
+        row.p50 = batch_hist->Percentile(0.50);
+        row.p95 = batch_hist->Percentile(0.95);
+        row.p99 = batch_hist->Percentile(0.99);
+        const size_t effective_batch = batch == 0 ? rows.nq : batch;
+        if (effective_batch >= 32) {
+          rows.speedup_batch32 = std::max(rows.speedup_batch32, row.speedup);
+          if (rows.best_batch32_millis == 0.0 ||
+              row.millis < rows.best_batch32_millis) {
+            rows.best_batch32_millis = row.millis;
+          }
+        }
+        rows.runs.push_back(row);
+      }
+    }
+
+    std::printf("\n[%s]  n=%zu  d=%zu  queries=%zu  k=%zu\n", rows.name.c_str(),
+                rows.n, rows.dim, rows.nq, k);
+    std::printf("serial loop: %.1f ms  (%.1f q/s)  p50=%.3f p95=%.3f p99=%.3f\n",
+                rows.serial_millis, rows.serial_qps, rows.serial_p50,
+                rows.serial_p95, rows.serial_p99);
+    TablePrinter table({"batch", "shards", "ms", "q/s", "speedup", "p50",
+                        "p95", "p99"});
+    for (const RunRow& r : rows.runs) {
+      table.AddRow({r.batch_size == 0 ? "all" : std::to_string(r.batch_size),
+                    std::to_string(r.num_shards), TablePrinter::Fmt(r.millis, 1),
+                    TablePrinter::Fmt(r.qps, 1), TablePrinter::Fmt(r.speedup, 2),
+                    TablePrinter::Fmt(r.p50, 3), TablePrinter::Fmt(r.p95, 3),
+                    TablePrinter::Fmt(r.p99, 3)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("best speedup at batch >= 32: %.2fx\n", rows.speedup_batch32);
+    all.push_back(std::move(rows));
+  }
+
+  // Workload-level aggregate: total serial time over total best batched
+  // time at batch >= 32, across all profiles — the F3-workload gate.
+  double serial_total = 0.0, batch32_total = 0.0;
+  for (const ProfileRows& p : all) {
+    serial_total += p.serial_millis;
+    batch32_total += p.best_batch32_millis;
+  }
+  const double aggregate =
+      batch32_total > 0.0 ? serial_total / batch32_total : 0.0;
+  std::printf(
+      "\naggregate speedup at batch >= 32 (whole F3 workload): %.2fx "
+      "(serial %.1f ms -> batched %.1f ms)\n",
+      aggregate, serial_total, batch32_total);
+
+  const std::string path = parser.GetString("metrics_out");
+  if (!path.empty()) {
+    std::string json = "{\n  \"bench\": \"f8_batch\",\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  \"k\": %zu, \"reps\": %d,\n", k, reps);
+    json += buf;
+    double worst = 0.0;
+    for (size_t i = 0; i < all.size(); ++i) {
+      worst = i == 0 ? all[i].speedup_batch32
+                     : std::min(worst, all[i].speedup_batch32);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  \"aggregate_speedup_batch32\": %.3f,\n"
+                  "  \"min_speedup_batch32\": %.3f,\n",
+                  aggregate, worst);
+    json += buf;
+    json += "  \"profiles\": [\n";
+    for (size_t i = 0; i < all.size(); ++i) {
+      AppendJson(&json, all[i]);
+      json += i + 1 < all.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("metrics report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

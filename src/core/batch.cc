@@ -1,0 +1,584 @@
+// The batched, shard-parallel query engine behind C2lshIndex::QueryBatch.
+// See src/core/batch.h for the architecture and the determinism contract.
+
+#include "src/core/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/core/counter.h"
+#include "src/core/virtual_rehash.h"
+#include "src/obs/registry.h"
+#include "src/storage/page_model.h"
+#include "src/util/timer.h"
+#include "src/vector/distance.h"
+#include "src/vector/matrix.h"
+
+namespace c2lsh {
+namespace batch {
+namespace {
+
+// Registry handles resolved once per process. The core c2lsh_* names are the
+// SAME instruments RunQuery flushes through (the registry deduplicates by
+// name), so serial and batched queries land in one set of counters; the
+// batch_* names instrument the engine itself.
+struct BatchMetrics {
+  obs::Counter* queries;
+  obs::Counter* rounds;
+  obs::Counter* collision_increments;
+  obs::Counter* candidates_verified;
+  obs::Counter* buckets_scanned;
+  obs::Counter* t1;
+  obs::Counter* t2;
+  obs::Counter* exhausted;
+  obs::Counter* deadline;
+  obs::Counter* cancelled;
+  obs::Histogram* latency;
+  obs::Counter* batch_queries;
+  obs::Counter* batch_blocks;
+  obs::Counter* scan_groups;
+  obs::Counter* shared_scan_hits;
+  obs::Gauge* batch_size;
+  obs::Gauge* num_shards;
+  obs::Gauge* pool_threads;
+  obs::Histogram* batch_query_millis;
+};
+
+const BatchMetrics& Metrics() {
+  static const BatchMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return BatchMetrics{
+        r.GetCounter("c2lsh_queries_total", "In-memory C2LSH queries answered"),
+        r.GetCounter("c2lsh_rounds_total",
+                     "Virtual-rehashing rounds executed by in-memory queries"),
+        r.GetCounter("c2lsh_collision_increments_total",
+                     "Collision-counter increments (in-memory queries)"),
+        r.GetCounter("c2lsh_candidates_verified_total",
+                     "Exact distance verifications (in-memory queries)"),
+        r.GetCounter("c2lsh_buckets_scanned_total",
+                     "Hash buckets visited (in-memory queries)"),
+        r.GetCounter("c2lsh_queries_t1_total",
+                     "Queries terminated by T1 (k verified within c*R)"),
+        r.GetCounter("c2lsh_queries_t2_total",
+                     "Queries terminated by T2 (k + beta*n candidate budget)"),
+        r.GetCounter("c2lsh_queries_exhausted_total",
+                     "Queries that covered every bucket of every table"),
+        r.GetCounter("c2lsh_queries_deadline_total",
+                     "Queries stopped by a deadline or page budget (partial results)"),
+        r.GetCounter("c2lsh_queries_cancelled_total",
+                     "Queries cooperatively cancelled (partial results)"),
+        r.GetHistogram("c2lsh_query_millis",
+                       "In-memory C2LSH query latency in milliseconds"),
+        r.GetCounter("c2lsh_batch_queries_total",
+                     "Queries answered through the batched engine (QueryBatch)"),
+        r.GetCounter("c2lsh_batch_blocks_total",
+                     "Co-resident execution blocks run by QueryBatch"),
+        r.GetCounter("c2lsh_batch_scan_groups_total",
+                     "Distinct (table, bucket-run) scans performed by the batch engine"),
+        r.GetCounter("c2lsh_batch_shared_scan_hits_total",
+                     "Bucket-run scans saved by sharing (group members beyond the first)"),
+        r.GetGauge("c2lsh_batch_size",
+                   "Co-resident queries per execution block (last QueryBatch)"),
+        r.GetGauge("c2lsh_batch_num_shards",
+                   "Table shards per execution block (last QueryBatch)"),
+        r.GetGauge("c2lsh_thread_pool_threads",
+                   "Worker threads in the pool serving QueryBatch"),
+        r.GetHistogram("c2lsh_batch_query_millis",
+                       "Per-query completion latency within a batch block (ms)"),
+    };
+  }();
+  return m;
+}
+
+// Flushes one finished batch query into the shared core instruments plus the
+// per-query batch latency histogram. Identical accounting to RunQuery's
+// flush, so dashboards see one stream of query metrics.
+void FlushBatchQuery(const C2lshQueryStats& st, double millis) {
+  const BatchMetrics& m = Metrics();
+  m.queries->Increment();
+  m.rounds->Increment(st.rounds);
+  m.collision_increments->Increment(st.collision_increments);
+  m.candidates_verified->Increment(st.candidates_verified);
+  m.buckets_scanned->Increment(st.buckets_scanned);
+  switch (st.termination) {
+    case Termination::kT1:
+      m.t1->Increment();
+      break;
+    case Termination::kT2:
+      m.t2->Increment();
+      break;
+    case Termination::kExhausted:
+      m.exhausted->Increment();
+      break;
+    case Termination::kDeadline:
+      m.deadline->Increment();
+      break;
+    case Termination::kCancelled:
+      m.cancelled->Increment();
+      break;
+    case Termination::kNone:
+      break;
+  }
+  m.latency->Observe(millis);
+  m.batch_queries->Increment();
+  m.batch_query_millis->Observe(millis);
+}
+
+// The probe interval at radius R with the exhaustive fallback past the
+// radius schedule. Must match C2lshIndex::IntervalForRadius exactly — the
+// bitwise-equality tests (batch_engine_test.cc) pin the two together.
+BucketRange IntervalForRadiusCapped(BucketId query_bucket, long long R,
+                                    long long radius_cap) {
+  if (R > radius_cap) {
+    constexpr BucketId kLo = std::numeric_limits<BucketId>::min() / 4;
+    constexpr BucketId kHi = std::numeric_limits<BucketId>::max() / 4;
+    return BucketRange{kLo, kHi};
+  }
+  return QueryIntervalAtRadius(query_bucket, R);
+}
+
+/// One co-resident query's execution state across rounds.
+///
+/// Collision counts are a plain zero-initialized array rather than
+/// CollisionCounter: the epoch trick buys O(1) reset for a long-lived
+/// scratch, but a block state is built fresh per query, so a single memset
+/// is cheaper than paying an extra 4-byte epoch load on every one of the
+/// ~10^5..10^6 random-access increments a query performs. RunQuery's
+/// `verified` bitmap is dropped for the same reason: counts are monotone
+/// (+1 per collision), so `++counts[id] == l` fires exactly once per id —
+/// letting counts run past l instead of freezing them changes no
+/// observable output (found set, stats, termination), and it removes a
+/// second random byte-load from the hot loop.
+struct QueryState {
+  std::vector<uint32_t> counts;    ///< per-id collision count this query
+  std::vector<BucketRange> prev;   ///< per-table interval already scanned
+  /// 1 once this query's interval covers every entry the table holds.
+  /// Coverage is monotone (intervals only grow over a pinned snapshot), so
+  /// a covered table contributes nothing in any later round — its delta
+  /// ranges hold zero entries and charge zero pages — and Phase A skips it
+  /// entirely instead of re-deriving an empty delta, which is where the
+  /// exhaustive-fallback rounds of easy profiles spend most of their
+  /// per-table bookkeeping.
+  std::vector<uint8_t> table_covered;
+  NeighborList found;
+  C2lshQueryStats stats;
+  Termination early_stop = Termination::kNone;
+};
+
+/// One shared scan: a distinct (table, bucket-run) some subset of the active
+/// queries probes this round. The run is scanned exactly once; every member
+/// query consumes the same id buffer by reference in Phase B (no per-member
+/// copies), while the I/O it represents is charged to each member
+/// individually, as a serial Query would charge it.
+struct GroupScan {
+  std::vector<ObjectId> ids;   ///< id<n entries, in scan order
+  uint64_t index_pages = 0;    ///< per-member page charge for this run
+  uint64_t buckets_scanned = 0;  ///< live entries enumerated (incl. id>=n)
+};
+
+/// What one shard hands one query at the round barrier: the indices (into
+/// the shard's GroupScan pool, in deterministic sorted-range order) of the
+/// runs this query is a member of, plus the coverage AND over the shard's
+/// tables. Written by exactly one shard in Phase A, read by exactly one
+/// query in Phase B — the ParallelFor barrier between the phases is the
+/// only synchronization needed.
+struct ShardDelta {
+  std::vector<uint32_t> group_ixs;
+  bool covered = true;
+};
+
+}  // namespace
+
+void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
+                   const float* queries, size_t num_queries, size_t qstride,
+                   size_t k, const QueryContext* const* ctxs,
+                   size_t num_shards, ThreadPool* pool,
+                   NeighborList* results, C2lshQueryStats* stats) {
+  Timer block_timer;
+  // The block's frozen view, same scheme as RunQuery: the object count is
+  // read once and every table is pinned once, up front, shared by all
+  // co-resident queries.
+  const size_t n = index.num_objects();
+  const size_t m = index.num_tables();
+  const size_t dim = index.dim();
+  const uint32_t l = static_cast<uint32_t>(index.derived().l);
+  const double c = index.derived().model.c;
+  const long long c_int = static_cast<long long>(std::llround(c));
+  const long long radius_cap = index.radius_cap();
+  const size_t t2_threshold = std::min<size_t>(
+      n, k + static_cast<size_t>(
+                 std::ceil(index.derived().beta * static_cast<double>(n))));
+  const PageModel page_model(index.options().page_bytes);
+  const uint64_t vector_pages = page_model.PagesPerVector(dim);
+
+  std::vector<BucketTable::Snapshot> snaps;
+  snaps.reserve(m);
+  for (size_t i = 0; i < m; ++i) snaps.push_back(index.table(i).snapshot());
+
+  // Layer 1: one query-major GEMM-style projection pass buckets the whole
+  // block — qbuckets[q * m + i] is bit-identical to per-query BucketAll.
+  std::vector<BucketId> qbuckets;
+  index.family().BucketAllMulti(queries, num_queries, qstride, &qbuckets);
+
+  const size_t S = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(m, 1)));
+  std::vector<QueryState> states(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    QueryState& qs = states[q];
+    qs.counts.assign(n, 0);
+    qs.prev.assign(m, BucketRange{});
+    qs.table_covered.assign(m, 0);
+    qs.found.reserve(t2_threshold + m);
+    // Per-table descent charge, once per query (RunQuery's I/O model).
+    qs.stats.index_pages += m;
+  }
+
+  // deltas[s][q]: shard s's round contribution to query q (indices into
+  // groups_pool[s]). The pools keep their buffers across rounds so the
+  // steady state allocates nothing.
+  std::vector<std::vector<ShardDelta>> deltas(S, std::vector<ShardDelta>(num_queries));
+  std::vector<std::vector<GroupScan>> groups_pool(S);
+  std::vector<uint64_t> shard_scan_groups(S, 0);
+  std::vector<uint64_t> shard_shared_hits(S, 0);
+
+  std::vector<uint32_t> active;
+  active.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) active.push_back(static_cast<uint32_t>(q));
+
+  const BatchMetrics& bm = Metrics();
+  auto finalize = [&](uint32_t q) {
+    QueryState& qs = states[q];
+    // Only the k nearest survive — identical finalization to RunQuery, and
+    // NeighborLess is a total order (distance, then id), so the ranking is
+    // unique regardless of verification order.
+    if (qs.found.size() > k) {
+      std::partial_sort(qs.found.begin(),
+                        qs.found.begin() + static_cast<std::ptrdiff_t>(k),
+                        qs.found.end(), NeighborLess());
+      qs.found.resize(k);
+    } else {
+      std::sort(qs.found.begin(), qs.found.end(), NeighborLess());
+    }
+    results[q] = std::move(qs.found);
+    stats[q] = qs.stats;
+    FlushBatchQuery(qs.stats, block_timer.ElapsedMillis());
+  };
+
+  long long R = 1;
+  while (!active.empty()) {
+    // Round boundary: the full context check (deadline, cancellation, page
+    // budget) per query. A pre-expired context runs zero rounds and returns
+    // empty, exactly as in RunQuery; its batchmates are untouched.
+    {
+      size_t w = 0;
+      for (uint32_t q : active) {
+        QueryState& qs = states[q];
+        const QueryContext* ctx = (ctxs != nullptr) ? ctxs[q] : nullptr;
+        if (ctx != nullptr && qs.early_stop == Termination::kNone) {
+          qs.early_stop = ctx->Check(qs.stats.total_pages());
+        }
+        if (qs.early_stop != Termination::kNone) {
+          qs.stats.termination = qs.early_stop;
+          finalize(q);
+        } else {
+          active[w++] = q;
+        }
+      }
+      active.resize(w);
+    }
+    if (active.empty()) break;
+    for (uint32_t q : active) {
+      ++states[q].stats.rounds;
+      states[q].stats.final_radius = R;
+    }
+
+    // Phase A — sharded shared scans. Shard s owns tables i % S == s; for
+    // each owned table it groups the active queries by identical delta
+    // range and scans each distinct range ONCE, into a single group-owned
+    // id buffer every member consumes by reference in Phase B. Writes are
+    // confined to the shard's own deltas[s] row and groups_pool[s], each
+    // query's own prev elements of the shard's tables, and the shard's own
+    // metric slots — disjoint by construction (the thread_pool.h
+    // ParallelFor contract).
+    pool->ParallelFor(S, [&](size_t s) {
+      std::vector<GroupScan>& pool_s = groups_pool[s];
+      size_t used = 0;     // GroupScan slots consumed this round
+      uint64_t refs = 0;   // (query, run) memberships this round
+      for (uint32_t q : active) {
+        ShardDelta& d = deltas[s][q];
+        d.group_ixs.clear();
+        d.covered = true;
+      }
+      // Per-table grouping scratch, reused across the shard's tables: one
+      // slot per non-empty delta side, in (active query, left, right)
+      // order. Sort-based grouping over these flat arrays replaces a keyed
+      // map — no node allocations on the per-round hot path.
+      std::vector<std::pair<BucketId, BucketId>> side_keys;
+      std::vector<uint32_t> side_q;    // owning query of each side
+      std::vector<uint32_t> side_ix;   // resolved GroupScan index
+      std::vector<uint32_t> order;     // sort permutation over sides
+      // analyze-ok(cancellation-cadence): Phase A only groups and scans one round's bounded delta ranges; the consuming Phase B merge polls cancellation every increment and the clock at the mask cadence, and the driver runs the full ctx Check at every round boundary.
+      for (size_t i = s; i < m; i += S) {
+        const BucketTable::Snapshot& snap = snaps[i];
+        side_keys.clear();
+        side_q.clear();
+        // analyze-ok(cancellation-cadence): one bounded pass over this round's active queries — grouping plus at most one shared scan per distinct delta range; per-query polls happen in the Phase B merge (every increment / mask cadence) and at the round boundary.
+        for (uint32_t q : active) {
+          QueryState& qs = states[q];
+          // A covered table stays covered (the interval only grows over the
+          // pinned snapshot): no new entries, no pages, nothing to do.
+          if (qs.table_covered[i] != 0) continue;
+          const BucketRange next =
+              IntervalForRadiusCapped(qbuckets[q * m + i], R, radius_cap);
+          const RangeDelta delta = ComputeRangeDelta(qs.prev[i], next);
+          qs.prev[i] = next;
+          if (!delta.left.empty()) {
+            side_keys.emplace_back(delta.left.lo, delta.left.hi);
+            side_q.push_back(q);
+          }
+          if (!delta.right.empty()) {
+            side_keys.emplace_back(delta.right.lo, delta.right.hi);
+            side_q.push_back(q);
+          }
+          // Coverage test, per query: once the interval spans every bucket
+          // the table holds, further rounds cannot add collisions from it.
+          if (snap.num_buckets() > 0 &&
+              snap.EntriesInRange(next.lo, next.hi) < snap.num_entries()) {
+            deltas[s][q].covered = false;
+          } else {
+            qs.table_covered[i] = 1;
+          }
+        }
+        const size_t num_sides = side_keys.size();
+        refs += num_sides;
+        order.resize(num_sides);
+        for (size_t e = 0; e < num_sides; ++e) order[e] = static_cast<uint32_t>(e);
+        std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+          return side_keys[a] < side_keys[b];
+        });
+        side_ix.resize(num_sides);
+        // Walk the sorted runs: the first side of each distinct (lo, hi)
+        // scans the run once; the rest just take its index. Which side of a
+        // tied run scans is irrelevant — every member consumes the same
+        // buffer, and each query's own group order is fixed below.
+        // analyze-ok(cancellation-cadence): at most one bounded shared scan per distinct delta range this round; per-query ctx polls happen in the Phase B merge and at the round boundary.
+        for (size_t e = 0; e < num_sides;) {
+          const std::pair<BucketId, BucketId> key = side_keys[order[e]];
+          const uint32_t ix = static_cast<uint32_t>(used++);
+          if (pool_s.size() <= ix) pool_s.emplace_back();
+          GroupScan& g = pool_s[ix];
+          g.ids.clear();
+          // I/O is charged per member even though the scan is shared — the
+          // paper's cost model (and RunQuery) charges every query for the
+          // entry pages its interval covers.
+          const size_t range_entries = snap.EntriesInRange(key.first, key.second);
+          g.index_pages =
+              range_entries > 0
+                  ? page_model.PagesForEntries(range_entries, sizeof(ObjectId))
+                  : 0;
+          // buckets_scanned counts every live entry enumerated (including
+          // ids inserted after the block pinned its view); only id < n
+          // entries feed the collision counters — both exactly as in
+          // RunQuery. The bulk append is one sequential copy of the flat
+          // run's contiguous slice in the common no-deletes case.
+          g.buckets_scanned = snap.AppendRangeTo(key.first, key.second, n, &g.ids);
+          for (; e < num_sides && side_keys[order[e]] == key; ++e) {
+            side_ix[order[e]] = ix;
+          }
+        }
+        // Fan the indices back out in the original (query, left, right)
+        // order, so each query consumes its groups exactly as a serial
+        // Query would scan its own delta ranges.
+        for (size_t e = 0; e < num_sides; ++e) {
+          deltas[s][side_q[e]].group_ixs.push_back(side_ix[e]);
+        }
+      }
+      shard_scan_groups[s] += used;
+      shard_shared_hits[s] += refs - used;
+    });
+
+    // Phase B — per-query merge. Each query (one owner per counter, no
+    // atomics) consumes every shard's buffer with the full serial cadence:
+    // cancellation polled every increment, the clock every
+    // kCheckIntervalMask+1 increments. The round-end verified set is
+    // increment-order-independent, so the merge order (shard 0..S-1, scan
+    // order within) yields the same state as any serial interleaving.
+    pool->ParallelFor(active.size(), [&](size_t a) {
+      const uint32_t q = active[a];
+      QueryState& qs = states[q];
+      const QueryContext* ctx = (ctxs != nullptr) ? ctxs[q] : nullptr;
+      const float* query = queries + q * qstride;
+      bool all_covered = true;
+      // analyze-ok(cancellation-cadence): O(S + groups) bookkeeping sweep over this round's group indices; the increment loop just below polls cancellation every increment and the clock at the mask cadence.
+      for (size_t s = 0; s < S; ++s) {
+        const ShardDelta& d = deltas[s][q];
+        all_covered = all_covered && d.covered;
+        for (uint32_t ix : d.group_ixs) {
+          const GroupScan& g = groups_pool[s][ix];
+          qs.stats.index_pages += g.index_pages;
+          qs.stats.buckets_scanned += g.buckets_scanned;
+        }
+      }
+      uint32_t* const counts = qs.counts.data();
+      if (ctx == nullptr) {
+        // Fast path — no context, so nothing can stop the merge mid-stream:
+        // the increment tally is hoisted per group and the inner loop is
+        // just the count update and the ==l transition. This is the loop
+        // the >= 2x aggregate-throughput criterion rides on; keep it lean.
+        // analyze-ok(cancellation-cadence): this query has no QueryContext — there is nothing to poll; the ctx != nullptr branch below keeps the full serial cadence.
+        for (size_t s = 0; s < S; ++s) {
+          // analyze-ok(cancellation-cadence): same no-context fast path as the enclosing loop — nothing to poll.
+          for (uint32_t ix : deltas[s][q].group_ixs) {
+            const GroupScan& g = groups_pool[s][ix];
+            qs.stats.collision_increments += g.ids.size();
+            for (ObjectId id : g.ids) {
+              if (++counts[id] == l) {
+                const double dist = L2(query, data.object(id), dim);
+                qs.found.push_back(Neighbor{id, static_cast<float>(dist)});
+                ++qs.stats.candidates_verified;
+                qs.stats.data_pages += vector_pages;
+              }
+            }
+          }
+        }
+      } else {
+        for (size_t s = 0; s < S && qs.early_stop == Termination::kNone; ++s) {
+          for (uint32_t ix : deltas[s][q].group_ixs) {
+            if (qs.early_stop != Termination::kNone) break;
+            for (ObjectId id : groups_pool[s][ix].ids) {
+              ++qs.stats.collision_increments;
+              if (ctx->cancelled()) {
+                qs.early_stop = Termination::kCancelled;
+                break;
+              }
+              if ((qs.stats.collision_increments &
+                   QueryContext::kCheckIntervalMask) == 0 &&
+                  ctx->deadline.Expired()) {
+                qs.early_stop = Termination::kDeadline;
+                break;
+              }
+              if (++counts[id] == l) {
+                const double dist = L2(query, data.object(id), dim);
+                qs.found.push_back(Neighbor{id, static_cast<float>(dist)});
+                ++qs.stats.candidates_verified;
+                qs.stats.data_pages += vector_pages;
+              }
+            }
+          }
+        }
+      }
+      // Round end, merged counts: T1 > T2 > early stop > exhausted — the
+      // exact RunQuery precedence. T1 is evaluated even after an early stop
+      // so a query whose partial merge already proved the answer gets the
+      // full-quality termination.
+      const double cr = c * static_cast<double>(R);
+      size_t within = 0;
+      for (const Neighbor& nb : qs.found) {
+        if (nb.dist <= cr) ++within;
+        if (within >= k) break;
+      }
+      if (within >= k) {
+        qs.stats.termination = Termination::kT1;
+      } else if (qs.found.size() >= t2_threshold) {
+        qs.stats.termination = Termination::kT2;
+      } else if (qs.early_stop != Termination::kNone) {
+        qs.stats.termination = qs.early_stop;
+      } else if (all_covered) {
+        qs.stats.termination = Termination::kExhausted;
+      }
+    });
+
+    // Retire finished queries (sequential, so metric flush order is
+    // deterministic) and advance the radius schedule.
+    size_t w = 0;
+    // analyze-ok(cancellation-cadence): O(active) bookkeeping at the round boundary — the boundary immediately rechecks every remaining query's ctx at the top of the next iteration.
+    for (uint32_t q : active) {
+      if (states[q].stats.termination != Termination::kNone) {
+        finalize(q);
+      } else {
+        active[w++] = q;
+      }
+    }
+    active.resize(w);
+    R *= c_int;
+  }
+
+  uint64_t scan_groups = 0;
+  uint64_t shared_hits = 0;
+  for (size_t s = 0; s < S; ++s) {
+    scan_groups += shard_scan_groups[s];
+    shared_hits += shard_shared_hits[s];
+  }
+  bm.scan_groups->Increment(scan_groups);
+  bm.shared_scan_hits->Increment(shared_hits);
+  bm.batch_blocks->Increment();
+}
+
+}  // namespace batch
+
+Result<std::vector<NeighborList>> C2lshIndex::QueryBatch(
+    const Dataset& data, const FloatMatrix& queries, size_t k,
+    const BatchQueryOptions& options, std::vector<C2lshQueryStats>* stats) const {
+  if (k == 0) return Status::InvalidArgument("C2LSH query: k must be positive");
+  if (queries.dim() != dim_) {
+    return Status::InvalidArgument("QueryBatch: query dim mismatch");
+  }
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("C2LSH query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects()) {
+    return Status::InvalidArgument(
+        "C2LSH query: dataset has fewer objects than the index — pass the dataset the "
+        "index was built on (plus any inserted rows)");
+  }
+  const size_t nq = queries.num_rows();
+  if (!options.contexts.empty() && options.contexts.size() != nq) {
+    return Status::InvalidArgument(
+        "QueryBatch: contexts must be empty or hold one (nullable) pointer per query row");
+  }
+  std::vector<NeighborList> results(nq);
+  std::vector<C2lshQueryStats> local_stats;
+  std::vector<C2lshQueryStats>* st = (stats != nullptr) ? stats : &local_stats;
+  st->assign(nq, C2lshQueryStats());
+  if (nq == 0) return results;
+
+  ThreadPool* pool = (options.pool != nullptr) ? options.pool : &ThreadPool::Shared();
+  const size_t m = tables_.size();
+  size_t num_shards = (options.num_shards != 0) ? options.num_shards : pool->num_threads();
+  num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(m, 1)));
+  const size_t block = (options.batch_size != 0) ? options.batch_size : nq;
+
+  const batch::BatchMetrics& bm = batch::Metrics();
+  bm.batch_size->Set(static_cast<double>(std::min(block, nq)));
+  bm.num_shards->Set(static_cast<double>(num_shards));
+  bm.pool_threads->Set(static_cast<double>(pool->num_threads()));
+
+  for (size_t start = 0; start < nq; start += block) {
+    const size_t count = std::min(block, nq - start);
+    const QueryContext* const* ctxs =
+        options.contexts.empty() ? nullptr : options.contexts.data() + start;
+    batch::RunBatchBlock(*this, data, queries.row(start), count, queries.dim(), k,
+                         ctxs, num_shards, pool, results.data() + start,
+                         st->data() + start);
+  }
+  return results;
+}
+
+Result<std::vector<NeighborList>> C2lshIndex::BatchQuery(const Dataset& data,
+                                                         const FloatMatrix& queries,
+                                                         size_t k,
+                                                         size_t num_threads) const {
+  // Thin wrapper over the batch engine: num_threads bounds the table
+  // sharding. Results are bitwise-invariant under the value (determinism
+  // contract), so callers migrating from the old thread-per-query loop see
+  // identical answers for every setting.
+  BatchQueryOptions options;
+  options.num_shards = num_threads;
+  return QueryBatch(data, queries, k, options);
+}
+
+}  // namespace c2lsh

@@ -662,10 +662,75 @@ Result<NeighborList> DiskC2lshIndex::Query(const Dataset& data, const float* que
   return RunDiskQuery(&data, query, k, stats, trace, ctx);
 }
 
+Result<std::vector<NeighborList>> DiskC2lshIndex::QueryBatch(
+    const FloatMatrix& queries, size_t k, std::vector<DiskQueryStats>* stats,
+    const std::vector<const QueryContext*>& contexts) const {
+  if (first_data_page_ == 0) {
+    return Status::NotSupported(
+        "DiskC2LSH: this index was built without a data segment; pass the Dataset "
+        "to QueryBatch or rebuild with store_vectors = true");
+  }
+  return RunDiskBatch(nullptr, queries, k, stats, contexts);
+}
+
+Result<std::vector<NeighborList>> DiskC2lshIndex::QueryBatch(
+    const Dataset& data, const FloatMatrix& queries, size_t k,
+    std::vector<DiskQueryStats>* stats,
+    const std::vector<const QueryContext*>& contexts) const {
+  if (data.dim() != dim_) {
+    return Status::InvalidArgument("DiskC2LSH query: dataset dim mismatch");
+  }
+  if (data.size() < num_objects_) {
+    return Status::InvalidArgument("DiskC2LSH query: dataset smaller than the index");
+  }
+  return RunDiskBatch(&data, queries, k, stats, contexts);
+}
+
+Result<std::vector<NeighborList>> DiskC2lshIndex::RunDiskBatch(
+    const Dataset* data, const FloatMatrix& queries, size_t k,
+    std::vector<DiskQueryStats>* stats,
+    const std::vector<const QueryContext*>& contexts) const {
+  if (k == 0) return Status::InvalidArgument("DiskC2LSH query: k must be positive");
+  if (queries.dim() != dim_) {
+    return Status::InvalidArgument("DiskC2LSH QueryBatch: query dim mismatch");
+  }
+  const size_t nq = queries.num_rows();
+  if (!contexts.empty() && contexts.size() != nq) {
+    return Status::InvalidArgument(
+        "DiskC2LSH QueryBatch: contexts must be empty or hold one (nullable) pointer "
+        "per query row");
+  }
+  std::vector<NeighborList> results(nq);
+  std::vector<DiskQueryStats> local_stats;
+  std::vector<DiskQueryStats>* st = (stats != nullptr) ? stats : &local_stats;
+  st->assign(nq, DiskQueryStats());
+  if (nq == 0) return results;
+
+  // Layer 1 only: the whole batch is bucketed in one query-major blocked
+  // projection pass. The scan/verify rounds stay sequential per query — the
+  // disk index is single-reader by contract (one scratch, one buffer pool,
+  // one WAL cursor), so the in-memory engine's shard parallelism does not
+  // apply here.
+  const size_t m = tables_.size();
+  std::vector<BucketId> qbuckets;
+  family_->BucketAllMulti(queries.row(0), nq, queries.dim(), &qbuckets);
+
+  for (size_t q = 0; q < nq; ++q) {
+    const QueryContext* ctx = contexts.empty() ? nullptr : contexts[q];
+    Result<NeighborList> r =
+        RunDiskQuery(data, queries.row(q), k, &(*st)[q], /*trace=*/nullptr, ctx,
+                     qbuckets.data() + q * m);
+    if (!r.ok()) return r.status();
+    results[q] = std::move(r).value();
+  }
+  return results;
+}
+
 Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const float* query,
                                                   size_t k, DiskQueryStats* stats,
                                                   obs::QueryTrace* trace,
-                                                  const QueryContext* ctx) const {
+                                                  const QueryContext* ctx,
+                                                  const BucketId* qbuckets_in) const {
   if (k == 0) return Status::InvalidArgument("DiskC2LSH query: k must be positive");
   DiskQueryStats local;
   DiskQueryStats* st = (stats != nullptr) ? stats : &local;
@@ -690,8 +755,15 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
       k + static_cast<size_t>(
               std::ceil(derived_.beta * static_cast<double>(num_objects_))));
 
-  std::vector<BucketId> qbuckets;
-  family_->BucketAll(query, &qbuckets);
+  // QueryBatch hands in the buckets from its batched projection pass
+  // (bit-identical to BucketAll by the dot_rows_multi exactness contract);
+  // a lone query computes its own.
+  std::vector<BucketId> qbuckets_storage;
+  if (qbuckets_in == nullptr) {
+    family_->BucketAll(query, &qbuckets_storage);
+    qbuckets_in = qbuckets_storage.data();
+  }
+  const BucketId* qbuckets = qbuckets_in;
 
   std::vector<BucketRange> prev(m);
   NeighborList found;

@@ -137,6 +137,30 @@ class DiskC2lshIndex {
                              obs::QueryTrace* trace = nullptr,
                              const QueryContext* ctx = nullptr) const;
 
+  /// Batched c-k-ANN against the stored data segment: one query per row of
+  /// `queries`, answers identical to looping Query(). The projection layer is
+  /// batched — all rows are bucketed in one query-major GEMM-style pass
+  /// (PStableFamily::BucketAllMulti, bit-identical to per-query bucketing) —
+  /// but the scan/verify rounds run sequentially per query: the disk index
+  /// is documented single-reader (one scratch, one WAL cursor, one buffer
+  /// pool), so unlike C2lshIndex::QueryBatch there is no shard parallelism
+  /// here. `contexts`, when non-empty, holds one (nullable) QueryContext per
+  /// row with the usual per-query deadline/cancellation/budget semantics —
+  /// one query expiring never perturbs its batchmates. `stats`, when
+  /// non-null, is resized to one entry per query.
+  Result<std::vector<NeighborList>> QueryBatch(
+      const FloatMatrix& queries, size_t k,
+      std::vector<DiskQueryStats>* stats = nullptr,
+      const std::vector<const QueryContext*>& contexts = {}) const;
+
+  /// QueryBatch verifying against the caller's dataset (works with or
+  /// without a stored data segment). Same contract as the stored-vector
+  /// QueryBatch above.
+  Result<std::vector<NeighborList>> QueryBatch(
+      const Dataset& data, const FloatMatrix& queries, size_t k,
+      std::vector<DiskQueryStats>* stats = nullptr,
+      const std::vector<const QueryContext*>& contexts = {}) const;
+
   bool has_stored_vectors() const { return first_data_page_ != 0; }
 
   const C2lshOptions& options() const { return options_; }
@@ -178,9 +202,19 @@ class DiskC2lshIndex {
   DiskC2lshIndex() = default;
 
   /// Shared query loop. `data` may be null when vectors are stored.
+  /// `qbuckets`, when non-null, holds the query's num_tables() precomputed
+  /// bucket ids (QueryBatch's batched projection); null recomputes them.
   Result<NeighborList> RunDiskQuery(const Dataset* data, const float* query, size_t k,
                                     DiskQueryStats* stats, obs::QueryTrace* trace,
-                                    const QueryContext* ctx) const;
+                                    const QueryContext* ctx,
+                                    const BucketId* qbuckets = nullptr) const;
+
+  /// Shared validation + projection + sequential loop behind both QueryBatch
+  /// overloads.
+  Result<std::vector<NeighborList>> RunDiskBatch(
+      const Dataset* data, const FloatMatrix& queries, size_t k,
+      std::vector<DiskQueryStats>* stats,
+      const std::vector<const QueryContext*>& contexts) const;
 
   /// Reads object `id`'s vector from the data segment into `out`
   /// (dim_ floats), charging the pool. `ctx` bounds the retry loop of the

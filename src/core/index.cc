@@ -4,10 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <string>
-#include <thread>
 
 #include "src/obs/registry.h"
 #include "src/util/thread_annotations.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 #include "src/vector/distance.h"
 
@@ -171,34 +171,35 @@ Result<C2lshIndex> C2lshIndex::Build(const Dataset& data, const C2lshOptions& op
       PStableFamily::Sample(derived.m, data.dim(), options.w, options.seed,
                             static_cast<double>(radius_cap)));
 
-  // Parallel-build scratch. `tables` is shared across workers without a
-  // mutex because the sharing is disjoint by construction: worker t writes
-  // only slots i with i % num_threads == t, the vector is never resized
-  // while workers run, and join() below publishes every slot to this thread
-  // (sequenced-before the return). `family` and `data` are read-only.
-  // The race lane (race_stress_test.cc, ParallelBuildMatchesSerialReference)
-  // re-checks this partitioning under TSan.
+  // Parallel build on the shared worker pool (no per-call thread creation).
+  // `tables` is shared across pool lanes without a mutex because the sharing
+  // is disjoint by construction: lane t writes only slots i with
+  // i % lanes == t, the vector is never resized while the ParallelFor runs,
+  // and ParallelFor's completion barrier publishes every slot to this thread
+  // (the src/util/thread_pool.h determinism contract). `family` and `data`
+  // are read-only. The race lane (race_stress_test.cc,
+  // ParallelBuildMatchesSerialReference) re-checks this partitioning under
+  // TSan. `num_threads` bounds concurrency by bounding the lane count; the
+  // pool itself is clamped to hardware concurrency.
   std::vector<BucketTable> tables(derived.m);
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, derived.m);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t]() {
-      for (size_t i = t; i < derived.m; i += num_threads) {
-        const std::vector<BucketId> buckets = family.BucketColumn(data.vectors(), i);
-        std::vector<std::pair<BucketId, ObjectId>> pairs;
-        pairs.reserve(buckets.size());
-        for (size_t r = 0; r < buckets.size(); ++r) {
-          pairs.emplace_back(buckets[r], static_cast<ObjectId>(r));
-        }
-        tables[i] = BucketTable::Build(std::move(pairs));
-      }
+  auto build_table = [&](size_t i) {
+    const std::vector<BucketId> buckets = family.BucketColumn(data.vectors(), i);
+    std::vector<std::pair<BucketId, ObjectId>> pairs;
+    pairs.reserve(buckets.size());
+    for (size_t r = 0; r < buckets.size(); ++r) {
+      pairs.emplace_back(buckets[r], static_cast<ObjectId>(r));
+    }
+    tables[i] = BucketTable::Build(std::move(pairs));
+  };
+  const size_t lanes =
+      std::min(num_threads == 0 ? derived.m : num_threads, derived.m);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < derived.m; ++i) build_table(i);
+  } else {
+    ThreadPool::Shared().ParallelFor(lanes, [&](size_t t) {
+      for (size_t i = t; i < derived.m; i += lanes) build_table(i);
     });
   }
-  for (auto& w : workers) w.join();
 
   return C2lshIndex(options, derived, std::move(family), std::move(tables), data.size(),
                     data.dim(), radius_cap);
@@ -564,44 +565,8 @@ Result<NeighborList> C2lshIndex::RangeQuery(const Dataset& data, const float* qu
   return found;
 }
 
-Result<std::vector<NeighborList>> C2lshIndex::BatchQuery(const Dataset& data,
-                                                         const FloatMatrix& queries,
-                                                         size_t k,
-                                                         size_t num_threads) const {
-  if (queries.dim() != dim_) {
-    return Status::InvalidArgument("BatchQuery: query dim mismatch");
-  }
-  // Disjoint-by-construction sharing, same scheme as Build above: worker t
-  // writes only results[q] / errors[q] with q % num_threads == t; each
-  // worker owns a private Searcher (and thus private query scratch).
-  const size_t nq = queries.num_rows();
-  std::vector<NeighborList> results(nq);
-  std::vector<Status> errors(nq);
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<size_t>(nq, 1));
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t]() {
-      Searcher searcher(this);
-      for (size_t q = t; q < nq; q += num_threads) {
-        Result<NeighborList> r = searcher.Query(data, queries.row(q), k);
-        if (r.ok()) {
-          results[q] = std::move(r).value();
-        } else {
-          errors[q] = r.status();
-        }
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  for (const Status& s : errors) {
-    if (!s.ok()) return s;
-  }
-  return results;
-}
+// BatchQuery is defined in src/core/batch.cc as a thin wrapper over the
+// batched, shard-parallel QueryBatch engine.
 
 Result<Neighbor> C2lshIndex::DecisionQuery(const Dataset& data, const float* query,
                                            long long R, C2lshQueryStats* stats,

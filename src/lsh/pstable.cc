@@ -108,6 +108,39 @@ void PStableFamily::BucketAll(const float* v, std::vector<BucketId>* out) const 
   }
 }
 
+void PStableFamily::BucketAllMulti(const float* queries, size_t num_queries,
+                                   size_t qstride,
+                                   std::vector<BucketId>* out) const {
+  const size_t m = funcs_.size();
+  out->resize(num_queries * m);
+  if (num_queries == 0) return;
+  // One query-major blocked pass per function chunk: each chunk of packed
+  // rows is streamed once for the whole query block instead of once per
+  // query. dot_rows_multi is bit-identical per (row, query) pair to the dot
+  // kernel behind PStableHash::Project (simd.h exactness contract), so every
+  // quantized bucket matches the per-query BucketAll exactly.
+  //
+  // The kernel writes function-major (proj[j * num_queries + q]); the
+  // scatter below transposes into the query-major output layout. The scratch
+  // is heap-sized by the query count, amortized over the whole batch.
+  std::vector<double> proj(std::min(kProjectionChunk, m) * num_queries);
+  // analyze-ok(cancellation-cadence): bounded m x d x B projection — one blocked pass per query batch, before any scan loop polls.
+  for (size_t start = 0; start < m; start += kProjectionChunk) {
+    const size_t count = std::min(kProjectionChunk, m - start);
+    simd::Active().dot_rows_multi(packed_.data() + start * packed_stride_,
+                                  count, packed_stride_, dim_, queries,
+                                  num_queries, qstride, proj.data());
+    // analyze-ok(cancellation-cadence): bounded chunk x B quantization scatter of the projection pass above; runs once per batch before any scan loop polls.
+    for (size_t j = 0; j < count; ++j) {
+      const double b = funcs_[start + j].b();
+      for (size_t q = 0; q < num_queries; ++q) {
+        (*out)[q * m + start + j] = static_cast<BucketId>(
+            std::floor((proj[j * num_queries + q] + b) / w_));
+      }
+    }
+  }
+}
+
 std::vector<BucketId> PStableFamily::BucketColumn(const FloatMatrix& data, size_t i) const {
   const size_t n = data.num_rows();
   std::vector<BucketId> out(n);

@@ -87,6 +87,17 @@ class PStableFamily {
   /// (resized to size()).
   void BucketAll(const float* v, std::vector<BucketId>* out) const;
 
+  /// Buckets of a whole query block under every function, in one query-major
+  /// GEMM-style pass over the packed matrix: `queries` holds num_queries
+  /// row-major vectors of dim() floats each, `qstride` (>= dim(), in floats)
+  /// apart. `out` is resized to num_queries * size() and laid out
+  /// query-major: out[q * size() + i] is query q's bucket under function i —
+  /// guaranteed bit-identical to what BucketAll(query_q) puts at index i, by
+  /// the dot_rows_multi exactness contract (src/vector/simd.h), so batched
+  /// and serial bucketing agree exactly, bucket boundaries included.
+  void BucketAllMulti(const float* queries, size_t num_queries, size_t qstride,
+                      std::vector<BucketId>* out) const;
+
   /// Buckets of every row of `data` under function `i`.
   std::vector<BucketId> BucketColumn(const FloatMatrix& data, size_t i) const;
 

@@ -1,0 +1,120 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "src/util/mutex.h"
+
+namespace c2lsh {
+namespace {
+
+size_t ClampToHardware(size_t requested) {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // unknown: stay conservative
+  if (requested == 0) requested = hw;
+  return std::max<size_t>(1, std::min(requested, hw));
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = ClampToHardware(num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+// The capability analysis cannot follow std::unique_lock or the
+// condition_variable_any wait (both lock/unlock the Mutex inside library
+// templates), so this function is excluded; the whole body runs under mu_
+// held by `lock` except while executing a popped task, and the cv wait
+// releases/reacquires it as usual.
+void ThreadPool::WorkerLoop() NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (shutdown_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared region state. Heap-allocated and reference-counted because a
+  // helper that loses the race for the last index may still be between its
+  // final decrement and its notify after the caller has already returned.
+  struct Region {
+    explicit Region(size_t live_helpers) : live(live_helpers) {}
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> live;  // helper tasks not yet finished
+    Mutex mu;
+    std::condition_variable_any cv;
+  };
+  const size_t helpers = std::min(threads_.size(), n - 1);
+  auto region = std::make_shared<Region>(helpers);
+
+  // `fn` stays valid for the whole region: the caller below blocks until
+  // every helper has finished, so capturing its address is safe.
+  const std::function<void(size_t)>* fn_ptr = &fn;
+  auto helper_task = [region, fn_ptr, n] {
+    size_t i;
+    while ((i = region->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      (*fn_ptr)(i);
+    }
+    // Last helper out wakes the caller. The lock/notify pair (instead of a
+    // bare notify) closes the missed-wakeup window against the caller's
+    // predicate check.
+    if (region->live.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::unique_lock<Mutex> lock(region->mu);
+      region->cv.notify_all();
+    }
+  };
+  {
+    MutexLock lock(&mu_);
+    for (size_t h = 0; h < helpers; ++h) queue_.emplace_back(helper_task);
+  }
+  cv_.notify_all();
+
+  // The caller works the same counter, then waits for the helpers. The
+  // acquire on `live` pairs with each helper's release-decrement, making
+  // every fn(i) write visible here on return.
+  size_t i;
+  while ((i = region->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+    fn(i);
+  }
+  std::unique_lock<Mutex> lock(region->mu);
+  region->cv.wait(lock, [&region] {
+    return region->live.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);  // 0 = hardware concurrency
+  return pool;
+}
+
+}  // namespace c2lsh

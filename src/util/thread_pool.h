@@ -1,0 +1,81 @@
+// ThreadPool: the process-wide worker pool behind every parallel region in
+// the library (index build, batched queries, ground-truth computation).
+//
+// The pool exists so parallel call sites stop paying thread-creation cost on
+// every call and so the process has one bounded set of compute threads
+// instead of per-call bursts: raw std::thread construction is confined to
+// this translation unit by lint's raw-thread rule (tests and tools are
+// exempt). Pool size is clamped to std::thread::hardware_concurrency().
+//
+// The primitive is ParallelFor(n, fn): run fn(0..n-1), block until done.
+// The calling thread PARTICIPATES — it pulls indexes from the same shared
+// counter as the workers — so a ParallelFor always makes progress even when
+// every worker is busy with someone else's region. Work items must not
+// block on the pool themselves (no nested ParallelFor from inside fn):
+// worker threads run one task to completion and never wait on other tasks.
+//
+// Determinism contract: ParallelFor guarantees each index runs exactly once
+// and all writes made by fn are visible to the caller on return (the
+// completion handshake is an acquire/release pair). It does NOT guarantee
+// which thread runs which index — callers needing deterministic output must
+// write to disjoint, index-addressed slots (the pattern every call site in
+// this tree uses).
+//
+// Thread-safety: the queue is guarded by an annotated Mutex; the worker
+// wait loop goes through std::unique_lock + std::condition_variable_any,
+// which the capability analysis cannot follow, so those functions carry
+// NO_THREAD_SAFETY_ANALYSIS with the reasoning in a comment (same idiom as
+// AdmissionController::Admit). No <chrono> here: all waits are untimed
+// condition-variable waits, wakeable by enqueue or shutdown.
+
+#pragma once
+#ifndef C2LSH_UTIL_THREAD_POOL_H_
+#define C2LSH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace c2lsh {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with min(num_threads, hardware_concurrency) workers
+  /// (at least one). `num_threads == 0` means "use hardware concurrency".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, n) and returns once all calls completed.
+  /// The caller participates in the work, so this cannot deadlock waiting
+  /// for busy workers; fn must not block on this pool (see file comment).
+  /// Safe to call from multiple threads concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The process-wide shared pool, sized to hardware concurrency. Built on
+  /// first use; lives for the life of the process.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_THREAD_POOL_H_

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <thread>
 
 #include "src/util/thread_annotations.h"
+#include "src/util/thread_pool.h"
 #include "src/vector/io.h"
 
 namespace c2lsh {
@@ -50,26 +50,27 @@ Result<std::vector<NeighborList>> ComputeGroundTruth(const Dataset& data,
                                    std::to_string(queries.dim()) + " != data dim " +
                                    std::to_string(data.dim()));
   }
-  // Parallel scratch shared without a mutex: worker t writes only out[i]
-  // with i % num_threads == t (disjoint slots, no resize while workers run),
-  // and join() publishes the writes to this thread. `data` and `queries` are
-  // read-only. Checked under TSan by the race lane.
+  // Parallel scratch on the shared worker pool (no per-call thread
+  // creation): each ParallelFor item writes only its own out[i] slot
+  // (disjoint index-addressed slots, no resize while the loop runs), and the
+  // completion barrier publishes the writes to this thread — the
+  // src/util/thread_pool.h determinism contract. `data` and `queries` are
+  // read-only. Checked under TSan by the race lane. `num_threads` bounds
+  // concurrency by bounding the lane count.
   const size_t nq = queries.num_rows();
   std::vector<NeighborList> out(nq);
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, nq);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t]() {
-      for (size_t i = t; i < nq; i += num_threads) {
+  const size_t lanes = std::min(num_threads == 0 ? nq : num_threads, nq);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < nq; ++i) {
+      out[i] = BruteForceTopK(data, queries.row(i), k, metric);
+    }
+  } else {
+    ThreadPool::Shared().ParallelFor(lanes, [&](size_t t) {
+      for (size_t i = t; i < nq; i += lanes) {
         out[i] = BruteForceTopK(data, queries.row(i), k, metric);
       }
     });
   }
-  for (auto& w : workers) w.join();
   return out;
 }
 

@@ -88,9 +88,21 @@ void ScalarDotRows(const float* rows, size_t num_rows, size_t stride, size_t d,
   }
 }
 
+void ScalarDotRowsMulti(const float* rows, size_t num_rows, size_t stride,
+                        size_t d, const float* queries, size_t num_queries,
+                        size_t qstride, double* out) {
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * stride;
+    for (size_t q = 0; q < num_queries; ++q) {
+      out[r * num_queries + q] = ScalarDot(row, queries + q * qstride, d);
+    }
+  }
+}
+
 constexpr Kernels kScalarKernels = {
-    ScalarSquaredL2, ScalarL1,          ScalarDot,
+    ScalarSquaredL2,   ScalarL1,          ScalarDot,
     ScalarSquaredNorm, ScalarDotAndNorms, ScalarDotRows,
+    ScalarDotRowsMulti,
 };
 
 }  // namespace

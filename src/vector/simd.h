@@ -23,6 +23,12 @@
 //    and dot itself must be exactly commutative in its two arguments. This
 //    is what lets PStableFamily::BucketAll (packed matrix-vector pass) match
 //    per-function PStableHash::Bucket exactly, bucket boundaries included.
+//    The multi-query form extends the same contract one axis further:
+//    dot_rows_multi(rows, n, stride, d, queries, nq, qstride, out) must
+//    produce out[r * nq + q] bit-identical to
+//    dot(rows + r*stride, queries + q*qstride, d) of the same table, for
+//    every (row, query) pair — so a batched projection pass buckets every
+//    query exactly as its own serial BucketAll would.
 //
 // Selection order: AVX-512 > AVX2 > NEON > scalar, overridable for testing
 // with the environment variable C2LSH_SIMD=scalar|avx2|avx512|neon (an
@@ -77,6 +83,17 @@ struct Kernels {
   /// pass over the query) and of blocked multi-row build hashing.
   void (*dot_rows)(const float* rows, size_t num_rows, size_t stride, size_t d,
                    const float* v, double* out);
+  /// Query-major blocked matrix-matrix product:
+  /// out[r * num_queries + q] = dot(rows + r*stride, queries + q*qstride, d),
+  /// bit-identical to this table's dot per (row, query) pair (see the
+  /// exactness contract above). Each matrix row is streamed once per query
+  /// block instead of once per query — the backbone of batched BucketAll
+  /// (all m projections of a whole query batch in one pass over the packed
+  /// projection matrix). `stride >= d` and `qstride >= d`, in floats;
+  /// padding lanes are never read.
+  void (*dot_rows_multi)(const float* rows, size_t num_rows, size_t stride,
+                         size_t d, const float* queries, size_t num_queries,
+                         size_t qstride, double* out);
 };
 
 /// The table for a specific ISA, or nullptr when that ISA is not compiled in

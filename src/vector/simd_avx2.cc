@@ -174,9 +174,63 @@ void Avx2DotRows(const float* rows, size_t num_rows, size_t stride, size_t d,
   for (; r < num_rows; ++r) out[r] = DotBody(rows + r * stride, v, d);
 }
 
+void Avx2DotRowsMulti(const float* rows, size_t num_rows, size_t stride,
+                      size_t d, const float* queries, size_t num_queries,
+                      size_t qstride, double* out) {
+  // Query-major blocking: four queries per pass share each load of the row,
+  // so a row is streamed from memory once per 4-query block instead of once
+  // per query. Every (row, query) pair keeps DotBody's exact accumulator
+  // structure (two lanes + scalar tail, summed in the same order), so
+  // out[r * num_queries + q] is bit-identical to DotBody(row_r, query_q, d).
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * stride;
+    double* out_row = out + r * num_queries;
+    size_t q = 0;
+    for (; q + 4 <= num_queries; q += 4) {
+      const float* q0 = queries + (q + 0) * qstride;
+      const float* q1 = queries + (q + 1) * qstride;
+      const float* q2 = queries + (q + 2) * qstride;
+      const float* q3 = queries + (q + 3) * qstride;
+      __m256d acc00 = _mm256_setzero_pd(), acc01 = _mm256_setzero_pd();
+      __m256d acc10 = _mm256_setzero_pd(), acc11 = _mm256_setzero_pd();
+      __m256d acc20 = _mm256_setzero_pd(), acc21 = _mm256_setzero_pd();
+      __m256d acc30 = _mm256_setzero_pd(), acc31 = _mm256_setzero_pd();
+      size_t i = 0;
+      for (; i + 8 <= d; i += 8) {
+        const __m256d r0 = LoadPd(row + i);
+        const __m256d r1 = LoadPd(row + i + 4);
+        acc00 = _mm256_fmadd_pd(r0, LoadPd(q0 + i), acc00);
+        acc01 = _mm256_fmadd_pd(r1, LoadPd(q0 + i + 4), acc01);
+        acc10 = _mm256_fmadd_pd(r0, LoadPd(q1 + i), acc10);
+        acc11 = _mm256_fmadd_pd(r1, LoadPd(q1 + i + 4), acc11);
+        acc20 = _mm256_fmadd_pd(r0, LoadPd(q2 + i), acc20);
+        acc21 = _mm256_fmadd_pd(r1, LoadPd(q2 + i + 4), acc21);
+        acc30 = _mm256_fmadd_pd(r0, LoadPd(q3 + i), acc30);
+        acc31 = _mm256_fmadd_pd(r1, LoadPd(q3 + i + 4), acc31);
+      }
+      double t0 = 0.0, t1 = 0.0, t2 = 0.0, t3 = 0.0;
+      for (; i < d; ++i) {
+        const double ri = row[i];
+        t0 += ri * q0[i];
+        t1 += ri * q1[i];
+        t2 += ri * q2[i];
+        t3 += ri * q3[i];
+      }
+      out_row[q + 0] = HSum(acc00) + HSum(acc01) + t0;
+      out_row[q + 1] = HSum(acc10) + HSum(acc11) + t1;
+      out_row[q + 2] = HSum(acc20) + HSum(acc21) + t2;
+      out_row[q + 3] = HSum(acc30) + HSum(acc31) + t3;
+    }
+    for (; q < num_queries; ++q) {
+      out_row[q] = DotBody(row, queries + q * qstride, d);
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels = {
-    Avx2SquaredL2, Avx2L1,          Avx2Dot,
+    Avx2SquaredL2,   Avx2L1,          Avx2Dot,
     Avx2SquaredNorm, Avx2DotAndNorms, Avx2DotRows,
+    Avx2DotRowsMulti,
 };
 
 }  // namespace

@@ -188,9 +188,58 @@ void NeonDotRows(const float* rows, size_t num_rows, size_t stride, size_t d,
   for (; r < num_rows; ++r) out[r] = DotBody(rows + r * stride, v, d);
 }
 
+void NeonDotRowsMulti(const float* rows, size_t num_rows, size_t stride,
+                      size_t d, const float* queries, size_t num_queries,
+                      size_t qstride, double* out) {
+  // Query-major blocking: two queries per pass share each load of the row
+  // (NEON's 32 q-registers hold two queries' four-accumulator sets plus the
+  // shared row lanes comfortably); every (row, query) pair keeps DotBody's
+  // exact accumulator structure, so out[r * num_queries + q] ==
+  // DotBody(row_r, query_q, d) bitwise.
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * stride;
+    double* out_row = out + r * num_queries;
+    size_t q = 0;
+    for (; q + 2 <= num_queries; q += 2) {
+      const float* q0 = queries + (q + 0) * qstride;
+      const float* q1 = queries + (q + 1) * qstride;
+      float64x2_t a00 = vdupq_n_f64(0.0), a01 = vdupq_n_f64(0.0);
+      float64x2_t a02 = vdupq_n_f64(0.0), a03 = vdupq_n_f64(0.0);
+      float64x2_t a10 = vdupq_n_f64(0.0), a11 = vdupq_n_f64(0.0);
+      float64x2_t a12 = vdupq_n_f64(0.0), a13 = vdupq_n_f64(0.0);
+      size_t i = 0;
+      for (; i + 8 <= d; i += 8) {
+        const Pd4 r0 = LoadPd(row + i), r1 = LoadPd(row + i + 4);
+        const Pd4 x0 = LoadPd(q0 + i), x1 = LoadPd(q0 + i + 4);
+        const Pd4 y0 = LoadPd(q1 + i), y1 = LoadPd(q1 + i + 4);
+        a00 = vfmaq_f64(a00, r0.lo, x0.lo);
+        a01 = vfmaq_f64(a01, r0.hi, x0.hi);
+        a02 = vfmaq_f64(a02, r1.lo, x1.lo);
+        a03 = vfmaq_f64(a03, r1.hi, x1.hi);
+        a10 = vfmaq_f64(a10, r0.lo, y0.lo);
+        a11 = vfmaq_f64(a11, r0.hi, y0.hi);
+        a12 = vfmaq_f64(a12, r1.lo, y1.lo);
+        a13 = vfmaq_f64(a13, r1.hi, y1.hi);
+      }
+      double t0 = 0.0, t1 = 0.0;
+      for (; i < d; ++i) {
+        const double ri = row[i];
+        t0 += ri * q0[i];
+        t1 += ri * q1[i];
+      }
+      out_row[q + 0] = HSum2(a00, a01) + HSum2(a02, a03) + t0;
+      out_row[q + 1] = HSum2(a10, a11) + HSum2(a12, a13) + t1;
+    }
+    for (; q < num_queries; ++q) {
+      out_row[q] = DotBody(row, queries + q * qstride, d);
+    }
+  }
+}
+
 constexpr Kernels kNeonKernels = {
-    NeonSquaredL2, NeonL1,          NeonDot,
+    NeonSquaredL2,   NeonL1,          NeonDot,
     NeonSquaredNorm, NeonDotAndNorms, NeonDotRows,
+    NeonDotRowsMulti,
 };
 
 }  // namespace

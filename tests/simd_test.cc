@@ -81,6 +81,7 @@ TEST(SimdTest, ScalarAlwaysSupported) {
     EXPECT_NE(k->squared_norm, nullptr);
     EXPECT_NE(k->dot_and_norms, nullptr);
     EXPECT_NE(k->dot_rows, nullptr);
+    EXPECT_NE(k->dot_rows_multi, nullptr);
   }
 }
 
@@ -212,6 +213,50 @@ TEST(SimdTest, DotRowsBitIdenticalToDot) {
                 << " n=" << n << " r=" << r;
             EXPECT_EQ(k.dot(v.data(), row, d), direct)
                 << IsaName(isa) << " commutativity d=" << d << " r=" << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The batched extension of the same contract: dot_rows_multi must reproduce
+// this table's own dot bit-for-bit per (row, query) pair. Query counts cover
+// every query-block remainder (the 4-wide x86 blocks, the 2-wide NEON
+// blocks, and their tails), row/query strides cover both tight and padded
+// layouts, and padding lanes are poisoned so any out-of-range read shows.
+TEST(SimdTest, DotRowsMultiBitIdenticalToDot) {
+  for (Isa isa : SupportedIsas()) {
+    const Kernels& k = *KernelsFor(isa);
+    for (size_t d : {1u, 3u, 7u, 8u, 16u, 31u, 64u, 129u}) {
+      for (size_t stride : {d, AlignedStride<float>(d)}) {
+        for (size_t n : {1u, 3u, 5u}) {
+          AlignedVector<float> rows(n * stride, 7.7e33f);  // poison padding
+          for (size_t r = 0; r < n; ++r) {
+            const std::vector<float> row = MakeVector(d, 31 * r + d, false);
+            for (size_t i = 0; i < d; ++i) rows[r * stride + i] = row[i];
+          }
+          for (size_t nq : {1u, 2u, 3u, 4u, 5u, 7u, 9u}) {
+            for (size_t qstride : {d, AlignedStride<float>(d)}) {
+              AlignedVector<float> queries(nq * qstride, -3.3e33f);
+              for (size_t q = 0; q < nq; ++q) {
+                const std::vector<float> qv = MakeVector(d, 555 + 17 * q + d, false);
+                for (size_t i = 0; i < d; ++i) queries[q * qstride + i] = qv[i];
+              }
+              std::vector<double> out(n * nq, -1.0);
+              k.dot_rows_multi(rows.data(), n, stride, d, queries.data(), nq,
+                               qstride, out.data());
+              for (size_t r = 0; r < n; ++r) {
+                for (size_t q = 0; q < nq; ++q) {
+                  const double direct = k.dot(rows.data() + r * stride,
+                                              queries.data() + q * qstride, d);
+                  EXPECT_EQ(out[r * nq + q], direct)
+                      << IsaName(isa) << " d=" << d << " stride=" << stride
+                      << " n=" << n << " nq=" << nq << " qstride=" << qstride
+                      << " r=" << r << " q=" << q;
+                }
+              }
+            }
           }
         }
       }

@@ -19,6 +19,10 @@
 #   mutate    ctest -L mutate in the default tree — WAL durability, crash
 #             replay, and mutate/build equivalence (the concurrent-mutation
 #             tests also run under TSan via the race label)
+#   batch     ctest -L batch under -DC2LSH_SANITIZE=thread in both ISA
+#             dispatch modes (shares the tsan tree) — the batched/sharded
+#             QueryBatch engine's bitwise-determinism and thread-pool suite;
+#             the same tests also run unsanitized in the default lane
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -177,6 +181,9 @@ if [[ "${FAST}" -eq 0 ]]; then
   run_lane asan build_and_test_both_isas build-check/asan -- -DC2LSH_SANITIZE=address
   run_lane ubsan build_and_test_both_isas build-check/ubsan -- -DC2LSH_SANITIZE=undefined
   run_lane tsan build_and_test_both_isas build-check/tsan -L race -- -DC2LSH_SANITIZE=thread
+
+  # --- batch (QueryBatch determinism + pool under TSan, both ISA modes) ----
+  run_lane batch build_and_test_both_isas build-check/tsan -L batch -- -DC2LSH_SANITIZE=thread
 
   # --- fuzz (untrusted-byte parsers under ASan+UBSan) ----------------------
   fuzz_lane() {

@@ -33,6 +33,14 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     cancelled and wrecks deadline budgets. Waits belong on a
                     condition variable (wakeable) or in the deadline-aware
                     retry loop; tests may sleep freely.
+  raw-thread        std::thread construction (and std::vector<std::thread>
+                    pools) is banned in src/ outside src/util/thread_pool.h
+                    and .cc: parallel work runs on ThreadPool::ParallelFor so
+                    thread lifecycle, hardware clamping, and TSan-clean
+                    handoff live in one audited place. Scope-resolution uses
+                    (std::thread::hardware_concurrency(), std::thread::id)
+                    stay legal everywhere; tests, tools, and bench binaries
+                    may spawn their own threads.
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -118,6 +126,16 @@ RAW_SLEEP_ALLOWED_FILES = {
     os.path.join("src", "util", "timer.h"),
 }
 RAW_SLEEP_SCOPE_PREFIX = "src" + os.sep
+
+# Thread construction is confined to the shared worker pool. The negative
+# lookahead exempts scope-resolution uses (std::thread::hardware_concurrency,
+# std::thread::id), which query the platform without spawning anything.
+RAW_THREAD = re.compile(r"std::thread\b(?!\s*::)")
+RAW_THREAD_ALLOWED_FILES = {
+    os.path.join("src", "util", "thread_pool.h"),
+    os.path.join("src", "util", "thread_pool.cc"),
+}
+RAW_THREAD_SCOPE_PREFIX = "src" + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -268,6 +286,15 @@ def lint_file(path, rel, status_names, errors):
                 "banned in library code — it cannot be cancelled and blows "
                 "deadline budgets; wait on a condition variable or go through "
                 "the deadline-aware retry loop (src/util/retry.h)")
+        if (RAW_THREAD.search(code) and
+                rel.startswith(RAW_THREAD_SCOPE_PREFIX) and
+                rel not in RAW_THREAD_ALLOWED_FILES and
+                not allowed("raw-thread")):
+            errors.append(
+                f"{rel}:{lineno}: [raw-thread] raw std::thread is confined to "
+                "src/util/thread_pool.{h,cc} — run parallel work on "
+                "ThreadPool::ParallelFor (std::thread::hardware_concurrency() "
+                "and std::thread::id stay legal)")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "

@@ -103,6 +103,27 @@ class PathScopedRules(unittest.TestCase):
             self.assertFalse(any("[raw-sleep]" in e for e in errors),
                              (rel, errors))
 
+    SPAWN = ("#include <thread>\n"
+             "#include \"src/util/mutex.h\"\n"
+             "void Go() { std::thread t([] {}); t.join(); }\n")
+
+    def test_raw_thread_banned_in_library_code(self):
+        errors = lint_text(self.SPAWN, os.path.join("src", "core", "go.cc"))
+        self.assertTrue(any("[raw-thread]" in e for e in errors), errors)
+
+    def test_raw_thread_allowed_in_pool_and_tests(self):
+        for rel in (os.path.join("src", "util", "thread_pool.cc"),
+                    os.path.join("tests", "go_test.cc")):
+            errors = lint_text(self.SPAWN, rel)
+            self.assertFalse(any("[raw-thread]" in e for e in errors),
+                             (rel, errors))
+
+    def test_raw_thread_scope_resolution_exempt(self):
+        text = ("#include \"src/util/mutex.h\"\n"
+                "size_t Hw() { return std::thread::hardware_concurrency(); }\n")
+        errors = lint_text(text, os.path.join("src", "core", "hw.cc"))
+        self.assertFalse(any("[raw-thread]" in e for e in errors), errors)
+
     def test_chrono_allowed_in_obs(self):
         text = "#pragma once\n#include <chrono>\n"
         errors = lint_text(text, os.path.join("src", "obs", "span.h"))
