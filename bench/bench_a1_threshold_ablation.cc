@@ -65,6 +65,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("A1: collision-threshold ablation");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -96,6 +97,7 @@ int Run(int argc, char** argv) {
       "\nShape check: below l*, candidate counts blow up with no accuracy\n"
       "gain; above l*, recall collapses. The Hoeffding-derived l sits at the\n"
       "knee — the design choice the ablation validates.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-a1_threshold_ablation");
   return 0;
 }
 

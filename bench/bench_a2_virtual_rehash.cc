@@ -25,6 +25,7 @@ int Run(int argc, char** argv) {
       bench::MakeStandardParser("A2: virtual rehashing vs physical per-radius tables");
   parser.AddInt("rounds", 8, "radii in the schedule (R = 1..c^(rounds-1))");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t rounds = static_cast<size_t>(parser.GetInt("rounds"));
@@ -125,6 +126,7 @@ int Run(int argc, char** argv) {
       "space and build time (one table set per radius) — exactly what virtual\n"
       "rehashing eliminates.\n",
       radii.size());
+  bench::MaybeWriteTrace(parser, "c2lsh-a2_virtual_rehash");
   return mismatches == 0 ? 0 : 1;
 }
 

@@ -68,6 +68,7 @@ int Run(int argc, char** argv) {
       "A3: offset span [0, w) vs the paper's [0, w*c^t*) — coverage at large radii");
   parser.AddInt("m", 64, "hash functions to sample");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t m = static_cast<size_t>(parser.GetInt("m"));
@@ -95,6 +96,7 @@ int Run(int argc, char** argv) {
       "wide span reaches 1.0: every object eventually collides in every\n"
       "table, which both the termination proof and the exhaustive-fallback\n"
       "round rely on. (This repo's C2lshIndex uses the paper's span.)\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-a3_offset_span");
   return 0;
 }
 

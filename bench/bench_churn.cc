@@ -83,6 +83,7 @@ int Run(int argc, char** argv) {
   parser.AddInt("rounds", 256, "churn rounds (1 insert + 1 delete + queries each)");
   parser.AddInt("compact_every", 64, "rounds between compactions");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -192,6 +193,7 @@ int Run(int argc, char** argv) {
 
   std::printf("%s", table.ToString().c_str());
   bench::MaybeWriteMetricsReport(parser, report);
+  bench::MaybeWriteTrace(parser, "c2lsh-churn");
   return 0;
 }
 

@@ -18,6 +18,7 @@
 #include "src/eval/method.h"
 #include "src/eval/report.h"
 #include "src/eval/table.h"
+#include "src/obs/span.h"
 #include "src/util/argparse.h"
 #include "src/vector/ground_truth.h"
 #include "src/vector/synthetic.h"
@@ -61,7 +62,39 @@ inline ArgParser MakeStandardParser(const std::string& doc) {
   p.AddString("metrics_out", "",
               "write a JSON metrics report (per-query latency percentiles, "
               "rehash traces, registry dump) to this path; empty = disabled");
+  p.AddString("trace_out", "",
+              "write the span trace of the run as Perfetto-loadable Chrome "
+              "trace JSON to this path; empty = tracing stays off");
   return p;
+}
+
+/// Arms span tracing when --trace_out was given. Benches that gate on
+/// untraced timings (overhead assertions) flip the mode themselves around
+/// the timed regions; the trace accumulates in the rings either way.
+inline bool ArmTracingIfRequested(const ArgParser& parser) {
+  if (parser.GetString("trace_out").empty()) return false;
+  obs::Tracer::Global().SetMode(obs::TraceMode::kAlways);
+  return true;
+}
+
+/// Writes the accumulated span trace when --trace_out was given. The JSON is
+/// self-checked with the in-tree validator first so a formatting regression
+/// fails the bench rather than Perfetto.
+inline void MaybeWriteTrace(const ArgParser& parser, const char* bench_name) {
+  const std::string path = parser.GetString("trace_out");
+  if (path.empty()) return;
+  const std::string json =
+      obs::ExportChromeTrace(obs::Tracer::Global().SnapshotAll(), bench_name);
+  DieIf(obs::ValidateChromeTraceJson(json), "trace JSON validation");
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("span trace written to %s (load in https://ui.perfetto.dev)\n",
+              path.c_str());
 }
 
 /// Writes the JSON metrics report when --metrics_out was given.

@@ -22,6 +22,7 @@ int Run(int argc, char** argv) {
       bench::MakeStandardParser("D1: simulated vs measured I/O; pool-size sweep");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -94,6 +95,7 @@ int Run(int argc, char** argv) {
       "the simulated model (the model charges re-reads the pool may cache, so\n"
       "it upper-bounds small pools' behaviour); warm misses fall toward zero\n"
       "once the pool exceeds the per-query working set.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-d1_disk_io");
   return 0;
 }
 

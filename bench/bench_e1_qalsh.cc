@@ -19,6 +19,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("E1: QALSH extension vs C2LSH");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -84,6 +85,7 @@ int Run(int argc, char** argv) {
       "\nShape check: at c=2 QALSH needs fewer functions (m) than C2LSH for\n"
       "the same (delta, beta) guarantee; c=1.5 — inexpressible in C2LSH —\n"
       "buys better accuracy at a larger m.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-e1_qalsh");
   return 0;
 }
 

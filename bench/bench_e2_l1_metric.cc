@@ -23,6 +23,7 @@ int Run(int argc, char** argv) {
       bench::MakeStandardParser("E2: l1 (Manhattan) search via Cauchy projections");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -88,6 +89,7 @@ int Run(int argc, char** argv) {
       "neighbors; the l2 shortcut degrades because l2-close is only a proxy\n"
       "for l1-close — the framework's family-independence is what makes the\n"
       "native variant a drop-in.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-e2_l1_metric");
   return 0;
 }
 

@@ -15,6 +15,7 @@ namespace {
 int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F2: I/O cost (pages) vs k");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
@@ -40,6 +41,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("%s", table.ToString().c_str());
   }
+  bench::MaybeWriteTrace(parser, "c2lsh-f2_io_vs_k");
   return 0;
 }
 

@@ -14,6 +14,7 @@ namespace {
 int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F3: query time (ms) vs k");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
@@ -46,6 +47,7 @@ int Run(int argc, char** argv) {
     for (const auto& row : rows) all_results.push_back(row.result);
   }
   bench::MaybeWriteMetricsReport(parser, all_results);
+  bench::MaybeWriteTrace(parser, "c2lsh-f3_time_vs_k");
   return 0;
 }
 

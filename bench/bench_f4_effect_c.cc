@@ -16,6 +16,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F4: effect of approximation ratio c");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -47,6 +48,7 @@ int Run(int argc, char** argv) {
   std::printf(
       "\nShape check: c=3 shrinks m (and the index) by several-fold while the\n"
       "ratio degrades only mildly — the trade-off the paper reports.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-f4_effect_c");
   return 0;
 }
 

@@ -16,6 +16,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F5: effect of the beta*n budget");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -47,6 +48,7 @@ int Run(int argc, char** argv) {
       "\nShape check: candidates verified grow ~linearly with the budget; the\n"
       "ratio improves and saturates; note m also shifts because beta enters\n"
       "the Hoeffding bound for m.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-f5_effect_beta");
   return 0;
 }
 

@@ -16,6 +16,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F6: per-query cost vs dataset size n");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
@@ -46,6 +47,7 @@ int Run(int argc, char** argv) {
       "\nShape check: the scan's candidates equal n (linear), while C2LSH's\n"
       "candidates stay near k + 100 across the whole sweep — the sublinear\n"
       "verification cost the dynamic counting framework buys.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-f6_scalability");
   return 0;
 }
 

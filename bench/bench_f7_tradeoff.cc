@@ -29,6 +29,7 @@ int Run(int argc, char** argv) {
   ArgParser parser = bench::MakeStandardParser("F7: accuracy/cost trade-off frontier");
   parser.AddInt("k", 10, "neighbors per query");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -125,6 +126,7 @@ int Run(int argc, char** argv) {
       "its w must be hand-tuned to the data's distance scale, whereas C2LSH\n"
       "exposes a single budget knob and keeps its per-query guarantee; that\n"
       "robustness (not raw page counts) is the paper's framing.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-f7_tradeoff");
   return 0;
 }
 

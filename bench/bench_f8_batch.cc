@@ -12,6 +12,13 @@
 // workload-level `aggregate_speedup_batch32` (total serial time over total
 // best batched time at batch >= 32, across every profile) — the acceptance
 // gate is aggregate >= 2x at batch >= 32 on the F3 workload.
+//
+// The binary also owns the span-tracing overhead gate: with tracing compiled
+// in but disabled (the production default) the per-span cost, scaled by the
+// spans an average query emits, must stay under 1% of query latency — the
+// bench exits non-zero otherwise. --trace_out additionally writes the run's
+// span trace as Perfetto-loadable Chrome trace JSON (BENCH_trace.json at the
+// repo root is a committed example).
 
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +28,7 @@
 #include "bench/bench_common.h"
 #include "src/core/index.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/timer.h"
 
 namespace c2lsh {
@@ -91,6 +99,7 @@ int Run(int argc, char** argv) {
   parser.AddInt("k", 10, "neighbors per query");
   parser.AddInt("reps", 3, "repetitions per configuration (best time wins)");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
   const size_t k = static_cast<size_t>(parser.GetInt("k"));
@@ -207,6 +216,75 @@ int Run(int argc, char** argv) {
       "(serial %.1f ms -> batched %.1f ms)\n",
       aggregate, serial_total, batch32_total);
 
+  // Span-tracing overhead, measured on the serial loop over one profile.
+  // Three numbers: the untraced baseline (tracing compiled in, mode off —
+  // exactly what production pays), the fully-sampled run, and a microbench
+  // of the disabled span path. The hard gate is on the disabled path: its
+  // per-query cost must stay under 1% of query latency.
+  bench::PrintHeader("F8-trace", "span tracing overhead (serial loop)");
+  double disabled_pct = 0.0, armed_pct = 0.0;
+  {
+    auto pd = MakeProfileDataset(DatasetProfile::kColor, n, nq, seed);
+    bench::DieIf(pd.status(), "profile dataset");
+    auto index = C2lshIndex::Build(pd->data, bench::DefaultC2lsh(seed));
+    bench::DieIf(index.status(), "c2lsh build");
+
+    auto time_serial_loop = [&]() {
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        Timer t;
+        for (size_t q = 0; q < nq; ++q) {
+          auto r = index->Query(pd->data, pd->queries.row(q), k);
+          bench::DieIf(r.status(), "overhead query");
+        }
+        const double millis = t.ElapsedMillis();
+        if (rep == 0 || millis < best) best = millis;
+      }
+      return best;
+    };
+
+    obs::Tracer::Global().SetMode(obs::TraceMode::kOff);
+    const double off_best = time_serial_loop();
+
+    obs::Tracer::Global().SetMode(obs::TraceMode::kAlways);
+    obs::TraceRing* ring = obs::Tracer::Global().ThreadRing();
+    const uint64_t emitted_before = ring->emitted();
+    const double on_best = time_serial_loop();
+    const double events_per_query =
+        static_cast<double>(ring->emitted() - emitted_before) /
+        static_cast<double>(nq * static_cast<size_t>(reps));
+    obs::Tracer::Global().SetMode(obs::TraceMode::kOff);
+
+    // Disabled span path: one relaxed load + branch per ScopedSpan.
+    constexpr int kProbes = 1 << 20;
+    Timer probe_timer;
+    for (int i = 0; i < kProbes; ++i) {
+      obs::ScopedSpan probe(obs::SpanSubsystem::kOther, "overhead_probe",
+                            static_cast<uint64_t>(i));
+    }
+    const double ns_per_span = probe_timer.ElapsedMillis() * 1e6 / kProbes;
+
+    const double query_millis = off_best / static_cast<double>(nq);
+    disabled_pct =
+        events_per_query * ns_per_span * 1e-6 / query_millis * 100.0;
+    armed_pct = (on_best - off_best) / off_best * 100.0;
+    std::printf(
+        "untraced serial loop: %.1f ms   fully sampled: %.1f ms (%+.2f%%)\n"
+        "disabled span path: %.2f ns/span x %.1f spans/query = %.4f%% of "
+        "query latency (gate: < 1%%)\n",
+        off_best, on_best, armed_pct, ns_per_span, events_per_query,
+        disabled_pct);
+    if (disabled_pct >= 1.0) {
+      std::fprintf(stderr,
+                   "FATAL: disabled-tracing overhead %.4f%% exceeds the 1%% "
+                   "budget\n",
+                   disabled_pct);
+      return 1;
+    }
+  }
+
+  bench::MaybeWriteTrace(parser, "c2lsh-bench-f8");
+
   const std::string path = parser.GetString("metrics_out");
   if (!path.empty()) {
     std::string json = "{\n  \"bench\": \"f8_batch\",\n";
@@ -222,6 +300,11 @@ int Run(int argc, char** argv) {
                   "  \"aggregate_speedup_batch32\": %.3f,\n"
                   "  \"min_speedup_batch32\": %.3f,\n",
                   aggregate, worst);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  \"tracing_overhead\": {\"disabled_pct\": %.4f, "
+                  "\"armed_pct\": %.2f},\n",
+                  disabled_pct, armed_pct);
     json += buf;
     json += "  \"profiles\": [\n";
     for (size_t i = 0; i < all.size(); ++i) {

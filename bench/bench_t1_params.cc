@@ -20,6 +20,7 @@ int Run(int argc, char** argv) {
       "T1: derived C2LSH parameters per dataset profile and c");
   parser.AddDouble("delta", 0.1, "error probability");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const double delta = parser.GetDouble("delta");
 
@@ -51,6 +52,7 @@ int Run(int argc, char** argv) {
       "\nShape check: m is identical across profiles at fixed n (it depends on\n"
       "n, w, c, delta, beta only); c=3 needs far fewer functions than c=2; the\n"
       "P1 bound never exceeds delta and E[FP] never exceeds beta*n/2.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-t1_params");
   return 0;
 }
 

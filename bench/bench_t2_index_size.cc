@@ -16,6 +16,7 @@ int Run(int argc, char** argv) {
   ArgParser parser =
       bench::MakeStandardParser("T2: index size and build time per method and profile");
   bench::ParseOrDie(&parser, argc, argv);
+  bench::ArmTracingIfRequested(parser);
   const size_t n = static_cast<size_t>(parser.GetInt("n"));
   const uint64_t seed = static_cast<uint64_t>(parser.GetInt("seed"));
 
@@ -47,6 +48,7 @@ int Run(int argc, char** argv) {
       "\nShape check: per object, C2LSH stores m ids; E2LSH stores L*rounds\n"
       "keys (the rigorous-LSH blowup C2LSH removes); LSB-forest sits between,\n"
       "paying L z-order keys of u*v bits each.\n");
+  bench::MaybeWriteTrace(parser, "c2lsh-t2_index_size");
   return 0;
 }
 

@@ -14,6 +14,7 @@
 #include "src/core/counter.h"
 #include "src/core/virtual_rehash.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/storage/page_model.h"
 #include "src/util/timer.h"
 #include "src/vector/distance.h"
@@ -199,6 +200,13 @@ void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
                    size_t k, const QueryContext* const* ctxs,
                    size_t num_shards, ThreadPool* pool,
                    NeighborList* results, C2lshQueryStats* stats) {
+  // Block-level sampling (kAlways / kEveryNth); per-query opt-in contexts
+  // still get their pool/page spans via the instrumented lower layers.
+  const bool sampled = obs::Tracer::Global().SampleQuery(nullptr);
+  const uint64_t block_id =
+      sampled ? obs::Tracer::Global().NextQueryId() : 0;
+  obs::ScopedSpan block_span(obs::SpanSubsystem::kBatch, "batch_block",
+                             block_id, sampled);
   Timer block_timer;
   // The block's frozen view, same scheme as RunQuery: the object count is
   // read once and every table is pinned once, up front, shared by all
@@ -291,6 +299,8 @@ void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
       active.resize(w);
     }
     if (active.empty()) break;
+    obs::ScopedSpan round_span(obs::SpanSubsystem::kRound, "batch_round",
+                               block_id, sampled);
     for (uint32_t q : active) {
       ++states[q].stats.rounds;
       states[q].stats.final_radius = R;
@@ -304,6 +314,8 @@ void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
     // query's own prev elements of the shard's tables, and the shard's own
     // metric slots — disjoint by construction (the thread_pool.h
     // ParallelFor contract).
+    obs::ScopedSpan phase_a_span(obs::SpanSubsystem::kBatch, "phase_a_scan",
+                                 block_id, sampled);
     pool->ParallelFor(S, [&](size_t s) {
       std::vector<GroupScan>& pool_s = groups_pool[s];
       size_t used = 0;     // GroupScan slots consumed this round
@@ -400,6 +412,7 @@ void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
       shard_scan_groups[s] += used;
       shard_shared_hits[s] += refs - used;
     });
+    phase_a_span.End();
 
     // Phase B — per-query merge. Each query (one owner per counter, no
     // atomics) consumes every shard's buffer with the full serial cadence:
@@ -407,6 +420,8 @@ void RunBatchBlock(const C2lshIndex& index, const Dataset& data,
     // kCheckIntervalMask+1 increments. The round-end verified set is
     // increment-order-independent, so the merge order (shard 0..S-1, scan
     // order within) yields the same state as any serial interleaving.
+    obs::ScopedSpan phase_b_span(obs::SpanSubsystem::kBatch, "phase_b_merge",
+                                 block_id, sampled);
     pool->ParallelFor(active.size(), [&](size_t a) {
       const uint32_t q = active[a];
       QueryState& qs = states[q];

@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "src/core/virtual_rehash.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/storage/blob.h"
 #include "src/util/timer.h"
 #include "src/vector/distance.h"
@@ -89,7 +91,8 @@ const DiskMetrics& Metrics() {
   return m;
 }
 
-void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis) {
+void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis,
+                           uint64_t exemplar_id) {
   const DiskMetrics& m = Metrics();
   m.queries->Increment();
   m.rounds->Increment(st.base.rounds);
@@ -118,7 +121,7 @@ void FlushDiskQueryMetrics(const DiskQueryStats& st, double millis) {
   if (st.degraded) m.degraded_queries->Increment();
   m.tables_skipped->Increment(st.tables_skipped);
   m.candidates_skipped->Increment(st.candidates_skipped);
-  m.latency->Observe(millis);
+  m.latency->Observe(millis, exemplar_id);
 }
 
 // Serializes the full index metadata (v2) and returns the blob's root page.
@@ -492,6 +495,7 @@ void DiskC2lshIndex::UpdateMutationGauges() const {
 }
 
 Status DiskC2lshIndex::Compact() {
+  obs::ScopedSpan compact_span(obs::SpanSubsystem::kCompaction, "disk_compact");
   if (wal_ == nullptr) {
     return Status::Internal("DiskC2lshIndex: no WAL attached");
   }
@@ -737,6 +741,15 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
   *st = DiskQueryStats();
   const bool tracing = trace != nullptr;
   if (tracing) trace->Clear();
+  // Same sampling contract as the in-memory RunQuery: one id ties this
+  // query's spans, latency exemplar, and any flight-recorder dump together.
+  const bool sampled = obs::Tracer::Global().SampleQuery(ctx);
+  const uint64_t span_query_id =
+      ctx != nullptr && ctx->trace_id != 0
+          ? ctx->trace_id
+          : (sampled ? obs::Tracer::Global().NextQueryId() : 0);
+  obs::ScopedSpan query_span(obs::SpanSubsystem::kQuery, "disk_c2lsh_query",
+                             span_query_id, sampled);
   Timer query_timer;
   const BufferPoolStats pool_before = pool_->stats();
 
@@ -887,6 +900,8 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
     }
     ++st->base.rounds;
     st->base.final_radius = R;
+    obs::ScopedSpan round_span(obs::SpanSubsystem::kRound, "round",
+                               span_query_id, sampled);
     C2lshQueryStats before;
     uint64_t misses_at_round_start = 0;
     uint64_t data_misses_at_round_start = 0;
@@ -974,7 +989,24 @@ Result<NeighborList> DiskC2lshIndex::RunDiskQuery(const Dataset* data, const flo
     trace->pool_misses = st->pool_misses;
     trace->degraded = st->degraded;
   }
-  FlushDiskQueryMetrics(*st, total_millis);
+  FlushDiskQueryMetrics(*st, total_millis, span_query_id);
+  // End the query span before the anomaly hook: a flight dump snapshots the
+  // rings, and an open span has not reached its ring yet.
+  query_span.End();
+  if (obs::FlightRecorder::Global().enabled()) {
+    if (tracing) {
+      obs::MaybeRecordQueryAnomaly("disk_c2lsh_query", span_query_id, *trace);
+    } else {
+      obs::QueryTrace anomaly_trace;
+      anomaly_trace.termination = st->base.termination;
+      anomaly_trace.total_millis = total_millis;
+      anomaly_trace.pool_hits = st->pool_hits;
+      anomaly_trace.pool_misses = st->pool_misses;
+      anomaly_trace.degraded = st->degraded;
+      obs::MaybeRecordQueryAnomaly("disk_c2lsh_query", span_query_id,
+                                   anomaly_trace);
+    }
+  }
   return found;
 }
 

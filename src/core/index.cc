@@ -5,7 +5,9 @@
 #include <limits>
 #include <string>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
@@ -73,7 +75,8 @@ const CoreMetrics& Metrics() {
   return m;
 }
 
-void FlushQueryMetrics(const C2lshQueryStats& st, double millis) {
+void FlushQueryMetrics(const C2lshQueryStats& st, double millis,
+                       uint64_t exemplar_id) {
   const CoreMetrics& m = Metrics();
   m.queries->Increment();
   m.rounds->Increment(st.rounds);
@@ -99,7 +102,7 @@ void FlushQueryMetrics(const C2lshQueryStats& st, double millis) {
     case Termination::kNone:
       break;
   }
-  m.latency->Observe(millis);
+  m.latency->Observe(millis, exemplar_id);
 }
 
 }  // namespace
@@ -271,6 +274,16 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
   *st = C2lshQueryStats();
   const bool tracing = trace != nullptr;
   if (tracing) trace->Clear();
+  // Span sampling is independent of the caller's QueryTrace: the tracer
+  // decides per its mode, and the id attributes this query's spans, its
+  // latency exemplar, and any anomaly dump to one timeline.
+  const bool sampled = obs::Tracer::Global().SampleQuery(ctx);
+  const uint64_t span_query_id =
+      ctx != nullptr && ctx->trace_id != 0
+          ? ctx->trace_id
+          : (sampled ? obs::Tracer::Global().NextQueryId() : 0);
+  obs::ScopedSpan query_span(obs::SpanSubsystem::kQuery, "c2lsh_query",
+                             span_query_id, sampled);
   Timer query_timer;
 
   CollisionCounter& counter = scratch->counter;
@@ -363,6 +376,8 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
     }
     ++st->rounds;
     st->final_radius = R;
+    obs::ScopedSpan round_span(obs::SpanSubsystem::kRound, "round",
+                               span_query_id, sampled);
     // Trace spans are deltas of the running stats, so tracing adds no work
     // inside scan_range.
     C2lshQueryStats before;
@@ -443,7 +458,20 @@ Result<NeighborList> C2lshIndex::RunQuery(const Dataset& data, const float* quer
     trace->termination = st->termination;
     trace->total_millis = total_millis;
   }
-  FlushQueryMetrics(*st, total_millis);
+  FlushQueryMetrics(*st, total_millis, span_query_id);
+  // End the query span before the anomaly hook: a flight dump snapshots the
+  // rings, and an open span has not reached its ring yet.
+  query_span.End();
+  if (obs::FlightRecorder::Global().enabled()) {
+    if (tracing) {
+      obs::MaybeRecordQueryAnomaly("c2lsh_query", span_query_id, *trace);
+    } else {
+      obs::QueryTrace anomaly_trace;
+      anomaly_trace.termination = st->termination;
+      anomaly_trace.total_millis = total_millis;
+      obs::MaybeRecordQueryAnomaly("c2lsh_query", span_query_id, anomaly_trace);
+    }
+  }
   return found;
 }
 
@@ -696,6 +724,7 @@ Status C2lshIndex::Delete(ObjectId id) {
 }
 
 void C2lshIndex::Compact() {
+  obs::ScopedSpan compact_span(obs::SpanSubsystem::kCompaction, "compact");
   MutexLock lock(&writer_mu_);
   Timer timer;
   for (BucketTable& table : tables_) {

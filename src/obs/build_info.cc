@@ -1,0 +1,74 @@
+#include "src/obs/build_info.h"
+
+#include <chrono>
+#include <string>
+
+#include "src/obs/registry.h"
+
+// Baked in by src/obs/CMakeLists.txt at configure time.
+#ifndef C2LSH_GIT_DESCRIBE
+#define C2LSH_GIT_DESCRIBE "unknown"
+#endif
+#ifndef C2LSH_SANITIZE_MODE
+#define C2LSH_SANITIZE_MODE "none"
+#endif
+
+namespace c2lsh {
+namespace obs {
+
+namespace {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view BuildGitDescribe() { return C2LSH_GIT_DESCRIBE; }
+
+std::string_view BuildSanitizerMode() { return C2LSH_SANITIZE_MODE; }
+
+void RegisterBuildMetrics(std::string_view isa_name) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+
+  // Set once: re-dispatch (ForceIsa) must not move the start time.
+  static const bool start_time_set = [&registry] {
+    const double now_seconds =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    if (Gauge* g = registry.GetGauge(
+            "process_start_time_seconds",
+            "Unix time the process started (set at first registration)")) {
+      g->Set(now_seconds);
+    }
+    return true;
+  }();
+  (void)start_time_set;
+
+  const std::string labels = "git=\"" +
+                             EscapeLabelValue(BuildGitDescribe()) +
+                             "\",isa=\"" + EscapeLabelValue(isa_name) +
+                             "\",sanitizer=\"" +
+                             EscapeLabelValue(BuildSanitizerMode()) + "\"";
+  if (Gauge* g = registry.GetGaugeWithLabels(
+          "c2lsh_build_info",
+          "Build attribution (value is always 1; the labels carry the info)",
+          labels)) {
+    g->Set(1.0);
+  }
+}
+
+}  // namespace obs
+}  // namespace c2lsh

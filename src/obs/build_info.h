@@ -1,0 +1,44 @@
+// Build attribution metrics: ties every scrape and flight-recorder dump to
+// a specific build of the library.
+//
+//   c2lsh_build_info{git="...", isa="...", sanitizer="..."} 1
+//     An info-style gauge (constant value 1; the payload is the labels):
+//     `git` is the `git describe` of the source tree the library was built
+//     from, `isa` the active SIMD dispatch target (re-registered when
+//     ForceIsa or the C2LSH_SIMD override changes it), `sanitizer` the
+//     C2LSH_SANITIZE mode ("none" in plain builds).
+//   process_start_time_seconds
+//     Unix timestamp of (approximately) process start — set once at first
+//     registration, the conventional Prometheus name for scrape-age math.
+//
+// Registration happens automatically at first SIMD dispatch (simd.cc calls
+// RegisterBuildMetrics with the chosen ISA), so any binary that touches a
+// kernel exports attribution without extra wiring; tools that never
+// dispatch can call it directly.
+
+#pragma once
+#ifndef C2LSH_OBS_BUILD_INFO_H_
+#define C2LSH_OBS_BUILD_INFO_H_
+
+#include <string_view>
+
+namespace c2lsh {
+namespace obs {
+
+/// Registers (or refreshes) c2lsh_build_info with the given active-ISA
+/// label and sets process_start_time_seconds on first call. Idempotent and
+/// thread-safe; cheap enough to call from the dispatch path (one registry
+/// lookup after the first call).
+void RegisterBuildMetrics(std::string_view isa_name);
+
+/// The `git describe` string baked in at configure time ("unknown" when the
+/// tree was built outside git).
+std::string_view BuildGitDescribe();
+
+/// The sanitizer mode baked in at configure time ("none", "address", ...).
+std::string_view BuildSanitizerMode();
+
+}  // namespace obs
+}  // namespace c2lsh
+
+#endif  // C2LSH_OBS_BUILD_INFO_H_

@@ -87,9 +87,13 @@ std::string EscapePromHelp(std::string_view s) {
 }  // namespace
 
 std::string FormatTable(const std::vector<MetricSnapshot>& snapshot) {
+  // The metric column shows constant labels inline: name{k="v",...}.
+  const auto display_name = [](const MetricSnapshot& m) {
+    return m.labels.empty() ? m.name : m.name + "{" + m.labels + "}";
+  };
   size_t width = 6;  // len("metric")
   for (const MetricSnapshot& m : snapshot) {
-    width = std::max(width, m.name.size());
+    width = std::max(width, display_name(m).size());
   }
   std::string out;
   char buf[512];
@@ -102,21 +106,38 @@ std::string FormatTable(const std::vector<MetricSnapshot>& snapshot) {
     switch (m.type) {
       case MetricType::kCounter:
         std::snprintf(buf, sizeof(buf), "%-*s  %-9s  %" PRIu64 "\n",
-                      static_cast<int>(width), m.name.c_str(), "counter",
-                      m.counter_value);
+                      static_cast<int>(width), display_name(m).c_str(),
+                      "counter", m.counter_value);
         break;
       case MetricType::kGauge:
         std::snprintf(buf, sizeof(buf), "%-*s  %-9s  %.6g\n",
-                      static_cast<int>(width), m.name.c_str(), "gauge",
-                      m.gauge_value);
+                      static_cast<int>(width), display_name(m).c_str(),
+                      "gauge", m.gauge_value);
         break;
       case MetricType::kHistogram:
-        std::snprintf(buf, sizeof(buf),
-                      "%-*s  %-9s  count=%" PRIu64
-                      " sum=%.6g p50=%.4g p95=%.4g p99=%.4g\n",
-                      static_cast<int>(width), m.name.c_str(), "histogram",
-                      m.histogram.count, m.histogram.sum, m.histogram.p50,
-                      m.histogram.p95, m.histogram.p99);
+        // An empty histogram has no distribution: rendering p50/p95/p99
+        // would fabricate zeros that read like real (fast!) latencies.
+        if (m.histogram.count == 0) {
+          std::snprintf(buf, sizeof(buf), "%-*s  %-9s  count=0\n",
+                        static_cast<int>(width), display_name(m).c_str(),
+                        "histogram");
+        } else if (m.histogram.exemplar_id != 0) {
+          std::snprintf(buf, sizeof(buf),
+                        "%-*s  %-9s  count=%" PRIu64
+                        " sum=%.6g p50=%.4g p95=%.4g p99=%.4g"
+                        " exemplar=%.4g@%" PRIu64 "\n",
+                        static_cast<int>(width), display_name(m).c_str(),
+                        "histogram", m.histogram.count, m.histogram.sum,
+                        m.histogram.p50, m.histogram.p95, m.histogram.p99,
+                        m.histogram.exemplar_value, m.histogram.exemplar_id);
+        } else {
+          std::snprintf(buf, sizeof(buf),
+                        "%-*s  %-9s  count=%" PRIu64
+                        " sum=%.6g p50=%.4g p95=%.4g p99=%.4g\n",
+                        static_cast<int>(width), display_name(m).c_str(),
+                        "histogram", m.histogram.count, m.histogram.sum,
+                        m.histogram.p50, m.histogram.p95, m.histogram.p99);
+        }
         break;
     }
     out += buf;
@@ -133,6 +154,9 @@ std::string FormatJson(const std::vector<MetricSnapshot>& snapshot) {
     out += "\n  \"" + EscapeJson(m.name) + "\": {\"type\": \"";
     out += TypeName(m.type);
     out += "\", \"help\": \"" + EscapeJson(m.help) + "\"";
+    if (!m.labels.empty()) {
+      out += ", \"labels\": \"" + EscapeJson(m.labels) + "\"";
+    }
     switch (m.type) {
       case MetricType::kCounter:
         out += ", \"value\": " + std::to_string(m.counter_value);
@@ -143,9 +167,19 @@ std::string FormatJson(const std::vector<MetricSnapshot>& snapshot) {
       case MetricType::kHistogram: {
         out += ", \"count\": " + std::to_string(m.histogram.count);
         out += ", \"sum\": " + FmtDouble(m.histogram.sum, "%.6g");
-        out += ", \"p50\": " + FmtDouble(m.histogram.p50, "%.6g");
-        out += ", \"p95\": " + FmtDouble(m.histogram.p95, "%.6g");
-        out += ", \"p99\": " + FmtDouble(m.histogram.p99, "%.6g");
+        // Percentiles only exist once there is a distribution; an empty
+        // histogram must not fabricate p50/p95/p99 zeros.
+        if (m.histogram.count != 0) {
+          out += ", \"p50\": " + FmtDouble(m.histogram.p50, "%.6g");
+          out += ", \"p95\": " + FmtDouble(m.histogram.p95, "%.6g");
+          out += ", \"p99\": " + FmtDouble(m.histogram.p99, "%.6g");
+        }
+        if (m.histogram.exemplar_id != 0) {
+          out += ", \"exemplar\": {\"value\": " +
+                 FmtDouble(m.histogram.exemplar_value, "%.6g") +
+                 ", \"trace_id\": " +
+                 std::to_string(m.histogram.exemplar_id) + "}";
+        }
         out += ", \"buckets\": [";
         for (size_t i = 0; i < m.histogram.cumulative.size(); ++i) {
           const auto& [le, cum] = m.histogram.cumulative[i];
@@ -174,12 +208,17 @@ std::string FormatPrometheus(const std::vector<MetricSnapshot>& snapshot) {
     out += "# TYPE " + m.name + " ";
     out += TypeName(m.type);
     out += "\n";
+    // Constant labels (info metrics like c2lsh_build_info) render inline;
+    // histograms never carry them in this registry.
+    const std::string label_set =
+        m.labels.empty() ? std::string() : "{" + m.labels + "}";
     switch (m.type) {
       case MetricType::kCounter:
-        out += m.name + " " + std::to_string(m.counter_value) + "\n";
+        out += m.name + label_set + " " + std::to_string(m.counter_value) +
+               "\n";
         break;
       case MetricType::kGauge:
-        out += m.name + " " + FmtDouble(m.gauge_value) + "\n";
+        out += m.name + label_set + " " + FmtDouble(m.gauge_value) + "\n";
         break;
       case MetricType::kHistogram:
         for (const auto& [le, cum] : m.histogram.cumulative) {

@@ -1,0 +1,199 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/util/env.h"
+
+namespace c2lsh {
+namespace obs {
+
+namespace {
+
+Counter* DumpsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "c2lsh_flight_recorder_dumps_total",
+      "Flight-recorder dump files written (one per recorded anomaly)");
+  return c;
+}
+
+Counter* DumpErrorsCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter(
+      "c2lsh_flight_recorder_dump_errors_total",
+      "Flight-recorder dumps lost to filesystem errors");
+  return c;
+}
+
+std::string FmtDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+// The "otherData" metadata object: anomaly cause, query attribution, the
+// QueryTrace, and every histogram exemplar in the registry (the trace ids
+// attached to tail latency observations — the cross-link from metrics back
+// into this dump's timeline).
+std::string RenderOtherData(AnomalyKind kind, const char* what,
+                            uint64_t query_id, const QueryTrace* trace,
+                            uint64_t dropped_events) {
+  std::string out = "{\"anomaly\": \"";
+  out += AnomalyKindName(kind);
+  out += "\", \"what\": \"";
+  out += what;
+  out += "\", \"query_id\": " + std::to_string(query_id);
+  out += ", \"dropped_events\": " + std::to_string(dropped_events);
+  out += ", \"query_trace\": ";
+  out += trace != nullptr ? trace->ToJson() : std::string("null");
+  out += ", \"exemplars\": [";
+  bool first = true;
+  for (const MetricSnapshot& ms : MetricsRegistry::Global().Snapshot()) {
+    if (ms.type != MetricType::kHistogram) continue;
+    if (ms.histogram.exemplar_id == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"metric\": \"" + ms.name +
+           "\", \"value\": " + FmtDouble(ms.histogram.exemplar_value) +
+           ", \"trace_id\": " + std::to_string(ms.histogram.exemplar_id) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string_view AnomalyKindName(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kDeadline:
+      return "deadline";
+    case AnomalyKind::kCancelled:
+      return "cancelled";
+    case AnomalyKind::kAdmissionShed:
+      return "admission_shed";
+    case AnomalyKind::kDegraded:
+      return "degraded";
+    case AnomalyKind::kRetryAbandoned:
+      return "retry_abandoned";
+    case AnomalyKind::kSlowQuery:
+      return "slow_query";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked like Tracer::Global(): anomalies may be reported from static
+  // destructors (a pool draining at exit).
+  static FlightRecorder* recorder = new FlightRecorder();  // NOLINT(banned-function)
+  return *recorder;
+}
+
+Status FlightRecorder::Configure(const FlightRecorderOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("FlightRecorder: dump dir is empty");
+  }
+  if (options.max_dumps == 0) {
+    return Status::InvalidArgument("FlightRecorder: max_dumps must be >= 1");
+  }
+  {
+    MutexLock lock(&mu_);
+    options_ = options;
+    if (options_.env == nullptr) options_.env = Env::Default();
+    next_slot_ = 0;
+    last_query_id_ = 0;
+  }
+  slow_query_millis_.store(options.slow_query_millis,
+                           std::memory_order_relaxed);
+  // A recorder in front of empty rings records nothing: arm tracing if the
+  // caller has not picked a sampling mode of their own.
+  if (Tracer::Global().mode() == TraceMode::kOff) {
+    Tracer::Global().SetMode(TraceMode::kAlways);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FlightRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  slow_query_millis_.store(0.0, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::RecordAnomaly(AnomalyKind kind, const char* what,
+                                   uint64_t query_id,
+                                   const QueryTrace* trace) {
+  if (!enabled()) return false;
+
+  Env* env;
+  std::string path;
+  size_t max_bytes;
+  {
+    MutexLock lock(&mu_);
+    if (query_id != 0 && query_id == last_query_id_) {
+      // Same query, next layer: the first dump already has this timeline.
+      return false;
+    }
+    last_query_id_ = query_id;
+    const uint64_t slot = next_slot_ % options_.max_dumps;
+    ++next_slot_;
+    env = options_.env;
+    path = options_.dir + "/flight-" + std::to_string(slot) + ".json";
+    max_bytes = options_.max_dump_bytes;
+  }
+
+  std::vector<TraceEvent> events = Tracer::Global().SnapshotAll();
+  const uint64_t dropped = Tracer::Global().DroppedTotal();
+  const std::string other =
+      RenderOtherData(kind, what, query_id, trace, dropped);
+
+  // Render, trimming the oldest half of the timeline until the dump fits
+  // the byte cap. ExportChromeTrace output starts with '{', so the
+  // metadata splices in as the first member and the result is still one
+  // Chrome trace-event JSON object.
+  std::string dump;
+  // analyze-ok(cancellation-cadence): halves a ring-bounded event list each pass (O(log) passes); runs once per anomaly, after the query has already terminated.
+  for (;;) {
+    const std::string chrome = ExportChromeTrace(events, "c2lsh-flight");
+    dump = "{\"otherData\": " + other + ", " + chrome.substr(1);
+    if (dump.size() <= max_bytes || events.empty()) break;
+    events.erase(events.begin(),
+                 events.begin() + static_cast<long>(events.size() + 1) / 2);
+  }
+
+  auto file = env->NewFile(path);
+  Status io = file.status();
+  if (io.ok()) io = (*file)->WriteAt(0, dump.data(), dump.size());
+  if (io.ok()) io = (*file)->Sync();
+  if (!io.ok()) {
+    DumpErrorsCounter()->Increment();
+    return false;
+  }
+  dumps_written_.fetch_add(1, std::memory_order_relaxed);
+  DumpsCounter()->Increment();
+  return true;
+}
+
+bool MaybeRecordQueryAnomaly(const char* what, uint64_t query_id,
+                             const QueryTrace& trace) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  if (!fr.enabled()) return false;
+  if (trace.termination == Termination::kDeadline) {
+    return fr.RecordAnomaly(AnomalyKind::kDeadline, what, query_id, &trace);
+  }
+  if (trace.termination == Termination::kCancelled) {
+    return fr.RecordAnomaly(AnomalyKind::kCancelled, what, query_id, &trace);
+  }
+  if (trace.degraded) {
+    return fr.RecordAnomaly(AnomalyKind::kDegraded, what, query_id, &trace);
+  }
+  const double slow = fr.slow_query_millis();
+  if (slow > 0.0 && trace.total_millis >= slow) {
+    return fr.RecordAnomaly(AnomalyKind::kSlowQuery, what, query_id, &trace);
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace c2lsh

@@ -1,0 +1,138 @@
+// Always-on flight recorder: anomaly-triggered trace dumps.
+//
+// The per-thread TraceRings (src/obs/span.h) always hold the most recent
+// few thousand events per thread at ~zero cost — there is no serialization,
+// no I/O, nothing leaves the rings while queries are healthy. When an
+// anomaly fires — a deadline/cancellation termination, an admission shed, a
+// degraded (corruption-skipping) query, a retry abandonment, or a query
+// slower than the configured slow-query threshold — the recorder snapshots
+// every ring plus the query's QueryTrace and the registry's histogram
+// exemplars into a bounded on-disk dump via Env.
+//
+// Dump format: one Chrome trace-event JSON object per dump (so each dump
+// loads directly in Perfetto / chrome://tracing and passes
+// ValidateChromeTraceJson), with the anomaly metadata, QueryTrace, and
+// exemplars carried in the spec's free-form "otherData" member. Dumps are
+// written round-robin into `dir`/flight-<slot>.json, so at most
+// `max_dumps` files ever exist and CI can glob flight-*.json.
+//
+// The recorder is inert until Configure() is called: RecordAnomaly is a
+// single relaxed load + branch, so production code can report anomalies
+// unconditionally.
+
+#pragma once
+#ifndef C2LSH_OBS_FLIGHT_RECORDER_H_
+#define C2LSH_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/obs/trace.h"
+#include "src/util/mutex.h"
+#include "src/util/status.h"
+
+namespace c2lsh {
+
+class Env;
+
+namespace obs {
+
+/// What tripped the recorder. One value per trigger named in the design so
+/// dumps are greppable by cause.
+enum class AnomalyKind : uint8_t {
+  kDeadline = 0,        ///< Termination::kDeadline (deadline / page budget)
+  kCancelled = 1,       ///< Termination::kCancelled
+  kAdmissionShed = 2,   ///< AdmissionController rejected or timed out
+  kDegraded = 3,        ///< query answered while skipping corrupt data
+  kRetryAbandoned = 4,  ///< retry layer gave up on a cancelled/expired ctx
+  kSlowQuery = 5,       ///< total_millis above the slow-query threshold
+};
+inline constexpr size_t kNumAnomalyKinds = 6;
+
+/// Stable lower-case name ("deadline", "cancelled", "admission_shed", ...).
+std::string_view AnomalyKindName(AnomalyKind k);
+
+struct FlightRecorderOptions {
+  /// Directory for dump files (must exist; dumps are `dir`/flight-N.json).
+  std::string dir;
+  /// Dump slots: at most this many dump files, oldest overwritten first.
+  size_t max_dumps = 8;
+  /// Hard cap per dump file; the event timeline is trimmed (oldest events
+  /// first) until the rendered JSON fits.
+  size_t max_dump_bytes = 4u << 20;
+  /// Queries slower than this trip kSlowQuery; 0 disables the threshold.
+  double slow_query_millis = 0.0;
+  /// Filesystem doorway; nullptr = Env::Default(). Tests pass a
+  /// FaultInjectionEnv-backed or scratch-dir Env.
+  Env* env = nullptr;
+};
+
+/// Process-wide recorder. All methods are thread-safe.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Arms the recorder. Also arms tracing (TraceMode::kAlways) if the
+  /// Tracer is off — a flight recorder in front of empty rings records
+  /// nothing. Idempotent; reconfiguring moves the dump directory.
+  Status Configure(const FlightRecorderOptions& options);
+
+  /// Disarms (tests). Already-written dump files are left on disk.
+  void Disable();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Reports one anomaly: snapshots the rings and writes one dump. `what`
+  /// is a static description ("disk_query", "admit", ...); `query_id` (0 =
+  /// unattributed) and `trace` (may be null) give the dump its query
+  /// context. Consecutive reports for the SAME nonzero query_id collapse
+  /// into the first dump — one query missing its deadline after a retry
+  /// abandonment is one anomaly observed at two layers, not two.
+  /// Returns true when a dump was written.
+  bool RecordAnomaly(AnomalyKind kind, const char* what, uint64_t query_id,
+                     const QueryTrace* trace);
+
+  /// Dumps written since process start (mirrors the
+  /// c2lsh_flight_recorder_dumps_total counter).
+  uint64_t dumps_written() const {
+    return dumps_written_.load(std::memory_order_relaxed);
+  }
+
+  /// The slow-query threshold (0 = disabled) — read by the query layers to
+  /// decide whether to report kSlowQuery.
+  double slow_query_millis() const {
+    return slow_query_millis_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> slow_query_millis_{0.0};
+  std::atomic<uint64_t> dumps_written_{0};
+
+  mutable Mutex mu_;
+  FlightRecorderOptions options_ GUARDED_BY(mu_);
+  uint64_t next_slot_ GUARDED_BY(mu_) = 0;
+  uint64_t last_query_id_ GUARDED_BY(mu_) = 0;  ///< consecutive-dedupe state
+};
+
+/// End-of-query helper: inspects a finished query's QueryTrace and reports
+/// the matching anomaly (deadline / cancelled / degraded / slow), if any.
+/// One branch when the recorder is disabled. Returns true if a dump was
+/// written.
+bool MaybeRecordQueryAnomaly(const char* what, uint64_t query_id,
+                             const QueryTrace& trace);
+
+}  // namespace obs
+}  // namespace c2lsh
+
+#endif  // C2LSH_OBS_FLIGHT_RECORDER_H_

@@ -61,7 +61,7 @@ double Histogram::BucketUpperBound(size_t i) {
       kMinExp + octave);
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value, uint64_t exemplar_id) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
   uint64_t new_bits;
@@ -70,6 +70,31 @@ void Histogram::Observe(double value) {
   } while (!sum_bits_.compare_exchange_weak(
       old_bits, new_bits, std::memory_order_relaxed,
       std::memory_order_relaxed));
+  if (exemplar_id == 0) return;
+  // Keep the largest exemplar-tagged observation: (float(value), id32)
+  // packed into one word, CAS-max on the value half. The float comparison
+  // can be done on the packed words directly because non-negative floats
+  // order the same as their bit patterns.
+  const float fvalue = value < 0.0 ? 0.0f : static_cast<float>(value);
+  const uint64_t packed =
+      (static_cast<uint64_t>(std::bit_cast<uint32_t>(fvalue)) << 32) |
+      (exemplar_id & 0xffffffffu);
+  uint64_t cur = exemplar_bits_.load(std::memory_order_relaxed);
+  while ((cur >> 32) < (packed >> 32) || cur == 0) {
+    if (exemplar_bits_.compare_exchange_weak(cur, packed,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+std::pair<double, uint64_t> Histogram::Exemplar() const {
+  const uint64_t bits = exemplar_bits_.load(std::memory_order_relaxed);
+  if (bits == 0) return {0.0, 0};
+  const float fvalue =
+      std::bit_cast<float>(static_cast<uint32_t>(bits >> 32));
+  return {static_cast<double>(fvalue), bits & 0xffffffffu};
 }
 
 uint64_t Histogram::count() const {
@@ -99,6 +124,7 @@ void Histogram::Reset() {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   sum_bits_.store(0, std::memory_order_relaxed);
+  exemplar_bits_.store(0, std::memory_order_relaxed);
 }
 
 bool MetricsRegistry::ValidName(std::string_view name) {
@@ -149,6 +175,26 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name,
     it = metrics_.emplace(std::string(name), std::move(e)).first;
   }
   if (it->second.type != MetricType::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+Gauge* MetricsRegistry::GetGaugeWithLabels(std::string_view name,
+                                           std::string_view help,
+                                           std::string_view labels) {
+  if (!ValidName(name)) return nullptr;
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.type = MetricType::kGauge;
+    e.help = std::string(help);
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.type != MetricType::kGauge) return nullptr;
+  // Unlike help, labels refresh on every call: an info metric's labels ARE
+  // its value (c2lsh_build_info re-registers when the SIMD dispatch moves).
+  it->second.labels = std::string(labels);
   return it->second.gauge.get();
 }
 
@@ -204,6 +250,7 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
     snap.name = name;
     snap.help = entry.help;
     snap.type = entry.type;
+    snap.labels = entry.labels;
     switch (entry.type) {
       case MetricType::kCounter:
         snap.counter_value = entry.counter->value();
@@ -235,6 +282,9 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
         // The +Inf bucket is always present and equals the total count.
         snap.histogram.cumulative.emplace_back(
             std::numeric_limits<double>::infinity(), total);
+        const auto [exemplar_value, exemplar_id] = h.Exemplar();
+        snap.histogram.exemplar_value = exemplar_value;
+        snap.histogram.exemplar_id = exemplar_id;
         break;
       }
     }

@@ -88,7 +88,17 @@ class Histogram {
   static constexpr size_t kNumBuckets =
       static_cast<size_t>(kMaxExp - kMinExp) * kSubBucketsPerOctave + 2;
 
-  void Observe(double value);
+  /// Records one observation. A nonzero `exemplar_id` (a trace id from
+  /// obs::Tracer) attaches this observation as the histogram's exemplar if
+  /// it is the largest exemplar-tagged value seen since the last Reset —
+  /// so the exemplar always points at the tail, which is the observation a
+  /// flight-recorder dump wants to explain. Lock-free (one extra CAS loop
+  /// only on exemplar-tagged observations).
+  void Observe(double value, uint64_t exemplar_id = 0);
+
+  /// The current exemplar: (value, trace id), or (0.0, 0) when none was
+  /// recorded. The value round-trips through float precision.
+  std::pair<double, uint64_t> Exemplar() const;
 
   /// Total observations (sum over buckets — exact once writers quiesce).
   uint64_t count() const;
@@ -114,6 +124,10 @@ class Histogram {
 
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> sum_bits_{0};  // bit-cast double, CAS-accumulated
+  // Exemplar, packed into one word so it publishes atomically:
+  // high 32 bits = bit-cast float(value), low 32 = truncated trace id.
+  // CAS-max on the value part keeps the largest (tail) observation.
+  std::atomic<uint64_t> exemplar_bits_{0};
 };
 
 /// Which kind of metric a snapshot entry describes.
@@ -130,6 +144,10 @@ struct HistogramSnapshot {
   /// (upper_bound, cumulative_count) for every bucket with a count increase,
   /// plus always the final (+infinity, count) entry.
   std::vector<std::pair<double, uint64_t>> cumulative;
+  /// The tail exemplar: the largest exemplar-tagged observation and its
+  /// trace id. exemplar_id == 0 means no exemplar was recorded.
+  double exemplar_value = 0.0;
+  uint64_t exemplar_id = 0;
 };
 
 /// Point-in-time copy of one registered metric.
@@ -137,6 +155,10 @@ struct MetricSnapshot {
   std::string name;
   std::string help;
   MetricType type = MetricType::kCounter;
+  /// Pre-rendered constant label pairs (`key="value",key2="v2"` — no
+  /// braces), empty for the common unlabeled case. Set at registration via
+  /// GetGaugeWithLabels (e.g. c2lsh_build_info).
+  std::string labels;
   uint64_t counter_value = 0;
   double gauge_value = 0.0;
   HistogramSnapshot histogram;
@@ -163,6 +185,14 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name, std::string_view help);
   Histogram* GetHistogram(std::string_view name, std::string_view help);
 
+  /// Like GetGauge, but attaches constant labels rendered into every
+  /// exporter (`labels` is the pre-escaped `key="value",...` body, no
+  /// braces). Info-style metrics (c2lsh_build_info) use this; unlike
+  /// `help`, the labels refresh on every call — an info metric's labels
+  /// are its payload.
+  Gauge* GetGaugeWithLabels(std::string_view name, std::string_view help,
+                            std::string_view labels);
+
   /// Lookup without creating. Returns nullptr when absent or of another type.
   const Counter* FindCounter(std::string_view name) const;
   const Gauge* FindGauge(std::string_view name) const;
@@ -182,6 +212,7 @@ class MetricsRegistry {
   struct Entry {
     MetricType type;
     std::string help;
+    std::string labels;  ///< constant label body, usually empty
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

@@ -1,0 +1,738 @@
+#include "src/obs/span.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/query_context.h"
+#include "src/util/thread_pool.h"
+
+namespace c2lsh {
+namespace obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Clock calibration: one process-lifetime anchor pairing a raw tick read
+// with a steady-clock read. Export-time Calibrate() measures the tick rate
+// over the (anchor, now) interval, so the longer the process has been
+// tracing, the tighter the estimate — with a short bounded spin when an
+// export happens almost immediately after the anchor was planted.
+
+struct ClockAnchor {
+  uint64_t ticks;
+  std::chrono::steady_clock::time_point when;
+};
+
+const ClockAnchor& Anchor() {
+  static const ClockAnchor a{TraceClock::NowTicks(),
+                             std::chrono::steady_clock::now()};
+  return a;
+}
+
+}  // namespace
+
+uint64_t TraceClock::NowTicks() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The invariant TSC: constant-rate, core-synchronized on every platform
+  // this library targets. Confined to src/obs/ by lint's tsc-read rule.
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+TraceClock::Scale TraceClock::Calibrate() {
+  const ClockAnchor& a = Anchor();
+  // Ensure the measurement interval is long enough for a stable rate
+  // estimate: a bounded busy-wait on the steady clock (never a sleep —
+  // lint's raw-sleep rule holds in src/obs/ too), only ever taken when an
+  // export runs within ~200us of the very first tick read.
+  constexpr auto kMinInterval = std::chrono::microseconds(200);
+  auto now = std::chrono::steady_clock::now();
+  while (now - a.when < kMinInterval) {
+    now = std::chrono::steady_clock::now();
+  }
+  const uint64_t now_ticks = NowTicks();
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(now - a.when).count();
+  Scale s;
+  s.anchor_ticks = a.ticks;
+  s.anchor_micros = 0.0;
+  const double dticks =
+      static_cast<double>(now_ticks) - static_cast<double>(a.ticks);
+  // Fallback (non-monotone or zero-width interval): pretend 1 GHz.
+  s.micros_per_tick = dticks > 0.0 ? elapsed_us / dticks : 1e-3;
+  return s;
+}
+
+std::string_view SpanSubsystemName(SpanSubsystem s) {
+  switch (s) {
+    case SpanSubsystem::kQuery:
+      return "query";
+    case SpanSubsystem::kRound:
+      return "round";
+    case SpanSubsystem::kBatch:
+      return "batch";
+    case SpanSubsystem::kBufferPool:
+      return "buffer_pool";
+    case SpanSubsystem::kPageFile:
+      return "page_file";
+    case SpanSubsystem::kWal:
+      return "wal";
+    case SpanSubsystem::kThreadPool:
+      return "thread_pool";
+    case SpanSubsystem::kAdmission:
+      return "admission";
+    case SpanSubsystem::kRetry:
+      return "retry";
+    case SpanSubsystem::kCompaction:
+      return "compaction";
+    case SpanSubsystem::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+// Slot word layout (all release stores, in this order — the chain of
+// release stores keeps them observed in program order on every target):
+//   w7 = 0                (invalidate: readers of the old event bail out)
+//   w0 = start_ticks
+//   w1 = dur_ticks
+//   w2 = name pointer     (static string literal)
+//   w3 = kind | subsystem << 8
+//   w4 = query_id
+//   w5 = value bits       (bit-cast double)
+//   w6 = generation       (emission index + 1; never 0)
+//   w7 = generation       (publish)
+// A reader accepts a slot only when w7 matches the expected generation both
+// before and after reading the payload and w6 agrees — anything else means
+// the writer lapped it, and the (older) event is dropped, not torn.
+void TraceRing::Emit(TraceEventKind kind, SpanSubsystem subsystem,
+                     const char* name, uint64_t start_ticks,
+                     uint64_t dur_ticks, uint64_t query_id, double value) {
+  const uint64_t idx = head_.load(std::memory_order_relaxed);
+  Slot& s = slots_[idx & (kCapacity - 1)];
+  const uint64_t gen = idx + 1;
+  s.w[7].store(0, std::memory_order_release);
+  s.w[0].store(start_ticks, std::memory_order_release);
+  s.w[1].store(dur_ticks, std::memory_order_release);
+  s.w[2].store(reinterpret_cast<uint64_t>(name), std::memory_order_release);
+  s.w[3].store(static_cast<uint64_t>(kind) |
+                   (static_cast<uint64_t>(subsystem) << 8),
+               std::memory_order_release);
+  s.w[4].store(query_id, std::memory_order_release);
+  s.w[5].store(std::bit_cast<uint64_t>(value), std::memory_order_release);
+  s.w[6].store(gen, std::memory_order_release);
+  s.w[7].store(gen, std::memory_order_release);
+  head_.store(gen, std::memory_order_release);
+}
+
+void TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
+  const uint64_t h = head_.load(std::memory_order_acquire);
+  const uint64_t lo = h > kCapacity ? h - kCapacity : 0;
+  for (uint64_t idx = lo; idx < h; ++idx) {
+    const Slot& s = slots_[idx & (kCapacity - 1)];
+    const uint64_t gen = idx + 1;
+    if (s.w[7].load(std::memory_order_acquire) != gen) continue;
+    TraceEvent e;
+    e.seq = idx;
+    e.tid = tid_;
+    e.start_ticks = s.w[0].load(std::memory_order_acquire);
+    e.dur_ticks = s.w[1].load(std::memory_order_acquire);
+    const uint64_t name_bits = s.w[2].load(std::memory_order_acquire);
+    const uint64_t tag = s.w[3].load(std::memory_order_acquire);
+    e.query_id = s.w[4].load(std::memory_order_acquire);
+    e.value =
+        std::bit_cast<double>(s.w[5].load(std::memory_order_acquire));
+    // Re-check: if the writer lapped this slot mid-read, its invalidate (or
+    // new generation) is necessarily visible by now — drop, never tear.
+    if (s.w[6].load(std::memory_order_acquire) != gen ||
+        s.w[7].load(std::memory_order_acquire) != gen) {
+      continue;
+    }
+    e.name = reinterpret_cast<const char*>(name_bits);
+    e.kind = static_cast<TraceEventKind>(tag & 0xff);
+    e.subsystem = static_cast<SpanSubsystem>((tag >> 8) & 0xff);
+    out->push_back(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer& Tracer::Global() {
+  // Intentionally leaked, like MetricsRegistry::Global(): thread rings may
+  // be touched from static destructors after main.
+  static Tracer* tracer = new Tracer();  // NOLINT(banned-function)
+  return *tracer;
+}
+
+namespace {
+
+// ThreadPool dispatch hooks: the util layer cannot link obs (obs links
+// util), so the pool exposes a narrow callback seam and this TU is its only
+// installer. The hooks re-check the tracing gate so a disabled tracer costs
+// the pool one pointer load + branch per region.
+uint64_t PoolTraceBegin(const char* what, size_t n) {
+  (void)what;
+  (void)n;
+  if (!Tracer::enabled()) return 0;
+  return TraceClock::NowTicks();
+}
+
+void PoolTraceEnd(uint64_t token, const char* what, size_t n) {
+  if (token == 0 || !Tracer::enabled()) return;
+  const uint64_t end = TraceClock::NowTicks();
+  Tracer::Global().ThreadRing()->Emit(
+      TraceEventKind::kSpan, SpanSubsystem::kThreadPool, what, token,
+      end > token ? end - token : 0, /*query_id=*/0,
+      static_cast<double>(n));
+}
+
+constexpr ThreadPoolTraceHooks kPoolTraceHooks{&PoolTraceBegin,
+                                               &PoolTraceEnd};
+
+}  // namespace
+
+void Tracer::SetMode(TraceMode mode, uint64_t every_nth) {
+  every_nth_.store(std::max<uint64_t>(1, every_nth),
+                   std::memory_order_relaxed);
+  mode_.store(mode, std::memory_order_relaxed);
+  if (mode != TraceMode::kOff) {
+    (void)Anchor();  // plant the calibration anchor before the first event
+    SetThreadPoolTraceHooks(&kPoolTraceHooks);
+  }
+  span_internal::g_tracing_enabled.store(mode != TraceMode::kOff,
+                                         std::memory_order_relaxed);
+}
+
+TraceRing* Tracer::ThreadRing() {
+  thread_local TraceRing* ring = [this] {
+    auto owned = std::make_unique<TraceRing>();
+    TraceRing* raw = owned.get();
+    MutexLock lock(&mu_);
+    raw->tid_ = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::move(owned));
+    return raw;
+  }();
+  return ring;
+}
+
+bool Tracer::SampleQuery(const QueryContext* ctx) {
+  switch (mode()) {
+    case TraceMode::kOff:
+      return false;
+    case TraceMode::kAlways:
+      return true;
+    case TraceMode::kPerQuery:
+      return ctx != nullptr && ctx->trace;
+    case TraceMode::kEveryNth: {
+      const uint64_t n =
+          std::max<uint64_t>(1, every_nth_.load(std::memory_order_relaxed));
+      return query_counter_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+    }
+  }
+  return false;
+}
+
+std::vector<TraceEvent> Tracer::SnapshotAll() const {
+  std::vector<TraceEvent> out;
+  {
+    MutexLock lock(&mu_);
+    // analyze-ok(cancellation-cadence): bounded by kCapacity * thread count; runs only at dump/export time, never on a query's hot path.
+    for (const auto& ring : rings_) ring->Snapshot(&out);
+  }
+  const uint64_t floor_ticks = clear_ticks_.load(std::memory_order_relaxed);
+  if (floor_ticks != 0) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [floor_ticks](const TraceEvent& e) {
+                               return e.start_ticks < floor_ticks;
+                             }),
+              out.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ticks != b.start_ticks
+                         ? a.start_ticks < b.start_ticks
+                         : (a.tid != b.tid ? a.tid < b.tid : a.seq < b.seq);
+            });
+  return out;
+}
+
+uint64_t Tracer::DroppedTotal() const {
+  MutexLock lock(&mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void Tracer::Clear() {
+  clear_ticks_.store(TraceClock::NowTicks(), std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+
+void ScopedSpan::End() {
+  if (!armed_) return;
+  armed_ = false;
+  const uint64_t end = TraceClock::NowTicks();
+  Tracer::Global().ThreadRing()->Emit(TraceEventKind::kSpan, subsystem_,
+                                      name_, start_,
+                                      end > start_ ? end - start_ : 0,
+                                      query_id_, 0.0);
+}
+
+void TraceInstant(SpanSubsystem subsystem, const char* name,
+                  uint64_t query_id, double value) {
+  if (!Tracer::enabled()) return;
+  Tracer::Global().ThreadRing()->Emit(TraceEventKind::kInstant, subsystem,
+                                      name, TraceClock::NowTicks(), 0,
+                                      query_id, value);
+}
+
+void TraceCounter(SpanSubsystem subsystem, const char* name, double value) {
+  if (!Tracer::enabled()) return;
+  Tracer::Global().ThreadRing()->Emit(TraceEventKind::kCounter, subsystem,
+                                      name, TraceClock::NowTicks(), 0,
+                                      /*query_id=*/0, value);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON export
+
+namespace {
+
+// Same escaping contract as export.cc's EscapeJson (kept local: the two TUs
+// escape different payloads and share no other code).
+std::string EscapeJsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FmtMicros(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0.0 ? 0.0 : us);
+  return std::string(buf);
+}
+
+std::string FmtValue(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events,
+                              std::string_view process_name) {
+  const TraceClock::Scale scale = TraceClock::Calibrate();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"" +
+         EscapeJsonString(process_name) + "\"}}";
+  // analyze-ok(cancellation-cadence): export runs at dump time over an already-snapshotted, ring-bounded event list — not on a query's hot path.
+  for (const TraceEvent& e : events) {
+    out += ",\n{\"name\": \"";
+    out += EscapeJsonString(e.name);
+    out += "\", \"cat\": \"";
+    out += SpanSubsystemName(e.subsystem);
+    out += "\", \"ph\": \"";
+    switch (e.kind) {
+      case TraceEventKind::kSpan:
+        out += "X";
+        break;
+      case TraceEventKind::kInstant:
+        out += "i";
+        break;
+      case TraceEventKind::kCounter:
+        out += "C";
+        break;
+    }
+    out += "\", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    out += ", \"ts\": " + FmtMicros(TraceClock::ToMicros(e.start_ticks, scale));
+    if (e.kind == TraceEventKind::kSpan) {
+      const double dur_us =
+          static_cast<double>(e.dur_ticks) * scale.micros_per_tick;
+      out += ", \"dur\": " + FmtMicros(dur_us);
+    }
+    if (e.kind == TraceEventKind::kInstant) out += ", \"s\": \"t\"";
+    out += ", \"args\": {";
+    bool first_arg = true;
+    if (e.query_id != 0) {
+      out += "\"query_id\": " + std::to_string(e.query_id);
+      first_arg = false;
+    }
+    if (e.kind == TraceEventKind::kCounter || e.value != 0.0) {
+      if (!first_arg) out += ", ";
+      out += "\"value\": " + FmtValue(e.value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON validator: a minimal recursive-descent JSON
+// parser (objects, arrays, strings, numbers, literals) plus the trace-event
+// shape checks. Mirrors ValidatePrometheusText: first offender wins and is
+// named in the error.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string error;  // first parse error, empty = OK
+
+  bool Fail(const std::string& why) {
+    if (error.empty()) {
+      error = "byte " + std::to_string(pos) + ": " + why;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') {
+      return Fail("expected string");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos];
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return Fail("dangling escape");
+        const char esc = text[pos + 1];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            *out += esc;
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+          case 'f':
+            *out += ' ';
+            break;
+          case 'u': {
+            if (pos + 5 >= text.size()) return Fail("truncated \\u escape");
+            for (size_t k = pos + 2; k < pos + 6; ++k) {
+              const char h = text[k];
+              const bool hex = (h >= '0' && h <= '9') ||
+                               (h >= 'a' && h <= 'f') ||
+                               (h >= 'A' && h <= 'F');
+              if (!hex) return Fail("bad \\u escape");
+            }
+            *out += '?';  // validation only cares that it parses
+            pos += 4;
+            break;
+          }
+          default:
+            return Fail("invalid escape");
+        }
+        pos += 2;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        *out += c;
+        ++pos;
+      }
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' ||
+            text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return Fail("expected number");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > 64) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      SkipWs();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue v;
+        if (!ParseValue(&v, depth + 1)) return false;
+        out->object.emplace_back(std::move(key), std::move(v));
+        SkipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue v;
+        if (!ParseValue(&v, depth + 1)) return false;
+        out->array.push_back(std::move(v));
+        SkipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (text.substr(pos, 4) == "true") {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      out->type = JsonValue::Type::kBool;
+      pos += 5;
+      return true;
+    }
+    if (text.substr(pos, 4) == "null") {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    out->type = JsonValue::Type::kNumber;
+    return ParseNumber(&out->number);
+  }
+};
+
+bool IsIntegral(const JsonValue& v) {
+  return v.type == JsonValue::Type::kNumber &&
+         v.number == static_cast<double>(static_cast<long long>(v.number));
+}
+
+Status EventError(size_t index, const std::string& why) {
+  return Status::InvalidArgument("chrome trace event #" +
+                                 std::to_string(index) + ": " + why);
+}
+
+}  // namespace
+
+Status ValidateChromeTraceJson(std::string_view json) {
+  JsonParser p{json, 0, {}};
+  JsonValue root;
+  if (!p.ParseValue(&root, 0)) {
+    return Status::InvalidArgument("chrome trace json: " + p.error);
+  }
+  p.SkipWs();
+  if (p.pos != json.size()) {
+    return Status::InvalidArgument(
+        "chrome trace json: trailing garbage at byte " +
+        std::to_string(p.pos));
+  }
+
+  // Both container formats load in Perfetto: the JSON-object format (an
+  // object with a traceEvents array — what ExportChromeTrace writes) and
+  // the bare JSON-array format.
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.Find("traceEvents");
+    if (events == nullptr) {
+      return Status::InvalidArgument(
+          "chrome trace json: top-level object has no 'traceEvents' member");
+    }
+    if (events->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument(
+          "chrome trace json: 'traceEvents' is not an array");
+    }
+  } else {
+    return Status::InvalidArgument(
+        "chrome trace json: top level must be an object or an array");
+  }
+
+  // Per-tid B/E balance, the histogram-cumulative analogue of this format.
+  std::vector<std::pair<double, long long>> begin_depth;  // (tid, depth)
+  auto depth_for = [&begin_depth](double tid) -> long long& {
+    for (auto& [t, d] : begin_depth) {
+      if (t == tid) return d;
+    }
+    begin_depth.emplace_back(tid, 0);
+    return begin_depth.back().second;
+  };
+
+  static constexpr std::string_view kPhases = "XBEiICM";
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.type != JsonValue::Type::kObject) {
+      return EventError(i, "not an object");
+    }
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        name->str.empty()) {
+      return EventError(i, "missing or empty string 'name'");
+    }
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString ||
+        ph->str.size() != 1 ||
+        kPhases.find(ph->str[0]) == std::string_view::npos) {
+      return EventError(i, "'ph' must be one of X/B/E/i/I/C/M");
+    }
+    for (const char* field : {"pid", "tid"}) {
+      const JsonValue* v = e.Find(field);
+      if (v == nullptr || !IsIntegral(*v)) {
+        return EventError(i, std::string("'") + field +
+                                 "' must be an integer");
+      }
+    }
+    const bool metadata = ph->str[0] == 'M';
+    const JsonValue* ts = e.Find("ts");
+    if (!metadata) {
+      if (ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+        return EventError(i, "missing numeric 'ts'");
+      }
+      if (ts->number < 0.0) return EventError(i, "'ts' is negative");
+    }
+    if (ph->str[0] == 'X') {
+      const JsonValue* dur = e.Find("dur");
+      if (dur == nullptr || dur->type != JsonValue::Type::kNumber) {
+        return EventError(i, "complete ('X') event missing numeric 'dur'");
+      }
+      if (dur->number < 0.0) return EventError(i, "'dur' is negative");
+    }
+    const JsonValue* args = e.Find("args");
+    if (args != nullptr && args->type != JsonValue::Type::kObject) {
+      return EventError(i, "'args' must be an object");
+    }
+    const JsonValue* cat = e.Find("cat");
+    if (cat != nullptr && cat->type != JsonValue::Type::kString) {
+      return EventError(i, "'cat' must be a string");
+    }
+    if (ph->str[0] == 'B') ++depth_for(e.Find("tid")->number);
+    if (ph->str[0] == 'E') {
+      long long& d = depth_for(e.Find("tid")->number);
+      if (--d < 0) {
+        return EventError(i, "'E' without a matching 'B' on its tid");
+      }
+    }
+  }
+  for (const auto& [tid, depth] : begin_depth) {
+    if (depth != 0) {
+      return Status::InvalidArgument(
+          "chrome trace json: tid " + std::to_string(tid) + " has " +
+          std::to_string(depth) + " unclosed 'B' event(s)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace c2lsh

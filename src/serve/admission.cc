@@ -4,7 +4,9 @@
 #include <chrono>
 #include <string>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/timer.h"
 
 namespace c2lsh {
@@ -64,11 +66,25 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContext* ctx)
     NO_THREAD_SAFETY_ANALYSIS {
   Timer wait_timer;
+  const uint64_t trace_id = ctx != nullptr ? ctx->trace_id : 0;
+  obs::ScopedSpan wait_span(obs::SpanSubsystem::kAdmission, "admit",
+                            trace_id);
   std::unique_lock<Mutex> lock(mu_);
+
+  // Every shed is an anomaly: the timeline leading up to overload is
+  // exactly what the flight recorder exists to keep. Recorded after mu_ is
+  // released (dump I/O must not serialize the admission path).
+  auto record_shed = [trace_id](const char* why) {
+    obs::TraceInstant(obs::SpanSubsystem::kAdmission, why, trace_id);
+    obs::FlightRecorder::Global().RecordAnomaly(
+        obs::AnomalyKind::kAdmissionShed, why, trace_id, /*trace=*/nullptr);
+  };
 
   auto shed_expired = [&](Termination t) -> Status {
     ++totals_.shed_deadline;
     Metrics().shed_deadline->Increment();
+    lock.unlock();
+    record_shed("admission_shed_deadline");
     return Status::Unavailable(t == Termination::kCancelled
                                    ? "admission: query cancelled before admission"
                                    : "admission: deadline expired before admission");
@@ -85,19 +101,21 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
     ++totals_.admitted;
     Metrics().admitted->Increment();
     Metrics().in_flight->Set(static_cast<double>(in_flight_));
-    Metrics().queue_wait->Observe(wait_timer.ElapsedMillis());
+    Metrics().queue_wait->Observe(wait_timer.ElapsedMillis(), trace_id);
     return Ticket(this);
   }
 
   if (queued_ >= options_.max_queue) {
     ++totals_.shed_queue_full;
     Metrics().shed_queue_full->Increment();
+    const size_t waiting = queued_;
+    lock.unlock();
+    record_shed("admission_shed_queue_full");
     return Status::Unavailable("admission: wait queue full (" +
-                               std::to_string(queued_) + " waiting, max " +
+                               std::to_string(waiting) + " waiting, max " +
                                std::to_string(options_.max_queue) +
                                ") — shedding; back off and retry");
   }
-
   ++queued_;
   Metrics().queued->Set(static_cast<double>(queued_));
   auto leave_queue = [&] {
@@ -118,6 +136,8 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
       leave_queue();
       ++totals_.shed_timeout;
       Metrics().shed_timeout->Increment();
+      lock.unlock();
+      record_shed("admission_shed_timeout");
       return Status::Unavailable("admission: no slot freed within the queue timeout — "
                                  "shedding; back off and retry");
     }
@@ -129,7 +149,7 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
   ++totals_.admitted;
   Metrics().admitted->Increment();
   Metrics().in_flight->Set(static_cast<double>(in_flight_));
-  Metrics().queue_wait->Observe(wait_timer.ElapsedMillis());
+  Metrics().queue_wait->Observe(wait_timer.ElapsedMillis(), trace_id);
   return Ticket(this);
 }
 

@@ -1,6 +1,7 @@
 #include "src/storage/buffer_pool.h"
 
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 
 namespace c2lsh {
 
@@ -97,6 +98,8 @@ Result<size_t> BufferPool::GrabFrame() {
     Frame& f = frames_[frame];
     if (f.pins != 0) continue;
     if (f.dirty) {
+      obs::ScopedSpan writeback_span(obs::SpanSubsystem::kBufferPool,
+                                     "pool_writeback");
       C2LSH_RETURN_IF_ERROR(file_->WritePage(f.page, f.data.data()));
       ++stats_.writebacks;
       Metrics().writebacks->Increment();
@@ -116,11 +119,14 @@ Result<size_t> BufferPool::GrabFrame() {
 
 Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id,
                                                  const QueryContext* ctx) {
+  const uint64_t trace_id = ctx != nullptr ? ctx->trace_id : 0;
   MutexLock lock(&mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
     Metrics().hits->Increment();
+    obs::TraceInstant(obs::SpanSubsystem::kBufferPool, "pool_hit", trace_id,
+                      static_cast<double>(id));
     Frame& f = frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -131,6 +137,8 @@ Result<BufferPool::PageHandle> BufferPool::Fetch(PageId id,
   }
   ++stats_.misses;
   Metrics().misses->Increment();
+  obs::ScopedSpan miss_span(obs::SpanSubsystem::kBufferPool, "pool_miss",
+                            trace_id);
   C2LSH_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
   // analyze-ok(lock-order): documented single-latch design (class comment) — the miss read runs under mu_ so a frame is never visible half-filled.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/crc32.h"
 
 namespace c2lsh {
@@ -211,6 +212,8 @@ Result<PageId> PageFile::AllocatePage() {
 }
 
 Status PageFile::ReadPage(PageId id, void* buf, const QueryContext* ctx) const {
+  obs::ScopedSpan read_span(obs::SpanSubsystem::kPageFile, "page_read",
+                            ctx != nullptr ? ctx->trace_id : 0);
   C2LSH_RETURN_IF_ERROR(CheckPageId(id));
   const size_t phys = PhysicalPageBytes();
   scratch_.resize(phys);
@@ -248,6 +251,7 @@ Status PageFile::ReadPage(PageId id, void* buf, const QueryContext* ctx) const {
 }
 
 Status PageFile::WritePage(PageId id, const void* buf) {
+  obs::ScopedSpan write_span(obs::SpanSubsystem::kPageFile, "page_write");
   C2LSH_RETURN_IF_ERROR(CheckPageId(id));
   scratch_.resize(PhysicalPageBytes());
   std::memcpy(scratch_.data(), buf, page_bytes_);
@@ -259,6 +263,7 @@ Status PageFile::WritePage(PageId id, const void* buf) {
 }
 
 Status PageFile::Sync() {
+  obs::ScopedSpan sync_span(obs::SpanSubsystem::kPageFile, "page_sync");
   // Data first: every page write must be durable before the header that
   // makes it reachable is published.
   C2LSH_RETURN_IF_ERROR(file_->Sync());

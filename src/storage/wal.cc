@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/storage/blob.h"
 #include "src/util/crc32.h"
 
@@ -82,6 +83,7 @@ Result<WriteAheadLog> WriteAheadLog::Open(std::string path, Env* env) {
 
 Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     uint64_t applied_lsn, const std::function<Status(const Record&)>& fn) {
+  obs::ScopedSpan replay_span(obs::SpanSubsystem::kWal, "wal_replay");
   ReplayStats stats;
   C2LSH_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
   std::vector<uint8_t> bytes(size);
@@ -164,6 +166,7 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
 }
 
 Status WriteAheadLog::Append(const Record& rec) {
+  obs::ScopedSpan append_span(obs::SpanSubsystem::kWal, "wal_append");
   if (rec.lsn <= last_lsn_) {
     return Status::InvalidArgument(
         "WAL: append lsn " + std::to_string(rec.lsn) +
@@ -209,6 +212,7 @@ Status WriteAheadLog::Append(const Record& rec) {
 }
 
 Status WriteAheadLog::Sync() {
+  obs::ScopedSpan sync_span(obs::SpanSubsystem::kWal, "wal_sync");
   C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
     return file_->Sync();
   }));

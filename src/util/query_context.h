@@ -113,6 +113,16 @@ struct QueryContext {
   /// contract as the time deadline.
   uint64_t io_page_budget = 0;
 
+  /// Opts this query into span tracing under TraceMode::kPerQuery (see
+  /// src/obs/span.h). Ignored in the other modes: kAlways samples every
+  /// query and kEveryNth uses its own counter.
+  bool trace = false;
+
+  /// Trace id attributing this query's spans in dumps and exemplars. 0 (the
+  /// default) lets the query engine assign one via Tracer::NextQueryId();
+  /// callers that correlate across systems may set their own nonzero id.
+  uint64_t trace_id = 0;
+
   /// Query loops poll the cheap atomic every iteration but the clock only
   /// every (kCheckIntervalMask + 1) collision increments.
   static constexpr uint64_t kCheckIntervalMask = 1023;

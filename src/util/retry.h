@@ -32,7 +32,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/query_context.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
@@ -156,6 +158,8 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
   if (stats != nullptr) {
     stats->operations.fetch_add(1, std::memory_order_relaxed);
   }
+  obs::ScopedSpan retry_span(obs::SpanSubsystem::kRetry, "retry_transient",
+                             ctx != nullptr ? ctx->trace_id : 0);
   const int attempts = std::max(1, policy.max_attempts);
   int prev_backoff_us = 0;
   Status s;
@@ -171,6 +175,12 @@ Status RetryTransient(const RetryPolicy& policy, RetryStats* stats,
         if (stats != nullptr) {
           stats->abandoned.fetch_add(1, std::memory_order_relaxed);
         }
+        const uint64_t trace_id = ctx->trace_id;
+        obs::TraceInstant(obs::SpanSubsystem::kRetry, "retry_abandoned",
+                          trace_id, static_cast<double>(attempt));
+        obs::FlightRecorder::Global().RecordAnomaly(
+            obs::AnomalyKind::kRetryAbandoned, "retry_transient", trace_id,
+            /*trace=*/nullptr);
         return s;  // still Unavailable: the query's budget ended, not the device
       }
       retry_internal::Metrics().retries->Increment();

@@ -17,7 +17,28 @@ size_t ClampToHardware(size_t requested) {
   return std::max<size_t>(1, std::min(requested, hw));
 }
 
+// The installed hook table, or nullptr. Read with acquire so a helper task
+// observing the pointer also observes the table it points at.
+std::atomic<const ThreadPoolTraceHooks*> g_trace_hooks{nullptr};
+
+uint64_t TraceBegin(const char* what, size_t n) {
+  const ThreadPoolTraceHooks* h =
+      g_trace_hooks.load(std::memory_order_acquire);
+  return h != nullptr && h->begin != nullptr ? h->begin(what, n) : 0;
+}
+
+void TraceEnd(uint64_t token, const char* what, size_t n) {
+  if (token == 0) return;
+  const ThreadPoolTraceHooks* h =
+      g_trace_hooks.load(std::memory_order_acquire);
+  if (h != nullptr && h->end != nullptr) h->end(token, what, n);
+}
+
 }  // namespace
+
+void SetThreadPoolTraceHooks(const ThreadPoolTraceHooks* hooks) {
+  g_trace_hooks.store(hooks, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = ClampToHardware(num_threads);
@@ -59,8 +80,10 @@ void ThreadPool::WorkerLoop() NO_THREAD_SAFETY_ANALYSIS {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  const uint64_t region_token = TraceBegin("parallel_for", n);
   if (n == 1 || threads_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
+    TraceEnd(region_token, "parallel_for", n);
     return;
   }
 
@@ -81,10 +104,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // every helper has finished, so capturing its address is safe.
   const std::function<void(size_t)>* fn_ptr = &fn;
   auto helper_task = [region, fn_ptr, n] {
+    const uint64_t task_token = TraceBegin("pool_task", n);
     size_t i;
     while ((i = region->next.fetch_add(1, std::memory_order_relaxed)) < n) {
       (*fn_ptr)(i);
     }
+    TraceEnd(task_token, "pool_task", n);
     // Last helper out wakes the caller. The lock/notify pair (instead of a
     // bare notify) closes the missed-wakeup window against the caller's
     // predicate check.
@@ -110,6 +135,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   region->cv.wait(lock, [&region] {
     return region->live.load(std::memory_order_acquire) == 0;
   });
+  lock.unlock();
+  TraceEnd(region_token, "parallel_for", n);
 }
 
 ThreadPool& ThreadPool::Shared() {

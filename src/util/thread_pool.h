@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -43,6 +44,22 @@
 #include "src/util/thread_annotations.h"
 
 namespace c2lsh {
+
+/// Trace instrumentation seam. The util layer cannot call into src/obs/
+/// (obs links util), so the pool publishes its dispatch timing through this
+/// narrow callback table instead; obs::Tracer installs it when tracing is
+/// first enabled. `begin` returns an opaque token (0 = "not tracing")
+/// passed back to `end`. Both run on hot paths: implementations must be
+/// lock-free and allocation-free. The `what` strings are static literals.
+struct ThreadPoolTraceHooks {
+  uint64_t (*begin)(const char* what, size_t n);
+  void (*end)(uint64_t token, const char* what, size_t n);
+};
+
+/// Installs the dispatch hooks (nullptr uninstalls). The pointer must stay
+/// valid for the life of the process; installation is one-way in practice
+/// (the tracer installs a static table once).
+void SetThreadPoolTraceHooks(const ThreadPoolTraceHooks* hooks);
 
 class ThreadPool {
  public:

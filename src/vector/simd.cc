@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/obs/build_info.h"
 #include "src/obs/registry.h"
 
 namespace c2lsh {
@@ -197,6 +198,10 @@ const ActiveState* NewActiveState(Isa isa) {
           "simd_active_isa", "active SIMD ISA (0 scalar, 1 avx2, 2 avx512, 3 neon)")) {
     g->Set(static_cast<double>(static_cast<int>(isa)));
   }
+  // Build attribution rides on the same seam: every binary that dispatches
+  // a kernel exports c2lsh_build_info/process_start_time_seconds, and the
+  // `isa` label tracks re-dispatch (ForceIsa, C2LSH_SIMD).
+  obs::RegisterBuildMetrics(IsaName(isa));
   return &slots[slot];
 }
 

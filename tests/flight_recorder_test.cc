@@ -1,0 +1,234 @@
+// Flight-recorder tests: exactly-once dump per anomaly (consecutive-repeat
+// dedupe), the slow-query threshold, and the headline acceptance path — a
+// deadline-missing disk query over a FaultInjectionEnv produces a dump whose
+// Chrome trace JSON passes the in-tree validator and carries spans from at
+// least four subsystems (query, round, buffer_pool, retry, admission).
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/disk_index.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span.h"
+#include "src/obs/trace.h"
+#include "src/serve/admission.h"
+#include "src/util/fault_env.h"
+#include "src/util/query_context.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("c2lsh_flight_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    FlightRecorder::Global().Disable();
+    Tracer::Global().SetMode(TraceMode::kOff);
+  }
+
+  void TearDown() override {
+    FlightRecorder::Global().Disable();
+    Tracer::Global().SetMode(TraceMode::kOff);
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::vector<std::string> DumpFiles() const {
+    std::vector<std::string> out;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("flight-", 0) == 0) out.push_back(entry.path().string());
+    }
+    return out;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  Status Arm(double slow_query_millis = 0.0) {
+    FlightRecorderOptions opt;
+    opt.dir = dir_.string();
+    opt.slow_query_millis = slow_query_millis;
+    return FlightRecorder::Global().Configure(opt);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FlightRecorderTest, InertUntilConfigured) {
+  EXPECT_FALSE(FlightRecorder::Global().enabled());
+  EXPECT_FALSE(FlightRecorder::Global().RecordAnomaly(
+      AnomalyKind::kDeadline, "noop", /*query_id=*/1, nullptr));
+  EXPECT_TRUE(DumpFiles().empty());
+}
+
+TEST_F(FlightRecorderTest, DumpFiresExactlyOncePerAnomaly) {
+  ASSERT_TRUE(Arm().ok());
+  const uint64_t before = FlightRecorder::Global().dumps_written();
+
+  QueryTrace trace;
+  trace.termination = Termination::kDeadline;
+  trace.total_millis = 12.5;
+
+  // First report of query 42 dumps; the consecutive repeat (a retry layer
+  // and the query layer both reporting the same incident) is dropped.
+  EXPECT_TRUE(FlightRecorder::Global().RecordAnomaly(
+      AnomalyKind::kDeadline, "test_query", 42, &trace));
+  EXPECT_FALSE(FlightRecorder::Global().RecordAnomaly(
+      AnomalyKind::kDeadline, "test_query", 42, &trace));
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), before + 1);
+  EXPECT_EQ(DumpFiles().size(), 1u);
+
+  // A different query is a different incident.
+  EXPECT_TRUE(FlightRecorder::Global().RecordAnomaly(
+      AnomalyKind::kCancelled, "test_query", 43, &trace));
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), before + 2);
+  EXPECT_EQ(DumpFiles().size(), 2u);
+
+  // Every dump is a valid Chrome trace document with the anomaly annotation.
+  for (const std::string& path : DumpFiles()) {
+    const std::string json = ReadFile(path);
+    EXPECT_TRUE(ValidateChromeTraceJson(json).ok())
+        << path << ": " << ValidateChromeTraceJson(json).ToString();
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos) << path;
+  }
+}
+
+TEST_F(FlightRecorderTest, SlowQueryThreshold) {
+  ASSERT_TRUE(Arm(/*slow_query_millis=*/5.0).ok());
+  EXPECT_EQ(FlightRecorder::Global().slow_query_millis(), 5.0);
+
+  QueryTrace fast;
+  fast.termination = Termination::kT1;
+  fast.total_millis = 0.5;
+  EXPECT_FALSE(MaybeRecordQueryAnomaly("fast_query", /*query_id=*/7, fast));
+  EXPECT_TRUE(DumpFiles().empty());
+
+  QueryTrace slow;
+  slow.termination = Termination::kT1;  // healthy outcome, just slow
+  slow.total_millis = 50.0;
+  EXPECT_TRUE(MaybeRecordQueryAnomaly("slow_query", /*query_id=*/8, slow));
+  ASSERT_EQ(DumpFiles().size(), 1u);
+  const std::string json = ReadFile(DumpFiles()[0]);
+  EXPECT_NE(json.find("slow_query"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, AnomalousTerminationDumpsRegardlessOfLatency) {
+  ASSERT_TRUE(Arm().ok());
+  QueryTrace trace;
+  trace.termination = Termination::kCancelled;
+  trace.total_millis = 0.01;
+  EXPECT_TRUE(MaybeRecordQueryAnomaly("cancelled_query", /*query_id=*/9, trace));
+  QueryTrace healthy;
+  healthy.termination = Termination::kT2;
+  healthy.total_millis = 0.01;
+  EXPECT_FALSE(MaybeRecordQueryAnomaly("healthy_query", /*query_id=*/10, healthy));
+  EXPECT_EQ(DumpFiles().size(), 1u);
+}
+
+// The acceptance path from ISSUE 9: a disk query misses its (I/O-budget)
+// deadline under a FaultInjectionEnv while tracing is armed; the recorder's
+// dump must validate and must carry spans from >= 4 distinct subsystems.
+TEST_F(FlightRecorderTest, DeadlineMissedDiskQueryDumpSpansFourSubsystems) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 1500, 4, /*seed=*/11);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions options;
+  options.w = 1.0;
+  options.c = 2.0;
+  options.delta = 0.1;
+  options.seed = 11;
+
+  FaultInjectionEnv fault_env(Env::Default());
+  auto index = DiskC2lshIndex::Build(pd->data, options, Path("index.pages"),
+                                     /*pool_pages=*/8, /*store_vectors=*/true,
+                                     &fault_env);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  Tracer::Global().SetMode(TraceMode::kAlways);
+  Tracer::Global().Clear();
+  ASSERT_TRUE(Arm().ok());
+  const uint64_t dumps_before = FlightRecorder::Global().dumps_written();
+
+  AdmissionOptions aopt;
+  aopt.max_in_flight = 1;
+  AdmissionController admission(aopt);
+
+  QueryContext ctx;
+  ctx.io_page_budget = 1;  // deterministic kDeadline at the round boundary
+  auto ticket = admission.Admit(&ctx);
+  ASSERT_TRUE(ticket.ok());
+  DiskQueryStats stats;
+  QueryTrace trace;
+  auto r = index->Query(pd->queries.row(0), 10, &stats, &trace, &ctx);
+  ticket->Release();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(stats.base.termination, Termination::kDeadline)
+      << "io_page_budget=1 should terminate the query at the first round "
+         "boundary";
+
+  EXPECT_EQ(FlightRecorder::Global().dumps_written(), dumps_before + 1);
+  const std::vector<std::string> dumps = DumpFiles();
+  ASSERT_EQ(dumps.size(), 1u);
+  const std::string json = ReadFile(dumps[0]);
+
+  const Status valid = ValidateChromeTraceJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(json.find("\"anomaly\": \"deadline\""), std::string::npos);
+
+  std::set<std::string> cats;
+  const std::string key = "\"cat\": \"";
+  for (size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    const size_t start = pos + key.size();
+    cats.insert(json.substr(start, json.find('"', start) - start));
+  }
+  EXPECT_GE(cats.size(), 4u) << "subsystems in dump: " << cats.size();
+  for (const char* want : {"query", "round", "buffer_pool", "retry",
+                           "admission"}) {
+    EXPECT_TRUE(cats.count(want)) << "dump is missing spans from " << want;
+  }
+}
+
+// Reconfiguring into a fresh directory after Disable works (ops rotating the
+// dump location) and dump slots wrap round-robin at max_dumps.
+TEST_F(FlightRecorderTest, SlotRotationOverwritesOldest) {
+  FlightRecorderOptions opt;
+  opt.dir = dir_.string();
+  opt.max_dumps = 2;
+  ASSERT_TRUE(FlightRecorder::Global().Configure(opt).ok());
+  QueryTrace trace;
+  trace.termination = Termination::kDeadline;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(FlightRecorder::Global().RecordAnomaly(
+        AnomalyKind::kDeadline, "rotate", id, &trace));
+  }
+  EXPECT_LE(DumpFiles().size(), 2u);
+  EXPECT_FALSE(DumpFiles().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2lsh

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/build_info.h"
 #include "src/obs/export.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
@@ -218,6 +219,82 @@ TEST(TraceTest, ToJsonRendersSpansAndClearKeepsCapacity) {
   EXPECT_EQ(trace.rounds.capacity(), cap);
   EXPECT_EQ(trace.termination, Termination::kNone);
   EXPECT_EQ(trace.pool_hits, 0u);
+}
+
+TEST(HistogramTest, ExemplarRoundTripAndRendering) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram* h = reg.GetHistogram("regtest_exemplar_millis", "latency");
+  ASSERT_NE(h, nullptr);
+  h->Observe(1.0);  // no exemplar id — must not clobber anything later
+  h->Observe(3.5, /*exemplar_id=*/77);
+  const auto [value, id] = h->Exemplar();
+  EXPECT_EQ(id, 77u);
+  EXPECT_DOUBLE_EQ(value, 3.5);
+
+  const auto snap = reg.Snapshot();
+  const std::string json = FormatJson(snap);
+  const std::string table = FormatTable(snap);
+  // The exemplar links the scrape to a trace id in both renderings.
+  const size_t jpos = json.find("\"regtest_exemplar_millis\"");
+  ASSERT_NE(jpos, std::string::npos);
+  EXPECT_NE(json.find("\"exemplar\"", jpos), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": 77", jpos), std::string::npos);
+  EXPECT_NE(table.find("exemplar=3.5@77"), std::string::npos) << table;
+}
+
+TEST(ExportTest, EmptyHistogramRendersWithoutFabricatedPercentiles) {
+  auto& reg = MetricsRegistry::Global();
+  ASSERT_NE(reg.GetHistogram("regtest_empty_millis", "never observed"),
+            nullptr);
+  const auto snap = reg.Snapshot();
+
+  // Table: the metric's line must not invent p50/p95/p99 from zero samples.
+  const std::string table = FormatTable(snap);
+  const size_t tpos = table.find("regtest_empty_millis");
+  ASSERT_NE(tpos, std::string::npos);
+  const std::string line = table.substr(tpos, table.find('\n', tpos) - tpos);
+  EXPECT_EQ(line.find("p50"), std::string::npos) << line;
+  EXPECT_NE(line.find("count=0"), std::string::npos) << line;
+
+  // JSON: the metric's object carries count/sum but no percentile members.
+  const std::string json = FormatJson(snap);
+  const size_t jpos = json.find("\"regtest_empty_millis\"");
+  ASSERT_NE(jpos, std::string::npos);
+  const std::string obj = json.substr(jpos, json.find('}', jpos) - jpos);
+  EXPECT_EQ(obj.find("\"p50\""), std::string::npos) << obj;
+  EXPECT_NE(obj.find("\"count\": 0"), std::string::npos) << obj;
+
+  // Prometheus: a count=0 histogram is still a complete, valid series.
+  const std::string text = FormatPrometheus(snap);
+  const Status s = ValidatePrometheusText(text);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(text.find("regtest_empty_millis_count 0"), std::string::npos);
+  EXPECT_NE(text.find("regtest_empty_millis_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+}
+
+TEST(ExportTest, BuildInfoGaugeCarriesAttributionLabels) {
+  RegisterBuildMetrics("regtest-isa");
+  const auto snap = MetricsRegistry::Global().Snapshot();
+  const MetricSnapshot* info = nullptr;
+  const MetricSnapshot* start = nullptr;
+  for (const MetricSnapshot& m : snap) {
+    if (m.name == "c2lsh_build_info") info = &m;
+    if (m.name == "process_start_time_seconds") start = &m;
+  }
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->gauge_value, 1.0);
+  EXPECT_NE(info->labels.find("git=\""), std::string::npos) << info->labels;
+  EXPECT_NE(info->labels.find("isa=\"regtest-isa\""), std::string::npos)
+      << info->labels;
+  EXPECT_NE(info->labels.find("sanitizer=\""), std::string::npos)
+      << info->labels;
+  ASSERT_NE(start, nullptr);
+  EXPECT_GT(start->gauge_value, 0.0);
+
+  const std::string text = FormatPrometheus(snap);
+  EXPECT_TRUE(ValidatePrometheusText(text).ok());
+  EXPECT_NE(text.find("c2lsh_build_info{"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {

@@ -1,0 +1,373 @@
+// Span-tracing tests: ring-slot integrity under wrap and concurrent churn,
+// parent/child reconstruction across ThreadPool::ParallelFor shard
+// boundaries, sampling modes, and the Chrome trace-event validator (both
+// directions: our exporter must pass it; malformed documents must not).
+//
+// The race-labelled cases also run under -DC2LSH_SANITIZE=thread via
+// check.sh's trace lane: the ring protocol's claim is "a wrapping writer
+// drops the oldest events, it never tears them", and TSan plus the
+// value==query_id payload check below are the two witnesses.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/index.h"
+#include "src/obs/span.h"
+#include "src/util/mutex.h"
+#include "src/util/query_context.h"
+#include "src/util/thread_pool.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace obs {
+namespace {
+
+// Every test owns the global tracer mode; reset so suites compose.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetMode(TraceMode::kAlways);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override { Tracer::Global().SetMode(TraceMode::kOff); }
+};
+
+TEST_F(TraceTest, DisabledTracerEmitsNothing) {
+  Tracer::Global().SetMode(TraceMode::kOff);
+  Tracer::Global().Clear();
+  {
+    ScopedSpan span(SpanSubsystem::kOther, "ghost");
+    EXPECT_FALSE(span.armed());
+  }
+  TraceInstant(SpanSubsystem::kOther, "ghost_instant");
+  EXPECT_TRUE(Tracer::Global().SnapshotAll().empty());
+}
+
+TEST_F(TraceTest, SpanInstantCounterRoundTripThroughExport) {
+  {
+    ScopedSpan span(SpanSubsystem::kQuery, "q", /*query_id=*/7);
+    TraceInstant(SpanSubsystem::kRetry, "poke", /*query_id=*/7, /*value=*/3.0);
+    TraceCounter(SpanSubsystem::kBufferPool, "depth", 42.0);
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().SnapshotAll();
+  ASSERT_EQ(events.size(), 3u);
+  const std::string json = ExportChromeTrace(events, "trace_test");
+  EXPECT_TRUE(ValidateChromeTraceJson(json).ok())
+      << ValidateChromeTraceJson(json).ToString();
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"buffer_pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\": 7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Ring wrap: oldest dropped, never torn.
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, RingWrapDropsOldestWithoutTearing) {
+  TraceRing* ring = Tracer::Global().ThreadRing();
+  ASSERT_NE(ring, nullptr);
+  const uint64_t base = ring->emitted();
+  constexpr uint64_t kEmit = TraceRing::kCapacity + 1000;
+  // Payload redundancy: value and query_id carry the same i, so a torn
+  // slot (old payload, new generation or vice versa) cannot go unnoticed.
+  for (uint64_t i = 0; i < kEmit; ++i) {
+    TraceInstant(SpanSubsystem::kOther, "wrap", /*query_id=*/i + 1,
+                 /*value=*/static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(ring->emitted(), base + kEmit);
+  EXPECT_GE(ring->dropped(), kEmit - TraceRing::kCapacity);
+
+  std::vector<TraceEvent> events;
+  ring->Snapshot(&events);
+  ASSERT_LE(events.size(), TraceRing::kCapacity);
+  ASSERT_FALSE(events.empty());
+  uint64_t newest = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) != "wrap") continue;
+    EXPECT_EQ(static_cast<double>(e.query_id), e.value)
+        << "torn slot: payload halves disagree";
+    newest = std::max(newest, e.query_id);
+  }
+  // The survivors are the newest events, not a random subset.
+  EXPECT_EQ(newest, kEmit);
+}
+
+// Writer wrapping the ring at full speed while snapshot readers spin: every
+// event a reader observes must be internally consistent. Runs under TSan in
+// the trace lane.
+TEST_F(TraceTest, ConcurrentSnapshotDuringWrapNeverTears) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++i;
+      TraceInstant(SpanSubsystem::kOther, "churn", i,
+                   static_cast<double>(i));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int it = 0; it < 50; ++it) {
+        const std::vector<TraceEvent> events = Tracer::Global().SnapshotAll();
+        for (const TraceEvent& e : events) {
+          if (std::string(e.name) == "churn" &&
+              static_cast<double>(e.query_id) != e.value) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+// Real engine churn: concurrent QueryBatch traffic with tracing armed while
+// a reader snapshots and exports. The TSan run is the assertion; the
+// validator pass is the bonus.
+TEST_F(TraceTest, QueryBatchChurnWithConcurrentExportIsClean) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 400, 16, /*seed=*/7);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions options;
+  options.w = 1.0;
+  options.c = 2.0;
+  options.delta = 0.1;
+  options.seed = 7;
+  auto index = C2lshIndex::Build(pd->data, options);
+  ASSERT_TRUE(index.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string json =
+          ExportChromeTrace(Tracer::Global().SnapshotAll(), "churn");
+      EXPECT_TRUE(ValidateChromeTraceJson(json).ok());
+    }
+  });
+  for (int round = 0; round < 4; ++round) {
+    auto res = index->QueryBatch(pd->data, pd->queries, 5);
+    ASSERT_TRUE(res.ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+}
+
+// ---------------------------------------------------------------------------
+// Parent/child reconstruction across ParallelFor shard boundaries.
+// ---------------------------------------------------------------------------
+
+// Rebuilds the span forest per thread by interval containment and checks it
+// is well-formed: on any one thread, spans nest properly (contained or
+// disjoint, never partially overlapping).
+void ExpectProperNesting(const std::vector<TraceEvent>& events) {
+  std::vector<std::pair<uint32_t, std::pair<uint64_t, uint64_t>>> spans;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kSpan) {
+      spans.push_back({e.tid, {e.start_ticks, e.start_ticks + e.dur_ticks}});
+    }
+  }
+  for (size_t a = 0; a < spans.size(); ++a) {
+    for (size_t b = a + 1; b < spans.size(); ++b) {
+      if (spans[a].first != spans[b].first) continue;  // different threads
+      const auto& x = spans[a].second;
+      const auto& y = spans[b].second;
+      const bool disjoint = x.second <= y.first || y.second <= x.first;
+      const bool contained = (x.first <= y.first && y.second <= x.second) ||
+                             (y.first <= x.first && x.second <= y.second);
+      EXPECT_TRUE(disjoint || contained)
+          << "partially-overlapping spans on tid " << spans[a].first;
+    }
+  }
+}
+
+TEST_F(TraceTest, ParallelForSpansReconstructParentChildTree) {
+  ThreadPool pool(4);
+  constexpr size_t kUnits = 32;
+  {
+    ScopedSpan root(SpanSubsystem::kOther, "test_root");
+    pool.ParallelFor(kUnits, [&](size_t i) {
+      ScopedSpan unit(SpanSubsystem::kOther, "unit_work", /*query_id=*/i + 1);
+      // A nested child inside each unit exercises two levels per thread.
+      ScopedSpan inner(SpanSubsystem::kOther, "unit_inner", i + 1);
+    });
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().SnapshotAll();
+
+  const TraceEvent* region = nullptr;
+  size_t units = 0, tasks = 0;
+  for (const TraceEvent& e : events) {
+    const std::string name = e.name;
+    if (name == "parallel_for") region = &e;
+    if (name == "unit_work") ++units;
+    if (name == "pool_task") ++tasks;
+  }
+  ASSERT_NE(region, nullptr) << "ThreadPool hook did not emit the region span";
+  EXPECT_EQ(units, kUnits);
+  EXPECT_GE(tasks, 1u);
+
+  // Every unit of work (any thread) falls inside the region span's global
+  // tick interval, and every helper's pool_task does too: the cross-thread
+  // parent edge of the tree.
+  const uint64_t lo = region->start_ticks;
+  const uint64_t hi = region->start_ticks + region->dur_ticks;
+  for (const TraceEvent& e : events) {
+    const std::string name = e.name;
+    if (name != "unit_work" && name != "unit_inner" && name != "pool_task") {
+      continue;
+    }
+    EXPECT_GE(e.start_ticks, lo) << name;
+    EXPECT_LE(e.start_ticks + e.dur_ticks, hi) << name;
+  }
+  ExpectProperNesting(events);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling modes.
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, SamplingModes) {
+  Tracer& t = Tracer::Global();
+  QueryContext tagged;
+  tagged.trace = true;
+  QueryContext untagged;
+
+  t.SetMode(TraceMode::kOff);
+  EXPECT_FALSE(Tracer::enabled());
+  EXPECT_FALSE(t.SampleQuery(&tagged));
+
+  t.SetMode(TraceMode::kAlways);
+  EXPECT_TRUE(Tracer::enabled());
+  EXPECT_TRUE(t.SampleQuery(nullptr));
+  EXPECT_TRUE(t.SampleQuery(&untagged));
+
+  t.SetMode(TraceMode::kPerQuery);
+  EXPECT_TRUE(t.SampleQuery(&tagged));
+  EXPECT_FALSE(t.SampleQuery(&untagged));
+  EXPECT_FALSE(t.SampleQuery(nullptr));
+
+  t.SetMode(TraceMode::kEveryNth, 3);
+  int sampled = 0;
+  for (int i = 0; i < 30; ++i) sampled += t.SampleQuery(nullptr) ? 1 : 0;
+  EXPECT_EQ(sampled, 10);
+}
+
+TEST_F(TraceTest, NextQueryIdIsNonzeroAndDistinct) {
+  const uint64_t a = Tracer::Global().NextQueryId();
+  const uint64_t b = Tracer::Global().NextQueryId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Validator: accepted and rejected documents.
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceValidator, AcceptsObjectAndBareArrayForms) {
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  R"({"traceEvents": [{"name": "a", "ph": "X", "pid": 1,)"
+                  R"( "tid": 2, "ts": 0.5, "dur": 1.0}]})")
+                  .ok());
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  R"([{"name": "a", "ph": "i", "pid": 1, "tid": 2, "ts": 3}])")
+                  .ok());
+  EXPECT_TRUE(ValidateChromeTraceJson(R"({"traceEvents": []})").ok());
+}
+
+TEST(ChromeTraceValidator, AcceptsBalancedBeginEndPairs) {
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  R"([{"name": "a", "ph": "B", "pid": 1, "tid": 2, "ts": 1},)"
+                  R"( {"name": "a", "ph": "E", "pid": 1, "tid": 2, "ts": 2}])")
+                  .ok());
+}
+
+TEST(ChromeTraceValidator, RejectsMalformedDocuments) {
+  // Not JSON at all.
+  EXPECT_FALSE(ValidateChromeTraceJson("hello").ok());
+  // Trailing garbage after a valid document.
+  EXPECT_FALSE(ValidateChromeTraceJson(R"({"traceEvents": []}x)").ok());
+  // traceEvents missing.
+  EXPECT_FALSE(ValidateChromeTraceJson(R"({"events": []})").ok());
+  // Event is not an object.
+  EXPECT_FALSE(ValidateChromeTraceJson(R"({"traceEvents": [1]})").ok());
+  // Missing name.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"ph": "X", "pid": 1, "tid": 2, "ts": 0, "dur": 1}])")
+                   .ok());
+  // Unknown phase.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "Z", "pid": 1, "tid": 2, "ts": 0}])")
+                   .ok());
+  // Non-integral pid.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "i", "pid": 1.5, "tid": 2, "ts": 0}])")
+                   .ok());
+  // Negative timestamp.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "i", "pid": 1, "tid": 2, "ts": -4}])")
+                   .ok());
+  // X span without a duration.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "X", "pid": 1, "tid": 2, "ts": 0}])")
+                   .ok());
+  // Unbalanced B without E.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "B", "pid": 1, "tid": 2, "ts": 0}])")
+                   .ok());
+  // E with no matching B.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   R"([{"name": "a", "ph": "E", "pid": 1, "tid": 2, "ts": 0}])")
+                   .ok());
+}
+
+TEST(ChromeTraceValidator, NamesTheFirstOffendingEvent) {
+  const Status s = ValidateChromeTraceJson(
+      R"([{"name": "ok", "ph": "i", "pid": 1, "tid": 2, "ts": 0},)"
+      R"( {"name": 5, "ph": "i", "pid": 1, "tid": 2, "ts": 0}])");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("#1"), std::string::npos) << s.ToString();
+}
+
+// In-memory queries sampled under kAlways produce query/round spans whose
+// export is valid — the end-to-end path the flight recorder reuses.
+TEST_F(TraceTest, SampledQueryEmitsQueryAndRoundSpans) {
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, 300, 4, /*seed=*/3);
+  ASSERT_TRUE(pd.ok());
+  C2lshOptions options;
+  options.w = 1.0;
+  options.c = 2.0;
+  options.delta = 0.1;
+  options.seed = 3;
+  auto index = C2lshIndex::Build(pd->data, options);
+  ASSERT_TRUE(index.ok());
+  Tracer::Global().Clear();
+  auto r = index->Query(pd->data, pd->queries.row(0), 5);
+  ASSERT_TRUE(r.ok());
+
+  bool saw_query = false, saw_round = false;
+  uint64_t query_id = 0;
+  for (const TraceEvent& e : Tracer::Global().SnapshotAll()) {
+    if (std::string(e.name) == "c2lsh_query") {
+      saw_query = true;
+      query_id = e.query_id;
+    }
+    if (e.subsystem == SpanSubsystem::kRound) saw_round = true;
+  }
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_round);
+  EXPECT_NE(query_id, 0u) << "sampled query did not get a trace id";
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace c2lsh

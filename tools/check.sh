@@ -23,6 +23,10 @@
 #             dispatch modes (shares the tsan tree) — the batched/sharded
 #             QueryBatch engine's bitwise-determinism and thread-pool suite;
 #             the same tests also run unsanitized in the default lane
+#   trace     ctest -L trace under -DC2LSH_SANITIZE=thread in both ISA
+#             dispatch modes (shares the tsan tree) — the span-tracing ring
+#             buffers and flight recorder under concurrent churn; the same
+#             tests also run unsanitized in the default lane
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -184,6 +188,9 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   # --- batch (QueryBatch determinism + pool under TSan, both ISA modes) ----
   run_lane batch build_and_test_both_isas build-check/tsan -L batch -- -DC2LSH_SANITIZE=thread
+
+  # --- trace (span rings + flight recorder under TSan, both ISA modes) -----
+  run_lane trace build_and_test_both_isas build-check/tsan -L trace -- -DC2LSH_SANITIZE=thread
 
   # --- fuzz (untrusted-byte parsers under ASan+UBSan) ----------------------
   fuzz_lane() {

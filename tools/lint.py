@@ -41,6 +41,12 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     (std::thread::hardware_concurrency(), std::thread::id)
                     stay legal everywhere; tests, tools, and bench binaries
                     may spawn their own threads.
+  tsc-read          raw cycle/clock reads (__rdtsc, __builtin_ia32_rdtsc,
+                    __builtin_readcyclecounter, clock_gettime, gettimeofday)
+                    are confined to src/obs/ within src/ — the span tracer's
+                    TraceClock is the one calibrated tick source, so every
+                    other layer's timing goes through util::Timer, Deadline,
+                    or a ScopedSpan and stays attributable in trace exports.
   unchecked-status  a statement that calls a Status-returning function and
                     ignores the result. The [[nodiscard]] attribute makes the
                     compiler catch the same thing; the lint also runs on
@@ -136,6 +142,15 @@ RAW_THREAD_ALLOWED_FILES = {
     os.path.join("src", "util", "thread_pool.cc"),
 }
 RAW_THREAD_SCOPE_PREFIX = "src" + os.sep
+
+# Raw cycle-counter and syscall clock reads are confined to the span
+# tracer's TraceClock (src/obs/): one calibrated tick source, auditable in
+# one place. Tests, tools, and bench binaries stay free to read clocks.
+TSC_READ = re.compile(
+    r"(?<![\w:.])(?:__rdtsc|__builtin_ia32_rdtsc|__builtin_readcyclecounter|"
+    r"clock_gettime|gettimeofday)\s*\(")
+TSC_READ_SCOPE_PREFIX = "src" + os.sep
+TSC_READ_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
 
 # Declarations like `Status Foo(`, `static Status Foo(`, `virtual Status Foo(`
 # in src/ headers; also the factory helpers `static Status IOError(` etc.
@@ -295,6 +310,14 @@ def lint_file(path, rel, status_names, errors):
                 "src/util/thread_pool.{h,cc} — run parallel work on "
                 "ThreadPool::ParallelFor (std::thread::hardware_concurrency() "
                 "and std::thread::id stay legal)")
+        if (TSC_READ.search(code) and
+                rel.startswith(TSC_READ_SCOPE_PREFIX) and
+                not rel.startswith(TSC_READ_ALLOWED_PREFIX) and
+                not allowed("tsc-read")):
+            errors.append(
+                f"{rel}:{lineno}: [tsc-read] raw cycle/clock reads are "
+                "confined to src/obs/ (TraceClock) — time with util::Timer, "
+                "bound with Deadline, or emit a ScopedSpan")
         if NAKED_NEW.search(code) and not allowed("banned-function"):
             errors.append(
                 f"{rel}:{lineno}: [banned-function] naked 'new' is banned: use "

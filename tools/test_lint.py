@@ -134,6 +134,38 @@ class PathScopedRules(unittest.TestCase):
         errors = lint_text(text, os.path.join("src", "vector", "avx2.h"))
         self.assertFalse(any("[isa-header]" in e for e in errors), errors)
 
+    TSC = ("uint64_t Ticks() { return __builtin_ia32_rdtsc(); }\n"
+           "void Now(struct timespec* ts) {\n"
+           "  clock_gettime(CLOCK_MONOTONIC, ts);\n"
+           "}\n")
+
+    def test_tsc_read_banned_in_library_code(self):
+        errors = lint_text(self.TSC, os.path.join("src", "core", "tick.cc"))
+        self.assertEqual(
+            2, sum("[tsc-read]" in e for e in errors), errors)
+
+    def test_tsc_read_allowed_in_obs_tests_and_tools(self):
+        for rel in (os.path.join("src", "obs", "span.cc"),
+                    os.path.join("tests", "tick_test.cc"),
+                    os.path.join("tools", "tick_tool.cpp")):
+            errors = lint_text(self.TSC, rel)
+            self.assertFalse(any("[tsc-read]" in e for e in errors),
+                             (rel, errors))
+
+    def test_tsc_read_nolint_escape(self):
+        text = ("uint64_t Ticks() {\n"
+                "  return __builtin_ia32_rdtsc();  // NOLINT(tsc-read)\n"
+                "}\n")
+        errors = lint_text(text, os.path.join("src", "core", "tick.cc"))
+        self.assertFalse(any("[tsc-read]" in e for e in errors), errors)
+
+    def test_tsc_read_member_call_exempt(self):
+        # Only free-function reads count; a method named clock_gettime on
+        # some wrapper object (obj.clock_gettime(...)) is not a raw read.
+        text = "void F(Env* e) { e->Now(); my.clock_gettime(x, y); }\n"
+        errors = lint_text(text, os.path.join("src", "core", "tick.cc"))
+        self.assertFalse(any("[tsc-read]" in e for e in errors), errors)
+
 
 class StatusRule(unittest.TestCase):
     def test_dropped_status_flagged(self):

@@ -1,0 +1,153 @@
+// trace_dump — runs a small synthetic workload with span tracing armed and
+// writes (or prints) the resulting Chrome trace-event JSON. Load the output
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing. With
+// --simulate_anomaly the workload also runs a deadline-doomed disk query so
+// the flight recorder produces a dump, and the tool prints where it landed.
+//
+//   trace_dump [--out=trace.json] [--mode=always|nth] [--nth=4]
+//              [--n=2000] [--queries=8]
+//              [--scratch=/tmp/c2lsh_trace_dump.pages]
+//              [--flight_dir=] [--simulate_anomaly]
+//
+// The JSON is self-checked with ValidateChromeTraceJson before it is
+// written; a formatting regression exits non-zero.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/disk_index.h"
+#include "src/core/index.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span.h"
+#include "src/util/argparse.h"
+#include "src/util/env.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  ArgParser parser(
+      "trace_dump: run a demo workload with span tracing on and emit "
+      "Perfetto-loadable Chrome trace JSON");
+  parser.AddString("out", "", "write the trace JSON here (default: stdout)");
+  parser.AddString("mode", "always", "sampling mode: always or nth");
+  parser.AddInt("nth", 4, "sample every Nth query in --mode=nth");
+  parser.AddInt("n", 2000, "synthetic dataset size");
+  parser.AddInt("queries", 8, "queries per index flavor");
+  parser.AddString("scratch", "/tmp/c2lsh_trace_dump.pages",
+                   "scratch file for the disk index (removed on exit)");
+  parser.AddString("flight_dir", "",
+                   "arm the flight recorder with dumps in this directory");
+  parser.AddBool("simulate_anomaly", false,
+                 "run one deadline-doomed disk query to trigger a flight dump");
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(), parser.HelpString().c_str());
+    return 1;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.HelpString().c_str());
+    return 0;
+  }
+  const std::string mode = parser.GetString("mode");
+  if (mode != "always" && mode != "nth") {
+    std::fprintf(stderr, "error: unknown --mode '%s'\n", mode.c_str());
+    return 1;
+  }
+  const size_t n = static_cast<size_t>(parser.GetInt("n"));
+  const size_t nq = static_cast<size_t>(parser.GetInt("queries"));
+  const std::string scratch = parser.GetString("scratch");
+  const std::string flight_dir = parser.GetString("flight_dir");
+
+  obs::Tracer::Global().SetMode(
+      mode == "always" ? obs::TraceMode::kAlways : obs::TraceMode::kEveryNth,
+      static_cast<uint64_t>(parser.GetInt("nth")));
+  if (!flight_dir.empty()) {
+    ::mkdir(flight_dir.c_str(), 0755);  // Env has no mkdir; dir must exist
+    obs::FlightRecorderOptions fopt;
+    fopt.dir = flight_dir;
+    if (Status s = obs::FlightRecorder::Global().Configure(fopt); !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  auto pd = MakeProfileDataset(DatasetProfile::kColor, n, nq, /*seed=*/42);
+  if (!pd.ok()) return Fail(pd.status());
+
+  C2lshOptions options;
+  options.w = 1.0;
+  options.c = 2.0;
+  options.delta = 0.1;
+  options.seed = 42;
+
+  // In-memory index: kQuery/kRound spans plus the ThreadPool hook spans
+  // when QueryBatch fans out.
+  auto mem = C2lshIndex::Build(pd->data, options);
+  if (!mem.ok()) return Fail(mem.status());
+  for (size_t q = 0; q < pd->queries.num_rows(); ++q) {
+    auto r = mem->Query(pd->data, pd->queries.row(q), 10);
+    if (!r.ok()) return Fail(r.status());
+  }
+
+  // Disk index: kBufferPool/kPageFile/kWal/kRetry spans under real I/O.
+  auto disk = DiskC2lshIndex::Build(pd->data, options, scratch, /*pool_pages=*/64);
+  if (disk.ok()) {
+    for (size_t q = 0; q < pd->queries.num_rows(); ++q) {
+      auto r = disk->Query(pd->queries.row(q), 10);
+      if (!r.ok()) return Fail(r.status());
+    }
+    if (parser.GetBool("simulate_anomaly")) {
+      // A pre-expired deadline: the query runs zero rounds, terminates
+      // kDeadline, and (with --flight_dir) the recorder writes a dump.
+      QueryContext ctx;
+      ctx.deadline = Deadline::AfterMicros(0);
+      auto r = disk->Query(pd->queries.row(0), 10, /*stats=*/nullptr,
+                           /*trace=*/nullptr, &ctx);
+      if (!r.ok()) return Fail(r.status());
+    }
+  } else {
+    std::fprintf(stderr, "note: disk index skipped (%s)\n",
+                 disk.status().ToString().c_str());
+  }
+  std::remove(scratch.c_str());
+
+  const std::vector<obs::TraceEvent> events = obs::Tracer::Global().SnapshotAll();
+  const std::string json = obs::ExportChromeTrace(events, "c2lsh-trace_dump");
+  if (Status s = obs::ValidateChromeTraceJson(json); !s.ok()) {
+    std::fprintf(stderr, "trace JSON failed its own validator:\n");
+    return Fail(s);
+  }
+
+  const std::string out_path = parser.GetString("out");
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    auto file = Env::Default()->NewFile(out_path);
+    Status io = file.status();
+    if (io.ok()) io = (*file)->WriteAt(0, json.data(), json.size());
+    if (io.ok()) io = (*file)->Sync();
+    if (!io.ok()) return Fail(io);
+    std::fprintf(stderr, "wrote %zu events (%zu bytes) to %s\n", events.size(),
+                 json.size(), out_path.c_str());
+  }
+  if (!flight_dir.empty()) {
+    std::fprintf(stderr, "flight recorder dumps written: %llu (under %s)\n",
+                 static_cast<unsigned long long>(
+                     obs::FlightRecorder::Global().dumps_written()),
+                 flight_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }
