@@ -482,6 +482,11 @@ Status DiskC2lshIndex::Delete(ObjectId id) {
   return Status::OK();
 }
 
+Status DiskC2lshIndex::Flush() {
+  if (wal_ != nullptr) C2LSH_RETURN_IF_ERROR(wal_->Sync());
+  return file_->Sync();
+}
+
 size_t DiskC2lshIndex::OverlayEntries() const {
   size_t total = 0;
   for (const DiskBucketTable& table : tables_) total += table.OverlayEntries();

@@ -113,6 +113,14 @@ class DiskC2lshIndex {
   /// image (plus WAL replay) or the new one, never a mix.
   Status Compact();
 
+  /// Forces everything to durable storage without changing the image: syncs
+  /// the WAL (a no-op for already-acked mutations, which sync before ack)
+  /// and the PageFile (publishing its current header generation). The
+  /// serving layer calls this per index during graceful drain so a
+  /// post-drain kill -9 loses nothing. Same external-serialization contract
+  /// as Insert.
+  Status Flush();
+
   /// c-k-ANN query against the stored data segment. Requires the index to
   /// have been built with store_vectors = true. `trace`, when non-null,
   /// receives one span per rehashing round plus measured pool hit/miss

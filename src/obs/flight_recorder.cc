@@ -33,18 +33,55 @@ std::string FmtDouble(double v) {
   return std::string(buf);
 }
 
+// Same escaping contract as export.cc's EscapeJson (kept local, like
+// span.cc's copy). The detail string may carry external input — a tenant id
+// straight off the wire — so it MUST be escaped before splicing into JSON.
+std::string EscapeJsonDetail(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // The "otherData" metadata object: anomaly cause, query attribution, the
 // QueryTrace, and every histogram exemplar in the registry (the trace ids
 // attached to tail latency observations — the cross-link from metrics back
 // into this dump's timeline).
 std::string RenderOtherData(AnomalyKind kind, const char* what,
                             uint64_t query_id, const QueryTrace* trace,
-                            uint64_t dropped_events) {
+                            uint64_t dropped_events, std::string_view detail) {
   std::string out = "{\"anomaly\": \"";
   out += AnomalyKindName(kind);
   out += "\", \"what\": \"";
   out += what;
-  out += "\", \"query_id\": " + std::to_string(query_id);
+  out += "\"";
+  if (!detail.empty()) {
+    out += ", \"detail\": \"" + EscapeJsonDetail(detail) + "\"";
+  }
+  out += ", \"query_id\": " + std::to_string(query_id);
   out += ", \"dropped_events\": " + std::to_string(dropped_events);
   out += ", \"query_trace\": ";
   out += trace != nullptr ? trace->ToJson() : std::string("null");
@@ -80,6 +117,10 @@ std::string_view AnomalyKindName(AnomalyKind k) {
       return "retry_abandoned";
     case AnomalyKind::kSlowQuery:
       return "slow_query";
+    case AnomalyKind::kDrainDeadlineExceeded:
+      return "drain_deadline_exceeded";
+    case AnomalyKind::kTenantShed:
+      return "tenant_shed";
   }
   return "unknown";
 }
@@ -124,6 +165,12 @@ void FlightRecorder::Disable() {
 bool FlightRecorder::RecordAnomaly(AnomalyKind kind, const char* what,
                                    uint64_t query_id,
                                    const QueryTrace* trace) {
+  return RecordAnomaly(kind, what, query_id, trace, std::string_view());
+}
+
+bool FlightRecorder::RecordAnomaly(AnomalyKind kind, const char* what,
+                                   uint64_t query_id, const QueryTrace* trace,
+                                   std::string_view detail) {
   if (!enabled()) return false;
 
   Env* env;
@@ -146,7 +193,7 @@ bool FlightRecorder::RecordAnomaly(AnomalyKind kind, const char* what,
   std::vector<TraceEvent> events = Tracer::Global().SnapshotAll();
   const uint64_t dropped = Tracer::Global().DroppedTotal();
   const std::string other =
-      RenderOtherData(kind, what, query_id, trace, dropped);
+      RenderOtherData(kind, what, query_id, trace, dropped, detail);
 
   // Render, trimming the oldest half of the timeline until the dump fits
   // the byte cap. ExportChromeTrace output starts with '{', so the

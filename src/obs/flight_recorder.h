@@ -49,8 +49,10 @@ enum class AnomalyKind : uint8_t {
   kDegraded = 3,        ///< query answered while skipping corrupt data
   kRetryAbandoned = 4,  ///< retry layer gave up on a cancelled/expired ctx
   kSlowQuery = 5,       ///< total_millis above the slow-query threshold
+  kDrainDeadlineExceeded = 6,  ///< graceful drain overran its deadline
+  kTenantShed = 7,      ///< per-tenant admission shed (quota + overflow full)
 };
-inline constexpr size_t kNumAnomalyKinds = 6;
+inline constexpr size_t kNumAnomalyKinds = 8;
 
 /// Stable lower-case name ("deadline", "cancelled", "admission_shed", ...).
 std::string_view AnomalyKindName(AnomalyKind k);
@@ -99,6 +101,13 @@ class FlightRecorder {
   /// Returns true when a dump was written.
   bool RecordAnomaly(AnomalyKind kind, const char* what, uint64_t query_id,
                      const QueryTrace* trace);
+
+  /// Same, with a free-form `detail` string rendered into the dump's
+  /// otherData (JSON-escaped — it may carry external input like a tenant
+  /// id). The serving layer uses it to attribute kTenantShed and
+  /// kDrainDeadlineExceeded dumps: `{"detail": "tenant=acme", ...}`.
+  bool RecordAnomaly(AnomalyKind kind, const char* what, uint64_t query_id,
+                     const QueryTrace* trace, std::string_view detail);
 
   /// Dumps written since process start (mirrors the
   /// c2lsh_flight_recorder_dumps_total counter).

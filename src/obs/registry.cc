@@ -198,6 +198,24 @@ Gauge* MetricsRegistry::GetGaugeWithLabels(std::string_view name,
   return it->second.gauge.get();
 }
 
+Counter* MetricsRegistry::GetCounterWithLabels(std::string_view name,
+                                               std::string_view help,
+                                               std::string_view labels) {
+  if (!ValidName(name)) return nullptr;
+  MutexLock lock(&mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.type = MetricType::kCounter;
+    e.help = std::string(help);
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.type != MetricType::kCounter) return nullptr;
+  it->second.labels = std::string(labels);
+  return it->second.counter.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::string_view help) {
   if (!ValidName(name)) return nullptr;

@@ -193,6 +193,15 @@ class MetricsRegistry {
   Gauge* GetGaugeWithLabels(std::string_view name, std::string_view help,
                             std::string_view labels);
 
+  /// Counter flavor of GetGaugeWithLabels, for per-entity series like the
+  /// serving layer's per-tenant admission counters. The registry (and the
+  /// JSON exporter) key by NAME alone, so each labeled series needs a
+  /// distinct name with the entity embedded
+  /// (`c2lsh_serve_tenant_acme_admitted_total`); the labels
+  /// (`tenant="acme"`) carry the un-mangled entity for Prometheus joins.
+  Counter* GetCounterWithLabels(std::string_view name, std::string_view help,
+                                std::string_view labels);
+
   /// Lookup without creating. Returns nullptr when absent or of another type.
   const Counter* FindCounter(std::string_view name) const;
   const Gauge* FindGauge(std::string_view name) const;

@@ -96,6 +96,8 @@ std::string_view SpanSubsystemName(SpanSubsystem s) {
       return "compaction";
     case SpanSubsystem::kOther:
       return "other";
+    case SpanSubsystem::kServe:
+      return "serve";
   }
   return "other";
 }

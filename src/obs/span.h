@@ -67,8 +67,9 @@ enum class SpanSubsystem : uint8_t {
   kRetry = 8,       ///< transient-I/O retry attempts and backoffs
   kCompaction = 9,  ///< disk-index compaction
   kOther = 10,      ///< tools/tests
+  kServe = 11,      ///< serving front end: frames, dispatch, drain
 };
-inline constexpr size_t kNumSpanSubsystems = 11;
+inline constexpr size_t kNumSpanSubsystems = 12;
 
 /// Stable lower-case name ("query", "round", "batch", "buffer_pool", ...).
 std::string_view SpanSubsystemName(SpanSubsystem s);

@@ -25,6 +25,7 @@ struct AdmissionMetrics {
   obs::Counter* shed_queue_full;
   obs::Counter* shed_timeout;
   obs::Counter* shed_deadline;
+  obs::Counter* shed_draining;
   obs::Gauge* in_flight;
   obs::Gauge* queued;
   obs::Histogram* queue_wait;
@@ -43,6 +44,9 @@ const AdmissionMetrics& Metrics() {
     mm.shed_deadline = r.GetCounter(
         "admission_shed_deadline_total",
         "waiters shed because their deadline expired or they were cancelled");
+    mm.shed_draining = r.GetCounter(
+        "admission_shed_draining_total",
+        "arrivals and queued waiters rejected while the controller drained");
     mm.in_flight = r.GetGauge("admission_in_flight", "in-flight slots outstanding");
     mm.queued = r.GetGauge("admission_queued", "callers waiting for a slot");
     mm.queue_wait =
@@ -90,10 +94,21 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
                                    : "admission: deadline expired before admission");
   };
 
+  auto shed_draining = [&]() -> Status {
+    ++totals_.shed_draining;
+    Metrics().shed_draining->Increment();
+    lock.unlock();
+    record_shed("admission_shed_draining");
+    return Status::Unavailable(
+        "admission: controller draining — rejecting; retry against another "
+        "replica");
+  };
+
   if (ctx != nullptr) {
     const Termination t = ctx->CheckNow();
     if (t != Termination::kNone) return shed_expired(t);
   }
+  if (draining_) return shed_draining();
 
   // Fast path: a free slot and nobody queued ahead of us.
   if (in_flight_ < options_.max_in_flight && queued_ == 0) {
@@ -124,6 +139,11 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
   };
 
   while (in_flight_ >= options_.max_in_flight) {
+    if (draining_) {
+      // Fail queued waiters fast: drain must not wait out their timeouts.
+      leave_queue();
+      return shed_draining();
+    }
     if (ctx != nullptr) {
       const Termination t = ctx->CheckNow();
       if (t != Termination::kNone) {
@@ -154,12 +174,56 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(const QueryContex
 }
 
 void AdmissionController::ReleaseSlot() {
+  bool draining;
   {
     MutexLock lock(&mu_);
     if (in_flight_ > 0) --in_flight_;
     Metrics().in_flight->Set(static_cast<double>(in_flight_));
+    draining = draining_;
   }
-  cv_.notify_one();
+  // While draining, the interesting waiter is Drain() itself (plus every
+  // queued caller, which must wake to shed) — notify_one could wake the
+  // wrong one and cost a poll interval.
+  if (draining) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+}
+
+// Excluded from capability analysis for the same std::unique_lock /
+// condition_variable_any reason as Admit; the body holds mu_ via `lock`.
+Status AdmissionController::Drain(const Deadline& deadline)
+    NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<Mutex> lock(mu_);
+  draining_ = true;
+  // Wake every queued waiter so it observes draining_ and sheds now.
+  cv_.notify_all();
+  while (in_flight_ > 0 || queued_ > 0) {
+    if (deadline.Expired()) {
+      const size_t in_flight = in_flight_;
+      const size_t queued = queued_;
+      lock.unlock();
+      return Status::Unavailable(
+          "admission: drain deadline expired with " +
+          std::to_string(in_flight) + " in flight, " + std::to_string(queued) +
+          " queued");
+    }
+    // Sliced like Admit's queue wait: queued waiters poll their own exit
+    // condition, so the drainer must not rely on being notified.
+    cv_.wait_for(lock, std::chrono::microseconds(kQueuePollMicros));
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Resume() {
+  MutexLock lock(&mu_);
+  draining_ = false;
+}
+
+bool AdmissionController::draining() const {
+  MutexLock lock(&mu_);
+  return draining_;
 }
 
 AdmissionStats AdmissionController::stats() const {

@@ -59,6 +59,7 @@ struct AdmissionStats {
   uint64_t shed_timeout = 0;     ///< waiters rejected by the queue timeout
   uint64_t shed_deadline = 0;    ///< waiters whose context expired (deadline
                                  ///< or cancellation) before admission
+  uint64_t shed_draining = 0;    ///< arrivals/waiters rejected while draining
   size_t in_flight = 0;          ///< tickets currently outstanding
   size_t queued = 0;             ///< callers currently waiting
 };
@@ -113,6 +114,23 @@ class AdmissionController {
   /// if no slot ever frees.
   Result<Ticket> Admit(const QueryContext* ctx = nullptr);
 
+  /// Flips the controller into draining mode and waits for it to empty:
+  /// new arrivals shed immediately with Unavailable, queued waiters wake
+  /// and shed fast (within one poll interval) instead of waiting out their
+  /// timeouts, and in-flight tickets are waited for until `deadline`.
+  /// Returns OK once in_flight == 0; Unavailable when the deadline expires
+  /// with tickets still out (the controller STAYS draining — stragglers
+  /// still release safely, they just can't be waited for any longer).
+  /// Idempotent; concurrent Drain calls both wait.
+  Status Drain(const Deadline& deadline) EXCLUDES(mu_);
+
+  /// Leaves draining mode (a restart without reconstruction). No-op when
+  /// not draining.
+  void Resume() EXCLUDES(mu_);
+
+  /// True after Drain() until Resume().
+  bool draining() const EXCLUDES(mu_);
+
   /// Snapshot of the counters and current occupancy.
   AdmissionStats stats() const EXCLUDES(mu_);
 
@@ -126,6 +144,7 @@ class AdmissionController {
   std::condition_variable_any cv_;
   size_t in_flight_ GUARDED_BY(mu_) = 0;
   size_t queued_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
   AdmissionStats totals_ GUARDED_BY(mu_);  ///< cumulative counters only
 };
 

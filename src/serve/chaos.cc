@@ -1,0 +1,628 @@
+#include "src/serve/chaos.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/disk_index.h"
+#include "src/obs/flight_recorder.h"
+#include "src/serve/inproc_transport.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/util/fault_env.h"
+#include "src/util/random.h"
+#include "src/util/retry.h"
+#include "src/util/thread_pool.h"
+#include "src/vector/dataset.h"
+#include "src/vector/synthetic.h"
+
+namespace c2lsh {
+namespace serve {
+
+namespace {
+
+// Distance at which an exact-duplicate query "found its point".
+constexpr float kExactEps = 1e-3f;
+
+/// A minimal wire client: one cached connection, reconnect on any transport
+/// failure, protocol encode/decode. Retries go through util/retry.h's
+/// decorrelated-jitter backoff — the same policy the README prescribes for
+/// kUnavailable responses.
+class ChaosClient {
+ public:
+  ChaosClient(Transport* transport, std::string address)
+      : transport_(transport), address_(std::move(address)) {}
+
+  /// One attempt: transport or decode failures surface as a non-OK Status
+  /// (and drop the cached connection); an application error arrives as OK
+  /// with `out->code` nonzero.
+  Status CallOnce(const Request& req, Response* out) {
+    ++calls_;
+    if (conn_ == nullptr) {
+      auto r = transport_->Connect(address_, Deadline::AfterMillis(1000));
+      if (!r.ok()) return r.status();
+      conn_ = std::move(r).value();
+    }
+    const Deadline io = Deadline::AfterMillis(2000);
+    Status s = WriteFrame(*conn_, EncodeRequest(req), io);
+    if (!s.ok()) {
+      conn_.reset();
+      // A dead/reset connection is transient from the client's view: the
+      // next attempt reconnects.
+      return Status::Unavailable("chaos client: write failed: " +
+                                 std::string(s.message()));
+    }
+    std::string body;
+    bool eof = false;
+    s = ReadFrame(*conn_, &body, &eof, io);
+    if (!s.ok() || eof) {
+      conn_.reset();
+      return Status::Unavailable(
+          s.ok() ? "chaos client: server closed the connection"
+                 : "chaos client: read failed: " + std::string(s.message()));
+    }
+    return DecodeResponse(reinterpret_cast<const uint8_t*>(body.data()),
+                          body.size(), out);
+  }
+
+  /// Retrying call: transport failures AND kUnavailable responses (sheds,
+  /// drain rejections) are transient under `policy`. On success `out` holds
+  /// a response whose code is anything but kUnavailable; on exhaustion the
+  /// last shed response (if any) is left in `out` so the caller still sees
+  /// what the server said.
+  Status Call(const Request& req, Response* out, const RetryPolicy& policy) {
+    return RetryTransient(policy, &retry_stats_, [&]() -> Status {
+      Response resp;
+      Status s = CallOnce(req, &resp);
+      if (!s.ok()) return s;
+      if (resp.code == StatusCode::kUnavailable) {
+        *out = resp;  // keep the shed visible even if retries exhaust
+        return Status::Unavailable(resp.message);
+      }
+      *out = std::move(resp);
+      return Status::OK();
+    });
+  }
+
+  void Reset() { conn_.reset(); }
+
+  uint64_t calls() const { return calls_; }
+
+ private:
+  Transport* transport_;
+  const std::string address_;
+  std::unique_ptr<Connection> conn_;
+  RetryStats retry_stats_;
+  uint64_t calls_ = 0;
+};
+
+Request MakeQuery(const std::vector<float>& vec, size_t k,
+                  const std::string& tenant, uint64_t deadline_micros = 0) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.tenant = tenant;
+  req.index = "main";
+  req.k = static_cast<uint32_t>(k);
+  req.vector = vec;
+  req.deadline_micros = deadline_micros;
+  return req;
+}
+
+/// The whole soak's mutable state, so phases read like the scenario list in
+/// chaos.h instead of threading a dozen parameters around.
+class SoakRun {
+ public:
+  explicit SoakRun(const ChaosOptions& options)
+      : options_(options), rng_(options.seed), fault_env_(Env::Default()) {}
+
+  Result<ChaosReport> Run();
+
+ private:
+  Result<std::unique_ptr<Server>> StartServer(DiskC2lshIndex index,
+                                              double drain_millis);
+
+  void Violation(std::string what) {
+    if (report_.violations.size() < 32) {
+      report_.violations.push_back(std::move(what));
+    }
+  }
+
+  /// Checks one OK query response against the ledger: unique ids, no
+  /// acked-deleted id, and (when `expect_id` >= 0 on a fault-free index)
+  /// the exact duplicate present at ~zero distance unless the result is
+  /// tagged partial.
+  void CheckQueryResult(const Response& resp, int64_t expect_id,
+                        const std::set<ObjectId>& deleted,
+                        const char* phase) {
+    std::vector<ObjectId> ids;
+    ids.reserve(resp.neighbors.size());
+    for (const Neighbor& nb : resp.neighbors) ids.push_back(nb.id);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      Violation(std::string(phase) + ": duplicate id in one result");
+    }
+    for (ObjectId id : ids) {
+      if (deleted.count(id) != 0) {
+        Violation(std::string(phase) + ": acked-deleted id " +
+                  std::to_string(id) + " returned");
+      }
+    }
+    if (expect_id >= 0 && !IsEarlyStop(resp.termination)) {
+      bool found = false;
+      for (const Neighbor& nb : resp.neighbors) {
+        if (nb.id == static_cast<ObjectId>(expect_id) && nb.dist <= kExactEps) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        Violation(std::string(phase) + ": exact duplicate of id " +
+                  std::to_string(expect_id) +
+                  " missing from a complete (non-partial) result");
+      }
+    }
+  }
+
+  /// Issues one query through `client`; classifies the outcome into the
+  /// report and runs the ledger checks. `expect_id` < 0 disables the
+  /// exact-duplicate assertion (fault phases, where degraded-but-genuine
+  /// results are legal).
+  void DoQuery(ChaosClient& client, const std::vector<float>& vec,
+               int64_t expect_id, const RetryPolicy& policy,
+               const char* phase) {
+    Response resp;
+    Status s = client.Call(MakeQuery(vec, options_.k, "churn"), &resp, policy);
+    if (!s.ok()) {
+      ++report_.unavailable;
+      return;
+    }
+    if (resp.code == StatusCode::kOk) {
+      ++report_.queries_ok;
+      if (IsEarlyStop(resp.termination)) ++report_.partial_results;
+      CheckQueryResult(resp, expect_id, deleted_, phase);
+    } else if (resp.code == StatusCode::kUnavailable) {
+      ++report_.unavailable;
+    } else {
+      ++report_.other_errors;
+    }
+  }
+
+  /// Inserts a fresh id with a vector jittered off a random live one.
+  /// OK ack => the ledger counts it durable; anything else => unknown.
+  void DoInsert(ChaosClient& client, const RetryPolicy& policy) {
+    if (live_.empty()) return;
+    const ObjectId id = next_id_++;
+    std::vector<float> vec = RandomLiveVector();
+    for (float& v : vec) {
+      v += static_cast<float>(rng_.Gaussian(0.0, 0.1));
+    }
+    Request req;
+    req.type = MsgType::kInsert;
+    req.tenant = "churn";
+    req.index = "main";
+    req.id = id;
+    req.vector = vec;
+    Response resp;
+    Status s = client.Call(req, &resp, policy);
+    if (s.ok() && resp.code == StatusCode::kOk) {
+      live_.emplace(id, std::move(vec));
+      ++report_.inserts_acked;
+    } else {
+      // Unacked: the mutation may or may not have reached the WAL before
+      // the failure — the ledger asserts nothing about this id.
+      unknown_.insert(id);
+      if (!s.ok() || resp.code == StatusCode::kUnavailable) {
+        ++report_.unavailable;
+      } else {
+        ++report_.other_errors;
+      }
+    }
+  }
+
+  void DoDelete(ChaosClient& client, const RetryPolicy& policy) {
+    if (live_.size() <= options_.initial_objects / 4) return;  // keep data
+    auto it = live_.begin();
+    std::advance(it, static_cast<long>(rng_.Index(live_.size())));
+    const ObjectId id = it->first;
+    Request req;
+    req.type = MsgType::kDelete;
+    req.tenant = "churn";
+    req.index = "main";
+    req.id = id;
+    Response resp;
+    Status s = client.Call(req, &resp, policy);
+    // NotFound after a retry means an earlier attempt already deleted it —
+    // we only ever delete ids the ledger believes live.
+    if (s.ok() &&
+        (resp.code == StatusCode::kOk || resp.code == StatusCode::kNotFound)) {
+      live_.erase(id);
+      deleted_.insert(id);
+      ++report_.deletes_acked;
+    } else {
+      live_.erase(id);  // state unknown: assert nothing about this id
+      unknown_.insert(id);
+      if (!s.ok() || resp.code == StatusCode::kUnavailable) {
+        ++report_.unavailable;
+      } else {
+        ++report_.other_errors;
+      }
+    }
+  }
+
+  const std::vector<float>& RandomLiveVector() {
+    auto it = live_.begin();
+    std::advance(it, static_cast<long>(rng_.Index(live_.size())));
+    return it->second;
+  }
+
+  /// Clean-index ledger verification: a sample of acked-live ids must each
+  /// be found at distance ~0 by their exact vector (no faults armed).
+  void VerifyLedger(ChaosClient& client, const char* phase) {
+    const size_t sample = std::min<size_t>(16, live_.size());
+    for (size_t i = 0; i < sample; ++i) {
+      auto it = live_.begin();
+      std::advance(it, static_cast<long>(rng_.Index(live_.size())));
+      DoQuery(client, it->second, static_cast<int64_t>(it->first),
+              retry_policy_, phase);
+    }
+  }
+
+  ChaosOptions options_;
+  ChaosReport report_;
+  Rng rng_;
+  FaultInjectionEnv fault_env_;
+  InprocTransport transport_;
+  RetryPolicy retry_policy_;
+
+  std::string path_;
+  ObjectId next_id_ = 0;
+  std::map<ObjectId, std::vector<float>> live_;  ///< acked-live id -> vector
+  std::set<ObjectId> deleted_;                   ///< acked-deleted ids
+  std::set<ObjectId> unknown_;  ///< mutation outcome unknown: assert nothing
+};
+
+Result<std::unique_ptr<Server>> SoakRun::StartServer(DiskC2lshIndex index,
+                                                     double drain_millis) {
+  ServerOptions so;
+  so.address = "chaos";
+  so.transport = &transport_;
+  so.max_connections = options_.clients + 4;
+  so.drain_deadline_millis = drain_millis;
+  // Tiny quotas on purpose: the soak WANTS admission to shed.
+  so.admission.per_tenant.max_in_flight = 2;
+  so.admission.per_tenant.max_queue = 2;
+  so.admission.per_tenant.queue_timeout_millis = 25.0;
+  so.admission.overflow.max_in_flight = 2;
+  so.admission.overflow.max_queue = 2;
+  so.admission.overflow.queue_timeout_millis = 25.0;
+  C2LSH_ASSIGN_OR_RETURN(std::unique_ptr<Server> server, Server::Start(so));
+  C2LSH_RETURN_IF_ERROR(server->AddIndex("main", std::move(index)));
+  return server;
+}
+
+Result<ChaosReport> SoakRun::Run() {
+  retry_policy_.max_attempts = 4;
+  retry_policy_.backoff_initial_us = 200;
+  retry_policy_.backoff_max_us = 5'000;
+  retry_policy_.jitter_seed = options_.seed;
+  RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+
+  // --- arm the flight recorder (dumps land in the scratch dir) -------------
+  obs::FlightRecorderOptions fr;
+  fr.dir = options_.dir;
+  fr.max_dumps = 32;
+  fr.max_dump_bytes = 1u << 20;
+  C2LSH_RETURN_IF_ERROR(obs::FlightRecorder::Global().Configure(fr));
+  const uint64_t dumps_start = obs::FlightRecorder::Global().dumps_written();
+
+  // --- build the seed index ------------------------------------------------
+  MixtureConfig mc;
+  mc.n = options_.initial_objects;
+  mc.dim = options_.dim;
+  mc.num_clusters = 8;
+  mc.center_spread = 4.0;
+  mc.cluster_stddev = 0.5;
+  mc.seed = options_.seed;
+  C2LSH_ASSIGN_OR_RETURN(FloatMatrix m, GenerateGaussianMixture(mc));
+  RescaleToTargetNN(&m, 8.0, options_.seed);
+  for (size_t i = 0; i < m.num_rows(); ++i) {
+    live_.emplace(static_cast<ObjectId>(i),
+                  std::vector<float>(m.row(i), m.row(i) + m.dim()));
+  }
+  next_id_ = static_cast<ObjectId>(m.num_rows());
+  C2LSH_ASSIGN_OR_RETURN(Dataset data, Dataset::Create("chaos", std::move(m)));
+  C2lshOptions io;
+  io.seed = options_.seed;
+  path_ = options_.dir + "/chaos.pf";
+  C2LSH_ASSIGN_OR_RETURN(
+      DiskC2lshIndex index,
+      DiskC2lshIndex::Build(data, io, path_, /*pool_pages=*/128,
+                            /*store_vectors=*/true, &fault_env_));
+
+  C2LSH_ASSIGN_OR_RETURN(
+      std::unique_ptr<Server> server,
+      StartServer(std::move(index), options_.drain_deadline_millis));
+  ChaosClient client(&transport_, "chaos");
+
+  // --- phase 1: warmup — clean queries find their exact duplicates ---------
+  for (size_t i = 0; i < options_.ops / 2; ++i) {
+    auto it = live_.begin();
+    std::advance(it, static_cast<long>(rng_.Index(live_.size())));
+    DoQuery(client, it->second, static_cast<int64_t>(it->first),
+            retry_policy_, "warmup");
+  }
+
+  // --- phase 2: churn under fault bursts -----------------------------------
+  bool corruption_armed = false;
+  for (size_t i = 0; i < options_.ops; ++i) {
+    if (i % 7 == 3) fault_env_.SetTransientReadFaults(2);
+    if (i % 11 == 5) {
+      fault_env_.SetShortReads(3);
+      transport_.SetShortReads(4);
+    }
+    if (i % 13 == 7) {
+      transport_.KillAllConnections();
+      ++report_.transport_kills;
+    }
+    if (i % 17 == 9) {
+      fault_env_.SetReadCorruption(4096 + rng_.Index(16 * 4096),
+                                   static_cast<uint8_t>(0x40));
+      corruption_armed = true;
+    } else if (corruption_armed && i % 17 == 11) {
+      fault_env_.ClearReadCorruption();
+      corruption_armed = false;
+    }
+    switch (rng_.Index(4)) {
+      case 0:
+        DoInsert(client, retry_policy_);
+        break;
+      case 1:
+        DoDelete(client, retry_policy_);
+        break;
+      default:
+        // Faults may legally degrade recall, so no exact-duplicate
+        // assertion here — only "never wrong" (no deleted ids, no dups).
+        DoQuery(client, RandomLiveVector(), /*expect_id=*/-1, retry_policy_,
+                "fault_churn");
+        break;
+    }
+  }
+  fault_env_.SetTransientReadFaults(0);
+  fault_env_.SetShortReads(0);
+  fault_env_.ClearReadCorruption();
+  transport_.SetShortReads(0);
+
+  // --- phase 3a: deterministic per-tenant shed -----------------------------
+  {
+    std::vector<AdmissionController::Ticket> hogs;
+    for (int i = 0; i < 4; ++i) {
+      // First two fill tenant "hog"'s partition; the next two overflow into
+      // the shared pool (after the partition's 25 ms queue timeout).
+      auto t = server->admission().Admit("hog");
+      if (!t.ok()) {
+        Violation("overload: pre-pinning ticket " + std::to_string(i) +
+                  " unexpectedly shed: " + std::string(t.status().message()));
+        break;
+      }
+      hogs.push_back(std::move(t).value());
+    }
+    Request q = MakeQuery(RandomLiveVector(), options_.k, "hog");
+    Response resp;
+    Status s = client.CallOnce(q, &resp);
+    if (s.ok() && resp.code != StatusCode::kUnavailable) {
+      Violation("overload: request from a saturated tenant was not shed "
+                "(code " + std::to_string(static_cast<int>(resp.code)) + ")");
+    }
+    if (server->admission().StatsFor("hog").shed_final == 0) {
+      Violation("overload: per-tenant shed_final counter stayed 0");
+    }
+  }  // hogs release here
+
+  // --- phase 3b: concurrent overload wave ----------------------------------
+  {
+    std::vector<std::pair<ObjectId, std::vector<float>>> snapshot(
+        live_.begin(), live_.end());
+    const std::set<ObjectId> deleted_snapshot = deleted_;
+    const size_t per_client =
+        std::max<size_t>(1, options_.ops / std::max<size_t>(1, options_.clients));
+    std::vector<Rng> rngs;
+    for (size_t c = 0; c < options_.clients; ++c) {
+      rngs.push_back(rng_.Fork(1000 + c));
+    }
+    struct WaveCounts {
+      uint64_t ok = 0, partial = 0, unavailable = 0, other = 0, calls = 0;
+      std::vector<std::string> violations;
+    };
+    std::vector<WaveCounts> counts(options_.clients);
+    ThreadPool wave_pool(options_.clients, /*clamp_to_hardware=*/false);
+    wave_pool.ParallelFor(options_.clients, [&](size_t c) {
+      ChaosClient wc(&transport_, "chaos");
+      WaveCounts& wcnt = counts[c];
+      for (size_t i = 0; i < per_client; ++i) {
+        const auto& [id, vec] = snapshot[rngs[c].Index(snapshot.size())];
+        Request q = MakeQuery(vec, options_.k,
+                              "wave" + std::to_string(c % 3),
+                              /*deadline_micros=*/20'000);
+        Response resp;
+        Status s = wc.CallOnce(q, &resp);  // no retry: observe raw sheds
+        if (!s.ok()) {
+          ++wcnt.unavailable;
+          continue;
+        }
+        if (resp.code == StatusCode::kOk) {
+          ++wcnt.ok;
+          if (IsEarlyStop(resp.termination)) ++wcnt.partial;
+          for (const Neighbor& nb : resp.neighbors) {
+            if (deleted_snapshot.count(nb.id) != 0) {
+              wcnt.violations.push_back("overload wave: acked-deleted id " +
+                                        std::to_string(nb.id) + " returned");
+            }
+          }
+        } else if (resp.code == StatusCode::kUnavailable) {
+          ++wcnt.unavailable;
+        } else {
+          ++wcnt.other;
+        }
+      }
+      wcnt.calls = wc.calls();
+    });
+    for (const WaveCounts& wcnt : counts) {
+      report_.queries_ok += wcnt.ok;
+      report_.partial_results += wcnt.partial;
+      report_.unavailable += wcnt.unavailable;
+      report_.other_errors += wcnt.other;
+      report_.requests += wcnt.calls;
+      for (const std::string& v : wcnt.violations) Violation(v);
+    }
+  }
+
+  // --- phase 4: graceful drain, reopen, verify -----------------------------
+  {
+    DrainReport dr = server->Drain();
+    report_.drain_met_deadline = dr.met_deadline;
+    if (!dr.met_deadline) {
+      Violation("drain: cooperative mid-soak drain missed its deadline: " +
+                std::string(dr.admission_status.message()));
+    }
+    if (dr.leaked_tickets != 0) {
+      Violation("drain: " + std::to_string(dr.leaked_tickets) +
+                " admission tickets leaked");
+    }
+    if (!dr.flush_status.ok()) {
+      Violation("drain: index flush failed: " +
+                std::string(dr.flush_status.message()));
+    }
+    client.Reset();
+    server.reset();
+    if (transport_.live_connections() != 0) {
+      Violation("drain: " + std::to_string(transport_.live_connections()) +
+                " transport endpoints alive after server teardown");
+    }
+
+    // Reopen ("rolling restart") and verify the ledger on a clean index.
+    C2LSH_ASSIGN_OR_RETURN(DiskC2lshIndex reopened,
+                           DiskC2lshIndex::Open(path_, 128, &fault_env_));
+    C2LSH_ASSIGN_OR_RETURN(server,
+                           StartServer(std::move(reopened),
+                                       /*drain_millis=*/150.0));
+    VerifyLedger(client, "post_drain_restart");
+  }
+
+  // --- phase 4b: forced drain-deadline overrun -----------------------------
+  {
+    const uint64_t dumps_before = obs::FlightRecorder::Global().dumps_written();
+    auto straggler = server->admission().Admit("straggler");
+    if (!straggler.ok()) {
+      Violation("forced overrun: could not pin a straggler ticket");
+    } else {
+      DrainReport fr = server->Drain();
+      if (fr.met_deadline) {
+        Violation("forced overrun: drain claimed to meet its deadline with a "
+                  "ticket pinned");
+      }
+      if (fr.leaked_tickets != 1) {
+        Violation("forced overrun: expected exactly the pinned ticket leaked, "
+                  "got " + std::to_string(fr.leaked_tickets));
+      }
+      straggler.value().Release();
+      if (server->admission().total_in_flight() != 0) {
+        Violation("forced overrun: in-flight count nonzero after release");
+      }
+    }
+    report_.forced_overrun_recorded =
+        obs::FlightRecorder::Global().dumps_written() > dumps_before;
+    if (!report_.forced_overrun_recorded) {
+      Violation("forced overrun: no kDrainDeadlineExceeded dump was written");
+    }
+    client.Reset();
+    server.reset();
+  }
+
+  // --- phase 5: crash mid-insert, restart, replay, verify ------------------
+  {
+    C2LSH_ASSIGN_OR_RETURN(DiskC2lshIndex idx,
+                           DiskC2lshIndex::Open(path_, 128, &fault_env_));
+    C2LSH_ASSIGN_OR_RETURN(server,
+                           StartServer(std::move(idx),
+                                       options_.drain_deadline_millis));
+    for (size_t i = 0; i < options_.ops / 4; ++i) {
+      DoInsert(client, retry_policy_);  // clean acked inserts pre-crash
+    }
+    fault_env_.SetCrashAfterWrites(
+        static_cast<int64_t>(3 + rng_.Index(6)));
+    for (size_t i = 0; i < options_.ops / 2; ++i) {
+      DoInsert(client, no_retry);  // no retry: the "device" is dying
+      if (fault_env_.crashed()) break;
+    }
+    if (!fault_env_.crashed()) {
+      Violation("crash phase: armed crash point never fired");
+    }
+    // "kill -9": tear the server down (its drain flush fails — the env is
+    // crashed — which is exactly the point), then restart the process.
+    client.Reset();
+    server.reset();
+    fault_env_.ClearCrash();
+    auto reopened = DiskC2lshIndex::Open(path_, 128, &fault_env_);
+    if (!reopened.ok()) {
+      Violation("crash phase: reopen after crash failed: " +
+                reopened.status().ToString());
+    } else {
+      C2LSH_ASSIGN_OR_RETURN(server,
+                             StartServer(std::move(reopened).value(),
+                                         options_.drain_deadline_millis));
+      VerifyLedger(client, "post_crash_restart");
+      DrainReport dr = server->Drain();
+      if (!dr.met_deadline || dr.leaked_tickets != 0) {
+        Violation("final drain: met_deadline=" +
+                  std::to_string(dr.met_deadline) + " leaked=" +
+                  std::to_string(dr.leaked_tickets));
+      }
+      if (!dr.flush_status.ok()) {
+        Violation("final drain: flush failed: " +
+                  std::string(dr.flush_status.message()));
+      }
+      client.Reset();
+      server.reset();
+    }
+  }
+
+  // --- final accounting ----------------------------------------------------
+  report_.requests += client.calls();
+  report_.leaked_connections = transport_.live_connections();
+  if (report_.leaked_connections != 0) {
+    Violation("teardown: " + std::to_string(report_.leaked_connections) +
+              " transport endpoints leaked");
+  }
+  report_.leaked_tickets = 0;  // asserted per drain above
+  report_.anomaly_dumps =
+      obs::FlightRecorder::Global().dumps_written() - dumps_start;
+  if (report_.anomaly_dumps == 0) {
+    Violation("flight recorder: a full soak wrote zero anomaly dumps");
+  }
+  obs::FlightRecorder::Global().Disable();
+  return report_;
+}
+
+}  // namespace
+
+ChaosSoak::ChaosSoak(const ChaosOptions& options) : options_(options) {}
+
+Result<ChaosReport> ChaosSoak::Run() {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("chaos: options.dir is required");
+  }
+  if (options_.initial_objects < 16 || options_.dim < 2) {
+    return Status::InvalidArgument("chaos: need >= 16 objects and dim >= 2");
+  }
+  SoakRun run(options_);
+  return run.Run();
+}
+
+}  // namespace serve
+}  // namespace c2lsh

@@ -1,0 +1,114 @@
+// ChaosSoak: the deterministic end-to-end torture test of the serving
+// stack — FaultInjectionEnv under the storage, InprocTransport under the
+// wire, churn + overload + drain/restart + crash-restart on top, with a
+// client-side ledger checking the only promises that matter:
+//
+//   * acked mutations are durable — an insert/delete acknowledged with OK
+//     survives drain, restart, and a mid-write crash (WAL-synced-before-ack);
+//   * results are correct or tagged — a response either carries an error
+//     code, or a Termination tag admitting it is partial; an
+//     acked-deleted id NEVER appears in any result, and on a clean (fault-
+//     free) index an exact-duplicate query finds its point at distance ~0;
+//   * drain is graceful — it meets its deadline when queries cooperate,
+//     records kDrainDeadlineExceeded and cancels stragglers when they
+//     don't, and leaks zero admission tickets and zero connections either
+//     way.
+//
+// Phases (all driven by one seeded Rng, so a failing seed replays):
+//   1. warmup        — clean queries against the freshly built index;
+//   2. fault churn   — insert/delete/query under transient read faults,
+//                      storage AND transport short reads, read corruption,
+//                      and mid-frame connection kills;
+//   3. overload      — a deterministic per-tenant shed (quota + overflow
+//                      pinned by held tickets) plus a concurrent client
+//                      wave into tiny admission quotas;
+//   4. drain/restart — graceful drain mid-soak, index reopen, ledger
+//                      verification; then a FORCED drain-deadline overrun
+//                      (a held ticket) asserting the anomaly + cancellation
+//                      path;
+//   5. crash-restart — inserts into an armed crash point, "process
+//                      restart" (ClearCrash + Open), WAL replay, and
+//                      exactly-once ledger verification.
+//
+// The harness lives in src/serve (not tests/) so tools/chaos_soak can run
+// long soaks from the command line and the acceptance test can run the
+// short mode under TSan in CI.
+
+#pragma once
+#ifndef C2LSH_SERVE_CHAOS_H_
+#define C2LSH_SERVE_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace c2lsh {
+namespace serve {
+
+struct ChaosOptions {
+  /// Seed of every random choice the soak makes.
+  uint64_t seed = 1;
+
+  /// Existing scratch directory: the index file, its WAL, and the flight-
+  /// recorder dumps (flight-*.json) land here. Required.
+  std::string dir;
+
+  size_t dim = 16;
+  size_t initial_objects = 256;
+  size_t k = 5;
+
+  /// Concurrent client workers in the overload wave.
+  size_t clients = 4;
+
+  /// Scales every phase (requests per phase ~ ops); the short CI mode uses
+  /// the default, `tools/chaos_soak --long` multiplies it.
+  size_t ops = 48;
+
+  /// Drain deadline of the long-lived servers (the forced-overrun phase
+  /// uses its own, shorter one).
+  double drain_deadline_millis = 2000.0;
+};
+
+struct ChaosReport {
+  uint64_t requests = 0;        ///< frames sent (retries included)
+  uint64_t queries_ok = 0;
+  uint64_t partial_results = 0;  ///< OK responses tagged kDeadline/kCancelled
+  uint64_t unavailable = 0;      ///< sheds + transport failures surfaced
+  uint64_t other_errors = 0;     ///< IOError/Corruption/... (allowed, counted)
+  uint64_t inserts_acked = 0;
+  uint64_t deletes_acked = 0;
+  uint64_t transport_kills = 0;
+  uint64_t anomaly_dumps = 0;    ///< flight-recorder dumps written by the soak
+
+  bool drain_met_deadline = false;     ///< the cooperative mid-soak drain
+  bool forced_overrun_recorded = false;  ///< kDrainDeadlineExceeded observed
+  size_t leaked_tickets = 0;     ///< admission in-flight after final drain
+  size_t leaked_connections = 0; ///< transport endpoints alive at the end
+
+  /// Invariant violations, empty when the soak passed. Run() returns OK
+  /// with a non-empty list — an infrastructure failure (cannot build the
+  /// index at all) is the error case, a violated invariant is a *finding*.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+class ChaosSoak {
+ public:
+  explicit ChaosSoak(const ChaosOptions& options);
+
+  /// Runs every phase once. Deterministic given options (up to thread
+  /// interleaving — the invariants are interleaving-independent).
+  Result<ChaosReport> Run();
+
+ private:
+  ChaosOptions options_;
+};
+
+}  // namespace serve
+}  // namespace c2lsh
+
+#endif  // C2LSH_SERVE_CHAOS_H_

@@ -1,0 +1,79 @@
+// InprocTransport: an in-memory Transport for tests and the chaos soak —
+// the FaultInjectionEnv of the network seam.
+//
+// Connections are pairs of mutex-guarded byte queues inside one process: no
+// sockets, no ports, fully deterministic. On top of plain stream semantics
+// it adds programmable faults, shared across everything the transport hands
+// out (the same shape as FaultEnvState):
+//
+//   * short reads   — the next K reads deliver at most half the requested
+//                     bytes even when more are buffered (exercises every
+//                     framing loop);
+//   * connect drops — the next K Connect calls fail with Unavailable before
+//                     reaching a listener (exercises client retry);
+//   * hard kills    — KillAllConnections() severs every live pipe at once:
+//                     both ends see IOError, not clean EOF (a mid-frame
+//                     disconnect, the case drain must tolerate).
+//
+// Leak accounting: live_connections() counts endpoint objects not yet
+// destroyed — the in-process stand-in for "zero leaked fds" assertions.
+
+#pragma once
+#ifndef C2LSH_SERVE_INPROC_TRANSPORT_H_
+#define C2LSH_SERVE_INPROC_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/socket.h"
+
+namespace c2lsh {
+namespace serve {
+
+namespace internal {
+struct InprocState;  // shared by the transport and everything it hands out
+}  // namespace internal
+
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport();
+  ~InprocTransport() override;
+
+  // --- Transport interface -----------------------------------------------
+  /// Registers a listener under `address` (any nonempty string). One
+  /// listener per address; a second Listen on a live address fails.
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+
+  /// Connects to the listener registered under `address`. Unavailable when
+  /// none is registered (or a connect-drop fault is armed), expired
+  /// `deadline` included.
+  Result<std::unique_ptr<Connection>> Connect(const std::string& address,
+                                              const Deadline& deadline) override;
+
+  // --- fault programming ---------------------------------------------------
+  /// The next `n` reads across all connections deliver at most half the
+  /// requested bytes (at least 1) even when more are queued.
+  void SetShortReads(int n);
+
+  /// The next `n` Connect calls fail with Unavailable.
+  void SetConnectDrops(int n);
+
+  /// Severs every live connection now: pending and future Read/Write on
+  /// both ends return IOError ("connection reset"), never clean EOF.
+  void KillAllConnections();
+
+  // --- leak accounting -----------------------------------------------------
+  /// Connection endpoints currently alive (each end of a pipe counts one).
+  size_t live_connections() const;
+  /// Cumulative endpoints ever created.
+  uint64_t total_connections() const;
+
+ private:
+  std::shared_ptr<internal::InprocState> state_;
+};
+
+}  // namespace serve
+}  // namespace c2lsh
+
+#endif  // C2LSH_SERVE_INPROC_TRANSPORT_H_

@@ -1,0 +1,318 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+namespace c2lsh {
+namespace serve {
+
+namespace {
+
+// --- little-endian append/parse helpers ------------------------------------
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xff));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+/// Bounds-checked forward-only reader over one frame body.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t n) : p_(data), end_(data + n) {}
+
+  bool U8(uint8_t* v) {
+    if (end_ - p_ < 1) return false;
+    *v = *p_++;
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (end_ - p_ < 2) return false;
+    *v = static_cast<uint16_t>(p_[0] | (p_[1] << 8));
+    p_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (end_ - p_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (end_ - p_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return true;
+  }
+  bool F32(float* v) {
+    uint32_t bits;
+    if (!U32(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+  bool Bytes(std::string* out, size_t n) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    out->assign(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return true;
+  }
+  bool AtEnd() const { return p_ == end_; }
+  size_t Remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("protocol: malformed frame: ") +
+                                 what);
+}
+
+/// Shared tail of both vector-carrying requests: u32 dim + dim floats. The
+/// dim is validated against the bytes actually present BEFORE the vector is
+/// reserved, so a forged dim cannot drive a large allocation.
+Status ParseVector(Cursor* c, std::vector<float>* out) {
+  uint32_t dim = 0;
+  if (!c->U32(&dim)) return Malformed("truncated dim");
+  if (static_cast<size_t>(dim) * 4 != c->Remaining()) {
+    return Malformed("vector length disagrees with dim");
+  }
+  out->resize(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    if (!c->F32(&(*out)[i])) return Malformed("truncated vector");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool ValidMsgType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MsgType::kQuery) &&
+         t <= static_cast<uint8_t>(MsgType::kReady);
+}
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  out.reserve(32 + req.tenant.size() + req.index.size() +
+              req.vector.size() * 4);
+  PutU8(&out, static_cast<uint8_t>(req.type));
+  const size_t tenant_len = std::min(req.tenant.size(), kMaxTenantBytes);
+  PutU8(&out, static_cast<uint8_t>(tenant_len));
+  out.append(req.tenant.data(), tenant_len);
+  const size_t index_len = std::min(req.index.size(), kMaxIndexNameBytes);
+  PutU8(&out, static_cast<uint8_t>(index_len));
+  out.append(req.index.data(), index_len);
+  PutU64(&out, req.deadline_micros);
+  PutU64(&out, req.page_budget);
+  switch (req.type) {
+    case MsgType::kQuery:
+      PutU32(&out, req.k);
+      PutU32(&out, static_cast<uint32_t>(req.vector.size()));
+      for (float v : req.vector) PutF32(&out, v);
+      break;
+    case MsgType::kInsert:
+      PutU32(&out, req.id);
+      PutU32(&out, static_cast<uint32_t>(req.vector.size()));
+      for (float v : req.vector) PutF32(&out, v);
+      break;
+    case MsgType::kDelete:
+      PutU32(&out, req.id);
+      break;
+    case MsgType::kHealth:
+    case MsgType::kReady:
+      break;
+  }
+  return out;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  out.reserve(16 + resp.message.size() + resp.neighbors.size() * 8);
+  PutU8(&out, static_cast<uint8_t>(resp.type));
+  PutU8(&out, static_cast<uint8_t>(resp.code));
+  PutU8(&out, static_cast<uint8_t>(resp.termination));
+  const size_t msg_len = std::min(resp.message.size(), kMaxMessageBytes);
+  PutU16(&out, static_cast<uint16_t>(msg_len));
+  out.append(resp.message.data(), msg_len);
+  if (resp.code != StatusCode::kOk) return out;
+  switch (resp.type) {
+    case MsgType::kQuery:
+      PutU32(&out, static_cast<uint32_t>(resp.neighbors.size()));
+      for (const Neighbor& nb : resp.neighbors) {
+        PutU32(&out, nb.id);
+        PutF32(&out, nb.dist);
+      }
+      break;
+    case MsgType::kHealth:
+    case MsgType::kReady:
+      PutU8(&out, resp.flag);
+      break;
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+      break;
+  }
+  return out;
+}
+
+Status DecodeRequest(const uint8_t* data, size_t n, Request* out) {
+  *out = Request();
+  Cursor c(data, n);
+  uint8_t type = 0;
+  if (!c.U8(&type)) return Malformed("empty request");
+  if (!ValidMsgType(type)) return Malformed("unknown request type");
+  out->type = static_cast<MsgType>(type);
+
+  uint8_t tenant_len = 0;
+  if (!c.U8(&tenant_len) || tenant_len > kMaxTenantBytes ||
+      !c.Bytes(&out->tenant, tenant_len)) {
+    return Malformed("bad tenant");
+  }
+  uint8_t index_len = 0;
+  if (!c.U8(&index_len) || index_len > kMaxIndexNameBytes ||
+      !c.Bytes(&out->index, index_len)) {
+    return Malformed("bad index name");
+  }
+  if (!c.U64(&out->deadline_micros)) return Malformed("truncated deadline");
+  if (!c.U64(&out->page_budget)) return Malformed("truncated page budget");
+
+  switch (out->type) {
+    case MsgType::kQuery:
+      if (!c.U32(&out->k)) return Malformed("truncated k");
+      C2LSH_RETURN_IF_ERROR(ParseVector(&c, &out->vector));
+      break;
+    case MsgType::kInsert:
+      if (!c.U32(&out->id)) return Malformed("truncated id");
+      C2LSH_RETURN_IF_ERROR(ParseVector(&c, &out->vector));
+      break;
+    case MsgType::kDelete:
+      if (!c.U32(&out->id)) return Malformed("truncated id");
+      break;
+    case MsgType::kHealth:
+    case MsgType::kReady:
+      break;
+  }
+  if (!c.AtEnd()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+Status DecodeResponse(const uint8_t* data, size_t n, Response* out) {
+  *out = Response();
+  Cursor c(data, n);
+  uint8_t type = 0, code = 0, term = 0;
+  if (!c.U8(&type) || !c.U8(&code) || !c.U8(&term)) {
+    return Malformed("truncated response header");
+  }
+  if (!ValidMsgType(type)) return Malformed("unknown response type");
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Malformed("unknown status code");
+  }
+  if (term > static_cast<uint8_t>(Termination::kCancelled)) {
+    return Malformed("unknown termination");
+  }
+  out->type = static_cast<MsgType>(type);
+  out->code = static_cast<StatusCode>(code);
+  out->termination = static_cast<Termination>(term);
+
+  uint16_t msg_len = 0;
+  if (!c.U16(&msg_len) || msg_len > kMaxMessageBytes ||
+      !c.Bytes(&out->message, msg_len)) {
+    return Malformed("bad message");
+  }
+  if (out->code != StatusCode::kOk) {
+    if (!c.AtEnd()) return Malformed("payload on an error response");
+    return Status::OK();
+  }
+  switch (out->type) {
+    case MsgType::kQuery: {
+      uint32_t count = 0;
+      if (!c.U32(&count)) return Malformed("truncated neighbor count");
+      if (static_cast<size_t>(count) * 8 != c.Remaining()) {
+        return Malformed("neighbor list disagrees with count");
+      }
+      out->neighbors.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!c.U32(&out->neighbors[i].id) || !c.F32(&out->neighbors[i].dist)) {
+          return Malformed("truncated neighbor");
+        }
+      }
+      break;
+    }
+    case MsgType::kHealth:
+    case MsgType::kReady:
+      if (!c.U8(&out->flag)) return Malformed("truncated flag");
+      break;
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+      break;
+  }
+  if (!c.AtEnd()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+Status WriteFrame(Connection& conn, const std::string& body,
+                  const Deadline& deadline) {
+  if (body.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("protocol: frame body over kMaxFrameBytes");
+  }
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  // One Write for prefix + body: interleaved frames from two writer threads
+  // are a caller bug, but a reader must never see a torn prefix from us.
+  return conn.Write(frame.data(), frame.size(), deadline);
+}
+
+Status ReadFrame(Connection& conn, std::string* body, bool* eof,
+                 const Deadline& deadline) {
+  *eof = false;
+  body->clear();
+  uint8_t prefix[4];
+  size_t got = 0;
+  C2LSH_RETURN_IF_ERROR(ReadFull(conn, prefix, sizeof(prefix), &got, deadline));
+  if (got == 0) {
+    *eof = true;  // clean close between frames
+    return Status::OK();
+  }
+  if (got < sizeof(prefix)) {
+    return Status::Corruption("protocol: peer closed mid-length-prefix");
+  }
+  const uint32_t len = static_cast<uint32_t>(prefix[0]) |
+                       static_cast<uint32_t>(prefix[1]) << 8 |
+                       static_cast<uint32_t>(prefix[2]) << 16 |
+                       static_cast<uint32_t>(prefix[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("protocol: frame length " +
+                                   std::to_string(len) + " over cap");
+  }
+  body->resize(len);
+  if (len == 0) return Status::OK();
+  C2LSH_RETURN_IF_ERROR(ReadFull(
+      conn, body->data(), body->size(), &got, deadline));
+  if (got < len) {
+    return Status::Corruption("protocol: peer closed mid-frame (" +
+                              std::to_string(got) + " of " +
+                              std::to_string(len) + " bytes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace c2lsh

@@ -1,0 +1,200 @@
+#include "src/serve/tenant_admission.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+
+namespace c2lsh {
+namespace serve {
+
+namespace {
+
+/// Metric-name-safe rendering of a tenant id: lower-cased, every character
+/// outside [a-z0-9_] replaced with '_'. Two tenants that collide after
+/// sanitization share a metric series (the raw id still distinguishes them
+/// in the label); the registry keys by name, so this keeps external strings
+/// out of the exposition-format name grammar.
+std::string SanitizeTenant(const std::string& tenant) {
+  if (tenant.empty()) return "_";
+  std::string out;
+  out.reserve(tenant.size());
+  for (char c : tenant) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Pre-escaped label value (the registry stores labels as the rendered
+/// `key="value"` body): backslash and double quote escaped, control bytes
+/// replaced — tenant ids come straight off the wire.
+std::string EscapeLabelValue(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back('_');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct TenantAdmission::Partition {
+  Partition(const AdmissionOptions& options, const std::string& tenant)
+      : controller(options) {
+    const std::string san = SanitizeTenant(tenant);
+    const std::string labels = "tenant=\"" + EscapeLabelValue(tenant) + "\"";
+    auto& r = obs::MetricsRegistry::Global();
+    admitted = r.GetCounterWithLabels(
+        "c2lsh_serve_tenant_" + san + "_admitted_total",
+        "requests admitted for this tenant (own partition or overflow)",
+        labels);
+    shed = r.GetCounterWithLabels(
+        "c2lsh_serve_tenant_" + san + "_shed_total",
+        "requests shed for this tenant after partition AND overflow rejected",
+        labels);
+  }
+
+  AdmissionController controller;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* shed = nullptr;
+  std::atomic<uint64_t> overflow_admits{0};
+  std::atomic<uint64_t> shed_final{0};
+};
+
+TenantAdmission::TenantAdmission(const TenantAdmissionOptions& options)
+    : options_(options), overflow_(options.overflow) {
+  options_.max_tenants = std::max<size_t>(1, options_.max_tenants);
+}
+
+TenantAdmission::~TenantAdmission() = default;
+
+TenantAdmission::Partition* TenantAdmission::GetPartition(
+    const std::string& tenant) {
+  MutexLock lock(&mu_);
+  auto it = partitions_.find(tenant);
+  if (it != partitions_.end()) return it->second.get();
+  if (partitions_.size() >= options_.max_tenants) return nullptr;
+  auto partition = std::make_unique<Partition>(options_.per_tenant, tenant);
+  Partition* raw = partition.get();
+  partitions_.emplace(tenant, std::move(partition));
+  return raw;
+}
+
+Result<AdmissionController::Ticket> TenantAdmission::Admit(
+    const std::string& tenant, const QueryContext* ctx) {
+  Partition* partition = GetPartition(tenant);
+
+  if (partition != nullptr) {
+    Result<AdmissionController::Ticket> r = partition->controller.Admit(ctx);
+    if (r.ok()) {
+      partition->admitted->Increment();
+      return r;
+    }
+    // Partition shed — fall through to the shared overflow pool. (The
+    // partition already counted the shed in its own admission_* series.)
+  }
+
+  Result<AdmissionController::Ticket> r = overflow_.Admit(ctx);
+  if (r.ok()) {
+    if (partition != nullptr) {
+      partition->overflow_admits.fetch_add(1, std::memory_order_relaxed);
+      partition->admitted->Increment();
+    }
+    return r;
+  }
+
+  // Final shed: quota and overflow both rejected. This is the per-tenant
+  // anomaly — the partition-level sheds above are ordinary backpressure.
+  if (partition != nullptr) {
+    partition->shed_final.fetch_add(1, std::memory_order_relaxed);
+    partition->shed->Increment();
+  }
+  const uint64_t trace_id = ctx != nullptr ? ctx->trace_id : 0;
+  obs::TraceInstant(obs::SpanSubsystem::kServe, "tenant_shed", trace_id);
+  obs::FlightRecorder::Global().RecordAnomaly(
+      obs::AnomalyKind::kTenantShed, "tenant_admit", trace_id,
+      /*trace=*/nullptr, "tenant=" + tenant);
+  return Status::Unavailable(
+      "admission: tenant quota and overflow pool both saturated — shedding; "
+      "back off and retry (" + std::string(r.status().message()) + ")");
+}
+
+Status TenantAdmission::Drain(const Deadline& deadline) {
+  std::vector<AdmissionController*> controllers;
+  {
+    MutexLock lock(&mu_);
+    controllers.reserve(partitions_.size() + 1);
+    for (auto& [tenant, partition] : partitions_) {
+      controllers.push_back(&partition->controller);
+    }
+  }
+  controllers.push_back(&overflow_);
+
+  // Pass 1 — flip every controller into draining NOW (an already-expired
+  // deadline makes Drain set the flag, wake all waiters, and return without
+  // waiting). Were this one sequential pass with the real deadline, tenant
+  // A's in-flight stragglers would delay even TELLING tenant Z's queued
+  // waiters to go away.
+  for (AdmissionController* c : controllers) {
+    (void)c->Drain(Deadline::AfterMicros(0)).ok();
+  }
+
+  // Pass 2 — actually wait for in-flight tickets, all against the one
+  // shared deadline.
+  Status first_error = Status::OK();
+  for (AdmissionController* c : controllers) {
+    Status s = c->Drain(deadline);
+    if (!s.ok() && first_error.ok()) first_error = std::move(s);
+  }
+  return first_error;
+}
+
+void TenantAdmission::Resume() {
+  MutexLock lock(&mu_);
+  for (auto& [tenant, partition] : partitions_) {
+    partition->controller.Resume();
+  }
+  overflow_.Resume();
+}
+
+TenantStats TenantAdmission::StatsFor(const std::string& tenant) const {
+  MutexLock lock(&mu_);
+  auto it = partitions_.find(tenant);
+  TenantStats stats;
+  if (it == partitions_.end()) return stats;
+  stats.partition = it->second->controller.stats();
+  stats.overflow_admits =
+      it->second->overflow_admits.load(std::memory_order_relaxed);
+  stats.shed_final = it->second->shed_final.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t TenantAdmission::tenant_count() const {
+  MutexLock lock(&mu_);
+  return partitions_.size();
+}
+
+size_t TenantAdmission::total_in_flight() const {
+  size_t total = overflow_.stats().in_flight;
+  MutexLock lock(&mu_);
+  for (const auto& [tenant, partition] : partitions_) {
+    total += partition->controller.stats().in_flight;
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace c2lsh

@@ -1,0 +1,129 @@
+// TenantAdmission: per-tenant partitions over AdmissionController.
+//
+// One controller per tenant gives each tenant a private quota — a noisy
+// tenant saturates its own partition and sheds there, while everyone else's
+// slots stay free. On top of the partitions sits one shared overflow pool:
+// a tenant that exhausts its quota may borrow from the overflow before it is
+// finally shed, so idle capacity is not stranded when one tenant bursts.
+//
+// Admission order for a request from tenant T:
+//   1. T's partition (created lazily from `per_tenant` on first sight);
+//   2. on a partition shed, the shared overflow pool;
+//   3. on an overflow shed too, reject with Unavailable — counted in T's
+//      per-tenant shed metric and recorded as a kTenantShed anomaly with
+//      `tenant=<id>` in the dump's otherData.
+//
+// The partition map is capped at `max_tenants`: beyond the cap, new tenants
+// are not given partitions and compete in the overflow pool only (a remote
+// peer choosing tenant strings must not grow server memory without bound).
+//
+// Per-tenant observability: each partition registers
+// `c2lsh_serve_tenant_<sanitized>_admitted_total` / `_shed_total` counters,
+// labeled `tenant="<id>"` — the registry keys by name, so the sanitized
+// tenant is embedded in the name and the label carries the raw id.
+//
+// Thread-safety: all methods safe from any thread. Admit never holds the
+// map mutex while waiting in a partition's queue.
+
+#pragma once
+#ifndef C2LSH_SERVE_TENANT_ADMISSION_H_
+#define C2LSH_SERVE_TENANT_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/serve/admission.h"
+#include "src/util/mutex.h"
+#include "src/util/query_context.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+namespace serve {
+
+struct TenantAdmissionOptions {
+  /// Quota for each tenant's private partition.
+  AdmissionOptions per_tenant;
+
+  /// The shared overflow pool every tenant may borrow from after its own
+  /// partition sheds.
+  AdmissionOptions overflow;
+
+  /// Partition-map cap: tenants beyond this many distinct ids get no
+  /// private partition and use the overflow pool only. Clamped to >= 1.
+  size_t max_tenants = 64;
+};
+
+/// Point-in-time view of one tenant's partition (plus its cumulative
+/// admission outcomes including overflow borrows and final sheds).
+struct TenantStats {
+  AdmissionStats partition;     ///< the tenant's private controller
+  uint64_t overflow_admits = 0;  ///< admissions that borrowed the overflow pool
+  uint64_t shed_final = 0;       ///< rejections after partition AND overflow shed
+};
+
+class TenantAdmission {
+ public:
+  explicit TenantAdmission(const TenantAdmissionOptions& options);
+
+  /// Out of line: Partition is incomplete here.
+  ~TenantAdmission();
+
+  TenantAdmission(const TenantAdmission&) = delete;
+  TenantAdmission& operator=(const TenantAdmission&) = delete;
+
+  /// Admits a request from `tenant` (partition first, then overflow).
+  /// Returns the ticket holding whichever controller granted the slot;
+  /// Unavailable when both shed, the controllers are draining, or `ctx`
+  /// expired while queued.
+  Result<AdmissionController::Ticket> Admit(const std::string& tenant,
+                                            const QueryContext* ctx = nullptr);
+
+  /// Drains every partition and the overflow pool: a fast first pass flips
+  /// every controller into draining (waking all queued waiters everywhere at
+  /// once), then a second pass waits for in-flight tickets until `deadline`.
+  /// Returns OK when everything emptied in time; the FIRST controller's
+  /// Unavailable otherwise (the rest still flipped — stragglers release
+  /// safely either way).
+  Status Drain(const Deadline& deadline);
+
+  /// Leaves draining mode on every controller.
+  void Resume();
+
+  /// Stats for one tenant. A tenant never seen (or beyond the partition
+  /// cap) reports zeros.
+  TenantStats StatsFor(const std::string& tenant) const;
+
+  /// The overflow pool's own stats.
+  AdmissionStats overflow_stats() const { return overflow_.stats(); }
+
+  /// Distinct tenants currently holding partitions.
+  size_t tenant_count() const;
+
+  /// Sum of in-flight tickets across every partition and the overflow pool
+  /// — the drain assertion "zero leaked tickets" reads this.
+  size_t total_in_flight() const;
+
+ private:
+  struct Partition;
+
+  /// Finds or (below the cap) creates `tenant`'s partition. nullptr when the
+  /// tenant is over the cap — overflow-only.
+  Partition* GetPartition(const std::string& tenant) EXCLUDES(mu_);
+
+  TenantAdmissionOptions options_;
+  AdmissionController overflow_;
+
+  mutable Mutex mu_;
+  /// unique_ptr values: partition addresses must survive map rehash/insert,
+  /// since Admit waits inside a partition with mu_ released.
+  std::map<std::string, std::unique_ptr<Partition>> partitions_ GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace c2lsh
+
+#endif  // C2LSH_SERVE_TENANT_ADMISSION_H_

@@ -1,0 +1,327 @@
+// The one translation unit where socket syscalls are legal (see lint's
+// socket-header / raw-socket rules). Everything here is plain POSIX IPv4;
+// portability quirks stay behind the seam.
+
+#include "src/serve/transport_posix.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace c2lsh {
+namespace serve {
+
+namespace {
+
+// One poll slice: the longest a blocked call goes without re-checking its
+// deadline and close flags. Short enough that drain sees an interrupt
+// "immediately" at human scale, long enough to keep idle polling cheap.
+constexpr int kPollSliceMillis = 50;
+
+std::atomic<uint64_t> g_open_fds{0};
+std::atomic<uint64_t> g_total_fds{0};
+
+void TrackFd() {
+  g_open_fds.fetch_add(1, std::memory_order_relaxed);
+  g_total_fds.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UntrackFd() { g_open_fds.fetch_sub(1, std::memory_order_relaxed); }
+
+std::string ErrnoMessage(const char* op, int err) {
+  return std::string("posix transport: ") + op + ": " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(ErrnoMessage("fcntl(O_NONBLOCK)", errno));
+  }
+  return Status::OK();
+}
+
+/// "host:port" with a numeric IPv4 host. Empty host = 0.0.0.0.
+Status ParseHostPort(const std::string& address, sockaddr_in* out) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("posix transport: address '" + address +
+                                   "' is not host:port");
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port_str = address.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+    return Status::InvalidArgument("posix transport: bad port in '" + address +
+                                   "'");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  if (host.empty() || host == "0.0.0.0") {
+    out->sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("posix transport: host '" + host +
+                                   "' is not a numeric IPv4 address (no DNS "
+                                   "at this seam)");
+  }
+  return Status::OK();
+}
+
+std::string RenderAddress(const sockaddr_in& sa) {
+  char host[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &sa.sin_addr, host, sizeof(host));
+  return std::string(host) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+/// One poll slice on `fd` for `events`; bounded by the deadline. Returns
+/// +1 ready, 0 not yet (caller re-checks flags and loops), or an error.
+Result<int> PollSlice(int fd, short events, const Deadline& deadline) {
+  int timeout = kPollSliceMillis;
+  const double remaining_us = deadline.RemainingMicros();
+  if (remaining_us <= 0.0) return 0;  // expired; caller's check reports it
+  if (remaining_us / 1000.0 < timeout) {
+    timeout = static_cast<int>(remaining_us / 1000.0) + 1;
+  }
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  const int r = ::poll(&pfd, 1, timeout);
+  if (r < 0) {
+    if (errno == EINTR) return 0;
+    return Status::IOError(ErrnoMessage("poll", errno));
+  }
+  return r > 0 ? 1 : 0;
+}
+
+class PosixConnection final : public Connection {
+ public:
+  explicit PosixConnection(int fd) : fd_(fd) { TrackFd(); }
+
+  ~PosixConnection() override {
+    ::close(fd_);
+    UntrackFd();
+  }
+
+  Status Read(void* buf, size_t n, size_t* bytes_read,
+              const Deadline& deadline) override {
+    *bytes_read = 0;
+    if (n == 0) return Status::OK();
+    for (;;) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("posix transport: connection shut down");
+      }
+      if (deadline.Expired()) {
+        return Status::Unavailable("posix transport: read deadline expired");
+      }
+      const ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r > 0) {
+        *bytes_read = static_cast<size_t>(r);
+        return Status::OK();
+      }
+      if (r == 0) {
+        // A cross-thread Shutdown() also surfaces as recv()==0; report it
+        // as the interrupt it is, not as peer EOF.
+        if (shutdown_.load(std::memory_order_acquire)) {
+          return Status::Unavailable("posix transport: connection shut down");
+        }
+        return Status::OK();  // clean EOF
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        return Status::IOError(ErrnoMessage("recv", errno));
+      }
+      C2LSH_ASSIGN_OR_RETURN(int ready, PollSlice(fd_, POLLIN, deadline));
+      (void)ready;  // 0 or 1 — either way, loop and re-check the flags
+    }
+  }
+
+  Status Write(const void* buf, size_t n, const Deadline& deadline) override {
+    const auto* p = static_cast<const uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("posix transport: connection shut down");
+      }
+      if (deadline.Expired()) {
+        return Status::Unavailable("posix transport: write deadline expired");
+      }
+      // MSG_NOSIGNAL: a peer that went away must surface as EPIPE, not kill
+      // the process with SIGPIPE.
+      const ssize_t w = ::send(fd_, p + done, n - done, MSG_NOSIGNAL);
+      if (w > 0) {
+        done += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return Status::IOError(ErrnoMessage("send", errno));
+      }
+      C2LSH_ASSIGN_OR_RETURN(int ready, PollSlice(fd_, POLLOUT, deadline));
+      (void)ready;
+    }
+    return Status::OK();
+  }
+
+  void Shutdown() override {
+    shutdown_.store(true, std::memory_order_release);
+    // Wakes a reader blocked in poll/recv on this fd from another thread.
+    // The fd stays open until the destructor, so the descriptor number
+    // cannot be reused while a racing call still holds it.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> shutdown_{false};
+};
+
+class PosixListener final : public Listener {
+ public:
+  PosixListener(int fd, std::string address)
+      : fd_(fd), address_(std::move(address)) {
+    TrackFd();
+  }
+
+  ~PosixListener() override {
+    ::close(fd_);
+    UntrackFd();
+  }
+
+  Result<std::unique_ptr<Connection>> Accept() override {
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::Unavailable("posix transport: listener closed");
+      }
+      const int fd = ::accept(fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        const Status nb = SetNonBlocking(fd);
+        if (!nb.ok()) {
+          ::close(fd);
+          return nb;
+        }
+        return std::unique_ptr<Connection>(
+            std::make_unique<PosixConnection>(fd));
+      }
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        return Status::IOError(ErrnoMessage("accept", errno));
+      }
+      C2LSH_ASSIGN_OR_RETURN(
+          int ready, PollSlice(fd_, POLLIN, Deadline::Infinite()));
+      (void)ready;
+    }
+  }
+
+  void Close() override {
+    // The accept loop re-checks this flag every poll slice; no syscall
+    // reliably wakes a poller on a listening socket portably, so Close
+    // costs at most one slice of latency.
+    closed_.store(true, std::memory_order_release);
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  const int fd_;
+  const std::string address_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> PosixTransport::Listen(
+    const std::string& address) {
+  sockaddr_in sa;
+  C2LSH_RETURN_IF_ERROR(ParseHostPort(address, &sa));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(ErrnoMessage("socket", errno));
+  auto fail = [fd](Status s) {
+    ::close(fd);
+    return s;
+  };
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return fail(Status::IOError(ErrnoMessage("setsockopt(SO_REUSEADDR)", errno)));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return fail(Status::IOError(ErrnoMessage("bind", errno)));
+  }
+  if (::listen(fd, 128) < 0) {
+    return fail(Status::IOError(ErrnoMessage("listen", errno)));
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) return fail(std::move(nb));
+  // Resolve the bound address (the ephemeral port when the caller asked
+  // for :0) so clients can be pointed at Listener::address() directly.
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return fail(Status::IOError(ErrnoMessage("getsockname", errno)));
+  }
+  return std::unique_ptr<Listener>(
+      std::make_unique<PosixListener>(fd, RenderAddress(bound)));
+}
+
+Result<std::unique_ptr<Connection>> PosixTransport::Connect(
+    const std::string& address, const Deadline& deadline) {
+  sockaddr_in sa;
+  C2LSH_RETURN_IF_ERROR(ParseHostPort(address, &sa));
+  if (sa.sin_addr.s_addr == htonl(INADDR_ANY)) {
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // connect-to-0.0.0.0 means localhost
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(ErrnoMessage("socket", errno));
+  auto fail = [fd](Status s) {
+    ::close(fd);
+    return s;
+  };
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) return fail(std::move(nb));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0 &&
+      errno != EINPROGRESS) {
+    return fail(Status::IOError(ErrnoMessage("connect", errno)));
+  }
+  // Wait for the handshake, slice by slice, bounded by the deadline.
+  for (;;) {
+    if (deadline.Expired()) {
+      return fail(Status::Unavailable("posix transport: connect deadline expired"));
+    }
+    Result<int> ready = PollSlice(fd, POLLOUT, deadline);
+    if (!ready.ok()) return fail(ready.status());
+    if (*ready == 0) continue;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return fail(Status::IOError(ErrnoMessage("getsockopt(SO_ERROR)", errno)));
+    }
+    if (err != 0) {
+      // Connection refused / reset during handshake: the transient flavor —
+      // the server may just be draining or restarting.
+      return fail(Status::Unavailable(ErrnoMessage("connect", err)));
+    }
+    return std::unique_ptr<Connection>(std::make_unique<PosixConnection>(fd));
+  }
+}
+
+uint64_t PosixTransport::open_fds() {
+  return g_open_fds.load(std::memory_order_relaxed);
+}
+
+uint64_t PosixTransport::total_fds() {
+  return g_total_fds.load(std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace c2lsh

@@ -1,0 +1,50 @@
+// PosixTransport: the production TCP implementation of the socket seam
+// (src/util/socket.h).
+//
+// This header is syscall-free; every socket(2)/accept(2)/recv(2) lives in
+// transport_posix.cc, the ONE translation unit lint's socket-header and
+// raw-socket rules allow them in — so the rest of the tree (server, tools,
+// tests) stays portable across transports and fault-injectable through
+// InprocTransport.
+//
+// Addresses are "host:port" with a NUMERIC IPv4 host ("127.0.0.1:9042");
+// "0.0.0.0" binds all interfaces, port 0 binds an ephemeral port (the
+// resolved one comes back from Listener::address()). No DNS by design: a
+// serving process resolves names at config time, not per connect.
+//
+// Interruptibility: blocking calls poll in bounded slices (kPollSliceMillis)
+// re-checking their deadline and close flags, so Shutdown()/Close() from
+// another thread unblocks them within one slice — the property graceful
+// drain leans on.
+
+#pragma once
+#ifndef C2LSH_SERVE_TRANSPORT_POSIX_H_
+#define C2LSH_SERVE_TRANSPORT_POSIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/socket.h"
+
+namespace c2lsh {
+namespace serve {
+
+class PosixTransport final : public Transport {
+ public:
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+
+  Result<std::unique_ptr<Connection>> Connect(const std::string& address,
+                                              const Deadline& deadline) override;
+
+  /// Socket fds currently open (listeners + connections, process-wide).
+  /// The "zero leaked fds" drain assertion reads this.
+  static uint64_t open_fds();
+  /// Cumulative socket fds ever opened.
+  static uint64_t total_fds();
+};
+
+}  // namespace serve
+}  // namespace c2lsh
+
+#endif  // C2LSH_SERVE_TRANSPORT_POSIX_H_

@@ -135,7 +135,9 @@ Result<PageFile> PageFile::Open(const std::string& path, Env* env) {
 
   uint8_t region[kHeaderRegionBytes] = {};
   size_t got = 0;
-  C2LSH_RETURN_IF_ERROR(f->ReadAt(0, region, sizeof(region), &got));
+  // ReadFullyAt, so `got < kHeaderRegionBytes` can only mean the file truly
+  // ends there (a legacy one-slot header), never a transient short read.
+  C2LSH_RETURN_IF_ERROR(ReadFullyAt(*f, 0, region, sizeof(region), &got));
 
   HeaderFields slot[2];
   const bool valid0 = got >= kHeaderSlotBytes && DecodeHeaderSlot(region, &slot[0]);
@@ -219,7 +221,7 @@ Status PageFile::ReadPage(PageId id, void* buf, const QueryContext* ctx) const {
   scratch_.resize(phys);
   size_t got = 0;
   C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, ctx, [&] {
-    return file_->ReadAt(PageOffset(id), scratch_.data(), phys, &got);
+    return ReadFullyAt(*file_, PageOffset(id), scratch_.data(), phys, &got);
   }));
   Metrics().reads->Increment();
   if (got < phys) {

@@ -89,8 +89,11 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
   std::vector<uint8_t> bytes(size);
   if (size > 0) {
     size_t got = 0;
+    // ReadFullyAt: a transient mid-file short read must not shrink `bytes`
+    // here — the resize below would silently drop acknowledged records off
+    // the tail, which replay would then treat as a (legal) truncation.
     C2LSH_RETURN_IF_ERROR(RetryTransient(retry_policy_, &retry_stats_, [&] {
-      return file_->ReadAt(0, bytes.data(), bytes.size(), &got);
+      return ReadFullyAt(*file_, 0, bytes.data(), bytes.size(), &got);
     }));
     bytes.resize(got);
   }

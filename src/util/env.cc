@@ -119,4 +119,20 @@ Env* Env::Default() {
   return &env;
 }
 
+Status ReadFullyAt(const RandomAccessFile& file, uint64_t offset, void* buf,
+                   size_t n, size_t* bytes_read) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  *bytes_read = 0;
+  // analyze-ok(cancellation-cadence): bounded by n — every iteration strictly advances `done` or breaks at EOF, so this is one read request's short-read recovery, well under the poll cadence.
+  while (done < n) {
+    size_t got = 0;
+    C2LSH_RETURN_IF_ERROR(file.ReadAt(offset + done, p + done, n - done, &got));
+    if (got == 0) break;  // end of file — the one short read that is final
+    done += got;
+    *bytes_read = done;
+  }
+  return Status::OK();
+}
+
 }  // namespace c2lsh

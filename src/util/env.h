@@ -27,9 +27,12 @@ class RandomAccessFile {
   virtual ~RandomAccessFile() = default;
 
   /// Reads up to `n` bytes at `offset` into `buf`; `*bytes_read` is always
-  /// set. A short read at end-of-file is NOT an error (callers that require
-  /// exactly `n` bytes — e.g. a page that the header says exists — decide
-  /// for themselves whether short means Corruption).
+  /// set. A short read is NOT an error and may happen at ANY offset, not
+  /// just end-of-file (POSIX pread makes that promise for pipes and
+  /// signals, and FaultInjectionEnv injects mid-file short reads
+  /// deliberately). Callers that require exactly `n` bytes must loop —
+  /// use ReadFullyAt below — and only then decide whether a genuinely
+  /// truncated range (EOF before `n` bytes) means Corruption.
   virtual Status ReadAt(uint64_t offset, void* buf, size_t n,
                         size_t* bytes_read) const = 0;
 
@@ -44,6 +47,15 @@ class RandomAccessFile {
   /// Current file size in bytes.
   virtual Result<uint64_t> Size() const = 0;
 };
+
+/// Reads exactly `n` bytes at `offset`, looping over short reads until the
+/// request is filled or the file genuinely ends (a read that returns zero
+/// bytes). `*bytes_read < n` therefore means end-of-file, never a transient
+/// short read — the distinction every fixed-size-record reader (PageFile
+/// pages, WAL frames, serialized blobs) needs before it may call a short
+/// range "truncated".
+Status ReadFullyAt(const RandomAccessFile& file, uint64_t offset, void* buf,
+                   size_t n, size_t* bytes_read);
 
 /// Factory for files plus the few filesystem queries the library needs.
 class Env {

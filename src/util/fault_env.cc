@@ -21,6 +21,7 @@ struct FaultEnvState {
 
   int transient_write_faults GUARDED_BY(mu) = 0;
   int transient_read_faults GUARDED_BY(mu) = 0;
+  int short_reads_remaining GUARDED_BY(mu) = 0;
 
   bool corrupt_read GUARDED_BY(mu) = false;
   uint64_t corrupt_offset GUARDED_BY(mu) = 0;
@@ -48,6 +49,7 @@ class FaultInjectionFile final : public RandomAccessFile {
                 size_t* bytes_read) const override {
     FaultEnvState& st = *state_;
     *bytes_read = 0;
+    size_t eff_n = n;
     {
       MutexLock lock(&st.mu);
       if (st.transient_read_faults > 0) {
@@ -55,11 +57,19 @@ class FaultInjectionFile final : public RandomAccessFile {
         ++st.stats.transient_faults;
         return Status::Unavailable("FaultInjectionEnv: injected transient read fault");
       }
+      if (st.short_reads_remaining > 0 && n > 1) {
+        // Serve half the request: a short read that is NOT end-of-file. A
+        // retried/looped read makes progress (>= 1 byte) and is not shorted
+        // again once the budget is spent.
+        --st.short_reads_remaining;
+        ++st.stats.short_reads;
+        eff_n = std::max<size_t>(1, n / 2);
+      }
       ++st.stats.reads;
     }
     // The base read runs outside the lock; concurrent reads of one file are
     // the base env's contract (pread is positional and thread-safe).
-    C2LSH_RETURN_IF_ERROR(base_->ReadAt(offset, buf, n, bytes_read));
+    C2LSH_RETURN_IF_ERROR(base_->ReadAt(offset, buf, eff_n, bytes_read));
     MutexLock lock(&st.mu);
     if (st.corrupt_read && st.corrupt_offset >= offset &&
         st.corrupt_offset < offset + *bytes_read) {
@@ -164,6 +174,11 @@ void FaultInjectionEnv::SetTransientWriteFaults(int n) {
 void FaultInjectionEnv::SetTransientReadFaults(int n) {
   MutexLock lock(&state_->mu);
   state_->transient_read_faults = n;
+}
+
+void FaultInjectionEnv::SetShortReads(int n) {
+  MutexLock lock(&state_->mu);
+  state_->short_reads_remaining = n > 0 ? n : 0;
 }
 
 void FaultInjectionEnv::SetReadCorruption(uint64_t offset, uint8_t mask) {

@@ -14,6 +14,10 @@
 //                        with that byte XOR-ed, simulating media corruption
 //                        without touching the file (the checksum layer must
 //                        catch it);
+//   * short reads      — the next K reads return fewer bytes than requested
+//                        WITHOUT being at end-of-file (POSIX pread permits
+//                        this at any offset); readers of fixed-size records
+//                        must loop via ReadFullyAt, not call it truncation;
 //   * sync faults      — Sync() either silently does nothing (dropped
 //                        fsync) or fails with an IOError.
 //
@@ -40,6 +44,7 @@ struct FaultStats {
   uint64_t syncs = 0;              ///< sync ops (dropped ones included)
   uint64_t transient_faults = 0;   ///< Unavailable results injected
   uint64_t corrupted_reads = 0;    ///< reads that had a byte flipped
+  uint64_t short_reads = 0;        ///< reads deliberately returned short (no EOF)
   uint64_t post_crash_rejects = 0; ///< ops refused because the env "crashed"
 };
 
@@ -69,6 +74,11 @@ class FaultInjectionEnv final : public Env {
   /// Status::Unavailable before touching the base env.
   void SetTransientWriteFaults(int n);
   void SetTransientReadFaults(int n);
+
+  /// The next `n` multi-byte reads are served short: only the first half of
+  /// the requested range (at least 1 byte) comes back, with no error and no
+  /// EOF. Single-byte reads pass through untouched so loops always progress.
+  void SetShortReads(int n);
 
   /// Any read whose range covers absolute file offset `offset` has that
   /// byte XOR-ed with `mask` (mask != 0). One corruption site at a time.

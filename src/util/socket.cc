@@ -1,0 +1,20 @@
+#include "src/util/socket.h"
+
+namespace c2lsh {
+
+Status ReadFull(Connection& conn, void* buf, size_t n, size_t* bytes_read,
+                const Deadline& deadline) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  *bytes_read = 0;
+  while (done < n) {
+    size_t got = 0;
+    C2LSH_RETURN_IF_ERROR(conn.Read(p + done, n - done, &got, deadline));
+    if (got == 0) break;  // peer closed; done < n tells the caller mid-frame
+    done += got;
+    *bytes_read = done;
+  }
+  return Status::OK();
+}
+
+}  // namespace c2lsh

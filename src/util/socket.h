@@ -1,0 +1,98 @@
+// The transport seam: the serving stack's only doorway to the network, the
+// way Env is the storage stack's only doorway to the filesystem.
+//
+// src/serve talks to Connection/Listener/Transport, never to socket(2)
+// directly — lint's socket-header and raw-socket rules confine the actual
+// syscalls to src/serve/transport_posix.cc — so tests can substitute an
+// in-process transport (src/serve/inproc_transport.h) that injects short
+// reads, mid-frame disconnects and accept failures deterministically, the
+// same move FaultInjectionEnv makes for storage.
+//
+// Blocking model: all calls block. Interruption is cooperative and comes
+// from two places only: a Deadline passed to the call, and a cross-thread
+// Shutdown()/Close() on the same object. Both surface as
+// Status::Unavailable, never as a hang.
+
+#pragma once
+#ifndef C2LSH_UTIL_SOCKET_H_
+#define C2LSH_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/query_context.h"
+#include "src/util/result.h"
+
+namespace c2lsh {
+
+/// One bidirectional byte stream (a TCP connection, or an in-process pipe).
+/// A Connection may be used by two threads at once only in the pattern the
+/// server needs: one thread in Read/Write, another calling Shutdown().
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Reads up to `n` bytes. `*bytes_read` is always set. OK with
+  /// `*bytes_read == 0` means the peer closed cleanly (EOF); a short read
+  /// (`0 < *bytes_read < n`) is normal stream behaviour, not an error —
+  /// framed readers loop (see ReadFull). Blocks until at least one byte,
+  /// EOF, `deadline` expiry, or Shutdown(); the latter two return
+  /// Status::Unavailable.
+  virtual Status Read(void* buf, size_t n, size_t* bytes_read,
+                      const Deadline& deadline) = 0;
+
+  /// Writes all `n` bytes or fails; there are no partial-write successes at
+  /// this seam. Unavailable on deadline expiry or Shutdown(), IOError when
+  /// the peer is gone (EPIPE/ECONNRESET — routine during drain, not a bug).
+  virtual Status Write(const void* buf, size_t n, const Deadline& deadline) = 0;
+
+  /// Makes every current and future Read/Write on this connection return
+  /// Unavailable, from any thread, without freeing the object. Idempotent.
+  /// This is how the server yanks a connection whose handler is blocked in
+  /// Read when drain overruns its deadline.
+  virtual void Shutdown() = 0;
+};
+
+/// An accepting endpoint bound to one address.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next inbound connection. After Close() — before or
+  /// during the call — returns Status::Unavailable("listener closed").
+  virtual Result<std::unique_ptr<Connection>> Accept() = 0;
+
+  /// Stops accepting and unblocks any thread in Accept(). Idempotent; the
+  /// kernel accept queue (or in-process equivalent) is discarded.
+  virtual void Close() = 0;
+
+  /// The bound address in the transport's own notation (e.g. "127.0.0.1:PORT"
+  /// with the ephemeral port resolved) — what a client passes to Connect.
+  virtual std::string address() const = 0;
+};
+
+/// Factory for both ends. Addresses are transport-defined strings: the posix
+/// transport takes "host:port" ("127.0.0.1:0" binds an ephemeral port); the
+/// in-process transport takes any name it has a listener registered under.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Listener>> Listen(
+      const std::string& address) = 0;
+
+  virtual Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address, const Deadline& deadline) = 0;
+};
+
+/// Loops Connection::Read until exactly `n` bytes arrive. OK with
+/// `*bytes_read == 0` is a clean EOF *on a frame boundary* (the caller sees
+/// no partial frame); OK with `0 < *bytes_read < n` means the peer closed
+/// mid-frame — the framing layer decides whether that is Corruption.
+Status ReadFull(Connection& conn, void* buf, size_t n, size_t* bytes_read,
+                const Deadline& deadline);
+
+}  // namespace c2lsh
+
+#endif  // C2LSH_UTIL_SOCKET_H_

@@ -40,8 +40,11 @@ void SetThreadPoolTraceHooks(const ThreadPoolTraceHooks* hooks) {
   g_trace_hooks.store(hooks, std::memory_order_release);
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  const size_t n = ClampToHardware(num_threads);
+ThreadPool::ThreadPool(size_t num_threads) : ThreadPool(num_threads, true) {}
+
+ThreadPool::ThreadPool(size_t num_threads, bool clamp_to_hardware) {
+  const size_t n = clamp_to_hardware ? ClampToHardware(num_threads)
+                                     : std::max<size_t>(1, num_threads);
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -137,6 +140,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   });
   lock.unlock();
   TraceEnd(region_token, "parallel_for", n);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 ThreadPool& ThreadPool::Shared() {

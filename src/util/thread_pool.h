@@ -66,6 +66,14 @@ class ThreadPool {
   /// Creates a pool with min(num_threads, hardware_concurrency) workers
   /// (at least one). `num_threads == 0` means "use hardware concurrency".
   explicit ThreadPool(size_t num_threads);
+
+  /// `clamp_to_hardware = false` takes `num_threads` literally (still at
+  /// least one): for pools whose tasks BLOCK on I/O rather than compute —
+  /// e.g. one worker per live server connection — where the right size is
+  /// the concurrency cap of the resource, not the core count. Compute pools
+  /// must keep the clamp.
+  ThreadPool(size_t num_threads, bool clamp_to_hardware);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -78,6 +86,14 @@ class ThreadPool {
   /// for busy workers; fn must not block on this pool (see file comment).
   /// Safe to call from multiple threads concurrently.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Enqueues `task` to run on some worker and returns immediately. No
+  /// completion handshake: callers that must observe completion (a server
+  /// joining its connection handlers at drain) keep their own counter or
+  /// latch. Unlike ParallelFor work items, submitted tasks MAY block — on a
+  /// pool built with clamp_to_hardware = false and sized to the blocking
+  /// concurrency cap — but must never call back into this pool.
+  void Submit(std::function<void()> task);
 
   /// The process-wide shared pool, sized to hardware concurrency. Built on
   /// first use; lives for the life of the process.

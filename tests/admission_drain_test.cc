@@ -1,0 +1,317 @@
+// AdmissionController::Drain and Ticket move-semantics tests, plus the
+// TenantAdmission layer (per-tenant partitions + shared overflow pool):
+// drain racing concurrent Admit calls, queued waiters shed fast everywhere
+// before any slow tenant is waited on, and the Ticket edge cases that make
+// handler code safe to refactor — cross-controller move-assignment release
+// ordering, self-move, and double-Release idempotence.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/admission.h"
+#include "src/util/mutex.h"
+#include "src/serve/tenant_admission.h"
+#include "src/util/query_context.h"
+#include "src/util/timer.h"
+
+namespace c2lsh {
+namespace {
+
+using serve::TenantAdmission;
+using serve::TenantAdmissionOptions;
+using serve::TenantStats;
+
+AdmissionOptions Tiny(size_t in_flight, size_t queue,
+                      double timeout_ms = 10'000.0) {
+  AdmissionOptions o;
+  o.max_in_flight = in_flight;
+  o.max_queue = queue;
+  o.queue_timeout_millis = timeout_ms;
+  return o;
+}
+
+// --- Ticket move semantics (the slot must be released exactly once, on the
+// controller that granted it, no matter how the ticket is shuffled) --------
+
+TEST(TicketMoveTest, MoveAssignReleasesTargetsOldSlotFirst) {
+  AdmissionController a(Tiny(1, 0));
+  AdmissionController b(Tiny(1, 0));
+
+  auto ta = a.Admit();
+  auto tb = b.Admit();
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(a.stats().in_flight, 1u);
+  EXPECT_EQ(b.stats().in_flight, 1u);
+
+  // Moving A's ticket over B's must release B's slot (the overwritten one)
+  // and leave A's slot held by the moved-to ticket.
+  tb.value() = std::move(ta).value();
+  EXPECT_EQ(b.stats().in_flight, 0u);
+  EXPECT_EQ(a.stats().in_flight, 1u);
+  EXPECT_TRUE(tb->valid());
+
+  // B's slot is genuinely free again.
+  auto b2 = b.Admit();
+  EXPECT_TRUE(b2.ok());
+
+  // Releasing the moved-to ticket frees A, not B.
+  tb->Release();
+  EXPECT_EQ(a.stats().in_flight, 0u);
+  EXPECT_EQ(b.stats().in_flight, 1u);
+}
+
+TEST(TicketMoveTest, SelfMoveAssignKeepsTheSlot) {
+  AdmissionController a(Tiny(1, 0));
+  auto t = a.Admit();
+  ASSERT_TRUE(t.ok());
+  AdmissionController::Ticket& ticket = t.value();
+  AdmissionController::Ticket& alias = ticket;  // defeat trivial self-move
+                                                // diagnostics; same object
+  ticket = std::move(alias);
+  EXPECT_TRUE(ticket.valid());
+  EXPECT_EQ(a.stats().in_flight, 1u);
+  ticket.Release();
+  EXPECT_EQ(a.stats().in_flight, 0u);
+}
+
+TEST(TicketMoveTest, DoubleReleaseIsIdempotentIncludingDestructor) {
+  AdmissionController a(Tiny(2, 0));
+  {
+    auto t = a.Admit();
+    ASSERT_TRUE(t.ok());
+    t->Release();
+    EXPECT_FALSE(t->valid());
+    EXPECT_EQ(a.stats().in_flight, 0u);
+    t->Release();  // explicit double release
+    EXPECT_EQ(a.stats().in_flight, 0u);
+  }  // destructor after manual release must not release again
+  EXPECT_EQ(a.stats().in_flight, 0u);
+
+  // A moved-from ticket's destructor must be a no-op too.
+  auto t1 = a.Admit();
+  ASSERT_TRUE(t1.ok());
+  {
+    AdmissionController::Ticket moved = std::move(t1).value();
+    EXPECT_TRUE(moved.valid());
+  }
+  EXPECT_EQ(a.stats().in_flight, 0u);
+}
+
+// --- Drain ----------------------------------------------------------------
+
+TEST(AdmissionDrainTest, DrainShedsQueuedWaitersFast) {
+  AdmissionController ac(Tiny(1, 4, /*timeout_ms=*/60'000.0));
+  auto held = ac.Admit();
+  ASSERT_TRUE(held.ok());
+
+  constexpr int kWaiters = 3;
+  std::atomic<int> shed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      auto r = ac.Admit();  // parks: slot held, timeout is a minute
+      if (!r.ok() && r.status().IsUnavailable()) shed.fetch_add(1);
+    });
+  }
+  while (ac.stats().queued < kWaiters) {
+    std::this_thread::yield();
+  }
+
+  // The in-flight ticket is still out, so this drain times out — but the
+  // queued waiters must be woken and shed long before their own timeouts.
+  Timer timer;
+  Status s = ac.Drain(Deadline::AfterMillis(100));
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shed.load(), kWaiters);
+  EXPECT_LT(timer.ElapsedMillis(), 10'000.0);
+  EXPECT_EQ(ac.stats().queued, 0u);
+  EXPECT_GE(ac.stats().shed_draining, static_cast<uint64_t>(kWaiters));
+
+  // New arrivals shed immediately while draining.
+  EXPECT_TRUE(ac.Admit().status().IsUnavailable());
+
+  // Once the straggler releases, a second drain succeeds...
+  held->Release();
+  EXPECT_TRUE(ac.Drain(Deadline::AfterMillis(1000)).ok());
+  EXPECT_TRUE(ac.draining());
+
+  // ...and Resume restores service.
+  ac.Resume();
+  EXPECT_FALSE(ac.draining());
+  EXPECT_TRUE(ac.Admit().ok());
+}
+
+TEST(AdmissionDrainTest, DrainWaitsForInFlightUntilRelease) {
+  AdmissionController ac(Tiny(1, 0));
+  auto held = ac.Admit();
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    Status s = ac.Drain(Deadline::AfterMillis(30'000));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    drained.store(true);
+  });
+  while (!ac.draining()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(drained.load());  // ticket still held
+  held->Release();
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+  EXPECT_EQ(ac.stats().in_flight, 0u);
+}
+
+TEST(AdmissionDrainTest, DrainRacingConcurrentAdmitsNeverLosesASlot) {
+  // Hammer Admit/Release from several threads while the main thread flips
+  // drain/resume. Whatever interleaving happens, the final state must be
+  // zero in-flight and zero queued — no slot leaks through the race between
+  // an Admit that passed the draining check and a Drain that flipped it.
+  AdmissionController ac(Tiny(4, 8, /*timeout_ms=*/5.0));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = ac.Admit();
+        if (r.ok()) r->Release();
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    (void)ac.Drain(Deadline::AfterMillis(20));
+    ac.Resume();
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  // Final drain: everything must empty out.
+  EXPECT_TRUE(ac.Drain(Deadline::AfterMillis(5000)).ok());
+  EXPECT_EQ(ac.stats().in_flight, 0u);
+  EXPECT_EQ(ac.stats().queued, 0u);
+}
+
+TEST(AdmissionDrainTest, QueuedWaiterWithContextShedsOnDrainNotDeadline) {
+  AdmissionController ac(Tiny(1, 2, /*timeout_ms=*/0.0));  // no queue timeout
+  auto held = ac.Admit();
+  ASSERT_TRUE(held.ok());
+
+  QueryContext ctx;
+  ctx.deadline = Deadline::AfterMillis(60'000);  // far away
+  std::atomic<bool> waiter_shed{false};
+  std::thread waiter([&] {
+    auto r = ac.Admit(&ctx);
+    if (!r.ok()) waiter_shed.store(true);
+  });
+  while (ac.stats().queued < 1) {
+    std::this_thread::yield();
+  }
+  (void)ac.Drain(Deadline::AfterMillis(50));  // times out (held ticket)
+  waiter.join();
+  EXPECT_TRUE(waiter_shed.load());  // drain shed it, not its own deadline
+  held->Release();
+}
+
+// --- TenantAdmission ------------------------------------------------------
+
+TenantAdmissionOptions TenantTiny() {
+  TenantAdmissionOptions o;
+  o.per_tenant = Tiny(1, 0);
+  o.overflow = Tiny(1, 0);
+  return o;
+}
+
+TEST(TenantAdmissionTest, PartitionThenOverflowThenShed) {
+  TenantAdmission ta(TenantTiny());
+
+  auto t1 = ta.Admit("alice");  // partition slot
+  ASSERT_TRUE(t1.ok());
+  auto t2 = ta.Admit("alice");  // borrows the overflow pool
+  ASSERT_TRUE(t2.ok());
+  auto t3 = ta.Admit("alice");  // both saturated: final shed
+  EXPECT_TRUE(t3.status().IsUnavailable()) << t3.status().ToString();
+
+  TenantStats stats = ta.StatsFor("alice");
+  EXPECT_EQ(stats.partition.admitted, 1u);
+  EXPECT_EQ(stats.overflow_admits, 1u);
+  EXPECT_EQ(stats.shed_final, 1u);
+  EXPECT_EQ(ta.total_in_flight(), 2u);
+
+  // A quota-exhausted tenant must not block an idle one: bob's own
+  // partition still has its slot even with the overflow pool pinned.
+  auto bob = ta.Admit("bob");
+  EXPECT_TRUE(bob.ok());
+  EXPECT_EQ(ta.tenant_count(), 2u);
+
+  t1->Release();
+  t2->Release();
+  bob->Release();
+  EXPECT_EQ(ta.total_in_flight(), 0u);
+}
+
+TEST(TenantAdmissionTest, TenantsBeyondCapShareOverflowOnly) {
+  TenantAdmissionOptions o = TenantTiny();
+  o.max_tenants = 1;
+  TenantAdmission ta(o);
+
+  auto a = ta.Admit("a");  // takes the only partition
+  ASSERT_TRUE(a.ok());
+  auto b = ta.Admit("b");  // over the cap: overflow only
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ta.tenant_count(), 1u);
+  EXPECT_EQ(ta.overflow_stats().in_flight, 1u);
+  auto c = ta.Admit("c");  // overflow pinned, no partition: shed
+  EXPECT_TRUE(c.status().IsUnavailable());
+  // Unseen/over-cap tenants report zeros rather than growing the map.
+  EXPECT_EQ(ta.StatsFor("c").partition.admitted, 0u);
+}
+
+TEST(TenantAdmissionTest, DrainFlipsEveryPartitionBeforeWaitingOnAny) {
+  // Tenant "slow" holds an in-flight ticket; tenant "fast" has a waiter
+  // parked in its queue with a one-minute timeout. A sequential
+  // drain-with-deadline per partition would only reach "fast" after burning
+  // the whole deadline on "slow" — the two-pass drain must shed fast's
+  // waiter almost immediately.
+  TenantAdmissionOptions o;
+  o.per_tenant = Tiny(1, 2, /*timeout_ms=*/60'000.0);
+  o.overflow = Tiny(1, 0);  // overflow pinned too, so waiters actually park
+  TenantAdmission ta(o);
+
+  auto slow = ta.Admit("slow");
+  ASSERT_TRUE(slow.ok());
+  auto overflow_pin = ta.Admit("slow");  // occupies the overflow pool
+  ASSERT_TRUE(overflow_pin.ok());
+  auto fast_holder = ta.Admit("fast");  // fast's partition slot
+  ASSERT_TRUE(fast_holder.ok());
+
+  Timer shed_timer;
+  std::atomic<double> shed_after_ms{-1.0};
+  std::thread waiter([&] {
+    auto r = ta.Admit("fast");  // parks in fast's queue
+    if (!r.ok()) shed_after_ms.store(shed_timer.ElapsedMillis());
+  });
+  while (ta.StatsFor("fast").partition.queued < 1) {
+    std::this_thread::yield();
+  }
+
+  Status s = ta.Drain(Deadline::AfterMillis(400));
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();  // three tickets held
+  waiter.join();
+  EXPECT_GE(shed_after_ms.load(), 0.0);
+  EXPECT_LT(shed_after_ms.load(), 60'000.0 / 2);  // not its queue timeout
+
+  slow->Release();
+  overflow_pin->Release();
+  fast_holder->Release();
+  EXPECT_EQ(ta.total_in_flight(), 0u);
+  EXPECT_TRUE(ta.Drain(Deadline::AfterMillis(1000)).ok());
+  ta.Resume();
+  EXPECT_TRUE(ta.Admit("slow").ok());
+}
+
+}  // namespace
+}  // namespace c2lsh

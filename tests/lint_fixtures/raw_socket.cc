@@ -1,0 +1,31 @@
+// Lint fixture: deliberately violates the socket confinement rules.
+// Expected: 2x [socket-header] (the two includes), 3x [raw-socket] (the
+// socket(), ::connect(), and connect() calls). The NOLINT line, the method
+// call, the namespace-qualified name, and the commented/quoted mentions
+// must all stay clean.
+#include <sys/socket.h>   // socket-header
+#include <netinet/in.h>   // socket-header
+
+struct Conn {
+  void Shutdown();
+};
+
+int Rogue() {
+  int fd = socket(2, 1, 0);   // raw-socket
+  ::connect(fd, nullptr, 0);  // raw-socket: global scope doesn't escape
+  connect(fd, nullptr, 0);    // raw-socket
+  return fd;
+}
+
+int Escaped(int fd) {
+  return accept(fd, nullptr, nullptr);  // NOLINT(raw-socket)
+}
+
+void Clean(Conn* c) {
+  c->Shutdown();                 // member call, not the syscall
+  auto f = std::bind(&Clean, c);  // namespace-qualified: not the syscall
+  (void)f;
+  // calling listen( in a comment is fine, so is "socket(" in a string:
+  const char* s = "socket(";
+  (void)s;
+}

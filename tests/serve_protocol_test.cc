@@ -1,0 +1,242 @@
+// Wire-protocol tests: encode/decode round trips for every message type,
+// decoder rejection of malformed input (the peer is never trusted), and the
+// framing layer over an InprocTransport — including short reads, clean EOF
+// on a frame boundary, mid-frame close as Corruption, and forged oversized
+// length prefixes rejected before allocation.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/inproc_transport.h"
+#include "src/serve/protocol.h"
+#include "src/util/socket.h"
+
+namespace c2lsh {
+namespace serve {
+namespace {
+
+Status Decode(const std::string& body, Request* out) {
+  return DecodeRequest(reinterpret_cast<const uint8_t*>(body.data()),
+                       body.size(), out);
+}
+
+Status Decode(const std::string& body, Response* out) {
+  return DecodeResponse(reinterpret_cast<const uint8_t*>(body.data()),
+                        body.size(), out);
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.tenant = "tenant-a";
+  req.index = "main";
+  req.deadline_micros = 123456;
+  req.page_budget = 77;
+  req.k = 9;
+  req.vector = {1.5f, -2.25f, 0.0f, 3.75f};
+
+  Request back;
+  ASSERT_TRUE(Decode(EncodeRequest(req), &back).ok());
+  EXPECT_EQ(back.type, MsgType::kQuery);
+  EXPECT_EQ(back.tenant, "tenant-a");
+  EXPECT_EQ(back.index, "main");
+  EXPECT_EQ(back.deadline_micros, 123456u);
+  EXPECT_EQ(back.page_budget, 77u);
+  EXPECT_EQ(back.k, 9u);
+  EXPECT_EQ(back.vector, req.vector);
+}
+
+TEST(ProtocolTest, InsertDeleteHealthReadyRoundTrip) {
+  Request ins;
+  ins.type = MsgType::kInsert;
+  ins.tenant = "t";
+  ins.index = "i";
+  ins.id = 4242;
+  ins.vector = {0.5f, 0.25f};
+  Request back;
+  ASSERT_TRUE(Decode(EncodeRequest(ins), &back).ok());
+  EXPECT_EQ(back.type, MsgType::kInsert);
+  EXPECT_EQ(back.id, 4242u);
+  EXPECT_EQ(back.vector, ins.vector);
+
+  Request del;
+  del.type = MsgType::kDelete;
+  del.index = "i";
+  del.id = 7;
+  ASSERT_TRUE(Decode(EncodeRequest(del), &back).ok());
+  EXPECT_EQ(back.type, MsgType::kDelete);
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_TRUE(back.vector.empty());
+
+  for (MsgType t : {MsgType::kHealth, MsgType::kReady}) {
+    Request probe;
+    probe.type = t;
+    ASSERT_TRUE(Decode(EncodeRequest(probe), &back).ok());
+    EXPECT_EQ(back.type, t);
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTripCarriesTermination) {
+  Response resp;
+  resp.type = MsgType::kQuery;
+  resp.code = StatusCode::kOk;
+  resp.termination = Termination::kDeadline;  // partial, and says so
+  resp.neighbors = {{1, 0.5f}, {9, 1.25f}, {3, 2.0f}};
+
+  Response back;
+  ASSERT_TRUE(Decode(EncodeResponse(resp), &back).ok());
+  EXPECT_EQ(back.code, StatusCode::kOk);
+  EXPECT_EQ(back.termination, Termination::kDeadline);
+  EXPECT_TRUE(IsEarlyStop(back.termination));
+  ASSERT_EQ(back.neighbors.size(), 3u);
+  EXPECT_EQ(back.neighbors[1].id, 9u);
+  EXPECT_FLOAT_EQ(back.neighbors[1].dist, 1.25f);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesMessageNoPayload) {
+  Response resp;
+  resp.type = MsgType::kQuery;
+  resp.code = StatusCode::kUnavailable;
+  resp.message = "shed: back off and retry";
+
+  Response back;
+  ASSERT_TRUE(Decode(EncodeResponse(resp), &back).ok());
+  EXPECT_EQ(back.code, StatusCode::kUnavailable);
+  EXPECT_EQ(back.message, "shed: back off and retry");
+  EXPECT_TRUE(back.neighbors.empty());
+}
+
+TEST(ProtocolTest, DecoderRejectsMalformedRequests) {
+  Request out;
+  // Empty body.
+  EXPECT_FALSE(Decode(std::string(), &out).ok());
+  // Unknown message type.
+  Request req;
+  req.type = MsgType::kQuery;
+  req.index = "i";
+  req.k = 1;
+  req.vector = {1.0f};
+  std::string body = EncodeRequest(req);
+  std::string bad = body;
+  bad[0] = '\x09';
+  EXPECT_FALSE(Decode(bad, &out).ok());
+  bad[0] = '\x00';
+  EXPECT_FALSE(Decode(bad, &out).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(Decode(body + "x", &out).ok());
+  // Truncation at every prefix length must fail, never crash or accept.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(Decode(body.substr(0, cut), &out).ok()) << "cut=" << cut;
+  }
+  // Over-cap tenant length on the wire (the encoder clamps, so a peer
+  // sending this is hand-forging the frame).
+  std::string forged;
+  forged.push_back('\x04');  // kHealth
+  forged.push_back(static_cast<char>(kMaxTenantBytes + 1));
+  forged.append(kMaxTenantBytes + 1, 'a');
+  forged.push_back('\x00');        // index length
+  forged.append(16, '\x00');       // deadline + page budget
+  EXPECT_FALSE(Decode(forged, &out).ok());
+}
+
+TEST(ProtocolTest, DecoderRejectsMalformedResponses) {
+  Response out;
+  EXPECT_FALSE(Decode(std::string(), &out).ok());
+  Response resp;
+  resp.type = MsgType::kQuery;
+  resp.neighbors = {{1, 1.0f}};
+  std::string body = EncodeResponse(resp);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(Decode(body.substr(0, cut), &out).ok()) << "cut=" << cut;
+  }
+  EXPECT_FALSE(Decode(body + "x", &out).ok());
+}
+
+// --- framing over a real (in-process) connection --------------------------
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = transport_.Listen("frame");
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(listener).value();
+    auto client = transport_.Connect("frame", Deadline::AfterMillis(1000));
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+    auto served = listener_->Accept();
+    ASSERT_TRUE(served.ok());
+    served_ = std::move(served).value();
+  }
+
+  InprocTransport transport_;
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<Connection> client_;
+  std::unique_ptr<Connection> served_;
+};
+
+TEST_F(FramingTest, RoundTripAndShortReads) {
+  const std::string body(1000, 'z');
+  ASSERT_TRUE(WriteFrame(*client_, body, Deadline::AfterMillis(1000)).ok());
+  // Short reads on the receiving side: the framing layer must loop, not
+  // treat a half-delivered prefix or body as truncation.
+  transport_.SetShortReads(16);
+  std::string got;
+  bool eof = true;
+  ASSERT_TRUE(
+      ReadFrame(*served_, &got, &eof, Deadline::AfterMillis(2000)).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(got, body);
+}
+
+TEST_F(FramingTest, CleanEofOnFrameBoundary) {
+  client_->Shutdown();
+  client_.reset();
+  std::string got;
+  bool eof = false;
+  Status s = ReadFrame(*served_, &got, &eof, Deadline::AfterMillis(1000));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(FramingTest, MidFrameCloseIsCorruption) {
+  // A length prefix promising 100 bytes, then only 3, then close.
+  const uint8_t prefix[4] = {100, 0, 0, 0};
+  ASSERT_TRUE(
+      client_->Write(prefix, sizeof(prefix), Deadline::AfterMillis(1000)).ok());
+  ASSERT_TRUE(client_->Write("abc", 3, Deadline::AfterMillis(1000)).ok());
+  client_->Shutdown();
+  client_.reset();
+  std::string got;
+  bool eof = false;
+  Status s = ReadFrame(*served_, &got, &eof, Deadline::AfterMillis(1000));
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(FramingTest, ForgedOversizedLengthRejectedBeforeAllocation) {
+  // 0xFFFFFFFF bytes claimed; the reader must reject after the 4-byte
+  // prefix without ever trying to allocate or read the body.
+  const uint8_t prefix[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(
+      client_->Write(prefix, sizeof(prefix), Deadline::AfterMillis(1000)).ok());
+  std::string got;
+  bool eof = false;
+  Status s = ReadFrame(*served_, &got, &eof, Deadline::AfterMillis(1000));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST_F(FramingTest, ReadFrameHonorsDeadlineWhenPeerStalls) {
+  std::string got;
+  bool eof = false;
+  // Nothing ever arrives: the read must give up with Unavailable at the
+  // deadline instead of blocking forever.
+  Status s = ReadFrame(*served_, &got, &eof, Deadline::AfterMillis(50));
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace c2lsh

@@ -1,0 +1,181 @@
+// Short-read fault tests: POSIX pread may return fewer bytes than asked at
+// ANY offset, and FaultInjectionEnv::SetShortReads makes that promise easy
+// to break on purpose. Every fixed-size-record reader must loop via
+// ReadFullyAt — these tests pin that for the raw helper, PageFile (header
+// and page reads), and WAL replay, including short reads combined with
+// transient faults so the retry loop and the refill loop compose.
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/storage/page_file.h"
+#include "src/storage/wal.h"
+#include "src/util/env.h"
+#include "src/util/fault_env.h"
+
+namespace c2lsh {
+namespace {
+
+class ShortReadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("c2lsh_short_read_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+  FaultInjectionEnv env_{Env::Default()};
+};
+
+TEST_F(ShortReadTest, ReadFullyAtLoopsUntilFilled) {
+  auto file_or = env_.NewFile(Path("raw.bin"));
+  ASSERT_TRUE(file_or.ok());
+  auto file = std::move(file_or).value();
+  std::vector<uint8_t> data(8192);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  ASSERT_TRUE(file->WriteAt(0, data.data(), data.size()).ok());
+
+  // Every one of the next reads is served short; ReadFullyAt must keep
+  // looping until the full range arrives, byte-identical.
+  env_.SetShortReads(64);
+  std::vector<uint8_t> got(data.size());
+  size_t bytes_read = 0;
+  Status s = ReadFullyAt(*file, 0, got.data(), got.size(), &bytes_read);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(bytes_read, data.size());
+  EXPECT_EQ(got, data);
+  EXPECT_GT(env_.stats().short_reads, 0u);
+}
+
+TEST_F(ShortReadTest, ReadFullyAtShortOnlyAtTrueEof) {
+  auto file_or = env_.NewFile(Path("eof.bin"));
+  ASSERT_TRUE(file_or.ok());
+  auto file = std::move(file_or).value();
+  const char payload[] = "0123456789";
+  ASSERT_TRUE(file->WriteAt(0, payload, 10).ok());
+
+  env_.SetShortReads(8);
+  char buf[64];
+  size_t bytes_read = 0;
+  // Asking for more than the file holds: the loop must stop at genuine EOF
+  // with exactly the available bytes, not spin and not invent data.
+  Status s = ReadFullyAt(*file, 4, buf, sizeof(buf), &bytes_read);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(bytes_read, 6u);
+  EXPECT_EQ(std::memcmp(buf, "456789", 6), 0);
+}
+
+TEST_F(ShortReadTest, PageFileReadsAndReopensUnderShortReads) {
+  std::vector<uint8_t> page;
+  PageId id = 0;
+  {
+    auto pf_or = PageFile::Create(Path("pages.pf"), 4096, &env_);
+    ASSERT_TRUE(pf_or.ok()) << pf_or.status().ToString();
+    PageFile pf = std::move(pf_or).value();
+    auto id_or = pf.AllocatePage();
+    ASSERT_TRUE(id_or.ok());
+    id = id_or.value();
+    page.assign(pf.page_bytes(), 0);
+    for (size_t i = 0; i < page.size(); ++i) {
+      page[i] = static_cast<uint8_t>(i % 251);
+    }
+    ASSERT_TRUE(pf.WritePage(id, page.data()).ok());
+    ASSERT_TRUE(pf.Sync().ok());
+
+    // Page reads cross the checksum verifier: a short read mistaken for
+    // truncation would surface as Corruption here.
+    env_.SetShortReads(16);
+    std::vector<uint8_t> got(pf.page_bytes());
+    Status s = pf.ReadPage(id, got.data());
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(got, page);
+  }
+  // Reopen with short reads armed: the shadow-header validation reads must
+  // loop too.
+  env_.SetShortReads(16);
+  auto reopened = PageFile::Open(Path("pages.pf"), &env_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::vector<uint8_t> got(reopened->page_bytes());
+  ASSERT_TRUE(reopened->ReadPage(id, got.data()).ok());
+  EXPECT_EQ(got, page);
+}
+
+TEST_F(ShortReadTest, WalReplaySurvivesShortReads) {
+  const std::string path = Path("log.wal");
+  {
+    auto wal_or = WriteAheadLog::Open(path, &env_);
+    ASSERT_TRUE(wal_or.ok());
+    WriteAheadLog wal = std::move(wal_or).value();
+    for (uint64_t lsn = 1; lsn <= 20; ++lsn) {
+      WriteAheadLog::Record rec;
+      rec.lsn = lsn;
+      rec.type = (lsn % 4 == 0) ? WriteAheadLog::RecordType::kDelete
+                                : WriteAheadLog::RecordType::kInsert;
+      rec.id = static_cast<ObjectId>(lsn);
+      if (rec.type == WriteAheadLog::RecordType::kInsert) {
+        rec.vec.assign(8, static_cast<float>(lsn));
+      }
+      ASSERT_TRUE(wal.Append(rec).ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  // Replay with every read served short: all 20 records must arrive, in
+  // order, byte-identical — a replay that mistakes a short read for a torn
+  // tail would silently drop acked mutations.
+  env_.SetShortReads(1000);
+  auto wal_or = WriteAheadLog::Open(path, &env_);
+  ASSERT_TRUE(wal_or.ok());
+  uint64_t seen = 0;
+  auto stats_or = wal_or->Replay(0, [&](const WriteAheadLog::Record& rec) {
+    ++seen;
+    EXPECT_EQ(rec.lsn, seen);
+    EXPECT_EQ(rec.id, static_cast<ObjectId>(seen));
+    if (rec.type == WriteAheadLog::RecordType::kInsert) {
+      EXPECT_EQ(rec.vec.size(), 8u);
+      EXPECT_FLOAT_EQ(rec.vec[0], static_cast<float>(seen));
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats_or.ok()) << stats_or.status().ToString();
+  EXPECT_EQ(stats_or->applied, 20u);
+  EXPECT_EQ(stats_or->truncated, 0u);
+  EXPECT_GT(env_.stats().short_reads, 0u);
+}
+
+TEST_F(ShortReadTest, ShortReadsComposeWithTransientFaultRetries) {
+  auto pf_or = PageFile::Create(Path("both.pf"), 4096, &env_);
+  ASSERT_TRUE(pf_or.ok());
+  PageFile pf = std::move(pf_or).value();
+  auto id_or = pf.AllocatePage();
+  ASSERT_TRUE(id_or.ok());
+  std::vector<uint8_t> page(pf.page_bytes(), 0xAB);
+  ASSERT_TRUE(pf.WritePage(id_or.value(), page.data()).ok());
+  ASSERT_TRUE(pf.Sync().ok());
+
+  // A transient fault burst AND short reads at once: the retry loop handles
+  // the former, the refill loop the latter, and they must not confuse each
+  // other (e.g. a retry restarting mid-refill must restart cleanly).
+  env_.SetTransientReadFaults(2);
+  env_.SetShortReads(8);
+  std::vector<uint8_t> got(pf.page_bytes());
+  Status s = pf.ReadPage(id_or.value(), got.data());
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(got, page);
+}
+
+}  // namespace
+}  // namespace c2lsh

@@ -1,0 +1,106 @@
+// chaos_soak — runs the deterministic serving-stack chaos soak
+// (src/serve/chaos.h) from the command line: fault-injected storage, an
+// in-process transport with connection kills and short reads, insert/delete
+// churn, overload waves into tiny admission quotas, a mid-soak graceful
+// drain + restart, a forced drain-deadline overrun, and a crash-restart —
+// then prints the ledger's verdict.
+//
+//   chaos_soak [--seed=1] [--ops=48] [--clients=4] [--long]
+//              [--scratch=/tmp/c2lsh_chaos_soak]
+//
+// Exit status: 0 when every invariant held, 1 on a violation (each printed),
+// 2 when the harness itself could not run. CI runs the short mode (defaults)
+// under TSan via tools/check.sh's serve lane; --long multiplies the op count
+// for soak-style runs. The same seed replays the same schedule.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/serve/chaos.h"
+#include "src/util/argparse.h"
+
+namespace c2lsh {
+namespace {
+
+int Run(int argc, char** argv) {
+  ArgParser parser(
+      "chaos_soak: deterministic fault/overload/drain/crash soak of the "
+      "serving front end");
+  parser.AddInt("seed", 1, "seed for the whole fault-and-churn schedule");
+  parser.AddInt("ops", 48, "per-phase operation budget (short CI default)");
+  parser.AddInt("clients", 4, "concurrent clients in the overload wave");
+  parser.AddBool("long", false, "10x the op budget (soak mode)");
+  parser.AddString("scratch", "/tmp/c2lsh_chaos_soak",
+                   "scratch directory (created, removed on success)");
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 parser.HelpString().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.HelpString().c_str());
+    return 0;
+  }
+
+  serve::ChaosOptions options;
+  options.seed = static_cast<uint64_t>(parser.GetInt("seed"));
+  options.ops = static_cast<size_t>(parser.GetInt("ops"));
+  if (parser.GetBool("long")) options.ops *= 10;
+  options.clients = static_cast<size_t>(parser.GetInt("clients"));
+  options.dir = parser.GetString("scratch");
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot create scratch dir %s: %s\n",
+                 options.dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  auto report_or = serve::ChaosSoak(options).Run();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "harness error: %s\n",
+                 report_or.status().ToString().c_str());
+    return 2;
+  }
+  const serve::ChaosReport& r = report_or.value();
+  std::printf(
+      "chaos soak (seed=%llu ops=%zu clients=%zu)\n"
+      "  requests=%llu queries_ok=%llu partial=%llu unavailable=%llu "
+      "other_errors=%llu\n"
+      "  inserts_acked=%llu deletes_acked=%llu transport_kills=%llu "
+      "anomaly_dumps=%llu\n"
+      "  drain_met_deadline=%d forced_overrun_recorded=%d "
+      "leaked_tickets=%zu leaked_connections=%zu\n",
+      static_cast<unsigned long long>(options.seed), options.ops,
+      options.clients, static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.queries_ok),
+      static_cast<unsigned long long>(r.partial_results),
+      static_cast<unsigned long long>(r.unavailable),
+      static_cast<unsigned long long>(r.other_errors),
+      static_cast<unsigned long long>(r.inserts_acked),
+      static_cast<unsigned long long>(r.deletes_acked),
+      static_cast<unsigned long long>(r.transport_kills),
+      static_cast<unsigned long long>(r.anomaly_dumps),
+      static_cast<int>(r.drain_met_deadline),
+      static_cast<int>(r.forced_overrun_recorded), r.leaked_tickets,
+      r.leaked_connections);
+  if (!r.ok()) {
+    std::printf("VIOLATIONS (%zu):\n", r.violations.size());
+    for (const std::string& v : r.violations) {
+      std::printf("  - %s\n", v.c_str());
+    }
+    std::printf("replay with --seed=%llu\n",
+                static_cast<unsigned long long>(options.seed));
+    return 1;
+  }
+  std::printf("all invariants held\n");
+  std::filesystem::remove_all(options.dir, ec);  // keep the dir on failure
+  return 0;
+}
+
+}  // namespace
+}  // namespace c2lsh
+
+int main(int argc, char** argv) { return c2lsh::Run(argc, argv); }

@@ -27,6 +27,13 @@
 #             dispatch modes (shares the tsan tree) — the span-tracing ring
 #             buffers and flight recorder under concurrent churn; the same
 #             tests also run unsanitized in the default lane
+#   serve     ctest -L serve under -DC2LSH_SANITIZE=thread in both ISA
+#             dispatch modes (shares the tsan tree) — the TCP front end:
+#             protocol codecs, admission/drain races, end-to-end server
+#             tests — then the chaos_soak binary in short mode (fault
+#             bursts + overload + drain/restart + crash-restart, invariant
+#             ledger checked); the same tests also run unsanitized in the
+#             default lane
 #   scalar    -DC2LSH_DISABLE_SIMD=ON build (only the scalar kernel TU is
 #             compiled), full ctest — keeps the portable fallback tested
 #   asan      -DC2LSH_SANITIZE=address,   full ctest, rerun w/ C2LSH_SIMD=scalar
@@ -191,6 +198,19 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   # --- trace (span rings + flight recorder under TSan, both ISA modes) -----
   run_lane trace build_and_test_both_isas build-check/tsan -L trace -- -DC2LSH_SANITIZE=thread
+
+  # --- serve (TCP front end + chaos soak under TSan, both ISA modes) -------
+  serve_lane() {
+    build_and_test_both_isas build-check/tsan -L serve \
+      -- -DC2LSH_SANITIZE=thread || return 1
+    local soak=build-check/tsan/tools/chaos_soak
+    [[ -x "${soak}" ]] || { echo "chaos_soak not built"; return 1; }
+    note "  (chaos_soak, short mode)"
+    rm -rf build-check/tsan/chaos_soak.scratch
+    "${soak}" --seed=20120612 --ops=32 --clients=3 \
+      --scratch=build-check/tsan/chaos_soak.scratch
+  }
+  run_lane serve serve_lane
 
   # --- fuzz (untrusted-byte parsers under ASan+UBSan) ----------------------
   fuzz_lane() {

@@ -41,6 +41,19 @@ Rules (each failure prints `file:line: [rule] message` and exits non-zero):
                     (std::thread::hardware_concurrency(), std::thread::id)
                     stay legal everywhere; tests, tools, and bench binaries
                     may spawn their own threads.
+  socket-header     BSD socket headers (<sys/socket.h>, <netinet/*.h>,
+                    <arpa/inet.h>, <sys/un.h>, <netdb.h>, <poll.h>) are
+                    confined to src/serve/transport_posix.cc — everything
+                    else, tests included, talks to the network through the
+                    Transport/Connection seam (src/util/socket.h), the same
+                    way storage code reaches the filesystem only through Env.
+  raw-socket        raw socket syscalls (socket, bind, listen, accept,
+                    connect, setsockopt, getaddrinfo, recv, send, poll,
+                    shutdown, ...) are likewise confined to the transport
+                    seam: one file owns fd lifecycle, deadline slicing, and
+                    EINTR handling, so fault injection (InprocTransport) and
+                    the real network cannot drift apart. Method calls
+                    (conn->Shutdown()) and std::bind don't match.
   tsc-read          raw cycle/clock reads (__rdtsc, __builtin_ia32_rdtsc,
                     __builtin_readcyclecounter, clock_gettime, gettimeofday)
                     are confined to src/obs/ within src/ — the span tracer's
@@ -142,6 +155,22 @@ RAW_THREAD_ALLOWED_FILES = {
     os.path.join("src", "util", "thread_pool.cc"),
 }
 RAW_THREAD_SCOPE_PREFIX = "src" + os.sep
+
+# The network is reached only through the Transport seam; the one file that
+# may see BSD sockets is the POSIX transport implementation. Applies to every
+# linted tree (tests and tools mock with InprocTransport, not real sockets).
+SOCKET_HEADER_INCLUDE = re.compile(
+    r'^\s*#\s*include\s*[<"]'
+    r"(?:sys/socket|netinet/in|netinet/tcp|arpa/inet|sys/un|netdb|poll)\.h"
+    r'[>"]')
+# Matches `socket(` and the global-scope `::socket(`, but not member calls
+# (obj.connect), namespace-qualified names (std::bind), or Foo::connect.
+RAW_SOCKET = re.compile(
+    r"(?<![\w.:])(?:::)?(?:socket|bind|listen|accept4?|connect|setsockopt|"
+    r"getsockname|getaddrinfo|freeaddrinfo|recv|send|poll|shutdown)\s*\(")
+SOCKET_ALLOWED_FILES = {
+    os.path.join("src", "serve", "transport_posix.cc"),
+}
 
 # Raw cycle-counter and syscall clock reads are confined to the span
 # tracer's TraceClock (src/obs/): one calibrated tick source, auditable in
@@ -310,6 +339,21 @@ def lint_file(path, rel, status_names, errors):
                 "src/util/thread_pool.{h,cc} — run parallel work on "
                 "ThreadPool::ParallelFor (std::thread::hardware_concurrency() "
                 "and std::thread::id stay legal)")
+        if (SOCKET_HEADER_INCLUDE.match(code) and
+                rel not in SOCKET_ALLOWED_FILES and
+                not allowed("socket-header")):
+            errors.append(
+                f"{rel}:{lineno}: [socket-header] BSD socket headers are "
+                "confined to src/serve/transport_posix.cc — use the "
+                "Transport/Connection seam (src/util/socket.h)")
+        if (RAW_SOCKET.search(code) and
+                rel not in SOCKET_ALLOWED_FILES and
+                not allowed("raw-socket")):
+            errors.append(
+                f"{rel}:{lineno}: [raw-socket] raw socket syscalls are "
+                "confined to src/serve/transport_posix.cc — go through "
+                "Transport/Connection (src/util/socket.h) so tests can "
+                "fault-inject the wire")
         if (TSC_READ.search(code) and
                 rel.startswith(TSC_READ_SCOPE_PREFIX) and
                 not rel.startswith(TSC_READ_ALLOWED_PREFIX) and

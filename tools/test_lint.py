@@ -79,6 +79,12 @@ class FixtureRules(unittest.TestCase):
         self.assertEqual(len(self.rule_lines("chrono-include",
                                              "isa_and_chrono.cc")), 1)
 
+    def test_socket_confinement(self):
+        self.assertEqual(len(self.rule_lines("socket-header",
+                                             "raw_socket.cc")), 2)
+        self.assertEqual(len(self.rule_lines("raw-socket",
+                                             "raw_socket.cc")), 3)
+
     def test_default_run_skips_fixture_dirs(self):
         proc = run_lint()  # default paths: src tests tools bench
         self.assertEqual(proc.returncode, 0, proc.stdout)
@@ -165,6 +171,40 @@ class PathScopedRules(unittest.TestCase):
         text = "void F(Env* e) { e->Now(); my.clock_gettime(x, y); }\n"
         errors = lint_text(text, os.path.join("src", "core", "tick.cc"))
         self.assertFalse(any("[tsc-read]" in e for e in errors), errors)
+
+
+class SocketSeamRule(unittest.TestCase):
+    SOCKETS = ("#include <sys/socket.h>\n"
+               "#include <netdb.h>\n"
+               "int Go() { return ::socket(2, 1, 0); }\n")
+
+    def test_sockets_banned_everywhere_else(self):
+        # Unlike the src/-scoped rules, the seam binds tests and tools too:
+        # they exercise the wire through InprocTransport or PosixTransport.
+        for rel in (os.path.join("src", "core", "net.cc"),
+                    os.path.join("src", "serve", "server.cc"),
+                    os.path.join("tests", "net_test.cc"),
+                    os.path.join("tools", "net_tool.cpp")):
+            errors = lint_text(self.SOCKETS, rel)
+            self.assertEqual(
+                2, sum("[socket-header]" in e for e in errors), (rel, errors))
+            self.assertEqual(
+                1, sum("[raw-socket]" in e for e in errors), (rel, errors))
+
+    def test_sockets_allowed_in_the_posix_transport(self):
+        rel = os.path.join("src", "serve", "transport_posix.cc")
+        errors = lint_text(self.SOCKETS, rel)
+        self.assertFalse(any("[socket-header]" in e or "[raw-socket]" in e
+                             for e in errors), errors)
+
+    def test_seam_calls_do_not_match(self):
+        text = ("void F(Connection* c, Transport* t) {\n"
+                "  c->Shutdown();\n"
+                "  (void)t->Connect(addr, deadline);\n"
+                "  listener->Accept();\n"
+                "}\n")
+        errors = lint_text(text, os.path.join("src", "serve", "server.cc"))
+        self.assertFalse(any("[raw-socket]" in e for e in errors), errors)
 
 
 class StatusRule(unittest.TestCase):
